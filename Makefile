@@ -1,0 +1,30 @@
+PYTHON ?= python
+
+.PHONY: install test bench examples experiments clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+experiments:
+	$(PYTHON) -m repro.cli table1
+	$(PYTHON) -m repro.cli fig14
+	$(PYTHON) -m repro.cli compare
+	$(PYTHON) -m repro.cli channels
+	$(PYTHON) -m repro.cli ablation
+	$(PYTHON) -m repro.cli sensitivity
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

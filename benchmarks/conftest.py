@@ -1,0 +1,34 @@
+"""Shared machinery for the benchmark harness.
+
+Every bench regenerates one of the paper's artifacts (or one of
+DESIGN.md's ablations) and, besides the pytest-benchmark timing table,
+writes the regenerated experiment table to ``benchmarks/out/<name>.txt``
+so EXPERIMENTS.md can quote it verbatim. Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2000)
+
+
+def write_artifact(directory: Path, name: str, content: str) -> None:
+    path = directory / f"{name}.txt"
+    path.write_text(content + "\n")

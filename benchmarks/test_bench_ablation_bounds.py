@@ -1,0 +1,68 @@
+"""Ablation A1: the paper's ``U(X)`` bound vs the packed bound.
+
+Both are admissible, so both find the optimum; the packed bound prunes
+the best-first frontier harder. Timed head to head on the same trees;
+the nodes-expanded comparison lands in
+``benchmarks/out/ablation_bounds.txt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.candidates import PruningConfig
+from repro.core.problem import AllocationProblem
+from repro.core.search import best_first_search
+from repro.tree.builders import random_tree
+
+from conftest import write_artifact
+
+
+def _problem(seed: int, data_count: int = 9, channels: int = 2):
+    tree = random_tree(np.random.default_rng(seed), data_count)
+    return AllocationProblem(tree, channels=channels)
+
+
+@pytest.mark.parametrize("bound", ["adjacent", "packed"])
+def test_best_first_bound_timing(benchmark, bound):
+    problem = _problem(seed=11)
+    result = benchmark(best_first_search, problem, None, bound)
+    assert result.cost > 0
+
+
+def test_regenerate_bounds_artifact(benchmark, artifact_dir):
+    def run_once():
+        rows = []
+        for seed in range(5):
+            problem = _problem(seed, data_count=9)
+            adjacent = best_first_search(problem, bound="adjacent")
+            packed = best_first_search(problem, bound="packed")
+            assert packed.cost == pytest.approx(adjacent.cost)
+            assert packed.nodes_expanded <= adjacent.nodes_expanded
+            rows.append(
+                [
+                    seed,
+                    adjacent.nodes_expanded,
+                    packed.nodes_expanded,
+                    100.0 * (1 - packed.nodes_expanded / adjacent.nodes_expanded),
+                ]
+            )
+        text = format_table(
+            ["tree seed", "adjacent U(X) nodes", "packed U(X) nodes", "saved %"],
+            rows,
+            title="A1: best-first effort under the paper's bound vs the packed bound",
+        )
+        write_artifact(artifact_dir, "ablation_bounds", text)
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)
+
+
+def test_unpruned_search_with_both_bounds_agrees(benchmark):
+    problem = _problem(seed=3, data_count=6)
+    result = benchmark(
+        best_first_search, problem, PruningConfig.none(), "packed"
+    )
+    reference = best_first_search(problem, PruningConfig.none(), "adjacent")
+    assert result.cost == pytest.approx(reference.cost)

@@ -1,0 +1,67 @@
+"""Ablation A2: what each §3.2 pruning rule buys the search.
+
+Times the best-first search under cumulative rule sets and regenerates
+the nodes-expanded table (``benchmarks/out/ablation_pruning.txt``). Also
+times the data-tree counting under each Table 1 rule set on the paper's
+own m = 3 experiment tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparisons import format_pruning_ablation, pruning_ablation
+from repro.core.candidates import PruningConfig
+from repro.core.datatree import DataTreeConfig, count_data_sequences
+from repro.core.problem import AllocationProblem
+from repro.core.search import best_first_search
+from repro.tree.builders import balanced_tree, random_tree
+
+from conftest import write_artifact
+
+RULE_SETS = {
+    "none": PruningConfig.none(),
+    "p1_only": PruningConfig.none().without(forced_completion=True),
+    "p1_filter": PruningConfig.none().without(
+        forced_completion=True, candidate_filter=True
+    ),
+    "paper": PruningConfig.paper(),
+}
+
+
+@pytest.mark.parametrize("rules", list(RULE_SETS))
+def test_search_effort_per_rule_set(benchmark, rules):
+    tree = random_tree(np.random.default_rng(8), 8)
+    problem = AllocationProblem(tree, channels=2)
+    result = benchmark(best_first_search, problem, RULE_SETS[rules])
+    reference = best_first_search(problem, PruningConfig.paper())
+    assert result.cost == pytest.approx(reference.cost)
+
+
+@pytest.mark.parametrize(
+    "config_name", ["property2_only", "properties_1_2", "paper"]
+)
+def test_datatree_counting_per_rule_set(benchmark, config_name):
+    tree = balanced_tree(
+        3, depth=3, weights=[float(w) for w in range(9, 0, -1)]
+    )
+    problem = AllocationProblem(tree, channels=1)
+    config = getattr(DataTreeConfig, config_name)()
+    count = benchmark(count_data_sequences, problem, config)
+    expected = {"property2_only": 1680, "properties_1_2": 186}
+    if config_name in expected:
+        assert count == expected[config_name]
+
+
+def test_regenerate_pruning_artifact(benchmark, artifact_dir):
+    def run_once():
+        rows = pruning_ablation(
+            np.random.default_rng(2000), data_count=8, channels=2
+        )
+        assert rows[-1].nodes_expanded <= rows[0].nodes_expanded
+        write_artifact(
+            artifact_dir, "ablation_pruning", format_pruning_ablation(rows)
+        )
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)

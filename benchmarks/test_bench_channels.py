@@ -1,0 +1,56 @@
+"""Ablation A3: data wait and solve time vs channel count.
+
+Sweeps k for a fixed tree, covering the best-first regime and the
+Corollary 1 closed-form regime, plus the [SV96] fixed-channel baseline.
+Artifact: ``benchmarks/out/channel_scaling.txt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparisons import channel_scaling, format_channel_scaling
+from repro.baselines.level_allocation import sv96_level_schedule
+from repro.core.corollaries import corollary1_applies
+from repro.core.optimal import solve
+from repro.tree.builders import balanced_tree
+from repro.workloads.weights import normal_weights
+
+from conftest import write_artifact
+
+
+def _tree():
+    rng = np.random.default_rng(77)
+    return balanced_tree(
+        3, depth=3, weights=normal_weights(rng, 9, mean=100.0, sigma=30.0)
+    )
+
+
+@pytest.mark.parametrize("channels", [1, 2, 3, 4, 6, 9])
+def test_solve_time_per_channel_count(benchmark, channels):
+    tree = _tree()
+    result = benchmark(solve, tree, channels)
+    if corollary1_applies(tree, channels):
+        assert result.method == "corollary1"
+
+
+def test_sv96_baseline_timing(benchmark):
+    tree = _tree()
+    schedule = benchmark(sv96_level_schedule, tree)
+    same_k_optimum = solve(tree, channels=schedule.channels).cost
+    assert schedule.data_wait() >= same_k_optimum - 1e-9
+
+
+def test_regenerate_channel_scaling_artifact(benchmark, artifact_dir):
+    def run_once():
+        points = channel_scaling(np.random.default_rng(2000), fanout=3)
+        waits = [p.optimal_wait for p in points]
+        for narrow, wide in zip(waits, waits[1:]):
+            assert wide <= narrow + 1e-9
+        assert points[-1].corollary1
+        write_artifact(
+            artifact_dir, "channel_scaling", format_channel_scaling(points)
+        )
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)

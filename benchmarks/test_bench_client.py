@@ -1,0 +1,86 @@
+"""Ablation A5: client-side timings across index structures.
+
+Drives the pointer-level simulator over optimal schedules built on
+different index trees (alphabetic Hu–Tucker, balanced, plain Huffman)
+and regenerates the access-time / tuning-time comparison
+(``benchmarks/out/client.txt``) — the access-time/tuning-time trade-off
+the paper's introduction frames.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.broadcast.metrics import expected_access_time, expected_tuning_time
+from repro.broadcast.pointers import compile_program
+from repro.client.simulator import exact_averages, simulate_workload
+from repro.core.optimal import solve
+from repro.tree.alphabetic import optimal_alphabetic_tree
+from repro.tree.builders import balanced_tree
+from repro.tree.huffman import huffman_tree
+from repro.workloads.catalogs import stock_catalog
+
+from conftest import write_artifact
+
+
+def _trees():
+    rng = np.random.default_rng(13)
+    items = stock_catalog(rng, count=16, theta=1.2)
+    labels = [i.label for i in items]
+    weights = [i.weight for i in items]
+    return {
+        # All binary, so the skew comparison is fanout-for-fanout fair.
+        "alphabetic": optimal_alphabetic_tree(labels, weights, fanout=2),
+        "balanced": balanced_tree(2, depth=5, weights=weights),
+        "huffman": huffman_tree(labels, weights, fanout=2),
+    }
+
+
+@pytest.mark.parametrize("structure", ["alphabetic", "balanced", "huffman"])
+def test_simulated_workload_per_structure(benchmark, structure):
+    tree = _trees()[structure]
+    program = compile_program(solve(tree, channels=2).schedule)
+    rng = np.random.default_rng(5)
+    summary = benchmark(simulate_workload, program, rng, 300)
+    assert summary.requests == 300
+
+
+def test_pointer_compilation(benchmark):
+    schedule = solve(_trees()["alphabetic"], channels=2).schedule
+    program = benchmark(compile_program, schedule)
+    assert program.cycle_length == schedule.cycle_length
+
+
+def test_regenerate_client_artifact(benchmark, artifact_dir):
+    def run_once():
+        rows = []
+        tuning = {}
+        for name, tree in _trees().items():
+            schedule = solve(tree, channels=2).schedule
+            program = compile_program(schedule)
+            summary = exact_averages(program)
+            assert summary.mean_access_time == pytest.approx(
+                expected_access_time(schedule)
+            )
+            tuning[name] = summary.mean_tuning_time
+            rows.append(
+                [
+                    name,
+                    summary.mean_access_time,
+                    summary.mean_tuning_time,
+                    summary.mean_channel_switches,
+                ]
+            )
+        # Skew-aware structures beat the balanced tree on tuning time.
+        assert tuning["huffman"] <= tuning["balanced"] + 1e-9
+        assert tuning["alphabetic"] <= tuning["balanced"] + 1e-9
+        text = format_table(
+            ["index structure", "access time", "tuning time", "switches"],
+            rows,
+            title="A5: client-measured costs by index structure (2 channels, optimal allocation)",
+        )
+        write_artifact(artifact_dir, "client", text)
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)

@@ -1,0 +1,168 @@
+"""Benches A6–A8: the §5 future-work extensions.
+
+* A6 — root replication: the probe/data trade-off sweep and its
+  access-optimal factor (``benchmarks/out/replication.txt``);
+* A7 — DAG dependencies: exact vs weight-density greedy on random DAGs
+  (``benchmarks/out/dag.txt``);
+* A8 — online adaptation under drift: static vs adaptive vs oracle
+  (``benchmarks/out/adaptive.txt``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.extensions.dag import (
+    DagAllocationProblem,
+    dag_order_cost,
+    greedy_dag_order,
+    solve_dag,
+)
+from repro.extensions.replication import replicate_root, replication_tradeoff
+from repro.online.adaptive import simulate_drift
+from repro.tree.builders import balanced_tree
+from repro.workloads.weights import zipf_weights
+
+from conftest import write_artifact
+
+
+def _random_dag(rng, count=14, density=0.25, channels=2):
+    keys = [f"n{i}" for i in range(count)]
+    weights = {k: float(rng.integers(1, 50)) for k in keys}
+    edges = [
+        (keys[i], keys[j])
+        for i in range(count)
+        for j in range(i + 1, count)
+        if rng.random() < density
+    ]
+    return DagAllocationProblem(weights, edges, channels=channels)
+
+
+# ---------------------------------------------------------------------------
+# A6: replication
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("copies", [1, 2, 4])
+def test_replicated_layout_construction(benchmark, rng, copies):
+    tree = balanced_tree(3, depth=3, weights=zipf_weights(rng, 9))
+    program = benchmark(replicate_root, tree, copies)
+    assert len(program.root_slots) == copies
+
+
+def test_regenerate_replication_artifact(benchmark, artifact_dir):
+    def run_once():
+        rng = np.random.default_rng(2000)
+        tree = balanced_tree(3, depth=3, weights=zipf_weights(rng, 9))
+        points = replication_tradeoff(tree, factors=(1, 2, 3, 4, 6, 8))
+        probes = [p.probe_wait for p in points]
+        waits = [p.data_wait for p in points]
+        assert probes == sorted(probes, reverse=True)
+        assert waits == sorted(waits)
+        rows = [
+            [p.copies, p.cycle_length, p.data_wait, p.probe_wait, p.access_time]
+            for p in points
+        ]
+        text = format_table(
+            ["copies", "cycle", "data wait", "probe wait", "access time"],
+            rows,
+            title="A6: root-replication trade-off (balanced 3-ary tree, Zipf weights)",
+            precision=3,
+        )
+        write_artifact(artifact_dir, "replication", text)
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# A7: DAG dependencies
+# ---------------------------------------------------------------------------
+
+def test_dag_exact_search(benchmark):
+    problem = _random_dag(np.random.default_rng(4), count=12)
+    result = benchmark(solve_dag, problem)
+    assert result.cost > 0
+
+
+def test_dag_greedy_heuristic(benchmark):
+    problem = _random_dag(np.random.default_rng(4), count=60)
+    groups = benchmark(greedy_dag_order, problem)
+    assert sum(len(g) for g in groups) == 60
+
+
+def test_regenerate_dag_artifact(benchmark, artifact_dir):
+    def run_once():
+        rows = []
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            problem = _random_dag(rng, count=11)
+            exact = solve_dag(problem)
+            greedy_cost = dag_order_cost(problem, greedy_dag_order(problem))
+            assert greedy_cost >= exact.cost - 1e-9
+            rows.append(
+                [
+                    seed,
+                    exact.cost,
+                    greedy_cost,
+                    100.0 * (greedy_cost / exact.cost - 1.0),
+                ]
+            )
+        mean_gap = sum(row[3] for row in rows) / len(rows)
+        assert mean_gap < 15.0  # the density rule stays near-exact
+        text = format_table(
+            ["dag seed", "exact wait", "greedy wait", "gap %"],
+            rows,
+            title="A7: exact vs weight-density greedy on random DAGs "
+            "(11 nodes, 2 channels)",
+            precision=3,
+        )
+        write_artifact(artifact_dir, "dag", text)
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# A8: online adaptation
+# ---------------------------------------------------------------------------
+
+def test_adaptive_epoch_throughput(benchmark):
+    def one_run():
+        return simulate_drift(
+            np.random.default_rng(9),
+            catalog_size=10,
+            epochs=3,
+            requests_per_epoch=500,
+        )
+
+    reports = benchmark.pedantic(one_run, rounds=3, iterations=1)
+    assert len(reports) == 3
+
+
+def test_regenerate_adaptive_artifact(benchmark, artifact_dir):
+    def run_once():
+        reports = simulate_drift(
+            np.random.default_rng(2000),
+            catalog_size=12,
+            epochs=8,
+            requests_per_epoch=1500,
+            shift_every=2,
+        )
+        post = [r for r in reports if r.epoch >= 2]
+        mean_static = np.mean([r.static_wait for r in post])
+        mean_adaptive = np.mean([r.adaptive_wait for r in post])
+        assert mean_adaptive < mean_static  # adaptation pays after drift
+        rows = [
+            [r.epoch, r.static_wait, r.adaptive_wait, r.oracle_wait]
+            for r in reports
+        ]
+        text = format_table(
+            ["epoch", "static", "adaptive", "oracle"],
+            rows,
+            title="A8: true data wait under drifting popularity "
+            "(shift every 2 epochs)",
+            precision=3,
+        )
+        write_artifact(artifact_dir, "adaptive", text)
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)

@@ -1,0 +1,57 @@
+"""Bench: Fig. 14 — Index Tree Sorting vs Optimal (§4.2).
+
+Times the two methods on the paper's workload (full balanced 4-ary tree,
+depth 3, weights ~ N(100, sigma), one channel) and regenerates the
+figure's series into ``benchmarks/out/fig14.txt``. The published shape —
+Sorting tracks Optimal with a gap that widens as sigma grows — is
+asserted on the regenerated numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.fig14 import format_fig14, run_fig14
+from repro.core.optimal import solve
+from repro.heuristics.sorting import sorting_broadcast
+from repro.tree.builders import balanced_tree
+from repro.workloads.weights import normal_weights
+
+from conftest import write_artifact
+
+SIGMAS = [10.0, 20.0, 30.0, 40.0]
+
+
+def _tree(rng, sigma):
+    weights = normal_weights(rng, 16, mean=100.0, sigma=sigma)
+    return balanced_tree(4, depth=3, weights=weights)
+
+
+@pytest.mark.parametrize("sigma", SIGMAS)
+def test_optimal_search_per_sigma(benchmark, rng, sigma):
+    tree = _tree(rng, sigma)
+    result = benchmark(solve, tree, 1)
+    assert 9.0 < result.cost < 13.0  # the figure's y-range neighbourhood
+
+
+@pytest.mark.parametrize("sigma", SIGMAS)
+def test_sorting_heuristic_per_sigma(benchmark, rng, sigma):
+    tree = _tree(rng, sigma)
+    schedule = benchmark(sorting_broadcast, tree)
+    assert schedule.data_wait() >= solve(tree, channels=1).cost - 1e-9
+
+
+def test_regenerate_fig14_artifact(benchmark, artifact_dir):
+    def run_once():
+        report = run_fig14(trials=30, seed=2000)
+        text = format_fig14(report)
+        write_artifact(artifact_dir, "fig14", text)
+        # Shape assertions on the regenerated series:
+        for point in report.points:
+            assert point.sorting_wait >= point.optimal_wait - 1e-9
+        # Near-uniform weights -> near-zero gap (the paper's observation).
+        assert report.points[0].gap_percent < 1.0
+        # The gap widens with the variance.
+        assert report.points[-1].gap_percent > report.points[0].gap_percent
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)

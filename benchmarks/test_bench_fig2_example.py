@@ -1,0 +1,57 @@
+"""Bench: the Fig. 2 worked example (§2.2).
+
+Regenerates the paper's 6.01 / 3.88 example data waits together with the
+true optima our solver finds for the same tree, and times the optimal
+solve on 1..3 channels. Artifact: ``benchmarks/out/fig2_example.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.broadcast.schedule import BroadcastSchedule
+from repro.core.optimal import solve
+from repro.tree.builders import paper_example_tree
+
+from conftest import write_artifact
+
+
+@pytest.mark.parametrize("channels", [1, 2, 3])
+def test_optimal_solve_fig1_tree(benchmark, channels):
+    tree = paper_example_tree()
+    result = benchmark(solve, tree, channels)
+    expected = {1: 391 / 70, 2: 264 / 70, 3: 242 / 70}[channels]
+    assert result.cost == pytest.approx(expected)
+
+
+def test_regenerate_fig2_artifact(benchmark, artifact_dir):
+    def run_once():
+        tree = paper_example_tree()
+        fig2a = BroadcastSchedule.from_sequence(
+            tree, [tree.find(l) for l in "13E4CD2AB"]
+        )
+        placement = {}
+        for slot, label in enumerate("12A4C", start=1):
+            placement[tree.find(label)] = (1, slot)
+        for slot, label in [(2, "3"), (3, "B"), (4, "E"), (5, "D")]:
+            placement[tree.find(label)] = (2, slot)
+        fig2b = BroadcastSchedule(tree, placement, channels=2)
+
+        rows = [
+            ["Fig. 2(a) example", 1, fig2a.data_wait()],
+            ["optimal", 1, solve(tree, channels=1).cost],
+            ["Fig. 2(b) example", 2, fig2b.data_wait()],
+            ["optimal", 2, solve(tree, channels=2).cost],
+        ]
+        text = format_table(
+            ["allocation", "channels", "data wait"],
+            rows,
+            title="Fig. 2 worked example vs the computed optimum",
+            precision=4,
+        )
+        write_artifact(artifact_dir, "fig2_example", text)
+        assert fig2a.data_wait() == pytest.approx(6.0142857, abs=1e-6)
+        assert fig2b.data_wait() == pytest.approx(3.8857142, abs=1e-6)
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)

@@ -1,0 +1,105 @@
+"""Ablation A4: heuristic quality and speed vs the exact optimum.
+
+Times Sorting, both Shrinking variants and the exact solver on matched
+trees, and regenerates the quality table over skewed and normal
+workloads (``benchmarks/out/heuristics.txt``). Also demonstrates the
+heuristics' reason to exist: a catalog far beyond exact-search reach
+allocated in milliseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparisons import compare_methods, format_method_comparison
+from repro.core.optimal import solve
+from repro.heuristics.channel_allocation import sorting_schedule
+from repro.heuristics.shrinking import combine_and_solve, partition_and_solve
+from repro.tree.builders import random_tree
+from repro.workloads.weights import zipf_weights
+
+from conftest import write_artifact
+
+
+def _tree(data_count=12, seed=4):
+    rng = np.random.default_rng(seed)
+    tree = random_tree(rng, data_count, max_fanout=4)
+    for leaf, weight in zip(
+        tree.data_nodes(), zipf_weights(rng, data_count)
+    ):
+        leaf.weight = weight
+    return tree
+
+
+def test_exact_solver_small(benchmark):
+    tree = _tree()
+    result = benchmark(solve, tree, 1)
+    assert result.cost > 0
+
+
+def test_sorting_heuristic_small(benchmark):
+    tree = _tree()
+    schedule = benchmark(sorting_schedule, tree, 1)
+    assert schedule.data_wait() >= solve(tree, channels=1).cost - 1e-9
+
+
+@pytest.mark.parametrize("strategy", ["combine", "partition"])
+def test_shrinking_heuristics_small(benchmark, strategy):
+    tree = _tree()
+    runner = combine_and_solve if strategy == "combine" else partition_and_solve
+    schedule = benchmark(runner, tree, 8)
+    assert schedule.data_wait() >= solve(tree, channels=1).cost - 1e-9
+
+
+def test_sorting_scales_to_large_catalogs(benchmark):
+    tree = _tree(data_count=400, seed=9)
+    schedule = benchmark(sorting_schedule, tree, 4)
+    schedule.validate()
+
+
+def test_partition_scales_to_large_catalogs(benchmark):
+    tree = _tree(data_count=150, seed=9)
+    schedule = benchmark(partition_and_solve, tree, 10)
+    schedule.validate()
+
+
+def test_regenerate_heuristics_artifact(benchmark, artifact_dir):
+    def run_once():
+        rng = np.random.default_rng(2000)
+        results = [
+            compare_methods(rng, workload, data_count=12, trials=15)
+            for workload in ("zipf", "normal")
+        ]
+        for result in results:
+            assert result.optimal <= result.sorting + 1e-9
+            assert result.optimal <= result.combine + 1e-9
+            assert result.optimal <= result.partition + 1e-9
+        write_artifact(
+            artifact_dir, "heuristics", format_method_comparison(results)
+        )
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)
+
+
+def test_regenerate_intro_comparison_artifact(benchmark, artifact_dir):
+    """A10: the §1 two-camps table — replication vs indexing."""
+
+    def run_once():
+        from repro.analysis.comparisons import (
+            format_intro_comparison,
+            intro_comparison,
+        )
+
+        rows = intro_comparison(
+            np.random.default_rng(2000), data_count=12, theta=1.3
+        )
+        flat, disks, indexed, signatures = rows
+        assert disks.expected_wait < flat.expected_wait  # replication wins waits
+        assert indexed.expected_tuning < indexed.expected_wait  # index wins doze
+        assert signatures.expected_wait > indexed.expected_wait  # sig frames cost airtime
+        write_artifact(
+            artifact_dir, "intro_comparison", format_intro_comparison(rows)
+        )
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)

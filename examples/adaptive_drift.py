@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Adapting the broadcast to drifting popularity (§5, future work).
+
+The paper's offline solver assumes access frequencies are known and
+stable. This example runs the §5 extension: a broadcast server that
+estimates popularity from the live request stream (exponentially
+decayed counters) and re-plans the index tree and allocation at each
+epoch boundary, while "what's hot" keeps changing underneath it.
+
+Also demonstrates root replication (§5, future work 2): the probe-wait
+vs data-wait trade-off and the access-time-optimal replication factor.
+
+Run:  python examples/adaptive_drift.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.extensions.replication import replication_tradeoff
+from repro.online.adaptive import simulate_drift
+from repro.tree.builders import paper_example_tree
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Part 1: online adaptation under drift.
+    # ------------------------------------------------------------------
+    print("Drifting Zipf popularity over a 12-item catalog; the hot set")
+    print("is re-drawn every 2 epochs. True average data wait per epoch:\n")
+    reports = simulate_drift(
+        np.random.default_rng(2000),
+        catalog_size=12,
+        epochs=8,
+        requests_per_epoch=1500,
+        shift_every=2,
+    )
+    rows = [
+        [
+            r.epoch,
+            r.static_wait,
+            r.adaptive_wait,
+            r.oracle_wait,
+            f"{100 * r.adaptivity_gain:.0f}%",
+        ]
+        for r in reports
+    ]
+    print(
+        format_table(
+            ["epoch", "static plan", "adaptive", "oracle", "regret recovered"],
+            rows,
+            title="Static vs adaptive vs oracle (data wait in slots)",
+            precision=3,
+        )
+    )
+    post = [r for r in reports if r.epoch >= 2]
+    static = float(np.mean([r.static_wait for r in post]))
+    adaptive = float(np.mean([r.adaptive_wait for r in post]))
+    print(
+        f"\nAfter the first shift the static plan averages {static:.2f} "
+        f"slots; re-planning brings that to {adaptive:.2f}."
+    )
+
+    # ------------------------------------------------------------------
+    # Part 2: root replication trade-off on the running example.
+    # ------------------------------------------------------------------
+    tree = paper_example_tree()
+    points = replication_tradeoff(tree, factors=(1, 2, 3, 4, 6))
+    rows = [
+        [p.copies, p.cycle_length, p.data_wait, p.probe_wait, p.access_time]
+        for p in points
+    ]
+    print()
+    print(
+        format_table(
+            ["root copies", "cycle", "data wait", "probe wait", "access time"],
+            rows,
+            title="Root replication on the Fig. 1 tree (1 channel)",
+            precision=3,
+        )
+    )
+    best = min(points, key=lambda p: p.access_time)
+    print(
+        f"\nAccess time bottoms out at {best.copies} root copies "
+        f"({best.access_time:.2f} slots): replication buys probe time "
+        "until the longer cycle eats the gain - exactly the §5 trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""A mobile client's eye view of the broadcast.
+
+Walks single requests through the compiled broadcast bucket by bucket —
+tune in, catch the next-cycle pointer, doze, read the root, follow
+(channel, offset) pointers, download — and then validates the analytic
+model by exhaustively averaging every (tune slot, target) combination.
+
+Run:  python examples/client_simulation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import compile_program, paper_example_tree, solve
+from repro.analysis.reporting import format_table
+from repro.broadcast.metrics import (
+    expected_access_time,
+    expected_channel_switches,
+    expected_tuning_time,
+)
+from repro.client.protocol import run_request
+from repro.client.simulator import exact_averages, simulate_workload
+
+
+def main() -> None:
+    tree = paper_example_tree()
+    result = solve(tree, channels=2)
+    program = compile_program(result.schedule)
+
+    print("Broadcast program (2 channels, optimal allocation):")
+    print(result.schedule.to_ascii())
+    print(f"cycle length = {program.cycle_length} slots\n")
+
+    # ------------------------------------------------------------------
+    # One request, narrated.
+    # ------------------------------------------------------------------
+    target = tree.find("C")
+    tune_slot = 3
+    record = run_request(program, target, tune_slot)
+    print(
+        f"A client tunes in at slot {tune_slot} of channel 1 wanting "
+        f"item {record.target!r}:"
+    )
+    print(f"  probe wait      = {record.probe_wait} slots "
+          "(finish the cycle, read the root)")
+    print(f"  data wait       = {record.data_wait} slots into the next cycle")
+    print(f"  access time     = {record.access_time} slots door to door")
+    print(f"  tuning time     = {record.tuning_time} buckets actually read "
+          "(the rest is doze mode)")
+    print(f"  channel switches= {record.channel_switches}\n")
+
+    # ------------------------------------------------------------------
+    # Every (slot, item) combination vs the analytic formulas.
+    # ------------------------------------------------------------------
+    exact = exact_averages(program)
+    rows = [
+        [
+            "access time",
+            exact.mean_access_time,
+            expected_access_time(result.schedule),
+        ],
+        ["data wait", exact.mean_data_wait, result.cost],
+        [
+            "tuning time",
+            exact.mean_tuning_time,
+            expected_tuning_time(result.schedule),
+        ],
+        [
+            "channel switches",
+            exact.mean_channel_switches,
+            expected_channel_switches(result.schedule),
+        ],
+    ]
+    print(
+        format_table(
+            ["metric", "measured (exhaustive walk)", "analytic model"],
+            rows,
+            title="Pointer-level execution vs the §2 analytic model",
+            precision=4,
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # A Monte-Carlo client population for flavour.
+    # ------------------------------------------------------------------
+    summary = simulate_workload(program, np.random.default_rng(1), requests=5000)
+    print(
+        f"\n5000 random requests: access {summary.mean_access_time:.2f}, "
+        f"tuning {summary.mean_tuning_time:.2f}, "
+        f"switches {summary.mean_channel_switches:.2f}"
+    )
+    doze_fraction = 1 - summary.mean_tuning_time / summary.mean_access_time
+    print(
+        f"The receiver dozes through {100 * doze_fraction:.0f}% of each "
+        "request - the §1 energy argument for indexing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Broadcasting composite objects: DAG dependencies (§5 / [CHK99]).
+
+Not all broadcast content is tree-shaped. Think of hypermedia pages in
+a kiosk broadcast: a page is useful only after the stylesheet and the
+media fragments it embeds have been received, and fragments are shared
+*across* pages — a dependency DAG, not a tree. The paper's final
+future-work item points at exactly this ([CHK99] handles one channel
+with heuristic rules); the ``repro.extensions.dag`` module generalises
+the paper's machinery to it.
+
+This example builds a small hypermedia catalog, airs it on two
+channels, and compares the exact DAG optimum with the weight-density
+greedy heuristic.
+
+Run:  python examples/composite_objects.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.extensions.dag import (
+    DagAllocationProblem,
+    dag_order_cost,
+    greedy_dag_order,
+    solve_dag,
+)
+
+
+def build_catalog() -> DagAllocationProblem:
+    """A kiosk site: shared assets feeding pages of varying popularity."""
+    weights = {
+        "style.css": 0.0,        # structural: needed, never requested alone
+        "logo.png": 0.0,
+        "map.svg": 0.0,
+        "home.html": 90.0,
+        "news.html": 60.0,
+        "events.html": 25.0,
+        "directions.html": 40.0,
+        "contact.html": 10.0,
+    }
+    edges = [
+        # Every page needs the stylesheet and the logo first.
+        *[("style.css", page) for page in weights if page.endswith(".html")],
+        *[("logo.png", page) for page in weights if page.endswith(".html")],
+        # The map fragment is shared by two pages.
+        ("map.svg", "directions.html"),
+        ("map.svg", "events.html"),
+    ]
+    return DagAllocationProblem(weights, edges, channels=2)
+
+
+def main() -> None:
+    problem = build_catalog()
+    print(
+        f"Catalog: {len(problem)} objects, "
+        f"{problem.graph.number_of_edges()} dependency edges, 2 channels.\n"
+    )
+
+    exact = solve_dag(problem)
+    greedy_groups = greedy_dag_order(problem)
+    greedy_cost = dag_order_cost(problem, greedy_groups)
+
+    def render(groups):
+        return " | ".join(
+            " + ".join(str(key) for key in group) for group in groups
+        )
+
+    rows = [
+        ["exact (best-first)", exact.cost, exact.nodes_expanded],
+        ["weight-density greedy", greedy_cost, 0],
+    ]
+    print(
+        format_table(
+            ["method", "weighted wait", "states expanded"],
+            rows,
+            title="DAG allocation of the kiosk catalog",
+            precision=4,
+        )
+    )
+    print("\nexact broadcast :", render(exact.groups))
+    print("greedy broadcast:", render(greedy_groups))
+    gap = 100.0 * (greedy_cost / exact.cost - 1.0)
+    print(f"\nGreedy lands {gap:.1f}% above the optimum on this catalog.")
+    print(
+        "Note how the shared assets air early (they gate everything) and"
+        "\nthe most requested page follows immediately - the same"
+        "\nper-unit-airtime logic as the paper's §4.2 comparator."
+    )
+
+
+if __name__ == "__main__":
+    main()

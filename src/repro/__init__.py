@@ -1,0 +1,100 @@
+"""broadcast-alloc: optimal index and data allocation in multiple broadcast channels.
+
+A complete reproduction of Lo & Chen, *Optimal Index and Data Allocation
+in Multiple Broadcast Channels* (ICDE 2000): the optimal topological-tree
+search with its pruning properties, the single-channel data tree, the
+Index Tree Shrinking and Index Tree Sorting heuristics, the broadcast
+substrate with (channel, offset) pointers, and a mobile-client simulator.
+
+Quickstart::
+
+    from repro import paper_example_tree, solve
+
+    tree = paper_example_tree()
+    result = solve(tree, channels=2)
+    print(result.cost)                      # 3.8857...
+    print(result.schedule.to_ascii())
+"""
+
+from .broadcast import (
+    BroadcastProgram,
+    BroadcastSchedule,
+    assemble_schedule,
+    compile_program,
+    data_wait,
+    data_wait_of_order,
+    expected_access_time,
+    expected_probe_wait,
+    expected_tuning_time,
+)
+from .core import (
+    AllocationProblem,
+    DataTreeConfig,
+    OptimalResult,
+    PruningConfig,
+    solve,
+    solve_single_channel,
+)
+from .exceptions import (
+    InfeasibleError,
+    ReproError,
+    ScheduleError,
+    SearchBudgetExceeded,
+    TreeError,
+)
+from .tree import (
+    DataNode,
+    IndexNode,
+    IndexTree,
+    Node,
+    balanced_tree,
+    chain_tree,
+    from_spec,
+    hu_tucker_tree,
+    huffman_tree,
+    optimal_alphabetic_tree,
+    paper_example_tree,
+    random_tree,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # tree
+    "Node",
+    "IndexNode",
+    "DataNode",
+    "IndexTree",
+    "paper_example_tree",
+    "balanced_tree",
+    "chain_tree",
+    "random_tree",
+    "from_spec",
+    "hu_tucker_tree",
+    "optimal_alphabetic_tree",
+    "huffman_tree",
+    # broadcast
+    "BroadcastSchedule",
+    "BroadcastProgram",
+    "assemble_schedule",
+    "compile_program",
+    "data_wait",
+    "data_wait_of_order",
+    "expected_probe_wait",
+    "expected_access_time",
+    "expected_tuning_time",
+    # core
+    "AllocationProblem",
+    "PruningConfig",
+    "DataTreeConfig",
+    "OptimalResult",
+    "solve",
+    "solve_single_channel",
+    # errors
+    "ReproError",
+    "TreeError",
+    "ScheduleError",
+    "InfeasibleError",
+    "SearchBudgetExceeded",
+]

@@ -1,0 +1,52 @@
+"""Experiment runners that regenerate the paper's table and figure, plus
+the ablation sweeps committed to in DESIGN.md."""
+
+from .comparisons import (
+    ChannelScalingPoint,
+    MethodComparison,
+    PruningAblationRow,
+    channel_scaling,
+    compare_methods,
+    format_channel_scaling,
+    format_method_comparison,
+    format_pruning_ablation,
+    pruning_ablation,
+)
+from .fig14 import Fig14Point, Fig14Report, format_fig14, run_fig14
+from .reporting import format_number, format_table
+from .sensitivity import (
+    FanoutPoint,
+    SkewPoint,
+    fanout_sensitivity,
+    format_fanout_sensitivity,
+    format_skew_sensitivity,
+    skew_sensitivity,
+)
+from .table1 import Table1Report, format_table1, run_table1
+
+__all__ = [
+    "format_table",
+    "format_number",
+    "Table1Report",
+    "run_table1",
+    "format_table1",
+    "Fig14Point",
+    "Fig14Report",
+    "run_fig14",
+    "format_fig14",
+    "MethodComparison",
+    "compare_methods",
+    "format_method_comparison",
+    "ChannelScalingPoint",
+    "channel_scaling",
+    "format_channel_scaling",
+    "PruningAblationRow",
+    "pruning_ablation",
+    "format_pruning_ablation",
+    "FanoutPoint",
+    "fanout_sensitivity",
+    "format_fanout_sensitivity",
+    "SkewPoint",
+    "skew_sensitivity",
+    "format_skew_sensitivity",
+]

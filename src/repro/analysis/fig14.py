@@ -1,0 +1,102 @@
+"""Experiment runner for Fig. 14 — Index Tree Sorting vs Optimal (§4.2).
+
+The paper's setup: a full balanced 4-ary tree of depth 3 (16 data
+nodes), data weights drawn from ``N(µ = 100, σ)``, single broadcast
+channel; the average data wait of the Sorting heuristic is plotted
+against the exact optimum for σ ∈ {10, 20, 30, 40}. The headline shape:
+Sorting tracks Optimal closely, with the gap opening slowly as the
+variance (skew) grows.
+
+We average over many independent weight draws per σ (the paper does not
+state its trial count; 30 keeps the run under a minute and the series
+smooth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.optimal import solve
+from ..heuristics.sorting import sorting_broadcast
+from ..tree.builders import balanced_tree
+from ..workloads.weights import normal_weights
+from .reporting import format_table
+
+__all__ = ["Fig14Point", "Fig14Report", "run_fig14", "format_fig14"]
+
+
+@dataclass
+class Fig14Point:
+    """One σ sample of the Fig. 14 series (means over the trials)."""
+
+    sigma: float
+    optimal_wait: float
+    sorting_wait: float
+
+    @property
+    def gap_percent(self) -> float:
+        """How far Sorting sits above Optimal, in percent."""
+        if self.optimal_wait == 0:
+            return 0.0
+        return 100.0 * (self.sorting_wait / self.optimal_wait - 1.0)
+
+
+@dataclass
+class Fig14Report:
+    points: list[Fig14Point]
+    fanout: int
+    mean: float
+    trials: int
+    seed: int
+
+
+def run_fig14(
+    sigmas: tuple[float, ...] = (10.0, 20.0, 30.0, 40.0),
+    mean: float = 100.0,
+    fanout: int = 4,
+    depth: int = 3,
+    trials: int = 30,
+    seed: int = 2000,
+) -> Fig14Report:
+    """Reproduce the Fig. 14 sweep."""
+    rng = np.random.default_rng(seed)
+    leaf_count = fanout ** (depth - 1)
+    points = []
+    for sigma in sigmas:
+        optimal_sum = 0.0
+        sorting_sum = 0.0
+        for _ in range(trials):
+            weights = normal_weights(rng, leaf_count, mean=mean, sigma=sigma)
+            tree = balanced_tree(fanout, depth=depth, weights=weights)
+            optimal_sum += solve(tree, channels=1).cost
+            sorting_sum += sorting_broadcast(tree).data_wait()
+        points.append(
+            Fig14Point(
+                sigma=sigma,
+                optimal_wait=optimal_sum / trials,
+                sorting_wait=sorting_sum / trials,
+            )
+        )
+    return Fig14Report(
+        points=points, fanout=fanout, mean=mean, trials=trials, seed=seed
+    )
+
+
+def format_fig14(report: Fig14Report) -> str:
+    headers = ["sigma", "Optimal wait", "Sorting wait", "gap %"]
+    rows = [
+        [p.sigma, p.optimal_wait, p.sorting_wait, p.gap_percent]
+        for p in report.points
+    ]
+    return format_table(
+        headers,
+        rows,
+        title=(
+            f"Fig. 14 - Sorting vs Optimal data wait "
+            f"(mu={report.mean:g}, m={report.fanout}, "
+            f"{report.trials} trials/point, seed={report.seed})"
+        ),
+        precision=3,
+    )

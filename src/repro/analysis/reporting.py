@@ -1,0 +1,56 @@
+"""Plain-text table rendering for experiment output.
+
+Benches and the CLI print their results through :func:`format_table` so
+every harness reports in the same aligned, diff-friendly format.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_number"]
+
+
+def format_number(value: object, precision: int = 2) -> str:
+    """Human-friendly cell content: ints verbatim, floats rounded,
+    huge ints in scientific notation, ``None`` as N/A."""
+    if value is None:
+        return "N/A"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        if abs(value) >= 10**12:
+            return f"{float(value):.2e}"
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    rendered = [
+        [format_number(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for position, cell in enumerate(row):
+            widths[position] = max(widths[position], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(
+            cell.rjust(width) for cell, width in zip(cells, widths)
+        )
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * width for width in widths))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)

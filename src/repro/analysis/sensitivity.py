@@ -1,0 +1,195 @@
+"""Sensitivity sweeps over the system's design knobs.
+
+Two questions the paper's system leaves to the deployer, answered
+empirically here:
+
+* **Fanout** (:func:`fanout_sensitivity`): [SV96] sizes the index-tree
+  fanout to the wireless packet; a wider fanout shortens root paths
+  (fewer index probes → lower tuning time) but coarsens the skew the
+  tree can express and demands bigger buckets. The sweep reports, per
+  fanout: bucket bytes needed, data wait of the optimal/heuristic
+  allocation, expected access and tuning time.
+* **Skew** (:func:`skew_sensitivity`): how the optimal data wait, the
+  heuristic gap and the value of indexing change as Zipf skew grows —
+  the broadcast-disk regime ([Ach95]) the paper's motivation lives in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.flat import flat_broadcast_wait
+from ..broadcast.metrics import expected_access_time, expected_tuning_time
+from ..core.optimal import solve
+from ..exceptions import SearchBudgetExceeded
+from ..heuristics.channel_allocation import sorting_schedule
+from ..io.wire import index_bucket_size
+from ..tree.alphabetic import optimal_alphabetic_tree
+from ..workloads.catalogs import CatalogItem
+from ..workloads.weights import zipf_weights
+from .reporting import format_table
+
+__all__ = [
+    "FanoutPoint",
+    "fanout_sensitivity",
+    "format_fanout_sensitivity",
+    "SkewPoint",
+    "skew_sensitivity",
+    "format_skew_sensitivity",
+]
+
+_EXACT_BUDGET = 300_000
+
+
+@dataclass
+class FanoutPoint:
+    fanout: int
+    bucket_bytes: int
+    tree_depth: int
+    data_wait: float
+    access_time: float
+    tuning_time: float
+    exact: bool
+
+
+def _allocate(tree, channels: int):
+    """Exact when affordable, sorting heuristic otherwise."""
+    try:
+        return solve(tree, channels=channels, budget=_EXACT_BUDGET).schedule, True
+    except SearchBudgetExceeded:
+        return sorting_schedule(tree, channels), False
+
+
+def fanout_sensitivity(
+    items: list[CatalogItem],
+    fanouts: tuple[int, ...] = (2, 3, 4, 6, 8),
+    channels: int = 1,
+) -> list[FanoutPoint]:
+    """Sweep the alphabetic-tree fanout over a fixed catalog."""
+    labels = [item.label for item in items]
+    weights = [item.weight for item in items]
+    keys = [item.key for item in items]
+    points = []
+    for fanout in fanouts:
+        tree = optimal_alphabetic_tree(labels, weights, fanout=fanout, keys=keys)
+        schedule, exact = _allocate(tree, channels)
+        points.append(
+            FanoutPoint(
+                fanout=fanout,
+                bucket_bytes=index_bucket_size(fanout),
+                tree_depth=tree.depth(),
+                data_wait=schedule.data_wait(),
+                access_time=expected_access_time(schedule),
+                tuning_time=expected_tuning_time(schedule),
+                exact=exact,
+            )
+        )
+    return points
+
+
+def format_fanout_sensitivity(points: list[FanoutPoint]) -> str:
+    rows = [
+        [
+            p.fanout,
+            p.bucket_bytes,
+            p.tree_depth,
+            p.data_wait,
+            p.access_time,
+            p.tuning_time,
+            "exact" if p.exact else "heuristic",
+        ]
+        for p in points
+    ]
+    return format_table(
+        [
+            "fanout",
+            "bucket bytes",
+            "depth",
+            "data wait",
+            "access",
+            "tuning",
+            "solver",
+        ],
+        rows,
+        title="Fanout sensitivity: packet size vs tuning vs wait",
+    )
+
+
+@dataclass
+class SkewPoint:
+    theta: float
+    optimal_wait: float
+    sorting_wait: float
+    flat_wait: float
+
+    @property
+    def heuristic_gap_percent(self) -> float:
+        if self.optimal_wait == 0:
+            return 0.0
+        return 100.0 * (self.sorting_wait / self.optimal_wait - 1.0)
+
+    @property
+    def index_overhead_percent(self) -> float:
+        """Extra wait the index costs over the raw data floor."""
+        if self.flat_wait == 0:
+            return 0.0
+        return 100.0 * (self.optimal_wait / self.flat_wait - 1.0)
+
+
+def skew_sensitivity(
+    rng: np.random.Generator,
+    thetas: tuple[float, ...] = (0.0, 0.5, 0.95, 1.3, 1.8),
+    data_count: int = 12,
+    trials: int = 10,
+    fanout: int = 3,
+) -> list[SkewPoint]:
+    """Sweep Zipf skew over alphabetic trees of a fixed catalog size."""
+    from ..tree.builders import data_labels
+
+    labels = data_labels(data_count)
+    points = []
+    for theta in thetas:
+        optimal_sum = sorting_sum = flat_sum = 0.0
+        for _ in range(trials):
+            weights = zipf_weights(rng, data_count, theta=theta)
+            tree = optimal_alphabetic_tree(labels, weights, fanout=fanout)
+            optimal_sum += solve(tree, channels=1).cost
+            sorting_sum += sorting_schedule(tree, 1).data_wait()
+            flat_sum += flat_broadcast_wait(tree)
+        points.append(
+            SkewPoint(
+                theta=theta,
+                optimal_wait=optimal_sum / trials,
+                sorting_wait=sorting_sum / trials,
+                flat_wait=flat_sum / trials,
+            )
+        )
+    return points
+
+
+def format_skew_sensitivity(points: list[SkewPoint]) -> str:
+    rows = [
+        [
+            p.theta,
+            p.optimal_wait,
+            p.sorting_wait,
+            p.heuristic_gap_percent,
+            p.flat_wait,
+            p.index_overhead_percent,
+        ]
+        for p in points
+    ]
+    return format_table(
+        [
+            "zipf theta",
+            "optimal",
+            "sorting",
+            "gap %",
+            "flat floor",
+            "index overhead %",
+        ],
+        rows,
+        title="Skew sensitivity (1 channel, alphabetic index)",
+    )

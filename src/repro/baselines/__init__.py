@@ -1,0 +1,38 @@
+"""Comparison baselines: the [SV96] level-per-channel layout (§1.1), the
+[Ach95] Broadcast Disks frequency-replication scheduler, the index-free
+broadcast floor, and exhaustive testing oracles."""
+
+from .signatures import (
+    SignatureBroadcast,
+    SignatureScheme,
+    build_signature_broadcast,
+    false_drop_probability,
+)
+from .broadcast_disks import (
+    DiskLayout,
+    broadcast_disk_cycle,
+    expected_wait_flat,
+    expected_wait_of_cycle,
+    partition_into_disks,
+)
+from .exhaustive import brute_force_single_channel, exhaustive_optimal
+from .flat import flat_broadcast_wait, flat_schedule_order
+from .level_allocation import sv96_channels_needed, sv96_level_schedule
+
+__all__ = [
+    "exhaustive_optimal",
+    "brute_force_single_channel",
+    "flat_broadcast_wait",
+    "flat_schedule_order",
+    "sv96_channels_needed",
+    "sv96_level_schedule",
+    "DiskLayout",
+    "partition_into_disks",
+    "broadcast_disk_cycle",
+    "expected_wait_of_cycle",
+    "expected_wait_flat",
+    "SignatureScheme",
+    "SignatureBroadcast",
+    "build_signature_broadcast",
+    "false_drop_probability",
+]

@@ -1,0 +1,61 @@
+"""Ground-truth exhaustive searches (testing oracles).
+
+Two independent implementations of the optimum, sharing no code with the
+pruned searches they validate:
+
+* :func:`exhaustive_optimal` enumerates every path of the *unpruned*
+  Algorithm 1 topological tree (any k) and scores each;
+* :func:`brute_force_single_channel` enumerates every permutation of the
+  data nodes with lazy index insertion — a different decomposition of
+  the same k = 1 space.
+
+Both are factorial-time; keep them to trees of a dozen-odd nodes.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from ..core.datatree import sequence_cost
+from ..core.problem import AllocationProblem
+from ..core.topological import iter_paths
+from ..tree.index_tree import IndexTree
+
+__all__ = ["exhaustive_optimal", "brute_force_single_channel"]
+
+
+def exhaustive_optimal(
+    problem: AllocationProblem,
+) -> tuple[float, list[tuple[int, ...]]]:
+    """Minimum data wait over every Algorithm 1 path, with one witness."""
+    best_cost = float("inf")
+    best_path: list[tuple[int, ...]] = []
+    for path in iter_paths(problem):
+        weighted = 0.0
+        for slot, group in enumerate(path, start=1):
+            for node_id in group:
+                if problem.is_data[node_id]:
+                    weighted += problem.weight[node_id] * slot
+        cost = weighted / problem.total_weight if problem.total_weight else 0.0
+        if cost < best_cost:
+            best_cost = cost
+            best_path = path
+    return best_cost, best_path
+
+
+def brute_force_single_channel(tree: IndexTree) -> tuple[float, list[int]]:
+    """k = 1 optimum by scoring all data permutations (lazy indexes).
+
+    Lazy index placement dominates eager placement (see
+    :mod:`repro.core.datatree`), so the minimum over permutations is the
+    global single-channel optimum. Returns (cost, data-id sequence).
+    """
+    problem = AllocationProblem(tree, channels=1)
+    best_cost = float("inf")
+    best_sequence: list[int] = []
+    for candidate in permutations(problem.data_ids):
+        cost = sequence_cost(problem, list(candidate))
+        if cost < best_cost:
+            best_cost = cost
+            best_sequence = list(candidate)
+    return best_cost, best_sequence

@@ -1,0 +1,55 @@
+"""Index-free baselines.
+
+A broadcast without an index is the floor the paper's schemes build on:
+clients cannot doze (every bucket must be heard until the target passes),
+but the data wait itself is minimal because no slots are spent on index
+buckets. Comparing against it quantifies the airtime cost of indexing,
+and the frequency-ordered variant is the natural descending-weight
+packing (Property 1 applied to an index-less tree).
+"""
+
+from __future__ import annotations
+
+from ..tree.index_tree import IndexTree
+from ..tree.node import DataNode
+
+__all__ = ["flat_broadcast_wait", "flat_schedule_order"]
+
+
+def flat_schedule_order(
+    tree: IndexTree, channels: int = 1, by_weight: bool = True
+) -> list[list[DataNode]]:
+    """Slot groups of an index-free broadcast of the tree's data nodes.
+
+    ``by_weight`` packs descending-weight, k per slot (optimal for an
+    index-less broadcast by the usual exchange argument); otherwise the
+    tree's left-to-right leaf order is used.
+    """
+    leaves = tree.data_nodes()
+    if by_weight:
+        leaves = sorted(leaves, key=lambda leaf: (-leaf.weight, leaf.label))
+    return [
+        list(leaves[start:start + channels])
+        for start in range(0, len(leaves), channels)
+    ]
+
+
+def flat_broadcast_wait(
+    tree: IndexTree, channels: int = 1, by_weight: bool = True
+) -> float:
+    """Average data wait of the index-free broadcast (formula (1)).
+
+    Computed directly — an index-free program is not a feasible schedule
+    of the index *tree* (its index nodes never air), so this bypasses
+    :class:`BroadcastSchedule` validation deliberately.
+    """
+    groups = flat_schedule_order(tree, channels, by_weight)
+    total = 0.0
+    weighted = 0.0
+    for slot, group in enumerate(groups, start=1):
+        for leaf in group:
+            total += leaf.weight
+            weighted += leaf.weight * slot
+    if total == 0:
+        return 0.0
+    return weighted / total

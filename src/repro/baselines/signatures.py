@@ -1,0 +1,189 @@
+"""Signature-based filtering ([LL96], [TY96]) — §1's third index family.
+
+Besides tree indexes and replication, the paper's survey cites
+*signatures*: each data bucket is preceded by a short signature frame —
+a superimposed-coding bitmap of the item's attribute hashes. A client
+hashes its query into a query signature and listens only to signature
+frames, dozing through any data bucket whose signature does not cover
+the query; covered buckets are read (and may be *false drops* when the
+superimposed bits collide).
+
+The simple signature scheme implemented here is the baseline variant of
+[LL96]: one signature frame per data bucket, interleaved
+``sig_1 d_1 sig_2 d_2 ...``. Its trade-offs against the tree index are
+exactly the ones the literature reports and the bench quantifies:
+
+* tuning is spent on *every* signature frame (O(n) small reads) versus
+  O(depth) bucket reads for the tree — signatures win only when
+  signature frames are much smaller than buckets;
+* there is no pointer to the future, so expected access is a full
+  half-cycle regardless of skew;
+* false drops add data-bucket reads at a rate set by the signature
+  width and the number of hash functions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..tree.node import DataNode
+
+__all__ = [
+    "SignatureScheme",
+    "SignatureBroadcast",
+    "build_signature_broadcast",
+    "false_drop_probability",
+]
+
+
+@dataclass(frozen=True)
+class SignatureScheme:
+    """Superimposed-coding parameters.
+
+    ``width`` bits per signature, ``hashes`` bit positions set per
+    attribute value.
+    """
+
+    width: int = 64
+    hashes: int = 3
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError("width must be >= 1")
+        if not 1 <= self.hashes <= self.width:
+            raise ValueError("hashes must be within 1..width")
+
+    def signature_of(self, values: Sequence[str]) -> int:
+        """Superimpose the signatures of all attribute values."""
+        signature = 0
+        for value in values:
+            signature |= self._value_bits(value)
+        return signature
+
+    def _value_bits(self, value: str) -> int:
+        bits = 0
+        digest = hashlib.sha256(value.encode()).digest()
+        # Draw `hashes` positions from successive digest windows.
+        for position in range(self.hashes):
+            window = digest[2 * position:2 * position + 2]
+            bits |= 1 << (int.from_bytes(window, "big") % self.width)
+        return bits
+
+    def covers(self, bucket_signature: int, query_signature: int) -> bool:
+        """Whether the bucket may contain the query (no false negatives)."""
+        return bucket_signature & query_signature == query_signature
+
+
+@dataclass
+class SignatureBroadcast:
+    """A simple-signature cycle: ``(signature, item)`` pairs in order."""
+
+    scheme: SignatureScheme
+    items: list[DataNode]
+    signatures: list[int]
+    signature_cost: float  # fraction of a bucket one signature frame takes
+
+    @property
+    def cycle_slots(self) -> float:
+        """Cycle length in bucket units (signatures are fractional)."""
+        return len(self.items) * (1.0 + self.signature_cost)
+
+    def lookup(self, key: str) -> dict[str, float]:
+        """Simulate one exact-match lookup, averaged over tune-in slots.
+
+        Returns tuning time (buckets actually read, signature frames
+        pro-rated at ``signature_cost``), the number of false drops,
+        and the expected access time in bucket units.
+        """
+        query = self.scheme.signature_of([key])
+        target_position = next(
+            (p for p, item in enumerate(self.items) if item.label == key),
+            None,
+        )
+        if target_position is None:
+            raise KeyError(key)
+
+        # From a uniform tune-in the client scans, on average, half the
+        # cycle; scanning the full ring from just-past-the-target is the
+        # worst case and what we charge (conservative, deterministic).
+        read_signatures = len(self.items)
+        false_drops = sum(
+            1
+            for position, signature in enumerate(self.signatures)
+            if position != target_position
+            and self.scheme.covers(signature, query)
+        )
+        tuning = (
+            read_signatures * self.signature_cost + false_drops + 1.0
+        )
+        pair_cost = 1.0 + self.signature_cost
+        access = len(self.items) * pair_cost / 2.0 + pair_cost
+        return {
+            "tuning_time": tuning,
+            "false_drops": float(false_drops),
+            "access_time": access,
+        }
+
+    def weighted_lookup_stats(self) -> dict[str, float]:
+        """Weight-averaged lookup statistics over the whole catalog."""
+        total = sum(item.weight for item in self.items)
+        aggregate = {"tuning_time": 0.0, "false_drops": 0.0, "access_time": 0.0}
+        for item in self.items:
+            stats = self.lookup(item.label)
+            share = item.weight / total if total else 1.0 / len(self.items)
+            for metric, value in stats.items():
+                aggregate[metric] += share * value
+        return aggregate
+
+
+def build_signature_broadcast(
+    items: Sequence[DataNode],
+    scheme: SignatureScheme | None = None,
+    signature_cost: float = 0.125,
+) -> SignatureBroadcast:
+    """Assemble the simple-signature cycle for a catalog.
+
+    ``signature_cost`` is the size of a signature frame relative to a
+    data bucket (1/8 by default — a 64-bit signature against a
+    64-byte bucket).
+    """
+    if not items:
+        raise ValueError("catalog must be non-empty")
+    if signature_cost <= 0:
+        raise ValueError("signature_cost must be positive")
+    if scheme is None:
+        scheme = SignatureScheme()
+    signatures = [scheme.signature_of([item.label]) for item in items]
+    return SignatureBroadcast(
+        scheme=scheme,
+        items=list(items),
+        signatures=signatures,
+        signature_cost=signature_cost,
+    )
+
+
+def false_drop_probability(
+    scheme: SignatureScheme, catalog_size: int, trials: int = 2000
+) -> float:
+    """Empirical false-drop rate of the scheme for exact-match queries.
+
+    Generates ``trials`` synthetic labels, measures how often one
+    label's signature covers another's. The analytic rate for
+    superimposed coding is roughly ``(1 - e^{-k/m})^k`` per comparison
+    with ``k`` hashes over ``m`` bits; this empirical check is what the
+    tests assert monotonicity against.
+    """
+    del catalog_size  # rate is pairwise; kept for API symmetry
+    drops = 0
+    comparisons = 0
+    signatures = [
+        scheme.signature_of([f"probe-{i}"]) for i in range(trials)
+    ]
+    query = scheme.signature_of(["the-query"])
+    for signature in signatures:
+        comparisons += 1
+        if scheme.covers(signature, query):
+            drops += 1
+    return drops / comparisons if comparisons else 0.0

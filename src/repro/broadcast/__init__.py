@@ -1,0 +1,38 @@
+"""Broadcast-channel substrate: buckets, schedules, pointers, metrics.
+
+Models the slotted multi-channel broadcast medium of §2.1: each slot of
+each channel carries one bucket (an index or data node), index buckets
+embed (channel, offset) pointers to their children, and the whole cycle
+repeats periodically.
+"""
+
+from .assembly import assemble_schedule, assign_channels
+from .bucket import Bucket, Pointer
+from .metrics import (
+    data_wait,
+    data_wait_of_order,
+    expected_access_time,
+    expected_channel_switches,
+    expected_probe_wait,
+    expected_tuning_time,
+    per_item_waits,
+)
+from .pointers import BroadcastProgram, compile_program
+from .schedule import BroadcastSchedule
+
+__all__ = [
+    "Bucket",
+    "Pointer",
+    "BroadcastSchedule",
+    "BroadcastProgram",
+    "compile_program",
+    "assemble_schedule",
+    "assign_channels",
+    "data_wait",
+    "data_wait_of_order",
+    "expected_probe_wait",
+    "expected_access_time",
+    "expected_tuning_time",
+    "expected_channel_switches",
+    "per_item_waits",
+]

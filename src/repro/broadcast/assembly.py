@@ -1,0 +1,93 @@
+"""Turning a topological-tree path into a concrete broadcast schedule.
+
+A root-to-leaf path of the topological tree (§3.1) is a sequence of
+*compound nodes* — for each slot, the set of (at most k) tree nodes aired
+simultaneously on the k channels. The path fixes every node's slot; what
+remains is choosing a channel for each element. The paper's rules:
+
+* put the element of the root compound node into the first channel;
+* put elements whose nodes have a parent-child relationship in the index
+  tree into the same channel if possible (fewer channel switches for the
+  client).
+
+:func:`assign_channels` implements that policy; :func:`assemble_schedule`
+is the public entry point from a path to a validated
+:class:`~repro.broadcast.schedule.BroadcastSchedule`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..exceptions import ScheduleError
+from ..tree.index_tree import IndexTree
+from ..tree.node import Node
+from .schedule import BroadcastSchedule
+
+__all__ = ["assign_channels", "assemble_schedule"]
+
+
+def assign_channels(
+    groups: Sequence[Sequence[Node]], channels: int
+) -> dict[Node, tuple[int, int]]:
+    """Choose a channel for every element of every slot group.
+
+    Elements preferring their parent's channel are placed first, then the
+    rest fill the lowest free channels — a greedy realisation of the §3.1
+    affinity rules. Raises :class:`ScheduleError` if a group exceeds the
+    channel count.
+    """
+    placement: dict[Node, tuple[int, int]] = {}
+    for slot, group in enumerate(groups, start=1):
+        members = list(group)
+        if len(members) > channels:
+            raise ScheduleError(
+                f"slot group {slot} holds {len(members)} nodes but only "
+                f"{channels} channels exist"
+            )
+        taken: set[int] = set()
+        deferred: list[Node] = []
+        for node in members:
+            preferred = _preferred_channel(node, slot, placement)
+            if preferred is not None and preferred not in taken:
+                placement[node] = (preferred, slot)
+                taken.add(preferred)
+            else:
+                deferred.append(node)
+        free = (c for c in range(1, channels + 1) if c not in taken)
+        for node in deferred:
+            channel = next(free)
+            placement[node] = (channel, slot)
+            taken.add(channel)
+    return placement
+
+
+def _preferred_channel(
+    node: Node, slot: int, placement: dict[Node, tuple[int, int]]
+) -> int | None:
+    """The channel this node would like: root -> 1, else its parent's."""
+    if node.parent is None:
+        return 1
+    if slot == 1:
+        # First slot holds the root; only the root gets channel 1 by rule.
+        return None
+    parent_position = placement.get(node.parent)
+    if parent_position is None:
+        return None
+    return parent_position[0]
+
+
+def assemble_schedule(
+    tree: IndexTree,
+    path: Sequence[Sequence[Node]],
+    channels: int,
+    validate: bool = True,
+) -> BroadcastSchedule:
+    """Build a validated schedule from a topological-tree path.
+
+    ``path`` lists the compound nodes from the topological root downward;
+    group ``i`` airs at slot ``i``. The elements of each group go to the
+    same slot of different channels, channels chosen per the §3.1 rules.
+    """
+    placement = assign_channels(path, channels)
+    return BroadcastSchedule(tree, placement, channels=channels, validate=validate)

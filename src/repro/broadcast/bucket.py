@@ -1,0 +1,75 @@
+"""Buckets and pointers — the physical units of a broadcast (§2.1).
+
+A *bucket* is the logical unit of the broadcast: one slot of one channel,
+carrying either an index node or a data node. Index buckets embed
+*pointers*, each a ``(channel, offset)`` pair telling the client where the
+next relevant bucket (a child in the index tree) will appear; buckets on
+the first channel additionally point to the first bucket of the next
+broadcast cycle so that a client tuning in anywhere can find the root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..tree.node import Node
+
+__all__ = ["Pointer", "Bucket"]
+
+
+@dataclass(frozen=True)
+class Pointer:
+    """A (channel, slot) reference to a future bucket.
+
+    Attributes
+    ----------
+    channel:
+        1-based channel number the target bucket is broadcast on.
+    slot:
+        1-based slot (cycle-relative time) of the target bucket.
+    offset:
+        ``slot - current_slot``: how many slots the client may doze
+        before switching to ``channel``. Always positive for child
+        pointers (a child airs strictly after its parent).
+    label:
+        Target node's label (diagnostic; real systems carry a key range).
+    """
+
+    channel: int
+    slot: int
+    offset: int
+    label: str
+
+
+@dataclass
+class Bucket:
+    """One (channel, slot) cell of the broadcast grid.
+
+    ``node`` is ``None`` for an empty cell (channels may idle in slots
+    where fewer than k order-free nodes exist). ``child_pointers`` is
+    populated for index buckets; ``next_cycle_pointer`` for every bucket
+    on channel 1 (§2.2: "all buckets in the first broadcast channel have a
+    pointer to the first bucket of the next broadcast cycle").
+    """
+
+    channel: int
+    slot: int
+    node: Node | None = None
+    child_pointers: list[Pointer] = field(default_factory=list)
+    next_cycle_pointer: Pointer | None = None
+
+    @property
+    def is_empty(self) -> bool:
+        return self.node is None
+
+    @property
+    def is_index(self) -> bool:
+        return self.node is not None and self.node.is_index
+
+    @property
+    def is_data(self) -> bool:
+        return self.node is not None and self.node.is_data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        content = "-" if self.node is None else self.node.label
+        return f"<Bucket C{self.channel} S{self.slot}: {content}>"

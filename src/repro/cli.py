@@ -1,0 +1,241 @@
+"""Command-line interface: ``broadcast-alloc`` / ``python -m repro.cli``.
+
+Subcommands regenerate each experiment on demand:
+
+* ``demo``     — solve the Fig. 1 running example on 1..k channels;
+* ``table1``   — the §4.1 pruning-effects table;
+* ``fig14``    — the §4.2 Sorting-vs-Optimal sweep;
+* ``compare``  — heuristics/baselines vs optimal on random trees;
+* ``channels`` — data wait vs channel count (Corollary 1 regime);
+* ``ablation`` — pruning-rule search-effort ablation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis.comparisons import (
+    channel_scaling,
+    compare_methods,
+    format_channel_scaling,
+    format_method_comparison,
+    format_pruning_ablation,
+    pruning_ablation,
+)
+from .analysis.fig14 import format_fig14, run_fig14
+from .analysis.table1 import format_table1, run_table1
+from .core.optimal import solve
+from .tree.builders import paper_example_tree
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="broadcast-alloc",
+        description=(
+            "Optimal index and data allocation in multiple broadcast "
+            "channels (Lo & Chen, ICDE 2000) - experiment runner"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2000, help="RNG seed (default 2000)"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="solve the Fig. 1 example")
+    demo.add_argument(
+        "--channels", type=int, default=2, help="max channel count to show"
+    )
+
+    table1 = commands.add_parser("table1", help="Table 1 pruning effects")
+    table1.add_argument(
+        "--max-fanout",
+        type=int,
+        default=6,
+        help="largest m to include (6 matches the paper)",
+    )
+    table1.add_argument(
+        "--max-enum-p12",
+        type=int,
+        default=6,
+        help="largest m to enumerate the P1,2 column for",
+    )
+
+    fig14 = commands.add_parser("fig14", help="Fig. 14 Sorting vs Optimal")
+    fig14.add_argument("--trials", type=int, default=30)
+
+    compare = commands.add_parser(
+        "compare", help="heuristics and baselines vs optimal"
+    )
+    compare.add_argument("--trials", type=int, default=20)
+    compare.add_argument("--data-count", type=int, default=12)
+
+    channels = commands.add_parser(
+        "channels", help="data wait vs channel count"
+    )
+    channels.add_argument("--fanout", type=int, default=3)
+
+    commands.add_parser("ablation", help="pruning-rule ablation")
+
+    spaces = commands.add_parser(
+        "spaces", help="render the reduced search trees (Figs. 9-12)"
+    )
+    spaces.add_argument(
+        "--channels", type=int, default=2, help="k for the topological tree"
+    )
+
+    sensitivity = commands.add_parser(
+        "sensitivity", help="fanout and skew sensitivity sweeps"
+    )
+    sensitivity.add_argument("--catalog", type=int, default=12)
+    sensitivity.add_argument("--trials", type=int, default=8)
+
+    solve_cmd = commands.add_parser(
+        "solve", help="allocate a user-supplied index tree (JSON)"
+    )
+    solve_cmd.add_argument(
+        "--input",
+        required=True,
+        help="path to a broadcast-alloc/tree JSON document",
+    )
+    solve_cmd.add_argument("--channels", type=int, default=1)
+    solve_cmd.add_argument(
+        "--budget",
+        type=int,
+        default=500_000,
+        help="exact-search state budget before the sorting heuristic "
+        "takes over",
+    )
+    solve_cmd.add_argument(
+        "--output",
+        default=None,
+        help="optional path to write the solved schedule JSON to",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    rng = np.random.default_rng(args.seed)
+
+    if args.command == "demo":
+        tree = paper_example_tree()
+        print("Fig. 1 index tree:")
+        print(tree.to_ascii())
+        for k in range(1, args.channels + 1):
+            result = solve(tree, channels=k)
+            print(
+                f"\n{k} channel(s): optimal data wait = {result.cost:.4f} "
+                f"(method: {result.method})"
+            )
+            print(result.schedule.to_ascii())
+        return 0
+
+    if args.command == "table1":
+        fanouts = tuple(range(2, args.max_fanout + 1))
+        report = run_table1(
+            fanouts=fanouts, seed=args.seed, max_enum_p12=args.max_enum_p12
+        )
+        print(format_table1(report))
+        return 0
+
+    if args.command == "fig14":
+        print(format_fig14(run_fig14(trials=args.trials, seed=args.seed)))
+        return 0
+
+    if args.command == "compare":
+        results = [
+            compare_methods(
+                rng, workload, data_count=args.data_count, trials=args.trials
+            )
+            for workload in ("zipf", "normal")
+        ]
+        print(format_method_comparison(results))
+        return 0
+
+    if args.command == "channels":
+        print(format_channel_scaling(channel_scaling(rng, fanout=args.fanout)))
+        return 0
+
+    if args.command == "ablation":
+        print(format_pruning_ablation(pruning_ablation(rng)))
+        return 0
+
+    if args.command == "solve":
+        import json
+
+        from .broadcast.metrics import (
+            expected_access_time,
+            expected_tuning_time,
+        )
+        from .exceptions import SearchBudgetExceeded
+        from .heuristics.channel_allocation import sorting_schedule
+        from .io.json_io import save_schedule, tree_from_dict
+
+        with open(args.input) as handle:
+            tree = tree_from_dict(json.load(handle))
+        try:
+            result = solve(tree, channels=args.channels, budget=args.budget)
+            schedule = result.schedule
+            print(f"method: {result.method} (exact)")
+        except SearchBudgetExceeded:
+            schedule = sorting_schedule(tree, args.channels)
+            print(
+                f"method: sorting heuristic (exact search exceeded "
+                f"{args.budget} states)"
+            )
+        print(schedule.to_ascii())
+        print(f"data wait            = {schedule.data_wait():.4f} slots")
+        print(f"expected access time = {expected_access_time(schedule):.4f}")
+        print(f"expected tuning time = {expected_tuning_time(schedule):.4f}")
+        if args.output:
+            save_schedule(schedule, args.output)
+            print(f"schedule written to {args.output}")
+        return 0
+
+    if args.command == "sensitivity":
+        from .analysis.sensitivity import (
+            fanout_sensitivity,
+            format_fanout_sensitivity,
+            format_skew_sensitivity,
+            skew_sensitivity,
+        )
+        from .workloads.catalogs import stock_catalog
+
+        items = stock_catalog(rng, count=args.catalog)
+        print(format_fanout_sensitivity(fanout_sensitivity(items)))
+        print()
+        print(
+            format_skew_sensitivity(
+                skew_sensitivity(rng, trials=args.trials)
+            )
+        )
+        return 0
+
+    if args.command == "spaces":
+        from .core.problem import AllocationProblem
+        from .core.render import render_data_tree, render_topological_tree
+
+        tree = paper_example_tree()
+        print(
+            f"Reduced {args.channels}-channel topological tree of the "
+            "Fig. 1 example:"
+        )
+        print(
+            render_topological_tree(AllocationProblem(tree, args.channels))
+        )
+        print("\nData tree with Property 4 marks (x = pruned), Fig. 12 style:")
+        print(
+            render_data_tree(AllocationProblem(tree, 1), annotate=True)
+        )
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Mobile-client substrate: the pointer-following access protocol and the
+workload simulator measuring access time, tuning time and channel
+switches against a compiled broadcast program."""
+
+from .protocol import AccessRecord, run_request
+from .simulator import SimulationSummary, exact_averages, simulate_workload
+from .stats import AccessDistribution, access_time_distribution
+
+__all__ = [
+    "AccessRecord",
+    "run_request",
+    "SimulationSummary",
+    "simulate_workload",
+    "exact_averages",
+    "AccessDistribution",
+    "access_time_distribution",
+]

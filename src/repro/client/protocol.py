@@ -1,0 +1,148 @@
+"""The mobile client's access protocol (§1, §2.1), executed bucket by bucket.
+
+A portable computer can listen to one channel at a time; between useful
+buckets it dozes. To fetch a data item it:
+
+1. tunes into the first channel at some slot and reads whatever bucket is
+   airing — every channel-1 bucket carries a pointer to the first bucket
+   of the next cycle;
+2. dozes to the next cycle, reads the index root, and then follows child
+   pointers — ``(channel, offset)`` pairs — down the index tree, dozing
+   between reads and switching channels as the pointers dictate;
+3. reads the target data bucket.
+
+:func:`run_request` executes this walk against a compiled
+:class:`~repro.broadcast.pointers.BroadcastProgram` and reports the access
+time (slots elapsed), tuning time (buckets actually read — the energy
+cost) and channel switches. The walk never consults the schedule
+directly — only bucket pointers — so it genuinely validates the pointer
+wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..broadcast.pointers import BroadcastProgram
+from ..exceptions import ScheduleError
+from ..tree.node import DataNode, IndexNode, Node
+
+__all__ = ["AccessRecord", "run_request"]
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """Measured outcome of one client request.
+
+    Attributes
+    ----------
+    target:
+        Label of the requested data item.
+    tune_slot:
+        Cycle-relative slot (1-based) at which the client tuned in.
+    access_time:
+        Slots from the start of the tune-in slot to the end of the
+        target's slot.
+    probe_wait:
+        Slots from tune-in through reading the index root.
+    data_wait:
+        ``T(D_i)`` — the target's slot offset within its cycle.
+    tuning_time:
+        Buckets actively read (initial probe + root + index path + data).
+    channel_switches:
+        Channel changes performed after the initial tune-in.
+    """
+
+    target: str
+    tune_slot: int
+    access_time: int
+    probe_wait: int
+    data_wait: int
+    tuning_time: int
+    channel_switches: int
+
+
+def run_request(
+    program: BroadcastProgram, target: Node, tune_slot: int
+) -> AccessRecord:
+    """Execute one request for ``target`` tuning in at ``tune_slot``.
+
+    ``tune_slot`` is cycle-relative (1..cycle_length) on channel 1.
+    Raises :class:`ScheduleError` if the pointer walk derails (which a
+    correctly compiled program cannot do).
+    """
+    if not isinstance(target, DataNode):
+        raise ValueError("targets must be data nodes")
+    cycle = program.cycle_length
+    if not 1 <= tune_slot <= cycle:
+        raise ValueError(f"tune_slot must be in 1..{cycle}")
+
+    # Root path inside the index tree guides pointer choice at each hop.
+    path = list(target.ancestors())
+    path.reverse()
+    path.append(target)
+
+    tuning = 1  # the initial probe bucket on channel 1
+    switches = 0
+    current_channel = 1
+
+    first_bucket = program.bucket_at(1, tune_slot)
+    pointer = first_bucket.next_cycle_pointer
+    if pointer is None:
+        raise ScheduleError("channel-1 bucket lacks a next-cycle pointer")
+    # Absolute time, measured in slots since the start of the tune-in
+    # cycle. The next cycle begins at absolute slot cycle + 1.
+    absolute = cycle + pointer.slot
+    if pointer.channel != current_channel:
+        switches += 1
+        current_channel = pointer.channel
+
+    bucket = program.bucket_at(pointer.channel, pointer.slot)
+    tuning += 1
+    if bucket.node is not path[0]:
+        raise ScheduleError("next-cycle pointer did not land on the root")
+    probe_wait = (cycle - tune_slot + 1) + pointer.slot
+
+    for hop in path[1:]:
+        assert isinstance(bucket.node, IndexNode)
+        pointer = _pointer_for(bucket, hop)
+        if pointer.channel != current_channel:
+            switches += 1
+            current_channel = pointer.channel
+        absolute = cycle + pointer.slot
+        bucket = program.bucket_at(pointer.channel, pointer.slot)
+        tuning += 1
+        if bucket.node is not hop:
+            raise ScheduleError(
+                f"pointer to {hop.label!r} landed on "
+                f"{bucket.node.label if bucket.node else 'an empty bucket'!r}"
+            )
+
+    data_wait = absolute - cycle
+    access_time = (cycle - tune_slot + 1) + data_wait
+    return AccessRecord(
+        target=target.label,
+        tune_slot=tune_slot,
+        access_time=access_time,
+        probe_wait=probe_wait,
+        data_wait=data_wait,
+        tuning_time=tuning,
+        channel_switches=switches,
+    )
+
+
+def _pointer_for(bucket, child: Node):
+    """The child pointer leading to ``child``.
+
+    Pointers are compiled in ``node.children`` order, so position — not
+    the (possibly duplicated) label — identifies the right one, the same
+    way a real bucket's pointer table is keyed by search-key range.
+    """
+    node = bucket.node
+    assert isinstance(node, IndexNode)
+    for position, candidate in enumerate(node.children):
+        if candidate is child:
+            return bucket.child_pointers[position]
+    raise ScheduleError(
+        f"index bucket {node.label!r} has no pointer to {child.label!r}"
+    )

@@ -1,0 +1,103 @@
+"""Workload-level broadcast simulation.
+
+Drives :func:`repro.client.protocol.run_request` over many requests —
+targets drawn proportionally to their access weights (the paper's model:
+``W(D_i)`` *is* the request frequency), tune-in slots uniform over the
+cycle — and aggregates access time, tuning time and channel switches.
+
+:func:`exact_averages` enumerates *every* (tune slot, target) pair
+instead of sampling, weighting targets by ``W``; its access-time average
+provably equals :func:`repro.broadcast.metrics.expected_access_time`,
+and the test suite asserts exactly that, closing the loop between the
+analytic model and the pointer-level execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..broadcast.pointers import BroadcastProgram
+from .protocol import AccessRecord, run_request
+
+__all__ = ["SimulationSummary", "simulate_workload", "exact_averages"]
+
+
+@dataclass
+class SimulationSummary:
+    """Aggregate results of a batch of simulated requests."""
+
+    requests: int
+    mean_access_time: float
+    mean_probe_wait: float
+    mean_data_wait: float
+    mean_tuning_time: float
+    mean_channel_switches: float
+
+    @classmethod
+    def from_records(
+        cls, records: list[AccessRecord], weights: list[float] | None = None
+    ) -> "SimulationSummary":
+        """Average the records; ``weights`` enables weighted aggregation."""
+        if not records:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        if weights is None:
+            weights = [1.0] * len(records)
+        total = sum(weights)
+
+        def mean(values: list[int]) -> float:
+            return sum(v * w for v, w in zip(values, weights)) / total
+
+        return cls(
+            requests=len(records),
+            mean_access_time=mean([r.access_time for r in records]),
+            mean_probe_wait=mean([r.probe_wait for r in records]),
+            mean_data_wait=mean([r.data_wait for r in records]),
+            mean_tuning_time=mean([r.tuning_time for r in records]),
+            mean_channel_switches=mean([r.channel_switches for r in records]),
+        )
+
+
+def simulate_workload(
+    program: BroadcastProgram,
+    rng: np.random.Generator,
+    requests: int = 1000,
+) -> SimulationSummary:
+    """Monte-Carlo workload: weighted targets, uniform tune-in slots."""
+    tree = program.schedule.tree
+    targets = tree.data_nodes()
+    weights = np.array([t.weight for t in targets], dtype=float)
+    if weights.sum() == 0:
+        probabilities = np.full(len(targets), 1.0 / len(targets))
+    else:
+        probabilities = weights / weights.sum()
+    cycle = program.cycle_length
+
+    records = []
+    target_indices = rng.choice(len(targets), size=requests, p=probabilities)
+    tune_slots = rng.integers(1, cycle + 1, size=requests)
+    for target_index, tune_slot in zip(target_indices, tune_slots):
+        records.append(
+            run_request(program, targets[target_index], int(tune_slot))
+        )
+    return SimulationSummary.from_records(records)
+
+
+def exact_averages(program: BroadcastProgram) -> SimulationSummary:
+    """Deterministic averages over every (tune slot, target) pair.
+
+    Targets are weighted by ``W(D_i)``, tune slots uniformly — the exact
+    expectation of the Monte-Carlo simulation, and therefore (by
+    construction of the metrics module) equal to the analytic
+    ``expected_access_time`` / ``expected_tuning_time``.
+    """
+    tree = program.schedule.tree
+    cycle = program.cycle_length
+    records: list[AccessRecord] = []
+    weights: list[float] = []
+    for target in tree.data_nodes():
+        for tune_slot in range(1, cycle + 1):
+            records.append(run_request(program, target, tune_slot))
+            weights.append(target.weight / cycle)
+    return SimulationSummary.from_records(records, weights)

@@ -1,0 +1,92 @@
+"""The paper's contribution: optimal index and data allocation (§2–§3).
+
+* :mod:`~repro.core.problem` — the integer-indexed instance;
+* :mod:`~repro.core.topological` — Algorithm 1's topological tree;
+* :mod:`~repro.core.swaps` — Lemmas 1–5;
+* :mod:`~repro.core.candidates` — the reduced tree (Properties 1–3);
+* :mod:`~repro.core.datatree` — the 1-channel data tree (Property 4);
+* :mod:`~repro.core.search` — best-first search with ``E(X)=V(X)+U(X)``;
+* :mod:`~repro.core.optimal` — the :func:`solve` façade;
+* :mod:`~repro.core.counting` — Table 1 machinery;
+* :mod:`~repro.core.corollaries` — Corollary 1's closed form.
+"""
+
+from .candidates import (
+    PruningConfig,
+    count_reduced_paths,
+    iter_reduced_paths,
+    reduced_children,
+)
+from .corollaries import corollary1_applies, level_schedule
+from .counting import (
+    Table1Row,
+    ordered_group_permutations,
+    property2_closed_form,
+    pruning_percentage,
+    table1_row,
+)
+from .datatree import (
+    DataTreeConfig,
+    DataTreeResult,
+    broadcast_order,
+    count_data_sequences,
+    eligible_data,
+    iter_data_sequences,
+    property4_allows,
+    sequence_cost,
+    solve_single_channel,
+)
+from .optimal import OptimalResult, solve
+from .problem import AllocationProblem
+from .search import SearchResult, best_first_search, lower_bound
+from .swaps import (
+    can_globally_swap,
+    can_locally_swap,
+    data_weight_sum,
+    global_swap_prefers_first,
+    local_swap_pairs,
+)
+from .topological import (
+    compound_children,
+    count_paths,
+    iter_paths,
+    linear_extension_count,
+)
+
+__all__ = [
+    "AllocationProblem",
+    "PruningConfig",
+    "reduced_children",
+    "iter_reduced_paths",
+    "count_reduced_paths",
+    "DataTreeConfig",
+    "DataTreeResult",
+    "eligible_data",
+    "property4_allows",
+    "iter_data_sequences",
+    "count_data_sequences",
+    "broadcast_order",
+    "sequence_cost",
+    "solve_single_channel",
+    "SearchResult",
+    "best_first_search",
+    "lower_bound",
+    "OptimalResult",
+    "solve",
+    "compound_children",
+    "iter_paths",
+    "count_paths",
+    "linear_extension_count",
+    "can_globally_swap",
+    "can_locally_swap",
+    "global_swap_prefers_first",
+    "local_swap_pairs",
+    "data_weight_sum",
+    "corollary1_applies",
+    "level_schedule",
+    "Table1Row",
+    "table1_row",
+    "ordered_group_permutations",
+    "property2_closed_form",
+    "pruning_percentage",
+]

@@ -1,0 +1,326 @@
+"""The reduced k-channel topological tree (§3.2 and the paper's Appendix).
+
+Where Algorithm 1 generates *every* k-component subset of the available
+set as a next-neighbor, the Appendix algorithm prunes candidates through
+four steps backed by the paper's dominance lemmas:
+
+* **Step 2 — candidate filtering.** If the current compound node ``P`` is
+  all index nodes: for k = 1 only children of ``P``'s element survive,
+  and of its data children only the heaviest (Property 2); for k > 1
+  data nodes that are no child of any element of ``P`` are dropped and
+  only the k heaviest remaining data nodes are kept (Property 3,
+  characteristics 1–2). If ``P`` contains a data node: a candidate data
+  node heavier than some data node of ``P`` must be a child of an
+  element of ``P`` (Property 2 char. 2 / Property 3 char. 4).
+* **Step 3 — subset generation.** The ``n`` data nodes of a subset must
+  be the ``n`` heaviest remaining (Lemma 3 / Property 3 char. 2); for
+  k > 1 with ``P`` all-index, every subset must include at least one
+  child of an element of ``P`` (Property 3 char. 1).
+* **Step 4 — local-swap elimination.** A subset is discarded if one of
+  its data nodes could trade places with an index node of ``P``
+  (Lemmas 4–5: moving data earlier is free), or if two exchangeable
+  index nodes violate the canonical preorder direction (Property 3
+  char. 3 — the unique index order weights make the exchange
+  unidirectional).
+
+Property 1 appears as the *forced completion*: once every index node is
+placed, the unique child chain packs the remaining data nodes k per slot
+in descending weight.
+
+Every rule is individually toggleable through :class:`PruningConfig` so
+the Table 1 columns and the pruning ablation can be generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from itertools import combinations
+from typing import Iterator
+
+from .problem import AllocationProblem
+
+__all__ = [
+    "PruningConfig",
+    "reduced_children",
+    "iter_reduced_paths",
+    "count_reduced_paths",
+]
+
+
+@dataclass(frozen=True)
+class PruningConfig:
+    """Which pruning rules of §3.2 / the Appendix are active.
+
+    Attributes
+    ----------
+    forced_completion:
+        Property 1 — once all index nodes are placed, emit the single
+        forced child (remaining data, heaviest first, k per slot).
+    candidate_filter:
+        Appendix step 2 — drop dominated elements from the candidate set
+        (Property 2 for k = 1, Property 3 chars. 1 & 4 otherwise).
+    subset_rules:
+        Appendix step 3 — data nodes of a subset must be the heaviest
+        remaining; all-index ``P`` subsets must touch a child of ``P``.
+    swap_filter:
+        Appendix step 4 — eliminate subsets refutable by a local swap
+        with ``P`` (data-for-index always; index-for-index via the
+        canonical preorder direction).
+    """
+
+    forced_completion: bool = True
+    candidate_filter: bool = True
+    subset_rules: bool = True
+    swap_filter: bool = True
+
+    @classmethod
+    def none(cls) -> "PruningConfig":
+        """No pruning: reproduces Algorithm 1 exactly."""
+        return cls(False, False, False, False)
+
+    @classmethod
+    def paper(cls) -> "PruningConfig":
+        """Everything on — the Appendix algorithm as published."""
+        return cls()
+
+    def without(self, **flags: bool) -> "PruningConfig":
+        """Copy with the given flags overridden (ablation helper)."""
+        return replace(self, **flags)
+
+
+def reduced_children(
+    problem: AllocationProblem,
+    placed: int,
+    available: int,
+    last_group: tuple[int, ...],
+    config: PruningConfig,
+) -> list[tuple[int, ...]]:
+    """Pruned next-neighbors of the compound node ``last_group``.
+
+    ``placed``/``available`` are bitmasks of already-allocated and
+    currently-available node ids. Returns sorted id tuples; an empty list
+    means either the allocation is complete (``available == 0``) or the
+    branch is dominated and dies here (pruning may legitimately strand a
+    partial path — the dominating path lives elsewhere in the tree).
+    """
+    ids = problem.available_ids(available)
+    if not ids:
+        return []
+    k = problem.channels
+
+    # Property 1: all index nodes placed -> unique forced continuation.
+    if config.forced_completion and not (problem.index_mask & ~placed):
+        data_sorted = sorted(
+            ids, key=lambda i: (-problem.weight[i], i)
+        )
+        return [tuple(sorted(data_sorted[:k]))]
+
+    last_all_index = bool(last_group) and all(
+        not problem.is_data[i] for i in last_group
+    )
+
+    # ---- Step 2: filter the candidate set -------------------------------
+    if config.candidate_filter and last_group:
+        children_of_last = 0
+        for member in last_group:
+            children_of_last |= problem.child_mask[member]
+        if last_all_index:
+            if k == 1:
+                kept_index = [
+                    i
+                    for i in ids
+                    if not problem.is_data[i]
+                    and (1 << i) & children_of_last
+                ]
+                data_children = [
+                    i
+                    for i in ids
+                    if problem.is_data[i] and (1 << i) & children_of_last
+                ]
+                ids = kept_index
+                if data_children:
+                    heaviest = min(
+                        data_children,
+                        key=lambda i: (-problem.weight[i], i),
+                    )
+                    ids = sorted(ids + [heaviest])
+            else:
+                survivors = []
+                data_kept = []
+                for i in ids:
+                    if not problem.is_data[i]:
+                        survivors.append(i)
+                    elif (1 << i) & children_of_last:
+                        data_kept.append(i)
+                data_kept.sort(key=lambda i: (-problem.weight[i], i))
+                ids = sorted(survivors + data_kept[:k])
+        else:
+            data_in_last = [
+                problem.weight[i] for i in last_group if problem.is_data[i]
+            ]
+            threshold = min(data_in_last)
+            ids = [
+                i
+                for i in ids
+                if not problem.is_data[i]
+                or (1 << i) & children_of_last
+                or problem.weight[i] <= threshold
+            ]
+
+    if not ids:
+        return []
+
+    # ---- Step 3: generate k-component subsets ---------------------------
+    size = min(k, len(ids))
+    if config.subset_rules:
+        data_sorted = sorted(
+            (i for i in ids if problem.is_data[i]),
+            key=lambda i: (-problem.weight[i], i),
+        )
+        index_ids = [i for i in ids if not problem.is_data[i]]
+        subsets: list[tuple[int, ...]] = []
+        for data_count in range(0, min(size, len(data_sorted)) + 1):
+            index_count = size - data_count
+            if index_count > len(index_ids):
+                continue
+            data_part = tuple(data_sorted[:data_count])
+            for index_part in combinations(index_ids, index_count):
+                subsets.append(tuple(sorted(data_part + index_part)))
+        if last_all_index and k != 1 and last_group:
+            children_of_last = 0
+            for member in last_group:
+                children_of_last |= problem.child_mask[member]
+            subsets = [
+                subset
+                for subset in subsets
+                if any((1 << i) & children_of_last for i in subset)
+            ]
+    else:
+        if len(ids) <= k:
+            subsets = [tuple(ids)]
+        else:
+            subsets = [tuple(s) for s in combinations(ids, k)]
+
+    # ---- Step 4: local-swap elimination ---------------------------------
+    if config.swap_filter and last_group:
+        children_of_last = 0
+        for member in last_group:
+            children_of_last |= problem.child_mask[member]
+        index_in_last = [i for i in last_group if not problem.is_data[i]]
+        subsets = [
+            subset
+            for subset in subsets
+            if not _refuted_by_local_swap(
+                problem, index_in_last, children_of_last, subset
+            )
+        ]
+    return subsets
+
+
+def _refuted_by_local_swap(
+    problem: AllocationProblem,
+    index_in_last: list[int],
+    children_of_last: int,
+    subset: tuple[int, ...],
+) -> bool:
+    """Appendix step 4: can a local swap with ``P`` improve this subset?"""
+    if not index_in_last:
+        return False
+    subset_mask = problem.mask_of(subset)
+    movable_index_in_last = [
+        x for x in index_in_last if not (problem.child_mask[x] & subset_mask)
+    ]
+    if not movable_index_in_last:
+        return False
+    for y in subset:
+        if (1 << y) & children_of_last:
+            continue  # y cannot move earlier: its parent sits in P.
+        if problem.is_data[y]:
+            # Step 4(i): a data node trades with any movable index node
+            # of P — data moves earlier at zero cost, so P..subset is
+            # dominated.
+            return True
+        # Step 4(ii): index-for-index exchange is cost-neutral; keep only
+        # the canonical direction given by the unique preorder weights.
+        smallest_movable = min(
+            problem.order[x] for x in movable_index_in_last
+        )
+        if problem.order[y] > smallest_movable:
+            return True
+    return False
+
+
+def iter_reduced_paths(
+    problem: AllocationProblem,
+    config: PruningConfig | None = None,
+    limit: int | None = None,
+) -> Iterator[list[tuple[int, ...]]]:
+    """Stream complete root-to-leaf paths of the reduced topological tree.
+
+    Dominated branches that die before placing every node are not
+    yielded (they correspond to no feasible allocation worth keeping).
+    """
+    if config is None:
+        config = PruningConfig.paper()
+    yielded = 0
+    path: list[tuple[int, ...]] = []
+
+    def dfs(placed: int, available: int) -> Iterator[list[tuple[int, ...]]]:
+        nonlocal yielded
+        if limit is not None and yielded >= limit:
+            return
+        last_group = path[-1] if path else ()
+        groups = reduced_children(problem, placed, available, last_group, config)
+        if not groups:
+            if not available:
+                yielded += 1
+                yield list(path)
+            return
+        for group in groups:
+            next_placed = placed
+            next_available = available
+            for node_id in group:
+                next_placed |= 1 << node_id
+                next_available = problem.release(next_available, node_id)
+            path.append(group)
+            yield from dfs(next_placed, next_available)
+            path.pop()
+            if limit is not None and yielded >= limit:
+                return
+
+    yield from dfs(0, problem.initial_available())
+
+
+def count_reduced_paths(
+    problem: AllocationProblem, config: PruningConfig | None = None
+) -> int:
+    """Count complete paths of the reduced topological tree.
+
+    Memoised on ``(available, last_group)``: the available mask uniquely
+    determines the placed set, and together with the previous compound
+    node it determines the whole subtree below.
+    """
+    if config is None:
+        config = PruningConfig.paper()
+    memo: dict[tuple[int, tuple[int, ...]], int] = {}
+
+    def count(placed: int, available: int, last_group: tuple[int, ...]) -> int:
+        key = (available, last_group)
+        if key in memo:
+            return memo[key]
+        groups = reduced_children(problem, placed, available, last_group, config)
+        if not groups:
+            result = 1 if not available else 0
+        else:
+            result = 0
+            for group in groups:
+                next_placed = placed
+                next_available = available
+                for node_id in group:
+                    next_placed |= 1 << node_id
+                    next_available = problem.release(next_available, node_id)
+                result += count(next_placed, next_available, group)
+        memo[key] = result
+        return result
+
+    return count(0, problem.initial_available(), ())

@@ -1,0 +1,41 @@
+"""Corollaries 1 and 2 of §3.2/§3.3.
+
+**Corollary 1**: when the number of channels is at least the maximal
+number of nodes on any level of the index tree, the optimal allocation
+simply airs level ``l`` at slot ``l`` across the channels. Every data
+node then achieves its structural lower bound ``T(D_i) = depth(D_i)``
+(slots strictly increase along a root path), so the schedule is optimal
+by inspection — :func:`level_schedule` builds it in linear time and
+:func:`corollary1_applies` gates the fast path in the solver.
+
+**Corollary 2** — the m-and-n block-exchange extension of Property 4 —
+lives in :mod:`repro.core.datatree` as the ``extended_exchange`` flag.
+"""
+
+from __future__ import annotations
+
+from ..broadcast.assembly import assemble_schedule
+from ..broadcast.schedule import BroadcastSchedule
+from ..tree.index_tree import IndexTree
+
+__all__ = ["corollary1_applies", "level_schedule"]
+
+
+def corollary1_applies(tree: IndexTree, channels: int) -> bool:
+    """Whether Corollary 1's width condition holds."""
+    return channels >= tree.max_level_width()
+
+
+def level_schedule(tree: IndexTree, channels: int) -> BroadcastSchedule:
+    """The Corollary 1 optimal schedule: level ``l`` airs at slot ``l``.
+
+    Raises :class:`ValueError` if the width condition fails (the schedule
+    would be infeasible).
+    """
+    if not corollary1_applies(tree, channels):
+        raise ValueError(
+            f"corollary 1 needs channels >= max level width "
+            f"({tree.max_level_width()}), got {channels}"
+        )
+    groups = [list(level) for level in tree.levels()]
+    return assemble_schedule(tree, groups, channels)

@@ -1,0 +1,147 @@
+"""High-level optimal solver — the public face of §3.
+
+:func:`solve` picks the right machinery for the instance:
+
+* **Corollary 1** width condition holds → the closed-form level schedule;
+* one channel → the §3.3 data-tree dynamic program;
+* otherwise → best-first search over the reduced topological tree.
+
+The result carries a validated :class:`~repro.broadcast.BroadcastSchedule`
+whose measured data wait equals the search cost — the solver asserts that
+agreement, so a bug in either layer cannot slip through silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..broadcast.assembly import assemble_schedule
+from ..broadcast.schedule import BroadcastSchedule
+from ..tree.index_tree import IndexTree
+from .candidates import PruningConfig
+from .corollaries import corollary1_applies, level_schedule
+from .datatree import DataTreeConfig, solve_single_channel
+from .problem import AllocationProblem
+from .search import best_first_search
+
+__all__ = ["OptimalResult", "solve"]
+
+_COST_TOLERANCE = 1e-9
+
+
+@dataclass
+class OptimalResult:
+    """An optimal allocation with provenance.
+
+    Attributes
+    ----------
+    schedule:
+        The validated broadcast schedule realising the optimum.
+    cost:
+        Its average data wait (formula (1)).
+    method:
+        Which solver produced it: ``"corollary1"``, ``"datatree"`` or
+        ``"best-first"``.
+    stats:
+        Search-effort counters (states/nodes expanded), empty for the
+        closed-form path.
+    """
+
+    schedule: BroadcastSchedule
+    cost: float
+    method: str
+    stats: dict = field(default_factory=dict)
+
+
+def solve(
+    tree: IndexTree,
+    channels: int = 1,
+    method: str = "auto",
+    pruning: PruningConfig | None = None,
+    datatree_config: DataTreeConfig | None = None,
+    bound: str = "packed",
+    budget: int | None = None,
+) -> OptimalResult:
+    """Find a minimum-data-wait allocation of ``tree`` onto ``channels``.
+
+    Parameters
+    ----------
+    tree:
+        The index tree to broadcast.
+    channels:
+        Number of broadcast channels ``k``.
+    method:
+        ``"auto"`` (default) routes per the module docstring;
+        ``"corollary1"``, ``"datatree"`` and ``"best-first"`` force a
+        solver (``"datatree"`` requires ``channels == 1``).
+    pruning:
+        §3.2 rule set for the best-first search (default: all rules).
+    datatree_config:
+        §3.3 rule set for the single-channel DP (default: all rules).
+    bound:
+        Lower bound for best-first: ``"packed"`` (tight, default) or
+        ``"adjacent"`` (the paper's ``U(X)``).
+    budget:
+        Optional cap on expanded states; exceeded searches raise
+        :class:`~repro.exceptions.SearchBudgetExceeded` so callers can
+        fall back to the §4 heuristics.
+    """
+    if method == "auto":
+        if corollary1_applies(tree, channels):
+            method = "corollary1"
+        elif channels == 1:
+            method = "datatree"
+        else:
+            method = "best-first"
+
+    if method == "corollary1":
+        schedule = level_schedule(tree, channels)
+        return OptimalResult(schedule, schedule.data_wait(), "corollary1")
+
+    if method == "datatree":
+        if channels != 1:
+            raise ValueError("the data-tree solver is single-channel only")
+        problem = AllocationProblem(tree, channels=1)
+        result = solve_single_channel(
+            problem, config=datatree_config, state_budget=budget
+        )
+        order = [problem.node_of(i) for i in result.order]
+        schedule = BroadcastSchedule.from_sequence(tree, order)
+        _check_agreement(result.cost, schedule)
+        return OptimalResult(
+            schedule,
+            result.cost,
+            "datatree",
+            stats={"states_expanded": result.states_expanded},
+        )
+
+    if method == "best-first":
+        problem = AllocationProblem(tree, channels=channels)
+        result = best_first_search(
+            problem, pruning=pruning, bound=bound, node_budget=budget
+        )
+        groups = [
+            [problem.node_of(i) for i in group] for group in result.path
+        ]
+        schedule = assemble_schedule(tree, groups, channels)
+        _check_agreement(result.cost, schedule)
+        return OptimalResult(
+            schedule,
+            result.cost,
+            "best-first",
+            stats={
+                "nodes_expanded": result.nodes_expanded,
+                "nodes_generated": result.nodes_generated,
+            },
+        )
+
+    raise ValueError(f"unknown method {method!r}")
+
+
+def _check_agreement(search_cost: float, schedule: BroadcastSchedule) -> None:
+    measured = schedule.data_wait()
+    if abs(measured - search_cost) > _COST_TOLERANCE * max(1.0, measured):
+        raise AssertionError(
+            f"search cost {search_cost} disagrees with realised schedule "
+            f"cost {measured}"
+        )

@@ -1,0 +1,176 @@
+"""Integer-indexed view of the index and data allocation problem (§2.2).
+
+The searches of §3 explore millions of states; object graphs are too slow
+to traverse there. :class:`AllocationProblem` flattens an
+:class:`~repro.tree.IndexTree` into parallel arrays indexed by a *node id*
+(the node's preorder position) and represents node sets as Python-int
+bitmasks. All search, pruning and counting code in ``repro.core`` works on
+these ids; results are mapped back to node objects at the boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..tree.index_tree import IndexTree
+from ..tree.node import DataNode, IndexNode, Node
+
+__all__ = ["AllocationProblem"]
+
+
+class AllocationProblem:
+    """The allocation instance: an index tree plus a channel count.
+
+    Attributes
+    ----------
+    tree:
+        The source index tree.
+    channels:
+        ``k``, the number of broadcast channels.
+    nodes:
+        Preorder node list; ``nodes[i]`` is the node with id ``i``
+        (the root has id 0).
+    parent:
+        ``parent[i]`` is the parent id, ``-1`` for the root.
+    children:
+        ``children[i]`` lists child ids (empty for data nodes).
+    is_data:
+        ``is_data[i]`` — whether node ``i`` is a data node.
+    weight:
+        ``W(D_i)`` for data nodes, ``0.0`` for index nodes.
+    order:
+        The §3.2 unique index-node weight (preorder number, 1-based);
+        ``0`` for data nodes.
+    ancestor_mask:
+        ``ancestor_mask[i]`` — bitmask of the proper ancestors of ``i``
+        (``Ancestor(D_i)`` of §3.3).
+    data_mask / index_mask:
+        Bitmasks of all data / index ids.
+    """
+
+    def __init__(self, tree: IndexTree, channels: int = 1) -> None:
+        if channels < 1:
+            raise ValueError("channels must be >= 1")
+        self.tree = tree
+        self.channels = channels
+        self.nodes: list[Node] = tree.nodes()
+        self._id_of: dict[int, int] = {
+            id(node): position for position, node in enumerate(self.nodes)
+        }
+
+        count = len(self.nodes)
+        self.parent = [-1] * count
+        self.children: list[tuple[int, ...]] = [()] * count
+        self.is_data = [False] * count
+        self.weight = [0.0] * count
+        self.order = [0] * count
+        self.ancestor_mask = [0] * count
+        self.child_mask = [0] * count
+
+        for node_id, node in enumerate(self.nodes):
+            if node.parent is not None:
+                parent_id = self._id_of[id(node.parent)]
+                self.parent[node_id] = parent_id
+                self.ancestor_mask[node_id] = (
+                    self.ancestor_mask[parent_id] | (1 << parent_id)
+                )
+            if isinstance(node, DataNode):
+                self.is_data[node_id] = True
+                self.weight[node_id] = node.weight
+            else:
+                assert isinstance(node, IndexNode)
+                child_ids = tuple(
+                    self._id_of[id(child)] for child in node.children
+                )
+                self.children[node_id] = child_ids
+                mask = 0
+                for child_id in child_ids:
+                    mask |= 1 << child_id
+                self.child_mask[node_id] = mask
+                self.order[node_id] = node.order
+
+        self.data_ids: tuple[int, ...] = tuple(
+            i for i in range(count) if self.is_data[i]
+        )
+        self.index_ids: tuple[int, ...] = tuple(
+            i for i in range(count) if not self.is_data[i]
+        )
+        self.data_mask = sum(1 << i for i in self.data_ids)
+        self.index_mask = sum(1 << i for i in self.index_ids)
+        self.all_mask = (1 << count) - 1
+        self.total_weight = sum(self.weight[i] for i in self.data_ids)
+        # Data ids sorted by descending weight; preorder position breaks
+        # ties, which makes every "take the n heaviest" rule deterministic.
+        self.data_by_weight: tuple[int, ...] = tuple(
+            sorted(self.data_ids, key=lambda i: (-self.weight[i], i))
+        )
+
+    # -- id <-> node --------------------------------------------------------
+    def id_of(self, node: Node) -> int:
+        """Node id (preorder position) of a node object of this tree."""
+        return self._id_of[id(node)]
+
+    def node_of(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def labels(self, ids: Sequence[int]) -> list[str]:
+        """Debug helper: labels of a sequence of node ids."""
+        return [self.nodes[i].label for i in ids]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # -- availability -------------------------------------------------------
+    @property
+    def root_id(self) -> int:
+        return 0
+
+    def initial_available(self) -> int:
+        """Availability mask before anything is placed: just the root."""
+        return 1
+
+    def release(self, available: int, placed_id: int) -> int:
+        """Availability mask after placing ``placed_id``.
+
+        Removes the placed node and adds its children (whose only
+        predecessor — the parent — is now placed).
+        """
+        return (available & ~(1 << placed_id)) | self.child_mask[placed_id]
+
+    def available_ids(self, available: int) -> list[int]:
+        """Expand an availability mask into a sorted id list."""
+        ids = []
+        position = 0
+        mask = available
+        while mask:
+            if mask & 1:
+                ids.append(position)
+            mask >>= 1
+            position += 1
+        return ids
+
+    def mask_of(self, ids: Sequence[int]) -> int:
+        mask = 0
+        for node_id in ids:
+            mask |= 1 << node_id
+        return mask
+
+    # -- §3.3 ancestor bookkeeping -------------------------------------------
+    def new_ancestors(self, data_id: int, emitted_mask: int) -> list[int]:
+        """``Nancestor``: ancestors of ``data_id`` not yet emitted.
+
+        Returned in root-to-leaf order — the order the broadcast must emit
+        them in (§3.3's broadcast-generation procedure).
+        """
+        pending = self.ancestor_mask[data_id] & ~emitted_mask
+        chain = []
+        node_id = self.parent[data_id]
+        while node_id >= 0 and (pending >> node_id) & 1:
+            chain.append(node_id)
+            node_id = self.parent[node_id]
+        chain.reverse()
+        return chain
+
+    def new_ancestor_count(self, data_id: int, emitted_mask: int) -> int:
+        """``|Nancestor(data_id)|`` without materialising the chain."""
+        return (self.ancestor_mask[data_id] & ~emitted_mask).bit_count()

@@ -1,0 +1,153 @@
+"""ASCII rendering of topological trees and data trees (Figs. 6–12).
+
+The paper communicates its search spaces through tree figures; this
+module regenerates them for any instance, which makes the pruning
+machinery inspectable — `broadcast-alloc spaces` prints the reduced
+trees for the running example exactly in the shape of Figs. 9–11.
+
+Rendering is depth-first with the same lazy generators the search uses,
+so it is safe on pruned trees of any size; ``max_nodes`` guards against
+accidentally asking for Fig. 6 in full.
+"""
+
+from __future__ import annotations
+
+from .candidates import PruningConfig, reduced_children
+from .datatree import DataTreeConfig, eligible_data, property4_allows
+from .problem import AllocationProblem
+
+__all__ = ["render_topological_tree", "render_data_tree"]
+
+
+def render_topological_tree(
+    problem: AllocationProblem,
+    config: PruningConfig | None = None,
+    max_nodes: int = 500,
+) -> str:
+    """Render the (reduced) k-channel topological tree as ASCII.
+
+    Each line is one compound node (its elements' labels); children are
+    indented under their parent. A trailing ``...`` line appears if the
+    ``max_nodes`` budget runs out; dominated dead-end branches are
+    marked ``[dead end]``.
+    """
+    if config is None:
+        config = PruningConfig.paper()
+    lines: list[str] = []
+    budget = [max_nodes]
+
+    def label_of(group: tuple[int, ...]) -> str:
+        return " ".join(problem.nodes[i].label for i in group)
+
+    def walk(
+        placed: int,
+        available: int,
+        group: tuple[int, ...],
+        prefix: str,
+        is_last: bool,
+        is_root: bool,
+    ) -> None:
+        if budget[0] <= 0:
+            return
+        budget[0] -= 1
+        connector = "" if is_root else ("`-- " if is_last else "|-- ")
+        lines.append(f"{prefix}{connector}{label_of(group)}")
+        extension = "" if is_root else ("    " if is_last else "|   ")
+        child_prefix = prefix + extension
+        children = reduced_children(problem, placed, available, group, config)
+        if not children and available:
+            lines.append(f"{child_prefix}`-- [dead end]")
+            return
+        for position, child in enumerate(children):
+            next_placed, next_available = placed, available
+            for node_id in child:
+                next_placed |= 1 << node_id
+                next_available = problem.release(next_available, node_id)
+            walk(
+                next_placed,
+                next_available,
+                child,
+                child_prefix,
+                position == len(children) - 1,
+                False,
+            )
+            if budget[0] <= 0:
+                lines.append(f"{child_prefix}...")
+                return
+
+    root_group = (problem.root_id,)
+    placed = 1 << problem.root_id
+    available = problem.release(problem.initial_available(), problem.root_id)
+    walk(placed, available, root_group, "", True, True)
+    return "\n".join(lines)
+
+
+def render_data_tree(
+    problem: AllocationProblem,
+    config: DataTreeConfig | None = None,
+    max_nodes: int = 500,
+    annotate: bool = False,
+) -> str:
+    """Render the §3.3 data tree (k = 1) as ASCII.
+
+    With ``annotate`` each node shows its ``Nancestor`` set the way
+    Fig. 12 does (``{3,4} C``); Property-4-pruned children are rendered
+    as ``x LABEL`` so the figure's "marked" nodes stay visible.
+    """
+    if config is None:
+        config = DataTreeConfig.paper()
+    lines: list[str] = []
+    budget = [max_nodes]
+
+    def describe(data_id: int, emitted: int) -> str:
+        if not annotate:
+            return problem.nodes[data_id].label
+        chain = problem.new_ancestors(data_id, emitted)
+        names = ",".join(problem.nodes[i].label for i in chain)
+        return f"{{{names}}} {problem.nodes[data_id].label}"
+
+    def walk(
+        placed: int,
+        emitted: int,
+        last: int,
+        last_nanc_mask: int,
+        prefix: str,
+    ) -> None:
+        if budget[0] <= 0:
+            return
+        candidates = eligible_data(problem, placed, config)
+        rendered: list[tuple[int, bool]] = []
+        for candidate in candidates:
+            pruned = (
+                config.property4
+                and last >= 0
+                and not property4_allows(
+                    problem, last, last_nanc_mask, candidate, emitted
+                )
+            )
+            rendered.append((candidate, pruned))
+        for position, (candidate, pruned) in enumerate(rendered):
+            if budget[0] <= 0:
+                lines.append(f"{prefix}...")
+                return
+            budget[0] -= 1
+            is_last = position == len(rendered) - 1
+            connector = "`-- " if is_last else "|-- "
+            marker = "x " if pruned else ""
+            lines.append(
+                f"{prefix}{connector}{marker}{describe(candidate, emitted)}"
+            )
+            if pruned:
+                continue
+            new_ancestors = problem.ancestor_mask[candidate] & ~emitted
+            walk(
+                placed | (1 << candidate),
+                emitted | problem.ancestor_mask[candidate],
+                candidate,
+                new_ancestors,
+                prefix + ("    " if is_last else "|   "),
+            )
+
+    lines.append("(root)")
+    walk(0, 0, -1, 0, "")
+    return "\n".join(lines)

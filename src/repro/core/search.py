@@ -1,0 +1,175 @@
+"""Best-first search over the (reduced) topological tree (§3.1).
+
+The paper finds the optimal path with best-first search under the
+evaluation function ``E(X) = V(X) + U(X)``: ``V(X)`` is the data wait
+accumulated along the path to compound node ``X`` and ``U(X)`` an
+optimistic estimate for the data nodes still unplaced. Two admissible
+estimates are provided:
+
+* ``"adjacent"`` — the paper's: every outstanding data node is assumed to
+  air in the very next slot;
+* ``"packed"`` — strictly tighter: outstanding data nodes are packed
+  k per slot in descending weight starting at the next slot (still a
+  lower bound because index nodes only push data later).
+
+States are de-duplicated on ``(available-mask, last-group, slot)``: the
+available mask determines the placed set, the last group gates the §3.2
+pruning rules, and the slot fixes the cost of every future placement, so
+two search nodes agreeing on all three have identical futures and only
+the cheaper ``V`` needs expanding.
+
+Costs are carried *unnormalised* (``Σ W·T``); divide by the total weight
+for formula (1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from ..exceptions import InfeasibleError, SearchBudgetExceeded
+from .candidates import PruningConfig, reduced_children
+from .problem import AllocationProblem
+
+__all__ = ["SearchResult", "best_first_search", "lower_bound"]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a topological-tree search.
+
+    Attributes
+    ----------
+    cost:
+        Optimal average data wait (formula (1), normalised).
+    path:
+        The optimal root-to-leaf path: one sorted id tuple per slot.
+    nodes_expanded:
+        Compound nodes popped and expanded (search-effort metric).
+    nodes_generated:
+        Successor nodes pushed onto the frontier.
+    """
+
+    cost: float
+    path: list[tuple[int, ...]]
+    nodes_expanded: int
+    nodes_generated: int
+
+
+def lower_bound(
+    problem: AllocationProblem,
+    placed: int,
+    slot: int,
+    bound: str,
+) -> float:
+    """Admissible estimate ``U(X)`` of the outstanding weighted wait."""
+    if bound == "adjacent":
+        outstanding = 0.0
+        for data_id in problem.data_ids:
+            if not (placed >> data_id) & 1:
+                outstanding += problem.weight[data_id]
+        return outstanding * (slot + 1)
+    if bound == "packed":
+        k = problem.channels
+        estimate = 0.0
+        position = 0
+        for data_id in problem.data_by_weight:  # descending weight
+            if (placed >> data_id) & 1:
+                continue
+            estimate += problem.weight[data_id] * (slot + 1 + position // k)
+            position += 1
+        return estimate
+    raise ValueError(f"unknown bound {bound!r} (use 'adjacent' or 'packed')")
+
+
+def best_first_search(
+    problem: AllocationProblem,
+    pruning: PruningConfig | None = None,
+    bound: str = "packed",
+    node_budget: int | None = None,
+) -> SearchResult:
+    """Optimal allocation via best-first search with an admissible bound.
+
+    ``pruning`` selects the §3.2 candidate rules (``PruningConfig.none()``
+    searches the raw Algorithm 1 tree — exact but slow). Raises
+    :class:`SearchBudgetExceeded` when more than ``node_budget`` compound
+    nodes get expanded, and :class:`InfeasibleError` if the frontier
+    drains without completing (cannot happen with sound pruning; it
+    guards against misconfigured rule subsets).
+    """
+    if pruning is None:
+        pruning = PruningConfig.paper()
+
+    counter = itertools.count()
+    start_available = problem.initial_available()
+    start = (0.0, next(counter), 0.0, 0, 0, start_available, (), None)
+    # Tuple layout: (f, tiebreak, g, slot, placed, available, last_group, parent_link)
+    frontier: list[tuple] = [start]
+    best_g: dict[tuple[int, tuple[int, ...], int], float] = {}
+    expanded = 0
+    generated = 0
+
+    while frontier:
+        f, _, g, slot, placed, available, last_group, link = heapq.heappop(frontier)
+        if not available:
+            path = _reconstruct(link)
+            cost = g / problem.total_weight if problem.total_weight else 0.0
+            return SearchResult(
+                cost=cost,
+                path=path,
+                nodes_expanded=expanded,
+                nodes_generated=generated,
+            )
+        state_key = (available, last_group, slot)
+        recorded = best_g.get(state_key)
+        if recorded is not None and recorded < g:
+            continue
+        best_g[state_key] = g
+        expanded += 1
+        if node_budget is not None and expanded > node_budget:
+            raise SearchBudgetExceeded(node_budget)
+
+        for group in reduced_children(problem, placed, available, last_group, pruning):
+            next_placed = placed
+            next_available = available
+            added_weighted = 0.0
+            next_slot = slot + 1
+            for node_id in group:
+                next_placed |= 1 << node_id
+                next_available = problem.release(next_available, node_id)
+                if problem.is_data[node_id]:
+                    added_weighted += problem.weight[node_id] * next_slot
+            next_g = g + added_weighted
+            next_key = (next_available, group, next_slot)
+            known = best_g.get(next_key)
+            if known is not None and known <= next_g:
+                continue
+            estimate = lower_bound(problem, next_placed, next_slot, bound)
+            generated += 1
+            heapq.heappush(
+                frontier,
+                (
+                    next_g + estimate,
+                    next(counter),
+                    next_g,
+                    next_slot,
+                    next_placed,
+                    next_available,
+                    group,
+                    (group, link),
+                ),
+            )
+    raise InfeasibleError(
+        "search frontier drained without a complete allocation; "
+        "the active pruning-rule subset stranded every path"
+    )
+
+
+def _reconstruct(link: tuple | None) -> list[tuple[int, ...]]:
+    path: list[tuple[int, ...]] = []
+    while link is not None:
+        group, link = link
+        path.append(group)
+    path.reverse()
+    return path

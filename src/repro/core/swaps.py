@@ -1,0 +1,101 @@
+"""Swap predicates — Lemmas 1, 2, 4 and 5 of §3.2.
+
+The pruning rules of the paper all reduce to one question: given two
+adjacent compound nodes ``X`` (on the path) and ``Y`` (a candidate
+next-neighbor), can their contents be exchanged — globally (whole nodes
+trade slots, Lemma 1) or locally (one element of each trades, Lemma 4) —
+and if so, which order is at least as good (Lemmas 2, 3 and the unique
+index-node order weights)?
+
+All functions take id tuples against an
+:class:`~repro.core.problem.AllocationProblem`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .problem import AllocationProblem
+
+__all__ = [
+    "can_globally_swap",
+    "global_swap_prefers_first",
+    "can_locally_swap",
+    "local_swap_pairs",
+    "data_weight_sum",
+]
+
+
+def data_weight_sum(problem: AllocationProblem, ids: Iterable[int]) -> float:
+    """Sum of ``W`` over the data nodes among ``ids`` (index nodes add 0)."""
+    return sum(
+        problem.weight[node_id]
+        for node_id in ids
+        if problem.is_data[node_id]
+    )
+
+
+def can_globally_swap(
+    problem: AllocationProblem, first: Sequence[int], second: Sequence[int]
+) -> bool:
+    """Lemma 1: X and Y may trade slots iff no parent-child pair spans them.
+
+    (Adjacent compound nodes can only conflict through a direct
+    parent-child edge; a grandparent relation would already make Y
+    infeasible as a next-neighbor.)
+    """
+    second_mask = problem.mask_of(second)
+    for node_id in first:
+        if problem.child_mask[node_id] & second_mask:
+            return False
+    first_mask = problem.mask_of(first)
+    for node_id in second:
+        if problem.child_mask[node_id] & first_mask:
+            return False
+    return True
+
+
+def global_swap_prefers_first(
+    problem: AllocationProblem, first: Sequence[int], second: Sequence[int]
+) -> bool:
+    """Lemma 2: with a global swap available, X-before-Y is beneficial iff
+    the data weight of X is at least that of Y."""
+    return data_weight_sum(problem, first) >= data_weight_sum(problem, second)
+
+
+def can_locally_swap(
+    problem: AllocationProblem, first: Sequence[int], second: Sequence[int]
+) -> bool:
+    """Lemma 4: some element of X and some element of Y may trade places.
+
+    Requires an ``x`` in X whose children do not appear in Y (so ``x`` may
+    move one slot later) and a ``y`` in Y that is no child of any element
+    of X (so ``y`` may move one slot earlier). Lemma 5 is the special case
+    where X is all index nodes: the pigeonhole argument there guarantees a
+    movable ``x`` whenever a movable ``y`` exists.
+    """
+    return bool(local_swap_pairs(problem, first, second))
+
+
+def local_swap_pairs(
+    problem: AllocationProblem, first: Sequence[int], second: Sequence[int]
+) -> list[tuple[int, int]]:
+    """All (x, y) pairs witnessing Lemma 4 for compound nodes X, Y."""
+    second_mask = problem.mask_of(second)
+    movable_x = [
+        x for x in first if not (problem.child_mask[x] & second_mask)
+    ]
+    if not movable_x:
+        return []
+    children_of_first = _children_union(problem, first)
+    movable_y = [
+        y for y in second if not ((1 << y) & children_of_first)
+    ]
+    return [(x, y) for x in movable_x for y in movable_y if x != y]
+
+
+def _children_union(problem: AllocationProblem, ids: Sequence[int]) -> int:
+    mask = 0
+    for node_id in ids:
+        mask |= problem.child_mask[node_id]
+    return mask

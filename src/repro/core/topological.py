@@ -1,0 +1,136 @@
+"""Algorithm 1 — the (unpruned) k-channel topological tree (§3.1).
+
+Every feasible index-and-data allocation corresponds to a root-to-leaf
+path of the *topological tree*: each tree node is a *compound node*, the
+set of (at most k) index-tree nodes aired at one slot across the k
+channels. Algorithm 1 grows children of a compound node from the set
+``S`` of index-tree nodes whose predecessors are all placed: if
+``|S| <= k`` the single child is ``S`` itself; otherwise there is one
+child per k-component subset of ``S``.
+
+The full tree is astronomically large (Fig. 6), so everything here is
+lazy: :func:`iter_paths` streams paths, :func:`count_paths` counts by DFS
+without materialising anything, and :func:`linear_extension_count` gives
+the closed-form count (the forest hook-length formula) used to
+cross-check the k = 1 tree in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+from typing import Iterator
+
+from ..tree.index_tree import IndexTree
+from ..tree.node import IndexNode
+from .problem import AllocationProblem
+
+__all__ = [
+    "compound_children",
+    "iter_paths",
+    "count_paths",
+    "linear_extension_count",
+]
+
+
+def compound_children(
+    problem: AllocationProblem, available: int
+) -> list[tuple[int, ...]]:
+    """Children of a compound node per Algorithm 1 step 4.
+
+    ``available`` is the availability bitmask (the set ``S``). Returns
+    each child as a sorted tuple of node ids; empty list when ``S`` is
+    empty (the path is complete).
+    """
+    ids = problem.available_ids(available)
+    if not ids:
+        return []
+    k = problem.channels
+    if len(ids) <= k:
+        return [tuple(ids)]
+    return [tuple(subset) for subset in combinations(ids, k)]
+
+
+def iter_paths(
+    problem: AllocationProblem, limit: int | None = None
+) -> Iterator[list[tuple[int, ...]]]:
+    """Stream root-to-leaf paths of the unpruned topological tree.
+
+    Each yielded path is a list of compound nodes (sorted id tuples), in
+    slot order; it is a complete feasible allocation. ``limit`` caps the
+    number of yielded paths (``None`` = all — beware, the tree is huge).
+    """
+    yielded = 0
+    path: list[tuple[int, ...]] = []
+
+    def dfs(available: int) -> Iterator[list[tuple[int, ...]]]:
+        nonlocal yielded
+        if limit is not None and yielded >= limit:
+            return
+        children = compound_children(problem, available)
+        if not children:
+            yielded += 1
+            yield list(path)
+            return
+        for group in children:
+            next_available = available
+            for node_id in group:
+                next_available = problem.release(next_available, node_id)
+            path.append(group)
+            yield from dfs(next_available)
+            path.pop()
+            if limit is not None and yielded >= limit:
+                return
+
+    yield from dfs(problem.initial_available())
+
+
+def count_paths(problem: AllocationProblem) -> int:
+    """Count root-to-leaf paths of the unpruned topological tree.
+
+    Memoises on the availability mask: two partial paths with the same
+    available set have identical sub-trees below them, so the count is a
+    DAG computation even though the topological tree itself is not.
+    """
+    memo: dict[int, int] = {}
+
+    def count(available: int) -> int:
+        if available in memo:
+            return memo[available]
+        children = compound_children(problem, available)
+        if not children:
+            memo[available] = 1
+            return 1
+        total = 0
+        for group in children:
+            next_available = available
+            for node_id in group:
+                next_available = problem.release(next_available, node_id)
+            total += count(next_available)
+        memo[available] = total
+        return total
+
+    return count(problem.initial_available())
+
+
+def linear_extension_count(tree: IndexTree) -> int:
+    """Closed-form number of topological orders of a rooted tree.
+
+    The hook-length formula for forests: ``n! / prod(subtree sizes)``.
+    For k = 1 this equals the number of root-to-leaf paths of the
+    unpruned topological tree (every path is a topological sort).
+    """
+    sizes = []
+
+    def size(node) -> int:
+        total = 1
+        if isinstance(node, IndexNode):
+            total += sum(size(child) for child in node.children)
+        sizes.append(total)
+        return total
+
+    size(tree.root)
+    count = math.factorial(len(sizes))
+    for subtree_size in sizes:
+        count //= subtree_size
+    return count

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class. More specific subclasses are
+raised where the caller can meaningfully distinguish failure modes (an
+infeasible schedule versus a malformed tree, say).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class TreeError(ReproError):
+    """A structural problem with an index tree.
+
+    Raised when a tree violates the invariants in §2.1 of the paper:
+    index nodes must be internal, data nodes must be leaves, weights must
+    be non-negative, and the node graph must be a rooted tree.
+    """
+
+
+class ScheduleError(ReproError):
+    """A structural problem with a broadcast schedule.
+
+    Raised when an allocation is not a one-to-one mapping of nodes to
+    (channel, slot) pairs, or when a child is broadcast no later than its
+    parent (the feasibility condition of §2.2).
+    """
+
+
+class InfeasibleError(ReproError):
+    """No feasible allocation/assignment exists for the given input."""
+
+
+class SearchBudgetExceeded(ReproError):
+    """An exact search exceeded its configured node-expansion budget.
+
+    The optimal searches of §3 are exponential in the worst case; callers
+    set a budget and catch this error to fall back to the §4 heuristics.
+    """
+
+    def __init__(self, budget: int, message: str | None = None) -> None:
+        self.budget = budget
+        super().__init__(
+            message or f"search exceeded its node-expansion budget of {budget}"
+        )
+
+
+class TransformError(ReproError):
+    """The allocation -> personnel-assignment transformation failed."""

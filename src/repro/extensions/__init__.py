@@ -1,0 +1,36 @@
+"""§5 future-work extensions: index replication within a cycle and
+allocation under arbitrary DAG dependencies ([CHK99] direction)."""
+
+from .dag import (
+    DagAllocationProblem,
+    DagResult,
+    dag_order_cost,
+    greedy_dag_order,
+    problem_from_tree,
+    solve_dag,
+)
+from .replication import (
+    ReplicatedProgram,
+    ReplicationPoint,
+    best_replication_factor,
+    expected_access_time_replicated,
+    expected_probe_wait_replicated,
+    replicate_root,
+    replication_tradeoff,
+)
+
+__all__ = [
+    "DagAllocationProblem",
+    "DagResult",
+    "solve_dag",
+    "greedy_dag_order",
+    "dag_order_cost",
+    "problem_from_tree",
+    "ReplicatedProgram",
+    "ReplicationPoint",
+    "replicate_root",
+    "expected_probe_wait_replicated",
+    "expected_access_time_replicated",
+    "replication_tradeoff",
+    "best_replication_factor",
+]

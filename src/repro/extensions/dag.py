@@ -1,0 +1,289 @@
+"""Allocation under DAG dependencies (§5, future work 3).
+
+The paper's last future-work item drops the assumption that the
+dependency structure is a tree: broadcast objects may depend on each
+other through an arbitrary acyclic directed graph ([CHK99] treats the
+single-channel case with allocation rules). The topological-tree view
+of §3 carries over unchanged — feasible broadcasts are still exactly
+the (k-grouped) topological sorts — so this module generalises the
+machinery:
+
+* :class:`DagAllocationProblem` — weighted nodes, arbitrary precedence
+  edges (``networkx.DiGraph`` accepted), k channels; every node may
+  carry weight (the tree case falls out by zero-weighting the index
+  nodes).
+* :func:`solve_dag` — exact best-first search with the packed
+  admissible bound, memoised on ``(available, slot)`` states.
+* :func:`greedy_dag_order` — a linear-time heuristic generalising the
+  §4.2 sorting comparator: the priority of an available node is the
+  weight *density* of its reachable set (``Σ W(reachable) /
+  |reachable|``), i.e. how much outstanding demand a slot spent on it
+  unlocks per future slot — the same per-unit-airtime rule as
+  ``N_B·ΣW(A) >= N_A·ΣW(B)``.
+
+On trees, :func:`solve_dag` provably matches :func:`repro.core.solve`
+(cross-checked in the test suite); on proper DAGs it is the exact
+reference the heuristic is measured against.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping
+
+import networkx as nx
+
+from ..exceptions import InfeasibleError, SearchBudgetExceeded
+
+__all__ = [
+    "DagAllocationProblem",
+    "DagResult",
+    "solve_dag",
+    "greedy_dag_order",
+    "dag_order_cost",
+    "problem_from_tree",
+]
+
+
+class DagAllocationProblem:
+    """A broadcast-allocation instance over an arbitrary DAG.
+
+    Parameters
+    ----------
+    weights:
+        Mapping from node key to access weight (>= 0). Every node of
+        the instance must appear here.
+    edges:
+        Precedence pairs ``(u, v)``: ``u`` must air strictly before
+        ``v``. Alternatively pass a ``networkx.DiGraph`` whose nodes
+        all appear in ``weights``.
+    channels:
+        Number of broadcast channels ``k``.
+    """
+
+    def __init__(
+        self,
+        weights: Mapping[Hashable, float],
+        edges: Iterable[tuple[Hashable, Hashable]] | nx.DiGraph = (),
+        channels: int = 1,
+    ) -> None:
+        if channels < 1:
+            raise ValueError("channels must be >= 1")
+        self.channels = channels
+        self.keys: list[Hashable] = list(weights)
+        self._index: dict[Hashable, int] = {
+            key: position for position, key in enumerate(self.keys)
+        }
+        self.weight = [float(weights[key]) for key in self.keys]
+        if any(w < 0 for w in self.weight):
+            raise ValueError("weights must be non-negative")
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.keys)
+        if isinstance(edges, nx.DiGraph):
+            edge_list = list(edges.edges())
+        else:
+            edge_list = list(edges)
+        for u, v in edge_list:
+            if u not in self._index or v not in self._index:
+                raise ValueError(f"edge ({u!r}, {v!r}) references unknown node")
+            graph.add_edge(u, v)
+        if not nx.is_directed_acyclic_graph(graph):
+            raise InfeasibleError("the dependency graph contains a cycle")
+        self.graph = graph
+
+        count = len(self.keys)
+        self.predecessor_mask = [0] * count
+        self.successor_mask = [0] * count
+        for u, v in graph.edges():
+            self.predecessor_mask[self._index[v]] |= 1 << self._index[u]
+            self.successor_mask[self._index[u]] |= 1 << self._index[v]
+        self.all_mask = (1 << count) - 1
+        self.total_weight = sum(self.weight)
+        self.by_weight = sorted(
+            range(count), key=lambda i: (-self.weight[i], i)
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def id_of(self, key: Hashable) -> int:
+        return self._index[key]
+
+    def available_ids(self, placed: int) -> list[int]:
+        """Nodes whose predecessors are all placed and that are unplaced."""
+        return [
+            i
+            for i in range(len(self.keys))
+            if not (placed >> i) & 1
+            and (self.predecessor_mask[i] & placed) == self.predecessor_mask[i]
+        ]
+
+
+@dataclass
+class DagResult:
+    """An optimal DAG allocation: slot groups of node keys + its cost."""
+
+    cost: float
+    groups: list[list[Hashable]]
+    nodes_expanded: int
+
+
+def _packed_bound(problem: DagAllocationProblem, placed: int, slot: int) -> float:
+    estimate = 0.0
+    position = 0
+    for i in problem.by_weight:
+        if (placed >> i) & 1:
+            continue
+        estimate += problem.weight[i] * (slot + 1 + position // problem.channels)
+        position += 1
+    return estimate
+
+
+def solve_dag(
+    problem: DagAllocationProblem, node_budget: int | None = None
+) -> DagResult:
+    """Exact minimum weighted-wait allocation of a DAG onto k channels.
+
+    Best-first search over ``(placed, slot)`` states; each step packs up
+    to k available nodes into the next slot. The subset generation keeps
+    one dominance rule that is safe for arbitrary DAGs: when fewer
+    available nodes exist than channels, the whole set is taken (adding
+    a free node to an underfull slot never hurts).
+    """
+    count = len(problem)
+    if count == 0:
+        return DagResult(0.0, [], 0)
+    counter = itertools.count()
+    frontier: list[tuple] = [(0.0, next(counter), 0.0, 0, 0, None)]
+    best_g: dict[tuple[int, int], float] = {}
+    expanded = 0
+
+    while frontier:
+        _, _, g, slot, placed, link = heapq.heappop(frontier)
+        if placed == problem.all_mask:
+            groups = _reconstruct(problem, link)
+            cost = g / problem.total_weight if problem.total_weight else 0.0
+            return DagResult(cost, groups, expanded)
+        key = (placed, slot)
+        recorded = best_g.get(key)
+        if recorded is not None and recorded < g:
+            continue
+        best_g[key] = g
+        expanded += 1
+        if node_budget is not None and expanded > node_budget:
+            raise SearchBudgetExceeded(node_budget)
+
+        available = problem.available_ids(placed)
+        if len(available) <= problem.channels:
+            groups = [tuple(available)]
+        else:
+            groups = list(
+                itertools.combinations(available, problem.channels)
+            )
+        next_slot = slot + 1
+        for group in groups:
+            next_placed = placed
+            added = 0.0
+            for i in group:
+                next_placed |= 1 << i
+                added += problem.weight[i] * next_slot
+            next_g = g + added
+            next_key = (next_placed, next_slot)
+            known = best_g.get(next_key)
+            if known is not None and known <= next_g:
+                continue
+            estimate = _packed_bound(problem, next_placed, next_slot)
+            heapq.heappush(
+                frontier,
+                (next_g + estimate, next(counter), next_g, next_slot,
+                 next_placed, (group, link)),
+            )
+    raise InfeasibleError("DAG search drained without completing")
+
+
+def _reconstruct(problem: DagAllocationProblem, link) -> list[list[Hashable]]:
+    groups: list[list[Hashable]] = []
+    while link is not None:
+        group, link = link
+        groups.append([problem.keys[i] for i in group])
+    groups.reverse()
+    return groups
+
+
+def greedy_dag_order(problem: DagAllocationProblem) -> list[list[Hashable]]:
+    """Weight-density greedy heuristic (the §4.2 comparator, DAG-wise).
+
+    At each slot, the k available nodes with the highest *reachable
+    weight density* — outstanding weight reachable from the node divided
+    by the number of outstanding nodes reached — are aired. Ties fall to
+    the heavier node, then to insertion order.
+    """
+    count = len(problem)
+    # Reachability masks via a reverse topological sweep.
+    order = list(nx.topological_sort(problem.graph))
+    reach = [0] * count
+    for key in reversed(order):
+        i = problem.id_of(key)
+        mask = 1 << i
+        successors = problem.successor_mask[i]
+        position = 0
+        remaining = successors
+        while remaining:
+            if remaining & 1:
+                mask |= reach[position]
+            remaining >>= 1
+            position += 1
+        reach[i] = mask
+
+    def density(i: int, placed: int) -> tuple[float, float]:
+        outstanding = reach[i] & ~placed
+        size = outstanding.bit_count()
+        weight = 0.0
+        position = 0
+        remaining = outstanding
+        while remaining:
+            if remaining & 1:
+                weight += problem.weight[position]
+            remaining >>= 1
+            position += 1
+        return (weight / size if size else 0.0, problem.weight[i])
+
+    placed = 0
+    groups: list[list[Hashable]] = []
+    while placed != problem.all_mask:
+        available = problem.available_ids(placed)
+        available.sort(key=lambda i: density(i, placed), reverse=True)
+        group = available[: problem.channels]
+        groups.append([problem.keys[i] for i in group])
+        for i in group:
+            placed |= 1 << i
+    return groups
+
+
+def dag_order_cost(
+    problem: DagAllocationProblem, groups: list[list[Hashable]]
+) -> float:
+    """Weighted average slot of a grouped broadcast (formula (1))."""
+    weighted = 0.0
+    for slot, group in enumerate(groups, start=1):
+        for key in group:
+            weighted += problem.weight[problem.id_of(key)] * slot
+    return weighted / problem.total_weight if problem.total_weight else 0.0
+
+
+def problem_from_tree(tree, channels: int = 1) -> DagAllocationProblem:
+    """View an index tree as a DAG instance (index nodes weigh 0).
+
+    The exact DAG solver on this instance must agree with the native
+    tree solver — the cross-check the test suite runs.
+    """
+    weights: dict[Hashable, float] = {}
+    edges = []
+    for node in tree.preorder():
+        weights[id(node)] = node.weight if node.is_data else 0.0
+        if node.parent is not None:
+            edges.append((id(node.parent), id(node)))
+    return DagAllocationProblem(weights, edges, channels=channels)

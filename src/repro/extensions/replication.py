@@ -1,0 +1,224 @@
+"""Index replication in a broadcast cycle (§5, future work 2).
+
+The paper's base model forbids replication; the price is the probe
+wait — a client tuning in just after the root aired must sit through
+almost a whole cycle before it can even start navigating. §5 proposes
+replicating (and well-organising) index nodes to cut that initial
+latency, the same idea behind the (1, m) indexing of [IVB94a].
+
+This module implements the natural first step: **root replication**.
+The index root is re-broadcast every ``interval`` slots on channel 1
+(data and non-root index nodes shift right to make room), and every
+channel-1 bucket points at the *nearest upcoming* root copy instead of
+the next cycle's first bucket. Each root copy carries the same child
+pointers, re-targeted to the original (unreplicated) child positions —
+children always air after every copy that precedes them... which only
+holds for copies placed before the first child; later copies instead
+point forward into the *next* cycle. To keep pointer semantics simple
+and exactly analysable we therefore use the classic (1, m) layout: the
+cycle is divided into ``m`` equal segments, a root copy heads each
+segment, and a client needs at most one segment — not one cycle — of
+probe wait before it reaches a root.
+
+Trade-off quantified by :func:`replication_tradeoff`: each copy adds a
+slot to the cycle (data wait up), while the expected probe wait falls
+roughly by half per doubling of ``m``. The bench sweeps ``m`` and finds
+the access-time-minimising replication factor, reproducing the shape
+[IVB94a] reports and the paper anticipates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..broadcast.schedule import BroadcastSchedule
+from ..core.optimal import solve
+from ..tree.index_tree import IndexTree
+from ..tree.node import Node
+
+__all__ = [
+    "ReplicatedProgram",
+    "replicate_root",
+    "expected_probe_wait_replicated",
+    "expected_access_time_replicated",
+    "replication_tradeoff",
+    "best_replication_factor",
+]
+
+
+@dataclass
+class ReplicatedProgram:
+    """A single-channel broadcast cycle with ``copies`` root replicas.
+
+    ``order`` is the full cycle content: root copies (the same root node
+    object appearing ``copies`` times) plus every other node once.
+    ``base_schedule`` is the unreplicated optimal schedule the layout
+    was derived from; ``root_slots`` are the 1-based slots of the root
+    copies.
+    """
+
+    tree: IndexTree
+    order: list[Node]
+    root_slots: list[int]
+    copies: int
+    base_schedule: BroadcastSchedule
+
+    @property
+    def cycle_length(self) -> int:
+        return len(self.order)
+
+    def data_wait(self) -> float:
+        """Formula (1) over the replicated cycle.
+
+        ``T(D_i)`` is still measured from the cycle start; the inserted
+        root copies push data nodes later, which is exactly the cost
+        side of the trade-off.
+        """
+        total = 0.0
+        weighted = 0.0
+        for slot, node in enumerate(self.order, start=1):
+            if node.is_data:
+                weighted += node.weight * slot  # type: ignore[attr-defined]
+                total += node.weight  # type: ignore[attr-defined]
+        return weighted / total if total else 0.0
+
+
+def replicate_root(tree: IndexTree, copies: int = 1) -> ReplicatedProgram:
+    """Build a (1, m)-style single-channel cycle with ``copies`` roots.
+
+    The unreplicated optimal broadcast order is computed first; the
+    cycle body (everything after the original root) is then split into
+    ``copies`` near-equal segments, each headed by a root copy. With
+    ``copies == 1`` this is exactly the optimal unreplicated broadcast.
+    """
+    if copies < 1:
+        raise ValueError("copies must be >= 1")
+    base = solve(tree, channels=1)
+    base_order = sorted(
+        tree.nodes(), key=lambda node: base.schedule.slot_of(node)
+    )
+    assert base_order[0] is tree.root
+    body = base_order[1:]
+    if not body:
+        return ReplicatedProgram(tree, [tree.root], [1], 1, base.schedule)
+
+    segments: list[list[Node]] = []
+    base_size, remainder = divmod(len(body), copies)
+    start = 0
+    for segment_index in range(copies):
+        size = base_size + (1 if segment_index < remainder else 0)
+        segments.append(body[start:start + size])
+        start += size
+
+    order: list[Node] = []
+    root_slots: list[int] = []
+    for segment in segments:
+        root_slots.append(len(order) + 1)
+        order.append(tree.root)
+        order.extend(segment)
+    return ReplicatedProgram(tree, order, root_slots, copies, base.schedule)
+
+
+def expected_probe_wait_replicated(program: ReplicatedProgram) -> float:
+    """Mean slots from tune-in until a root copy has been read.
+
+    The client tunes in uniformly at the start of slot ``t`` and reads
+    forward (wrapping into the next cycle) until the first slot holding
+    a root copy; the probe wait is the number of slots from ``t``
+    through that slot inclusive.
+    """
+    cycle = program.cycle_length
+    is_root_slot = [False] * (cycle + 1)
+    for slot in program.root_slots:
+        is_root_slot[slot] = True
+    total = 0
+    for tune in range(1, cycle + 1):
+        wait = 0
+        slot = tune
+        while True:
+            wait += 1
+            if is_root_slot[(slot - 1) % cycle + 1]:
+                break
+            slot += 1
+        total += wait
+    return total / cycle
+
+
+def expected_access_time_replicated(program: ReplicatedProgram) -> float:
+    """Mean slots from tune-in until the requested item is downloaded.
+
+    After the probe, the client follows the index from the root copy it
+    caught. A copy at slot ``r`` reaches items at slots ``> r`` within
+    the same cycle and wraps into the next cycle for earlier items:
+    access = probe + (T(D) - r  mod  cycle). Averaged over uniform
+    tune-in slots and weight-distributed targets.
+    """
+    cycle = program.cycle_length
+    total_weight = program.tree.total_weight()
+    if total_weight == 0:
+        return 0.0
+    item_slots = {
+        id(node): slot
+        for slot, node in enumerate(program.order, start=1)
+        if node.is_data
+    }
+    is_root_slot = set(program.root_slots)
+
+    grand_total = 0.0
+    for tune in range(1, cycle + 1):
+        # Find the first root copy at or after the tune-in slot.
+        wait = 0
+        slot = tune
+        while True:
+            wait += 1
+            wrapped = (slot - 1) % cycle + 1
+            if wrapped in is_root_slot:
+                root_slot = wrapped
+                break
+            slot += 1
+        for node in program.tree.data_nodes():
+            target = item_slots[id(node)]
+            forward = (target - root_slot) % cycle
+            if forward == 0:
+                forward = cycle
+            grand_total += node.weight * (wait + forward)
+    return grand_total / (cycle * total_weight)
+
+
+@dataclass
+class ReplicationPoint:
+    """One sweep point of the probe-wait / data-wait trade-off."""
+
+    copies: int
+    cycle_length: int
+    data_wait: float
+    probe_wait: float
+    access_time: float
+
+
+def replication_tradeoff(
+    tree: IndexTree, factors: tuple[int, ...] = (1, 2, 3, 4, 6, 8)
+) -> list[ReplicationPoint]:
+    """Sweep the replication factor and report each side of the trade."""
+    points = []
+    for copies in factors:
+        program = replicate_root(tree, copies)
+        points.append(
+            ReplicationPoint(
+                copies=copies,
+                cycle_length=program.cycle_length,
+                data_wait=program.data_wait(),
+                probe_wait=expected_probe_wait_replicated(program),
+                access_time=expected_access_time_replicated(program),
+            )
+        )
+    return points
+
+
+def best_replication_factor(
+    tree: IndexTree, factors: tuple[int, ...] = (1, 2, 3, 4, 6, 8)
+) -> ReplicationPoint:
+    """The sweep point with the lowest expected access time."""
+    return min(
+        replication_tradeoff(tree, factors), key=lambda p: p.access_time
+    )

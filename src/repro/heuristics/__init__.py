@@ -1,0 +1,27 @@
+"""The §4.2 heuristics for large broadcast data: Index Tree Shrinking
+(node combination + tree partitioning) and Index Tree Sorting with the
+linear-time ``1_To_k_BroadcastChannel`` allocation."""
+
+from .channel_allocation import allocate_sorted_tree, sorting_schedule
+from .local_search import polish_order, polish_schedule
+from .shrinking import combine_and_solve, partition_and_solve, shrink_and_solve
+from .sorting import (
+    sorted_index_tree,
+    sorting_broadcast,
+    sorting_order,
+    subtree_priority_cmp,
+)
+
+__all__ = [
+    "subtree_priority_cmp",
+    "sorted_index_tree",
+    "sorting_order",
+    "sorting_broadcast",
+    "sorting_schedule",
+    "allocate_sorted_tree",
+    "combine_and_solve",
+    "partition_and_solve",
+    "shrink_and_solve",
+    "polish_schedule",
+    "polish_order",
+]

@@ -1,0 +1,245 @@
+"""Binary bucket encoding — the broadcast's wire format (§2.1).
+
+The paper's medium transmits fixed-size *buckets*; an index bucket must
+carry its whole pointer table, which is exactly why [SV96] adjusts the
+tree fanout "such that a tree node can fit in a wireless packet of any
+size". This module makes that constraint concrete:
+
+* :func:`encode_program` serialises a compiled
+  :class:`~repro.broadcast.BroadcastProgram` into one ``bucket_size``-
+  byte frame per (channel, slot) cell;
+* :func:`decode_bucket` parses a frame back into a
+  :class:`DecodedBucket` — everything a receiver needs and nothing the
+  object graph knows;
+* :func:`max_fanout_for_bucket_size` inverts the size arithmetic, the
+  number [SV96] tunes the tree with.
+
+Frame layout (big-endian, ASCII-safe labels/keys):
+
+====== ======================================================
+offset content
+====== ======================================================
+0      bucket type: 0 empty, 1 index, 2 data
+1–2    next-cycle pointer offset (0 when absent; channel-1 only)
+3      label length ``L`` (0–255)
+4–     label bytes
+..     index: pointer count ``n``, then per pointer
+       ``channel:u8, offset:u16, key length:u8, key bytes`` —
+       the key is the *max key* of the child's subtree, so a
+       receiver routes by key comparison alone
+       data: payload length ``u16`` + payload bytes
+pad    zeros up to ``bucket_size``
+====== ======================================================
+
+Every frame is exactly ``bucket_size`` bytes; content that does not fit
+raises :class:`WireFormatError` instead of silently truncating — the
+same hard edge a real MAC layer has.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from ..broadcast.pointers import BroadcastProgram
+from ..exceptions import ReproError
+from ..tree.node import DataNode, IndexNode, Node
+
+__all__ = [
+    "WireFormatError",
+    "DecodedPointer",
+    "DecodedBucket",
+    "encode_bucket",
+    "decode_bucket",
+    "encode_program",
+    "decode_cycle",
+    "index_bucket_size",
+    "max_fanout_for_bucket_size",
+]
+
+DEFAULT_BUCKET_SIZE = 96
+
+_TYPE_EMPTY = 0
+_TYPE_INDEX = 1
+_TYPE_DATA = 2
+
+
+class WireFormatError(ReproError):
+    """A bucket's content does not fit the frame, or a frame is corrupt."""
+
+
+@dataclass(frozen=True)
+class DecodedPointer:
+    """A received (channel, offset) pointer with its routing key."""
+
+    channel: int
+    offset: int
+    key_hi: str
+
+
+@dataclass
+class DecodedBucket:
+    """A parsed frame: what a receiver knows about one bucket."""
+
+    kind: str  # "empty" | "index" | "data"
+    label: str = ""
+    next_cycle_offset: int = 0
+    pointers: list[DecodedPointer] = field(default_factory=list)
+    payload: bytes = b""
+
+
+def _subtree_max_key(node: Node) -> str:
+    """The largest routing key under ``node`` (keys default to labels)."""
+    best = ""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, DataNode):
+            key = str(current.key) if current.key is not None else current.label
+            best = max(best, key)
+        else:
+            assert isinstance(current, IndexNode)
+            stack.extend(current.children)
+    return best
+
+
+def encode_bucket(
+    bucket, bucket_size: int = DEFAULT_BUCKET_SIZE
+) -> bytes:
+    """Serialise one :class:`~repro.broadcast.bucket.Bucket` to a frame."""
+    next_offset = (
+        bucket.next_cycle_pointer.offset if bucket.next_cycle_pointer else 0
+    )
+    if not 0 <= next_offset <= 0xFFFF:
+        raise WireFormatError(f"next-cycle offset {next_offset} out of range")
+
+    if bucket.node is None:
+        body = b""
+        kind = _TYPE_EMPTY
+        label = b""
+    else:
+        label = bucket.node.label.encode()
+        if len(label) > 255:
+            raise WireFormatError("label longer than 255 bytes")
+        if isinstance(bucket.node, IndexNode):
+            kind = _TYPE_INDEX
+            parts = [struct.pack(">B", len(bucket.child_pointers))]
+            for pointer, child in zip(
+                bucket.child_pointers, bucket.node.children
+            ):
+                key = _subtree_max_key(child).encode()
+                if len(key) > 255:
+                    raise WireFormatError("routing key longer than 255 bytes")
+                if not 0 < pointer.offset <= 0xFFFF:
+                    raise WireFormatError(
+                        f"child offset {pointer.offset} out of range"
+                    )
+                parts.append(
+                    struct.pack(">BHB", pointer.channel, pointer.offset, len(key))
+                    + key
+                )
+            body = b"".join(parts)
+        else:
+            kind = _TYPE_DATA
+            payload = f"item:{bucket.node.label}".encode()
+            body = struct.pack(">H", len(payload)) + payload
+
+    frame = struct.pack(">BHB", kind, next_offset, len(label)) + label + body
+    if len(frame) > bucket_size:
+        raise WireFormatError(
+            f"bucket content ({len(frame)} bytes) exceeds the "
+            f"{bucket_size}-byte frame; lower the tree fanout or raise "
+            "the bucket size"
+        )
+    return frame + b"\x00" * (bucket_size - len(frame))
+
+
+def _decode_text(data: bytes, what: str) -> str:
+    try:
+        return data.decode()
+    except UnicodeDecodeError as error:
+        raise WireFormatError(f"{what} is not valid UTF-8") from error
+
+
+def decode_bucket(frame: bytes) -> DecodedBucket:
+    """Parse one frame; raises :class:`WireFormatError` on corruption."""
+    if len(frame) < 4:
+        raise WireFormatError("frame shorter than the fixed header")
+    kind, next_offset, label_length = struct.unpack(">BHB", frame[:4])
+    cursor = 4
+    if cursor + label_length > len(frame):
+        raise WireFormatError("label overruns the frame")
+    label = _decode_text(frame[cursor:cursor + label_length], "label")
+    cursor += label_length
+
+    if kind == _TYPE_EMPTY:
+        return DecodedBucket("empty", next_cycle_offset=next_offset)
+    if kind == _TYPE_DATA:
+        if cursor + 2 > len(frame):
+            raise WireFormatError("data payload header overruns the frame")
+        (payload_length,) = struct.unpack(">H", frame[cursor:cursor + 2])
+        cursor += 2
+        if cursor + payload_length > len(frame):
+            raise WireFormatError("data payload overruns the frame")
+        payload = frame[cursor:cursor + payload_length]
+        return DecodedBucket(
+            "data", label=label, next_cycle_offset=next_offset, payload=payload
+        )
+    if kind == _TYPE_INDEX:
+        if cursor >= len(frame):
+            raise WireFormatError("pointer count missing")
+        count = frame[cursor]
+        cursor += 1
+        pointers = []
+        for _ in range(count):
+            if cursor + 4 > len(frame):
+                raise WireFormatError("pointer record overruns the frame")
+            channel, offset, key_length = struct.unpack(
+                ">BHB", frame[cursor:cursor + 4]
+            )
+            cursor += 4
+            if cursor + key_length > len(frame):
+                raise WireFormatError("routing key overruns the frame")
+            key = _decode_text(frame[cursor:cursor + key_length], "routing key")
+            cursor += key_length
+            pointers.append(DecodedPointer(channel, offset, key))
+        return DecodedBucket(
+            "index",
+            label=label,
+            next_cycle_offset=next_offset,
+            pointers=pointers,
+        )
+    raise WireFormatError(f"unknown bucket type {kind}")
+
+
+def encode_program(
+    program: BroadcastProgram, bucket_size: int = DEFAULT_BUCKET_SIZE
+) -> list[list[bytes]]:
+    """Serialise a whole cycle: ``frames[channel-1][slot-1]``."""
+    return [
+        [encode_bucket(bucket, bucket_size) for bucket in row]
+        for row in program.buckets
+    ]
+
+
+def decode_cycle(frames: list[list[bytes]]) -> list[list[DecodedBucket]]:
+    """Parse every frame of an encoded cycle."""
+    return [[decode_bucket(frame) for frame in row] for row in frames]
+
+
+def index_bucket_size(fanout: int, label_bytes: int = 8, key_bytes: int = 8) -> int:
+    """Frame bytes an index bucket with ``fanout`` pointers needs."""
+    return 4 + label_bytes + 1 + fanout * (4 + key_bytes)
+
+
+def max_fanout_for_bucket_size(
+    bucket_size: int, label_bytes: int = 8, key_bytes: int = 8
+) -> int:
+    """The largest tree fanout whose index bucket fits ``bucket_size``.
+
+    This is the [SV96] tuning knob: pick the k-ary alphabetic tree whose
+    nodes fill — but do not overflow — a wireless packet.
+    """
+    budget = bucket_size - 4 - label_bytes - 1
+    per_pointer = 4 + key_bytes
+    return max(0, budget // per_pointer)

@@ -1,0 +1,116 @@
+"""A receiver that navigates the broadcast from raw frames only.
+
+Where :mod:`repro.client.protocol` walks the in-memory object graph,
+this client sees nothing but the byte stream of
+:mod:`repro.io.wire`: it decodes each frame it tunes to, routes by
+comparing its search key against the pointer table's ``key_hi``
+separators (an alphabetic index tree is a search tree — the property
+the paper insists on in §1), and dozes between frames. Agreement with
+the object-level protocol is asserted in the test suite, closing the
+serialisation loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ReproError
+from .wire import DecodedBucket, WireFormatError, decode_bucket
+
+__all__ = ["WireAccessRecord", "run_request_wire"]
+
+
+class _LookupFailed(ReproError):
+    pass
+
+
+@dataclass(frozen=True)
+class WireAccessRecord:
+    """Measured outcome of one frame-level request."""
+
+    key: str
+    tune_slot: int
+    access_time: int
+    data_wait: int
+    tuning_time: int
+    channel_switches: int
+    payload: bytes
+
+
+def run_request_wire(
+    frames: list[list[bytes]], key: str, tune_slot: int
+) -> WireAccessRecord:
+    """Fetch the item with search key ``key`` from an encoded cycle.
+
+    ``frames[channel-1][slot-1]`` is the byte frame aired on that cell;
+    the cycle repeats. The client tunes into channel 1 at ``tune_slot``,
+    follows the next-cycle pointer to the root, then routes down the
+    index by key comparison. Raises :class:`WireFormatError` on corrupt
+    frames and :class:`ReproError` when the key routes nowhere.
+    """
+    cycle = len(frames[0])
+    if not 1 <= tune_slot <= cycle:
+        raise ValueError(f"tune_slot must be in 1..{cycle}")
+
+    tuning = 1
+    switches = 0
+    current_channel = 1
+
+    first = decode_bucket(frames[0][tune_slot - 1])
+    if first.next_cycle_offset <= 0:
+        raise WireFormatError("channel-1 frame lacks a next-cycle pointer")
+    # Absolute slot (from this cycle's start) of the root frame.
+    absolute = tune_slot + first.next_cycle_offset
+    root_slot = absolute - cycle
+    bucket = decode_bucket(frames[0][root_slot - 1])
+    tuning += 1
+    if bucket.kind != "index":
+        raise WireFormatError("next-cycle pointer landed off the index root")
+
+    while bucket.kind == "index":
+        pointer = _route(bucket, key)
+        if pointer.channel != current_channel:
+            switches += 1
+            current_channel = pointer.channel
+        absolute += pointer.offset
+        slot = absolute - cycle
+        if not 1 <= slot <= cycle:
+            raise WireFormatError("pointer walked out of the cycle")
+        bucket = decode_bucket(frames[pointer.channel - 1][slot - 1])
+        tuning += 1
+        if bucket.kind == "empty":
+            raise WireFormatError("pointer landed on an empty bucket")
+
+    if bucket.label != key and not bucket.label.startswith(key):
+        # Route by key ordering: landing elsewhere means the key is
+        # absent from the broadcast (or the index is not alphabetic).
+        raise _LookupFailed(
+            f"lookup for {key!r} ended at {bucket.label!r}"
+        )
+    data_wait = absolute - cycle
+    access_time = (cycle - tune_slot + 1) + data_wait
+    return WireAccessRecord(
+        key=key,
+        tune_slot=tune_slot,
+        access_time=access_time,
+        data_wait=data_wait,
+        tuning_time=tuning,
+        channel_switches=switches,
+        payload=bucket.payload,
+    )
+
+
+def _route(bucket: DecodedBucket, key: str):
+    """Pick the child pointer whose key range covers ``key``.
+
+    ``key_hi`` separators are the max key of each child's subtree; the
+    first pointer with ``key <= key_hi`` covers the key. Falls off the
+    end to the last pointer (keys above the maximum cannot exist, but a
+    search must terminate somewhere to discover that).
+    """
+    for pointer in bucket.pointers:
+        if key <= pointer.key_hi:
+            return pointer
+    if not bucket.pointers:
+        raise WireFormatError(f"index bucket {bucket.label!r} has no pointers")
+    return bucket.pointers[-1]

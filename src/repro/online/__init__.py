@@ -1,0 +1,12 @@
+"""§5 future-work extension: online frequency estimation and periodic
+re-planning against drifting access patterns."""
+
+from .adaptive import AdaptiveBroadcaster, EpochReport, simulate_drift
+from .estimator import DecayingFrequencyEstimator
+
+__all__ = [
+    "DecayingFrequencyEstimator",
+    "AdaptiveBroadcaster",
+    "EpochReport",
+    "simulate_drift",
+]

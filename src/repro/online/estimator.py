@@ -1,0 +1,101 @@
+"""Access-frequency estimation from observed requests (§5, future work 1).
+
+The paper's first future-work item: access patterns drift, so the
+server must re-estimate item popularity on line and refresh the
+broadcast. The classic mechanism (also used by [DCK97]/[SRB97] for
+choosing *what* to broadcast) is an exponentially decayed request
+counter per item: recent requests dominate, old popularity fades at a
+configurable half-life.
+
+:class:`DecayingFrequencyEstimator` keeps one decayed counter per item
+with O(1) updates (decay is applied lazily via a global time stamp), and
+emits weight estimates normalised to a stable total so re-solved
+schedules are comparable across epochs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable
+
+__all__ = ["DecayingFrequencyEstimator"]
+
+
+class DecayingFrequencyEstimator:
+    """Exponentially decayed per-item request counters.
+
+    Parameters
+    ----------
+    items:
+        The broadcast catalog keys; unknown keys in ``observe`` raise.
+    half_life:
+        Number of time ticks after which an unreinforced count halves.
+    prior:
+        Initial (uniform) pseudo-count per item, so fresh estimators
+        produce sane uniform weights instead of zeros.
+    """
+
+    def __init__(
+        self,
+        items: Iterable[Hashable],
+        half_life: float = 500.0,
+        prior: float = 1.0,
+    ) -> None:
+        if half_life <= 0:
+            raise ValueError("half_life must be positive")
+        if prior < 0:
+            raise ValueError("prior must be non-negative")
+        self._decay_rate = math.log(2.0) / half_life
+        self._clock = 0.0
+        # Counts are stored as of the moment in ``_stamp[item]``; decay
+        # is applied lazily when the item is touched or read.
+        self._counts: dict[Hashable, float] = {item: prior for item in items}
+        self._stamps: dict[Hashable, float] = {item: 0.0 for item in items}
+        if not self._counts:
+            raise ValueError("estimator needs at least one item")
+
+    # -- time ----------------------------------------------------------------
+    def tick(self, amount: float = 1.0) -> None:
+        """Advance the estimator's clock (e.g. one slot or one request)."""
+        if amount < 0:
+            raise ValueError("time cannot run backwards")
+        self._clock += amount
+
+    def _current(self, item: Hashable) -> float:
+        age = self._clock - self._stamps[item]
+        return self._counts[item] * math.exp(-self._decay_rate * age)
+
+    # -- observations ----------------------------------------------------------
+    def observe(self, item: Hashable, weight: float = 1.0) -> None:
+        """Record a request for ``item`` at the current clock."""
+        if item not in self._counts:
+            raise KeyError(f"unknown item {item!r}")
+        self._counts[item] = self._current(item) + weight
+        self._stamps[item] = self._clock
+
+    def observe_batch(self, items: Iterable[Hashable]) -> None:
+        """Record a request per element, ticking once per request."""
+        for item in items:
+            self.observe(item)
+            self.tick()
+
+    # -- estimates ----------------------------------------------------------------
+    def estimate(self, item: Hashable) -> float:
+        """The decayed count of a single item."""
+        return self._current(item)
+
+    def weights(self, scale: float = 100.0) -> dict[Hashable, float]:
+        """All items' weights, normalised so the heaviest is ``scale``.
+
+        Normalisation keeps the magnitudes in the range the rest of the
+        library's examples use and makes epochs comparable.
+        """
+        raw = {item: self._current(item) for item in self._counts}
+        top = max(raw.values())
+        if top <= 0:
+            return {item: scale for item in raw}
+        return {item: scale * value / top for item, value in raw.items()}
+
+    def ranking(self) -> list[Hashable]:
+        """Items sorted by estimated popularity, most popular first."""
+        return sorted(self._counts, key=self.estimate, reverse=True)

@@ -1,0 +1,14 @@
+"""Personnel Assignment Problem (§2.2): model, solver, and the broadcast
+transformation the paper's solution technique is derived from."""
+
+from .problem import PersonnelAssignmentProblem
+from .solver import AssignmentResult, solve_assignment
+from .transform import allocation_from_assignment, to_assignment_problem
+
+__all__ = [
+    "PersonnelAssignmentProblem",
+    "AssignmentResult",
+    "solve_assignment",
+    "to_assignment_problem",
+    "allocation_from_assignment",
+]

@@ -1,0 +1,105 @@
+"""The Personnel Assignment Problem (§2.2).
+
+The paper grounds its search technique in this NP-hard problem: given a
+linearly ordered set of *persons* and a partially ordered set of *jobs*,
+assign jobs to persons one-to-one such that ``J_i <= J_j`` implies
+``f(J_i) < f(J_j)``, minimising the total assignment cost ``Σ C[i][f(i)]``.
+
+:class:`PersonnelAssignmentProblem` models the classic form (one job per
+person). The broadcast transform in :mod:`repro.personnel.transform`
+produces the generalised form the paper uses — up to ``k`` order-free
+jobs may share a person (a channel slot) — represented by
+``capacity > 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..exceptions import InfeasibleError
+
+__all__ = ["PersonnelAssignmentProblem"]
+
+
+@dataclass
+class PersonnelAssignmentProblem:
+    """A (possibly capacitated) personnel assignment instance.
+
+    Attributes
+    ----------
+    costs:
+        ``costs[j][p]`` — cost of assigning job ``j`` to person ``p``.
+        Row count is the number of jobs; column count the number of
+        persons.
+    precedence:
+        Pairs ``(i, j)`` meaning ``J_i <= J_j`` (job ``i`` must go to an
+        earlier person than job ``j``). The transitive closure need not
+        be given.
+    capacity:
+        Jobs a single person may hold (1 for the classic problem; ``k``
+        for the slot interpretation, where co-assigned jobs must be
+        order-free — enforced by the solver through the precedence
+        relation itself).
+    """
+
+    costs: Sequence[Sequence[float]]
+    precedence: Sequence[tuple[int, int]] = field(default_factory=list)
+    capacity: int = 1
+
+    def __post_init__(self) -> None:
+        self.job_count = len(self.costs)
+        self.person_count = len(self.costs[0]) if self.job_count else 0
+        for row in self.costs:
+            if len(row) != self.person_count:
+                raise ValueError("cost matrix rows must have equal length")
+        for before, after in self.precedence:
+            if not (0 <= before < self.job_count and 0 <= after < self.job_count):
+                raise ValueError(
+                    f"precedence pair ({before}, {after}) out of range"
+                )
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if self.job_count > self.person_count * self.capacity:
+            raise InfeasibleError(
+                f"{self.job_count} jobs cannot fit "
+                f"{self.person_count} persons x capacity {self.capacity}"
+            )
+
+    # -- derived structure -------------------------------------------------
+    def predecessors(self) -> list[list[int]]:
+        """Direct predecessor lists per job."""
+        result: list[list[int]] = [[] for _ in range(self.job_count)]
+        for before, after in self.precedence:
+            result[after].append(before)
+        return result
+
+    def successors(self) -> list[list[int]]:
+        """Direct successor lists per job."""
+        result: list[list[int]] = [[] for _ in range(self.job_count)]
+        for before, after in self.precedence:
+            result[before].append(after)
+        return result
+
+    def is_feasible_assignment(self, assignment: Sequence[int]) -> bool:
+        """Whether ``assignment[j] = person`` satisfies all constraints."""
+        if len(assignment) != self.job_count:
+            return False
+        load: dict[int, int] = {}
+        for person in assignment:
+            if not 0 <= person < self.person_count:
+                return False
+            load[person] = load.get(person, 0) + 1
+            if load[person] > self.capacity:
+                return False
+        for before, after in self.precedence:
+            if assignment[before] >= assignment[after]:
+                return False
+        return True
+
+    def assignment_cost(self, assignment: Sequence[int]) -> float:
+        """Total cost ``Σ costs[j][assignment[j]]``."""
+        return sum(
+            self.costs[job][person]
+            for job, person in enumerate(assignment)
+        )

@@ -1,0 +1,76 @@
+"""§2.2's problem transformation: broadcast allocation → personnel assignment.
+
+Jobs are the index-tree nodes (``J = I ∪ D``) with the tree's
+parent-child order; persons are the channel slots, linearly ordered, each
+holding up to ``k`` order-free jobs (Fig. 4). The cost of assigning a
+*data* node to slot ``s`` is ``W(D_i) · s`` — summing these reproduces
+the unnormalised formula (1) — while index nodes cost nothing wherever
+they go.
+
+:func:`to_assignment_problem` builds that instance;
+:func:`allocation_from_assignment` converts a solved assignment back into
+a broadcast schedule. The test suite round-trips small trees through the
+PAP solver and checks the optimum matches the native broadcast search —
+the equivalence claim of §2.2.
+"""
+
+from __future__ import annotations
+
+from ..broadcast.assembly import assemble_schedule
+from ..broadcast.schedule import BroadcastSchedule
+from ..core.problem import AllocationProblem
+from ..exceptions import TransformError
+from .problem import PersonnelAssignmentProblem
+from .solver import AssignmentResult
+
+__all__ = ["to_assignment_problem", "allocation_from_assignment"]
+
+
+def to_assignment_problem(
+    problem: AllocationProblem, slots: int | None = None
+) -> PersonnelAssignmentProblem:
+    """Build the PAP instance for a broadcast allocation problem.
+
+    ``slots`` defaults to the node count — always enough persons, since a
+    feasible allocation never needs more slots than nodes.
+    """
+    node_count = len(problem)
+    if slots is None:
+        slots = node_count
+    costs = [
+        [
+            problem.weight[node_id] * (slot + 1)  # persons are 0-based
+            for slot in range(slots)
+        ]
+        for node_id in range(node_count)
+    ]
+    precedence = [
+        (problem.parent[node_id], node_id)
+        for node_id in range(node_count)
+        if problem.parent[node_id] >= 0
+    ]
+    return PersonnelAssignmentProblem(
+        costs=costs, precedence=precedence, capacity=problem.channels
+    )
+
+
+def allocation_from_assignment(
+    problem: AllocationProblem, result: AssignmentResult
+) -> BroadcastSchedule:
+    """Convert a solved assignment back into a broadcast schedule.
+
+    Persons (0-based) become slots (1-based); idle persons are squeezed
+    out so the schedule stays dense, which never increases any data
+    node's wait. Raises :class:`TransformError` if the assignment does
+    not cover every node.
+    """
+    if len(result.assignment) != len(problem):
+        raise TransformError(
+            "assignment length does not match the node count"
+        )
+    used_persons = sorted(set(result.assignment))
+    slot_of_person = {person: s + 1 for s, person in enumerate(used_persons)}
+    groups: list[list] = [[] for _ in used_persons]
+    for node_id, person in enumerate(result.assignment):
+        groups[slot_of_person[person] - 1].append(problem.node_of(node_id))
+    return assemble_schedule(problem.tree, groups, problem.channels)

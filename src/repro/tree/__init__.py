@@ -1,0 +1,58 @@
+"""Index-tree substrate: nodes, trees, builders, and constructions.
+
+The paper assumes a k-nary *alphabetic Huffman* index tree ([HT71]/[SV96])
+over the broadcast data; this package implements that structure from
+scratch together with the builders its experiments use (full balanced
+m-ary trees, the Fig. 1 running example) and the classic Huffman tree it
+is contrasted against.
+"""
+
+from .alphabetic import (
+    alphabetic_cost,
+    build_index,
+    garsia_wachs_levels,
+    garsia_wachs_tree,
+    hu_tucker_levels,
+    hu_tucker_tree,
+    optimal_alphabetic_tree,
+    weight_balanced_tree,
+)
+from .builders import (
+    balanced_tree,
+    chain_tree,
+    data_labels,
+    from_spec,
+    paper_example_tree,
+    random_tree,
+)
+from .huffman import expected_probe_depth, huffman_tree
+from .index_tree import IndexTree
+from .node import DataNode, IndexNode, Node
+from .validation import is_alphabetic, is_full_balanced, leaf_depths, trees_equal
+
+__all__ = [
+    "Node",
+    "IndexNode",
+    "DataNode",
+    "IndexTree",
+    "paper_example_tree",
+    "balanced_tree",
+    "chain_tree",
+    "random_tree",
+    "from_spec",
+    "data_labels",
+    "hu_tucker_levels",
+    "hu_tucker_tree",
+    "garsia_wachs_levels",
+    "garsia_wachs_tree",
+    "optimal_alphabetic_tree",
+    "weight_balanced_tree",
+    "build_index",
+    "alphabetic_cost",
+    "huffman_tree",
+    "expected_probe_depth",
+    "is_alphabetic",
+    "is_full_balanced",
+    "leaf_depths",
+    "trees_equal",
+]

@@ -1,0 +1,197 @@
+"""Constructors for the index-tree shapes used throughout the paper.
+
+* :func:`paper_example_tree` — the running example of Fig. 1(a).
+* :func:`balanced_tree` — the full balanced m-ary tree of depth ``d`` used
+  by the Table 1 and Fig. 14 experiments (depth counts the root, so depth 3
+  means root, m index children, m^2 data leaves).
+* :func:`chain_tree` — the degenerate chain of §1.1's "waste of channel
+  space" argument.
+* :func:`random_tree` — random-shape trees for property-based testing.
+* :func:`from_spec` — build a tree from a nested literal, handy in tests.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Sequence
+
+import numpy as np
+
+from .index_tree import IndexTree
+from .node import DataNode, IndexNode, Node
+
+__all__ = [
+    "paper_example_tree",
+    "balanced_tree",
+    "chain_tree",
+    "random_tree",
+    "from_spec",
+    "data_labels",
+]
+
+
+def data_labels(count: int) -> list[str]:
+    """Generate ``count`` data-node labels: A..Z, then A1, B1, ...
+
+    The paper labels data nodes with letters; for larger trees we suffix a
+    round counter to stay unique and readable.
+    """
+    letters = string.ascii_uppercase
+    labels = []
+    for position in range(count):
+        round_number, letter = divmod(position, len(letters))
+        suffix = str(round_number) if round_number else ""
+        labels.append(letters[letter] + suffix)
+    return labels
+
+
+def paper_example_tree() -> IndexTree:
+    """The Fig. 1(a) index tree.
+
+    Structure::
+
+        [1]
+        |-- [2]
+        |   |-- A (20)
+        |   `-- B (10)
+        `-- [3]
+            |-- E (18)
+            `-- [4]
+                |-- C (15)
+                `-- D (7)
+
+    Weights: A=20, B=10, E=18, C=15, D=7. The paper's worked data waits for
+    this tree are 6.01 (one channel, Fig. 2(a)) and 3.88 (two channels,
+    Fig. 2(b)).
+    """
+    node4 = IndexNode("4", [DataNode("C", 15), DataNode("D", 7)])
+    node3 = IndexNode("3", [DataNode("E", 18), node4])
+    node2 = IndexNode("2", [DataNode("A", 20), DataNode("B", 10)])
+    root = IndexNode("1", [node2, node3])
+    return IndexTree(root)
+
+
+def balanced_tree(
+    fanout: int,
+    depth: int = 3,
+    weights: Sequence[float] | None = None,
+) -> IndexTree:
+    """A full balanced ``fanout``-ary tree of the given ``depth``.
+
+    Depth counts levels including the root, so ``depth=3`` yields one root
+    index node, ``fanout`` second-level index nodes and ``fanout**2`` data
+    leaves — the exact shape of the paper's §4 experiments.
+
+    Parameters
+    ----------
+    fanout:
+        Number of children per index node (>= 1).
+    depth:
+        Number of levels (>= 2: at least a root and a layer of leaves).
+    weights:
+        Data-node weights in left-to-right leaf order. Defaults to all 1.0.
+        Must have exactly ``fanout**(depth-1)`` entries when given.
+    """
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    if depth < 2:
+        raise ValueError("depth must be >= 2 (a root plus data leaves)")
+    leaf_count = fanout ** (depth - 1)
+    if weights is None:
+        weights = [1.0] * leaf_count
+    if len(weights) != leaf_count:
+        raise ValueError(
+            f"expected {leaf_count} weights for fanout={fanout} depth={depth}, "
+            f"got {len(weights)}"
+        )
+    labels = data_labels(leaf_count)
+    leaf_iter = iter(zip(labels, weights))
+
+    def build(level: int) -> Node:
+        if level == depth:
+            label, weight = next(leaf_iter)
+            return DataNode(label, weight)
+        return IndexNode("", [build(level + 1) for _ in range(fanout)])
+
+    return IndexTree(build(1))
+
+
+def chain_tree(length: int, leaf_weight: float = 1.0) -> IndexTree:
+    """A chain of ``length`` index nodes ending in a single data node.
+
+    This is the §1.1 extreme case: a level-per-channel allocation of its
+    index would waste ``length - 1`` channels because no two of its nodes
+    can ever be accessed simultaneously.
+    """
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    node: Node = DataNode("A", leaf_weight)
+    for _ in range(length):
+        node = IndexNode("", [node])
+    return IndexTree(node)
+
+
+def random_tree(
+    rng: np.random.Generator,
+    data_count: int,
+    max_fanout: int = 3,
+    max_weight: float = 100.0,
+    integer_weights: bool = True,
+) -> IndexTree:
+    """A random-shape index tree with ``data_count`` data leaves.
+
+    The shape is drawn by recursively partitioning the leaf set into
+    between 2 and ``max_fanout`` groups (single-leaf groups become data
+    children directly). Weights are uniform on ``(0, max_weight]``;
+    ``integer_weights`` rounds them up to integers, which keeps exact
+    cost comparisons free of float-tie ambiguity in tests.
+    """
+    if data_count < 1:
+        raise ValueError("data_count must be >= 1")
+    labels = data_labels(data_count)
+    weights = rng.uniform(0.0, max_weight, size=data_count)
+    if integer_weights:
+        weights = np.floor(weights) + 1.0
+    leaves = [DataNode(label, weight) for label, weight in zip(labels, weights)]
+
+    def build(group: list[DataNode]) -> Node:
+        if len(group) == 1:
+            return group[0]
+        parts = min(len(group), int(rng.integers(2, max_fanout + 1)))
+        # Random split points keep the subtree sizes varied.
+        cut_points = sorted(
+            rng.choice(np.arange(1, len(group)), size=parts - 1, replace=False)
+        )
+        pieces = []
+        start = 0
+        for cut in list(cut_points) + [len(group)]:
+            pieces.append(group[start:cut])
+            start = cut
+        return IndexNode("", [build(piece) for piece in pieces])
+
+    root = build(leaves)
+    if isinstance(root, DataNode):
+        root = IndexNode("", [root])
+    return IndexTree(root)
+
+
+def from_spec(spec: object) -> IndexTree:
+    """Build a tree from a nested literal.
+
+    A spec is either a ``(label, weight)`` tuple (data node) or a list of
+    specs (index node). Index labels are assigned by preorder numbering.
+
+    >>> tree = from_spec([[("A", 20), ("B", 10)], [("E", 18), [("C", 15), ("D", 7)]]])
+    >>> [d.label for d in tree.data_nodes()]
+    ['A', 'B', 'E', 'C', 'D']
+    """
+
+    def build(node_spec: object) -> Node:
+        if isinstance(node_spec, tuple):
+            label, weight = node_spec
+            return DataNode(str(label), float(weight))
+        if isinstance(node_spec, list):
+            return IndexNode("", [build(child) for child in node_spec])
+        raise TypeError(f"bad tree spec element: {node_spec!r}")
+
+    return IndexTree(build(spec))

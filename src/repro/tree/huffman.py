@@ -1,0 +1,105 @@
+"""Classic (non-alphabetic) Huffman index trees.
+
+[SV96] observes that the skewed index trees of [CYW97] are built like
+Huffman codes: popular data nodes get shorter root paths, minimising the
+average tuning time. The catch the paper points out (§1) is that a Huffman
+tree does not preserve key order, so a client holding a search key cannot
+navigate it as a search tree. We implement it anyway — it is the natural
+lower-bound comparison structure for tuning time, and the test suite uses
+it to demonstrate exactly the order-violation the paper criticises.
+
+:func:`huffman_tree` supports any fanout k >= 2 using the standard
+dummy-padding trick so every merge is a full k-way merge.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Sequence
+
+from .index_tree import IndexTree
+from .node import DataNode, IndexNode, Node
+
+__all__ = ["huffman_tree", "expected_probe_depth"]
+
+
+def huffman_tree(
+    labels: Sequence[str],
+    weights: Sequence[float],
+    fanout: int = 2,
+) -> IndexTree:
+    """Build a k-ary Huffman tree over the labelled weights.
+
+    Minimises ``sum W(leaf) * edge_depth(leaf)`` over *all* trees of the
+    given fanout (order-free), so its cost lower-bounds any alphabetic
+    tree over the same weights. Zero-weight dummy leaves are added so that
+    ``(n - 1) mod (k - 1) == 0`` and then elided from the final tree.
+    """
+    if len(labels) != len(weights):
+        raise ValueError("labels and weights must have equal length")
+    if fanout < 2:
+        raise ValueError("fanout must be >= 2")
+    if not labels:
+        raise ValueError("weights must be non-empty")
+
+    counter = itertools.count()  # tie-breaker: heap entries stay comparable
+    heap: list[tuple[float, int, Node]] = [
+        (float(weight), next(counter), DataNode(label, weight))
+        for label, weight in zip(labels, weights)
+    ]
+    # Pad with dummies so the final merge is full.
+    remainder = (len(heap) - 1) % (fanout - 1)
+    if remainder:
+        for _ in range(fanout - 1 - remainder):
+            heap.append((0.0, next(counter), DataNode("_dummy", 0.0)))
+    heapq.heapify(heap)
+
+    while len(heap) > 1:
+        merged: list[Node] = []
+        total = 0.0
+        for _ in range(min(fanout, len(heap))):
+            weight, _, node = heapq.heappop(heap)
+            total += weight
+            merged.append(node)
+        heapq.heappush(heap, (total, next(counter), IndexNode("", merged)))
+
+    root = heap[0][2]
+    root = _strip_dummies(root)
+    if isinstance(root, DataNode):
+        root = IndexNode("", [root])
+    return IndexTree(root)
+
+
+def _strip_dummies(node: Node) -> Node:
+    """Remove padding leaves; collapse index nodes left with one child."""
+    if isinstance(node, DataNode):
+        return node
+    assert isinstance(node, IndexNode)
+    kept: list[Node] = []
+    for child in node.children:
+        if isinstance(child, DataNode) and child.label == "_dummy":
+            continue
+        kept.append(_strip_dummies(child))
+    if len(kept) == 1:
+        kept[0].parent = None
+        return kept[0]
+    replacement = IndexNode(node.label)
+    for child in kept:
+        replacement.add_child(child)
+    return replacement
+
+
+def expected_probe_depth(tree: IndexTree) -> float:
+    """Average number of index probes to reach a data node.
+
+    ``sum W(leaf) * edge_depth(leaf) / sum W`` — the per-request tuning
+    time contributed by index traversal.
+    """
+    total = tree.total_weight()
+    if total == 0:
+        return 0.0
+    weighted = sum(
+        leaf.weight * (leaf.depth() - 1) for leaf in tree.data_nodes()
+    )
+    return weighted / total

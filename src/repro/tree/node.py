@@ -1,0 +1,154 @@
+"""Node model for index trees.
+
+The paper's broadcast program is derived from an *index tree* (§2.1): a
+rooted tree whose internal nodes are **index nodes** (search-key routing
+information, one wireless bucket each) and whose leaves are **data nodes**
+(the actual items clients request, also one bucket each). Each data node
+``D_i`` carries a weight ``W(D_i)``, its average access frequency.
+
+Index nodes additionally carry a unique *order weight*: the paper numbers
+index nodes ``1, 2, 3, ...`` by a preorder traversal and uses that number to
+make the local-swap exchange of two index nodes unidirectional (§3.2). The
+:class:`~repro.tree.index_tree.IndexTree` constructor assigns these numbers;
+they double as stable display labels (the paper's Fig. 1 labels its index
+nodes exactly this way).
+
+Nodes are plain mutable objects linked by ``children``/``parent`` references.
+Identity is object identity — two distinct nodes may share a label. All
+set-like bookkeeping in the search code keys on ``id(node)`` via the node's
+default hash, which is what we want: a topological-tree path is a set of
+*node objects*, not labels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+__all__ = ["Node", "IndexNode", "DataNode"]
+
+
+class Node:
+    """Common behaviour of index and data nodes.
+
+    Attributes
+    ----------
+    label:
+        Human-readable name. The paper uses numerals for index nodes and
+        letters for data nodes; builders follow the same convention.
+    parent:
+        The parent node, or ``None`` for the root (set when the node is
+        attached to a tree or to a parent's child list).
+    key:
+        Optional search key used by the alphabetic (Hu–Tucker) builder to
+        preserve key order across leaves; unused by the scheduler itself.
+    """
+
+    __slots__ = ("label", "parent", "key")
+
+    def __init__(self, label: str, key: object = None) -> None:
+        self.label = label
+        self.parent: Optional[IndexNode] = None
+        self.key = key
+
+    # -- classification ----------------------------------------------------
+    @property
+    def is_index(self) -> bool:
+        """Whether this node is an internal index node."""
+        return isinstance(self, IndexNode)
+
+    @property
+    def is_data(self) -> bool:
+        """Whether this node is a leaf data node."""
+        return isinstance(self, DataNode)
+
+    # -- navigation ---------------------------------------------------------
+    def ancestors(self) -> Iterator["IndexNode"]:
+        """Yield this node's proper ancestors, nearest (parent) first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def root(self) -> "Node":
+        """Return the root of the tree this node belongs to."""
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def depth(self) -> int:
+        """Return this node's depth; the root has depth 1 (paper convention)."""
+        return 1 + sum(1 for _ in self.ancestors())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "Index" if self.is_index else "Data"
+        return f"<{kind} {self.label}>"
+
+
+class IndexNode(Node):
+    """An internal routing node of the index tree.
+
+    Parameters
+    ----------
+    label:
+        Display name; conventionally the preorder number as a string.
+    children:
+        Optional initial children; each child's ``parent`` is set.
+
+    Attributes
+    ----------
+    order:
+        The unique preorder number assigned by
+        :meth:`repro.tree.index_tree.IndexTree.renumber`. Used by the §3.2
+        local-swap rule (smaller ``order`` = should come earlier when two
+        index nodes are exchangeable). ``0`` until the node joins a tree.
+    """
+
+    __slots__ = ("children", "order")
+
+    def __init__(
+        self,
+        label: str = "",
+        children: Sequence[Node] = (),
+        key: object = None,
+    ) -> None:
+        super().__init__(label, key=key)
+        self.children: list[Node] = []
+        self.order: int = 0
+        for child in children:
+            self.add_child(child)
+
+    def add_child(self, child: Node) -> Node:
+        """Append ``child`` and take ownership of its ``parent`` pointer."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def remove_child(self, child: Node) -> None:
+        """Detach ``child``; raises ``ValueError`` if it is not a child."""
+        self.children.remove(child)
+        child.parent = None
+
+    def replace_child(self, old: Node, new: Node) -> None:
+        """Swap ``old`` for ``new`` in place, preserving sibling order."""
+        position = self.children.index(old)
+        old.parent = None
+        new.parent = self
+        self.children[position] = new
+
+
+class DataNode(Node):
+    """A leaf data item with an access-frequency weight ``W(D_i)``.
+
+    Weights may be any non-negative real number; the paper's examples use
+    integers (A=20, B=10, E=18, C=15, D=7) and its Fig. 14 experiment draws
+    them from a normal distribution.
+    """
+
+    __slots__ = ("weight",)
+
+    def __init__(self, label: str, weight: float, key: object = None) -> None:
+        if weight < 0:
+            raise ValueError(f"data node {label!r} has negative weight {weight}")
+        super().__init__(label, key=key)
+        self.weight = float(weight)

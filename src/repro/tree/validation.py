@@ -1,0 +1,72 @@
+"""Standalone structural checks for index trees.
+
+:meth:`IndexTree.validate` covers the hard invariants; this module adds
+diagnostic predicates used by tests, examples and the heuristics:
+alphabetic-order checks, balance checks, and a structural-equality helper
+for comparing trees produced by different builders.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .index_tree import IndexTree
+from .node import DataNode, IndexNode, Node
+
+__all__ = [
+    "is_alphabetic",
+    "is_full_balanced",
+    "trees_equal",
+    "leaf_depths",
+]
+
+
+def is_alphabetic(tree: IndexTree, key: Callable[[DataNode], object] | None = None) -> bool:
+    """Whether the left-to-right leaves are in non-decreasing key order.
+
+    ``key`` defaults to each data node's ``key`` attribute when every leaf
+    has one, otherwise the label. This is the search-tree property the
+    paper requires of its index (§1): a Huffman tree typically fails it.
+    """
+    leaves = tree.data_nodes()
+    if key is None:
+        if all(leaf.key is not None for leaf in leaves):
+            key = lambda leaf: leaf.key  # noqa: E731 - tiny local accessor
+        else:
+            key = lambda leaf: leaf.label  # noqa: E731
+    values = [key(leaf) for leaf in leaves]
+    return all(a <= b for a, b in zip(values, values[1:]))  # type: ignore[operator]
+
+
+def is_full_balanced(tree: IndexTree, fanout: int) -> bool:
+    """Whether every index node has exactly ``fanout`` children and all
+    data nodes sit at the same depth."""
+    for node in tree.index_nodes():
+        if len(node.children) != fanout:
+            return False
+    depths = {leaf.depth() for leaf in tree.data_nodes()}
+    return len(depths) <= 1
+
+
+def leaf_depths(tree: IndexTree) -> dict[str, int]:
+    """Edge depth of each data node, keyed by label."""
+    return {leaf.label: leaf.depth() - 1 for leaf in tree.data_nodes()}
+
+
+def trees_equal(left: IndexTree, right: IndexTree) -> bool:
+    """Structural equality: same shape, labels, and data weights."""
+
+    def same(a: Node, b: Node) -> bool:
+        if isinstance(a, DataNode) != isinstance(b, DataNode):
+            return False
+        if a.label != b.label:
+            return False
+        if isinstance(a, DataNode):
+            assert isinstance(b, DataNode)
+            return a.weight == b.weight
+        assert isinstance(a, IndexNode) and isinstance(b, IndexNode)
+        if len(a.children) != len(b.children):
+            return False
+        return all(same(x, y) for x, y in zip(a.children, b.children))
+
+    return same(left.root, right.root)

@@ -1,0 +1,15 @@
+"""Workload generation: weight distributions (§4's uniform and normal,
+plus Zipf) and synthetic item catalogs for the examples."""
+
+from .catalogs import CatalogItem, news_catalog, stock_catalog, weather_catalog
+from .weights import normal_weights, uniform_weights, zipf_weights
+
+__all__ = [
+    "uniform_weights",
+    "normal_weights",
+    "zipf_weights",
+    "CatalogItem",
+    "stock_catalog",
+    "news_catalog",
+    "weather_catalog",
+]

@@ -1,0 +1,91 @@
+"""Synthetic item catalogs for examples and integration tests.
+
+The paper's motivating applications are information-dissemination
+services for mobile users — stock tickers, news headlines, weather
+reports ([Fra98], [Ach95]). Each catalog yields ``(key, label, weight)``
+triples with a realistic skew so the examples have something concrete to
+index and broadcast. Keys are sortable, which the alphabetic-tree
+builders require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .weights import zipf_weights
+
+__all__ = ["CatalogItem", "stock_catalog", "news_catalog", "weather_catalog"]
+
+_STOCK_SYMBOLS = [
+    "AAPL", "AMD", "AMZN", "BA", "BAC", "CSCO", "CVX", "DELL", "DIS", "F",
+    "GE", "GM", "GOOG", "HPQ", "IBM", "INTC", "JNJ", "JPM", "KO", "MCD",
+    "MMM", "MRK", "MSFT", "NKE", "ORCL", "PFE", "PG", "T", "TXN", "UPS",
+    "VZ", "WMT", "XOM", "XRX",
+]
+
+_NEWS_SECTIONS = [
+    "arts", "business", "climate", "economy", "education", "elections",
+    "health", "law", "local", "markets", "obituaries", "opinion",
+    "politics", "science", "sports", "technology", "travel", "weather",
+    "world",
+]
+
+_CITIES = [
+    "amsterdam", "athens", "bangkok", "berlin", "boston", "cairo",
+    "chicago", "delhi", "dublin", "geneva", "hsinchu", "istanbul",
+    "jakarta", "kyoto", "lagos", "lima", "london", "madrid", "manila",
+    "mumbai", "nairobi", "osaka", "oslo", "paris", "prague", "rome",
+    "seattle", "seoul", "sydney", "taipei", "tokyo", "vienna", "warsaw",
+    "zurich",
+]
+
+
+@dataclass(frozen=True)
+class CatalogItem:
+    """One broadcastable item: a sortable key, display label and weight."""
+
+    key: str
+    label: str
+    weight: float
+
+
+def _build(
+    names: list[str], rng: np.random.Generator, count: int, theta: float
+) -> list[CatalogItem]:
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    keys = []
+    round_number = 0
+    while len(keys) < count:
+        suffix = "" if round_number == 0 else str(round_number)
+        keys.extend(name + suffix for name in names)
+        round_number += 1
+    keys = sorted(keys[:count])
+    weights = zipf_weights(rng, count, theta=theta)
+    return [
+        CatalogItem(key=key, label=key, weight=weight)
+        for key, weight in zip(keys, weights)
+    ]
+
+
+def stock_catalog(
+    rng: np.random.Generator, count: int = 32, theta: float = 0.95
+) -> list[CatalogItem]:
+    """Ticker symbols with Zipf-skewed quote popularity."""
+    return _build(_STOCK_SYMBOLS, rng, count, theta)
+
+
+def news_catalog(
+    rng: np.random.Generator, count: int = 19, theta: float = 0.8
+) -> list[CatalogItem]:
+    """News sections; mild skew (front page dominates, tail still read)."""
+    return _build(_NEWS_SECTIONS, rng, count, theta)
+
+
+def weather_catalog(
+    rng: np.random.Generator, count: int = 34, theta: float = 1.1
+) -> list[CatalogItem]:
+    """City weather reports; strong locality skew."""
+    return _build(_CITIES, rng, count, theta)

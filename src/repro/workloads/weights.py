@@ -1,0 +1,82 @@
+"""Access-frequency generators for the paper's experiments.
+
+* :func:`normal_weights` — the Fig. 14 workload: ``N(µ, σ)`` with
+  µ = 100 and σ swept over {10, 20, 30, 40}; draws are clipped to a
+  small positive floor so weights stay valid frequencies.
+* :func:`uniform_weights` — the "given randomly" workload of Table 1.
+* :func:`zipf_weights` — the classic skewed-popularity model used by the
+  broadcast-disk literature ([Ach95]); not in this paper's evaluation
+  but the natural stress workload for the heuristics benches.
+
+All generators take an explicit :class:`numpy.random.Generator`; nothing
+touches global RNG state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["uniform_weights", "normal_weights", "zipf_weights"]
+
+_FLOOR = 1e-3
+
+
+def uniform_weights(
+    rng: np.random.Generator,
+    count: int,
+    low: float = 1.0,
+    high: float = 100.0,
+    integer: bool = False,
+) -> list[float]:
+    """``count`` weights uniform on [low, high); optionally integral."""
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if not low < high:
+        raise ValueError("need low < high")
+    draws = rng.uniform(low, high, size=count)
+    if integer:
+        draws = np.floor(draws)
+    return [float(max(value, _FLOOR)) for value in draws]
+
+
+def normal_weights(
+    rng: np.random.Generator,
+    count: int,
+    mean: float = 100.0,
+    sigma: float = 10.0,
+) -> list[float]:
+    """``count`` weights from N(mean, sigma), floored at a small positive.
+
+    This is the Fig. 14 workload; with the paper's parameters (µ = 100,
+    σ <= 40) the floor triggers with negligible probability.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if sigma < 0:
+        raise ValueError("sigma must be >= 0")
+    draws = rng.normal(mean, sigma, size=count)
+    return [float(max(value, _FLOOR)) for value in draws]
+
+
+def zipf_weights(
+    rng: np.random.Generator,
+    count: int,
+    theta: float = 0.95,
+    scale: float = 100.0,
+    shuffle: bool = True,
+) -> list[float]:
+    """Zipf-like popularity: item ``r`` gets weight ``scale / r**theta``.
+
+    ``shuffle`` permutes the ranks across positions so popularity is not
+    correlated with key order (set false to model hot-keys-first
+    catalogs).
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if theta < 0:
+        raise ValueError("theta must be >= 0")
+    ranks = np.arange(1, count + 1, dtype=float)
+    weights = scale / np.power(ranks, theta)
+    if shuffle:
+        rng.shuffle(weights)
+    return [float(max(value, _FLOOR)) for value in weights]

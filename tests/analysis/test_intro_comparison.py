@@ -1,0 +1,40 @@
+"""Tests for the §1 two-camps comparison runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comparisons import format_intro_comparison, intro_comparison
+
+
+class TestIntroComparison:
+    def test_four_schemes_reported(self, rng):
+        rows = intro_comparison(rng, data_count=10)
+        assert [r.scheme.split()[0] for r in rows] == [
+            "flat",
+            "[Ach95]",
+            "indexed",
+            "[LL96]",
+        ]
+
+    def test_replication_beats_flat_on_skewed_waits(self, rng):
+        rows = intro_comparison(rng, data_count=12, theta=1.4)
+        flat, disks = rows[0], rows[1]
+        assert disks.expected_wait < flat.expected_wait
+
+    def test_doze_support_split(self, rng):
+        rows = intro_comparison(rng, data_count=10)
+        flat, disks, indexed, signatures = rows
+        assert flat.expected_tuning is None
+        assert disks.expected_tuning is None
+        assert indexed.expected_tuning is not None
+        # Dozing means reading far fewer buckets than the wait spans.
+        assert indexed.expected_tuning < indexed.expected_wait
+        # Signatures doze too, but pay for it in cycle length.
+        assert signatures.expected_tuning < signatures.expected_wait
+        assert signatures.expected_wait > indexed.expected_wait
+
+    def test_formatting(self, rng):
+        text = format_intro_comparison(intro_comparison(rng, data_count=8))
+        assert "no doze" in text
+        assert "this paper" in text

@@ -1,0 +1,44 @@
+"""Unit tests for the text reporting helpers."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_number, format_table
+
+
+class TestFormatNumber:
+    def test_none_is_na(self):
+        assert format_number(None) == "N/A"
+
+    def test_ints_verbatim(self):
+        assert format_number(42) == "42"
+
+    def test_huge_ints_scientific(self):
+        assert format_number(10**15) == "1.00e+15"
+
+    def test_floats_rounded(self):
+        assert format_number(3.14159, precision=3) == "3.142"
+
+    def test_strings_pass_through(self):
+        assert format_number("zipf") == "zipf"
+
+    def test_bools_verbatim(self):
+        assert format_number(True) == "True"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1], ["b", 22.5]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows padded to the same width
+
+    def test_no_title(self):
+        text = format_table(["x"], [[1]])
+        assert text.splitlines()[0].strip() == "x"

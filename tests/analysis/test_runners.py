@@ -1,0 +1,88 @@
+"""Integration tests for the experiment runners (small configurations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comparisons import (
+    channel_scaling,
+    compare_methods,
+    format_channel_scaling,
+    format_method_comparison,
+    format_pruning_ablation,
+    pruning_ablation,
+)
+from repro.analysis.fig14 import format_fig14, run_fig14
+from repro.analysis.table1 import format_table1, run_table1
+
+
+class TestTable1Runner:
+    def test_small_run_matches_paper_structure(self):
+        report = run_table1(fanouts=(2, 3), seed=1)
+        assert [row.fanout for row in report.rows] == [2, 3]
+        m2, m3 = report.rows
+        assert m2.by_property2 == 6
+        assert m2.by_properties_1_2 == 4
+        assert m2.by_properties_1_2_4 == 1
+        assert m3.by_property2 == 1680
+        assert m3.by_properties_1_2 == 186
+
+    def test_enumeration_caps_produce_na(self):
+        report = run_table1(fanouts=(2, 5), seed=1, max_enum_p12=4)
+        m5 = report.rows[1]
+        assert m5.by_properties_1_2 is None  # the paper's N/A entry
+        assert m5.by_property2 == 623360743125120
+
+    def test_formatting(self):
+        report = run_table1(fanouts=(2,), seed=1)
+        text = format_table1(report)
+        assert "Table 1" in text
+        assert "m" in text.splitlines()[1]
+
+
+class TestFig14Runner:
+    def test_small_run_shapes(self):
+        report = run_fig14(sigmas=(10.0, 40.0), trials=3, seed=5)
+        assert len(report.points) == 2
+        for point in report.points:
+            assert point.sorting_wait >= point.optimal_wait - 1e-9
+        low, high = report.points
+        # The paper's qualitative claim: the gap grows with sigma.
+        assert high.gap_percent >= low.gap_percent - 0.5
+
+    def test_formatting(self):
+        report = run_fig14(sigmas=(10.0,), trials=2, seed=5)
+        text = format_fig14(report)
+        assert "Fig. 14" in text and "sigma" in text
+
+
+class TestComparisons:
+    def test_compare_methods_orders_sanely(self, rng):
+        result = compare_methods(rng, "zipf", data_count=8, trials=4)
+        assert result.optimal <= result.sorting + 1e-9
+        assert result.optimal <= result.polished + 1e-9
+        assert result.polished <= result.sorting + 1e-9
+        assert result.optimal <= result.combine + 1e-9
+        assert result.optimal <= result.partition + 1e-9
+        assert result.flat <= result.optimal + 1e-9
+        assert "polish" in format_method_comparison([result])
+
+    def test_unknown_workload_rejected(self, rng):
+        with pytest.raises(ValueError):
+            compare_methods(rng, "bogus", trials=1)
+
+    def test_channel_scaling_monotone(self, rng):
+        points = channel_scaling(rng, fanout=2, sigma=20.0)
+        waits = [p.optimal_wait for p in points]
+        for narrow, wide in zip(waits, waits[1:]):
+            assert wide <= narrow + 1e-9
+        assert points[-1].corollary1
+        assert sum(1 for p in points if p.sv96_wait is not None) == 1
+        assert "Corollary 1" in format_channel_scaling(points)
+
+    def test_pruning_ablation_reduces_effort(self, rng):
+        rows = pruning_ablation(rng, data_count=6, channels=2)
+        costs = {row.cost for row in rows}
+        assert max(costs) - min(costs) < 1e-9  # all rule sets stay optimal
+        assert rows[-1].nodes_expanded <= rows[0].nodes_expanded
+        assert "rule set" in format_pruning_ablation(rows)

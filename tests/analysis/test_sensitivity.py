@@ -1,0 +1,78 @@
+"""Tests for the sensitivity sweeps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import (
+    fanout_sensitivity,
+    format_fanout_sensitivity,
+    format_skew_sensitivity,
+    skew_sensitivity,
+)
+from repro.workloads.catalogs import stock_catalog
+
+
+class TestFanoutSensitivity:
+    def test_sweep_structure(self, rng):
+        items = stock_catalog(rng, count=10)
+        points = fanout_sensitivity(items, fanouts=(2, 3, 4))
+        assert [p.fanout for p in points] == [2, 3, 4]
+        # Wider fanout -> shallower tree -> fewer index probes.
+        depths = [p.tree_depth for p in points]
+        assert depths == sorted(depths, reverse=True)
+        tunings = [p.tuning_time for p in points]
+        assert tunings[0] >= tunings[-1]
+
+    def test_bucket_bytes_grow_with_fanout(self, rng):
+        items = stock_catalog(rng, count=10)
+        points = fanout_sensitivity(items, fanouts=(2, 4, 8))
+        sizes = [p.bucket_bytes for p in points]
+        assert sizes == sorted(sizes)
+
+    def test_small_catalogs_solved_exactly(self, rng):
+        items = stock_catalog(rng, count=9)
+        points = fanout_sensitivity(items, fanouts=(2, 3))
+        assert all(p.exact for p in points)
+
+    def test_formatting(self, rng):
+        items = stock_catalog(rng, count=8)
+        text = format_fanout_sensitivity(fanout_sensitivity(items, (2, 3)))
+        assert "fanout" in text and "exact" in text
+
+
+class TestSkewSensitivity:
+    def test_waits_fall_with_skew(self, rng):
+        points = skew_sensitivity(
+            rng, thetas=(0.0, 1.0, 1.8), data_count=10, trials=5
+        )
+        optimal = [p.optimal_wait for p in points]
+        assert optimal == sorted(optimal, reverse=True)
+
+    def test_sorting_never_beats_optimal(self, rng):
+        for point in skew_sensitivity(rng, thetas=(0.5, 1.3), trials=4):
+            assert point.sorting_wait >= point.optimal_wait - 1e-9
+            assert point.flat_wait <= point.optimal_wait + 1e-9
+
+    def test_gap_metrics(self, rng):
+        points = skew_sensitivity(rng, thetas=(0.0,), trials=3)
+        point = points[0]
+        assert point.heuristic_gap_percent >= -1e-9
+        assert point.index_overhead_percent > 0
+
+    def test_formatting(self, rng):
+        text = format_skew_sensitivity(
+            skew_sensitivity(rng, thetas=(0.5,), trials=2)
+        )
+        assert "zipf theta" in text
+
+
+class TestCliSensitivity:
+    def test_command_runs(self, capsys):
+        from repro.cli import main
+
+        assert main(["sensitivity", "--catalog", "9", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fanout sensitivity" in out
+        assert "Skew sensitivity" in out

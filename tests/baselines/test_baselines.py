@@ -1,0 +1,98 @@
+"""Unit tests for the comparison baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.exhaustive import (
+    brute_force_single_channel,
+    exhaustive_optimal,
+)
+from repro.baselines.flat import flat_broadcast_wait, flat_schedule_order
+from repro.baselines.level_allocation import (
+    sv96_channels_needed,
+    sv96_level_schedule,
+)
+from repro.core.optimal import solve
+from repro.core.problem import AllocationProblem
+from repro.tree.builders import chain_tree, paper_example_tree, random_tree
+
+
+class TestFlatBroadcast:
+    def test_descending_pack_order(self, fig1_tree):
+        groups = flat_schedule_order(fig1_tree, channels=2)
+        labels = [[n.label for n in group] for group in groups]
+        assert labels == [["A", "E"], ["C", "B"], ["D"]]
+
+    def test_wait_single_channel(self, fig1_tree):
+        # A@1 E@2 C@3 B@4 D@5.
+        expected = (20 * 1 + 18 * 2 + 15 * 3 + 10 * 4 + 7 * 5) / 70
+        assert flat_broadcast_wait(fig1_tree) == pytest.approx(expected)
+
+    def test_leaf_order_variant_never_beats_weighted(self, rng):
+        for _ in range(5):
+            tree = random_tree(rng, 8)
+            assert flat_broadcast_wait(tree, by_weight=True) <= (
+                flat_broadcast_wait(tree, by_weight=False) + 1e-9
+            )
+
+    def test_flat_lower_bounds_indexed_optimum(self, rng):
+        """Dropping the index can only shrink the data wait."""
+        for _ in range(5):
+            tree = random_tree(rng, 7)
+            assert flat_broadcast_wait(tree) <= solve(tree, 1).cost + 1e-9
+
+
+class TestSV96LevelAllocation:
+    def test_needs_one_channel_per_level(self, fig1_tree):
+        assert sv96_channels_needed(fig1_tree) == 4
+
+    def test_schedule_feasible(self, fig1_tree):
+        sv96_level_schedule(fig1_tree).validate()
+
+    def test_one_node_per_channel_level(self, fig1_tree):
+        schedule = sv96_level_schedule(fig1_tree)
+        for level_number, level in enumerate(fig1_tree.levels(), start=1):
+            for node in level:
+                assert schedule.channel_of(node) == level_number
+
+    def test_chain_tree_wastes_channels(self):
+        """§1.1's waste argument: the chain occupies one node per channel."""
+        tree = chain_tree(4)
+        schedule = sv96_level_schedule(tree)
+        assert schedule.channels == 5
+        optimal = solve(tree, channels=1)
+        # One channel matches five SV96 channels on this degenerate tree.
+        assert optimal.cost == pytest.approx(schedule.data_wait())
+
+    def test_never_beats_optimal_at_same_channel_count(self, rng):
+        for _ in range(4):
+            tree = random_tree(rng, 6, max_fanout=2)
+            schedule = sv96_level_schedule(tree)
+            optimum = solve(tree, channels=schedule.channels).cost
+            assert schedule.data_wait() >= optimum - 1e-9
+
+
+class TestExhaustiveOracles:
+    def test_two_oracles_agree_single_channel(self, rng):
+        for _ in range(5):
+            tree = random_tree(rng, 5)
+            problem = AllocationProblem(tree, channels=1)
+            via_paths, _ = exhaustive_optimal(problem)
+            via_permutations, _ = brute_force_single_channel(tree)
+            assert via_paths == pytest.approx(via_permutations)
+
+    def test_witness_path_is_feasible(self, fig1_problem_2ch):
+        problem = fig1_problem_2ch
+        cost, path = exhaustive_optimal(problem)
+        position = {i: s for s, group in enumerate(path) for i in group}
+        assert len(position) == len(problem)
+        assert cost == pytest.approx(264 / 70)
+
+    def test_brute_force_witness_scores_its_cost(self, fig1_tree):
+        from repro.core.datatree import sequence_cost
+
+        cost, sequence = brute_force_single_channel(fig1_tree)
+        problem = AllocationProblem(fig1_tree, channels=1)
+        assert sequence_cost(problem, sequence) == pytest.approx(cost)
+        assert cost == pytest.approx(391 / 70)

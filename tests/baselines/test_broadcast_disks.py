@@ -1,0 +1,138 @@
+"""Unit tests for the [Ach95] Broadcast Disks baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.broadcast_disks import (
+    DiskLayout,
+    broadcast_disk_cycle,
+    expected_wait_flat,
+    expected_wait_of_cycle,
+    partition_into_disks,
+)
+from repro.tree.node import DataNode
+from repro.workloads.weights import zipf_weights
+
+
+def make_items(weights):
+    return [DataNode(f"I{i}", w) for i, w in enumerate(weights)]
+
+
+class TestPartition:
+    def test_hottest_band_first(self):
+        items = make_items([1, 9, 5, 7, 3, 8])
+        layout = partition_into_disks(items, num_disks=3)
+        band_minima = [min(n.weight for n in disk) for disk in layout.disks]
+        band_maxima = [max(n.weight for n in disk) for disk in layout.disks]
+        assert band_minima[0] >= band_maxima[1] >= 0
+        assert band_minima[1] >= band_maxima[2]
+
+    def test_default_frequencies_descend(self):
+        items = make_items([5, 4, 3, 2, 1, 0.5])
+        layout = partition_into_disks(items, num_disks=3)
+        assert layout.relative_frequencies == [3, 2, 1]
+
+    def test_every_item_in_exactly_one_disk(self):
+        items = make_items(range(1, 11))
+        layout = partition_into_disks(items, num_disks=4)
+        placed = [n for disk in layout.disks for n in disk]
+        assert sorted(n.label for n in placed) == sorted(
+            n.label for n in items
+        )
+
+    def test_validation(self):
+        items = make_items([1, 2])
+        with pytest.raises(ValueError):
+            partition_into_disks(items, num_disks=0)
+        with pytest.raises(ValueError):
+            partition_into_disks(items, num_disks=3)
+        with pytest.raises(ValueError):
+            DiskLayout([[items[0]]], [0])
+        with pytest.raises(ValueError):
+            DiskLayout([[items[0]], []], [2, 1])
+
+
+class TestCycleGeneration:
+    def test_hot_items_air_rel_freq_times(self):
+        items = make_items([9, 8, 3, 2, 1, 0.5])
+        layout = partition_into_disks(
+            items, num_disks=3, relative_frequencies=[4, 2, 1]
+        )
+        cycle = broadcast_disk_cycle(layout)
+        counts = {}
+        for item in cycle:
+            counts[item.label] = counts.get(item.label, 0) + 1
+        for disk, frequency in zip(layout.disks, layout.relative_frequencies):
+            for item in disk:
+                assert counts[item.label] == frequency
+
+    def test_hot_occurrences_evenly_spaced(self):
+        items = make_items([9, 1, 1, 1, 1, 1, 1, 1, 1])
+        layout = partition_into_disks(
+            items, num_disks=2, relative_frequencies=[4, 1]
+        )
+        cycle = broadcast_disk_cycle(layout)
+        hot = items[0]
+        slots = [i for i, item in enumerate(cycle) if item is hot]
+        assert len(slots) == 4
+        gaps = [
+            (later - earlier) % len(cycle)
+            for earlier, later in zip(slots, slots[1:] + [slots[0]])
+        ]
+        assert max(gaps) - min(gaps) <= max(2, len(cycle) // 4)
+
+    def test_uniform_frequencies_give_flat_cycle(self):
+        items = make_items([3, 2, 1, 0.5])
+        layout = partition_into_disks(
+            items, num_disks=2, relative_frequencies=[1, 1]
+        )
+        cycle = broadcast_disk_cycle(layout)
+        assert len(cycle) == 4  # no replication when all freqs equal
+
+
+class TestExpectedWait:
+    def test_flat_cycle_closed_form(self):
+        items = make_items([5, 5, 5, 5, 5])
+        cycle = list(items)
+        assert expected_wait_of_cycle(cycle) == pytest.approx(3.0)
+        assert expected_wait_flat(items) == pytest.approx(3.0)
+
+    def test_matches_direct_enumeration(self):
+        items = make_items([7, 2, 1])
+        cycle = [items[0], items[1], items[0], items[2]]
+        length = len(cycle)
+        total = sum(n.weight for n in items)
+        expected = 0.0
+        for target in items:
+            for tune in range(length):
+                wait = next(
+                    offset + 1
+                    for offset in range(length)
+                    if cycle[(tune + offset) % length] is target
+                )
+                expected += target.weight * wait / (length * total)
+        assert expected_wait_of_cycle(cycle) == pytest.approx(expected)
+
+    def test_replication_helps_skewed_workloads(self, rng):
+        weights = zipf_weights(rng, 12, theta=1.4, shuffle=False)
+        items = make_items(weights)
+        layout = partition_into_disks(
+            items, num_disks=3, relative_frequencies=[4, 2, 1]
+        )
+        disks_wait = expected_wait_of_cycle(broadcast_disk_cycle(layout))
+        flat_wait = expected_wait_flat(items)
+        assert disks_wait < flat_wait
+
+    def test_replication_hurts_uniform_workloads(self):
+        items = make_items([1.0] * 12)
+        layout = partition_into_disks(
+            items, num_disks=3, relative_frequencies=[4, 2, 1]
+        )
+        disks_wait = expected_wait_of_cycle(broadcast_disk_cycle(layout))
+        assert disks_wait >= expected_wait_flat(items) - 1e-9
+
+    def test_empty_cycle(self):
+        assert expected_wait_of_cycle([]) == 0.0
+        assert expected_wait_flat([]) == 0.0

@@ -1,0 +1,118 @@
+"""Unit tests for the signature-filtering baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.signatures import (
+    SignatureScheme,
+    build_signature_broadcast,
+    false_drop_probability,
+)
+from repro.tree.node import DataNode
+
+
+def make_items(count):
+    return [DataNode(f"item-{i:03d}", float(count - i)) for i in range(count)]
+
+
+class TestSignatureScheme:
+    def test_deterministic(self):
+        scheme = SignatureScheme()
+        assert scheme.signature_of(["x"]) == scheme.signature_of(["x"])
+
+    def test_superimposition_is_union(self):
+        scheme = SignatureScheme()
+        a = scheme.signature_of(["a"])
+        b = scheme.signature_of(["b"])
+        assert scheme.signature_of(["a", "b"]) == a | b
+
+    def test_no_false_negatives(self):
+        scheme = SignatureScheme(width=32, hashes=2)
+        for value in ("alpha", "beta", "gamma"):
+            combined = scheme.signature_of([value, "other"])
+            assert scheme.covers(combined, scheme.signature_of([value]))
+
+    def test_signature_fits_width(self):
+        scheme = SignatureScheme(width=16, hashes=4)
+        assert scheme.signature_of(["anything"]) < (1 << 16)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SignatureScheme(width=0)
+        with pytest.raises(ValueError):
+            SignatureScheme(width=8, hashes=9)
+
+
+class TestFalseDropRate:
+    def test_wider_signatures_drop_less(self):
+        narrow = false_drop_probability(
+            SignatureScheme(width=16, hashes=3), 0, trials=1500
+        )
+        wide = false_drop_probability(
+            SignatureScheme(width=256, hashes=3), 0, trials=1500
+        )
+        assert wide <= narrow
+
+    def test_wide_signature_rate_is_small(self):
+        rate = false_drop_probability(
+            SignatureScheme(width=128, hashes=3), 0, trials=1500
+        )
+        assert rate < 0.01
+
+
+class TestSignatureBroadcast:
+    def test_lookup_finds_every_item(self):
+        broadcast = build_signature_broadcast(make_items(10))
+        for item in broadcast.items:
+            stats = broadcast.lookup(item.label)
+            assert stats["tuning_time"] >= 1.0
+            assert stats["access_time"] > 0
+
+    def test_unknown_key_raises(self):
+        broadcast = build_signature_broadcast(make_items(4))
+        with pytest.raises(KeyError):
+            broadcast.lookup("nope")
+
+    def test_cycle_accounts_for_signature_frames(self):
+        broadcast = build_signature_broadcast(
+            make_items(8), signature_cost=0.25
+        )
+        assert broadcast.cycle_slots == pytest.approx(8 * 1.25)
+
+    def test_tuning_dominated_by_signature_scan(self):
+        """With a wide signature, tuning ≈ n·cost + 1 (no false drops)."""
+        broadcast = build_signature_broadcast(
+            make_items(12),
+            scheme=SignatureScheme(width=512, hashes=3),
+            signature_cost=0.125,
+        )
+        stats = broadcast.weighted_lookup_stats()
+        assert stats["false_drops"] == pytest.approx(0.0)
+        assert stats["tuning_time"] == pytest.approx(12 * 0.125 + 1.0)
+
+    def test_tree_index_beats_signatures_on_large_catalogs(self):
+        """The §1 trade: O(depth) probes beat O(n) signature scans once
+        the catalog outgrows the signature/bucket size ratio."""
+        from repro.broadcast.metrics import expected_tuning_time
+        from repro.core.optimal import solve
+        from repro.tree.alphabetic import build_index
+
+        items = make_items(64)
+        broadcast = build_signature_broadcast(items, signature_cost=0.125)
+        signature_tuning = broadcast.weighted_lookup_stats()["tuning_time"]
+
+        tree = build_index(
+            [i.label for i in items], [i.weight for i in items], fanout=4
+        )
+        from repro.heuristics.channel_allocation import sorting_schedule
+
+        schedule = sorting_schedule(tree, 1)
+        index_tuning = expected_tuning_time(schedule)
+        assert index_tuning < signature_tuning
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_signature_broadcast([])
+        with pytest.raises(ValueError):
+            build_signature_broadcast(make_items(2), signature_cost=0.0)

@@ -1,0 +1,80 @@
+"""Unit tests for the analytic metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast.metrics import (
+    data_wait,
+    data_wait_of_order,
+    expected_access_time,
+    expected_channel_switches,
+    expected_probe_wait,
+    expected_tuning_time,
+    per_item_waits,
+)
+from repro.broadcast.schedule import BroadcastSchedule
+from repro.core.optimal import solve
+from repro.tree.builders import from_spec
+
+
+@pytest.fixture
+def preorder_schedule(fig1_tree):
+    return BroadcastSchedule.from_sequence(fig1_tree, fig1_tree.nodes())
+
+
+class TestDataWait:
+    def test_matches_schedule_method(self, preorder_schedule):
+        assert data_wait(preorder_schedule) == preorder_schedule.data_wait()
+
+    def test_order_function_matches_schedule(self, fig1_tree):
+        order = fig1_tree.nodes()
+        schedule = BroadcastSchedule.from_sequence(fig1_tree, order)
+        assert data_wait_of_order(order) == pytest.approx(schedule.data_wait())
+
+    def test_empty_weight_order(self):
+        tree = from_spec([("A", 0)])
+        assert data_wait_of_order(tree.nodes()) == 0.0
+
+    def test_per_item_waits(self, preorder_schedule):
+        waits = per_item_waits(preorder_schedule)
+        assert waits == {"A": 3, "B": 4, "E": 6, "C": 8, "D": 9}
+
+
+class TestAccessTimings:
+    def test_probe_wait_formula(self, preorder_schedule):
+        # L = 9, root at slot 1: mean (9+1)/2 + 1 = 6.
+        assert expected_probe_wait(preorder_schedule) == pytest.approx(6.0)
+
+    def test_access_time_is_probe_plus_data_shape(self, preorder_schedule):
+        expected = (9 + 1) / 2 + preorder_schedule.data_wait()
+        assert expected_access_time(preorder_schedule) == pytest.approx(expected)
+
+    def test_more_channels_reduce_access_time(self, fig1_tree):
+        one = solve(fig1_tree, channels=1).schedule
+        two = solve(fig1_tree, channels=2).schedule
+        assert expected_access_time(two) < expected_access_time(one)
+
+
+class TestTuningTime:
+    def test_weighted_depths(self, preorder_schedule):
+        # tuning = depth + 1 per item: A,B,E at depth 3; C,D at depth 4.
+        expected = (20 * 4 + 10 * 4 + 18 * 4 + 15 * 5 + 7 * 5) / 70
+        assert expected_tuning_time(preorder_schedule) == pytest.approx(expected)
+
+    def test_independent_of_channel_count(self, fig1_tree):
+        one = solve(fig1_tree, channels=1).schedule
+        two = solve(fig1_tree, channels=2).schedule
+        assert expected_tuning_time(one) == pytest.approx(
+            expected_tuning_time(two)
+        )
+
+
+class TestChannelSwitches:
+    def test_single_channel_never_switches(self, preorder_schedule):
+        assert expected_channel_switches(preorder_schedule) == 0.0
+
+    def test_multi_channel_switches_bounded_by_depth(self, fig1_tree):
+        schedule = solve(fig1_tree, channels=3).schedule
+        switches = expected_channel_switches(schedule)
+        assert 0.0 <= switches <= fig1_tree.depth()

@@ -1,0 +1,132 @@
+"""Unit tests for BroadcastSchedule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast.schedule import BroadcastSchedule
+from repro.exceptions import ScheduleError
+from repro.tree.builders import from_spec, paper_example_tree
+
+
+def sequential_schedule(tree):
+    return BroadcastSchedule.from_sequence(tree, tree.nodes())
+
+
+class TestConstruction:
+    def test_from_sequence_preorder_is_feasible(self, fig1_tree):
+        schedule = sequential_schedule(fig1_tree)
+        assert schedule.channels == 1
+        assert schedule.cycle_length == 9
+
+    def test_from_slot_groups(self, fig1_tree):
+        groups = [
+            [fig1_tree.find(l) for l in labels]
+            for labels in (["1"], ["2", "3"], ["A", "E"], ["B", "4"], ["C", "D"])
+        ]
+        schedule = BroadcastSchedule.from_slot_groups(fig1_tree, groups, channels=2)
+        assert schedule.cycle_length == 5
+        assert schedule.slot_of(fig1_tree.find("C")) == 5
+
+    def test_explicit_channels_preserved(self, fig1_tree):
+        schedule = BroadcastSchedule.from_sequence(fig1_tree, fig1_tree.nodes())
+        wide = BroadcastSchedule(
+            fig1_tree,
+            {node: schedule.position(node) for node in fig1_tree.nodes()},
+            channels=3,
+        )
+        assert wide.channels == 3
+
+
+class TestLookups:
+    def test_positions_and_grid(self, fig1_tree):
+        schedule = sequential_schedule(fig1_tree)
+        root = fig1_tree.root
+        assert schedule.position(root) == (1, 1)
+        assert schedule.channel_of(root) == 1
+        assert schedule.slot_of(fig1_tree.find("D")) == 9
+        grid = schedule.grid()
+        assert grid[0][0] is root
+        assert schedule.node_at(1, 9) is fig1_tree.find("D")
+        assert schedule.node_at(1, 99) is None
+
+
+class TestDataWait:
+    def test_preorder_cost(self, fig1_tree):
+        # 1 2 A B 3 E 4 C D: A@3 B@4 E@6 C@8 D@9
+        schedule = sequential_schedule(fig1_tree)
+        expected = (20 * 3 + 10 * 4 + 18 * 6 + 15 * 8 + 7 * 9) / 70
+        assert schedule.data_wait() == pytest.approx(expected)
+
+    def test_zero_weight_tree(self):
+        tree = from_spec([("A", 0), ("B", 0)])
+        schedule = sequential_schedule(tree)
+        assert schedule.data_wait() == 0.0
+
+
+class TestValidation:
+    def test_missing_node_rejected(self, fig1_tree):
+        placement = {
+            node: (1, slot)
+            for slot, node in enumerate(fig1_tree.nodes()[:-1], start=1)
+        }
+        with pytest.raises(ScheduleError, match="covers"):
+            BroadcastSchedule(fig1_tree, placement)
+
+    def test_duplicate_cell_rejected(self, fig1_tree):
+        placement = {node: (1, 1) for node in fig1_tree.nodes()}
+        with pytest.raises(ScheduleError, match="share"):
+            BroadcastSchedule(fig1_tree, placement)
+
+    def test_child_before_parent_rejected(self, fig1_tree):
+        order = fig1_tree.nodes()
+        order[0], order[1] = order[1], order[0]  # swap root and node 2
+        with pytest.raises(ScheduleError, match="air after"):
+            BroadcastSchedule.from_sequence(fig1_tree, order)
+
+    def test_child_same_slot_as_parent_rejected(self, fig1_tree):
+        placement = {}
+        for slot, node in enumerate(fig1_tree.nodes(), start=1):
+            placement[node] = (1, slot)
+        child = fig1_tree.find("2")
+        placement[child] = (2, 1)  # same slot as the root, other channel
+        with pytest.raises(ScheduleError, match="air after"):
+            BroadcastSchedule(fig1_tree, placement, channels=2)
+
+    def test_channel_out_of_range_rejected(self, fig1_tree):
+        placement = {
+            node: (5, slot)
+            for slot, node in enumerate(fig1_tree.nodes(), start=1)
+        }
+        with pytest.raises(ScheduleError, match="channel"):
+            BroadcastSchedule(fig1_tree, placement, channels=2)
+
+    def test_nonpositive_slot_rejected(self, fig1_tree):
+        placement = {
+            node: (1, slot)
+            for slot, node in enumerate(fig1_tree.nodes(), start=0)
+        }
+        with pytest.raises(ScheduleError, match="slot"):
+            BroadcastSchedule(fig1_tree, placement)
+
+    def test_foreign_node_rejected(self, fig1_tree):
+        other = paper_example_tree()
+        placement = {
+            node: (1, slot)
+            for slot, node in enumerate(other.nodes(), start=1)
+        }
+        with pytest.raises(ScheduleError):
+            BroadcastSchedule(fig1_tree, placement)
+
+
+class TestRendering:
+    def test_ascii_grid(self, fig1_tree):
+        groups = [
+            [fig1_tree.find(l) for l in labels]
+            for labels in (["1"], ["2", "3"], ["A", "E"], ["B", "4"], ["C", "D"])
+        ]
+        schedule = BroadcastSchedule.from_slot_groups(fig1_tree, groups, channels=2)
+        art = schedule.to_ascii()
+        assert art.startswith("C1 |")
+        assert "C2 |" in art
+        assert "." in art  # the idle slot-1 cell on channel 2

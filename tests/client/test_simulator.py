@@ -1,0 +1,105 @@
+"""Unit tests for the workload simulator — the loop-closer between the
+analytic metrics and the pointer-level protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.broadcast.metrics import (
+    expected_access_time,
+    expected_channel_switches,
+    expected_tuning_time,
+)
+from repro.broadcast.pointers import compile_program
+from repro.client.simulator import (
+    SimulationSummary,
+    exact_averages,
+    simulate_workload,
+)
+from repro.core.optimal import solve
+from repro.tree.builders import random_tree
+
+
+@pytest.fixture
+def program(fig1_tree):
+    return compile_program(solve(fig1_tree, channels=2).schedule)
+
+
+class TestExactAverages:
+    def test_access_time_matches_analytic_formula(self, program):
+        summary = exact_averages(program)
+        assert summary.mean_access_time == pytest.approx(
+            expected_access_time(program.schedule)
+        )
+
+    def test_data_wait_matches_formula_1(self, program):
+        summary = exact_averages(program)
+        assert summary.mean_data_wait == pytest.approx(
+            program.schedule.data_wait()
+        )
+
+    def test_tuning_time_matches_analytic_formula(self, program):
+        summary = exact_averages(program)
+        assert summary.mean_tuning_time == pytest.approx(
+            expected_tuning_time(program.schedule)
+        )
+
+    def test_channel_switches_match_analytic_formula(self, program):
+        summary = exact_averages(program)
+        assert summary.mean_channel_switches == pytest.approx(
+            expected_channel_switches(program.schedule)
+        )
+
+    def test_holds_on_random_trees_and_channel_counts(self, rng):
+        for _ in range(4):
+            tree = random_tree(rng, int(rng.integers(3, 8)))
+            for k in (1, 2, 3):
+                schedule = solve(tree, channels=k).schedule
+                program = compile_program(schedule)
+                summary = exact_averages(program)
+                assert summary.mean_access_time == pytest.approx(
+                    expected_access_time(schedule)
+                )
+                assert summary.mean_data_wait == pytest.approx(
+                    schedule.data_wait()
+                )
+
+
+class TestMonteCarlo:
+    def test_converges_to_exact_averages(self, program):
+        rng = np.random.default_rng(7)
+        sampled = simulate_workload(program, rng, requests=6000)
+        exact = exact_averages(program)
+        assert sampled.mean_access_time == pytest.approx(
+            exact.mean_access_time, rel=0.05
+        )
+        assert sampled.mean_tuning_time == pytest.approx(
+            exact.mean_tuning_time, rel=0.05
+        )
+
+    def test_request_count_respected(self, program):
+        rng = np.random.default_rng(7)
+        summary = simulate_workload(program, rng, requests=25)
+        assert summary.requests == 25
+
+    def test_deterministic_under_seed(self, program):
+        one = simulate_workload(program, np.random.default_rng(3), requests=100)
+        two = simulate_workload(program, np.random.default_rng(3), requests=100)
+        assert one == two
+
+
+class TestSummary:
+    def test_empty_records(self):
+        summary = SimulationSummary.from_records([])
+        assert summary.requests == 0
+        assert summary.mean_access_time == 0.0
+
+    def test_weighted_aggregation(self, fig1_tree, program):
+        from repro.client.protocol import run_request
+
+        a = run_request(program, fig1_tree.find("A"), 1)
+        c = run_request(program, fig1_tree.find("C"), 1)
+        summary = SimulationSummary.from_records([a, c], weights=[3.0, 1.0])
+        expected = (a.access_time * 3 + c.access_time) / 4
+        assert summary.mean_access_time == pytest.approx(expected)

@@ -1,0 +1,88 @@
+"""Tests for the exact access-time distribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.broadcast.metrics import expected_access_time
+from repro.broadcast.pointers import compile_program
+from repro.client.stats import AccessDistribution, access_time_distribution
+from repro.core.optimal import solve
+from repro.tree.builders import random_tree
+
+
+@pytest.fixture
+def program(fig1_tree):
+    return compile_program(solve(fig1_tree, channels=2).schedule)
+
+
+class TestAccessDistribution:
+    def test_weights_sum_to_one(self, program):
+        distribution = access_time_distribution(program)
+        assert sum(distribution.weights) == pytest.approx(1.0)
+
+    def test_mean_matches_analytic_formula(self, program):
+        distribution = access_time_distribution(program)
+        assert distribution.mean == pytest.approx(
+            expected_access_time(program.schedule)
+        )
+
+    def test_support_bounds(self, program):
+        """Fastest request: tune in at the last slot for the earliest
+        item; slowest: first slot for the latest item."""
+        distribution = access_time_distribution(program)
+        cycle = program.cycle_length
+        waits = [
+            program.schedule.slot_of(n)
+            for n in program.schedule.tree.data_nodes()
+        ]
+        assert distribution.minimum == 1 + min(waits)
+        assert distribution.maximum == cycle + max(waits)
+
+    def test_mean_holds_on_random_trees(self, rng):
+        for _ in range(4):
+            tree = random_tree(rng, 7)
+            for channels in (1, 3):
+                program = compile_program(solve(tree, channels=channels).schedule)
+                distribution = access_time_distribution(program)
+                assert distribution.mean == pytest.approx(
+                    expected_access_time(program.schedule)
+                )
+
+    def test_percentiles_monotone(self, program):
+        distribution = access_time_distribution(program)
+        values = [distribution.percentile(q) for q in (0, 25, 50, 75, 95, 100)]
+        assert values == sorted(values)
+        assert values[-1] == distribution.maximum
+
+    def test_percentile_validation(self, program):
+        distribution = access_time_distribution(program)
+        with pytest.raises(ValueError):
+            distribution.percentile(101)
+
+    def test_probability_at_most(self, program):
+        distribution = access_time_distribution(program)
+        assert distribution.probability_at_most(
+            distribution.maximum
+        ) == pytest.approx(1.0)
+        assert distribution.probability_at_most(0) == 0.0
+
+    def test_matches_monte_carlo_tail(self, program):
+        """Sampled p95 lands on (or next to) the exact p95."""
+        from repro.client.simulator import simulate_workload
+        from repro.client.protocol import run_request
+
+        distribution = access_time_distribution(program)
+        rng = np.random.default_rng(11)
+        tree = program.schedule.tree
+        targets = tree.data_nodes()
+        weights = np.array([t.weight for t in targets])
+        probabilities = weights / weights.sum()
+        samples = []
+        for _ in range(4000):
+            target = targets[rng.choice(len(targets), p=probabilities)]
+            tune = int(rng.integers(1, program.cycle_length + 1))
+            samples.append(run_request(program, target, tune).access_time)
+        sampled_p95 = float(np.percentile(samples, 95))
+        assert abs(sampled_p95 - distribution.percentile(95)) <= 1.0

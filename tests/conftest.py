@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import AllocationProblem
+from repro.tree.builders import paper_example_tree
+
+
+@pytest.fixture
+def fig1_tree():
+    """The paper's Fig. 1(a) running example."""
+    return paper_example_tree()
+
+
+@pytest.fixture
+def fig1_problem_1ch(fig1_tree):
+    return AllocationProblem(fig1_tree, channels=1)
+
+
+@pytest.fixture
+def fig1_problem_2ch(fig1_tree):
+    return AllocationProblem(fig1_tree, channels=2)
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(20000105)

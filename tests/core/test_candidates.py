@@ -1,0 +1,219 @@
+"""Unit tests for the reduced topological tree (Appendix algorithm)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidates import (
+    PruningConfig,
+    count_reduced_paths,
+    iter_reduced_paths,
+    reduced_children,
+)
+from repro.core.problem import AllocationProblem
+from repro.core.topological import count_paths
+from repro.tree.builders import balanced_tree, random_tree
+
+
+def ids(problem, labels):
+    return tuple(
+        sorted(problem.id_of(problem.tree.find(label)) for label in labels)
+    )
+
+
+def advance(problem, placed, available, labels):
+    group = ids(problem, labels)
+    for node_id in group:
+        placed |= 1 << node_id
+        available = problem.release(available, node_id)
+    return placed, available, group
+
+
+class TestPruningConfig:
+    def test_none_disables_everything(self):
+        config = PruningConfig.none()
+        assert not any(
+            (config.forced_completion, config.candidate_filter,
+             config.subset_rules, config.swap_filter)
+        )
+
+    def test_paper_enables_everything(self):
+        config = PruningConfig.paper()
+        assert all(
+            (config.forced_completion, config.candidate_filter,
+             config.subset_rules, config.swap_filter)
+        )
+
+    def test_without_overrides(self):
+        config = PruningConfig.paper().without(swap_filter=False)
+        assert config.candidate_filter and not config.swap_filter
+
+
+class TestProperty2SingleChannel:
+    """k = 1, P all index: children of P only; one data child at most."""
+
+    def test_after_node_2_only_heaviest_data_child_remains(
+        self, fig1_problem_1ch
+    ):
+        problem = fig1_problem_1ch
+        placed, available, group = advance(
+            problem, 0, problem.initial_available(), ["1"]
+        )
+        placed, available, group = advance(problem, placed, available, ["2"])
+        children = reduced_children(
+            problem, placed, available, group, PruningConfig.paper()
+        )
+        labels = {
+            problem.nodes[i].label for grp in children for i in grp
+        }
+        # Example 3: among {A, B, 3} only A survives... together with no
+        # index child of 2 (it has none); 3 is not a child of 2.
+        assert labels == {"A"}
+
+    def test_after_root_both_index_children_remain(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        placed, available, group = advance(
+            problem, 0, problem.initial_available(), ["1"]
+        )
+        children = reduced_children(
+            problem, placed, available, group, PruningConfig.paper()
+        )
+        labels = {problem.nodes[i].label for grp in children for i in grp}
+        assert labels == {"2", "3"}
+
+    def test_data_node_followed_by_no_heavier_free_data(self, fig1_problem_1ch):
+        """Property 2 characteristic 2 on a concrete prefix."""
+        problem = fig1_problem_1ch
+        placed, available = 0, problem.initial_available()
+        for label in (["1"], ["3"], ["E"]):
+            placed, available, group = advance(problem, placed, available, label)
+        children = reduced_children(
+            problem, placed, available, group, PruningConfig.paper()
+        )
+        labels = {problem.nodes[i].label for grp in children for i in grp}
+        # Available now: {2, 4}. Both index nodes; no data is available,
+        # so nothing to filter - both survive the case-2 rule.
+        assert labels == {"2", "4"}
+
+
+class TestProperty3MultiChannel:
+    def test_all_subsets_touch_a_child_of_P(self, fig1_problem_2ch):
+        problem = fig1_problem_2ch
+        placed, available = 0, problem.initial_available()
+        for label_group in (["1"], ["2", "3"]):
+            placed, available, group = advance(
+                problem, placed, available, label_group
+            )
+        children = reduced_children(
+            problem, placed, available, group, PruningConfig.paper()
+        )
+        child_labels = {"A", "B", "E", "4"}  # children of {2, 3}
+        for subset in children:
+            labels = {problem.nodes[i].label for i in subset}
+            assert labels & child_labels
+
+    def test_data_members_are_heaviest_remaining(self, fig1_problem_2ch):
+        problem = fig1_problem_2ch
+        placed, available = 0, problem.initial_available()
+        for label_group in (["1"], ["2", "3"]):
+            placed, available, group = advance(
+                problem, placed, available, label_group
+            )
+        children = reduced_children(
+            problem, placed, available, group, PruningConfig.paper()
+        )
+        for subset in children:
+            data_weights = sorted(
+                (problem.weight[i] for i in subset if problem.is_data[i]),
+                reverse=True,
+            )
+            if data_weights:
+                # Heaviest available data are A (20) then E (18).
+                assert data_weights[0] == 20.0
+                if len(data_weights) == 2:
+                    assert data_weights[1] == 18.0
+
+    def test_fig10_tree_has_two_paths(self, fig1_problem_2ch):
+        """Fig. 10: exactly two paths survive; one realises the optimum."""
+        problem = fig1_problem_2ch
+        assert count_reduced_paths(problem) == 2
+        paths = list(iter_reduced_paths(problem))
+        rendered = [
+            ["".join(sorted(problem.nodes[i].label for i in group))
+             for group in path]
+            for path in paths
+        ]
+        for path in rendered:
+            assert path[0] == "1"
+            assert path[1] == "23"
+
+        def cost(path):
+            weighted = 0.0
+            for slot, group in enumerate(path, start=1):
+                for i in group:
+                    if problem.is_data[i]:
+                        weighted += problem.weight[i] * slot
+            return weighted / problem.total_weight
+
+        # The optimal 2-channel wait (264/70) is among the survivors.
+        assert min(cost(path) for path in paths) == pytest.approx(264 / 70)
+
+
+class TestProperty1ForcedCompletion:
+    def test_unique_completion_after_all_index_placed(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        placed, available = 0, problem.initial_available()
+        for label in (["1"], ["2"], ["A"], ["B"], ["3"], ["E"], ["4"]):
+            placed, available, group = advance(problem, placed, available, label)
+        children = reduced_children(
+            problem, placed, available, group, PruningConfig.paper()
+        )
+        # All index nodes on air; C (15) must precede D (7).
+        assert len(children) == 1
+        assert problem.nodes[children[0][0]].label == "C"
+
+
+class TestReducedEnumeration:
+    def test_reduced_never_larger_than_unpruned(self):
+        import numpy as np
+
+        for seed in range(6):
+            tree = random_tree(np.random.default_rng(seed), 5)
+            for k in (1, 2):
+                problem = AllocationProblem(tree, channels=k)
+                assert count_reduced_paths(problem) <= count_paths(problem)
+
+    def test_none_config_equals_algorithm1(self, fig1_problem_2ch):
+        assert (
+            count_reduced_paths(fig1_problem_2ch, PruningConfig.none())
+            == count_paths(fig1_problem_2ch)
+            == 21
+        )
+
+    def test_every_reduced_path_is_feasible(self, fig1_problem_2ch):
+        problem = fig1_problem_2ch
+        for path in iter_reduced_paths(problem):
+            position = {i: s for s, group in enumerate(path) for i in group}
+            assert len(position) == len(problem)
+            for node_id in range(len(problem)):
+                parent = problem.parent[node_id]
+                if parent >= 0:
+                    assert position[parent] < position[node_id]
+
+    def test_limit_respected(self, fig1_problem_1ch):
+        paths = list(
+            iter_reduced_paths(
+                fig1_problem_1ch, PruningConfig.none(), limit=5
+            )
+        )
+        assert len(paths) == 5
+
+    def test_balanced_tree_counts_monotone_in_rules(self):
+        tree = balanced_tree(2, depth=3, weights=[9.0, 5.0, 4.0, 2.0])
+        problem = AllocationProblem(tree, channels=2)
+        unpruned = count_reduced_paths(problem, PruningConfig.none())
+        partial = count_reduced_paths(
+            problem, PruningConfig.none().without(candidate_filter=True)
+        )
+        full = count_reduced_paths(problem, PruningConfig.paper())
+        assert full <= partial <= unpruned

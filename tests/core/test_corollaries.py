@@ -1,0 +1,47 @@
+"""Unit tests for Corollary 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.corollaries import corollary1_applies, level_schedule
+from repro.core.optimal import solve
+from repro.tree.builders import balanced_tree, chain_tree, paper_example_tree
+
+
+class TestApplicability:
+    def test_width_threshold(self, fig1_tree):
+        assert not corollary1_applies(fig1_tree, 3)
+        assert corollary1_applies(fig1_tree, 4)
+
+    def test_chain_applies_with_one_channel(self):
+        assert corollary1_applies(chain_tree(5), 1)
+
+
+class TestLevelSchedule:
+    def test_each_level_at_its_slot(self, fig1_tree):
+        schedule = level_schedule(fig1_tree, 4)
+        for level_number, level in enumerate(fig1_tree.levels(), start=1):
+            for node in level:
+                assert schedule.slot_of(node) == level_number
+
+    def test_every_data_node_achieves_depth_lower_bound(self, fig1_tree):
+        schedule = level_schedule(fig1_tree, 4)
+        for leaf in fig1_tree.data_nodes():
+            assert schedule.slot_of(leaf) == leaf.depth()
+
+    def test_matches_searched_optimum(self):
+        tree = balanced_tree(2, depth=3, weights=[5.0, 4.0, 3.0, 2.0])
+        fast = level_schedule(tree, 4).data_wait()
+        searched = solve(tree, channels=4, method="best-first").cost
+        assert fast == pytest.approx(searched)
+
+    def test_insufficient_channels_rejected(self, fig1_tree):
+        with pytest.raises(ValueError, match="max level width"):
+            level_schedule(fig1_tree, 2)
+
+    def test_chain_single_channel(self):
+        tree = chain_tree(3)
+        schedule = level_schedule(tree, 1)
+        assert schedule.cycle_length == 4
+        assert schedule.data_wait() == pytest.approx(4.0)

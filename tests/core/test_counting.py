@@ -1,0 +1,92 @@
+"""Unit tests for the Table 1 counting machinery."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.counting import (
+    ordered_group_permutations,
+    property2_closed_form,
+    pruning_percentage,
+    table1_row,
+)
+from repro.tree.builders import balanced_tree, from_spec
+
+
+class TestOrderedGroupPermutations:
+    def test_single_group(self):
+        assert ordered_group_permutations([4]) == 1
+
+    def test_equal_groups_match_paper_formula(self):
+        # (nm)! / (m!)^n with n = m groups of m.
+        for m in (2, 3, 4):
+            expected = math.factorial(m * m) // math.factorial(m) ** m
+            assert ordered_group_permutations([m] * m) == expected
+
+    def test_paper_values(self):
+        assert ordered_group_permutations([2, 2]) == 6
+        assert ordered_group_permutations([3, 3, 3]) == 1680
+        # The paper prints 6306300 for m = 4; the exact value is 63063000.
+        assert ordered_group_permutations([4] * 4) == 63063000
+        assert ordered_group_permutations([5] * 5) == 623360743125120
+        assert f"{float(ordered_group_permutations([5] * 5)):.1e}" == "6.2e+14"
+
+    def test_m6_magnitude_matches_paper(self):
+        value = ordered_group_permutations([6] * 6)
+        assert 2.0e24 < value < 3.0e24  # paper: ~2.7e24
+
+    def test_mixed_group_sizes(self):
+        assert ordered_group_permutations([2, 1]) == 3
+
+
+class TestProperty2ClosedForm:
+    def test_paper_tree(self, fig1_tree):
+        assert property2_closed_form(fig1_tree) == 30
+
+    def test_balanced(self):
+        assert property2_closed_form(balanced_tree(3, depth=3)) == 1680
+
+    def test_irregular_groups(self):
+        tree = from_spec([[("A", 3), ("B", 2), ("C", 1)], ("D", 9)])
+        assert property2_closed_form(tree) == 4  # groups of 3 and 1
+
+
+class TestPruningPercentage:
+    def test_paper_m2_values(self):
+        assert pruning_percentage(6, math.factorial(4)) == pytest.approx(75.0)
+        assert pruning_percentage(4, math.factorial(4)) == pytest.approx(
+            83.3333, abs=1e-3
+        )
+        assert pruning_percentage(1, math.factorial(4)) == pytest.approx(
+            95.8333, abs=1e-3
+        )
+
+
+class TestTable1Row:
+    def test_m2_row_is_weight_independent(self):
+        for weights in ([9.0, 7.0, 5.0, 1.0], [1.0, 2.0, 3.0, 4.0]):
+            tree = balanced_tree(2, depth=3, weights=weights)
+            row = table1_row(tree, fanout=2)
+            assert row.raw == 24
+            assert row.by_property2 == 6
+            assert row.by_property2_enumerated == 6
+            assert row.by_properties_1_2 == 4
+
+    def test_m3_row_matches_paper_enumerations(self):
+        tree = balanced_tree(
+            3, depth=3, weights=[float(w) for w in range(9, 0, -1)]
+        )
+        row = table1_row(tree, fanout=3)
+        assert row.by_property2 == row.by_property2_enumerated == 1680
+        assert row.by_properties_1_2 == 186  # exactly the paper's value
+
+    def test_columns_skippable(self, fig1_tree):
+        row = table1_row(
+            fig1_tree, fanout=2, enumerate_p2=False, enumerate_p12=False
+        )
+        assert row.by_property2_enumerated is None
+        assert row.by_properties_1_2 is None
+        assert row.pruning(None) is None
+        assert row.by_properties_1_2_4 is not None

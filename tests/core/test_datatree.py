@@ -1,0 +1,163 @@
+"""Unit tests for the §3.3 data tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exhaustive import brute_force_single_channel
+from repro.core.datatree import (
+    DataTreeConfig,
+    broadcast_order,
+    count_data_sequences,
+    eligible_data,
+    iter_data_sequences,
+    sequence_cost,
+    solve_single_channel,
+)
+from repro.core.problem import AllocationProblem
+from repro.exceptions import SearchBudgetExceeded
+from repro.tree.builders import balanced_tree, from_spec, random_tree
+
+
+def label_ids(problem, labels):
+    return [problem.id_of(problem.tree.find(l)) for l in labels]
+
+
+class TestEligibility:
+    def test_initially_heaviest_per_group(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        labels = sorted(
+            problem.nodes[i].label
+            for i in eligible_data(problem, 0, DataTreeConfig.paper())
+        )
+        # Heaviest of {A,B}, of {C,D}, and E itself.
+        assert labels == ["A", "C", "E"]
+
+    def test_group_member_unlocked_after_heavier_sibling(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        (a,) = label_ids(problem, "A")
+        labels = sorted(
+            problem.nodes[i].label
+            for i in eligible_data(problem, 1 << a, DataTreeConfig.paper())
+        )
+        assert labels == ["B", "C", "E"]
+
+    def test_property1_forces_global_descending(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        a, c = label_ids(problem, "AC")
+        placed = (1 << a) | (1 << c)  # Cancestor now covers every index node
+        survivors = eligible_data(problem, placed, DataTreeConfig.paper())
+        assert [problem.nodes[i].label for i in survivors] == ["E"]
+
+    def test_without_group_order_everything_eligible(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        config = DataTreeConfig(group_order=False, property1=False, property4=False)
+        assert len(eligible_data(problem, 0, config)) == 5
+
+
+class TestBroadcastGeneration:
+    def test_lazy_orders_are_feasible(self, fig1_problem_1ch):
+        from repro.broadcast.schedule import BroadcastSchedule
+
+        problem = fig1_problem_1ch
+        for sequence in iter_data_sequences(
+            problem, DataTreeConfig.properties_1_2()
+        ):
+            order = [problem.node_of(i) for i in broadcast_order(problem, sequence)]
+            BroadcastSchedule.from_sequence(problem.tree, order).validate()
+
+    def test_sequence_cost_matches_schedule(self, fig1_problem_1ch):
+        from repro.broadcast.schedule import BroadcastSchedule
+
+        problem = fig1_problem_1ch
+        sequence = label_ids(problem, "EABCD")
+        order = [problem.node_of(i) for i in broadcast_order(problem, sequence)]
+        schedule = BroadcastSchedule.from_sequence(problem.tree, order)
+        assert sequence_cost(problem, sequence) == pytest.approx(
+            schedule.data_wait()
+        )
+
+    def test_every_node_appears_once(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        sequence = label_ids(problem, "CAEBD")
+        order = broadcast_order(problem, sequence)
+        assert sorted(order) == list(range(len(problem)))
+
+
+class TestCounting:
+    def test_counts_match_enumeration(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        for config in (
+            DataTreeConfig.property2_only(),
+            DataTreeConfig.properties_1_2(),
+            DataTreeConfig.paper(),
+        ):
+            assert count_data_sequences(problem, config) == len(
+                list(iter_data_sequences(problem, config))
+            )
+
+    def test_rules_only_shrink_the_tree(self, rng):
+        for _ in range(5):
+            tree = random_tree(rng, 6)
+            problem = AllocationProblem(tree, channels=1)
+            p2 = count_data_sequences(problem, DataTreeConfig.property2_only())
+            p12 = count_data_sequences(problem, DataTreeConfig.properties_1_2())
+            p124 = count_data_sequences(problem, DataTreeConfig.paper())
+            assert p124 <= p12 <= p2
+
+    def test_extended_exchange_shrinks_further(self, rng):
+        for _ in range(5):
+            tree = random_tree(rng, 7)
+            problem = AllocationProblem(tree, channels=1)
+            base = count_data_sequences(problem, DataTreeConfig.paper())
+            extended = count_data_sequences(
+                problem, DataTreeConfig.paper().without(extended_exchange=True)
+            )
+            assert extended <= base
+
+
+class TestSolveSingleChannel:
+    def test_matches_brute_force(self, rng):
+        for _ in range(10):
+            tree = random_tree(rng, int(rng.integers(2, 8)))
+            expected, _ = brute_force_single_channel(tree)
+            problem = AllocationProblem(tree, channels=1)
+            assert solve_single_channel(problem).cost == pytest.approx(expected)
+
+    def test_extended_exchange_preserves_optimum(self, rng):
+        for _ in range(10):
+            tree = random_tree(rng, int(rng.integers(3, 8)))
+            problem = AllocationProblem(tree, channels=1)
+            base = solve_single_channel(problem)
+            extended = solve_single_channel(
+                problem,
+                config=DataTreeConfig.paper().without(extended_exchange=True),
+            )
+            assert extended.cost == pytest.approx(base.cost)
+
+    def test_order_contains_every_node(self, fig1_problem_1ch):
+        result = solve_single_channel(fig1_problem_1ch)
+        assert sorted(result.order) == list(range(9))
+
+    def test_requires_single_channel_problem(self, fig1_tree):
+        problem = AllocationProblem(fig1_tree, channels=2)
+        with pytest.raises(ValueError, match="1-channel"):
+            solve_single_channel(problem)
+
+    def test_state_budget_enforced(self):
+        tree = balanced_tree(3, depth=3, weights=list(range(9, 0, -1)))
+        problem = AllocationProblem(tree, channels=1)
+        with pytest.raises(SearchBudgetExceeded):
+            solve_single_channel(problem, state_budget=2)
+
+    def test_degenerate_single_leaf(self):
+        tree = from_spec([("A", 5)])
+        problem = AllocationProblem(tree, channels=1)
+        result = solve_single_channel(problem)
+        assert result.cost == pytest.approx(2.0)  # index root then A
+        assert result.data_sequence == [problem.data_ids[0]]
+
+    def test_states_expanded_reported(self, fig1_problem_1ch):
+        result = solve_single_channel(fig1_problem_1ch)
+        assert result.states_expanded > 0

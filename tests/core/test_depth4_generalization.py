@@ -1,0 +1,79 @@
+"""Beyond the paper's depth-3 evaluation: the machinery at depth 4.
+
+Table 1 and Fig. 14 only exercise full balanced trees of depth 3 (one
+index level above the leaves). Nothing in the algorithms is special
+about that shape; these tests pin the same invariants on depth-4 trees,
+where index nodes appear at two internal levels and ``Nancestor`` chains
+have length > 1 even mid-broadcast.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.exhaustive import brute_force_single_channel
+from repro.core.counting import property2_closed_form
+from repro.core.datatree import DataTreeConfig, count_data_sequences
+from repro.core.problem import AllocationProblem
+from repro.core.search import best_first_search
+from repro.core.topological import count_paths, linear_extension_count
+from repro.tree.builders import balanced_tree
+
+
+@pytest.fixture
+def depth4_tree(rng):
+    weights = [float(w) for w in rng.integers(1, 100, 8)]
+    return balanced_tree(2, depth=4, weights=weights)
+
+
+class TestDepth4Counting:
+    def test_closed_form_and_enumeration_agree(self, depth4_tree):
+        # 8 leaves in 4 sibling groups of 2: 8!/(2!)^4 = 2520.
+        assert property2_closed_form(depth4_tree) == 2520
+        problem = AllocationProblem(depth4_tree, channels=1)
+        assert (
+            count_data_sequences(problem, DataTreeConfig.property2_only())
+            == 2520
+        )
+
+    def test_hook_length_formula_still_holds(self, depth4_tree):
+        problem = AllocationProblem(depth4_tree, channels=1)
+        assert count_paths(problem) == linear_extension_count(depth4_tree)
+        # Binary depth-4: 15 nodes; sizes 15,7,7,3x4,1x8.
+        expected = math.factorial(15) // (15 * 7 * 7 * 3**4)
+        assert linear_extension_count(depth4_tree) == expected
+
+    def test_rule_sets_shrink_monotonically(self, depth4_tree):
+        problem = AllocationProblem(depth4_tree, channels=1)
+        p2 = count_data_sequences(problem, DataTreeConfig.property2_only())
+        p12 = count_data_sequences(problem, DataTreeConfig.properties_1_2())
+        p124 = count_data_sequences(problem, DataTreeConfig.paper())
+        assert 1 <= p124 <= p12 <= p2 == 2520
+
+
+class TestDepth4Optimality:
+    def test_single_channel_matches_brute_force(self, depth4_tree):
+        from repro.core.datatree import solve_single_channel
+
+        expected, _ = brute_force_single_channel(depth4_tree)
+        problem = AllocationProblem(depth4_tree, channels=1)
+        assert solve_single_channel(problem).cost == pytest.approx(expected)
+
+    def test_pruned_equals_unpruned_multichannel(self, depth4_tree):
+        from repro.core.candidates import PruningConfig
+
+        for channels in (2, 3):
+            problem = AllocationProblem(depth4_tree, channels=channels)
+            pruned = best_first_search(problem, PruningConfig.paper())
+            unpruned = best_first_search(problem, PruningConfig.none())
+            assert pruned.cost == pytest.approx(unpruned.cost)
+
+    def test_corollary1_at_width_eight(self, depth4_tree):
+        from repro.core.optimal import solve
+
+        result = solve(depth4_tree, channels=8)
+        assert result.method == "corollary1"
+        searched = solve(depth4_tree, channels=8, method="best-first")
+        assert result.cost == pytest.approx(searched.cost)

@@ -1,0 +1,88 @@
+"""Unit tests for the solve() façade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.exhaustive import (
+    brute_force_single_channel,
+    exhaustive_optimal,
+)
+from repro.core.optimal import solve
+from repro.core.problem import AllocationProblem
+from repro.exceptions import SearchBudgetExceeded
+from repro.tree.builders import balanced_tree, chain_tree, random_tree
+
+
+class TestRouting:
+    def test_single_channel_uses_datatree(self, fig1_tree):
+        assert solve(fig1_tree, channels=1).method == "datatree"
+
+    def test_multi_channel_uses_best_first(self, fig1_tree):
+        assert solve(fig1_tree, channels=2).method == "best-first"
+
+    def test_wide_uses_corollary1(self, fig1_tree):
+        assert solve(fig1_tree, channels=4).method == "corollary1"
+
+    def test_chain_tree_single_channel_is_corollary1(self):
+        # A chain has max level width 1, so even k = 1 hits the fast path.
+        result = solve(chain_tree(4), channels=1)
+        assert result.method == "corollary1"
+
+    def test_forced_methods(self, fig1_tree):
+        assert solve(fig1_tree, channels=1, method="best-first").method == (
+            "best-first"
+        )
+        with pytest.raises(ValueError, match="single-channel"):
+            solve(fig1_tree, channels=2, method="datatree")
+        with pytest.raises(ValueError, match="unknown method"):
+            solve(fig1_tree, channels=1, method="magic")
+
+
+class TestOptimality:
+    def test_paper_example_costs(self, fig1_tree):
+        assert solve(fig1_tree, channels=1).cost == pytest.approx(391 / 70)
+        assert solve(fig1_tree, channels=2).cost == pytest.approx(264 / 70)
+
+    def test_methods_agree_single_channel(self, rng):
+        for _ in range(6):
+            tree = random_tree(rng, 6)
+            datatree = solve(tree, channels=1, method="datatree")
+            best_first = solve(tree, channels=1, method="best-first")
+            brute, _ = brute_force_single_channel(tree)
+            assert datatree.cost == pytest.approx(brute)
+            assert best_first.cost == pytest.approx(brute)
+
+    def test_matches_exhaustive_multi_channel(self, rng):
+        for _ in range(5):
+            tree = random_tree(rng, 6)
+            for k in (2, 3):
+                expected, _ = exhaustive_optimal(AllocationProblem(tree, k))
+                assert solve(tree, channels=k).cost == pytest.approx(expected)
+
+    def test_schedule_cost_equals_reported_cost(self, rng):
+        for _ in range(5):
+            tree = random_tree(rng, 7)
+            for k in (1, 2):
+                result = solve(tree, channels=k)
+                assert result.schedule.data_wait() == pytest.approx(result.cost)
+                result.schedule.validate()
+
+    def test_corollary1_matches_search(self, fig1_tree):
+        fast = solve(fig1_tree, channels=4)
+        searched = solve(fig1_tree, channels=4, method="best-first")
+        assert fast.cost == pytest.approx(searched.cost)
+
+
+class TestBudgets:
+    def test_budget_propagates(self):
+        tree = balanced_tree(3, depth=3, weights=list(range(1, 10)))
+        with pytest.raises(SearchBudgetExceeded):
+            solve(tree, channels=2, budget=2)
+        with pytest.raises(SearchBudgetExceeded):
+            solve(tree, channels=1, budget=1)
+
+    def test_stats_reported(self, fig1_tree):
+        assert "states_expanded" in solve(fig1_tree, channels=1).stats
+        assert "nodes_expanded" in solve(fig1_tree, channels=2).stats
+        assert solve(fig1_tree, channels=4).stats == {}

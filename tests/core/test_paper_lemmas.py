@@ -1,0 +1,180 @@
+"""Direct checks of the paper's lemmas and remaining worked examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast.metrics import data_wait_of_order
+from repro.core.candidates import PruningConfig, reduced_children
+from repro.core.datatree import property4_allows
+from repro.core.problem import AllocationProblem
+from repro.core.swaps import can_globally_swap, global_swap_prefers_first
+
+
+def ids(problem, labels):
+    return tuple(
+        sorted(problem.id_of(problem.tree.find(label)) for label in labels)
+    )
+
+
+class TestLemma6Directly:
+    """Lemma 6: AB beats BA iff N_B·ΣW(A) >= N_A·ΣW(B), verified by
+    scoring actual broadcast orders."""
+
+    @pytest.mark.parametrize(
+        "first,second",
+        [("E", "C"), ("C", "E"), ("A", "B"), ("E", "D")],
+    )
+    def test_exchange_inequality_predicts_order_cost(
+        self, fig1_tree, first, second
+    ):
+        # Build two full broadcasts differing only in the order of the
+        # exchangeable subsequences around `first` and `second`.
+        problem = AllocationProblem(fig1_tree, channels=1)
+        f = problem.id_of(fig1_tree.find(first))
+        s = problem.id_of(fig1_tree.find(second))
+        # Place everything else first (lazy), then the two in each order.
+        rest = [d for d in problem.data_ids if d not in (f, s)]
+        from repro.core.datatree import broadcast_order, sequence_cost
+
+        cost_fs = sequence_cost(problem, rest + [f, s])
+        cost_sf = sequence_cost(problem, rest + [s, f])
+
+        emitted = 0
+        for data_id in rest:
+            emitted |= problem.ancestor_mask[data_id]
+        length_f = (problem.ancestor_mask[f] & ~emitted).bit_count() + 1
+        length_s = (
+            problem.ancestor_mask[s]
+            & ~emitted
+            & ~problem.ancestor_mask[f]
+        ).bit_count() + 1
+        # Lemma 6 inequality with A = f's subsequence, B = s's.
+        lhs = length_s * problem.weight[f]
+        rhs = length_f * problem.weight[s]
+        if lhs >= rhs:
+            assert cost_fs <= cost_sf + 1e-9
+        else:
+            assert cost_fs >= cost_sf - 1e-9
+
+
+class TestExample4MultiChannel:
+    """§3.2 Example 4's two pruning claims on the 2-channel tree."""
+
+    def test_b4_dominated_by_a4_at_level_three(self, fig1_problem_2ch):
+        """'All paths having the node B4 at the third level are worse
+        than those having the node A4' (Property 3 char. 2): B (10) is
+        not among the 2 heaviest available data (A=20, E=18), so no
+        generated subset pairs B with 4."""
+        problem = fig1_problem_2ch
+        placed = problem.mask_of(
+            [problem.id_of(problem.tree.find(l)) for l in "123"]
+        )
+        available = problem.initial_available()
+        for label in "123":
+            available = problem.release(
+                available, problem.id_of(problem.tree.find(label))
+            )
+        groups = reduced_children(
+            problem,
+            placed,
+            available,
+            ids(problem, ["2", "3"]),
+            PruningConfig.paper(),
+        )
+        rendered = {
+            "".join(sorted(problem.nodes[i].label for i in group))
+            for group in groups
+        }
+        assert "4B" not in rendered
+        assert "4A" in rendered or "AE" in rendered
+
+    def test_ab4e_subsequence_eliminated(self, fig1_problem_2ch):
+        """'The leftmost path can be eliminated due to the subsequence
+        AB4E where W(E) > W(B)' (Property 3 char. 4)."""
+        problem = fig1_problem_2ch
+        # State: 1 placed, then {2,3}, then {A,B}; candidates now.
+        placed = 0
+        available = problem.initial_available()
+        for label_group in (["1"], ["2", "3"], ["A", "B"]):
+            for label in label_group:
+                node_id = problem.id_of(problem.tree.find(label))
+                placed |= 1 << node_id
+                available = problem.release(available, node_id)
+        groups = reduced_children(
+            problem,
+            placed,
+            available,
+            ids(problem, ["A", "B"]),
+            PruningConfig.paper(),
+        )
+        rendered = {
+            "".join(sorted(problem.nodes[i].label for i in group))
+            for group in groups
+        }
+        # E (18) is heavier than B (10) and no child of {A, B}: any
+        # subset containing E must be eliminated by the case-2 filter.
+        assert all("E" not in group for group in rendered)
+
+
+class TestLemma2OnWholeBroadcasts:
+    """Lemma 2's benefit claim, measured on complete allocations."""
+
+    def test_swapping_adjacent_groups_matches_prediction(self, fig1_tree):
+        problem = AllocationProblem(fig1_tree, channels=2)
+        heavy = ids(problem, ["A", "E"])
+        light = ids(problem, ["B", "4"])
+        assert can_globally_swap(problem, heavy, light)
+        assert global_swap_prefers_first(problem, heavy, light)
+
+        prefix = [
+            [fig1_tree.find("1")],
+            [fig1_tree.find("2"), fig1_tree.find("3")],
+        ]
+        suffix = [[fig1_tree.find("C"), fig1_tree.find("D")]]
+        heavy_nodes = [problem.node_of(i) for i in heavy]
+        light_nodes = [problem.node_of(i) for i in light]
+
+        def cost(groups):
+            weighted = 0.0
+            for slot, group in enumerate(groups, start=1):
+                for node in group:
+                    if node.is_data:
+                        weighted += node.weight * slot
+            return weighted / 70.0
+
+        heavy_first = cost(prefix + [heavy_nodes, light_nodes] + suffix)
+        light_first = cost(prefix + [light_nodes, heavy_nodes] + suffix)
+        assert heavy_first <= light_first
+
+
+class TestProperty4TieBehaviour:
+    def test_equal_weights_keep_both_orders(self):
+        """On exact ties the >= condition holds both ways: neither order
+        is pruned, so no optimum can be lost to tie-breaking."""
+        from repro.tree.builders import from_spec
+
+        tree = from_spec([("A", 5), ("B", 5)])
+        problem = AllocationProblem(tree, channels=1)
+        a, b = problem.data_ids
+        assert property4_allows(problem, a, 0, b, problem.ancestor_mask[a])
+        assert property4_allows(problem, b, 0, a, problem.ancestor_mask[b])
+
+
+class TestFig6LeftmostSixPaths:
+    """Example 2 again, but scored over complete broadcasts."""
+
+    def test_ecd_best_among_leftmost_six(self, fig1_tree):
+        from itertools import permutations
+
+        prefix = [fig1_tree.find(l) for l in "134"]
+        suffix = [fig1_tree.find(l) for l in "2AB"]
+        trio = [fig1_tree.find(l) for l in "ECD"]
+        costs = {
+            "".join(n.label for n in order): data_wait_of_order(
+                prefix + list(order) + suffix
+            )
+            for order in permutations(trio)
+        }
+        assert min(costs, key=costs.get) == "ECD"
+        assert len(costs) == 6

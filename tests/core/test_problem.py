@@ -1,0 +1,107 @@
+"""Unit tests for the integer-indexed AllocationProblem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.problem import AllocationProblem
+from repro.tree.builders import balanced_tree
+
+
+class TestIndexing:
+    def test_ids_are_preorder_positions(self, fig1_tree, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        labels = [problem.nodes[i].label for i in range(len(problem))]
+        assert labels == ["1", "2", "A", "B", "3", "E", "4", "C", "D"]
+        assert problem.root_id == 0
+
+    def test_id_node_round_trip(self, fig1_tree, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        for node in fig1_tree.nodes():
+            assert problem.node_of(problem.id_of(node)) is node
+
+    def test_parent_and_children_arrays(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        node4 = problem.id_of(problem.tree.find("4"))
+        node3 = problem.id_of(problem.tree.find("3"))
+        assert problem.parent[node4] == node3
+        assert problem.parent[problem.root_id] == -1
+        child_labels = sorted(
+            problem.nodes[c].label for c in problem.children[node4]
+        )
+        assert child_labels == ["C", "D"]
+
+    def test_weights_and_orders(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        a = problem.id_of(problem.tree.find("A"))
+        assert problem.is_data[a]
+        assert problem.weight[a] == 20.0
+        assert problem.order[a] == 0
+        root = problem.root_id
+        assert not problem.is_data[root]
+        assert problem.order[root] == 1
+
+    def test_masks_partition_the_nodes(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        assert problem.data_mask & problem.index_mask == 0
+        assert problem.data_mask | problem.index_mask == problem.all_mask
+
+    def test_total_weight(self, fig1_problem_1ch):
+        assert fig1_problem_1ch.total_weight == 70.0
+
+    def test_data_by_weight_descending(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        weights = [problem.weight[i] for i in problem.data_by_weight]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_invalid_channel_count(self, fig1_tree):
+        with pytest.raises(ValueError):
+            AllocationProblem(fig1_tree, channels=0)
+
+
+class TestAvailability:
+    def test_initially_only_root(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        assert problem.available_ids(problem.initial_available()) == [0]
+
+    def test_release_adds_children(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        available = problem.release(problem.initial_available(), 0)
+        labels = sorted(problem.nodes[i].label for i in problem.available_ids(available))
+        assert labels == ["2", "3"]
+
+    def test_mask_round_trip(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        ids = [0, 2, 5]
+        assert problem.available_ids(problem.mask_of(ids)) == ids
+
+
+class TestAncestorBookkeeping:
+    def test_ancestor_masks(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        c = problem.id_of(problem.tree.find("C"))
+        ancestors = sorted(
+            problem.nodes[i].label
+            for i in problem.available_ids(problem.ancestor_mask[c])
+        )
+        assert ancestors == ["1", "3", "4"]
+
+    def test_new_ancestors_root_to_leaf_order(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        c = problem.id_of(problem.tree.find("C"))
+        chain = problem.new_ancestors(c, emitted_mask=0)
+        assert [problem.nodes[i].label for i in chain] == ["1", "3", "4"]
+
+    def test_new_ancestors_respects_emitted(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        c = problem.id_of(problem.tree.find("C"))
+        root_mask = 1 << problem.root_id
+        chain = problem.new_ancestors(c, emitted_mask=root_mask)
+        assert [problem.nodes[i].label for i in chain] == ["3", "4"]
+        assert problem.new_ancestor_count(c, root_mask) == 2
+
+    def test_deep_tree_counts(self):
+        tree = balanced_tree(2, depth=4)
+        problem = AllocationProblem(tree, channels=1)
+        leaf = problem.data_ids[0]
+        assert problem.new_ancestor_count(leaf, 0) == 3

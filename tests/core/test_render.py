@@ -1,0 +1,85 @@
+"""Tests for the search-space renderers (Figs. 6-12 regeneration)."""
+
+from __future__ import annotations
+
+from repro.core.candidates import PruningConfig
+from repro.core.datatree import DataTreeConfig
+from repro.core.problem import AllocationProblem
+from repro.core.render import render_data_tree, render_topological_tree
+from repro.tree.builders import balanced_tree
+
+
+class TestTopologicalRendering:
+    def test_fig10_shape(self, fig1_problem_2ch):
+        art = render_topological_tree(fig1_problem_2ch)
+        lines = art.splitlines()
+        assert lines[0] == "1"
+        assert "2 3" in lines[1]
+        # Exactly two complete branches under {2, 3} (Fig. 10).
+        assert sum(1 for line in lines if "|--" in line or "`--" in line) >= 4
+
+    def test_unpruned_rendering_truncates(self, fig1_problem_1ch):
+        art = render_topological_tree(
+            fig1_problem_1ch, PruningConfig.none(), max_nodes=20
+        )
+        assert "..." in art  # 896 paths cannot fit in 20 nodes
+
+    def test_every_label_from_optimal_path_present(self, fig1_problem_2ch):
+        art = render_topological_tree(fig1_problem_2ch)
+        for label in "1234ABCDE":
+            assert label in art
+
+    def test_dead_ends_marked(self):
+        """Steeply skewed weights strand some branches visibly."""
+        tree = balanced_tree(2, depth=3, weights=[50.0, 1.0, 49.0, 2.0])
+        problem = AllocationProblem(tree, channels=1)
+        art = render_topological_tree(problem)
+        # Dead ends may or may not occur; the render must stay well formed.
+        assert art.splitlines()[0] == "1"
+
+
+class TestDataTreeRendering:
+    def test_fig12_annotations(self, fig1_problem_1ch):
+        art = render_data_tree(fig1_problem_1ch, annotate=True)
+        assert "(root)" in art
+        assert "{1,2} A" in art       # Nancestor(A) = {1, 2}
+        assert "{3,4} C" in art       # Nancestor(C) = {3, 4}
+        assert "x " in art            # Property 4 marks present
+
+    def test_worked_example_mark(self, fig1_problem_1ch):
+        """The paper's 4C/E check: E after C is marked pruned."""
+        art = render_data_tree(fig1_problem_1ch, annotate=True)
+        lines = art.splitlines()
+        c_lines = [i for i, l in enumerate(lines) if l.endswith("{3,4} C")]
+        assert c_lines
+        # The child rendered under a {3,4} C node includes a pruned E.
+        found = any(
+            "x {} E" in lines[i + 1] for i in c_lines if i + 1 < len(lines)
+        )
+        assert found
+
+    def test_unannotated_render(self, fig1_problem_1ch):
+        art = render_data_tree(fig1_problem_1ch, annotate=False)
+        assert "{" not in art
+        assert "A" in art and "D" in art
+
+    def test_p12_tree_has_no_marks(self, fig1_problem_1ch):
+        art = render_data_tree(
+            fig1_problem_1ch, DataTreeConfig.properties_1_2()
+        )
+        assert "x " not in art
+
+    def test_budget_respected(self, fig1_problem_1ch):
+        art = render_data_tree(fig1_problem_1ch, max_nodes=3)
+        assert "..." in art
+
+
+class TestCliSpaces:
+    def test_spaces_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["spaces", "--channels", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "topological tree" in out
+        assert "Fig. 12" in out
+        assert "x " in out

@@ -1,0 +1,104 @@
+"""Unit tests for the best-first search and its bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.exhaustive import exhaustive_optimal
+from repro.core.candidates import PruningConfig
+from repro.core.problem import AllocationProblem
+from repro.core.search import best_first_search, lower_bound
+from repro.exceptions import SearchBudgetExceeded
+from repro.tree.builders import balanced_tree, random_tree
+
+
+class TestLowerBound:
+    def test_adjacent_bound_counts_outstanding_weight(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        assert lower_bound(problem, placed=0, slot=0, bound="adjacent") == (
+            pytest.approx(70.0)
+        )
+
+    def test_packed_bound_tighter_than_adjacent(self, fig1_problem_2ch):
+        problem = fig1_problem_2ch
+        adjacent = lower_bound(problem, placed=0, slot=0, bound="adjacent")
+        packed = lower_bound(problem, placed=0, slot=0, bound="packed")
+        assert packed >= adjacent
+
+    def test_packed_bound_is_admissible(self, fig1_problem_2ch):
+        problem = fig1_problem_2ch
+        optimum, _ = exhaustive_optimal(problem)
+        packed = lower_bound(problem, placed=0, slot=0, bound="packed")
+        assert packed / problem.total_weight <= optimum + 1e-9
+
+    def test_placed_nodes_excluded(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        a = problem.id_of(problem.tree.find("A"))
+        full = lower_bound(problem, placed=0, slot=0, bound="adjacent")
+        partial = lower_bound(problem, placed=1 << a, slot=0, bound="adjacent")
+        assert partial == pytest.approx(full - 20.0)
+
+    def test_unknown_bound_rejected(self, fig1_problem_1ch):
+        with pytest.raises(ValueError, match="unknown bound"):
+            lower_bound(fig1_problem_1ch, 0, 0, "nope")
+
+
+class TestBestFirstSearch:
+    def test_paper_example_two_channels(self, fig1_problem_2ch):
+        result = best_first_search(fig1_problem_2ch)
+        assert result.cost == pytest.approx(264 / 70)
+
+    def test_bounds_agree(self, fig1_problem_2ch):
+        packed = best_first_search(fig1_problem_2ch, bound="packed")
+        adjacent = best_first_search(fig1_problem_2ch, bound="adjacent")
+        assert packed.cost == pytest.approx(adjacent.cost)
+
+    def test_packed_bound_expands_no_more_nodes(self, rng):
+        for _ in range(5):
+            tree = random_tree(rng, 7)
+            problem = AllocationProblem(tree, channels=2)
+            packed = best_first_search(problem, bound="packed")
+            adjacent = best_first_search(problem, bound="adjacent")
+            assert packed.nodes_expanded <= adjacent.nodes_expanded
+            assert packed.cost == pytest.approx(adjacent.cost)
+
+    def test_pruned_matches_unpruned(self, rng):
+        for _ in range(8):
+            tree = random_tree(rng, int(rng.integers(3, 7)))
+            for k in (1, 2, 3):
+                problem = AllocationProblem(tree, channels=k)
+                pruned = best_first_search(problem, PruningConfig.paper())
+                unpruned = best_first_search(problem, PruningConfig.none())
+                assert pruned.cost == pytest.approx(unpruned.cost)
+
+    def test_path_is_complete_and_feasible(self, fig1_problem_2ch):
+        problem = fig1_problem_2ch
+        result = best_first_search(problem)
+        position = {
+            i: s for s, group in enumerate(result.path) for i in group
+        }
+        assert len(position) == len(problem)
+        for node_id in range(len(problem)):
+            parent = problem.parent[node_id]
+            if parent >= 0:
+                assert position[parent] < position[node_id]
+
+    def test_node_budget_enforced(self):
+        tree = balanced_tree(3, depth=3, weights=list(range(1, 10)))
+        problem = AllocationProblem(tree, channels=2)
+        with pytest.raises(SearchBudgetExceeded):
+            best_first_search(problem, PruningConfig.none(), node_budget=3)
+
+    def test_stats_populated(self, fig1_problem_2ch):
+        result = best_first_search(fig1_problem_2ch)
+        assert result.nodes_expanded > 0
+        assert result.nodes_generated >= result.nodes_expanded - 1
+
+    def test_more_channels_never_hurt(self, rng):
+        tree = random_tree(rng, 8)
+        costs = [
+            best_first_search(AllocationProblem(tree, channels=k)).cost
+            for k in (1, 2, 3, 4)
+        ]
+        for narrow, wide in zip(costs, costs[1:]):
+            assert wide <= narrow + 1e-9

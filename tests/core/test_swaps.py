@@ -1,0 +1,102 @@
+"""Unit tests for the Lemma 1/2/4/5 swap predicates."""
+
+from __future__ import annotations
+
+from repro.core.swaps import (
+    can_globally_swap,
+    can_locally_swap,
+    data_weight_sum,
+    global_swap_prefers_first,
+    local_swap_pairs,
+)
+
+
+def ids(problem, labels):
+    return tuple(problem.id_of(problem.tree.find(label)) for label in labels)
+
+
+class TestDataWeightSum:
+    def test_mixed_group(self, fig1_problem_2ch):
+        problem = fig1_problem_2ch
+        group = ids(problem, ["A", "4"])  # data 20 + index 0
+        assert data_weight_sum(problem, group) == 20.0
+
+    def test_index_only_group(self, fig1_problem_2ch):
+        problem = fig1_problem_2ch
+        assert data_weight_sum(problem, ids(problem, ["2", "3"])) == 0.0
+
+
+class TestLemma1GlobalSwap:
+    def test_unrelated_groups_swap(self, fig1_problem_2ch):
+        problem = fig1_problem_2ch
+        # {A, B} and {E, 4}: no parent-child edges across.
+        assert can_globally_swap(
+            problem, ids(problem, ["A", "B"]), ids(problem, ["E", "4"])
+        )
+
+    def test_parent_child_blocks_swap(self, fig1_problem_2ch):
+        problem = fig1_problem_2ch
+        # 4 is the parent of C.
+        assert not can_globally_swap(
+            problem, ids(problem, ["4", "E"]), ids(problem, ["C", "B"])
+        )
+
+    def test_symmetric(self, fig1_problem_2ch):
+        problem = fig1_problem_2ch
+        first, second = ids(problem, ["A", "B"]), ids(problem, ["E", "4"])
+        assert can_globally_swap(problem, first, second) == can_globally_swap(
+            problem, second, first
+        )
+
+
+class TestLemma2Benefit:
+    def test_heavier_group_first(self, fig1_problem_2ch):
+        problem = fig1_problem_2ch
+        heavy = ids(problem, ["A", "E"])  # 38
+        light = ids(problem, ["B", "C"])  # 25
+        assert global_swap_prefers_first(problem, heavy, light)
+        assert not global_swap_prefers_first(problem, light, heavy)
+
+    def test_tie_prefers_either(self, fig1_problem_2ch):
+        problem = fig1_problem_2ch
+        group = ids(problem, ["A"])
+        assert global_swap_prefers_first(problem, group, group)
+
+
+class TestLemma4LocalSwap:
+    def test_swap_pair_found(self, fig1_problem_2ch):
+        problem = fig1_problem_2ch
+        # X = {2, 3}, Y = {A, E}: A is child of 2, E child of 3 - no
+        # element of Y is free, so no local swap.
+        assert not can_locally_swap(
+            problem, ids(problem, ["2", "3"]), ids(problem, ["A", "E"])
+        )
+
+    def test_free_element_enables_swap(self, fig1_problem_2ch):
+        problem = fig1_problem_2ch
+        # X = {2, E}, Y = {A, C}: C is no child of X; E (a leaf) has no
+        # children in Y -> (E, C) is a witness.
+        pairs = local_swap_pairs(
+            problem, ids(problem, ["2", "E"]), ids(problem, ["A", "C"])
+        )
+        rendered = {
+            (problem.nodes[x].label, problem.nodes[y].label) for x, y in pairs
+        }
+        assert ("E", "C") in rendered
+        # A *is* a child of 2, so no pair may move A earlier.
+        assert all(y != "A" for _, y in rendered)
+
+    def test_lemma5_all_index_parent_case(self, fig1_problem_2ch):
+        """Lemma 5: X all index nodes and a y free of X -> swappable."""
+        problem = fig1_problem_2ch
+        # X = {2, 3}; Y = {A, 4}: 4 is a child of 3 but A is a child of
+        # 2 -> neither element of Y is free, not swappable.
+        assert not can_locally_swap(
+            problem, ids(problem, ["2", "3"]), ids(problem, ["A", "4"])
+        )
+        # X = {2, 4}; Y = {E, B}: E is free of X (child of 3); 2's
+        # children {A, B}: B is in Y, but 4's children {C, D} are not,
+        # so (4, E) witnesses the swap.
+        assert can_locally_swap(
+            problem, ids(problem, ["2", "4"]), ids(problem, ["E", "B"])
+        )

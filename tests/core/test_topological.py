@@ -1,0 +1,96 @@
+"""Unit tests for Algorithm 1 (the unpruned topological tree)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.problem import AllocationProblem
+from repro.core.topological import (
+    compound_children,
+    count_paths,
+    iter_paths,
+    linear_extension_count,
+)
+from repro.tree.builders import balanced_tree, chain_tree, from_spec, random_tree
+
+
+class TestCompoundChildren:
+    def test_small_available_set_taken_whole(self, fig1_problem_2ch):
+        problem = fig1_problem_2ch
+        available = problem.release(problem.initial_available(), 0)
+        children = compound_children(problem, available)
+        assert len(children) == 1
+        assert len(children[0]) == 2
+
+    def test_large_available_set_gives_k_subsets(self, fig1_problem_2ch):
+        problem = fig1_problem_2ch
+        available = problem.initial_available()
+        for label in "123":
+            available = problem.release(
+                available, problem.id_of(problem.tree.find(label))
+            )
+        children = compound_children(problem, available)
+        assert len(children) == math.comb(4, 2)
+
+    def test_empty_available_set(self, fig1_problem_1ch):
+        assert compound_children(fig1_problem_1ch, 0) == []
+
+
+class TestPathEnumeration:
+    def test_every_path_is_a_complete_feasible_allocation(self, fig1_problem_2ch):
+        problem = fig1_problem_2ch
+        for path in iter_paths(problem, limit=50):
+            placed = [i for group in path for i in group]
+            assert sorted(placed) == list(range(len(problem)))
+            position = {i: s for s, group in enumerate(path) for i in group}
+            for node_id in range(len(problem)):
+                parent = problem.parent[node_id]
+                if parent >= 0:
+                    assert position[parent] < position[node_id]
+
+    def test_limit_respected(self, fig1_problem_1ch):
+        assert len(list(iter_paths(fig1_problem_1ch, limit=7))) == 7
+
+    def test_count_matches_enumeration(self, fig1_problem_2ch):
+        paths = list(iter_paths(fig1_problem_2ch))
+        assert count_paths(fig1_problem_2ch) == len(paths) == 21
+
+
+class TestHookLengthCrossCheck:
+    def test_paper_tree(self, fig1_tree, fig1_problem_1ch):
+        assert linear_extension_count(fig1_tree) == 896
+        assert count_paths(fig1_problem_1ch) == 896
+
+    def test_chain_has_single_order(self):
+        tree = chain_tree(4)
+        assert linear_extension_count(tree) == 1
+        assert count_paths(AllocationProblem(tree, 1)) == 1
+
+    def test_star_has_factorial_orders(self):
+        tree = from_spec([("A", 1), ("B", 1), ("C", 1), ("D", 1)])
+        assert linear_extension_count(tree) == math.factorial(4)
+
+    def test_balanced_tree_formula(self):
+        tree = balanced_tree(2, depth=3)
+        # n=7; subtree sizes 7,3,3,1x4 -> 7!/63 = 80.
+        assert linear_extension_count(tree) == 80
+        assert count_paths(AllocationProblem(tree, 1)) == 80
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_random_trees(self, seed):
+        import numpy as np
+
+        tree = random_tree(np.random.default_rng(seed), 5)
+        problem = AllocationProblem(tree, channels=1)
+        assert count_paths(problem) == linear_extension_count(tree)
+
+
+class TestWideChannelDegeneration:
+    def test_enough_channels_force_level_groups(self, fig1_tree):
+        problem = AllocationProblem(fig1_tree, channels=4)
+        paths = list(iter_paths(problem))
+        assert len(paths) == 1
+        sizes = [len(group) for group in paths[0]]
+        assert sizes == [1, 2, 4, 2]  # exactly the level widths

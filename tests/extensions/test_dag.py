@@ -1,0 +1,179 @@
+"""Unit tests for the §5 DAG-dependency extension."""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+import networkx as nx
+import pytest
+
+from repro.core.optimal import solve
+from repro.exceptions import InfeasibleError, SearchBudgetExceeded
+from repro.extensions.dag import (
+    DagAllocationProblem,
+    dag_order_cost,
+    greedy_dag_order,
+    problem_from_tree,
+    solve_dag,
+)
+from repro.tree.builders import random_tree
+
+
+def diamond_problem(channels=1):
+    """a -> {b, c} -> d with distinct weights."""
+    weights = {"a": 1.0, "b": 9.0, "c": 4.0, "d": 6.0}
+    edges = [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+    return DagAllocationProblem(weights, edges, channels=channels)
+
+
+def brute_force_dag(problem: DagAllocationProblem) -> float:
+    """Oracle for k = 1: score every feasible permutation."""
+    best = float("inf")
+    keys = problem.keys
+    for order in permutations(keys):
+        position = {key: slot for slot, key in enumerate(order)}
+        feasible = all(
+            position[u] < position[v] for u, v in problem.graph.edges()
+        )
+        if not feasible:
+            continue
+        cost = dag_order_cost(problem, [[key] for key in order])
+        best = min(best, cost)
+    return best
+
+
+class TestConstruction:
+    def test_accepts_edge_list_and_digraph(self):
+        weights = {"x": 1.0, "y": 2.0}
+        via_list = DagAllocationProblem(weights, [("x", "y")])
+        graph = nx.DiGraph([("x", "y")])
+        via_graph = DagAllocationProblem(weights, graph)
+        assert via_list.graph.edges() == via_graph.graph.edges()
+
+    def test_cycle_rejected(self):
+        with pytest.raises(InfeasibleError, match="cycle"):
+            DagAllocationProblem(
+                {"x": 1.0, "y": 1.0}, [("x", "y"), ("y", "x")]
+            )
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(ValueError, match="unknown node"):
+            DagAllocationProblem({"x": 1.0}, [("x", "zz")])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            DagAllocationProblem({"x": -1.0})
+
+    def test_invalid_channels(self):
+        with pytest.raises(ValueError):
+            DagAllocationProblem({"x": 1.0}, channels=0)
+
+    def test_availability(self):
+        problem = diamond_problem()
+        a = problem.id_of("a")
+        assert problem.available_ids(0) == [a]
+        assert sorted(
+            problem.keys[i] for i in problem.available_ids(1 << a)
+        ) == ["b", "c"]
+
+
+class TestExactSolver:
+    def test_diamond_single_channel(self):
+        problem = diamond_problem()
+        result = solve_dag(problem)
+        assert result.cost == pytest.approx(brute_force_dag(problem))
+        # Heavy b must precede light c.
+        flat = [key for group in result.groups for key in group]
+        assert flat.index("b") < flat.index("c")
+
+    def test_diamond_two_channels(self):
+        problem = diamond_problem(channels=2)
+        result = solve_dag(problem)
+        # a alone, then {b, c}, then d: waits 2,2,3 -> (9*2+4*2+6*3)/20
+        assert result.cost == pytest.approx((1 * 1 + 9 * 2 + 4 * 2 + 6 * 3) / 20)
+
+    def test_random_dags_match_brute_force(self, rng):
+        for _ in range(8):
+            count = int(rng.integers(3, 7))
+            keys = [f"n{i}" for i in range(count)]
+            weights = {k: float(rng.integers(1, 20)) for k in keys}
+            edges = [
+                (keys[i], keys[j])
+                for i in range(count)
+                for j in range(i + 1, count)
+                if rng.random() < 0.3
+            ]
+            problem = DagAllocationProblem(weights, edges)
+            assert solve_dag(problem).cost == pytest.approx(
+                brute_force_dag(problem)
+            )
+
+    def test_tree_instances_match_native_solver(self, rng):
+        for _ in range(5):
+            tree = random_tree(rng, 6)
+            for channels in (1, 2):
+                dag_result = solve_dag(problem_from_tree(tree, channels))
+                native = solve(tree, channels=channels)
+                assert dag_result.cost == pytest.approx(native.cost)
+
+    def test_empty_problem(self):
+        result = solve_dag(DagAllocationProblem({}))
+        assert result.cost == 0.0 and result.groups == []
+
+    def test_budget_enforced(self, rng):
+        keys = [f"n{i}" for i in range(10)]
+        problem = DagAllocationProblem(
+            {k: float(rng.integers(1, 9)) for k in keys}, [], channels=2
+        )
+        with pytest.raises(SearchBudgetExceeded):
+            solve_dag(problem, node_budget=2)
+
+    def test_edge_free_problem_sorts_by_weight(self):
+        problem = DagAllocationProblem({"x": 1.0, "y": 5.0, "z": 3.0})
+        result = solve_dag(problem)
+        flat = [key for group in result.groups for key in group]
+        assert flat == ["y", "z", "x"]
+
+
+class TestGreedyHeuristic:
+    def test_feasible_and_complete(self, rng):
+        for _ in range(5):
+            count = int(rng.integers(4, 10))
+            keys = [f"n{i}" for i in range(count)]
+            weights = {k: float(rng.integers(1, 30)) for k in keys}
+            edges = [
+                (keys[i], keys[j])
+                for i in range(count)
+                for j in range(i + 1, count)
+                if rng.random() < 0.25
+            ]
+            problem = DagAllocationProblem(weights, edges, channels=2)
+            groups = greedy_dag_order(problem)
+            position = {
+                key: slot for slot, group in enumerate(groups) for key in group
+            }
+            assert len(position) == count
+            for u, v in problem.graph.edges():
+                assert position[u] < position[v]
+            assert all(len(group) <= 2 for group in groups)
+
+    def test_never_beats_exact(self, rng):
+        for _ in range(6):
+            count = int(rng.integers(3, 7))
+            keys = [f"n{i}" for i in range(count)]
+            weights = {k: float(rng.integers(1, 20)) for k in keys}
+            edges = [
+                (keys[i], keys[j])
+                for i in range(count)
+                for j in range(i + 1, count)
+                if rng.random() < 0.3
+            ]
+            problem = DagAllocationProblem(weights, edges)
+            greedy_cost = dag_order_cost(problem, greedy_dag_order(problem))
+            assert greedy_cost >= solve_dag(problem).cost - 1e-9
+
+    def test_close_to_exact_on_diamond(self):
+        problem = diamond_problem()
+        greedy_cost = dag_order_cost(problem, greedy_dag_order(problem))
+        exact_cost = solve_dag(problem).cost
+        assert greedy_cost <= exact_cost * 1.2

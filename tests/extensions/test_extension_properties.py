@@ -1,0 +1,124 @@
+"""Property-based tests over the extension modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.broadcast_disks import (
+    broadcast_disk_cycle,
+    expected_wait_of_cycle,
+    partition_into_disks,
+)
+from repro.extensions.dag import (
+    DagAllocationProblem,
+    dag_order_cost,
+    greedy_dag_order,
+    solve_dag,
+)
+from repro.extensions.replication import (
+    expected_probe_wait_replicated,
+    replicate_root,
+)
+from repro.tree.builders import random_tree
+from repro.tree.node import DataNode
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestReplicationProperties:
+    @settings(max_examples=20, **COMMON)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=2, max_value=9),
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_invariants_on_random_trees(self, seed, leaves, copies):
+        tree = random_tree(np.random.default_rng(seed), leaves)
+        program = replicate_root(tree, copies)
+        # Cycle length: every node once, plus (copies - 1) extra roots.
+        assert program.cycle_length == len(tree.nodes()) + copies - 1
+        assert len(program.root_slots) == copies
+        assert program.root_slots[0] == 1
+        # Probe wait is bounded by the largest segment.
+        gaps = [
+            (later - earlier)
+            for earlier, later in zip(
+                program.root_slots, program.root_slots[1:]
+            )
+        ] + [program.cycle_length - program.root_slots[-1] + 1]
+        probe = expected_probe_wait_replicated(program)
+        assert 1.0 <= probe <= max(gaps) + 1
+
+    @settings(max_examples=15, **COMMON)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_probe_wait_monotone_in_copies(self, seed):
+        tree = random_tree(np.random.default_rng(seed), 7)
+        probes = [
+            expected_probe_wait_replicated(replicate_root(tree, c))
+            for c in (1, 2, 4)
+        ]
+        assert probes[0] >= probes[1] >= probes[2]
+
+
+class TestBroadcastDiskProperties:
+    @settings(max_examples=25, **COMMON)
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=50), min_size=4, max_size=16
+        ),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_cycle_counts_and_wait_bounds(self, weights, num_disks):
+        items = [DataNode(f"I{i}", w) for i, w in enumerate(weights)]
+        num_disks = min(num_disks, len(items))
+        layout = partition_into_disks(items, num_disks)
+        cycle = broadcast_disk_cycle(layout)
+        # Every item appears exactly rel_freq times.
+        counts: dict[str, int] = {}
+        for item in cycle:
+            counts[item.label] = counts.get(item.label, 0) + 1
+        for disk, frequency in zip(layout.disks, layout.relative_frequencies):
+            for item in disk:
+                assert counts[item.label] == frequency
+        # Expected wait is within [1, L].
+        wait = expected_wait_of_cycle(cycle)
+        assert 1.0 <= wait <= len(cycle)
+
+    @settings(max_examples=15, **COMMON)
+    @given(st.integers(min_value=2, max_value=12))
+    def test_single_disk_is_flat(self, count):
+        items = [DataNode(f"I{i}", float(i + 1)) for i in range(count)]
+        layout = partition_into_disks(items, 1)
+        cycle = broadcast_disk_cycle(layout)
+        assert len(cycle) == count
+        assert expected_wait_of_cycle(cycle) == pytest.approx(
+            (count + 1) / 2
+        )
+
+
+class TestDagProperties:
+    @settings(max_examples=20, **COMMON)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=3, max_value=8),
+        st.floats(min_value=0.0, max_value=0.5),
+    )
+    def test_greedy_feasible_and_bounded(self, seed, count, density):
+        rng = np.random.default_rng(seed)
+        keys = [f"n{i}" for i in range(count)]
+        weights = {k: float(rng.integers(1, 30)) for k in keys}
+        edges = [
+            (keys[i], keys[j])
+            for i in range(count)
+            for j in range(i + 1, count)
+            if rng.random() < density
+        ]
+        problem = DagAllocationProblem(weights, edges, channels=2)
+        greedy = dag_order_cost(problem, greedy_dag_order(problem))
+        exact = solve_dag(problem).cost
+        assert exact - 1e-9 <= greedy
+        # A slot holds 2 nodes, so no schedule exceeds ceil(n/1) slots.
+        assert greedy <= count

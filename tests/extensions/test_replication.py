@@ -1,0 +1,104 @@
+"""Unit tests for the §5 index-replication extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimal import solve
+from repro.extensions.replication import (
+    best_replication_factor,
+    expected_access_time_replicated,
+    expected_probe_wait_replicated,
+    replicate_root,
+    replication_tradeoff,
+)
+from repro.tree.builders import balanced_tree, paper_example_tree, random_tree
+
+
+class TestReplicateRoot:
+    def test_single_copy_is_the_unreplicated_optimum(self, fig1_tree):
+        program = replicate_root(fig1_tree, copies=1)
+        assert program.cycle_length == 9
+        assert program.root_slots == [1]
+        assert program.data_wait() == pytest.approx(
+            solve(fig1_tree, channels=1).cost
+        )
+
+    def test_copies_extend_the_cycle_by_one_each(self, fig1_tree):
+        for copies in (2, 3, 4):
+            program = replicate_root(fig1_tree, copies)
+            assert program.cycle_length == 8 + copies
+            assert len(program.root_slots) == copies
+
+    def test_every_non_root_node_appears_once(self, fig1_tree):
+        program = replicate_root(fig1_tree, copies=3)
+        non_root = [n for n in program.order if n is not fig1_tree.root]
+        assert len(non_root) == 8
+        assert len({id(n) for n in non_root}) == 8
+
+    def test_segments_are_near_equal(self, fig1_tree):
+        program = replicate_root(fig1_tree, copies=4)
+        gaps = [
+            b - a
+            for a, b in zip(program.root_slots, program.root_slots[1:])
+        ]
+        assert max(gaps) - min(gaps) <= 1
+
+    def test_invalid_copies_rejected(self, fig1_tree):
+        with pytest.raises(ValueError):
+            replicate_root(fig1_tree, copies=0)
+
+
+class TestReplicationMetrics:
+    def test_probe_wait_shrinks_with_copies(self, fig1_tree):
+        waits = [
+            expected_probe_wait_replicated(replicate_root(fig1_tree, c))
+            for c in (1, 2, 4)
+        ]
+        assert waits[0] > waits[1] > waits[2]
+
+    def test_data_wait_grows_with_copies(self, fig1_tree):
+        waits = [
+            replicate_root(fig1_tree, c).data_wait() for c in (1, 2, 4)
+        ]
+        assert waits[0] < waits[1] < waits[2]
+
+    def test_single_copy_probe_is_half_cycle_plus_root(self, fig1_tree):
+        # Uniform tune-in, one root at slot 1 of a 9-slot cycle: mean 5.
+        program = replicate_root(fig1_tree, 1)
+        assert expected_probe_wait_replicated(program) == pytest.approx(5.0)
+
+    def test_access_time_consistency(self, fig1_tree):
+        """probe <= access, and access >= data floor."""
+        for copies in (1, 2, 3):
+            program = replicate_root(fig1_tree, copies)
+            probe = expected_probe_wait_replicated(program)
+            access = expected_access_time_replicated(program)
+            assert access > probe
+
+
+class TestTradeoffSweep:
+    def test_sweep_reports_every_factor(self, fig1_tree):
+        points = replication_tradeoff(fig1_tree, factors=(1, 2, 3))
+        assert [p.copies for p in points] == [1, 2, 3]
+
+    def test_paper_tree_prefers_some_replication(self, fig1_tree):
+        """On the running example the access-optimal factor exceeds 1 -
+        the §5 motivation for replication in one number."""
+        best = best_replication_factor(fig1_tree, factors=(1, 2, 3, 4))
+        assert best.copies > 1
+
+    def test_interior_optimum_exists_on_larger_trees(self, rng):
+        """Access time is convex-ish in the factor: too few copies wastes
+        probe time, too many bloats the cycle."""
+        tree = balanced_tree(3, depth=3, weights=list(rng.uniform(10, 90, 9)))
+        points = replication_tradeoff(tree, factors=(1, 2, 3, 4, 6, 8))
+        access = [p.access_time for p in points]
+        best_index = access.index(min(access))
+        assert 0 < best_index < len(points) - 1
+
+    def test_random_trees_stay_consistent(self, rng):
+        for _ in range(4):
+            tree = random_tree(rng, 8)
+            for point in replication_tradeoff(tree, factors=(1, 3)):
+                assert point.cycle_length == len(tree.nodes()) + point.copies - 1

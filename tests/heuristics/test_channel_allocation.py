@@ -1,0 +1,89 @@
+"""Unit tests for the 1_To_k_BroadcastChannel procedure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimal import solve
+from repro.heuristics.channel_allocation import (
+    allocate_sorted_tree,
+    sorting_schedule,
+)
+from repro.tree.builders import balanced_tree, chain_tree, random_tree
+
+
+class TestAllocateSortedTree:
+    def test_paper_example_two_channels_matches_fig2b_cost(self, fig1_tree):
+        """The sorted Fig. 1 tree on two channels reproduces the Fig. 2(b)
+        data wait of 3.885... (the paper rounds to 3.88)."""
+        schedule = allocate_sorted_tree(fig1_tree, channels=2)
+        assert schedule.data_wait() == pytest.approx(272 / 70)
+
+    def test_root_alone_in_first_slot(self, fig1_tree):
+        schedule = allocate_sorted_tree(fig1_tree, channels=3)
+        assert schedule.slot_of(fig1_tree.root) == 1
+        assert schedule.channel_of(fig1_tree.root) == 1
+        occupants = [
+            node for node in fig1_tree.nodes() if schedule.slot_of(node) == 1
+        ]
+        assert occupants == [fig1_tree.root]
+
+    def test_single_channel_equals_sorted_preorder(self, fig1_tree):
+        schedule = allocate_sorted_tree(fig1_tree, channels=1)
+        order = sorted(
+            fig1_tree.nodes(), key=lambda node: schedule.slot_of(node)
+        )
+        assert "".join(n.label for n in order) == "12AB3E4CD"
+
+    def test_always_feasible(self, rng):
+        for _ in range(8):
+            tree = random_tree(rng, int(rng.integers(4, 12)))
+            for k in (1, 2, 3, 5):
+                allocate_sorted_tree(tree, channels=k).validate()
+
+    def test_merge_defers_children_of_same_slot_parents(self):
+        """The feasibility fix: deep narrow trees with many channels
+        would otherwise co-locate parents and children."""
+        tree = chain_tree(5)
+        for k in (2, 3, 4):
+            allocate_sorted_tree(tree, channels=k).validate()
+
+    def test_more_channels_never_increase_wait(self, rng):
+        tree = random_tree(rng, 10)
+        waits = [
+            allocate_sorted_tree(tree, channels=k).data_wait()
+            for k in (1, 2, 3, 4)
+        ]
+        for narrow, wide in zip(waits, waits[1:]):
+            assert wide <= narrow + 1e-9
+
+    def test_invalid_channel_count(self, fig1_tree):
+        with pytest.raises(ValueError):
+            allocate_sorted_tree(fig1_tree, channels=0)
+
+
+class TestSortingSchedule:
+    def test_single_channel_delegates_to_preorder(self, fig1_tree):
+        assert sorting_schedule(fig1_tree, 1).data_wait() == pytest.approx(
+            391 / 70
+        )
+
+    def test_multi_channel_close_to_optimal(self, rng):
+        gaps = []
+        for _ in range(5):
+            tree = balanced_tree(
+                3, depth=3, weights=list(rng.uniform(50, 150, 9))
+            )
+            heuristic = sorting_schedule(tree, 2).data_wait()
+            optimal = solve(tree, channels=2).cost
+            assert heuristic >= optimal - 1e-9
+            gaps.append(heuristic / optimal - 1.0)
+        assert sum(gaps) / len(gaps) < 0.10
+
+    def test_linear_time_shape(self, rng):
+        """Smoke-check the linear-time claim: a 200-leaf tree allocates
+        instantly (no search involved)."""
+        tree = random_tree(rng, 200)
+        schedule = sorting_schedule(tree, 4)
+        schedule.validate()
+        assert schedule.cycle_length >= len(tree.nodes()) / 4

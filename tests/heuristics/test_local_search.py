@@ -1,0 +1,72 @@
+"""Tests for the Lemma-based local-search polisher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.broadcast.schedule import BroadcastSchedule
+from repro.core.optimal import solve
+from repro.heuristics.channel_allocation import sorting_schedule
+from repro.heuristics.local_search import polish_schedule
+from repro.tree.builders import paper_example_tree, random_tree
+from repro.workloads.weights import zipf_weights
+
+
+class TestPolishSchedule:
+    def test_improves_the_fig2a_example(self, fig1_tree):
+        """The paper's own Fig. 2(a) allocation (6.01) polishes down."""
+        schedule = BroadcastSchedule.from_sequence(
+            fig1_tree, [fig1_tree.find(l) for l in "13E4CD2AB"]
+        )
+        polished = polish_schedule(schedule)
+        polished.validate()
+        assert polished.data_wait() < schedule.data_wait()
+
+    def test_never_worse_than_input(self, rng):
+        for _ in range(10):
+            tree = random_tree(rng, int(rng.integers(4, 14)))
+            for channels in (1, 2, 3):
+                schedule = sorting_schedule(tree, channels)
+                polished = polish_schedule(schedule)
+                polished.validate()
+                assert polished.data_wait() <= schedule.data_wait() + 1e-9
+
+    def test_optimum_is_a_fixpoint(self, rng):
+        for _ in range(6):
+            tree = random_tree(rng, 7)
+            for channels in (1, 2):
+                optimal = solve(tree, channels=channels).schedule
+                polished = polish_schedule(optimal)
+                assert polished.data_wait() == pytest.approx(
+                    optimal.data_wait()
+                )
+
+    def test_narrows_the_heuristic_gap_on_skewed_trees(self, rng):
+        """Polishing sorted schedules recovers part of the gap to the
+        optimum on skewed workloads (where the gap exists at all)."""
+        raw_gap = polished_gap = 0.0
+        for _ in range(12):
+            tree = random_tree(rng, 10, max_fanout=3)
+            weights = zipf_weights(rng, 10, theta=1.5)
+            for leaf, weight in zip(tree.data_nodes(), weights):
+                leaf.weight = weight
+            optimal = solve(tree, channels=1).cost
+            sorted_schedule = sorting_schedule(tree, 1)
+            polished = polish_schedule(sorted_schedule)
+            raw_gap += sorted_schedule.data_wait() - optimal
+            polished_gap += polished.data_wait() - optimal
+        assert polished_gap <= raw_gap + 1e-9
+
+    def test_cycle_length_preserved(self, fig1_tree):
+        schedule = sorting_schedule(fig1_tree, 2)
+        polished = polish_schedule(schedule)
+        assert polished.cycle_length == schedule.cycle_length
+        assert polished.channels == schedule.channels
+
+    def test_paper_tree_sorting_plus_polish_reaches_optimum(self):
+        """On the running example, sorting already equals the optimum,
+        so polishing must not disturb it."""
+        tree = paper_example_tree()
+        polished = polish_schedule(sorting_schedule(tree, 1))
+        assert polished.data_wait() == pytest.approx(391 / 70)

@@ -1,0 +1,104 @@
+"""Unit tests for the Index Tree Shrinking heuristic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimal import solve
+from repro.heuristics.shrinking import (
+    combine_and_solve,
+    partition_and_solve,
+    shrink_and_solve,
+)
+from repro.tree.builders import balanced_tree, from_spec, random_tree
+
+
+class TestCombineAndSolve:
+    def test_schedule_is_feasible(self, rng):
+        for _ in range(6):
+            tree = random_tree(rng, int(rng.integers(4, 14)))
+            combine_and_solve(tree, max_data_nodes=6).validate()
+
+    def test_exact_when_no_shrinking_needed(self, fig1_tree):
+        schedule = combine_and_solve(fig1_tree, max_data_nodes=10)
+        assert schedule.data_wait() == pytest.approx(391 / 70)
+
+    def test_never_beats_optimal(self, rng):
+        for _ in range(6):
+            tree = random_tree(rng, 8)
+            heuristic = combine_and_solve(tree, max_data_nodes=4).data_wait()
+            optimal = solve(tree, channels=1).cost
+            assert heuristic >= optimal - 1e-9
+
+    def test_combined_group_restored_in_descending_weight(self):
+        tree = from_spec(
+            [[("A", 1), ("B", 9), ("C", 5)], [("D", 8), ("E", 2)]]
+        )
+        schedule = combine_and_solve(tree, max_data_nodes=2)
+        # Within the restored group under node 2, B(9) C(5) A(1) order.
+        slots = {l: schedule.slot_of(tree.find(l)) for l in "ABC"}
+        assert slots["B"] < slots["C"] < slots["A"]
+        parent_slot = schedule.slot_of(tree.find("2"))
+        assert parent_slot < slots["B"]
+
+    def test_nested_combination(self):
+        """Deep trees combine repeatedly; expansion must recurse."""
+        tree = from_spec(
+            [[[("A", 9), ("B", 1)], ("C", 5)], ("D", 7)]
+        )
+        schedule = combine_and_solve(tree, max_data_nodes=1)
+        schedule.validate()
+
+    def test_uncombinable_tree_falls_through(self):
+        # Root's children include data directly; the root cannot combine.
+        tree = from_spec([("A", 5), ("B", 3)])
+        schedule = combine_and_solve(tree, max_data_nodes=1)
+        schedule.validate()
+
+
+class TestPartitionAndSolve:
+    def test_schedule_is_feasible(self, rng):
+        for _ in range(6):
+            tree = random_tree(rng, int(rng.integers(4, 14)))
+            partition_and_solve(tree, max_data_nodes=5).validate()
+
+    def test_exact_when_tree_fits(self, fig1_tree):
+        schedule = partition_and_solve(fig1_tree, max_data_nodes=10)
+        assert schedule.data_wait() == pytest.approx(391 / 70)
+
+    def test_never_beats_optimal(self, rng):
+        for _ in range(6):
+            tree = random_tree(rng, 9)
+            heuristic = partition_and_solve(tree, max_data_nodes=4).data_wait()
+            optimal = solve(tree, channels=1).cost
+            assert heuristic >= optimal - 1e-9
+
+    def test_subtrees_internally_optimal(self):
+        """With per-subtree budgets covering each child, every subtree's
+        internal order matches its standalone optimum."""
+        tree = balanced_tree(3, depth=3, weights=[9, 1, 5, 8, 2, 7, 3, 6, 4])
+        schedule = partition_and_solve(tree, max_data_nodes=3)
+        schedule.validate()
+        # Each sibling group must appear in descending weight order
+        # (optimal within a 1-level subtree).
+        for index_node in tree.index_nodes()[1:]:
+            slots = [
+                schedule.slot_of(child) for child in index_node.children
+            ]
+            weights = [child.weight for child in index_node.children]
+            paired = sorted(zip(slots, weights))
+            assert [w for _, w in paired] == sorted(weights, reverse=True)
+
+
+class TestFacade:
+    def test_strategies_dispatch(self, fig1_tree):
+        assert shrink_and_solve(fig1_tree, "combine").data_wait() == (
+            pytest.approx(391 / 70)
+        )
+        assert shrink_and_solve(fig1_tree, "partition").data_wait() == (
+            pytest.approx(391 / 70)
+        )
+
+    def test_unknown_strategy_rejected(self, fig1_tree):
+        with pytest.raises(ValueError, match="unknown shrinking strategy"):
+            shrink_and_solve(fig1_tree, "magic")

@@ -1,0 +1,115 @@
+"""Unit tests for the Index Tree Sorting heuristic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimal import solve
+from repro.heuristics.sorting import (
+    sorted_index_tree,
+    sorting_broadcast,
+    sorting_order,
+    subtree_priority_cmp,
+)
+from repro.tree.builders import balanced_tree, from_spec, random_tree
+
+
+class TestComparator:
+    def test_denser_subtree_first(self, fig1_tree):
+        node2 = fig1_tree.find("2")  # 3 nodes, weight 30
+        node3 = fig1_tree.find("3")  # 5 nodes, weight 40
+        # N3*W2 = 5*30 = 150 >= N2*W3 = 3*40 = 120 -> 2 before 3.
+        assert subtree_priority_cmp(node2, node3) == -1
+        assert subtree_priority_cmp(node3, node2) == 1
+
+    def test_data_leaves_compare_by_weight(self, fig1_tree):
+        a, b = fig1_tree.find("A"), fig1_tree.find("B")
+        assert subtree_priority_cmp(a, b) == -1
+
+    def test_tie_reports_zero(self, fig1_tree):
+        a = fig1_tree.find("A")
+        assert subtree_priority_cmp(a, a) == 0
+
+
+class TestSortedTree:
+    def test_fig13_shape(self, fig1_tree):
+        """The paper sorts pairs 2-3, A-B, 4-E, C-D into Fig. 13."""
+        tree = sorted_index_tree(fig1_tree)
+        assert [n.label for n in tree.data_nodes()] == ["A", "B", "E", "C", "D"]
+        root_children = [child.label for child in tree.root.children]
+        assert root_children == ["2", "3"]
+        node3 = tree.find("3")
+        assert [child.label for child in node3.children] == ["E", "4"]
+
+    def test_original_tree_untouched(self, fig1_tree):
+        before = [n.label for n in fig1_tree.preorder()]
+        sorted_index_tree(fig1_tree)
+        assert [n.label for n in fig1_tree.preorder()] == before
+
+    def test_sorted_tree_validates(self, rng):
+        for _ in range(5):
+            tree = random_tree(rng, 9)
+            sorted_index_tree(tree).validate()
+
+
+class TestSortingOrder:
+    def test_paper_example(self, fig1_tree):
+        assert "".join(n.label for n in sorting_order(fig1_tree)) == "12AB3E4CD"
+
+    def test_contains_every_node_once(self, rng):
+        tree = random_tree(rng, 10)
+        order = sorting_order(tree)
+        assert len(order) == len(tree.nodes())
+        assert len({id(n) for n in order}) == len(order)
+
+    def test_matches_sorted_tree_preorder_shape(self, fig1_tree):
+        direct = [n.label for n in sorting_order(fig1_tree)]
+        via_clone = [n.label for n in sorted_index_tree(fig1_tree).preorder()]
+        # Index labels may be renumbered in the clone but data labels and
+        # positions of data nodes must agree.
+        assert [l for l in direct if l in "ABCDE"] == [
+            l for l in via_clone if l in "ABCDE"
+        ]
+
+
+class TestSortingBroadcast:
+    def test_feasible_schedule(self, rng):
+        for _ in range(5):
+            tree = random_tree(rng, 8)
+            sorting_broadcast(tree).validate()
+
+    def test_never_beats_optimal(self, rng):
+        for _ in range(8):
+            tree = random_tree(rng, 7)
+            heuristic = sorting_broadcast(tree).data_wait()
+            optimal = solve(tree, channels=1).cost
+            assert heuristic >= optimal - 1e-9
+
+    def test_near_optimal_for_low_variance(self, rng):
+        """Fig. 14's observation: near-uniform weights -> Sorting ~ Optimal."""
+        from repro.workloads.weights import normal_weights
+
+        gaps = []
+        for _ in range(5):
+            weights = normal_weights(rng, 16, mean=100.0, sigma=10.0)
+            tree = balanced_tree(4, depth=3, weights=weights)
+            heuristic = sorting_broadcast(tree).data_wait()
+            optimal = solve(tree, channels=1).cost
+            gaps.append(heuristic / optimal - 1.0)
+        assert sum(gaps) / len(gaps) < 0.02  # within 2% on average
+
+    def test_groups_stay_adjacent(self, fig1_tree):
+        """'Data nodes with the same parent will be allocated in adjacent
+        positions in the broadcast' (§4.2)."""
+        tree = from_spec(
+            [[("A", 9), ("B", 1)], [("C", 8), ("D", 2)], ("E", 5)]
+        )
+        schedule = sorting_broadcast(tree)
+        slot_a, slot_b = schedule.slot_of(tree.find("A")), schedule.slot_of(
+            tree.find("B")
+        )
+        slot_c, slot_d = schedule.slot_of(tree.find("C")), schedule.slot_of(
+            tree.find("D")
+        )
+        assert abs(slot_a - slot_b) == 1
+        assert abs(slot_c - slot_d) == 1

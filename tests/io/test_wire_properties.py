@@ -1,0 +1,88 @@
+"""Property-based tests of the wire format over random programs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.broadcast.pointers import compile_program
+from repro.core.optimal import solve
+from repro.io.wire import decode_bucket, decode_cycle, encode_program
+from repro.tree.builders import data_labels
+from repro.tree.index_tree import IndexTree
+from repro.tree.node import DataNode, IndexNode
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+def build_tree(spec) -> IndexTree:
+    counter = [0]
+
+    def build(node_spec):
+        if isinstance(node_spec, tuple):
+            counter[0] += 1
+            return DataNode(
+                data_labels(200)[counter[0] - 1], float(node_spec[1])
+            )
+        return IndexNode("", [build(child) for child in node_spec])
+
+    root = build(spec)
+    if isinstance(root, DataNode):
+        root = IndexNode("", [root])
+    return IndexTree(root)
+
+
+tree_specs = st.recursive(
+    st.tuples(st.just("leaf"), st.integers(min_value=1, max_value=40)),
+    lambda children: st.lists(children, min_size=2, max_size=3),
+    max_leaves=8,
+).map(build_tree)
+
+
+class TestWireProperties:
+    @settings(max_examples=25, **COMMON)
+    @given(tree_specs, st.integers(min_value=1, max_value=3))
+    def test_round_trip_over_random_programs(self, tree, channels):
+        program = compile_program(solve(tree, channels=channels).schedule)
+        decoded = decode_cycle(encode_program(program))
+        # Every non-empty cell round-trips its identity and pointers.
+        for channel_row, bucket_row in zip(decoded, program.buckets):
+            for parsed, original in zip(channel_row, bucket_row):
+                if original.node is None:
+                    assert parsed.kind == "empty"
+                    continue
+                assert parsed.label == original.node.label
+                if original.node.is_index:
+                    assert [
+                        (p.channel, p.offset) for p in parsed.pointers
+                    ] == [
+                        (p.channel, p.offset)
+                        for p in original.child_pointers
+                    ]
+
+    @settings(max_examples=25, **COMMON)
+    @given(tree_specs)
+    def test_decoded_pointers_land_on_their_targets(self, tree):
+        program = compile_program(solve(tree, channels=2).schedule)
+        frames = encode_program(program)
+        decoded = decode_cycle(frames)
+        for channel_row in decoded:
+            for slot_index, parsed in enumerate(channel_row, start=1):
+                if parsed.kind != "index":
+                    continue
+                for pointer in parsed.pointers:
+                    target_slot = slot_index + pointer.offset
+                    target = decoded[pointer.channel - 1][target_slot - 1]
+                    assert target.kind != "empty"
+
+    @settings(max_examples=40, **COMMON)
+    @given(st.binary(min_size=0, max_size=64))
+    def test_arbitrary_bytes_never_crash_the_decoder(self, blob):
+        """Fuzz: the decoder either parses or raises WireFormatError."""
+        from repro.io.wire import WireFormatError
+
+        try:
+            decode_bucket(blob)
+        except WireFormatError:
+            pass

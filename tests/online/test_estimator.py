@@ -1,0 +1,104 @@
+"""Unit tests for the decaying frequency estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.online.estimator import DecayingFrequencyEstimator
+
+
+class TestConstruction:
+    def test_requires_items(self):
+        with pytest.raises(ValueError):
+            DecayingFrequencyEstimator([])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DecayingFrequencyEstimator(["a"], half_life=0)
+        with pytest.raises(ValueError):
+            DecayingFrequencyEstimator(["a"], prior=-1)
+
+    def test_fresh_estimator_is_uniform(self):
+        estimator = DecayingFrequencyEstimator(["a", "b", "c"])
+        weights = estimator.weights()
+        assert weights["a"] == weights["b"] == weights["c"]
+
+
+class TestObservation:
+    def test_requests_raise_the_estimate(self):
+        estimator = DecayingFrequencyEstimator(["a", "b"])
+        before = estimator.estimate("a")
+        estimator.observe("a")
+        assert estimator.estimate("a") > before
+        assert estimator.estimate("b") == pytest.approx(before)
+
+    def test_unknown_item_rejected(self):
+        estimator = DecayingFrequencyEstimator(["a"])
+        with pytest.raises(KeyError):
+            estimator.observe("zz")
+
+    def test_batch_observation(self):
+        estimator = DecayingFrequencyEstimator(["a", "b"], half_life=1000)
+        estimator.observe_batch(["a"] * 9 + ["b"])
+        assert estimator.estimate("a") > estimator.estimate("b")
+        assert estimator.ranking()[0] == "a"
+
+    def test_negative_tick_rejected(self):
+        estimator = DecayingFrequencyEstimator(["a"])
+        with pytest.raises(ValueError):
+            estimator.tick(-1)
+
+
+class TestDecay:
+    def test_half_life_halves_counts(self):
+        estimator = DecayingFrequencyEstimator(["a"], half_life=100, prior=0.0)
+        estimator.observe("a", weight=8.0)
+        estimator.tick(100)
+        assert estimator.estimate("a") == pytest.approx(4.0)
+        estimator.tick(100)
+        assert estimator.estimate("a") == pytest.approx(2.0)
+
+    def test_old_popularity_fades_behind_new(self):
+        estimator = DecayingFrequencyEstimator(
+            ["old", "new"], half_life=50, prior=0.0
+        )
+        for _ in range(20):
+            estimator.observe("old")
+            estimator.tick()
+        estimator.tick(500)  # long quiet period
+        for _ in range(5):
+            estimator.observe("new")
+            estimator.tick()
+        assert estimator.estimate("new") > estimator.estimate("old")
+
+    def test_lazy_decay_is_order_independent(self):
+        one = DecayingFrequencyEstimator(["a", "b"], half_life=70, prior=0.0)
+        two = DecayingFrequencyEstimator(["a", "b"], half_life=70, prior=0.0)
+        one.observe("a")
+        one.tick(30)
+        one.observe("a")
+        one.tick(40)
+        two.observe("a")
+        two.tick(70)
+        # one: exp decay applied in two hops must equal a single hop.
+        import math
+
+        expected = 1.0 * math.exp(-math.log(2) / 70 * 70) + math.exp(
+            -math.log(2) / 70 * 40
+        )
+        assert one.estimate("a") == pytest.approx(expected)
+        assert two.estimate("a") == pytest.approx(0.5)
+
+
+class TestWeights:
+    def test_normalised_to_scale(self):
+        estimator = DecayingFrequencyEstimator(["a", "b"], half_life=1000)
+        estimator.observe("a", weight=10)
+        weights = estimator.weights(scale=100.0)
+        assert weights["a"] == pytest.approx(100.0)
+        assert 0 < weights["b"] < 100.0
+
+    def test_all_zero_counts_fall_back_to_uniform(self):
+        estimator = DecayingFrequencyEstimator(["a", "b"], prior=0.0)
+        weights = estimator.weights(scale=10.0)
+        assert weights == {"a": 10.0, "b": 10.0}

@@ -1,0 +1,87 @@
+"""Unit tests for the PAP model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InfeasibleError
+from repro.personnel.problem import PersonnelAssignmentProblem
+
+
+def fig3_problem():
+    """The paper's Fig. 3 ordering: J1<=J3, J2<=J4, J2<=J3 (unit costs)."""
+    costs = [[float(j + 1) for j in range(4)] for _ in range(4)]
+    return PersonnelAssignmentProblem(
+        costs=costs, precedence=[(0, 2), (1, 3), (1, 2)]
+    )
+
+
+class TestConstruction:
+    def test_counts(self):
+        problem = fig3_problem()
+        assert problem.job_count == 4
+        assert problem.person_count == 4
+
+    def test_ragged_costs_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            PersonnelAssignmentProblem(costs=[[1.0, 2.0], [1.0]])
+
+    def test_precedence_range_checked(self):
+        with pytest.raises(ValueError, match="out of range"):
+            PersonnelAssignmentProblem(costs=[[1.0]], precedence=[(0, 5)])
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            PersonnelAssignmentProblem(costs=[[1.0]], capacity=0)
+
+    def test_overfull_instance_rejected(self):
+        with pytest.raises(InfeasibleError):
+            PersonnelAssignmentProblem(costs=[[1.0], [1.0], [1.0]], capacity=2)
+
+
+class TestStructure:
+    def test_predecessors_and_successors(self):
+        problem = fig3_problem()
+        assert sorted(problem.predecessors()[2]) == [0, 1]
+        assert problem.successors()[1] == [3, 2]
+
+
+class TestFeasibility:
+    def test_identity_assignment_feasible(self):
+        """The paper's example: J1->P1, J2->P2, J3->P3, J4->P4."""
+        problem = fig3_problem()
+        assert problem.is_feasible_assignment([0, 1, 2, 3])
+
+    def test_order_violation_detected(self):
+        problem = fig3_problem()
+        assert not problem.is_feasible_assignment([2, 1, 0, 3])  # J1 after J3
+
+    def test_capacity_violation_detected(self):
+        problem = PersonnelAssignmentProblem(
+            costs=[[1.0, 1.0], [1.0, 1.0]], capacity=1
+        )
+        assert not problem.is_feasible_assignment([0, 0])
+
+    def test_out_of_range_person(self):
+        problem = fig3_problem()
+        assert not problem.is_feasible_assignment([0, 1, 2, 9])
+
+    def test_wrong_length(self):
+        assert not fig3_problem().is_feasible_assignment([0, 1])
+
+    def test_cost_computation(self):
+        problem = fig3_problem()
+        assert problem.assignment_cost([0, 1, 2, 3]) == pytest.approx(10.0)
+
+    def test_fig5_assignment_tree_has_five_paths(self):
+        """Fig. 5: the topological tree of the Fig. 3 poset has exactly
+        five root-to-leaf paths (its linear extensions)."""
+        from itertools import permutations
+
+        problem = fig3_problem()
+        feasible = [
+            assignment
+            for assignment in permutations(range(4))
+            if problem.is_feasible_assignment(list(assignment))
+        ]
+        assert len(feasible) == 5

@@ -1,0 +1,81 @@
+"""Unit tests for the PAP branch-and-bound solver."""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+import pytest
+
+from repro.exceptions import SearchBudgetExceeded
+from repro.personnel.problem import PersonnelAssignmentProblem
+from repro.personnel.solver import solve_assignment
+
+
+def brute_force(problem: PersonnelAssignmentProblem) -> float:
+    """Oracle: try every person permutation (capacity 1 only)."""
+    best = float("inf")
+    for assignment in permutations(range(problem.person_count), problem.job_count):
+        if problem.is_feasible_assignment(list(assignment)):
+            best = min(best, problem.assignment_cost(list(assignment)))
+    return best
+
+
+class TestClassicInstances:
+    def test_empty_problem(self):
+        problem = PersonnelAssignmentProblem(costs=[])
+        result = solve_assignment(problem)
+        assert result.assignment == [] and result.cost == 0.0
+
+    def test_unconstrained_matches_brute_force(self, rng):
+        for _ in range(5):
+            costs = rng.uniform(1, 20, size=(4, 4)).tolist()
+            problem = PersonnelAssignmentProblem(costs=costs)
+            result = solve_assignment(problem)
+            assert problem.is_feasible_assignment(result.assignment)
+            assert result.cost == pytest.approx(brute_force(problem))
+
+    def test_precedence_respected_and_optimal(self, rng):
+        for _ in range(5):
+            costs = rng.uniform(1, 20, size=(4, 4)).tolist()
+            problem = PersonnelAssignmentProblem(
+                costs=costs, precedence=[(0, 2), (1, 3), (1, 2)]
+            )
+            result = solve_assignment(problem)
+            assert problem.is_feasible_assignment(result.assignment)
+            assert result.cost == pytest.approx(brute_force(problem))
+
+    def test_chain_forces_identity(self):
+        costs = [[float(p + 1)] * 3 for p in range(3)]
+        costs = [[1.0, 2.0, 3.0]] * 3
+        problem = PersonnelAssignmentProblem(
+            costs=costs, precedence=[(0, 1), (1, 2)]
+        )
+        result = solve_assignment(problem)
+        assert result.assignment == [0, 1, 2]
+
+
+class TestCapacitatedInstances:
+    def test_two_jobs_share_a_person(self):
+        # Increasing costs per person: packing both jobs on person 0 wins.
+        costs = [[1.0, 5.0], [1.0, 5.0]]
+        problem = PersonnelAssignmentProblem(costs=costs, capacity=2)
+        result = solve_assignment(problem)
+        assert result.cost == pytest.approx(2.0)
+        assert result.assignment == [0, 0]
+
+    def test_precedence_prevents_sharing(self):
+        costs = [[1.0, 5.0], [1.0, 5.0]]
+        problem = PersonnelAssignmentProblem(
+            costs=costs, precedence=[(0, 1)], capacity=2
+        )
+        result = solve_assignment(problem)
+        assert result.assignment == [0, 1]
+        assert result.cost == pytest.approx(6.0)
+
+
+class TestBudget:
+    def test_budget_enforced(self, rng):
+        costs = rng.uniform(1, 20, size=(6, 6)).tolist()
+        problem = PersonnelAssignmentProblem(costs=costs)
+        with pytest.raises(SearchBudgetExceeded):
+            solve_assignment(problem, node_budget=2)

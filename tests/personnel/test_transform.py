@@ -1,0 +1,96 @@
+"""Round-trip tests for the §2.2 problem transformation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimal import solve
+from repro.core.problem import AllocationProblem
+from repro.personnel.solver import solve_assignment
+from repro.personnel.transform import (
+    allocation_from_assignment,
+    to_assignment_problem,
+)
+from repro.tree.builders import from_spec, random_tree
+
+
+class TestToAssignmentProblem:
+    def test_jobs_are_all_nodes(self, fig1_problem_1ch):
+        pap = to_assignment_problem(fig1_problem_1ch)
+        assert pap.job_count == 9
+        assert pap.person_count == 9
+        assert pap.capacity == 1
+
+    def test_costs_follow_formula_1(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        pap = to_assignment_problem(problem)
+        a = problem.id_of(problem.tree.find("A"))
+        assert pap.costs[a][0] == pytest.approx(20.0)  # slot 1
+        assert pap.costs[a][4] == pytest.approx(100.0)  # slot 5
+        root_costs = pap.costs[problem.root_id]
+        assert all(cost == 0.0 for cost in root_costs)
+
+    def test_precedence_mirrors_the_tree(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        pap = to_assignment_problem(problem)
+        pairs = set(pap.precedence)
+        for node_id in range(len(problem)):
+            parent = problem.parent[node_id]
+            if parent >= 0:
+                assert (parent, node_id) in pairs
+        assert len(pairs) == len(problem) - 1
+
+    def test_capacity_is_channel_count(self, fig1_problem_2ch):
+        assert to_assignment_problem(fig1_problem_2ch).capacity == 2
+
+
+class TestEquivalence:
+    """§2.2's claim: the two problems share their optimum."""
+
+    def test_small_tree_single_channel(self):
+        tree = from_spec([("A", 5), [("B", 3), ("C", 1)]])
+        problem = AllocationProblem(tree, channels=1)
+        pap = to_assignment_problem(problem)
+        pap_result = solve_assignment(pap)
+        broadcast = solve(tree, channels=1)
+        assert pap_result.cost / problem.total_weight == pytest.approx(
+            broadcast.cost
+        )
+
+    def test_small_tree_two_channels(self):
+        tree = from_spec([("A", 5), [("B", 3), ("C", 1)]])
+        problem = AllocationProblem(tree, channels=2)
+        pap_result = solve_assignment(to_assignment_problem(problem))
+        broadcast = solve(tree, channels=2)
+        assert pap_result.cost / problem.total_weight == pytest.approx(
+            broadcast.cost
+        )
+
+    def test_random_trees(self, rng):
+        for _ in range(3):
+            tree = random_tree(rng, 4, max_fanout=2)
+            problem = AllocationProblem(tree, channels=1)
+            pap_result = solve_assignment(to_assignment_problem(problem))
+            broadcast = solve(tree, channels=1)
+            assert pap_result.cost / problem.total_weight == pytest.approx(
+                broadcast.cost
+            )
+
+
+class TestAllocationFromAssignment:
+    def test_round_trip_produces_valid_schedule(self):
+        tree = from_spec([("A", 5), [("B", 3), ("C", 1)]])
+        problem = AllocationProblem(tree, channels=2)
+        result = solve_assignment(to_assignment_problem(problem))
+        schedule = allocation_from_assignment(problem, result)
+        schedule.validate()
+        # Squeezing idle persons can only help, never hurt.
+        assert schedule.data_wait() <= result.cost / problem.total_weight + 1e-9
+
+    def test_length_mismatch_rejected(self, fig1_problem_1ch):
+        from repro.exceptions import TransformError
+        from repro.personnel.solver import AssignmentResult
+
+        bogus = AssignmentResult(assignment=[0], cost=0.0, nodes_expanded=0)
+        with pytest.raises(TransformError):
+            allocation_from_assignment(fig1_problem_1ch, bogus)

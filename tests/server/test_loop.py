@@ -1,0 +1,98 @@
+"""Tests for the continuous broadcast server loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.server import BroadcastServer
+
+ITEMS = [f"K{i:02d}" for i in range(10)]
+HOT_FIRST = {item: (50.0 if i < 2 else 5.0) for i, item in enumerate(ITEMS)}
+HOT_LAST = {item: (50.0 if i >= 8 else 5.0) for i, item in enumerate(ITEMS)}
+
+
+class TestServerBasics:
+    def test_report_accounting(self):
+        server = BroadcastServer(ITEMS, replan_every=0)
+        report = server.run(
+            np.random.default_rng(0), cycles=8, mean_requests_per_cycle=15
+        )
+        assert len(report.cycles) == 8
+        assert report.requests_served == sum(
+            stats.requests for stats in report.cycles
+        )
+        assert report.replans == 0
+
+    def test_replan_cadence(self):
+        server = BroadcastServer(ITEMS, replan_every=4)
+        report = server.run(
+            np.random.default_rng(0), cycles=12, mean_requests_per_cycle=10
+        )
+        assert report.replans == 3
+        assert [s.cycle for s in report.cycles if s.replanned] == [3, 7, 11]
+
+    def test_measured_access_tracks_analytic_model(self):
+        """Under stationary uniform load, protocol-level measurements
+        converge on the schedule's analytic expectation."""
+        server = BroadcastServer(ITEMS, replan_every=0)
+        report = server.run(
+            np.random.default_rng(3), cycles=40, mean_requests_per_cycle=60
+        )
+        analytic = report.cycles[0].analytic_access_time
+        assert report.mean_access_time == pytest.approx(analytic, rel=0.05)
+
+    def test_shift_requires_weights(self):
+        server = BroadcastServer(ITEMS)
+        with pytest.raises(ValueError, match="shifted_weights"):
+            server.run(np.random.default_rng(0), cycles=4, shift_at=2)
+
+    def test_multi_channel_server(self):
+        wide = BroadcastServer(ITEMS, channels=3, replan_every=0)
+        narrow = BroadcastServer(ITEMS, channels=1, replan_every=0)
+        wide_report = wide.run(
+            np.random.default_rng(5), cycles=15, mean_requests_per_cycle=40
+        )
+        narrow_report = narrow.run(
+            np.random.default_rng(5), cycles=15, mean_requests_per_cycle=40
+        )
+        assert wide_report.mean_access_time < narrow_report.mean_access_time
+
+
+class TestAdaptationUnderDrift:
+    def test_adaptive_beats_static_after_shift(self):
+        adaptive = BroadcastServer(ITEMS, replan_every=3)
+        static = BroadcastServer(ITEMS, replan_every=0)
+        common = dict(
+            cycles=30,
+            mean_requests_per_cycle=40,
+            true_weights=HOT_FIRST,
+            shift_at=15,
+            shifted_weights=HOT_LAST,
+        )
+        adaptive_report = adaptive.run(np.random.default_rng(1), **common)
+        static_report = static.run(np.random.default_rng(1), **common)
+        assert adaptive_report.window_mean_access(
+            20, 30
+        ) < static_report.window_mean_access(20, 30)
+
+    def test_adaptation_learns_the_skew_even_without_drift(self):
+        """Starting from a uniform prior, re-planning under skewed load
+        should beat the never-replanned uniform schedule."""
+        adaptive = BroadcastServer(ITEMS, replan_every=3)
+        static = BroadcastServer(ITEMS, replan_every=0)
+        common = dict(
+            cycles=24, mean_requests_per_cycle=40, true_weights=HOT_FIRST
+        )
+        adaptive_report = adaptive.run(np.random.default_rng(2), **common)
+        static_report = static.run(np.random.default_rng(2), **common)
+        assert adaptive_report.window_mean_access(
+            12, 24
+        ) < static_report.window_mean_access(12, 24)
+
+    def test_empty_window_mean_is_zero(self):
+        server = BroadcastServer(ITEMS)
+        report = server.run(
+            np.random.default_rng(0), cycles=2, mean_requests_per_cycle=5
+        )
+        assert report.window_mean_access(10, 20) == 0.0

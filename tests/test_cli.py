@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_global_seed_flag(self):
+        args = build_parser().parse_args(["--seed", "7", "demo"])
+        assert args.seed == 7
+        assert args.command == "demo"
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo", "--channels", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal data wait = 5.5857" in out
+        assert "optimal data wait = 3.7714" in out
+        assert "C2 |" in out
+
+    def test_table1_small(self, capsys):
+        assert main(["table1", "--max-fanout", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "1680" in out
+        assert "186" in out
+
+    def test_fig14_small(self, capsys):
+        assert main(["fig14", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 14" in out
+        assert "Sorting wait" in out
+
+    def test_compare_small(self, capsys):
+        assert main(["compare", "--trials", "2", "--data-count", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "zipf" in out and "normal" in out
+
+    def test_channels(self, capsys):
+        assert main(["channels", "--fanout", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Corollary 1" in out
+
+    def test_ablation(self, capsys):
+        assert main(["ablation"]) == 0
+        out = capsys.readouterr().out
+        assert "nodes expanded" in out

@@ -1,0 +1,56 @@
+"""Tests for the `solve` CLI subcommand (user JSON in, plan out)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io.json_io import load_schedule, tree_to_dict
+from repro.tree.builders import paper_example_tree, random_tree
+
+
+@pytest.fixture
+def tree_file(tmp_path):
+    path = tmp_path / "tree.json"
+    path.write_text(json.dumps(tree_to_dict(paper_example_tree())))
+    return path
+
+
+class TestSolveCommand:
+    def test_solves_and_prints(self, tree_file, capsys):
+        assert main(["solve", "--input", str(tree_file), "--channels", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "method: best-first (exact)" in out
+        assert "data wait            = 3.7714" in out
+
+    def test_writes_schedule_json(self, tree_file, tmp_path, capsys):
+        output = tmp_path / "plan.json"
+        assert (
+            main(
+                [
+                    "solve",
+                    "--input", str(tree_file),
+                    "--channels", "2",
+                    "--output", str(output),
+                ]
+            )
+            == 0
+        )
+        schedule = load_schedule(output)
+        assert schedule.data_wait() == pytest.approx(264 / 70)
+
+    def test_budget_falls_back_to_heuristic(self, tmp_path, rng, capsys):
+        big = random_tree(rng, 60)
+        path = tmp_path / "big.json"
+        path.write_text(json.dumps(tree_to_dict(big)))
+        assert (
+            main(["solve", "--input", str(path), "--budget", "50"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "sorting heuristic" in out
+
+    def test_missing_input_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["solve", "--input", str(tmp_path / "nope.json")])

@@ -1,0 +1,78 @@
+"""The deepest integration test: every layer chained in one pipeline.
+
+Adaptive server observes a drifting workload -> replans the alphabetic
+index and allocation -> the plan is persisted to JSON and reloaded ->
+compiled to pointers -> encoded to binary frames -> frame-level clients
+fetch items and their measured latencies match the analytic model of
+the reloaded plan. Any break in any layer fails this test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.broadcast.metrics import expected_access_time
+from repro.broadcast.pointers import compile_program
+from repro.client.stats import access_time_distribution
+from repro.io.json_io import load_schedule, save_schedule
+from repro.io.wire import encode_program
+from repro.io.wire_client import run_request_wire
+from repro.online.adaptive import AdaptiveBroadcaster
+
+
+@pytest.fixture
+def served_plan(tmp_path):
+    items = [f"K{i:02d}" for i in range(10)]
+    server = AdaptiveBroadcaster(items, channels=2, half_life=5000)
+    rng = np.random.default_rng(17)
+    # Hot head: K00 and K01 dominate requests.
+    probabilities = np.array([0.3, 0.25] + [0.45 / 8] * 8)
+    for choice in rng.choice(10, size=3000, p=probabilities):
+        server.observe(items[int(choice)])
+    schedule = server.replan()
+    path = tmp_path / "plan.json"
+    save_schedule(schedule, path)
+    return items, load_schedule(path)
+
+
+class TestFullStack:
+    def test_persisted_plan_round_trips_cost(self, served_plan):
+        _, schedule = served_plan
+        schedule.validate()
+        assert schedule.channels == 2
+
+    def test_hot_items_scheduled_early(self, served_plan):
+        items, schedule = served_plan
+        slots = {
+            leaf.key: schedule.slot_of(leaf)
+            for leaf in schedule.tree.data_nodes()
+        }
+        cold_slots = [slots[key] for key in items[2:]]
+        assert slots["K00"] <= min(cold_slots)
+
+    def test_frame_clients_measure_the_analytic_model(self, served_plan):
+        _, schedule = served_plan
+        program = compile_program(schedule)
+        frames = encode_program(program, bucket_size=128)
+        cycle = program.cycle_length
+        total_weight = schedule.tree.total_weight()
+
+        measured = 0.0
+        for leaf in schedule.tree.data_nodes():
+            for tune_slot in range(1, cycle + 1):
+                record = run_request_wire(frames, leaf.label, tune_slot)
+                assert record.data_wait == schedule.slot_of(leaf)
+                measured += (
+                    leaf.weight * record.access_time / (cycle * total_weight)
+                )
+        assert measured == pytest.approx(expected_access_time(schedule))
+
+    def test_distribution_tail_consistent(self, served_plan):
+        _, schedule = served_plan
+        program = compile_program(schedule)
+        distribution = access_time_distribution(program)
+        assert distribution.mean == pytest.approx(
+            expected_access_time(schedule)
+        )
+        assert distribution.maximum <= 2 * program.cycle_length

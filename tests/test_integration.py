@@ -1,0 +1,146 @@
+"""End-to-end integration tests across the whole stack.
+
+Each test runs a realistic pipeline: catalog -> alphabetic index tree ->
+(optimal | heuristic) allocation -> pointer compilation -> simulated
+clients, asserting the cross-layer contracts along the way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.flat import flat_broadcast_wait
+from repro.baselines.level_allocation import sv96_level_schedule
+from repro.broadcast.metrics import (
+    expected_access_time,
+    expected_tuning_time,
+)
+from repro.broadcast.pointers import compile_program
+from repro.client.simulator import exact_averages, simulate_workload
+from repro.core.optimal import solve
+from repro.heuristics.channel_allocation import sorting_schedule
+from repro.heuristics.shrinking import combine_and_solve
+from repro.tree.alphabetic import optimal_alphabetic_tree
+from repro.tree.huffman import huffman_tree
+from repro.workloads.catalogs import stock_catalog, weather_catalog
+
+
+def catalog_tree(rng, count=12, fanout=3):
+    items = stock_catalog(rng, count=count)
+    return optimal_alphabetic_tree(
+        [i.label for i in items],
+        [i.weight for i in items],
+        fanout=fanout,
+        keys=[i.key for i in items],
+    )
+
+
+class TestCatalogToClientsPipeline:
+    def test_optimal_pipeline_single_channel(self, rng):
+        tree = catalog_tree(rng)
+        result = solve(tree, channels=1)
+        program = compile_program(result.schedule)
+        summary = exact_averages(program)
+        assert summary.mean_data_wait == pytest.approx(result.cost)
+        assert summary.mean_access_time == pytest.approx(
+            expected_access_time(result.schedule)
+        )
+
+    def test_optimal_pipeline_multi_channel(self, rng):
+        tree = catalog_tree(rng, count=10)
+        result = solve(tree, channels=3)
+        program = compile_program(result.schedule)
+        summary = exact_averages(program)
+        assert summary.mean_data_wait == pytest.approx(result.cost)
+        # Multi-channel cycles are shorter -> faster access than 1 channel.
+        single = solve(tree, channels=1)
+        assert expected_access_time(result.schedule) < expected_access_time(
+            single.schedule
+        )
+
+    def test_heuristic_pipeline_large_catalog(self, rng):
+        items = weather_catalog(rng, count=60)
+        tree = optimal_alphabetic_tree(
+            [i.label for i in items],
+            [i.weight for i in items],
+            fanout=4,
+        )
+        schedule = sorting_schedule(tree, channels=2)
+        program = compile_program(schedule)
+        sampled = simulate_workload(program, np.random.default_rng(1), requests=500)
+        assert sampled.mean_data_wait == pytest.approx(
+            schedule.data_wait(), rel=0.1
+        )
+
+    def test_shrinking_pipeline(self, rng):
+        tree = catalog_tree(rng, count=20)
+        schedule = combine_and_solve(tree, max_data_nodes=8)
+        program = compile_program(schedule)
+        summary = exact_averages(program)
+        assert summary.mean_data_wait == pytest.approx(schedule.data_wait())
+
+
+class TestCrossMethodOrdering:
+    """The qualitative claims of the paper hold end to end."""
+
+    def test_optimal_beats_sv96_and_heuristic_beats_nothing(self, rng):
+        tree = catalog_tree(rng, count=9, fanout=2)
+        sv96 = sv96_level_schedule(tree)
+        optimal_same_k = solve(tree, channels=sv96.channels)
+        heuristic = sorting_schedule(tree, sv96.channels)
+        assert optimal_same_k.cost <= heuristic.data_wait() + 1e-9
+        assert optimal_same_k.cost <= sv96.data_wait() + 1e-9
+
+    def test_index_cost_vs_flat_floor(self, rng):
+        tree = catalog_tree(rng, count=12)
+        optimal = solve(tree, channels=1)
+        floor = flat_broadcast_wait(tree)
+        assert floor <= optimal.cost
+        # The index overhead is bounded by the index-node count.
+        assert optimal.cost <= floor + len(tree.index_nodes())
+
+    def test_skewed_index_tree_lowers_tuning_time(self, rng):
+        """Alphabetic (skewed) trees beat balanced ones on tuning time for
+        skewed access -- the premise of using Hu-Tucker at all."""
+        items = stock_catalog(rng, count=16, theta=1.3)
+        labels = [i.label for i in items]
+        weights = [i.weight for i in items]
+        skewed = optimal_alphabetic_tree(labels, weights, fanout=2)
+        from repro.tree.builders import balanced_tree
+
+        balanced = balanced_tree(4, depth=3, weights=weights)
+        skewed_tuning = expected_tuning_time(
+            solve(skewed, channels=1).schedule
+        )
+        huffman_floor = expected_tuning_time(
+            solve(huffman_tree(labels, weights, fanout=2), channels=1).schedule
+        )
+        # Huffman floor <= alphabetic; both reported for the record.
+        assert huffman_floor <= skewed_tuning + 1e-9
+
+    def test_two_channels_roughly_halve_the_wait(self, rng):
+        """The headline multi-channel effect, end to end."""
+        tree = catalog_tree(rng, count=14)
+        one = solve(tree, channels=1).cost
+        two = solve(tree, channels=2).cost
+        assert 0.4 < two / one < 0.8
+
+
+class TestPublicApiSurface:
+    def test_top_level_reexports_work(self):
+        import repro
+
+        tree = repro.paper_example_tree()
+        result = repro.solve(tree, channels=2)
+        assert isinstance(result.schedule, repro.BroadcastSchedule)
+        program = repro.compile_program(result.schedule)
+        assert program.cycle_length == result.schedule.cycle_length
+        assert repro.__version__
+
+    def test_readme_quickstart_snippet(self):
+        from repro import paper_example_tree, solve
+
+        tree = paper_example_tree()
+        result = solve(tree, channels=2)
+        assert f"{result.cost:.4f}" == "3.7714"

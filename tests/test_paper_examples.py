@@ -1,0 +1,272 @@
+"""Every worked number and figure-level claim in the paper, verified.
+
+These tests pin the implementation to the paper itself: the Fig. 2 data
+waits, Example 1's candidate sets, Example 2/3/4's pruning outcomes, the
+Fig. 9/10/11 tree sizes, the §3.3 Property 4 worked example, the Fig. 13
+sorted tree, and the Table 1 row values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast.metrics import data_wait_of_order
+from repro.broadcast.schedule import BroadcastSchedule
+from repro.core.candidates import PruningConfig, count_reduced_paths
+from repro.core.counting import property2_closed_form
+from repro.core.datatree import (
+    DataTreeConfig,
+    count_data_sequences,
+    iter_data_sequences,
+    property4_allows,
+    sequence_cost,
+)
+from repro.core.problem import AllocationProblem
+from repro.core.search import best_first_search
+from repro.core.topological import compound_children, count_paths
+from repro.heuristics.sorting import sorting_order
+from repro.tree.builders import paper_example_tree
+
+
+def ids_of(problem, labels):
+    return tuple(
+        problem.id_of(problem.tree.find(label)) for label in labels
+    )
+
+
+class TestFig2WorkedDataWaits:
+    """§2.2: the two example allocations cost 6.01 and 3.88."""
+
+    def test_one_channel_allocation_costs_6_01(self, fig1_tree):
+        # Fig. 2(a): 1 3 E 4 C D 2 A B
+        order = [fig1_tree.find(lbl) for lbl in "13E4CD2AB"]
+        schedule = BroadcastSchedule.from_sequence(fig1_tree, order)
+        assert schedule.data_wait() == pytest.approx(421 / 70)
+        assert f"{schedule.data_wait():.2f}" == "6.01"
+
+    def test_two_channel_allocation_costs_3_88(self, fig1_tree):
+        # Fig. 2(b): C1 = 1 2 A 4 C ; C2 = _ 3 B E D
+        placement = {}
+        for slot, label in enumerate("12A4C", start=1):
+            placement[fig1_tree.find(label)] = (1, slot)
+        for slot, label in [(2, "3"), (3, "B"), (4, "E"), (5, "D")]:
+            placement[fig1_tree.find(label)] = (2, slot)
+        schedule = BroadcastSchedule(fig1_tree, placement, channels=2)
+        assert schedule.data_wait() == pytest.approx(272 / 70)
+        assert f"{schedule.data_wait():.2f}" == "3.89"  # 3.885..., paper rounds to 3.88
+
+    def test_formula_1_matches_hand_expansion(self, fig1_tree):
+        order = [fig1_tree.find(lbl) for lbl in "13E4CD2AB"]
+        expected = (18 * 3 + 15 * 5 + 7 * 6 + 20 * 8 + 10 * 9) / 70
+        assert data_wait_of_order(order) == pytest.approx(expected)
+
+
+class TestExample1NeighborSets:
+    """§3.2 Example 1: candidate sets after specific prefixes."""
+
+    def test_one_channel_candidates_after_1_2_A(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        available = problem.initial_available()
+        for label in "12A":
+            available = problem.release(
+                available, problem.id_of(problem.tree.find(label))
+            )
+        labels = sorted(
+            problem.nodes[i].label for i in problem.available_ids(available)
+        )
+        assert labels == ["3", "B"]  # S = {3, B}
+        children = compound_children(problem, available)
+        assert len(children) == 2  # Neighbor_1(X) = {{3}, {B}}
+
+    def test_two_channel_candidates_after_1_23(self, fig1_problem_2ch):
+        problem = fig1_problem_2ch
+        available = problem.initial_available()
+        for label in "123":
+            available = problem.release(
+                available, problem.id_of(problem.tree.find(label))
+            )
+        labels = sorted(
+            problem.nodes[i].label for i in problem.available_ids(available)
+        )
+        assert labels == ["4", "A", "B", "E"]  # S = {4, A, B, E}
+        children = compound_children(problem, available)
+        assert len(children) == 6  # all 2-subsets, as in Example 1
+        rendered = {
+            tuple(sorted(problem.nodes[i].label for i in group))
+            for group in children
+        }
+        assert rendered == {
+            ("4", "A"), ("4", "B"), ("4", "E"),
+            ("A", "B"), ("A", "E"), ("B", "E"),
+        }
+
+
+class TestFig6And7TopologicalTrees:
+    """§3.1: the unpruned topological trees of the running example."""
+
+    def test_one_channel_tree_enumerates_all_topological_sorts(
+        self, fig1_problem_1ch
+    ):
+        # Hook-length formula: 9! / (9*3*5*3) = 896 linear extensions.
+        assert count_paths(fig1_problem_1ch) == 896
+
+    def test_two_channel_tree_shape(self, fig1_problem_2ch):
+        problem = fig1_problem_2ch
+        # Root's only child is the full set {2, 3} (|S| <= k).
+        available = problem.release(problem.initial_available(), 0)
+        children = compound_children(problem, available)
+        assert len(children) == 1
+        assert sorted(problem.nodes[i].label for i in children[0]) == ["2", "3"]
+
+
+class TestFig9And10ReducedTrees:
+    """§3.2: sizes of the reduced topological trees."""
+
+    def test_reduced_two_channel_tree_has_two_paths(self, fig1_problem_2ch):
+        # Fig. 10 shows exactly two surviving paths.
+        assert count_reduced_paths(fig1_problem_2ch, PruningConfig.paper()) == 2
+
+    def test_reduced_one_channel_tree_far_smaller_than_896(
+        self, fig1_problem_1ch
+    ):
+        count = count_reduced_paths(fig1_problem_1ch, PruningConfig.paper())
+        assert 1 <= count < 20  # 896 -> order ten
+
+    def test_reduction_preserves_the_optimum(self, fig1_problem_2ch):
+        pruned = best_first_search(fig1_problem_2ch, PruningConfig.paper())
+        unpruned = best_first_search(fig1_problem_2ch, PruningConfig.none())
+        assert pruned.cost == pytest.approx(unpruned.cost)
+
+
+class TestFig11And12DataTree:
+    """§3.3: the data tree of the running example."""
+
+    def test_property_1_2_data_tree_has_14_paths(self, fig1_problem_1ch):
+        # Fig. 11 shows 14 root-to-leaf paths.
+        assert (
+            count_data_sequences(
+                fig1_problem_1ch, DataTreeConfig.properties_1_2()
+            )
+            == 14
+        )
+
+    def test_property2_count_matches_closed_form(self, fig1_tree, fig1_problem_1ch):
+        # Groups {A,B}, {C,D}, {E} -> 5!/(2!*2!*1!) = 30 interleavings.
+        assert property2_closed_form(fig1_tree) == 30
+        assert (
+            count_data_sequences(
+                fig1_problem_1ch, DataTreeConfig.property2_only()
+            )
+            == 30
+        )
+
+    def test_leftmost_path_generates_12AB34CED(self, fig1_problem_1ch):
+        """§3.3: 'Consider the leftmost path ... the generated broadcast
+        is 12AB34CED'."""
+        from repro.core.datatree import broadcast_order
+
+        problem = fig1_problem_1ch
+        sequence = [problem.id_of(problem.tree.find(l)) for l in "ABCED"]
+        order = broadcast_order(problem, sequence)
+        assert "".join(problem.nodes[i].label for i in order) == "12AB34CED"
+
+    def test_property4_worked_example_prunes_C_then_E(self, fig1_problem_1ch):
+        """§3.3: after A, B, C the exchangeable subsequences are 4C and E;
+        1*15 >= 2*18 fails, so C-then-E is pruned."""
+        problem = fig1_problem_1ch
+        a, b, c, e = (
+            problem.id_of(problem.tree.find(l)) for l in "ABCE"
+        )
+        emitted = (
+            problem.ancestor_mask[a]
+            | problem.ancestor_mask[b]
+            | problem.ancestor_mask[c]
+        )
+        nanc_c = problem.ancestor_mask[c] & ~(
+            problem.ancestor_mask[a] | problem.ancestor_mask[b]
+        )
+        assert nanc_c.bit_count() == 2  # Nancestor(C) = {3, 4}
+        assert not property4_allows(problem, c, nanc_c, e, emitted)
+
+    def test_final_data_tree_keeps_an_optimal_path(self, fig1_problem_1ch):
+        problem = fig1_problem_1ch
+        survivors = list(iter_data_sequences(problem, DataTreeConfig.paper()))
+        assert survivors  # at least one path remains
+        best = min(sequence_cost(problem, s) for s in survivors)
+        all_p12 = [
+            sequence_cost(problem, s)
+            for s in iter_data_sequences(
+                problem, DataTreeConfig.properties_1_2()
+            )
+        ]
+        assert best == pytest.approx(min(all_p12))
+
+    def test_optimal_single_channel_broadcast_is_12AB3E4CD(
+        self, fig1_tree, fig1_problem_1ch
+    ):
+        from repro.core.datatree import solve_single_channel
+
+        result = solve_single_channel(fig1_problem_1ch)
+        labels = "".join(
+            fig1_problem_1ch.nodes[i].label for i in result.order
+        )
+        assert labels == "12AB3E4CD"
+        assert result.cost == pytest.approx(391 / 70)  # 5.5857...
+
+
+class TestExample2BestSubsequences:
+    """§3.2 Example 2: best orderings among sibling data nodes."""
+
+    def test_ECD_is_best_order_for_E_C_D(self, fig1_problem_1ch):
+        """In Fig. 6 the path with subsequence ECD is best among the
+        leftmost six (orders of E, C, D after prefix 1 3 4)."""
+        problem = fig1_problem_1ch
+        from itertools import permutations
+
+        prefix = [problem.tree.find(l) for l in "134"]
+        trio = [problem.tree.find(l) for l in "ECD"]
+        suffix = [problem.tree.find(l) for l in "2AB"]
+
+        def cost(order):
+            return data_wait_of_order(list(prefix) + list(order) + suffix)
+
+        best = min(permutations(trio), key=cost)
+        assert [n.label for n in best] == ["E", "C", "D"]
+
+
+class TestFig13IndexTreeSorting:
+    """§4.2: sorting the Fig. 1 tree yields preorder 1 2 A B 3 E 4 C D."""
+
+    def test_sorted_preorder(self, fig1_tree):
+        order = sorting_order(fig1_tree)
+        assert "".join(n.label for n in order) == "12AB3E4CD"
+
+    def test_sorted_broadcast_happens_to_be_optimal_here(self, fig1_tree):
+        from repro.core.optimal import solve
+        from repro.heuristics.sorting import sorting_broadcast
+
+        assert sorting_broadcast(fig1_tree).data_wait() == pytest.approx(
+            solve(fig1_tree, channels=1).cost
+        )
+
+
+class TestTable1PaperRow:
+    """§4.1: the m = 2 row of Table 1 is weight-pattern independent."""
+
+    def test_m2_row_counts(self):
+        import numpy as np
+
+        from repro.tree.builders import balanced_tree
+
+        rng = np.random.default_rng(7)
+        weights = sorted(rng.uniform(1, 100, size=4), reverse=True)
+        tree = balanced_tree(2, depth=3, weights=list(weights))
+        problem = AllocationProblem(tree, channels=1)
+        assert property2_closed_form(tree) == 6
+        assert (
+            count_data_sequences(problem, DataTreeConfig.property2_only()) == 6
+        )
+        assert (
+            count_data_sequences(problem, DataTreeConfig.properties_1_2()) == 4
+        )
+        assert count_data_sequences(problem, DataTreeConfig.paper()) == 1

@@ -1,0 +1,166 @@
+"""Unit and property tests for the Hu–Tucker / alphabetic-tree builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tree.alphabetic import (
+    alphabetic_cost,
+    hu_tucker_levels,
+    hu_tucker_tree,
+    optimal_alphabetic_tree,
+)
+from repro.tree.builders import data_labels
+from repro.tree.validation import is_alphabetic
+
+
+def brute_force_alphabetic_cost(weights: list[float], fanout: int) -> float:
+    """Minimal weighted external path length over all alphabetic trees
+    with node degree in [2, fanout] (independent recursive oracle)."""
+    from functools import lru_cache
+
+    prefix = [0.0]
+    for weight in weights:
+        prefix.append(prefix[-1] + weight)
+
+    @lru_cache(maxsize=None)
+    def best(i: int, j: int) -> float:
+        if i == j:
+            return 0.0
+        total = prefix[j + 1] - prefix[i]
+        result = float("inf")
+
+        def split(start: int, parts: int) -> float:
+            if parts == 1:
+                return best(start, j)
+            out = float("inf")
+            for cut in range(start, j):
+                out = min(out, best(start, cut) + split(cut + 1, parts - 1))
+            return out
+
+        for parts in range(2, fanout + 1):
+            if parts > j - i + 1:
+                break
+            result = min(result, split(i, parts))
+        return total + result
+
+    return best(0, len(weights) - 1)
+
+
+class TestHuTuckerLevels:
+    def test_single_leaf(self):
+        assert hu_tucker_levels([5.0]) == [0]
+
+    def test_two_leaves(self):
+        assert hu_tucker_levels([1.0, 9.0]) == [1, 1]
+
+    def test_uniform_weights_give_balanced_levels(self):
+        levels = hu_tucker_levels([1.0] * 8)
+        assert levels == [3] * 8
+
+    def test_skewed_weights_give_skewed_levels(self):
+        levels = hu_tucker_levels([100.0, 1.0, 1.0, 1.0])
+        assert levels[0] < max(levels)
+
+    def test_kraft_equality(self):
+        """Optimal binary-tree levels satisfy sum 2^-l == 1."""
+        rng = np.random.default_rng(3)
+        for size in (2, 5, 9, 13):
+            levels = hu_tucker_levels(list(rng.uniform(1, 50, size)))
+            assert sum(2.0 ** -l for l in levels) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            hu_tucker_levels([])
+
+
+class TestHuTuckerTree:
+    def test_preserves_leaf_order(self):
+        weights = [5.0, 1.0, 30.0, 2.0, 9.0]
+        tree = hu_tucker_tree(data_labels(5), weights)
+        assert [d.label for d in tree.data_nodes()] == data_labels(5)
+
+    def test_costs_match_levels(self):
+        weights = [5.0, 1.0, 30.0, 2.0, 9.0]
+        levels = hu_tucker_levels(weights)
+        tree = hu_tucker_tree(data_labels(5), weights)
+        assert alphabetic_cost(tree) == pytest.approx(
+            sum(w * l for w, l in zip(weights, levels))
+        )
+
+    def test_is_alphabetic_by_keys(self):
+        tree = hu_tucker_tree(["x", "y", "z"], [3.0, 1.0, 2.0], keys=[1, 2, 3])
+        assert is_alphabetic(tree)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=60), min_size=2, max_size=9
+        )
+    )
+    def test_matches_dp_optimum(self, weights):
+        weights = [float(w) for w in weights]
+        tree = hu_tucker_tree(data_labels(len(weights)), weights)
+        assert alphabetic_cost(tree) == pytest.approx(
+            brute_force_alphabetic_cost(weights, fanout=2)
+        )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            hu_tucker_tree(["A"], [1.0, 2.0])
+
+
+class TestOptimalAlphabeticTree:
+    def test_binary_agrees_with_hu_tucker(self):
+        rng = np.random.default_rng(11)
+        for size in (2, 4, 7, 10):
+            weights = list(rng.uniform(1, 40, size))
+            labels = data_labels(size)
+            dp_tree = optimal_alphabetic_tree(labels, weights, fanout=2)
+            ht_tree = hu_tucker_tree(labels, weights)
+            assert alphabetic_cost(dp_tree) == pytest.approx(
+                alphabetic_cost(ht_tree)
+            )
+
+    @pytest.mark.parametrize("fanout", [2, 3, 4])
+    def test_matches_brute_force_oracle(self, fanout):
+        rng = np.random.default_rng(fanout)
+        weights = list(rng.uniform(1, 30, 7))
+        tree = optimal_alphabetic_tree(data_labels(7), weights, fanout=fanout)
+        assert alphabetic_cost(tree) == pytest.approx(
+            brute_force_alphabetic_cost(weights, fanout)
+        )
+
+    def test_larger_fanout_never_costs_more(self):
+        rng = np.random.default_rng(23)
+        weights = list(rng.uniform(1, 30, 9))
+        labels = data_labels(9)
+        costs = [
+            alphabetic_cost(optimal_alphabetic_tree(labels, weights, fanout=k))
+            for k in (2, 3, 4, 5)
+        ]
+        assert costs == sorted(costs, reverse=True) or all(
+            costs[i] >= costs[i + 1] - 1e-9 for i in range(len(costs) - 1)
+        )
+
+    def test_fanout_bound_respected(self):
+        rng = np.random.default_rng(1)
+        weights = list(rng.uniform(1, 30, 11))
+        tree = optimal_alphabetic_tree(data_labels(11), weights, fanout=3)
+        assert tree.fanout() <= 3
+
+    def test_preserves_leaf_order(self):
+        weights = [9.0, 1.0, 1.0, 9.0, 5.0]
+        tree = optimal_alphabetic_tree(data_labels(5), weights, fanout=3)
+        assert [d.label for d in tree.data_nodes()] == data_labels(5)
+
+    def test_single_leaf(self):
+        tree = optimal_alphabetic_tree(["A"], [5.0], fanout=3)
+        assert [d.label for d in tree.data_nodes()] == ["A"]
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ValueError):
+            optimal_alphabetic_tree(["A", "B"], [1.0, 2.0], fanout=1)

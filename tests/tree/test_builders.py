@@ -1,0 +1,121 @@
+"""Unit tests for the tree builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tree.builders import (
+    balanced_tree,
+    chain_tree,
+    data_labels,
+    from_spec,
+    paper_example_tree,
+    random_tree,
+)
+from repro.tree.validation import is_full_balanced
+
+
+class TestDataLabels:
+    def test_first_26_are_letters(self):
+        labels = data_labels(26)
+        assert labels[0] == "A" and labels[25] == "Z"
+
+    def test_wraps_with_numeric_suffix(self):
+        labels = data_labels(30)
+        assert labels[26] == "A1" and labels[29] == "D1"
+
+    def test_all_unique(self):
+        labels = data_labels(200)
+        assert len(set(labels)) == 200
+
+
+class TestPaperExampleTree:
+    def test_weights(self, fig1_tree):
+        weights = {d.label: d.weight for d in fig1_tree.data_nodes()}
+        assert weights == {"A": 20, "B": 10, "E": 18, "C": 15, "D": 7}
+
+    def test_shape(self, fig1_tree):
+        assert fig1_tree.depth() == 4
+        assert len(fig1_tree.index_nodes()) == 4
+        assert fig1_tree.find("4").parent is fig1_tree.find("3")
+
+
+class TestBalancedTree:
+    def test_depth3_shape(self):
+        tree = balanced_tree(3, depth=3)
+        assert is_full_balanced(tree, 3)
+        assert len(tree.data_nodes()) == 9
+        assert len(tree.index_nodes()) == 4  # 1 + 3
+        assert tree.depth() == 3
+
+    def test_depth4_counts(self):
+        tree = balanced_tree(2, depth=4)
+        assert len(tree.data_nodes()) == 8
+        assert len(tree.index_nodes()) == 7
+
+    def test_custom_weights_in_leaf_order(self):
+        weights = [4.0, 3.0, 2.0, 1.0]
+        tree = balanced_tree(2, depth=3, weights=weights)
+        assert [d.weight for d in tree.data_nodes()] == weights
+
+    def test_weight_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="expected 4 weights"):
+            balanced_tree(2, depth=3, weights=[1.0])
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            balanced_tree(0)
+        with pytest.raises(ValueError):
+            balanced_tree(2, depth=1)
+
+
+class TestChainTree:
+    def test_shape(self):
+        tree = chain_tree(5)
+        assert tree.depth() == 6
+        assert len(tree.index_nodes()) == 5
+        assert len(tree.data_nodes()) == 1
+        assert tree.max_level_width() == 1
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            chain_tree(0)
+
+
+class TestRandomTree:
+    def test_has_requested_leaves_and_validates(self, rng):
+        for count in (1, 2, 5, 12):
+            tree = random_tree(rng, count)
+            tree.validate()
+            assert len(tree.data_nodes()) == count
+
+    def test_respects_max_fanout(self, rng):
+        for _ in range(10):
+            tree = random_tree(rng, 10, max_fanout=3)
+            assert tree.fanout() <= 3
+
+    def test_deterministic_under_seed(self):
+        from repro.tree.validation import trees_equal
+
+        one = random_tree(np.random.default_rng(5), 8)
+        two = random_tree(np.random.default_rng(5), 8)
+        assert trees_equal(one, two)
+
+    def test_integer_weights_flag(self, rng):
+        tree = random_tree(rng, 6, integer_weights=True)
+        assert all(d.weight == int(d.weight) for d in tree.data_nodes())
+
+
+class TestFromSpec:
+    def test_builds_paper_tree_shape(self):
+        tree = from_spec(
+            [[("A", 20), ("B", 10)], [("E", 18), [("C", 15), ("D", 7)]]]
+        )
+        from repro.tree.validation import trees_equal
+
+        assert trees_equal(tree, paper_example_tree())
+
+    def test_rejects_bad_spec(self):
+        with pytest.raises(TypeError):
+            from_spec("nope")

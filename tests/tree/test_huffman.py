@@ -1,0 +1,72 @@
+"""Unit tests for the classic Huffman comparison structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tree.alphabetic import alphabetic_cost, hu_tucker_tree
+from repro.tree.builders import data_labels
+from repro.tree.huffman import expected_probe_depth, huffman_tree
+from repro.tree.validation import is_alphabetic
+
+
+class TestHuffmanTree:
+    def test_contains_all_leaves(self):
+        tree = huffman_tree(data_labels(5), [5.0, 1.0, 30.0, 2.0, 9.0])
+        assert sorted(d.label for d in tree.data_nodes()) == data_labels(5)
+
+    def test_binary_cost_matches_huffman_entropy_bound(self):
+        weights = [8.0, 4.0, 2.0, 1.0, 1.0]
+        tree = huffman_tree(data_labels(5), weights)
+        # Classic optimal code lengths for these weights: 1,2,3,4,4.
+        assert alphabetic_cost(tree) == pytest.approx(
+            8 * 1 + 4 * 2 + 2 * 3 + 1 * 4 + 1 * 4
+        )
+
+    def test_never_worse_than_alphabetic(self):
+        """Huffman ignores key order, so it lower-bounds Hu–Tucker."""
+        rng = np.random.default_rng(9)
+        for size in (3, 6, 10, 15):
+            weights = list(rng.uniform(1, 40, size))
+            labels = data_labels(size)
+            huff = alphabetic_cost(huffman_tree(labels, weights))
+            alpha = alphabetic_cost(hu_tucker_tree(labels, weights))
+            assert huff <= alpha + 1e-9
+
+    def test_breaks_key_order_on_skewed_input(self):
+        """The paper's §1 criticism: a Huffman tree generally cannot act
+        as a search tree. With the last key heaviest, it moves left."""
+        labels = data_labels(6)
+        weights = [1.0, 1.0, 1.0, 1.0, 1.0, 50.0]
+        tree = huffman_tree(labels, weights)
+        assert not is_alphabetic(tree, key=lambda leaf: leaf.label)
+
+    def test_kary_padding_elided(self):
+        tree = huffman_tree(data_labels(4), [4.0, 3.0, 2.0, 1.0], fanout=3)
+        labels = [d.label for d in tree.data_nodes()]
+        assert "_dummy" not in labels
+        assert sorted(labels) == data_labels(4)
+        assert tree.fanout() <= 3
+
+    def test_kary_uniform_is_shallow(self):
+        tree = huffman_tree(data_labels(9), [1.0] * 9, fanout=3)
+        assert tree.depth() == 3  # root + 3 internals + 9 leaves
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            huffman_tree([], [])
+        with pytest.raises(ValueError):
+            huffman_tree(["A"], [1.0], fanout=1)
+        with pytest.raises(ValueError):
+            huffman_tree(["A"], [1.0, 2.0])
+
+
+class TestExpectedProbeDepth:
+    def test_uniform_binary(self):
+        tree = huffman_tree(data_labels(4), [1.0] * 4)
+        assert expected_probe_depth(tree) == pytest.approx(2.0)
+
+    def test_zero_weight_tree(self):
+        tree = huffman_tree(["A"], [0.0])
+        assert expected_probe_depth(tree) == 0.0

@@ -1,0 +1,128 @@
+"""Unit tests for the IndexTree container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TreeError
+from repro.tree.builders import from_spec, paper_example_tree
+from repro.tree.index_tree import IndexTree
+from repro.tree.node import DataNode, IndexNode
+
+
+class TestTraversals:
+    def test_preorder_of_paper_tree(self, fig1_tree):
+        labels = [n.label for n in fig1_tree.preorder()]
+        assert labels == ["1", "2", "A", "B", "3", "E", "4", "C", "D"]
+
+    def test_postorder_children_before_parent(self, fig1_tree):
+        labels = [n.label for n in fig1_tree.postorder()]
+        assert labels.index("A") < labels.index("2")
+        assert labels.index("4") < labels.index("3")
+        assert labels[-1] == "1"
+        assert sorted(labels) == sorted(n.label for n in fig1_tree.nodes())
+
+    def test_data_nodes_left_to_right(self, fig1_tree):
+        assert [d.label for d in fig1_tree.data_nodes()] == ["A", "B", "E", "C", "D"]
+
+    def test_index_nodes_preorder(self, fig1_tree):
+        assert [i.label for i in fig1_tree.index_nodes()] == ["1", "2", "3", "4"]
+
+    def test_levels(self, fig1_tree):
+        levels = [[n.label for n in level] for level in fig1_tree.levels()]
+        assert levels == [["1"], ["2", "3"], ["A", "B", "E", "4"], ["C", "D"]]
+
+
+class TestDerivedQuantities:
+    def test_depth_counts_root_as_level_one(self, fig1_tree):
+        assert fig1_tree.depth() == 4
+
+    def test_max_level_width(self, fig1_tree):
+        assert fig1_tree.max_level_width() == 4
+
+    def test_fanout(self, fig1_tree):
+        assert fig1_tree.fanout() == 2
+
+    def test_total_weight(self, fig1_tree):
+        assert fig1_tree.total_weight() == 70.0
+
+    def test_subtree_data_weight(self, fig1_tree):
+        assert fig1_tree.subtree_data_weight(fig1_tree.find("3")) == 40.0
+        assert fig1_tree.subtree_data_weight(fig1_tree.find("C")) == 15.0
+
+    def test_subtree_size(self, fig1_tree):
+        assert fig1_tree.subtree_size(fig1_tree.root) == 9
+        assert fig1_tree.subtree_size(fig1_tree.find("4")) == 3
+
+    def test_ancestors_of_root_first(self, fig1_tree):
+        chain = fig1_tree.ancestors_of(fig1_tree.find("C"))
+        assert [n.label for n in chain] == ["1", "3", "4"]
+
+
+class TestBookkeeping:
+    def test_renumber_assigns_preorder_orders(self):
+        tree = from_spec([[("A", 1), ("B", 2)], ("C", 3)])
+        orders = [n.order for n in tree.index_nodes()]
+        assert orders == [1, 2]
+        assert [n.label for n in tree.index_nodes()] == ["1", "2"]
+
+    def test_find_returns_first_preorder_match(self, fig1_tree):
+        assert fig1_tree.find("E").is_data
+        with pytest.raises(KeyError):
+            fig1_tree.find("Z")
+
+    def test_clone_is_deep_and_equal(self, fig1_tree):
+        from repro.tree.validation import trees_equal
+
+        clone = fig1_tree.clone()
+        assert trees_equal(fig1_tree, clone)
+        assert clone.root is not fig1_tree.root
+        clone.find("A").weight = 999
+        assert fig1_tree.find("A").weight == 20.0
+
+
+class TestValidation:
+    def test_paper_tree_is_valid(self, fig1_tree):
+        fig1_tree.validate()
+
+    def test_childless_index_node_rejected(self):
+        root = IndexNode("1", [DataNode("A", 1)])
+        root.add_child(IndexNode("2"))
+        with pytest.raises(TreeError, match="no children"):
+            IndexTree(root)
+
+    def test_shared_node_rejected(self):
+        shared = DataNode("A", 1)
+        left = IndexNode("2", [shared])
+        right = IndexNode("3")
+        right.children.append(shared)  # bypass parent bookkeeping
+        with pytest.raises(TreeError):
+            IndexTree(IndexNode("1", [left, right]))
+
+    def test_inconsistent_parent_pointer_rejected(self):
+        child = DataNode("A", 1)
+        root = IndexNode("1", [child])
+        child.parent = None
+        with pytest.raises(TreeError, match="parent pointer"):
+            IndexTree(root, renumber=False)
+
+    def test_root_with_parent_rejected(self):
+        inner = IndexNode("2", [DataNode("A", 1)])
+        IndexNode("1", [inner])
+        with pytest.raises(TreeError, match="root"):
+            IndexTree(inner, renumber=False)
+
+
+class TestRendering:
+    def test_ascii_contains_every_label_and_weight(self, fig1_tree):
+        art = fig1_tree.to_ascii()
+        for label in "1234ABECD":
+            assert label in art
+        assert "w=20" in art and "w=7" in art
+
+    def test_ascii_indents_children(self):
+        art = paper_example_tree().to_ascii()
+        lines = art.splitlines()
+        assert lines[0] == "[1]"
+        assert lines[1].startswith("|-- ")
+        assert any(line.startswith("|   ") for line in lines)

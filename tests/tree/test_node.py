@@ -1,0 +1,83 @@
+"""Unit tests for the node model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tree.node import DataNode, IndexNode
+
+
+class TestDataNode:
+    def test_holds_label_and_weight(self):
+        node = DataNode("A", 20)
+        assert node.label == "A"
+        assert node.weight == 20.0
+        assert node.is_data and not node.is_index
+
+    def test_weight_coerced_to_float(self):
+        assert isinstance(DataNode("A", 3).weight, float)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="negative weight"):
+            DataNode("A", -1)
+
+    def test_zero_weight_allowed(self):
+        assert DataNode("A", 0).weight == 0.0
+
+    def test_optional_key(self):
+        assert DataNode("A", 1, key=42).key == 42
+        assert DataNode("A", 1).key is None
+
+
+class TestIndexNode:
+    def test_add_child_sets_parent(self):
+        parent = IndexNode("1")
+        child = DataNode("A", 1)
+        parent.add_child(child)
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_constructor_children(self):
+        a, b = DataNode("A", 1), DataNode("B", 2)
+        parent = IndexNode("1", [a, b])
+        assert parent.children == [a, b]
+        assert a.parent is parent and b.parent is parent
+
+    def test_remove_child_detaches(self):
+        child = DataNode("A", 1)
+        parent = IndexNode("1", [child])
+        parent.remove_child(child)
+        assert child.parent is None
+        assert parent.children == []
+
+    def test_remove_non_child_raises(self):
+        with pytest.raises(ValueError):
+            IndexNode("1", [DataNode("A", 1)]).remove_child(DataNode("B", 1))
+
+    def test_replace_child_preserves_position(self):
+        a, b, c = DataNode("A", 1), DataNode("B", 2), DataNode("C", 3)
+        parent = IndexNode("1", [a, b])
+        parent.replace_child(a, c)
+        assert parent.children == [c, b]
+        assert c.parent is parent and a.parent is None
+
+    def test_is_index(self):
+        node = IndexNode("1", [DataNode("A", 1)])
+        assert node.is_index and not node.is_data
+
+
+class TestNavigation:
+    def test_ancestors_nearest_first(self):
+        leaf = DataNode("A", 1)
+        inner = IndexNode("2", [leaf])
+        root = IndexNode("1", [inner])
+        assert list(leaf.ancestors()) == [inner, root]
+
+    def test_root_and_depth(self):
+        leaf = DataNode("A", 1)
+        inner = IndexNode("2", [leaf])
+        root = IndexNode("1", [inner])
+        assert leaf.root() is root
+        assert root.depth() == 1
+        assert inner.depth() == 2
+        assert leaf.depth() == 3

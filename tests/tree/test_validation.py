@@ -1,0 +1,64 @@
+"""Unit tests for the diagnostic tree predicates."""
+
+from __future__ import annotations
+
+from repro.tree.builders import balanced_tree, from_spec, paper_example_tree
+from repro.tree.validation import (
+    is_alphabetic,
+    is_full_balanced,
+    leaf_depths,
+    trees_equal,
+)
+
+
+class TestIsAlphabetic:
+    def test_sorted_labels(self):
+        tree = from_spec([("A", 1), ("B", 2), ("C", 3)])
+        assert is_alphabetic(tree)
+
+    def test_unsorted_labels(self):
+        tree = from_spec([("B", 1), ("A", 2)])
+        assert not is_alphabetic(tree)
+
+    def test_custom_key(self):
+        tree = from_spec([("B", 1), ("A", 2)])
+        assert is_alphabetic(tree, key=lambda leaf: leaf.weight)
+
+    def test_keys_attribute_preferred(self):
+        tree = from_spec([("B", 1), ("A", 2)])
+        for position, leaf in enumerate(tree.data_nodes()):
+            leaf.key = position
+        assert is_alphabetic(tree)
+
+
+class TestIsFullBalanced:
+    def test_balanced_builder_output(self):
+        assert is_full_balanced(balanced_tree(3, depth=3), 3)
+
+    def test_paper_tree_is_not(self):
+        assert not is_full_balanced(paper_example_tree(), 2)
+
+
+class TestLeafDepths:
+    def test_paper_tree(self, fig1_tree):
+        assert leaf_depths(fig1_tree) == {"A": 2, "B": 2, "E": 2, "C": 3, "D": 3}
+
+
+class TestTreesEqual:
+    def test_identical_builders(self):
+        assert trees_equal(paper_example_tree(), paper_example_tree())
+
+    def test_weight_difference_detected(self):
+        one = from_spec([("A", 1), ("B", 2)])
+        two = from_spec([("A", 1), ("B", 3)])
+        assert not trees_equal(one, two)
+
+    def test_shape_difference_detected(self):
+        one = from_spec([("A", 1), ("B", 2)])
+        two = from_spec([[("A", 1)], ("B", 2)])
+        assert not trees_equal(one, two)
+
+    def test_kind_difference_detected(self):
+        one = from_spec([("A", 1), ("B", 1)])
+        two = from_spec([[("A", 1), ("X", 0)], ("B", 1)])
+        assert not trees_equal(one, two)

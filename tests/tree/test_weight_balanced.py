@@ -1,0 +1,112 @@
+"""Tests for the scalable weight-balanced builder and build_index facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tree.alphabetic import (
+    alphabetic_cost,
+    build_index,
+    garsia_wachs_tree,
+    optimal_alphabetic_tree,
+    weight_balanced_tree,
+)
+from repro.tree.builders import data_labels
+from repro.tree.validation import is_alphabetic
+
+
+class TestWeightBalancedTree:
+    def test_preserves_order_and_fanout(self, rng):
+        for _ in range(10):
+            count = int(rng.integers(2, 40))
+            fanout = int(rng.integers(2, 6))
+            weights = [float(w) for w in rng.integers(1, 60, count)]
+            tree = weight_balanced_tree(data_labels(count), weights, fanout)
+            tree.validate()
+            assert tree.fanout() <= fanout
+            assert [d.label for d in tree.data_nodes()] == data_labels(count)
+
+    def test_never_beats_exact_dp(self, rng):
+        for _ in range(10):
+            count = int(rng.integers(3, 18))
+            fanout = int(rng.integers(2, 5))
+            weights = [float(w) for w in rng.integers(1, 60, count)]
+            labels = data_labels(count)
+            balanced = alphabetic_cost(
+                weight_balanced_tree(labels, weights, fanout)
+            )
+            exact = alphabetic_cost(
+                optimal_alphabetic_tree(labels, weights, fanout)
+            )
+            assert balanced >= exact - 1e-9
+
+    def test_close_to_exact_on_average(self, rng):
+        gaps = []
+        for _ in range(20):
+            count = int(rng.integers(4, 20))
+            weights = [float(w) for w in rng.integers(1, 60, count)]
+            labels = data_labels(count)
+            balanced = alphabetic_cost(
+                weight_balanced_tree(labels, weights, fanout=3)
+            )
+            exact = alphabetic_cost(
+                optimal_alphabetic_tree(labels, weights, fanout=3)
+            )
+            gaps.append(balanced / exact - 1.0 if exact else 0.0)
+        assert sum(gaps) / len(gaps) < 0.10
+
+    def test_uniform_weights_are_balanced(self):
+        tree = weight_balanced_tree(data_labels(16), [1.0] * 16, fanout=4)
+        depths = {leaf.depth() for leaf in tree.data_nodes()}
+        assert depths == {3}  # a perfect 4-ary tree of 16 leaves
+
+    def test_scales_to_thousands(self, rng):
+        count = 3000
+        weights = [float(w) for w in rng.integers(1, 500, count)]
+        tree = weight_balanced_tree(data_labels(count), weights, fanout=8)
+        tree.validate()
+        assert len(tree.data_nodes()) == count
+
+    def test_keys_and_alphabetic(self):
+        tree = weight_balanced_tree(
+            ["a", "b", "c"], [1.0, 5.0, 2.0], fanout=2, keys=[1, 2, 3]
+        )
+        assert is_alphabetic(tree)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weight_balanced_tree(["A"], [1.0], fanout=1)
+        with pytest.raises(ValueError):
+            weight_balanced_tree([], [], fanout=2)
+        with pytest.raises(ValueError):
+            weight_balanced_tree(["A"], [1.0, 2.0])
+
+
+class TestBuildIndexFacade:
+    def test_binary_routes_to_garsia_wachs(self, rng):
+        weights = [float(w) for w in rng.integers(1, 60, 30)]
+        labels = data_labels(30)
+        via_facade = build_index(labels, weights, fanout=2)
+        direct = garsia_wachs_tree(labels, weights)
+        assert alphabetic_cost(via_facade) == pytest.approx(
+            alphabetic_cost(direct)
+        )
+
+    def test_small_kary_routes_to_exact(self, rng):
+        weights = [float(w) for w in rng.integers(1, 60, 12)]
+        labels = data_labels(12)
+        via_facade = build_index(labels, weights, fanout=3)
+        exact = optimal_alphabetic_tree(labels, weights, fanout=3)
+        assert alphabetic_cost(via_facade) == pytest.approx(
+            alphabetic_cost(exact)
+        )
+
+    def test_large_kary_routes_to_balanced(self, rng):
+        count = 400
+        weights = [float(w) for w in rng.integers(1, 60, count)]
+        tree = build_index(
+            data_labels(count), weights, fanout=4, exact_threshold=120
+        )
+        tree.validate()
+        assert tree.fanout() <= 4

@@ -1,0 +1,53 @@
+"""Unit tests for the synthetic catalogs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.catalogs import (
+    news_catalog,
+    stock_catalog,
+    weather_catalog,
+)
+
+
+@pytest.mark.parametrize(
+    "factory", [stock_catalog, news_catalog, weather_catalog]
+)
+class TestCatalogs:
+    def test_default_size_and_fields(self, factory, rng):
+        items = factory(rng)
+        assert len(items) > 0
+        for item in items:
+            assert item.key and item.label
+            assert item.weight > 0
+
+    def test_keys_sorted_and_unique(self, factory, rng):
+        items = factory(rng, count=40)
+        keys = [item.key for item in items]
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys)
+
+    def test_requested_count(self, factory, rng):
+        assert len(factory(rng, count=10)) == 10
+        assert len(factory(rng, count=100)) == 100
+
+    def test_invalid_count(self, factory, rng):
+        with pytest.raises(ValueError):
+            factory(rng, count=0)
+
+
+def test_catalog_feeds_the_alphabetic_builder(rng):
+    """Integration seam: catalogs plug straight into Hu–Tucker."""
+    from repro.tree.alphabetic import optimal_alphabetic_tree
+    from repro.tree.validation import is_alphabetic
+
+    items = stock_catalog(rng, count=12)
+    tree = optimal_alphabetic_tree(
+        [i.label for i in items],
+        [i.weight for i in items],
+        fanout=3,
+        keys=[i.key for i in items],
+    )
+    assert is_alphabetic(tree)
+    assert len(tree.data_nodes()) == 12

@@ -1,0 +1,73 @@
+"""Unit tests for the weight generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.weights import normal_weights, uniform_weights, zipf_weights
+
+
+class TestUniformWeights:
+    def test_count_and_range(self, rng):
+        weights = uniform_weights(rng, 100, low=5.0, high=10.0)
+        assert len(weights) == 100
+        assert all(5.0 <= w < 10.0 for w in weights)
+
+    def test_integer_flag(self, rng):
+        weights = uniform_weights(rng, 50, integer=True)
+        assert all(w == int(w) for w in weights)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            uniform_weights(rng, -1)
+        with pytest.raises(ValueError):
+            uniform_weights(rng, 3, low=5.0, high=5.0)
+
+    def test_deterministic(self):
+        one = uniform_weights(np.random.default_rng(1), 10)
+        two = uniform_weights(np.random.default_rng(1), 10)
+        assert one == two
+
+
+class TestNormalWeights:
+    def test_fig14_parameters(self, rng):
+        weights = normal_weights(rng, 2000, mean=100.0, sigma=20.0)
+        assert len(weights) == 2000
+        assert np.mean(weights) == pytest.approx(100.0, abs=2.0)
+        assert np.std(weights) == pytest.approx(20.0, abs=2.0)
+
+    def test_positive_floor(self, rng):
+        weights = normal_weights(rng, 500, mean=0.0, sigma=1.0)
+        assert all(w > 0 for w in weights)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            normal_weights(rng, -1)
+        with pytest.raises(ValueError):
+            normal_weights(rng, 3, sigma=-1.0)
+
+    def test_zero_sigma_degenerates_to_mean(self, rng):
+        assert normal_weights(rng, 4, mean=7.0, sigma=0.0) == [7.0] * 4
+
+
+class TestZipfWeights:
+    def test_unshuffled_is_descending(self, rng):
+        weights = zipf_weights(rng, 20, shuffle=False)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_skew_grows_with_theta(self, rng):
+        flat = zipf_weights(rng, 50, theta=0.1, shuffle=False)
+        steep = zipf_weights(rng, 50, theta=2.0, shuffle=False)
+        assert steep[0] / steep[-1] > flat[0] / flat[-1]
+
+    def test_shuffle_permutes_values(self):
+        base = zipf_weights(np.random.default_rng(1), 30, shuffle=False)
+        shuffled = zipf_weights(np.random.default_rng(1), 30, shuffle=True)
+        assert sorted(base) == pytest.approx(sorted(shuffled))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            zipf_weights(rng, -1)
+        with pytest.raises(ValueError):
+            zipf_weights(rng, 3, theta=-0.5)
