@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench examples experiments clean
+.PHONY: install test bench bench-json examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -10,6 +10,9 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-json:
+	$(PYTHON) -m repro.cli bench --json BENCH_search.json
 
 examples:
 	@for script in examples/*.py; do \

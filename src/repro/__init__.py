@@ -42,6 +42,7 @@ from .exceptions import (
     SearchBudgetExceeded,
     TreeError,
 )
+from .perf import PerfRecorder, Stopwatch
 from .tree import (
     DataNode,
     IndexNode,
@@ -91,6 +92,9 @@ __all__ = [
     "OptimalResult",
     "solve",
     "solve_single_channel",
+    # instrumentation
+    "PerfRecorder",
+    "Stopwatch",
     # errors
     "ReproError",
     "TreeError",

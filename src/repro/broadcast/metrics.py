@@ -94,16 +94,23 @@ def expected_access_time(schedule: BroadcastSchedule) -> float:
 def expected_tuning_time(schedule: BroadcastSchedule) -> float:
     """Mean number of buckets the client actively listens to.
 
-    One bucket at tune-in (to read the next-cycle pointer), one per index
-    node on the root path, and the data bucket itself: ``depth(D_i) + 1``
-    buckets for a data node at tree depth ``depth``. Between reads the
-    receiver dozes; this is the paper's energy metric (§1).
+    The accounting is the protocol's
+    (:func:`repro.client.protocol.run_request`), term for term: one
+    bucket at tune-in (to read the next-cycle pointer), one per index
+    node on the target's root path — the root included — and the data
+    bucket itself. A data node with ``a`` proper ancestors therefore
+    costs ``a + 2`` reads; under the paper's root-at-depth-1 convention
+    that equals ``depth(D_i) + 1``, and the event-driven simulator's
+    measured mean reproduces this expectation *exactly* (locked by
+    regression tests, ``tests/broadcast/test_metrics.py``). Between
+    reads the receiver dozes; this is the paper's energy metric (§1).
     """
     total_weight = schedule.tree.total_weight()
     if total_weight == 0:
         return 0.0
     weighted = sum(
-        node.weight * (node.depth() + 1) for node in schedule.tree.data_nodes()
+        node.weight * (sum(1 for _ in node.ancestors()) + 2)
+        for node in schedule.tree.data_nodes()
     )
     return weighted / total_weight
 

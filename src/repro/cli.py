@@ -7,7 +7,9 @@ Subcommands regenerate each experiment on demand:
 * ``fig14``    — the §4.2 Sorting-vs-Optimal sweep;
 * ``compare``  — heuristics/baselines vs optimal on random trees;
 * ``channels`` — data wait vs channel count (Corollary 1 regime);
-* ``ablation`` — pruning-rule search-effort ablation.
+* ``ablation`` — pruning-rule search-effort ablation;
+* ``bench``    — search-core perf suite (seed vs overhauled vs DFS B&B),
+  optionally emitting a JSON perf record via ``--json``.
 """
 
 from __future__ import annotations
@@ -80,6 +82,25 @@ def build_parser() -> argparse.ArgumentParser:
     channels.add_argument("--fanout", type=int, default=3)
 
     commands.add_parser("ablation", help="pruning-rule ablation")
+
+    bench = commands.add_parser(
+        "bench",
+        help="search-core perf suite: seed vs overhauled vs DFS B&B",
+    )
+    bench.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="also write the full JSON perf record to PATH",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats per case; wall time is the best-of-N "
+        "(default 3)",
+    )
 
     spaces = commands.add_parser(
         "spaces", help="render the reduced search trees (Figs. 9-12)"
@@ -164,6 +185,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "ablation":
         print(format_pruning_ablation(pruning_ablation(rng)))
         return 0
+
+    if args.command == "bench":
+        from .bench import format_bench, run_bench, write_bench_json
+
+        if args.repeats < 1:
+            print("error: --repeats must be >= 1", file=sys.stderr)
+            return 2
+        if args.json_path:
+            record = write_bench_json(args.json_path, repeats=args.repeats)
+        else:
+            record = run_bench(repeats=args.repeats)
+        print(format_bench(record))
+        if args.json_path:
+            print(f"perf record written to {args.json_path}")
+        checks = record["aggregate"]["checks"]
+        return 0 if all(checks.values()) else 1
 
     if args.command == "solve":
         import json

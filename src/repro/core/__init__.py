@@ -38,7 +38,12 @@ from .datatree import (
 )
 from .optimal import OptimalResult, solve
 from .problem import AllocationProblem
-from .search import SearchResult, best_first_search, lower_bound
+from .search import (
+    SearchResult,
+    best_first_search,
+    dfs_branch_and_bound,
+    lower_bound,
+)
 from .swaps import (
     can_globally_swap,
     can_locally_swap,
@@ -70,6 +75,7 @@ __all__ = [
     "solve_single_channel",
     "SearchResult",
     "best_first_search",
+    "dfs_branch_and_bound",
     "lower_bound",
     "OptimalResult",
     "solve",

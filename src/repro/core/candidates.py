@@ -94,6 +94,7 @@ def reduced_children(
     available: int,
     last_group: tuple[int, ...],
     config: PruningConfig,
+    memo: dict[tuple[int, tuple[int, ...]], list[tuple[int, ...]]] | None = None,
 ) -> list[tuple[int, ...]]:
     """Pruned next-neighbors of the compound node ``last_group``.
 
@@ -102,67 +103,96 @@ def reduced_children(
     means either the allocation is complete (``available == 0``) or the
     branch is dominated and dies here (pruning may legitimately strand a
     partial path — the dominating path lives elsewhere in the tree).
+
+    ``memo``, when given, caches results on the ``(available,
+    last_group)`` signature: the available mask determines the placed
+    set, and together with the previous compound node it determines the
+    candidate rules' entire input — so a per-search dict turns repeat
+    expansions of transposed states into a lookup. Callers own the dict
+    and must not share it across different problems or configs.
     """
-    ids = problem.available_ids(available)
-    if not ids:
+    if memo is not None:
+        key = (available, last_group)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        result = _reduced_children(problem, placed, available, last_group, config)
+        memo[key] = result
+        return result
+    return _reduced_children(problem, placed, available, last_group, config)
+
+
+def _reduced_children(
+    problem: AllocationProblem,
+    placed: int,
+    available: int,
+    last_group: tuple[int, ...],
+    config: PruningConfig,
+) -> list[tuple[int, ...]]:
+    if not available:
         return []
     k = problem.channels
+    is_data = problem.is_data
 
     # Property 1: all index nodes placed -> unique forced continuation.
+    # Only data nodes remain available; walk the global descending-weight
+    # order instead of re-sorting the available subset.
     if config.forced_completion and not (problem.index_mask & ~placed):
-        data_sorted = sorted(
-            ids, key=lambda i: (-problem.weight[i], i)
-        )
-        return [tuple(sorted(data_sorted[:k]))]
+        take: list[int] = []
+        for i in problem.data_by_weight:
+            if (available >> i) & 1:
+                take.append(i)
+                if len(take) == k:
+                    break
+        return [tuple(sorted(take))]
 
-    last_all_index = bool(last_group) and all(
-        not problem.is_data[i] for i in last_group
+    ids = problem.available_ids(available)
+    last_all_index = bool(last_group) and not any(
+        is_data[i] for i in last_group
     )
+    # The union of P's child sets feeds steps 2, 3 and 4 — build it once.
+    children_of_last = 0
+    for member in last_group:
+        children_of_last |= problem.child_mask[member]
+    weight_key = problem.weight_key.__getitem__
 
     # ---- Step 2: filter the candidate set -------------------------------
     if config.candidate_filter and last_group:
-        children_of_last = 0
-        for member in last_group:
-            children_of_last |= problem.child_mask[member]
         if last_all_index:
             if k == 1:
                 kept_index = [
                     i
                     for i in ids
-                    if not problem.is_data[i]
-                    and (1 << i) & children_of_last
+                    if not is_data[i] and (1 << i) & children_of_last
                 ]
                 data_children = [
                     i
                     for i in ids
-                    if problem.is_data[i] and (1 << i) & children_of_last
+                    if is_data[i] and (1 << i) & children_of_last
                 ]
                 ids = kept_index
                 if data_children:
-                    heaviest = min(
-                        data_children,
-                        key=lambda i: (-problem.weight[i], i),
-                    )
+                    heaviest = min(data_children, key=weight_key)
                     ids = sorted(ids + [heaviest])
             else:
                 survivors = []
                 data_kept = []
                 for i in ids:
-                    if not problem.is_data[i]:
+                    if not is_data[i]:
                         survivors.append(i)
                     elif (1 << i) & children_of_last:
                         data_kept.append(i)
-                data_kept.sort(key=lambda i: (-problem.weight[i], i))
+                data_kept.sort(key=weight_key)
                 ids = sorted(survivors + data_kept[:k])
         else:
             data_in_last = [
-                problem.weight[i] for i in last_group if problem.is_data[i]
+                problem.weight[i] for i in last_group if is_data[i]
             ]
             threshold = min(data_in_last)
             ids = [
                 i
                 for i in ids
-                if not problem.is_data[i]
+                if not is_data[i]
                 or (1 << i) & children_of_last
                 or problem.weight[i] <= threshold
             ]
@@ -173,11 +203,8 @@ def reduced_children(
     # ---- Step 3: generate k-component subsets ---------------------------
     size = min(k, len(ids))
     if config.subset_rules:
-        data_sorted = sorted(
-            (i for i in ids if problem.is_data[i]),
-            key=lambda i: (-problem.weight[i], i),
-        )
-        index_ids = [i for i in ids if not problem.is_data[i]]
+        data_sorted = sorted((i for i in ids if is_data[i]), key=weight_key)
+        index_ids = [i for i in ids if not is_data[i]]
         subsets: list[tuple[int, ...]] = []
         for data_count in range(0, min(size, len(data_sorted)) + 1):
             index_count = size - data_count
@@ -187,9 +214,6 @@ def reduced_children(
             for index_part in combinations(index_ids, index_count):
                 subsets.append(tuple(sorted(data_part + index_part)))
         if last_all_index and k != 1 and last_group:
-            children_of_last = 0
-            for member in last_group:
-                children_of_last |= problem.child_mask[member]
             subsets = [
                 subset
                 for subset in subsets
@@ -203,10 +227,7 @@ def reduced_children(
 
     # ---- Step 4: local-swap elimination ---------------------------------
     if config.swap_filter and last_group:
-        children_of_last = 0
-        for member in last_group:
-            children_of_last |= problem.child_mask[member]
-        index_in_last = [i for i in last_group if not problem.is_data[i]]
+        index_in_last = [i for i in last_group if not is_data[i]]
         subsets = [
             subset
             for subset in subsets
@@ -226,26 +247,29 @@ def _refuted_by_local_swap(
     """Appendix step 4: can a local swap with ``P`` improve this subset?"""
     if not index_in_last:
         return False
-    subset_mask = problem.mask_of(subset)
+    subset_mask = 0
+    for i in subset:
+        subset_mask |= 1 << i
+    child_mask = problem.child_mask
     movable_index_in_last = [
-        x for x in index_in_last if not (problem.child_mask[x] & subset_mask)
+        x for x in index_in_last if not (child_mask[x] & subset_mask)
     ]
     if not movable_index_in_last:
         return False
+    order = problem.order
+    smallest_movable = min(order[x] for x in movable_index_in_last)
+    is_data = problem.is_data
     for y in subset:
         if (1 << y) & children_of_last:
             continue  # y cannot move earlier: its parent sits in P.
-        if problem.is_data[y]:
+        if is_data[y]:
             # Step 4(i): a data node trades with any movable index node
             # of P — data moves earlier at zero cost, so P..subset is
             # dominated.
             return True
         # Step 4(ii): index-for-index exchange is cost-neutral; keep only
         # the canonical direction given by the unique preorder weights.
-        smallest_movable = min(
-            problem.order[x] for x in movable_index_in_last
-        )
-        if problem.order[y] > smallest_movable:
+        if order[y] > smallest_movable:
             return True
     return False
 
@@ -264,13 +288,16 @@ def iter_reduced_paths(
         config = PruningConfig.paper()
     yielded = 0
     path: list[tuple[int, ...]] = []
+    memo: dict[tuple[int, tuple[int, ...]], list[tuple[int, ...]]] = {}
 
     def dfs(placed: int, available: int) -> Iterator[list[tuple[int, ...]]]:
         nonlocal yielded
         if limit is not None and yielded >= limit:
             return
         last_group = path[-1] if path else ()
-        groups = reduced_children(problem, placed, available, last_group, config)
+        groups = reduced_children(
+            problem, placed, available, last_group, config, memo=memo
+        )
         if not groups:
             if not available:
                 yielded += 1

@@ -17,12 +17,13 @@ from dataclasses import dataclass, field
 
 from ..broadcast.assembly import assemble_schedule
 from ..broadcast.schedule import BroadcastSchedule
+from ..perf import PerfRecorder
 from ..tree.index_tree import IndexTree
 from .candidates import PruningConfig
 from .corollaries import corollary1_applies, level_schedule
 from .datatree import DataTreeConfig, solve_single_channel
 from .problem import AllocationProblem
-from .search import best_first_search
+from .search import best_first_search, dfs_branch_and_bound
 
 __all__ = ["OptimalResult", "solve"]
 
@@ -40,11 +41,11 @@ class OptimalResult:
     cost:
         Its average data wait (formula (1)).
     method:
-        Which solver produced it: ``"corollary1"``, ``"datatree"`` or
-        ``"best-first"``.
+        Which solver produced it: ``"corollary1"``, ``"datatree"``,
+        ``"best-first"`` or ``"dfs-bnb"``.
     stats:
-        Search-effort counters (states/nodes expanded), empty for the
-        closed-form path.
+        Search-effort counters (states/nodes expanded, wall seconds,
+        dedup statistics), empty for the closed-form path.
     """
 
     schedule: BroadcastSchedule
@@ -61,6 +62,7 @@ def solve(
     datatree_config: DataTreeConfig | None = None,
     bound: str = "packed",
     budget: int | None = None,
+    perf: PerfRecorder | None = None,
 ) -> OptimalResult:
     """Find a minimum-data-wait allocation of ``tree`` onto ``channels``.
 
@@ -72,8 +74,10 @@ def solve(
         Number of broadcast channels ``k``.
     method:
         ``"auto"`` (default) routes per the module docstring;
-        ``"corollary1"``, ``"datatree"`` and ``"best-first"`` force a
-        solver (``"datatree"`` requires ``channels == 1``).
+        ``"corollary1"``, ``"datatree"``, ``"best-first"`` and
+        ``"dfs-bnb"`` (memory-bounded depth-first branch-and-bound over
+        the same reduced tree and bound) force a solver (``"datatree"``
+        requires ``channels == 1``).
     pruning:
         §3.2 rule set for the best-first search (default: all rules).
     datatree_config:
@@ -85,6 +89,9 @@ def solve(
         Optional cap on expanded states; exceeded searches raise
         :class:`~repro.exceptions.SearchBudgetExceeded` so callers can
         fall back to the §4 heuristics.
+    perf:
+        Optional :class:`~repro.perf.PerfRecorder` that additionally
+        receives the search's counters and wall-clock timers.
     """
     if method == "auto":
         if corollary1_applies(tree, channels):
@@ -115,10 +122,17 @@ def solve(
             stats={"states_expanded": result.states_expanded},
         )
 
-    if method == "best-first":
+    if method in ("best-first", "dfs-bnb"):
         problem = AllocationProblem(tree, channels=channels)
-        result = best_first_search(
-            problem, pruning=pruning, bound=bound, node_budget=budget
+        search = best_first_search if method == "best-first" else (
+            dfs_branch_and_bound
+        )
+        result = search(
+            problem,
+            pruning=pruning,
+            bound=bound,
+            node_budget=budget,
+            perf=perf,
         )
         groups = [
             [problem.node_of(i) for i in group] for group in result.path
@@ -128,10 +142,12 @@ def solve(
         return OptimalResult(
             schedule,
             result.cost,
-            "best-first",
+            method,
             stats={
                 "nodes_expanded": result.nodes_expanded,
                 "nodes_generated": result.nodes_generated,
+                "seconds": result.seconds,
+                **result.stats,
             },
         )
 

@@ -46,6 +46,10 @@ class AllocationProblem:
         (``Ancestor(D_i)`` of §3.3).
     data_mask / index_mask:
         Bitmasks of all data / index ids.
+    data_rank / weight_by_rank / weight_prefix / packed_prefix:
+        Rank-space view of the data nodes in descending weight order,
+        with prefix sums — the precomputed substrate of the incremental
+        packed lower bound (see :meth:`packed_tail`).
     """
 
     def __init__(self, tree: IndexTree, channels: int = 1) -> None:
@@ -104,6 +108,40 @@ class AllocationProblem:
         self.data_by_weight: tuple[int, ...] = tuple(
             sorted(self.data_ids, key=lambda i: (-self.weight[i], i))
         )
+        # Shared descending-weight sort key (pass
+        # ``key=problem.weight_key.__getitem__`` — no per-call lambdas on
+        # the candidate-generation hot path).
+        self.weight_key: tuple[tuple[float, int], ...] = tuple(
+            (-self.weight[i], i) for i in range(count)
+        )
+        # Rank-space view of the data nodes (descending weight): the packed
+        # lower bound lives here. ``data_rank[i]`` is the rank of data node
+        # ``i`` in ``data_by_weight`` (-1 for index nodes); a *rank mask* is
+        # a bitmask over ranks marking the still-outstanding data nodes.
+        self.data_rank = [-1] * count
+        for rank, data_id in enumerate(self.data_by_weight):
+            self.data_rank[data_id] = rank
+        self.weight_by_rank: tuple[float, ...] = tuple(
+            self.weight[i] for i in self.data_by_weight
+        )
+        self.full_rank_mask = (1 << len(self.data_ids)) - 1
+        # Prefix sums over descending weights: ``weight_prefix[r]`` is the
+        # total weight of the ``r`` heaviest data nodes, and
+        # ``packed_prefix[r]`` the packing term ``Σ w·(pos // k)`` when the
+        # outstanding set is exactly the ``r`` heaviest — the incremental
+        # bound's fast path for untouched prefixes.
+        self.weight_prefix = [0.0] * (len(self.data_ids) + 1)
+        self.packed_prefix = [0.0] * (len(self.data_ids) + 1)
+        for rank, weight in enumerate(self.weight_by_rank):
+            self.weight_prefix[rank + 1] = self.weight_prefix[rank] + weight
+            self.packed_prefix[rank + 1] = (
+                self.packed_prefix[rank] + weight * (rank // channels)
+            )
+        self._packed_tail_cache: dict[int, float] = {0: 0.0}
+        if self.data_ids:
+            self._packed_tail_cache[self.full_rank_mask] = self.packed_prefix[
+                len(self.data_ids)
+            ]
 
     # -- id <-> node --------------------------------------------------------
     def id_of(self, node: Node) -> int:
@@ -140,13 +178,11 @@ class AllocationProblem:
     def available_ids(self, available: int) -> list[int]:
         """Expand an availability mask into a sorted id list."""
         ids = []
-        position = 0
         mask = available
         while mask:
-            if mask & 1:
-                ids.append(position)
-            mask >>= 1
-            position += 1
+            low = mask & -mask
+            ids.append(low.bit_length() - 1)
+            mask &= mask - 1
         return ids
 
     def mask_of(self, ids: Sequence[int]) -> int:
@@ -154,6 +190,67 @@ class AllocationProblem:
         for node_id in ids:
             mask |= 1 << node_id
         return mask
+
+    # -- incremental packed bound (rank space) -------------------------------
+    def rank_mask_of(self, placed: int) -> int:
+        """Rank mask of the data nodes still outstanding under ``placed``."""
+        mask = 0
+        for rank, data_id in enumerate(self.data_by_weight):
+            if not (placed >> data_id) & 1:
+                mask |= 1 << rank
+        return mask
+
+    def remove_from_rank_mask(self, rank_mask: int, node_id: int) -> int:
+        """Clear the rank bit of ``node_id`` (no-op for index nodes)."""
+        rank = self.data_rank[node_id]
+        if rank < 0:
+            return rank_mask
+        return rank_mask & ~(1 << rank)
+
+    def outstanding_weight(self, rank_mask: int) -> float:
+        """Total weight of the data nodes marked outstanding."""
+        # Fast path: an untouched "heaviest r" prefix is a prefix sum.
+        r = rank_mask.bit_count()
+        if rank_mask == (1 << r) - 1:
+            return self.weight_prefix[r]
+        total = 0.0
+        weights = self.weight_by_rank
+        mask = rank_mask
+        while mask:
+            low = mask & -mask
+            total += weights[low.bit_length() - 1]
+            mask &= mask - 1
+        return total
+
+    def packed_tail(self, rank_mask: int) -> float:
+        """Packing term ``Σ w · (position // k)`` of the outstanding set.
+
+        Positions number the outstanding data nodes 0.. in descending
+        weight; dividing by ``k`` packs them k per slot. Memoised per
+        problem — search states overwhelmingly share outstanding sets
+        (index placements never change them), so the amortised cost is a
+        dict lookup rather than the O(n) rescan the from-scratch bound
+        pays for every generated successor.
+        """
+        cached = self._packed_tail_cache.get(rank_mask)
+        if cached is not None:
+            return cached
+        r = rank_mask.bit_count()
+        if rank_mask == (1 << r) - 1:
+            value = self.packed_prefix[r]
+        else:
+            value = 0.0
+            k = self.channels
+            weights = self.weight_by_rank
+            position = 0
+            mask = rank_mask
+            while mask:
+                low = mask & -mask
+                value += weights[low.bit_length() - 1] * (position // k)
+                position += 1
+                mask &= mask - 1
+        self._packed_tail_cache[rank_mask] = value
+        return value
 
     # -- §3.3 ancestor bookkeeping -------------------------------------------
     def new_ancestors(self, data_id: int, emitted_mask: int) -> list[int]:

@@ -21,6 +21,7 @@ from typing import Sequence
 
 from ..broadcast.assembly import assemble_schedule
 from ..broadcast.schedule import BroadcastSchedule
+from ..perf import PerfRecorder
 from ..tree.index_tree import IndexTree
 from ..tree.node import Node
 from .sorting import sorting_order
@@ -32,15 +33,25 @@ def allocate_sorted_tree(
     tree: IndexTree,
     channels: int,
     order: Sequence[Node] | None = None,
+    perf: PerfRecorder | None = None,
 ) -> BroadcastSchedule:
     """Run ``1_To_k_BroadcastChannel`` over ``tree``.
 
     ``order`` overrides the sorted preorder (it must be a preorder-
     compatible linear sequence of all tree nodes); by default the §4.2
-    sorting comparator produces it. Returns a validated schedule.
+    sorting comparator produces it. ``perf``, when given, records the
+    heuristic's wall time and node/slot counts under ``heuristic.*``.
+    Returns a validated schedule.
     """
     if channels < 1:
         raise ValueError("channels must be >= 1")
+    if perf is not None:
+        with perf.timer("heuristic.seconds"):
+            schedule = allocate_sorted_tree(tree, channels, order=order)
+        perf.count("heuristic.runs")
+        perf.count("heuristic.nodes", len(schedule.tree.nodes()))
+        perf.count("heuristic.slots", schedule.cycle_length)
+        return schedule
     if order is None:
         order = sorting_order(tree)
 
@@ -63,16 +74,28 @@ def allocate_sorted_tree(
     return assemble_schedule(tree, groups, channels)
 
 
-def sorting_schedule(tree: IndexTree, channels: int) -> BroadcastSchedule:
+def sorting_schedule(
+    tree: IndexTree,
+    channels: int,
+    perf: PerfRecorder | None = None,
+) -> BroadcastSchedule:
     """Sorting heuristic end to end: sort, then allocate onto k channels.
 
     For ``channels == 1`` this equals the preorder broadcast of the
-    sorted tree (the Fig. 13 construction).
+    sorted tree (the Fig. 13 construction). ``perf`` instruments as in
+    :func:`allocate_sorted_tree`.
     """
+    if perf is not None and channels == 1:
+        with perf.timer("heuristic.seconds"):
+            schedule = sorting_schedule(tree, channels)
+        perf.count("heuristic.runs")
+        perf.count("heuristic.nodes", len(schedule.tree.nodes()))
+        perf.count("heuristic.slots", schedule.cycle_length)
+        return schedule
     order = sorting_order(tree)
     if channels == 1:
         return BroadcastSchedule.from_sequence(tree, list(order))
-    return allocate_sorted_tree(tree, channels, order=order)
+    return allocate_sorted_tree(tree, channels, order=order, perf=perf)
 
 
 def _merge_by_sequence(

@@ -1,0 +1,116 @@
+"""Lightweight performance instrumentation for the hot paths.
+
+The ROADMAP's north star ("as fast as the hardware allows", a measurable
+per-PR perf trajectory) needs the solvers and the serving loop to report
+*how much work they did*, not just their answers. This module is the
+shared vocabulary for that: named monotonic counters and wall-clock
+timers collected into a :class:`PerfRecorder`, threaded through
+:class:`~repro.core.search.SearchResult`, the heuristics and
+:class:`~repro.server.BroadcastServer`, and serialised by the
+``bench --json`` runner (:mod:`repro.bench`) into ``BENCH_search.json``.
+
+Design constraints:
+
+* **Near-zero overhead when unused.** Everything is plain dict writes;
+  no globals, no threads, no logging handlers. Callers that do not pass
+  a recorder pay a single ``None`` check.
+* **Composable.** Recorders :meth:`merge <PerfRecorder.merge>` so a
+  suite runner can aggregate per-case recorders into one record.
+* **Serialisable.** :meth:`PerfRecorder.snapshot` returns plain
+  ``dict[str, int | float]`` data, ready for ``json.dump``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["PerfRecorder", "Stopwatch"]
+
+
+class Stopwatch:
+    """A resumable wall-clock timer (``perf_counter`` based).
+
+    ``elapsed`` accumulates across start/stop pairs; reading it while
+    running includes the in-flight interval.
+    """
+
+    __slots__ = ("elapsed", "_started_at")
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started_at: float | None = None
+
+    def start(self) -> "Stopwatch":
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is not None:
+            self.elapsed += time.perf_counter() - self._started_at
+            self._started_at = None
+        return self.elapsed
+
+    def read(self) -> float:
+        """Elapsed seconds so far, without stopping."""
+        if self._started_at is None:
+            return self.elapsed
+        return self.elapsed + (time.perf_counter() - self._started_at)
+
+
+class PerfRecorder:
+    """Named counters and wall-clock timers for one measured activity.
+
+    Counters are monotonic integers (``count``); timers accumulate
+    seconds (``timer`` context manager or ``add_seconds``). Both live in
+    flat string-keyed dicts so a snapshot is directly JSON-able.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.timers: dict[str, float] = {}
+
+    # -- counters -----------------------------------------------------------
+    def count(self, name: str, increment: int = 1) -> None:
+        """Add ``increment`` to counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + increment
+
+    def set_counter(self, name: str, value: int) -> None:
+        """Overwrite counter ``name`` (for externally computed totals)."""
+        self.counters[name] = int(value)
+
+    # -- timers -------------------------------------------------------------
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time the enclosed block into timer ``name`` (accumulating)."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_seconds(name, time.perf_counter() - started)
+
+    def add_seconds(self, name: str, seconds: float) -> None:
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    # -- aggregation / export ----------------------------------------------
+    def merge(self, other: "PerfRecorder") -> "PerfRecorder":
+        """Fold ``other``'s counters and timers into this recorder."""
+        for name, value in other.counters.items():
+            self.count(name, value)
+        for name, seconds in other.timers.items():
+            self.add_seconds(name, seconds)
+        return self
+
+    def snapshot(self) -> dict[str, dict[str, int | float]]:
+        """Plain-dict copy: ``{"counters": {...}, "timers": {...}}``."""
+        return {
+            "counters": dict(self.counters),
+            "timers": dict(self.timers),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{k}={v}" for k, v in sorted(self.counters.items())]
+        parts += [f"{k}={v:.4f}s" for k, v in sorted(self.timers.items())]
+        return f"<PerfRecorder {' '.join(parts) or 'empty'}>"

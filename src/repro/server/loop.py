@@ -29,13 +29,21 @@ from ..broadcast.metrics import expected_access_time
 from ..broadcast.pointers import compile_program
 from ..client.protocol import AccessRecord, run_request
 from ..online.adaptive import AdaptiveBroadcaster
+from ..perf import PerfRecorder
 
 __all__ = ["CycleStats", "ServerReport", "BroadcastServer"]
 
 
 @dataclass
 class CycleStats:
-    """Measured load and latency of one aired cycle."""
+    """Measured load and latency of one aired cycle.
+
+    ``analytic_access_time`` is the analytic expectation of the schedule
+    that *served* this cycle's requests. On a replan cycle the plan is
+    rebuilt only after the cycle has aired, so the value is captured
+    before ``replan()`` runs — measured-vs-analytic comparisons always
+    line up with the schedule the clients actually walked.
+    """
 
     cycle: int
     requests: int
@@ -47,10 +55,17 @@ class CycleStats:
 
 @dataclass
 class ServerReport:
-    """Aggregate outcome of a server run."""
+    """Aggregate outcome of a server run.
+
+    ``perf`` is the run's instrumentation snapshot (counters + timers
+    from :class:`repro.perf.PerfRecorder`): requests served, cycles
+    aired, replans, and wall-clock seconds split into serve/replan
+    phases.
+    """
 
     cycles: list[CycleStats] = field(default_factory=list)
     replans: int = 0
+    perf: dict = field(default_factory=dict)
 
     @property
     def requests_served(self) -> int:
@@ -102,6 +117,7 @@ class BroadcastServer:
             items, channels=channels, fanout=fanout, half_life=half_life
         )
         self.replan_every = replan_every
+        self.perf = PerfRecorder()  # lifetime counters across run() calls
         self.planner.replan()
 
     # -- one aired cycle ------------------------------------------------------
@@ -119,11 +135,23 @@ class BroadcastServer:
         leaf_of = {leaf.key: leaf for leaf in schedule.tree.data_nodes()}
         request_count = int(rng.poisson(mean_requests))
         records = []
-        for _ in range(request_count):
-            item = items[int(rng.choice(len(items), p=probabilities))]
-            tune_slot = int(rng.integers(1, program.cycle_length + 1))
-            records.append(run_request(program, leaf_of[item], tune_slot))
-            self.planner.observe(item)
+        if request_count:
+            # One batched draw per cycle instead of per-request round
+            # trips into the generator — the draws stay a deterministic
+            # function of the seed, just consumed in one block.
+            item_draws = rng.choice(
+                len(items), size=request_count, p=probabilities
+            )
+            tune_draws = rng.integers(
+                1, program.cycle_length + 1, size=request_count
+            )
+            observe = self.planner.observe
+            for item_index, tune_slot in zip(item_draws, tune_draws):
+                item = items[int(item_index)]
+                records.append(
+                    run_request(program, leaf_of[item], int(tune_slot))
+                )
+                observe(item)
         return records
 
     def run(
@@ -145,6 +173,7 @@ class BroadcastServer:
         if true_weights is None:
             true_weights = {item: 1.0 for item in items}
         report = ServerReport()
+        perf = PerfRecorder()
         for cycle_index in range(cycles):
             if shift_at is not None and cycle_index == shift_at:
                 if shifted_weights is None:
@@ -153,21 +182,32 @@ class BroadcastServer:
             raw = np.array([true_weights[item] for item in items], dtype=float)
             probabilities = raw / raw.sum()
 
-            records = self._serve_cycle(
-                cycle_index, rng, mean_requests_per_cycle, probabilities, items
-            )
+            with perf.timer("serve.seconds"):
+                records = self._serve_cycle(
+                    cycle_index, rng, mean_requests_per_cycle,
+                    probabilities, items,
+                )
+            # The analytic expectation must describe the schedule these
+            # requests actually walked — capture it before any replan
+            # swaps the plan out from under the cycle's statistics.
+            serving_schedule = self.planner.schedule
+            assert serving_schedule is not None
+            analytic = expected_access_time(serving_schedule)
+
             replanned = False
             if (
                 self.replan_every
                 and (cycle_index + 1) % self.replan_every == 0
             ):
-                self.planner.replan()
+                with perf.timer("replan.seconds"):
+                    self.planner.replan()
                 report.replans += 1
+                perf.count("replans")
                 replanned = True
 
-            schedule = self.planner.schedule
-            assert schedule is not None
             count = len(records)
+            perf.count("cycles")
+            perf.count("requests", count)
             report.cycles.append(
                 CycleStats(
                     cycle=cycle_index,
@@ -182,8 +222,10 @@ class BroadcastServer:
                         if count
                         else 0.0
                     ),
-                    analytic_access_time=expected_access_time(schedule),
+                    analytic_access_time=analytic,
                     replanned=replanned,
                 )
             )
+        report.perf = perf.snapshot()
+        self.perf.merge(perf)
         return report

@@ -70,6 +70,58 @@ class TestTuningTime:
         )
 
 
+class TestTuningTimeReconciliation:
+    """The analytic formula and the protocol simulator must agree
+    *exactly*: both count probe(1) + root-path index nodes + data bucket,
+    i.e. ``ancestors + 2 = depth + 1`` reads per request. The protocol's
+    tuning count is independent of the tune-in slot, so a single run per
+    item weighted by popularity IS the measured expectation."""
+
+    @staticmethod
+    def _measured_mean_tuning(schedule):
+        from repro.broadcast.pointers import compile_program
+        from repro.client.protocol import run_request
+
+        program = compile_program(schedule)
+        total = weighted = 0.0
+        for leaf in schedule.tree.data_nodes():
+            record = run_request(program, leaf, tune_slot=1)
+            total += leaf.weight
+            weighted += leaf.weight * record.tuning_time
+        return weighted / total
+
+    def test_fig1_exact_agreement_across_channels(self, fig1_tree):
+        for channels in (1, 2, 3):
+            schedule = solve(fig1_tree, channels=channels).schedule
+            assert self._measured_mean_tuning(schedule) == (
+                expected_tuning_time(schedule)
+            )
+
+    def test_random_trees_exact_agreement(self, rng):
+        from repro.tree.builders import random_tree
+
+        for _ in range(6):
+            tree = random_tree(rng, 9, max_fanout=4)
+            for channels in (1, 2, 3):
+                schedule = solve(tree, channels=channels).schedule
+                assert self._measured_mean_tuning(schedule) == (
+                    expected_tuning_time(schedule)
+                )
+
+    def test_tuning_independent_of_tune_slot(self, fig1_tree):
+        from repro.broadcast.pointers import compile_program
+        from repro.client.protocol import run_request
+
+        schedule = solve(fig1_tree, channels=2).schedule
+        program = compile_program(schedule)
+        leaf = schedule.tree.find("C")
+        counts = {
+            run_request(program, leaf, tune_slot=slot).tuning_time
+            for slot in range(1, program.cycle_length + 1)
+        }
+        assert len(counts) == 1
+
+
 class TestChannelSwitches:
     def test_single_channel_never_switches(self, preorder_schedule):
         assert expected_channel_switches(preorder_schedule) == 0.0

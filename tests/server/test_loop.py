@@ -96,3 +96,116 @@ class TestAdaptationUnderDrift:
             np.random.default_rng(0), cycles=2, mean_requests_per_cycle=5
         )
         assert report.window_mean_access(10, 20) == 0.0
+
+
+class TestReplanStats:
+    def test_analytic_access_time_describes_the_serving_schedule(self):
+        """Regression: on replan cycles, ``analytic_access_time`` must be
+        the expectation of the schedule the cycle's requests actually
+        walked — not the freshly replanned one."""
+        from repro.broadcast.metrics import expected_access_time
+
+        server = BroadcastServer(ITEMS, replan_every=2)
+        served_analytics = []
+        original_replan = server.planner.replan
+
+        def spying_replan():
+            # The schedule at replan time is the one that just served.
+            served_analytics.append(
+                expected_access_time(server.planner.schedule)
+            )
+            return original_replan()
+
+        server.planner.replan = spying_replan
+        report = server.run(
+            np.random.default_rng(4),
+            cycles=10,
+            mean_requests_per_cycle=30,
+            true_weights=HOT_FIRST,
+        )
+        replanned = [s for s in report.cycles if s.replanned]
+        assert len(replanned) == len(served_analytics) == report.replans
+        for stats, expected in zip(replanned, served_analytics):
+            assert stats.analytic_access_time == pytest.approx(expected)
+
+    def test_replan_actually_changes_the_analytic_value(self):
+        """The bug this guards against is only observable if the replan
+        changes the schedule — confirm the skewed load does that."""
+        server = BroadcastServer(ITEMS, replan_every=3)
+        report = server.run(
+            np.random.default_rng(6),
+            cycles=12,
+            mean_requests_per_cycle=40,
+            true_weights=HOT_FIRST,
+        )
+        values = [s.analytic_access_time for s in report.cycles]
+        assert len(set(values)) > 1
+        # Each replanned cycle's analytic value matches its *own* cycle,
+        # and the post-replan cycle reports the new schedule's value.
+        first_replan = next(s.cycle for s in report.cycles if s.replanned)
+        assert values[first_replan] == values[0]
+        assert values[first_replan + 1] != values[first_replan]
+
+
+class TestServerPerf:
+    def test_run_snapshot_counts_work(self):
+        server = BroadcastServer(ITEMS, replan_every=4)
+        report = server.run(
+            np.random.default_rng(0), cycles=8, mean_requests_per_cycle=10
+        )
+        counters = report.perf["counters"]
+        assert counters["cycles"] == 8
+        assert counters["requests"] == report.requests_served
+        assert counters["replans"] == report.replans == 2
+        assert report.perf["timers"]["serve.seconds"] > 0.0
+        assert report.perf["timers"]["replan.seconds"] > 0.0
+
+    def test_lifetime_recorder_merges_across_runs(self):
+        server = BroadcastServer(ITEMS, replan_every=0)
+        first = server.run(
+            np.random.default_rng(0), cycles=3, mean_requests_per_cycle=10
+        )
+        second = server.run(
+            np.random.default_rng(1), cycles=5, mean_requests_per_cycle=10
+        )
+        assert server.perf.counters["cycles"] == 8
+        assert server.perf.counters["requests"] == (
+            first.requests_served + second.requests_served
+        )
+
+
+class TestVectorisedDraws:
+    def test_draws_are_deterministic_per_seed(self):
+        reports = []
+        for _ in range(2):
+            server = BroadcastServer(ITEMS, replan_every=0)
+            reports.append(
+                server.run(
+                    np.random.default_rng(9),
+                    cycles=6,
+                    mean_requests_per_cycle=20,
+                    true_weights=HOT_FIRST,
+                )
+            )
+        first, second = reports
+        assert [s.requests for s in first.cycles] == (
+            [s.requests for s in second.cycles]
+        )
+        assert [s.mean_access_time for s in first.cycles] == (
+            [s.mean_access_time for s in second.cycles]
+        )
+
+    def test_requested_items_follow_the_true_weights(self):
+        """The batched draws must still sample the catalog according to
+        the true-load distribution (hot items dominate)."""
+        server = BroadcastServer(ITEMS, replan_every=0)
+        server.run(
+            np.random.default_rng(10),
+            cycles=20,
+            mean_requests_per_cycle=50,
+            true_weights=HOT_FIRST,
+        )
+        weights = server.planner.estimator.weights()
+        hot = sum(weights[item] for item in ITEMS[:2])
+        cold = sum(weights[item] for item in ITEMS[2:])
+        assert hot > cold

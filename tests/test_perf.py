@@ -1,0 +1,87 @@
+"""Unit tests for the perf instrumentation primitives."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import PerfRecorder, Stopwatch
+
+
+class TestStopwatch:
+    def test_accumulates_across_start_stop_pairs(self):
+        watch = Stopwatch()
+        watch.start()
+        first = watch.stop()
+        watch.start()
+        second = watch.stop()
+        assert 0.0 <= first <= second == watch.elapsed
+
+    def test_read_does_not_stop(self):
+        watch = Stopwatch().start()
+        a = watch.read()
+        b = watch.read()
+        assert b >= a >= 0.0
+        assert watch._started_at is not None
+
+    def test_redundant_calls_are_safe(self):
+        watch = Stopwatch()
+        assert watch.stop() == 0.0  # stop before start
+        watch.start()
+        watch.start()  # double start keeps the original origin
+        assert watch.stop() >= 0.0
+        assert watch.stop() == watch.elapsed  # idempotent once stopped
+
+
+class TestPerfRecorder:
+    def test_count_creates_and_increments(self):
+        perf = PerfRecorder()
+        perf.count("a")
+        perf.count("a", 4)
+        assert perf.counters == {"a": 5}
+
+    def test_set_counter_overwrites(self):
+        perf = PerfRecorder()
+        perf.count("a", 10)
+        perf.set_counter("a", 3)
+        assert perf.counters == {"a": 3}
+
+    def test_timer_accumulates(self):
+        perf = PerfRecorder()
+        with perf.timer("t"):
+            pass
+        first = perf.timers["t"]
+        with perf.timer("t"):
+            pass
+        assert perf.timers["t"] >= first >= 0.0
+
+    def test_timer_records_even_on_exception(self):
+        perf = PerfRecorder()
+        with pytest.raises(RuntimeError):
+            with perf.timer("t"):
+                raise RuntimeError("boom")
+        assert perf.timers["t"] >= 0.0
+
+    def test_merge_folds_counters_and_timers(self):
+        a = PerfRecorder()
+        a.count("n", 2)
+        a.add_seconds("t", 1.0)
+        b = PerfRecorder()
+        b.count("n", 3)
+        b.count("m", 1)
+        b.add_seconds("t", 0.5)
+        result = a.merge(b)
+        assert result is a
+        assert a.counters == {"n": 5, "m": 1}
+        assert a.timers == {"t": pytest.approx(1.5)}
+
+    def test_snapshot_is_a_json_able_copy(self):
+        perf = PerfRecorder()
+        perf.count("n")
+        perf.add_seconds("t", 0.25)
+        snap = perf.snapshot()
+        assert snap == {"counters": {"n": 1}, "timers": {"t": 0.25}}
+        json.dumps(snap)  # must serialise untouched
+        snap["counters"]["n"] = 99
+        assert perf.counters["n"] == 1  # copies, not views
