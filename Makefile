@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-json examples experiments clean
+.PHONY: install test bench bench-json bench-server examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -13,6 +13,9 @@ bench:
 
 bench-json:
 	$(PYTHON) -m repro.cli bench --json BENCH_search.json
+
+bench-server:
+	$(PYTHON) -m repro.cli bench-server --json BENCH_server.json
 
 examples:
 	@for script in examples/*.py; do \
@@ -27,6 +30,7 @@ experiments:
 	$(PYTHON) -m repro.cli channels
 	$(PYTHON) -m repro.cli ablation
 	$(PYTHON) -m repro.cli sensitivity
+	$(PYTHON) -m repro.cli faults
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache

@@ -1,0 +1,74 @@
+"""Deprecation shims for the keyword-only API migration.
+
+The public entry points (``solve``, the heuristics, the server, the
+simulator) historically accepted tuning knobs — ``perf=``, ``rng=``,
+pruning/config objects — positionally. They are keyword-only now, but
+one release of positional compatibility is kept: a call that passes
+them positionally still works and emits a :class:`DeprecationWarning`
+naming the offending parameters.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import warnings
+from typing import Callable, TypeVar
+
+__all__ = ["deprecated_positionals"]
+
+F = TypeVar("F", bound=Callable)
+
+
+def deprecated_positionals(func: F) -> F:
+    """Let legacy callers pass keyword-only parameters positionally.
+
+    The decorated function's signature is the source of truth: extra
+    positional arguments beyond the declared positional parameters are
+    mapped, in declaration order, onto the keyword-only parameters, with
+    a :class:`DeprecationWarning` telling the caller the spelling that
+    replaces them.
+    """
+    signature = inspect.signature(func)
+    positional: list[str] = []
+    keyword_only: list[str] = []
+    for name, parameter in signature.parameters.items():
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            positional.append(name)
+        elif parameter.kind == inspect.Parameter.KEYWORD_ONLY:
+            keyword_only.append(name)
+    limit = len(positional)
+
+    @functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        if len(args) > limit:
+            extra = args[limit:]
+            args = args[:limit]
+            if len(extra) > len(keyword_only):
+                raise TypeError(
+                    f"{func.__qualname__}() takes at most "
+                    f"{limit + len(keyword_only)} arguments "
+                    f"({limit + len(extra)} given)"
+                )
+            migrated = []
+            for name, value in zip(keyword_only, extra):
+                if name in kwargs:
+                    raise TypeError(
+                        f"{func.__qualname__}() got multiple values for "
+                        f"argument {name!r}"
+                    )
+                kwargs[name] = value
+                migrated.append(name)
+            warnings.warn(
+                f"passing {', '.join(migrated)} positionally to "
+                f"{func.__qualname__}() is deprecated; use keyword "
+                f"arguments ({', '.join(f'{n}=...' for n in migrated)})",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return func(*args, **kwargs)
+
+    return wrapper  # type: ignore[return-value]

@@ -12,6 +12,13 @@ from .comparisons import (
     format_pruning_ablation,
     pruning_ablation,
 )
+from .faults_sweep import (
+    DifferentialCheck,
+    FaultSweepPoint,
+    FaultSweepReport,
+    format_fault_sweep,
+    run_fault_sweep,
+)
 from .fig14 import Fig14Point, Fig14Report, format_fig14, run_fig14
 from .reporting import format_number, format_table
 from .sensitivity import (
@@ -49,4 +56,9 @@ __all__ = [
     "SkewPoint",
     "skew_sensitivity",
     "format_skew_sensitivity",
+    "DifferentialCheck",
+    "FaultSweepPoint",
+    "FaultSweepReport",
+    "run_fault_sweep",
+    "format_fault_sweep",
 ]

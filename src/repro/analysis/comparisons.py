@@ -17,12 +17,10 @@ import numpy as np
 from ..baselines.flat import flat_broadcast_wait
 from ..baselines.level_allocation import sv96_channels_needed, sv96_level_schedule
 from ..core.candidates import PruningConfig
-from ..core.optimal import solve
 from ..core.problem import AllocationProblem
 from ..core.search import best_first_search
-from ..heuristics.channel_allocation import sorting_schedule
 from ..heuristics.local_search import polish_schedule
-from ..heuristics.shrinking import combine_and_solve, partition_and_solve
+from ..planners import plan
 from ..tree.builders import balanced_tree, random_tree
 from ..workloads.weights import normal_weights, zipf_weights
 from .reporting import format_table
@@ -84,12 +82,19 @@ def compare_methods(
             raise ValueError(f"unknown workload {workload!r}")
         for leaf, weight in zip(tree.data_nodes(), weights):
             leaf.weight = weight
-        sums["optimal"] += solve(tree, channels=1).cost
-        sorted_schedule = sorting_schedule(tree, 1)
+        # Every allocation strategy is looked up in the planner
+        # registry by name; only the polish post-pass and the no-index
+        # baseline fall outside the planner abstraction.
+        sums["optimal"] += plan(tree, 1, method="auto").cost
+        sorted_schedule = plan(tree, 1, method="sorting").schedule
         sums["sorting"] += sorted_schedule.data_wait()
         sums["polished"] += polish_schedule(sorted_schedule).data_wait()
-        sums["combine"] += combine_and_solve(tree, max_data_nodes=8).data_wait()
-        sums["partition"] += partition_and_solve(tree, max_data_nodes=8).data_wait()
+        sums["combine"] += plan(
+            tree, 1, method="shrink-combine", max_data_nodes=8
+        ).cost
+        sums["partition"] += plan(
+            tree, 1, method="shrink-partition", max_data_nodes=8
+        ).cost
         sums["flat"] += flat_broadcast_wait(tree)
     return MethodComparison(
         workload=workload,
@@ -155,8 +160,8 @@ def channel_scaling(
 
     points = []
     for channels in range(1, max_channels + 1):
-        optimal_wait = solve(tree, channels=channels).cost
-        sorting_wait = sorting_schedule(tree, channels).data_wait()
+        optimal_wait = plan(tree, channels, method="auto").cost
+        sorting_wait = plan(tree, channels, method="sorting").cost
         points.append(
             ChannelScalingPoint(
                 channels=channels,
@@ -298,7 +303,7 @@ def intro_comparison(
             None,
         )
     )
-    optimal = solve(items_tree, channels=1)
+    optimal = plan(items_tree, 1, method="auto")
     rows.append(
         IntroComparisonRow(
             "indexed optimum (this paper)",

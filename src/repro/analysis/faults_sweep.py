@@ -1,0 +1,240 @@
+"""Loss-sweep experiment: how plans degrade on unreliable channels.
+
+The paper's model assumes a perfect broadcast medium; the robustness
+layer (:mod:`repro.faults` + the recovery-aware client walk) lets us ask
+the natural follow-up: *when buckets start dropping, do the optimal
+plans keep their edge over the heuristics?* This runner sweeps the
+per-channel loss probability for a panel of registry planners
+(:mod:`repro.planners`) over one seeded random-tree workload and
+reports, per (planner, loss) point, the measured mean access time,
+tuning time and the fault economy (retries, wasted probes, abandoned
+walks).
+
+The sweep's first column doubles as a correctness gate. At ``loss=0``
+the recovery-aware walk must reproduce the plain lossless protocol
+**bit-identically** — same access time, same tuning time, for *every*
+(target, tune slot) pair, exhaustively enumerated. The report carries
+that differential check's outcome per planner; the CLI ``faults``
+subcommand exits non-zero when any of them fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..broadcast.pointers import compile_program
+from ..client.protocol import (
+    RecoveryPolicy,
+    run_request,
+    run_request_recovering,
+)
+from ..client.simulator import simulate_workload
+from ..faults import BurstConfig, FaultConfig
+from ..planners import plan
+from ..tree.builders import random_tree
+from ..workloads.weights import zipf_weights
+from .reporting import format_table
+
+__all__ = [
+    "FaultSweepPoint",
+    "DifferentialCheck",
+    "FaultSweepReport",
+    "run_fault_sweep",
+    "format_fault_sweep",
+]
+
+DEFAULT_METHODS = ("auto", "sorting", "sv96")
+DEFAULT_LOSSES = (0.0, 0.05, 0.1, 0.2, 0.3)
+
+
+@dataclass
+class FaultSweepPoint:
+    """Measured behaviour of one planner at one loss probability."""
+
+    method: str
+    loss: float
+    plan_cost: float
+    mean_access_time: float
+    mean_tuning_time: float
+    requests: int
+    abandoned: int
+    lost_buckets: int
+    corrupt_buckets: int
+    retries: int
+    wasted_probes: int
+
+
+@dataclass
+class DifferentialCheck:
+    """Outcome of the exhaustive ``loss=0`` equivalence check.
+
+    ``pairs`` is the number of (target, tune slot) combinations
+    enumerated; ``mismatches`` must be zero for the invariant to hold.
+    """
+
+    method: str
+    pairs: int
+    mismatches: int
+
+    @property
+    def ok(self) -> bool:
+        return self.mismatches == 0
+
+
+@dataclass
+class FaultSweepReport:
+    """Everything the ``faults`` experiment produced."""
+
+    points: list[FaultSweepPoint] = field(default_factory=list)
+    differentials: list[DifferentialCheck] = field(default_factory=list)
+    config: dict = field(default_factory=dict)
+
+    @property
+    def differential_ok(self) -> bool:
+        return all(check.ok for check in self.differentials)
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (the CLI ``--json`` payload)."""
+        return {
+            "config": self.config,
+            "differential_ok": self.differential_ok,
+            "differentials": [asdict(c) for c in self.differentials],
+            "points": [asdict(p) for p in self.points],
+        }
+
+
+def _differential_check(method: str, program) -> DifferentialCheck:
+    """Exhaustively compare recovered-at-p=0 against the lossless walk."""
+    lossless_air = FaultConfig(loss=0.0)
+    cycle = program.cycle_length
+    pairs = 0
+    mismatches = 0
+    for target in program.schedule.tree.data_nodes():
+        for tune_slot in range(1, cycle + 1):
+            pairs += 1
+            base = run_request(program, target, tune_slot)
+            recovered = run_request_recovering(
+                program, target, tune_slot, faults=lossless_air
+            )
+            if (
+                base.access_time != recovered.access_time
+                or base.tuning_time != recovered.tuning_time
+                or base.probe_wait != recovered.probe_wait
+                or base.data_wait != recovered.data_wait
+                or base.channel_switches != recovered.channel_switches
+            ):
+                mismatches += 1
+    return DifferentialCheck(method=method, pairs=pairs, mismatches=mismatches)
+
+
+def run_fault_sweep(
+    *,
+    methods: tuple[str, ...] = DEFAULT_METHODS,
+    losses: tuple[float, ...] = DEFAULT_LOSSES,
+    channels: int = 2,
+    data_count: int = 12,
+    requests: int = 500,
+    seed: int = 2000,
+    corruption: float = 0.0,
+    burst: bool = False,
+    policy: RecoveryPolicy | None = None,
+) -> FaultSweepReport:
+    """Sweep loss probability × planner over one seeded workload.
+
+    One Zipf-weighted random tree (drawn from ``seed``) is planned by
+    every registry ``method``; each plan is then simulated at every
+    ``loss`` probability with an independent, loss-indexed fault seed —
+    so the loss axis varies only the channel, never the workload. With
+    ``burst`` the losses arrive in Gilbert–Elliott bursts around the
+    same average rate instead of i.i.d.
+    """
+    rng = np.random.default_rng(seed)
+    tree = random_tree(rng, data_count, max_fanout=4)
+    for leaf, weight in zip(
+        tree.data_nodes(), zipf_weights(rng, data_count)
+    ):
+        leaf.weight = weight
+
+    report = FaultSweepReport(
+        config={
+            "methods": list(methods),
+            "losses": list(losses),
+            "channels": channels,
+            "data_count": data_count,
+            "requests": requests,
+            "seed": seed,
+            "corruption": corruption,
+            "burst": burst,
+            "policy": (policy or RecoveryPolicy()).mode,
+            "max_cycles": (policy or RecoveryPolicy()).max_cycles,
+        }
+    )
+    for method in methods:
+        result = plan(tree, channels, method=method)
+        program = compile_program(result.schedule)
+        report.differentials.append(_differential_check(method, program))
+        for loss_index, loss in enumerate(losses):
+            faults = FaultConfig(
+                loss=loss,
+                corruption=corruption if loss > 0 else 0.0,
+                burst=BurstConfig() if burst and loss > 0 else None,
+                seed=seed + loss_index,
+            )
+            summary = simulate_workload(
+                program,
+                rng=np.random.default_rng(seed),
+                requests=requests,
+                faults=faults,
+                recovery=policy,
+            )
+            report.points.append(
+                FaultSweepPoint(
+                    method=method,
+                    loss=loss,
+                    plan_cost=result.cost,
+                    mean_access_time=summary.mean_access_time,
+                    mean_tuning_time=summary.mean_tuning_time,
+                    requests=summary.requests,
+                    abandoned=summary.abandoned,
+                    lost_buckets=summary.lost_buckets,
+                    corrupt_buckets=summary.corrupt_buckets,
+                    retries=summary.retries,
+                    wasted_probes=summary.wasted_probes,
+                )
+            )
+    return report
+
+
+def format_fault_sweep(report: FaultSweepReport) -> str:
+    headers = [
+        "planner", "loss", "access", "tuning", "retries",
+        "wasted probes", "abandoned",
+    ]
+    rows = [
+        [
+            p.method, p.loss, p.mean_access_time, p.mean_tuning_time,
+            p.retries, p.wasted_probes, p.abandoned,
+        ]
+        for p in report.points
+    ]
+    table = format_table(
+        headers,
+        rows,
+        title=(
+            "Mean access/tuning time vs per-channel bucket loss "
+            f"({report.config.get('channels', '?')} channels, "
+            f"policy: {report.config.get('policy', '?')})"
+        ),
+    )
+    checks = ", ".join(
+        f"{c.method}: {'ok' if c.ok else f'{c.mismatches} MISMATCHES'}"
+        f" ({c.pairs} pairs)"
+        for c in report.differentials
+    )
+    verdict = "PASS" if report.differential_ok else "FAIL"
+    return (
+        f"{table}\n\nloss=0 differential vs lossless protocol: "
+        f"{verdict} [{checks}]"
+    )

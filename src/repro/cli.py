@@ -9,7 +9,12 @@ Subcommands regenerate each experiment on demand:
 * ``channels`` — data wait vs channel count (Corollary 1 regime);
 * ``ablation`` — pruning-rule search-effort ablation;
 * ``bench``    — search-core perf suite (seed vs overhauled vs DFS B&B),
-  optionally emitting a JSON perf record via ``--json``.
+  optionally emitting a JSON perf record via ``--json``;
+* ``faults``   — loss-probability sweep over registry planners on
+  unreliable channels, including the loss=0 differential gate (the
+  command exits non-zero when the gate fails);
+* ``bench-server`` — full-stack serving-loop bench under perfect and
+  lossy air, writing ``BENCH_server.json`` via ``--json``.
 """
 
 from __future__ import annotations
@@ -109,6 +114,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--channels", type=int, default=2, help="k for the topological tree"
     )
 
+    faults = commands.add_parser(
+        "faults",
+        help="loss sweep over registry planners on unreliable channels",
+    )
+    faults.add_argument(
+        "--planners",
+        default="auto,sorting,sv96",
+        help="comma-separated repro.planners registry names "
+        "(default: auto,sorting,sv96)",
+    )
+    faults.add_argument(
+        "--losses",
+        default="0,0.05,0.1,0.2,0.3",
+        help="comma-separated per-channel loss probabilities "
+        "(0 is always re-added: it carries the differential gate)",
+    )
+    faults.add_argument("--channels", type=int, default=2)
+    faults.add_argument("--requests", type=int, default=500)
+    faults.add_argument(
+        "--corruption",
+        type=float,
+        default=0.0,
+        help="payload corruption probability at non-zero loss points",
+    )
+    faults.add_argument(
+        "--burst",
+        action="store_true",
+        help="Gilbert-Elliott burst losses instead of i.i.d.",
+    )
+    faults.add_argument(
+        "--policy",
+        choices=("retry-parent", "next-cycle"),
+        default="retry-parent",
+    )
+    faults.add_argument(
+        "--max-cycles",
+        type=int,
+        default=8,
+        help="give-up bound, in cycles from tune-in (default 8)",
+    )
+    faults.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="also write the full sweep record to PATH",
+    )
+
+    bench_server = commands.add_parser(
+        "bench-server",
+        help="full-stack serving-loop bench (lossless vs lossy air)",
+    )
+    bench_server.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON perf record to PATH",
+    )
+
     sensitivity = commands.add_parser(
         "sensitivity", help="fanout and skew sensitivity sweeps"
     )
@@ -125,11 +190,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve_cmd.add_argument("--channels", type=int, default=1)
     solve_cmd.add_argument(
+        "--planner",
+        default="budgeted",
+        help="repro.planners registry name of the allocation strategy "
+        "(default 'budgeted': exact within --budget, sorting beyond)",
+    )
+    solve_cmd.add_argument(
         "--budget",
         type=int,
         default=500_000,
         help="exact-search state budget before the sorting heuristic "
-        "takes over",
+        "takes over (only meaningful for the 'budgeted' planner)",
     )
     solve_cmd.add_argument(
         "--output",
@@ -209,22 +280,25 @@ def main(argv: list[str] | None = None) -> int:
             expected_access_time,
             expected_tuning_time,
         )
-        from .exceptions import SearchBudgetExceeded
-        from .heuristics.channel_allocation import sorting_schedule
         from .io.json_io import save_schedule, tree_from_dict
+        from .planners import plan
 
         with open(args.input) as handle:
             tree = tree_from_dict(json.load(handle))
-        try:
-            result = solve(tree, channels=args.channels, budget=args.budget)
-            schedule = result.schedule
-            print(f"method: {result.method} (exact)")
-        except SearchBudgetExceeded:
-            schedule = sorting_schedule(tree, args.channels)
-            print(
-                f"method: sorting heuristic (exact search exceeded "
-                f"{args.budget} states)"
-            )
+        options = (
+            {"budget": args.budget} if args.planner == "budgeted" else {}
+        )
+        result = plan(
+            tree, args.channels, method=args.planner, **options
+        )
+        schedule = result.schedule
+        fell_back = result.stats.get("fell_back")
+        note = ""
+        if fell_back is True:
+            note = f" (exact search exceeded {args.budget} states)"
+        elif fell_back is False:
+            note = " (exact)"
+        print(f"method: {result.method}{note}")
         print(schedule.to_ascii())
         print(f"data wait            = {schedule.data_wait():.4f} slots")
         print(f"expected access time = {expected_access_time(schedule):.4f}")
@@ -233,6 +307,69 @@ def main(argv: list[str] | None = None) -> int:
             save_schedule(schedule, args.output)
             print(f"schedule written to {args.output}")
         return 0
+
+    if args.command == "faults":
+        import json
+
+        from .analysis.faults_sweep import (
+            format_fault_sweep,
+            run_fault_sweep,
+        )
+        from .client.protocol import RecoveryPolicy
+
+        methods = tuple(
+            name.strip() for name in args.planners.split(",") if name.strip()
+        )
+        losses = tuple(
+            float(token)
+            for token in args.losses.split(",")
+            if token.strip()
+        )
+        if 0.0 not in losses:
+            losses = (0.0, *losses)
+        report = run_fault_sweep(
+            methods=methods,
+            losses=losses,
+            channels=args.channels,
+            requests=args.requests,
+            seed=args.seed,
+            corruption=args.corruption,
+            burst=args.burst,
+            policy=RecoveryPolicy(
+                mode=args.policy, max_cycles=args.max_cycles
+            ),
+        )
+        print(format_fault_sweep(report))
+        if args.json_path:
+            with open(args.json_path, "w") as handle:
+                json.dump(report.to_dict(), handle, indent=2)
+                handle.write("\n")
+            print(f"sweep record written to {args.json_path}")
+        if not report.differential_ok:
+            print(
+                "error: loss=0 recovery does not reproduce the lossless "
+                "protocol",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    if args.command == "bench-server":
+        from .server.bench import (
+            format_server_bench,
+            run_server_bench,
+            write_server_bench_json,
+        )
+
+        if args.json_path:
+            record = write_server_bench_json(args.json_path)
+        else:
+            record = run_server_bench()
+        print(format_server_bench(record))
+        if args.json_path:
+            print(f"perf record written to {args.json_path}")
+        checks = record["aggregate"]["checks"]
+        return 0 if all(checks.values()) else 1
 
     if args.command == "sensitivity":
         from .analysis.sensitivity import (

@@ -1,16 +1,32 @@
-"""Mobile-client substrate: the pointer-following access protocol and the
-workload simulator measuring access time, tuning time and channel
-switches against a compiled broadcast program."""
+"""Mobile-client substrate: the pointer-following access protocol (with
+its loss-recovering variant), and the workload simulator measuring
+access time, tuning time and channel switches against a compiled
+broadcast program."""
 
-from .protocol import AccessRecord, run_request
-from .simulator import SimulationSummary, exact_averages, simulate_workload
+from .protocol import (
+    AccessRecord,
+    RecoveredAccessRecord,
+    RecoveryPolicy,
+    run_request,
+    run_request_recovering,
+)
+from .simulator import (
+    SimulationSummary,
+    exact_averages,
+    simulate_workload,
+    summarise_faulty_records,
+)
 from .stats import AccessDistribution, access_time_distribution
 
 __all__ = [
     "AccessRecord",
+    "RecoveredAccessRecord",
+    "RecoveryPolicy",
     "run_request",
+    "run_request_recovering",
     "SimulationSummary",
     "simulate_workload",
+    "summarise_faulty_records",
     "exact_averages",
     "AccessDistribution",
     "access_time_distribution",

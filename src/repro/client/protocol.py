@@ -25,9 +25,16 @@ from dataclasses import dataclass
 
 from ..broadcast.pointers import BroadcastProgram
 from ..exceptions import ScheduleError
+from ..faults import CORRUPT, OK, FaultConfig, FaultInjector
 from ..tree.node import DataNode, IndexNode, Node
 
-__all__ = ["AccessRecord", "run_request"]
+__all__ = [
+    "AccessRecord",
+    "RecoveryPolicy",
+    "RecoveredAccessRecord",
+    "run_request",
+    "run_request_recovering",
+]
 
 
 @dataclass(frozen=True)
@@ -129,6 +136,214 @@ def run_request(
         tuning_time=tuning,
         channel_switches=switches,
     )
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """What a client does when a tuned-to bucket is lost or corrupt.
+
+    Attributes
+    ----------
+    mode:
+        ``"retry-parent"`` — re-tune to the last successfully read index
+        node at its next airing and walk down from there (the client
+        distrusts its cached pointer after channel trouble);
+        ``"next-cycle"`` — keep the cached pointer and simply wait for
+        the lost bucket's next airing, one cycle later (cheapest in
+        tuning, a full cycle in access time per loss).
+    max_cycles:
+        Give-up bound: the walk abandons once it would have to read past
+        this many cycles from tune-in. Must be at least 2 — a lossless
+        walk needs two cycles (probe cycle + index cycle), so smaller
+        values would abandon requests no loss ever touched.
+    """
+
+    mode: str = "retry-parent"
+    max_cycles: int = 8
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("retry-parent", "next-cycle"):
+            raise ValueError(
+                f"unknown recovery mode {self.mode!r}; expected "
+                "'retry-parent' or 'next-cycle'"
+            )
+        if self.max_cycles < 2:
+            raise ValueError("max_cycles must be >= 2 (a lossless walk "
+                             "spans two cycles)")
+
+
+@dataclass(frozen=True)
+class RecoveredAccessRecord(AccessRecord):
+    """An :class:`AccessRecord` measured over an unreliable channel.
+
+    The inherited fields keep their meaning (and are bit-identical to
+    :func:`run_request` when nothing is lost). The extras account for
+    the channel's damage:
+
+    ``lost_buckets`` / ``corrupt_buckets`` — reads that aired but never
+    became usable (dropped vs checksum-failed); ``retries`` — recovery
+    re-tunes performed; ``wasted_probes`` — bucket reads beyond the
+    lossless walk's (energy burned on the fault, failed reads and
+    re-reads alike); ``cycles_spent`` — broadcast cycles the walk
+    spanned; ``abandoned`` — the give-up bound was hit before the data
+    bucket was read (such records carry the time spent *until* giving
+    up and must not enter access-time means).
+    """
+
+    lost_buckets: int = 0
+    corrupt_buckets: int = 0
+    retries: int = 0
+    wasted_probes: int = 0
+    cycles_spent: int = 1
+    abandoned: bool = False
+
+
+def run_request_recovering(
+    program: BroadcastProgram,
+    target: Node,
+    tune_slot: int,
+    *,
+    faults: FaultInjector | FaultConfig | None = None,
+    policy: RecoveryPolicy | None = None,
+) -> RecoveredAccessRecord:
+    """Execute one request over an unreliable channel, recovering on loss.
+
+    The walk is :func:`run_request` hardened against the
+    :mod:`repro.faults` channel model: every tuned-to bucket may be lost
+    or corrupt (a corrupt frame is detected by the wire checksum, so the
+    client treats it as lost); the client then recovers per ``policy``
+    and the record counts what the damage cost. The broadcast repeats
+    cyclically, so every bucket airs again one cycle later.
+
+    With ``faults`` absent (or a zero-probability config) the walk, and
+    every inherited field of the returned record, is **bit-identical**
+    to :func:`run_request` — the differential invariant the test suite
+    locks.
+    """
+    if not isinstance(target, DataNode):
+        raise ValueError("targets must be data nodes")
+    cycle = program.cycle_length
+    if not 1 <= tune_slot <= cycle:
+        raise ValueError(f"tune_slot must be in 1..{cycle}")
+    if policy is None:
+        policy = RecoveryPolicy()
+    if isinstance(faults, FaultConfig):
+        faults = FaultInjector(faults)
+
+    path = list(target.ancestors())
+    path.reverse()
+    path.append(target)
+
+    deadline = policy.max_cycles * cycle
+
+    def fate_of(channel: int, absolute: int) -> str:
+        return faults.outcome(channel, absolute) if faults is not None else OK
+
+    tuning = 0
+    switches = 0
+    current_channel = 1
+    lost = corrupt = retries = 0
+    probe_wait = 0
+
+    def record(final_absolute: int, *, abandoned: bool) -> RecoveredAccessRecord:
+        return RecoveredAccessRecord(
+            target=target.label,
+            tune_slot=tune_slot,
+            access_time=final_absolute - tune_slot + 1,
+            probe_wait=probe_wait,
+            data_wait=final_absolute - cycle,
+            tuning_time=tuning,
+            channel_switches=switches,
+            lost_buckets=lost,
+            corrupt_buckets=corrupt,
+            retries=retries,
+            wasted_probes=tuning - (len(path) + 1) if not abandoned else tuning,
+            cycles_spent=(final_absolute - 1) // cycle + 1,
+            abandoned=abandoned,
+        )
+
+    # -- phase 1: the initial probe on channel 1 ---------------------------
+    # Every channel-1 bucket carries a next-cycle pointer, so on a lost
+    # probe the client just keeps listening: the very next slot serves.
+    absolute = tune_slot
+    while True:
+        if absolute > deadline:
+            return record(deadline, abandoned=True)
+        fate = fate_of(1, absolute)
+        tuning += 1
+        if fate == OK:
+            break
+        retries += 1
+        if fate == CORRUPT:
+            corrupt += 1
+        else:
+            lost += 1
+        absolute += 1
+    probe_slot = (absolute - 1) % cycle + 1
+    probe_bucket = program.bucket_at(1, probe_slot)
+    pointer = probe_bucket.next_cycle_pointer
+    if pointer is None:
+        raise ScheduleError("channel-1 bucket lacks a next-cycle pointer")
+    # The pointer names the root of the cycle after the probe's cycle.
+    probe_cycle = (absolute - 1) // cycle
+    next_channel, next_slot = pointer.channel, pointer.slot
+    next_absolute = (probe_cycle + 1) * cycle + pointer.slot
+
+    # -- phase 2: descend the index path, recovering as configured --------
+    # ``good`` stacks the successfully read index hops (depth, channel,
+    # cycle-relative slot) — the resume points of "retry-parent".
+    good: list[tuple[int, int, int]] = []
+    depth = 0
+    while True:
+        if next_absolute > deadline:
+            return record(deadline, abandoned=True)
+        if next_channel != current_channel:
+            switches += 1
+            current_channel = next_channel
+        fate = fate_of(next_channel, next_absolute)
+        tuning += 1
+        if fate != OK:
+            retries += 1
+            if fate == CORRUPT:
+                corrupt += 1
+            else:
+                lost += 1
+            if policy.mode == "next-cycle" or not good:
+                # Same bucket, one cycle later (the root, having no
+                # parent, always recovers this way).
+                next_absolute += cycle
+            else:
+                depth, next_channel, next_slot = good.pop()
+                next_absolute = _next_airing(next_slot, next_absolute, cycle)
+            continue
+
+        bucket = program.bucket_at(next_channel, next_slot)
+        node = bucket.node
+        if node is not path[depth]:
+            raise ScheduleError(
+                f"pointer to {path[depth].label!r} landed on "
+                f"{node.label if node else 'an empty bucket'!r}"
+            )
+        if depth == 0 and probe_wait == 0:
+            probe_wait = next_absolute - tune_slot + 1
+        if depth == len(path) - 1:
+            return record(next_absolute, abandoned=False)
+        assert isinstance(node, IndexNode)
+        good.append((depth, next_channel, next_slot))
+        pointer = _pointer_for(bucket, path[depth + 1])
+        depth += 1
+        next_channel, next_slot = pointer.channel, pointer.slot
+        next_absolute = _next_airing(pointer.slot, next_absolute, cycle)
+
+
+def _next_airing(slot: int, after: int, cycle: int) -> int:
+    """First absolute time strictly after ``after`` when ``slot`` airs.
+
+    ``slot`` is cycle-relative (1-based); the broadcast repeats, so the
+    bucket airs at ``slot + j·cycle`` for every ``j ≥ 0``.
+    """
+    airing = after + (slot - after) % cycle
+    return airing if airing > after else airing + cycle
 
 
 def _pointer_for(bucket, child: Node):

@@ -18,15 +18,34 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._compat import deprecated_positionals
 from ..broadcast.pointers import BroadcastProgram
-from .protocol import AccessRecord, run_request
+from ..faults import FaultConfig, FaultInjector
+from .protocol import (
+    AccessRecord,
+    RecoveredAccessRecord,
+    RecoveryPolicy,
+    run_request,
+    run_request_recovering,
+)
 
-__all__ = ["SimulationSummary", "simulate_workload", "exact_averages"]
+__all__ = [
+    "SimulationSummary",
+    "simulate_workload",
+    "summarise_faulty_records",
+    "exact_averages",
+]
 
 
 @dataclass
 class SimulationSummary:
-    """Aggregate results of a batch of simulated requests."""
+    """Aggregate results of a batch of simulated requests.
+
+    The fault fields are zero for lossless runs; under a fault model the
+    means cover *completed* requests only — ``abandoned`` counts the
+    walks that hit their give-up bound, and including their truncated
+    times in a latency mean would understate the damage.
+    """
 
     requests: int
     mean_access_time: float
@@ -34,6 +53,11 @@ class SimulationSummary:
     mean_data_wait: float
     mean_tuning_time: float
     mean_channel_switches: float
+    abandoned: int = 0
+    lost_buckets: int = 0
+    corrupt_buckets: int = 0
+    retries: int = 0
+    wasted_probes: int = 0
 
     @classmethod
     def from_records(
@@ -59,12 +83,24 @@ class SimulationSummary:
         )
 
 
+@deprecated_positionals
 def simulate_workload(
     program: BroadcastProgram,
+    *,
     rng: np.random.Generator,
     requests: int = 1000,
+    faults: FaultInjector | FaultConfig | None = None,
+    recovery: RecoveryPolicy | None = None,
 ) -> SimulationSummary:
-    """Monte-Carlo workload: weighted targets, uniform tune-in slots."""
+    """Monte-Carlo workload: weighted targets, uniform tune-in slots.
+
+    With ``faults`` given, every request runs the recovery-aware walk
+    (:func:`~repro.client.protocol.run_request_recovering`) against that
+    shared channel model — all requests see the same air, as real
+    receivers would — and the summary reports the loss/retry/abandon
+    tallies. The fault stream is seeded independently of ``rng``, so a
+    zero-probability model reproduces the lossless numbers exactly.
+    """
     tree = program.schedule.tree
     targets = tree.data_nodes()
     weights = np.array([t.weight for t in targets], dtype=float)
@@ -73,15 +109,59 @@ def simulate_workload(
     else:
         probabilities = weights / weights.sum()
     cycle = program.cycle_length
+    if isinstance(faults, FaultConfig):
+        faults = FaultInjector(faults)
 
-    records = []
+    records: list[AccessRecord] = []
     target_indices = rng.choice(len(targets), size=requests, p=probabilities)
     tune_slots = rng.integers(1, cycle + 1, size=requests)
     for target_index, tune_slot in zip(target_indices, tune_slots):
-        records.append(
-            run_request(program, targets[target_index], int(tune_slot))
-        )
-    return SimulationSummary.from_records(records)
+        if faults is None:
+            records.append(
+                run_request(program, targets[target_index], int(tune_slot))
+            )
+        else:
+            records.append(
+                run_request_recovering(
+                    program,
+                    targets[target_index],
+                    int(tune_slot),
+                    faults=faults,
+                    policy=recovery,
+                )
+            )
+    return summarise_faulty_records(records)
+
+
+def summarise_faulty_records(
+    records: list[AccessRecord], weights: list[float] | None = None
+) -> SimulationSummary:
+    """Aggregate possibly-recovered records, excluding abandoned walks.
+
+    Plain :class:`AccessRecord` batches pass straight through to
+    :meth:`SimulationSummary.from_records`; recovered batches average
+    the completed walks only and total the fault counters (abandoned
+    walks still contribute their losses/retries/wasted probes — that
+    energy was spent).
+    """
+    recovered = [
+        r for r in records if isinstance(r, RecoveredAccessRecord)
+    ]
+    completed = [r for r in records if not getattr(r, "abandoned", False)]
+    completed_weights = None
+    if weights is not None:
+        completed_weights = [
+            w
+            for r, w in zip(records, weights)
+            if not getattr(r, "abandoned", False)
+        ]
+    summary = SimulationSummary.from_records(completed, completed_weights)
+    summary.abandoned = sum(1 for r in recovered if r.abandoned)
+    summary.lost_buckets = sum(r.lost_buckets for r in recovered)
+    summary.corrupt_buckets = sum(r.corrupt_buckets for r in recovered)
+    summary.retries = sum(r.retries for r in recovered)
+    summary.wasted_probes = sum(r.wasted_probes for r in recovered)
+    return summary
 
 
 def exact_averages(program: BroadcastProgram) -> SimulationSummary:

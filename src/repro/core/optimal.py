@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .._compat import deprecated_positionals
 from ..broadcast.assembly import assemble_schedule
 from ..broadcast.schedule import BroadcastSchedule
 from ..perf import PerfRecorder
@@ -54,9 +55,11 @@ class OptimalResult:
     stats: dict = field(default_factory=dict)
 
 
+@deprecated_positionals
 def solve(
     tree: IndexTree,
     channels: int = 1,
+    *,
     method: str = "auto",
     pruning: PruningConfig | None = None,
     datatree_config: DataTreeConfig | None = None,
@@ -65,6 +68,9 @@ def solve(
     perf: PerfRecorder | None = None,
 ) -> OptimalResult:
     """Find a minimum-data-wait allocation of ``tree`` onto ``channels``.
+
+    Everything beyond ``channels`` is keyword-only (legacy positional
+    calls still work for one release, with a ``DeprecationWarning``).
 
     Parameters
     ----------

@@ -47,6 +47,7 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 
+from .._compat import deprecated_positionals
 from ..exceptions import InfeasibleError, SearchBudgetExceeded
 from ..perf import PerfRecorder, Stopwatch
 from .candidates import PruningConfig, reduced_children
@@ -119,9 +120,11 @@ def _validate_bound(bound: str) -> bool:
     raise ValueError(f"unknown bound {bound!r} (use 'adjacent' or 'packed')")
 
 
+@deprecated_positionals
 def best_first_search(
     problem: AllocationProblem,
     pruning: PruningConfig | None = None,
+    *,
     bound: str = "packed",
     node_budget: int | None = None,
     perf: PerfRecorder | None = None,
@@ -252,9 +255,11 @@ def best_first_search(
     )
 
 
+@deprecated_positionals
 def dfs_branch_and_bound(
     problem: AllocationProblem,
     pruning: PruningConfig | None = None,
+    *,
     bound: str = "packed",
     node_budget: int | None = None,
     perf: PerfRecorder | None = None,

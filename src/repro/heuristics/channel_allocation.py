@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from .._compat import deprecated_positionals
 from ..broadcast.assembly import assemble_schedule
 from ..broadcast.schedule import BroadcastSchedule
 from ..perf import PerfRecorder
@@ -29,9 +30,11 @@ from .sorting import sorting_order
 __all__ = ["allocate_sorted_tree", "sorting_schedule"]
 
 
+@deprecated_positionals
 def allocate_sorted_tree(
     tree: IndexTree,
     channels: int,
+    *,
     order: Sequence[Node] | None = None,
     perf: PerfRecorder | None = None,
 ) -> BroadcastSchedule:
@@ -41,7 +44,8 @@ def allocate_sorted_tree(
     compatible linear sequence of all tree nodes); by default the §4.2
     sorting comparator produces it. ``perf``, when given, records the
     heuristic's wall time and node/slot counts under ``heuristic.*``.
-    Returns a validated schedule.
+    Both are keyword-only (legacy positional calls warn for one
+    release). Returns a validated schedule.
     """
     if channels < 1:
         raise ValueError("channels must be >= 1")
@@ -74,9 +78,11 @@ def allocate_sorted_tree(
     return assemble_schedule(tree, groups, channels)
 
 
+@deprecated_positionals
 def sorting_schedule(
     tree: IndexTree,
     channels: int,
+    *,
     perf: PerfRecorder | None = None,
 ) -> BroadcastSchedule:
     """Sorting heuristic end to end: sort, then allocate onto k channels.

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import functools
 
+from .._compat import deprecated_positionals
 from ..broadcast.schedule import BroadcastSchedule
 from ..core.datatree import DataTreeConfig, solve_single_channel
 from ..core.problem import AllocationProblem
@@ -127,8 +128,10 @@ def _expand_order(shadow_order: list[Node]) -> list[Node]:
     return order
 
 
+@deprecated_positionals
 def combine_and_solve(
     tree: IndexTree,
+    *,
     max_data_nodes: int = 12,
     datatree_config: DataTreeConfig | None = None,
 ) -> BroadcastSchedule:
@@ -146,8 +149,10 @@ def combine_and_solve(
     return BroadcastSchedule.from_sequence(tree, _expand_order(shadow_order))
 
 
+@deprecated_positionals
 def partition_and_solve(
     tree: IndexTree,
+    *,
     max_data_nodes: int = 12,
     datatree_config: DataTreeConfig | None = None,
 ) -> BroadcastSchedule:
@@ -193,9 +198,11 @@ def _detached_view(node: IndexNode) -> IndexNode:
     return result
 
 
+@deprecated_positionals
 def shrink_and_solve(
     tree: IndexTree,
     strategy: str = "combine",
+    *,
     max_data_nodes: int = 12,
 ) -> BroadcastSchedule:
     """Facade over both shrinking strategies.

@@ -11,6 +11,7 @@ from .json_io import (
     tree_to_dict,
 )
 from .wire import (
+    WIRE_VERSION,
     DecodedBucket,
     DecodedPointer,
     WireFormatError,
@@ -24,6 +25,7 @@ from .wire import (
 from .wire_client import WireAccessRecord, run_request_wire
 
 __all__ = [
+    "WIRE_VERSION",
     "WireFormatError",
     "DecodedBucket",
     "DecodedPointer",

@@ -14,15 +14,17 @@ size". This module makes that constraint concrete:
 * :func:`max_fanout_for_bucket_size` inverts the size arithmetic, the
   number [SV96] tunes the tree with.
 
-Frame layout (big-endian, ASCII-safe labels/keys):
+Version-1 frame layout (big-endian, ASCII-safe labels/keys):
 
 ====== ======================================================
 offset content
 ====== ======================================================
-0      bucket type: 0 empty, 1 index, 2 data
-1–2    next-cycle pointer offset (0 when absent; channel-1 only)
-3      label length ``L`` (0–255)
-4–     label bytes
+0      version marker ``0xB1`` (version 1)
+1–4    CRC-32 of everything after this field (body + padding)
+5      bucket type: 0 empty, 1 index, 2 data
+6–7    next-cycle pointer offset (0 when absent; channel-1 only)
+8      label length ``L`` (0–255)
+9–     label bytes
 ..     index: pointer count ``n``, then per pointer
        ``channel:u8, offset:u16, key length:u8, key bytes`` —
        the key is the *max key* of the child's subtree, so a
@@ -30,6 +32,16 @@ offset content
        data: payload length ``u16`` + payload bytes
 pad    zeros up to ``bucket_size``
 ====== ======================================================
+
+A legacy *version-0* frame is the same body without the five-byte
+version/checksum header (its first byte is the bucket type, 0–2, which
+can never collide with the ``0xB1`` marker); :func:`decode_bucket`
+still reads those, so a v1 receiver interoperates with v0 archives.
+The checksum is what lets an unreliable channel's payload corruption
+(:mod:`repro.faults`) be *detected* instead of silently mis-routing a
+client: any flipped byte makes :func:`decode_bucket` raise
+:class:`WireFormatError` carrying the channel/offset the frame came
+from.
 
 Every frame is exactly ``bucket_size`` bytes; content that does not fit
 raises :class:`WireFormatError` instead of silently truncating — the
@@ -39,6 +51,7 @@ same hard edge a real MAC layer has.
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass, field
 
 from ..broadcast.pointers import BroadcastProgram
@@ -46,6 +59,7 @@ from ..exceptions import ReproError
 from ..tree.node import DataNode, IndexNode, Node
 
 __all__ = [
+    "WIRE_VERSION",
     "WireFormatError",
     "DecodedPointer",
     "DecodedBucket",
@@ -58,6 +72,12 @@ __all__ = [
 ]
 
 DEFAULT_BUCKET_SIZE = 96
+
+WIRE_VERSION = 1
+"""Frame version :func:`encode_bucket` emits by default."""
+
+_MAGIC_V1 = 0xB1  # outside the 0..2 v0 type-byte range, so self-identifying
+_V1_HEADER = 5  # marker byte + CRC-32
 
 _TYPE_EMPTY = 0
 _TYPE_INDEX = 1
@@ -104,9 +124,16 @@ def _subtree_max_key(node: Node) -> str:
 
 
 def encode_bucket(
-    bucket, bucket_size: int = DEFAULT_BUCKET_SIZE
+    bucket, bucket_size: int = DEFAULT_BUCKET_SIZE, *, version: int = WIRE_VERSION
 ) -> bytes:
-    """Serialise one :class:`~repro.broadcast.bucket.Bucket` to a frame."""
+    """Serialise one :class:`~repro.broadcast.bucket.Bucket` to a frame.
+
+    ``version`` selects the frame format: 1 (default) prefixes the body
+    with the version marker and CRC-32 checksum, 0 emits the legacy
+    unchecksummed layout.
+    """
+    if version not in (0, 1):
+        raise WireFormatError(f"unknown wire version {version}")
     next_offset = (
         bucket.next_cycle_pointer.offset if bucket.next_cycle_pointer else 0
     )
@@ -144,14 +171,18 @@ def encode_bucket(
             payload = f"item:{bucket.node.label}".encode()
             body = struct.pack(">H", len(payload)) + payload
 
-    frame = struct.pack(">BHB", kind, next_offset, len(label)) + label + body
-    if len(frame) > bucket_size:
+    header = _V1_HEADER if version == 1 else 0
+    content = struct.pack(">BHB", kind, next_offset, len(label)) + label + body
+    if header + len(content) > bucket_size:
         raise WireFormatError(
-            f"bucket content ({len(frame)} bytes) exceeds the "
+            f"bucket content ({header + len(content)} bytes) exceeds the "
             f"{bucket_size}-byte frame; lower the tree fanout or raise "
             "the bucket size"
         )
-    return frame + b"\x00" * (bucket_size - len(frame))
+    padded = content + b"\x00" * (bucket_size - header - len(content))
+    if version == 0:
+        return padded
+    return struct.pack(">BI", _MAGIC_V1, zlib.crc32(padded)) + padded
 
 
 def _decode_text(data: bytes, what: str) -> str:
@@ -161,14 +192,58 @@ def _decode_text(data: bytes, what: str) -> str:
         raise WireFormatError(f"{what} is not valid UTF-8") from error
 
 
-def decode_bucket(frame: bytes) -> DecodedBucket:
-    """Parse one frame; raises :class:`WireFormatError` on corruption."""
+def _frame_context(channel: int | None, offset: int | None) -> str:
+    """Human-readable provenance suffix for decode errors."""
+    parts = []
+    if channel is not None:
+        parts.append(f"channel {channel}")
+    if offset is not None:
+        parts.append(f"offset {offset}")
+    return f" ({', '.join(parts)})" if parts else ""
+
+
+def decode_bucket(
+    frame: bytes, *, channel: int | None = None, offset: int | None = None
+) -> DecodedBucket:
+    """Parse one frame; raises :class:`WireFormatError` on corruption.
+
+    Both versions are accepted: a version-1 frame (marker ``0xB1``) has
+    its CRC-32 verified first — a mismatch means the channel damaged the
+    frame in flight — while a legacy version-0 frame (first byte 0–2) is
+    parsed structurally only. ``channel``/``offset`` are optional
+    provenance, included in every error so a receiver's logs say *which
+    airing* was bad.
+    """
+    where = _frame_context(channel, offset)
+    if not frame:
+        raise WireFormatError(f"empty frame{where}")
+    if frame[0] == _MAGIC_V1:
+        if len(frame) < _V1_HEADER:
+            raise WireFormatError(
+                f"frame shorter than the version-1 header{where}"
+            )
+        (stored,) = struct.unpack(">I", frame[1:_V1_HEADER])
+        body = frame[_V1_HEADER:]
+        actual = zlib.crc32(body)
+        if stored != actual:
+            raise WireFormatError(
+                f"checksum mismatch{where}: stored {stored:#010x}, "
+                f"computed {actual:#010x} — frame corrupted in flight"
+            )
+        return _decode_body(body, where)
+    if frame[0] in (_TYPE_EMPTY, _TYPE_INDEX, _TYPE_DATA):
+        return _decode_body(frame, where)  # legacy version-0 frame
+    raise WireFormatError(f"unknown wire version byte {frame[0]:#04x}{where}")
+
+
+def _decode_body(frame: bytes, where: str = "") -> DecodedBucket:
+    """Parse the (un)checksummed body shared by both frame versions."""
     if len(frame) < 4:
-        raise WireFormatError("frame shorter than the fixed header")
+        raise WireFormatError(f"frame shorter than the fixed header{where}")
     kind, next_offset, label_length = struct.unpack(">BHB", frame[:4])
     cursor = 4
     if cursor + label_length > len(frame):
-        raise WireFormatError("label overruns the frame")
+        raise WireFormatError(f"label overruns the frame{where}")
     label = _decode_text(frame[cursor:cursor + label_length], "label")
     cursor += label_length
 
@@ -176,30 +251,34 @@ def decode_bucket(frame: bytes) -> DecodedBucket:
         return DecodedBucket("empty", next_cycle_offset=next_offset)
     if kind == _TYPE_DATA:
         if cursor + 2 > len(frame):
-            raise WireFormatError("data payload header overruns the frame")
+            raise WireFormatError(
+                f"data payload header overruns the frame{where}"
+            )
         (payload_length,) = struct.unpack(">H", frame[cursor:cursor + 2])
         cursor += 2
         if cursor + payload_length > len(frame):
-            raise WireFormatError("data payload overruns the frame")
+            raise WireFormatError(f"data payload overruns the frame{where}")
         payload = frame[cursor:cursor + payload_length]
         return DecodedBucket(
             "data", label=label, next_cycle_offset=next_offset, payload=payload
         )
     if kind == _TYPE_INDEX:
         if cursor >= len(frame):
-            raise WireFormatError("pointer count missing")
+            raise WireFormatError(f"pointer count missing{where}")
         count = frame[cursor]
         cursor += 1
         pointers = []
         for _ in range(count):
             if cursor + 4 > len(frame):
-                raise WireFormatError("pointer record overruns the frame")
+                raise WireFormatError(
+                    f"pointer record overruns the frame{where}"
+                )
             channel, offset, key_length = struct.unpack(
                 ">BHB", frame[cursor:cursor + 4]
             )
             cursor += 4
             if cursor + key_length > len(frame):
-                raise WireFormatError("routing key overruns the frame")
+                raise WireFormatError(f"routing key overruns the frame{where}")
             key = _decode_text(frame[cursor:cursor + key_length], "routing key")
             cursor += key_length
             pointers.append(DecodedPointer(channel, offset, key))
@@ -209,37 +288,58 @@ def decode_bucket(frame: bytes) -> DecodedBucket:
             next_cycle_offset=next_offset,
             pointers=pointers,
         )
-    raise WireFormatError(f"unknown bucket type {kind}")
+    raise WireFormatError(f"unknown bucket type {kind}{where}")
 
 
 def encode_program(
-    program: BroadcastProgram, bucket_size: int = DEFAULT_BUCKET_SIZE
+    program: BroadcastProgram,
+    bucket_size: int = DEFAULT_BUCKET_SIZE,
+    *,
+    version: int = WIRE_VERSION,
 ) -> list[list[bytes]]:
     """Serialise a whole cycle: ``frames[channel-1][slot-1]``."""
     return [
-        [encode_bucket(bucket, bucket_size) for bucket in row]
+        [encode_bucket(bucket, bucket_size, version=version) for bucket in row]
         for row in program.buckets
     ]
 
 
 def decode_cycle(frames: list[list[bytes]]) -> list[list[DecodedBucket]]:
-    """Parse every frame of an encoded cycle."""
-    return [[decode_bucket(frame) for frame in row] for row in frames]
+    """Parse every frame of an encoded cycle (either version)."""
+    return [
+        [
+            decode_bucket(frame, channel=channel, offset=slot)
+            for slot, frame in enumerate(row, start=1)
+        ]
+        for channel, row in enumerate(frames, start=1)
+    ]
 
 
-def index_bucket_size(fanout: int, label_bytes: int = 8, key_bytes: int = 8) -> int:
+def index_bucket_size(
+    fanout: int,
+    label_bytes: int = 8,
+    key_bytes: int = 8,
+    *,
+    version: int = WIRE_VERSION,
+) -> int:
     """Frame bytes an index bucket with ``fanout`` pointers needs."""
-    return 4 + label_bytes + 1 + fanout * (4 + key_bytes)
+    header = _V1_HEADER if version == 1 else 0
+    return header + 4 + label_bytes + 1 + fanout * (4 + key_bytes)
 
 
 def max_fanout_for_bucket_size(
-    bucket_size: int, label_bytes: int = 8, key_bytes: int = 8
+    bucket_size: int,
+    label_bytes: int = 8,
+    key_bytes: int = 8,
+    *,
+    version: int = WIRE_VERSION,
 ) -> int:
     """The largest tree fanout whose index bucket fits ``bucket_size``.
 
     This is the [SV96] tuning knob: pick the k-ary alphabetic tree whose
     nodes fill — but do not overflow — a wireless packet.
     """
-    budget = bucket_size - 4 - label_bytes - 1
+    header = _V1_HEADER if version == 1 else 0
+    budget = bucket_size - header - 4 - label_bytes - 1
     per_pointer = 4 + key_bytes
     return max(0, budget // per_pointer)

@@ -56,13 +56,13 @@ def run_request_wire(
     switches = 0
     current_channel = 1
 
-    first = decode_bucket(frames[0][tune_slot - 1])
+    first = decode_bucket(frames[0][tune_slot - 1], channel=1, offset=tune_slot)
     if first.next_cycle_offset <= 0:
         raise WireFormatError("channel-1 frame lacks a next-cycle pointer")
     # Absolute slot (from this cycle's start) of the root frame.
     absolute = tune_slot + first.next_cycle_offset
     root_slot = absolute - cycle
-    bucket = decode_bucket(frames[0][root_slot - 1])
+    bucket = decode_bucket(frames[0][root_slot - 1], channel=1, offset=root_slot)
     tuning += 1
     if bucket.kind != "index":
         raise WireFormatError("next-cycle pointer landed off the index root")
@@ -76,7 +76,11 @@ def run_request_wire(
         slot = absolute - cycle
         if not 1 <= slot <= cycle:
             raise WireFormatError("pointer walked out of the cycle")
-        bucket = decode_bucket(frames[pointer.channel - 1][slot - 1])
+        bucket = decode_bucket(
+            frames[pointer.channel - 1][slot - 1],
+            channel=pointer.channel,
+            offset=slot,
+        )
         tuning += 1
         if bucket.kind == "empty":
             raise WireFormatError("pointer landed on an empty bucket")

@@ -26,10 +26,10 @@ from typing import Hashable
 
 import numpy as np
 
+from .._compat import deprecated_positionals
 from ..broadcast.schedule import BroadcastSchedule
-from ..core.optimal import solve
-from ..exceptions import SearchBudgetExceeded
-from ..heuristics.channel_allocation import sorting_schedule
+from ..perf import PerfRecorder
+from ..planners import plan
 from ..tree.alphabetic import optimal_alphabetic_tree
 from ..tree.index_tree import IndexTree
 from .estimator import DecayingFrequencyEstimator
@@ -55,16 +55,35 @@ class AdaptiveBroadcaster:
     exact_threshold:
         Catalogs up to this many items are re-solved exactly; larger
         ones fall back to the §4.2 sorting heuristic (the same policy a
-        production scheduler would run).
+        production scheduler would run). Only meaningful for the
+        default ``"budgeted"`` planner.
+    planner:
+        Registry name (:mod:`repro.planners`) of the allocation
+        strategy run at each replan. The default ``"budgeted"``
+        reproduces the historical policy: exact within a search budget,
+        sorting heuristic beyond.
+    planner_options:
+        Extra keyword options forwarded to the planner on every replan.
+    perf:
+        Optional :class:`~repro.perf.PerfRecorder` shared with the
+        planner (``planner.*`` counters and timers).
+
+    All parameters after ``items`` are keyword-only; legacy positional
+    calls still work for one release with a ``DeprecationWarning``.
     """
 
+    @deprecated_positionals
     def __init__(
         self,
         items: list[Hashable],
+        *,
         channels: int = 1,
         fanout: int = 2,
         half_life: float = 300.0,
         exact_threshold: int = 14,
+        planner: str = "budgeted",
+        planner_options: dict | None = None,
+        perf: PerfRecorder | None = None,
     ) -> None:
         if not items:
             raise ValueError("catalog must be non-empty")
@@ -72,6 +91,12 @@ class AdaptiveBroadcaster:
         self.channels = channels
         self.fanout = fanout
         self.exact_threshold = exact_threshold
+        self.planner_name = planner
+        self.planner_options = dict(planner_options or {})
+        if planner == "budgeted":
+            self.planner_options.setdefault("exact_threshold", exact_threshold)
+            self.planner_options.setdefault("budget", _EXACT_SEARCH_BUDGET)
+        self.perf = perf
         self.estimator = DecayingFrequencyEstimator(
             self.items, half_life=half_life
         )
@@ -102,14 +127,13 @@ class AdaptiveBroadcaster:
         )
 
     def _allocate(self, tree: IndexTree) -> BroadcastSchedule:
-        if len(self.items) <= self.exact_threshold:
-            try:
-                return solve(
-                    tree, channels=self.channels, budget=_EXACT_SEARCH_BUDGET
-                ).schedule
-            except SearchBudgetExceeded:
-                pass
-        return sorting_schedule(tree, self.channels)
+        return plan(
+            tree,
+            self.channels,
+            method=self.planner_name,
+            perf=self.perf,
+            **self.planner_options,
+        ).schedule
 
     # -- evaluation ----------------------------------------------------------------
     def true_data_wait(self, true_weights: dict[Hashable, float]) -> float:

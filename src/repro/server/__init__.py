@@ -2,6 +2,18 @@
 Poisson request arrivals, protocol-level measurement and periodic
 re-planning — the integration layer a deployment runs."""
 
+from .bench import (
+    format_server_bench,
+    run_server_bench,
+    write_server_bench_json,
+)
 from .loop import BroadcastServer, CycleStats, ServerReport
 
-__all__ = ["BroadcastServer", "CycleStats", "ServerReport"]
+__all__ = [
+    "BroadcastServer",
+    "CycleStats",
+    "ServerReport",
+    "run_server_bench",
+    "format_server_bench",
+    "write_server_bench_json",
+]

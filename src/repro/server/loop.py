@@ -25,9 +25,16 @@ from typing import Hashable
 
 import numpy as np
 
+from .._compat import deprecated_positionals
 from ..broadcast.metrics import expected_access_time
 from ..broadcast.pointers import compile_program
-from ..client.protocol import AccessRecord, run_request
+from ..client.protocol import (
+    AccessRecord,
+    RecoveryPolicy,
+    run_request,
+    run_request_recovering,
+)
+from ..faults import FaultConfig, FaultInjector
 from ..online.adaptive import AdaptiveBroadcaster
 from ..perf import PerfRecorder
 
@@ -51,6 +58,17 @@ class CycleStats:
     mean_tuning_time: float
     analytic_access_time: float
     replanned: bool
+    # Fault accounting (all zero on a reliable channel, so lossless
+    # runs stay bit-identical to the pre-fault-layer server).
+    lost_buckets: int = 0
+    corrupt_buckets: int = 0
+    retries: int = 0
+    abandoned: int = 0
+
+    @property
+    def completed(self) -> int:
+        """Requests that finished their walk (arrivals minus abandoned)."""
+        return self.requests - self.abandoned
 
 
 @dataclass
@@ -72,22 +90,44 @@ class ServerReport:
         return sum(stats.requests for stats in self.cycles)
 
     @property
+    def abandoned(self) -> int:
+        return sum(stats.abandoned for stats in self.cycles)
+
+    @property
+    def lost_buckets(self) -> int:
+        return sum(stats.lost_buckets for stats in self.cycles)
+
+    @property
+    def corrupt_buckets(self) -> int:
+        return sum(stats.corrupt_buckets for stats in self.cycles)
+
+    @property
+    def retries(self) -> int:
+        return sum(stats.retries for stats in self.cycles)
+
+    @property
     def mean_access_time(self) -> float:
-        total = self.requests_served
+        # Abandoned requests never count toward the mean: they have no
+        # finite access time, so both the numerator and the weight use
+        # completed requests only.
+        total = sum(stats.completed for stats in self.cycles)
         if total == 0:
             return 0.0
         return (
-            sum(stats.mean_access_time * stats.requests for stats in self.cycles)
+            sum(
+                stats.mean_access_time * stats.completed
+                for stats in self.cycles
+            )
             / total
         )
 
     def window_mean_access(self, start: int, end: int) -> float:
-        """Request-weighted mean access time over cycles [start, end)."""
+        """Completed-request-weighted mean access over cycles [start, end)."""
         window = [s for s in self.cycles if start <= s.cycle < end]
-        total = sum(s.requests for s in window)
+        total = sum(s.completed for s in window)
         if total == 0:
             return 0.0
-        return sum(s.mean_access_time * s.requests for s in window) / total
+        return sum(s.mean_access_time * s.completed for s in window) / total
 
 
 class BroadcastServer:
@@ -103,20 +143,49 @@ class BroadcastServer:
         Re-plan period in cycles; 0 disables adaptation (static plan).
     half_life:
         Popularity estimator decay, in observed requests.
+    planner:
+        :mod:`repro.planners` registry name of the allocation strategy
+        (default ``"budgeted"``, the historical policy).
+    faults:
+        Optional :class:`~repro.faults.FaultConfig` describing the
+        unreliable channels the server airs into. ``None`` (default)
+        is a perfect medium served by the plain lossless protocol; a
+        lossless config (``loss=0``, ``corruption=0``, no burst mode)
+        produces bit-identical measurements through the recovery path —
+        the differential invariant ``broadcast-alloc faults`` checks.
+    recovery:
+        Client-side :class:`~repro.client.protocol.RecoveryPolicy`
+        applied when ``faults`` is given.
+
+    All parameters after ``items`` are keyword-only; legacy positional
+    calls still work for one release with a ``DeprecationWarning``.
     """
 
+    @deprecated_positionals
     def __init__(
         self,
         items: list[Hashable],
+        *,
         channels: int = 1,
         fanout: int = 2,
         replan_every: int = 0,
         half_life: float = 400.0,
+        planner: str = "budgeted",
+        faults: FaultConfig | None = None,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         self.planner = AdaptiveBroadcaster(
-            items, channels=channels, fanout=fanout, half_life=half_life
+            items,
+            channels=channels,
+            fanout=fanout,
+            half_life=half_life,
+            planner=planner,
         )
         self.replan_every = replan_every
+        self.faults = faults
+        self.recovery = recovery
+        self._injector = FaultInjector(faults) if faults is not None else None
+        self._air_clock = 0  # absolute slots aired so far, across run() calls
         self.perf = PerfRecorder()  # lifetime counters across run() calls
         self.planner.replan()
 
@@ -134,6 +203,15 @@ class BroadcastServer:
         program = compile_program(schedule)
         leaf_of = {leaf.key: leaf for leaf in schedule.tree.data_nodes()}
         request_count = int(rng.poisson(mean_requests))
+        # All requests arriving within one aired cycle see the same air:
+        # the injector view is anchored at the cycle's first absolute
+        # slot, so two clients probing the same (channel, slot) agree on
+        # whether that bucket was lost.
+        air = (
+            self._injector.shifted(self._air_clock)
+            if self._injector is not None
+            else None
+        )
         records = []
         if request_count:
             # One batched draw per cycle instead of per-request round
@@ -148,10 +226,21 @@ class BroadcastServer:
             observe = self.planner.observe
             for item_index, tune_slot in zip(item_draws, tune_draws):
                 item = items[int(item_index)]
-                records.append(
-                    run_request(program, leaf_of[item], int(tune_slot))
-                )
+                if air is None:
+                    record: AccessRecord = run_request(
+                        program, leaf_of[item], int(tune_slot)
+                    )
+                else:
+                    record = run_request_recovering(
+                        program,
+                        leaf_of[item],
+                        int(tune_slot),
+                        faults=air,
+                        policy=self.recovery,
+                    )
+                records.append(record)
                 observe(item)
+        self._air_clock += program.cycle_length
         return records
 
     def run(
@@ -208,22 +297,44 @@ class BroadcastServer:
             count = len(records)
             perf.count("cycles")
             perf.count("requests", count)
+            # A request that gave up has no finite access time; it is
+            # counted (requests, abandoned) but never averaged.
+            completed = [
+                r for r in records if not getattr(r, "abandoned", False)
+            ]
+            done = len(completed)
+            lost = sum(getattr(r, "lost_buckets", 0) for r in records)
+            corrupt = sum(getattr(r, "corrupt_buckets", 0) for r in records)
+            retries = sum(getattr(r, "retries", 0) for r in records)
+            if self._injector is not None:
+                perf.count("server.faults.lost", lost)
+                perf.count("server.faults.corrupt", corrupt)
+                perf.count("server.faults.retries", retries)
+                perf.count("server.faults.abandoned", count - done)
+                perf.count(
+                    "server.faults.wasted_probes",
+                    sum(getattr(r, "wasted_probes", 0) for r in records),
+                )
             report.cycles.append(
                 CycleStats(
                     cycle=cycle_index,
                     requests=count,
                     mean_access_time=(
-                        sum(r.access_time for r in records) / count
-                        if count
+                        sum(r.access_time for r in completed) / done
+                        if done
                         else 0.0
                     ),
                     mean_tuning_time=(
-                        sum(r.tuning_time for r in records) / count
-                        if count
+                        sum(r.tuning_time for r in completed) / done
+                        if done
                         else 0.0
                     ),
                     analytic_access_time=analytic,
                     replanned=replanned,
+                    lost_buckets=lost,
+                    corrupt_buckets=corrupt,
+                    retries=retries,
+                    abandoned=count - done,
                 )
             )
         report.perf = perf.snapshot()

@@ -1,0 +1,92 @@
+"""Tests for the loss-sweep experiment runner."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.faults_sweep import (
+    format_fault_sweep,
+    run_fault_sweep,
+)
+from repro.client.protocol import RecoveryPolicy
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    return run_fault_sweep(
+        methods=("auto", "sorting"),
+        losses=(0.0, 0.2),
+        requests=120,
+        data_count=8,
+        seed=11,
+    )
+
+
+class TestSweep:
+    def test_differential_gate_passes(self, small_report):
+        assert small_report.differential_ok
+        for check in small_report.differentials:
+            assert check.mismatches == 0
+            assert check.pairs > 0
+
+    def test_one_point_per_method_and_loss(self, small_report):
+        assert len(small_report.points) == 4
+        assert {(p.method, p.loss) for p in small_report.points} == {
+            ("auto", 0.0),
+            ("auto", 0.2),
+            ("sorting", 0.0),
+            ("sorting", 0.2),
+        }
+
+    def test_loss_zero_has_no_fault_activity(self, small_report):
+        for point in small_report.points:
+            if point.loss == 0.0:
+                assert point.retries == 0
+                assert point.wasted_probes == 0
+                assert point.abandoned == 0
+
+    def test_loss_degrades_access_time(self, small_report):
+        by_method = {}
+        for point in small_report.points:
+            by_method.setdefault(point.method, {})[point.loss] = point
+        for series in by_method.values():
+            assert (
+                series[0.2].mean_access_time > series[0.0].mean_access_time
+            )
+            assert series[0.2].retries > 0
+
+    def test_report_is_json_serialisable(self, small_report):
+        payload = json.loads(json.dumps(small_report.to_dict()))
+        assert payload["differential_ok"] is True
+        assert len(payload["points"]) == 4
+        assert payload["config"]["methods"] == ["auto", "sorting"]
+
+    def test_format_renders_verdict_and_table(self, small_report):
+        text = format_fault_sweep(small_report)
+        assert "PASS" in text
+        assert "sorting" in text
+        assert "loss" in text
+
+    def test_seeded_reruns_are_identical(self, small_report):
+        again = run_fault_sweep(
+            methods=("auto", "sorting"),
+            losses=(0.0, 0.2),
+            requests=120,
+            data_count=8,
+            seed=11,
+        )
+        assert again.points == small_report.points
+
+    def test_policy_flows_into_the_config(self):
+        report = run_fault_sweep(
+            methods=("sorting",),
+            losses=(0.0,),
+            requests=30,
+            data_count=6,
+            seed=2,
+            policy=RecoveryPolicy(mode="next-cycle", max_cycles=5),
+        )
+        assert report.config["policy"] == "next-cycle"
+        assert report.config["max_cycles"] == 5

@@ -1,0 +1,238 @@
+"""Tests for the recovery-aware client walk and its differential invariant.
+
+The anchor is the property test: at zero loss probability,
+:func:`run_request_recovering` must reproduce :func:`run_request`
+**bit-identically** — every inherited field, for every (target, tune
+slot) pair, over hypothesis-generated allocation instances. Everything
+the robustness layer reports (loss/retry/abandon accounting) is only
+trustworthy because that baseline is exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.broadcast.pointers import compile_program
+from repro.client.protocol import (
+    RecoveredAccessRecord,
+    RecoveryPolicy,
+    run_request,
+    run_request_recovering,
+)
+from repro.client.simulator import (
+    simulate_workload,
+    summarise_faulty_records,
+)
+from repro.core.optimal import solve
+from repro.faults import FaultConfig, FaultInjector
+from repro.heuristics.channel_allocation import sorting_schedule
+from repro.tree.builders import paper_example_tree, random_tree
+from repro.workloads.weights import zipf_weights
+
+
+def _program(seed: int, channels: int, data_count: int = 8):
+    rng = np.random.default_rng(seed)
+    tree = random_tree(rng, data_count, max_fanout=3)
+    for leaf, weight in zip(tree.data_nodes(), zipf_weights(rng, data_count)):
+        leaf.weight = weight
+    return compile_program(sorting_schedule(tree, channels))
+
+
+@pytest.fixture
+def fig1_program(fig1_tree):
+    return compile_program(solve(fig1_tree, channels=2).schedule)
+
+
+class TestRecoveryPolicy:
+    def test_validates_mode(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy(mode="wishful-thinking")
+
+    def test_validates_max_cycles(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy(max_cycles=1)
+        RecoveryPolicy(max_cycles=2)  # the minimum a lossless walk needs
+
+
+class TestLosslessDifferential:
+    """p=0 recovery ≡ the plain lossless protocol, field for field."""
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        channels=st.integers(min_value=1, max_value=3),
+        mode=st.sampled_from(["retry-parent", "next-cycle"]),
+    )
+    def test_p0_recovery_equals_lossless_walk(self, seed, channels, mode):
+        program = _program(seed, channels)
+        policy = RecoveryPolicy(mode=mode)
+        lossless_air = FaultConfig(loss=0.0, seed=seed)
+        for target in program.schedule.tree.data_nodes():
+            for tune_slot in range(1, program.cycle_length + 1):
+                base = run_request(program, target, tune_slot)
+                recovered = run_request_recovering(
+                    program,
+                    target,
+                    tune_slot,
+                    faults=lossless_air,
+                    policy=policy,
+                )
+                assert recovered.target == base.target
+                assert recovered.tune_slot == base.tune_slot
+                assert recovered.access_time == base.access_time
+                assert recovered.probe_wait == base.probe_wait
+                assert recovered.data_wait == base.data_wait
+                assert recovered.tuning_time == base.tuning_time
+                assert recovered.channel_switches == base.channel_switches
+                assert recovered.lost_buckets == 0
+                assert recovered.corrupt_buckets == 0
+                assert recovered.retries == 0
+                assert recovered.wasted_probes == 0
+                assert not recovered.abandoned
+
+    def test_no_faults_argument_is_also_lossless(self, fig1_program):
+        for target in fig1_program.schedule.tree.data_nodes():
+            base = run_request(fig1_program, target, 3)
+            recovered = run_request_recovering(fig1_program, target, 3)
+            assert recovered.access_time == base.access_time
+            assert recovered.tuning_time == base.tuning_time
+
+
+class TestLossyWalks:
+    def test_losses_never_speed_up_a_completed_walk(self, fig1_program):
+        faults = FaultInjector(FaultConfig(loss=0.3, corruption=0.05, seed=5))
+        for target in fig1_program.schedule.tree.data_nodes():
+            for tune_slot in range(1, fig1_program.cycle_length + 1):
+                base = run_request(fig1_program, target, tune_slot)
+                recovered = run_request_recovering(
+                    fig1_program, target, tune_slot, faults=faults
+                )
+                if recovered.abandoned:
+                    continue
+                assert recovered.access_time >= base.access_time
+                assert recovered.tuning_time >= base.tuning_time
+
+    def test_wasted_probes_measure_the_overhead(self, fig1_program):
+        faults = FaultInjector(FaultConfig(loss=0.4, seed=11))
+        path_cost = {
+            target.label: run_request(fig1_program, target, 1).tuning_time
+            for target in fig1_program.schedule.tree.data_nodes()
+        }
+        seen_overhead = False
+        for target in fig1_program.schedule.tree.data_nodes():
+            for tune_slot in range(1, fig1_program.cycle_length + 1):
+                record = run_request_recovering(
+                    fig1_program, target, tune_slot, faults=faults
+                )
+                if record.abandoned:
+                    continue
+                assert record.wasted_probes == (
+                    record.tuning_time - path_cost[target.label]
+                )
+                seen_overhead = seen_overhead or record.wasted_probes > 0
+        assert seen_overhead  # at 40% loss some walk must have paid
+
+    def test_total_loss_abandons_at_the_deadline(self, fig1_program):
+        policy = RecoveryPolicy(max_cycles=3)
+        faults = FaultInjector(FaultConfig(loss=1.0, seed=2))
+        target = fig1_program.schedule.tree.data_nodes()[0]
+        record = run_request_recovering(
+            fig1_program, target, 2, faults=faults, policy=policy
+        )
+        assert record.abandoned
+        assert record.cycles_spent == 3
+        assert record.retries > 0
+        # The energy spent until giving up is all waste.
+        assert record.wasted_probes == record.tuning_time
+
+    def test_same_injector_same_records(self, fig1_program):
+        target = fig1_program.schedule.tree.data_nodes()[1]
+        config = FaultConfig(loss=0.3, seed=9)
+        one = run_request_recovering(
+            fig1_program, target, 4, faults=FaultInjector(config)
+        )
+        two = run_request_recovering(
+            fig1_program, target, 4, faults=FaultInjector(config)
+        )
+        assert one == two
+
+    def test_policies_recover_differently_but_both_complete(self):
+        program = _program(seed=77, channels=2, data_count=10)
+        config = FaultConfig(loss=0.25, seed=13)
+        for mode in ("retry-parent", "next-cycle"):
+            faults = FaultInjector(config)
+            completed = 0
+            for target in program.schedule.tree.data_nodes():
+                record = run_request_recovering(
+                    program,
+                    target,
+                    1,
+                    faults=faults,
+                    policy=RecoveryPolicy(mode=mode, max_cycles=12),
+                )
+                completed += not record.abandoned
+            assert completed == len(program.schedule.tree.data_nodes())
+
+
+class TestAbandonedAccounting:
+    """Regression: abandoned requests never enter access-time means."""
+
+    def test_summary_excludes_abandoned_from_means(self):
+        def rec(access_time, abandoned):
+            return RecoveredAccessRecord(
+                target="A",
+                tune_slot=1,
+                access_time=access_time,
+                probe_wait=2,
+                data_wait=3,
+                tuning_time=4,
+                channel_switches=0,
+                lost_buckets=1,
+                retries=1,
+                abandoned=abandoned,
+            )
+
+        records = [rec(10, False), rec(20, False), rec(999, True)]
+        summary = summarise_faulty_records(records)
+        assert summary.mean_access_time == pytest.approx(15.0)
+        assert summary.requests == 2
+        assert summary.abandoned == 1
+        # The abandoned walk's spent energy still totals up.
+        assert summary.lost_buckets == 3
+        assert summary.retries == 3
+
+    def test_workload_under_total_loss_reports_all_abandoned(
+        self, fig1_program
+    ):
+        summary = simulate_workload(
+            fig1_program,
+            rng=np.random.default_rng(1),
+            requests=40,
+            faults=FaultConfig(loss=1.0, seed=1),
+            recovery=RecoveryPolicy(max_cycles=2),
+        )
+        assert summary.abandoned == 40
+        assert summary.requests == 0
+        assert summary.mean_access_time == 0.0
+
+    def test_lossless_workload_matches_plain_simulation(self, fig1_program):
+        plain = simulate_workload(
+            fig1_program, rng=np.random.default_rng(3), requests=300
+        )
+        recovered = simulate_workload(
+            fig1_program,
+            rng=np.random.default_rng(3),
+            requests=300,
+            faults=FaultConfig(loss=0.0, seed=8),
+        )
+        assert recovered.mean_access_time == plain.mean_access_time
+        assert recovered.mean_tuning_time == plain.mean_tuning_time
+        assert recovered.mean_channel_switches == plain.mean_channel_switches
+        assert recovered.abandoned == 0

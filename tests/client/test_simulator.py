@@ -69,7 +69,7 @@ class TestExactAverages:
 class TestMonteCarlo:
     def test_converges_to_exact_averages(self, program):
         rng = np.random.default_rng(7)
-        sampled = simulate_workload(program, rng, requests=6000)
+        sampled = simulate_workload(program, rng=rng, requests=6000)
         exact = exact_averages(program)
         assert sampled.mean_access_time == pytest.approx(
             exact.mean_access_time, rel=0.05
@@ -80,12 +80,12 @@ class TestMonteCarlo:
 
     def test_request_count_respected(self, program):
         rng = np.random.default_rng(7)
-        summary = simulate_workload(program, rng, requests=25)
+        summary = simulate_workload(program, rng=rng, requests=25)
         assert summary.requests == 25
 
     def test_deterministic_under_seed(self, program):
-        one = simulate_workload(program, np.random.default_rng(3), requests=100)
-        two = simulate_workload(program, np.random.default_rng(3), requests=100)
+        one = simulate_workload(program, rng=np.random.default_rng(3), requests=100)
+        two = simulate_workload(program, rng=np.random.default_rng(3), requests=100)
         assert one == two
 
 

@@ -106,16 +106,20 @@ class TestSizeConstraints:
 
 
 class TestCorruption:
-    """Failure injection: every malformed frame fails loudly."""
+    """Failure injection: every malformed frame fails loudly.
+
+    Structural attacks use version-0 frames — on a version-1 frame the
+    checksum trips first, which TestVersioning covers separately.
+    """
 
     def test_truncated_frame(self):
         with pytest.raises(WireFormatError, match="shorter"):
             decode_bucket(b"\x01")
 
-    def test_unknown_type_byte(self, program):
-        frame = bytearray(encode_program(program)[0][0])
+    def test_unknown_version_byte(self, program):
+        frame = bytearray(encode_program(program, version=0)[0][0])
         frame[0] = 9
-        with pytest.raises(WireFormatError, match="unknown bucket type"):
+        with pytest.raises(WireFormatError, match="unknown wire version"):
             decode_bucket(bytes(frame))
 
     def test_label_overrun(self):
@@ -126,7 +130,7 @@ class TestCorruption:
 
     def test_pointer_record_overrun(self, program, fig1_tree):
         root_channel, root_slot = program.schedule.position(fig1_tree.root)
-        frames = encode_program(program)
+        frames = encode_program(program, version=0)
         frame = bytearray(frames[root_channel - 1][root_slot - 1])
         # Inflate the pointer count byte past the actual records.
         label_length = frame[3]
@@ -137,7 +141,7 @@ class TestCorruption:
     def test_data_payload_overrun(self, program, fig1_tree):
         target = fig1_tree.find("A")
         channel, slot = program.schedule.position(target)
-        frames = encode_program(program)
+        frames = encode_program(program, version=0)
         frame = bytearray(frames[channel - 1][slot - 1])
         label_length = frame[3]
         # Corrupt the payload length to exceed the frame.
@@ -145,3 +149,38 @@ class TestCorruption:
         frame[5 + label_length] = 0xFF
         with pytest.raises(WireFormatError, match="payload overruns"):
             decode_bucket(bytes(frame))
+
+
+class TestVersioning:
+    """The version-1 header: marker byte, checksum, v0 interop."""
+
+    def test_default_frames_are_version_1(self, program):
+        frame = encode_program(program)[0][0]
+        assert frame[0] == 0xB1
+
+    def test_version_0_frames_still_decode(self, program):
+        old = decode_cycle(encode_program(program, version=0))
+        new = decode_cycle(encode_program(program))
+        assert old == new
+
+    def test_any_flipped_body_byte_trips_the_checksum(self, program):
+        frames = encode_program(program)
+        frame = bytearray(frames[0][0])
+        for position in range(5, len(frame)):
+            damaged = bytearray(frame)
+            damaged[position] ^= 0x55
+            with pytest.raises(WireFormatError, match="checksum mismatch"):
+                decode_bucket(bytes(damaged))
+
+    def test_checksum_error_carries_channel_and_offset(self, program):
+        frame = bytearray(encode_program(program)[0][2])
+        frame[-1] ^= 0x01
+        with pytest.raises(
+            WireFormatError, match=r"channel 2, offset 5"
+        ):
+            decode_bucket(bytes(frame), channel=2, offset=5)
+
+    def test_rejected_encode_version(self, program):
+        bucket = program.buckets[0][0]
+        with pytest.raises(WireFormatError, match="unknown wire version"):
+            encode_bucket(bucket, version=7)

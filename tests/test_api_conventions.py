@@ -1,0 +1,194 @@
+"""Conventions of the public API surface, enforced mechanically.
+
+Two things are locked here:
+
+* **spelling** — every public callable that accepts a perf recorder
+  spells the parameter exactly ``perf`` and keeps it keyword-only (the
+  same for ``rng``), so no caller ever has to remember per-module
+  variants;
+* **the deprecation bridge** — legacy positional calls to the migrated
+  entry points still work for one release, emit a single
+  ``DeprecationWarning`` naming the offending argument, and produce the
+  same result as the keyword form.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro._compat import deprecated_positionals
+from repro.broadcast.pointers import compile_program
+from repro.client.simulator import simulate_workload
+from repro.core.optimal import solve
+from repro.heuristics.channel_allocation import sorting_schedule
+from repro.heuristics.shrinking import shrink_and_solve
+from repro.online.adaptive import AdaptiveBroadcaster
+from repro.server.loop import BroadcastServer
+
+# Modules whose __all__ forms the public surface under convention.
+_SKIP_MODULES = {"repro.cli"}  # argparse plumbing, not a library surface
+
+
+def _public_callables():
+    """Yield (qualified name, callable) for every public __all__ entry."""
+    for module_info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        if module_info.name in _SKIP_MODULES:
+            continue
+        module = importlib.import_module(module_info.name)
+        for name in getattr(module, "__all__", ()):
+            obj = getattr(module, name)
+            if inspect.isclass(obj):
+                yield f"{module_info.name}.{name}.__init__", obj.__init__
+            elif callable(obj):
+                yield f"{module_info.name}.{name}", obj
+
+
+def _signature_or_none(func):
+    try:
+        return inspect.signature(func)
+    except (ValueError, TypeError):  # builtins / C-level callables
+        return None
+
+
+class TestParameterSpelling:
+    def test_optional_perf_and_rng_are_keyword_only_everywhere(self):
+        """Every *optional* ``perf``/``rng`` knob is keyword-only.
+
+        A *required* ``rng`` is the function's input data (workload
+        generators, the drift simulator) and may lead the positional
+        list; result dataclasses carrying a ``perf`` snapshot field are
+        not entry points and are exempt.
+        """
+        offenders = []
+        seen_perf = 0
+        for qualified, func in _public_callables():
+            if qualified.endswith(".__init__") and "Report" in qualified:
+                continue  # result dataclasses, not entry points
+            signature = _signature_or_none(func)
+            if signature is None:
+                continue
+            for param in signature.parameters.values():
+                if param.name in ("perf", "rng"):
+                    seen_perf += param.name == "perf"
+                    if (
+                        param.default is not inspect.Parameter.empty
+                        and param.kind
+                        is not inspect.Parameter.KEYWORD_ONLY
+                    ):
+                        offenders.append(f"{qualified}({param.name})")
+                # No synonymous spellings may creep in.
+                if param.name in (
+                    "perf_recorder",
+                    "recorder",
+                    "profiler",
+                    "random_state",
+                    "generator",
+                ):
+                    offenders.append(f"{qualified}({param.name})")
+        assert not offenders, (
+            "perf/rng must be keyword-only and spelled exactly so: "
+            + ", ".join(offenders)
+        )
+        assert seen_perf >= 5  # the sweep actually saw the surface
+
+    def test_every_perf_annotation_uses_the_canonical_name(self):
+        """A parameter typed PerfRecorder must be called ``perf``."""
+        offenders = []
+        for qualified, func in _public_callables():
+            signature = _signature_or_none(func)
+            if signature is None:
+                continue
+            for param in signature.parameters.values():
+                annotation = str(param.annotation)
+                if "PerfRecorder" in annotation and param.name != "perf":
+                    offenders.append(f"{qualified}({param.name})")
+        assert not offenders, ", ".join(offenders)
+
+
+class TestDeprecatedPositionals:
+    def test_solve_accepts_legacy_positional_method(self, fig1_tree):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = solve(fig1_tree, 2, "best-first")
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        assert "method" in str(caught[0].message)
+        assert legacy.cost == solve(fig1_tree, 2, method="best-first").cost
+
+    def test_sorting_schedule_accepts_legacy_positional_perf(
+        self, fig1_tree
+    ):
+        from repro.perf import PerfRecorder
+
+        perf = PerfRecorder()
+        with pytest.deprecated_call():
+            schedule = sorting_schedule(fig1_tree, 1, perf)
+        assert schedule.data_wait() == pytest.approx(
+            sorting_schedule(fig1_tree, 1, perf=perf).data_wait()
+        )
+
+    def test_shrink_and_solve_keeps_strategy_positional(self, fig1_tree):
+        # strategy stays a true positional; only max_data_nodes migrated.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            shrink_and_solve(fig1_tree, "combine")
+        with pytest.deprecated_call():
+            shrink_and_solve(fig1_tree, "combine", 8)
+
+    def test_simulate_workload_accepts_legacy_positional_rng(
+        self, fig1_tree
+    ):
+        program = compile_program(solve(fig1_tree, channels=1).schedule)
+        with pytest.deprecated_call():
+            legacy = simulate_workload(
+                program, np.random.default_rng(5), requests=50
+            )
+        fresh = simulate_workload(
+            program, rng=np.random.default_rng(5), requests=50
+        )
+        assert legacy == fresh
+
+    def test_constructors_accept_legacy_positional_channels(self):
+        items = ["A", "B", "C", "D"]
+        with pytest.deprecated_call():
+            broadcaster = AdaptiveBroadcaster(items, 2)
+        assert broadcaster.channels == 2
+        with pytest.deprecated_call():
+            server = BroadcastServer(items, 2, 2, 5)
+        assert server.planner.channels == 2
+        assert server.replan_every == 5
+
+    def test_keyword_calls_do_not_warn(self, fig1_tree):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            solve(fig1_tree, 2, method="best-first")
+            sorting_schedule(fig1_tree, 2)
+            AdaptiveBroadcaster(["A", "B"], channels=1)
+
+    def test_overflowing_positionals_still_raise_type_error(self):
+        @deprecated_positionals
+        def sample(a, b=1, *, c=2, d=3):
+            return (a, b, c, d)
+
+        with pytest.deprecated_call():
+            assert sample(1, 2, 3, 4) == (1, 2, 3, 4)
+        with pytest.raises(TypeError):
+            sample(1, 2, 3, 4, 5)
+
+    def test_duplicate_keyword_and_positional_raises(self):
+        @deprecated_positionals
+        def sample(a, *, b=1):
+            return (a, b)
+
+        with pytest.raises(TypeError):
+            sample(1, 2, b=3)

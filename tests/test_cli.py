@@ -53,3 +53,50 @@ class TestCommands:
         assert main(["ablation"]) == 0
         out = capsys.readouterr().out
         assert "nodes expanded" in out
+
+    def test_faults_sweep(self, capsys):
+        assert main(
+            [
+                "faults",
+                "--planners", "sorting",
+                "--losses", "0,0.2",
+                "--requests", "60",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "differential" in out
+        assert "PASS" in out
+        assert "sorting" in out
+
+    def test_faults_json_record(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "faults.json"
+        assert main(
+            [
+                "faults",
+                "--planners", "sorting",
+                "--losses", "0.1",
+                "--requests", "40",
+                "--burst",
+                "--policy", "next-cycle",
+                "--json", str(path),
+            ]
+        ) == 0
+        record = json.loads(path.read_text())
+        assert record["differential_ok"] is True
+        # loss=0 is re-added even when omitted: it carries the gate.
+        assert 0.0 in record["config"]["losses"]
+        assert record["config"]["policy"] == "next-cycle"
+
+    def test_bench_server_writes_record_and_passes_checks(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        path = tmp_path / "BENCH_server.json"
+        assert main(["bench-server", "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "p0_differential=True" in out
+        record = json.loads(path.read_text())
+        assert all(record["aggregate"]["checks"].values())

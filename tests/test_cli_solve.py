@@ -49,8 +49,33 @@ class TestSolveCommand:
             main(["solve", "--input", str(path), "--budget", "50"]) == 0
         )
         out = capsys.readouterr().out
-        assert "sorting heuristic" in out
+        assert "method: sorting" in out
+        assert "exact search exceeded 50 states" in out
 
     def test_missing_input_errors(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             main(["solve", "--input", str(tmp_path / "nope.json")])
+
+
+class TestPlannerSelection:
+    def test_named_planner_is_used(self, tree_file, capsys):
+        assert main(
+            [
+                "solve",
+                "--input", str(tree_file),
+                "--channels", "2",
+                "--planner", "sorting",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "method: sorting" in out
+
+    def test_unknown_planner_reports_the_catalog(self, tree_file):
+        import pytest
+
+        from repro.planners import PlannerNotFound
+
+        with pytest.raises(PlannerNotFound, match="available"):
+            main(
+                ["solve", "--input", str(tree_file), "--planner", "nope"]
+            )

@@ -68,7 +68,7 @@ class TestCatalogToClientsPipeline:
         )
         schedule = sorting_schedule(tree, channels=2)
         program = compile_program(schedule)
-        sampled = simulate_workload(program, np.random.default_rng(1), requests=500)
+        sampled = simulate_workload(program, rng=np.random.default_rng(1), requests=500)
         assert sampled.mean_data_wait == pytest.approx(
             schedule.data_wait(), rel=0.1
         )

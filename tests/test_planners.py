@@ -1,0 +1,166 @@
+"""Tests for the unified planner registry (:mod:`repro.planners`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.perf import PerfRecorder
+from repro.planners import (
+    Planner,
+    PlannerNotFound,
+    PlanResult,
+    available_planners,
+    get_planner,
+    plan,
+    register,
+    unregister,
+)
+
+BUILTINS = {
+    "auto",
+    "best-first",
+    "dfs-bnb",
+    "datatree",
+    "corollary1",
+    "sorting",
+    "shrink-combine",
+    "shrink-partition",
+    "sv96",
+    "budgeted",
+}
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert BUILTINS <= set(available_planners())
+
+    def test_available_planners_is_sorted(self):
+        names = available_planners()
+        assert names == sorted(names)
+
+    def test_unknown_name_raises_with_the_catalog(self):
+        with pytest.raises(PlannerNotFound) as excinfo:
+            get_planner("definitely-not-a-planner")
+        message = str(excinfo.value)
+        assert "definitely-not-a-planner" in message
+        assert "sorting" in message  # the catalog is in the error
+
+    def test_planner_not_found_is_both_repro_and_key_error(self):
+        with pytest.raises(ReproError):
+            get_planner("nope")
+        with pytest.raises(KeyError):
+            get_planner("nope")
+
+    def test_register_and_unregister_custom_planner(self, fig1_tree):
+        def fixed(tree, channels, *, perf=None, rng=None):
+            result = plan(tree, channels, method="sorting")
+            return PlanResult(result.schedule, result.cost, "fixed")
+
+        register("test-fixed", fixed)
+        try:
+            assert "test-fixed" in available_planners()
+            result = plan(fig1_tree, 1, method="test-fixed")
+            assert result.method == "fixed"
+        finally:
+            unregister("test-fixed")
+        assert "test-fixed" not in available_planners()
+
+    def test_register_works_as_a_decorator(self, fig1_tree):
+        @register("test-decorated")
+        def decorated(tree, channels, *, perf=None, rng=None):
+            return plan(tree, channels, method="sorting")
+
+        try:
+            assert plan(fig1_tree, 1, method="test-decorated").cost > 0
+        finally:
+            unregister("test-decorated")
+
+    def test_builtins_satisfy_the_protocol(self):
+        for name in BUILTINS:
+            assert isinstance(get_planner(name), Planner)
+
+
+class TestPlanFacade:
+    @pytest.mark.parametrize(
+        "method,channels",
+        [
+            ("auto", 2),
+            ("best-first", 2),
+            ("dfs-bnb", 2),
+            ("datatree", 1),
+            ("corollary1", 4),
+            ("sorting", 2),
+            ("shrink-combine", 2),
+            ("shrink-partition", 2),
+            ("sv96", 2),
+            ("budgeted", 2),
+        ],
+    )
+    def test_every_builtin_returns_a_plan_result(
+        self, fig1_tree, method, channels
+    ):
+        result = plan(fig1_tree, channels, method=method)
+        assert isinstance(result, PlanResult)
+        assert result.cost == pytest.approx(result.schedule.data_wait())
+        assert result.schedule.channels >= 1
+
+    def test_exact_methods_agree_on_the_optimum(self, fig1_tree):
+        best_first = plan(fig1_tree, 2, method="best-first")
+        dfs = plan(fig1_tree, 2, method="dfs-bnb")
+        assert best_first.cost == pytest.approx(dfs.cost)
+
+    def test_heuristics_never_beat_the_optimum(self, fig1_tree):
+        optimal = plan(fig1_tree, 2, method="auto").cost
+        for method in ("sorting", "shrink-combine", "shrink-partition"):
+            assert plan(fig1_tree, 2, method=method).cost >= optimal - 1e-9
+
+    def test_unknown_method_raises(self, fig1_tree):
+        with pytest.raises(PlannerNotFound):
+            plan(fig1_tree, 1, method="nope")
+
+    def test_unknown_options_raise_type_error(self, fig1_tree):
+        with pytest.raises(TypeError):
+            plan(fig1_tree, 1, method="sorting", bogus_option=3)
+
+    def test_perf_flows_through_to_the_planner(self, fig1_tree):
+        perf = PerfRecorder()
+        plan(fig1_tree, 2, method="shrink-combine", perf=perf)
+        snapshot = perf.snapshot()
+        assert "planner.shrink-combine.seconds" in snapshot["timers"]
+
+    def test_sv96_records_its_channel_inflexibility(self, fig1_tree):
+        result = plan(fig1_tree, 2, method="sv96")
+        assert result.stats["channels_requested"] == 2
+        assert result.stats["channels_used"] == result.schedule.channels
+
+
+class TestBudgetedPlanner:
+    def test_affordable_instances_are_solved_exactly(self, fig1_tree):
+        result = plan(fig1_tree, 2, method="budgeted")
+        assert result.stats["fell_back"] is False
+        assert result.cost == pytest.approx(
+            plan(fig1_tree, 2, method="auto").cost
+        )
+
+    def test_exhausted_budget_falls_back_to_the_named_heuristic(
+        self, fig1_tree
+    ):
+        perf = PerfRecorder()
+        result = plan(fig1_tree, 2, method="budgeted", budget=1, perf=perf)
+        assert result.stats["fell_back"] is True
+        assert result.method == "sorting"
+        assert perf.snapshot()["counters"]["planner.budget_fallbacks"] == 1
+
+    def test_exact_threshold_skips_the_search_outright(self, fig1_tree):
+        result = plan(
+            fig1_tree, 2, method="budgeted", exact_threshold=1
+        )
+        assert result.stats["fell_back"] is True
+
+    def test_custom_fallback_is_honoured(self, fig1_tree):
+        result = plan(
+            fig1_tree, 2, method="budgeted", budget=1,
+            fallback="shrink-combine",
+        )
+        assert result.method == "shrink-combine"
