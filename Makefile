@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-json bench-server examples experiments clean
+.PHONY: install test bench bench-json bench-server bench-net examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -16,6 +16,9 @@ bench-json:
 
 bench-server:
 	$(PYTHON) -m repro.cli bench-server --json BENCH_server.json
+
+bench-net:
+	$(PYTHON) -m repro.cli loadtest --tuners 1000 --check-parity --json BENCH_net.json
 
 examples:
 	@for script in examples/*.py; do \

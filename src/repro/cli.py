@@ -14,7 +14,16 @@ Subcommands regenerate each experiment on demand:
   unreliable channels, including the loss=0 differential gate (the
   command exits non-zero when the gate fails);
 * ``bench-server`` — full-stack serving-loop bench under perfect and
-  lossy air, writing ``BENCH_server.json`` via ``--json``.
+  lossy air, writing ``BENCH_server.json`` via ``--json``;
+* ``serve``    — put a compiled plan on the air over real sockets
+  (:mod:`repro.net`); Ctrl-C shuts down cleanly and flushes stats;
+* ``tune``     — one live client walk against a running station;
+* ``loadtest`` — the concurrent tuner-fleet harness; with
+  ``--check-parity`` it exits non-zero unless the socket fleet's
+  access/tuning times match the in-process simulator exactly.
+
+Installed as the ``repro`` console script (``broadcast-alloc`` remains
+as the historical alias).
 """
 
 from __future__ import annotations
@@ -172,6 +181,108 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also write the JSON perf record to PATH",
+    )
+
+    def add_program_options(sub: argparse.ArgumentParser) -> None:
+        """Knobs shared by every repro.net command that builds a plan."""
+        sub.add_argument("--items", type=int, default=24)
+        sub.add_argument("--channels", type=int, default=3)
+        sub.add_argument("--fanout", type=int, default=3)
+        sub.add_argument(
+            "--planner",
+            default="sorting",
+            help="repro.planners registry name (default 'sorting')",
+        )
+
+    serve = commands.add_parser(
+        "serve", help="air a compiled plan over sockets (repro.net)"
+    )
+    add_program_options(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="0 picks a free port"
+    )
+    serve.add_argument(
+        "--transport", choices=("tcp", "udp"), default="tcp"
+    )
+    serve.add_argument(
+        "--slot-duration",
+        type=float,
+        default=0.0,
+        help="seconds per slot; 0 = logical time (TCP only)",
+    )
+    serve.add_argument(
+        "--loss", type=float, default=0.0, help="per-bucket loss probability"
+    )
+    serve.add_argument(
+        "--corruption",
+        type=float,
+        default=0.0,
+        help="per-bucket payload corruption probability",
+    )
+
+    tune = commands.add_parser(
+        "tune", help="one live client walk against a running station"
+    )
+    tune.add_argument("--host", default="127.0.0.1")
+    tune.add_argument("--port", type=int, required=True)
+    tune.add_argument("--key", required=True, help="search key to fetch")
+    tune.add_argument(
+        "--tune-slot",
+        type=int,
+        default=1,
+        help="cycle-relative slot to tune in at (default 1)",
+    )
+    tune.add_argument(
+        "--policy", choices=("retry-parent", "next-cycle"), default=None
+    )
+    tune.add_argument(
+        "--max-cycles",
+        type=int,
+        default=8,
+        help="recovery give-up bound, in cycles (default 8)",
+    )
+
+    loadtest = commands.add_parser(
+        "loadtest",
+        help="concurrent tuner fleet on a loopback station",
+    )
+    add_program_options(loadtest)
+    loadtest.add_argument("--tuners", type=int, default=1000)
+    loadtest.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=5000.0,
+        help="Poisson arrival intensity, tuners/second (0 = all at once)",
+    )
+    loadtest.add_argument(
+        "--max-open",
+        type=int,
+        default=256,
+        help="simultaneously open connections (fd throttle)",
+    )
+    loadtest.add_argument(
+        "--slot-duration", type=float, default=0.0,
+        help="station pacing, seconds per slot (0 = logical time)",
+    )
+    loadtest.add_argument("--loss", type=float, default=0.0)
+    loadtest.add_argument("--corruption", type=float, default=0.0)
+    loadtest.add_argument(
+        "--policy", choices=("retry-parent", "next-cycle"), default=None
+    )
+    loadtest.add_argument("--max-cycles", type=int, default=8)
+    loadtest.add_argument(
+        "--check-parity",
+        action="store_true",
+        help="replay the trace through the in-process simulator and "
+        "require exact access/tuning-time equality (lossless air only)",
+    )
+    loadtest.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="write the BENCH_net.json loadtest record to PATH",
     )
 
     sensitivity = commands.add_parser(
@@ -371,6 +482,15 @@ def main(argv: list[str] | None = None) -> int:
         checks = record["aggregate"]["checks"]
         return 0 if all(checks.values()) else 1
 
+    if args.command == "serve":
+        return _cmd_serve(args)
+
+    if args.command == "tune":
+        return _cmd_tune(args)
+
+    if args.command == "loadtest":
+        return _cmd_loadtest(args)
+
     if args.command == "sensitivity":
         from .analysis.sensitivity import (
             fanout_sensitivity,
@@ -409,6 +529,212 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+# ---------------------------------------------------------------------------
+# repro.net commands
+# ---------------------------------------------------------------------------
+
+def _net_faults(args):
+    """FaultConfig from --loss/--corruption flags, or None for clean air."""
+    if args.loss == 0.0 and args.corruption == 0.0:
+        return None
+    from .faults import FaultConfig
+
+    return FaultConfig(
+        loss=args.loss, corruption=args.corruption, seed=args.seed
+    )
+
+
+def _net_policy(mode: str | None, max_cycles: int):
+    if mode is None:
+        return None
+    from .client.protocol import RecoveryPolicy
+
+    return RecoveryPolicy(mode=mode, max_cycles=max_cycles)
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .net import BroadcastStation, build_demo_program
+    from .perf import PerfRecorder
+
+    program = build_demo_program(
+        items=args.items,
+        channels=args.channels,
+        fanout=args.fanout,
+        planner=args.planner,
+        seed=args.seed,
+    )
+    perf = PerfRecorder()
+    station = BroadcastStation(
+        program,
+        faults=_net_faults(args),
+        slot_duration=args.slot_duration,
+        host=args.host,
+        port=args.port,
+        transport=args.transport,
+        perf=perf,
+    )
+
+    async def air_forever() -> None:
+        async with station:
+            print(
+                f"airing {args.channels} channel(s), cycle length "
+                f"{program.cycle_length}, on {args.transport}://"
+                f"{station.host}:{station.port} (Ctrl-C to stop)"
+            )
+            await asyncio.Event().wait()
+
+    try:
+        asyncio.run(air_forever())
+    except KeyboardInterrupt:
+        # The operator's Ctrl-C: asyncio.run has already cancelled the
+        # serving tasks and run the station's async-with teardown, so
+        # sockets are closed — flush the counters and exit cleanly.
+        pass
+    counters = perf.snapshot().get("counters", {})
+    print("station stopped; stats flushed:")
+    for name in sorted(counters):
+        if name.startswith("net.station."):
+            print(f"  {name} = {counters[name]}")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    import asyncio
+
+    from .net import TunerClient
+
+    async def one_walk():
+        async with TunerClient(
+            args.host,
+            args.port,
+            policy=_net_policy(args.policy, args.max_cycles),
+        ) as tuner:
+            return await tuner.fetch(args.key, args.tune_slot)
+
+    result = asyncio.run(one_walk())
+    if result.abandoned:
+        print(
+            f"abandoned after {result.cycles_spent} cycle(s): "
+            f"{result.lost_buckets} lost, {result.corrupt_buckets} corrupt"
+        )
+        return 1
+    print(f"key              = {result.key}")
+    print(f"payload          = {result.payload[:40]!r}")
+    print(f"access time      = {result.access_time} slots")
+    print(f"tuning time      = {result.tuning_time} buckets")
+    print(f"channel switches = {result.channel_switches}")
+    if result.retries:
+        print(
+            f"recovered        = {result.lost_buckets} lost + "
+            f"{result.corrupt_buckets} corrupt via {result.retries} retries"
+        )
+    return 0
+
+
+def _cmd_loadtest(args) -> int:
+    import asyncio
+
+    from .net import build_demo_program, run_loadtest, write_loadtest_json
+
+    faults = _net_faults(args)
+    if args.check_parity and faults is not None:
+        print(
+            "error: --check-parity requires lossless air "
+            "(drop --loss/--corruption)",
+            file=sys.stderr,
+        )
+        return 2
+    program = build_demo_program(
+        items=args.items,
+        channels=args.channels,
+        fanout=args.fanout,
+        planner=args.planner,
+        seed=args.seed,
+    )
+    report = asyncio.run(
+        run_loadtest(
+            program,
+            tuners=args.tuners,
+            rng=np.random.default_rng(args.seed),
+            faults=faults,
+            policy=_net_policy(args.policy, args.max_cycles),
+            slot_duration=args.slot_duration,
+            arrival_rate=args.arrival_rate,
+            max_open=args.max_open,
+            check_parity=args.check_parity,
+        )
+    )
+    print(
+        f"{report.tuners} tuners: {report.completed} completed, "
+        f"{report.abandoned} abandoned in {report.wall_seconds:.2f}s "
+        f"({report.walks_per_second:.0f} walks/s)"
+    )
+    print(
+        f"access time  mean {report.mean_access_time:.3f}  "
+        f"p50 {report.access_percentiles['p50']:.0f}  "
+        f"p90 {report.access_percentiles['p90']:.0f}  "
+        f"p99 {report.access_percentiles['p99']:.0f}  "
+        f"max {report.access_percentiles['max']:.0f}"
+    )
+    print(
+        f"tuning time  mean {report.mean_tuning_time:.3f}  "
+        f"p50 {report.tuning_percentiles['p50']:.0f}  "
+        f"p90 {report.tuning_percentiles['p90']:.0f}  "
+        f"p99 {report.tuning_percentiles['p99']:.0f}  "
+        f"max {report.tuning_percentiles['max']:.0f}"
+    )
+    print(
+        f"frames: {report.frames_answered} aired, {report.frames_read} "
+        f"read, {report.unaccounted_frames} unaccounted"
+    )
+    if faults is not None:
+        print(
+            f"faults: {report.lost_buckets} lost, "
+            f"{report.corrupt_buckets} corrupt, {report.retries} retries"
+        )
+    if report.parity is not None:
+        verdict = "EXACT" if report.parity["exact_match"] else "MISMATCH"
+        print(
+            f"parity vs simulator: {verdict} "
+            f"(fleet access {report.parity['fleet_mean_access_time']:.4f} "
+            f"vs {report.parity['simulator_mean_access_time']:.4f}, "
+            f"tuning {report.parity['fleet_mean_tuning_time']:.4f} "
+            f"vs {report.parity['simulator_mean_tuning_time']:.4f})"
+        )
+    if args.json_path:
+        config = {
+            "items": args.items,
+            "channels": args.channels,
+            "fanout": args.fanout,
+            "planner": args.planner,
+            "tuners": args.tuners,
+            "arrival_rate": args.arrival_rate,
+            "max_open": args.max_open,
+            "slot_duration": args.slot_duration,
+            "loss": args.loss,
+            "corruption": args.corruption,
+            "check_parity": args.check_parity,
+            "seed": args.seed,
+        }
+        write_loadtest_json(args.json_path, report, config)
+        print(f"loadtest record written to {args.json_path}")
+    ok = report.accounting_ok and report.parity_ok
+    if not report.accounting_ok:
+        print(
+            f"error: {report.unaccounted_frames} unaccounted frames",
+            file=sys.stderr,
+        )
+    if not report.parity_ok:
+        print(
+            "error: socket fleet does not reproduce the in-process "
+            "simulator",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -17,8 +17,13 @@ from .simulator import (
     summarise_faulty_records,
 )
 from .stats import AccessDistribution, access_time_distribution
+from .walk import Listen, LookupFailed, PointerWalk, WalkResult
 
 __all__ = [
+    "Listen",
+    "LookupFailed",
+    "PointerWalk",
+    "WalkResult",
     "AccessRecord",
     "RecoveredAccessRecord",
     "RecoveryPolicy",

@@ -1,0 +1,320 @@
+"""The sans-io pointer-walk state machine shared by every receiver.
+
+Three different clients walk the same broadcast: the in-process frame
+client (:func:`repro.io.wire_client.run_request_wire`), the asyncio
+tuner of :mod:`repro.net` listening over real sockets, and — at the
+object level — :func:`repro.client.protocol.run_request`. The first two
+see nothing but decoded frames, so their walk logic (probe channel 1,
+follow the next-cycle pointer to the root, route down the index by key
+comparison, recover from lost or corrupt airings per
+:class:`~repro.client.protocol.RecoveryPolicy`) is *identical* — and
+before this module existed it was duplicated, with the async copy about
+to become a third.
+
+:class:`PointerWalk` is that logic with the I/O factored out, in the
+sans-io style network protocol stacks use: the machine never reads a
+socket or an array. It tells its driver what to tune to next
+(:meth:`next_listen` → a :class:`Listen` naming a channel and an
+absolute slot), the driver obtains that airing however it likes —
+indexing a frame grid, awaiting a datagram — and feeds back either the
+decoded bucket (:meth:`deliver`) or the fact of its loss
+(:meth:`on_loss`). When :meth:`next_listen` returns ``None`` the walk is
+over and :attr:`result` holds the measured :class:`WalkResult`.
+
+The slot accounting mirrors
+:func:`~repro.client.protocol.run_request_recovering` *exactly*: on a
+lossless channel every inherited number (access time, probe wait, data
+wait, tuning time, channel switches) is bit-identical to the object-level
+walk on the same compiled program — the invariant that lets the
+:mod:`repro.net` loopback parity gate compare a live socket fleet
+against the in-process simulator and demand equality, not closeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ReproError
+from ..io.wire import DecodedBucket, DecodedPointer, WireFormatError
+from .protocol import RecoveryPolicy, _next_airing
+
+__all__ = ["Listen", "WalkResult", "LookupFailed", "PointerWalk"]
+
+
+class LookupFailed(ReproError):
+    """The key routed to a data bucket that does not carry it."""
+
+
+@dataclass(frozen=True)
+class Listen:
+    """One tuning instruction: wake up and read this airing.
+
+    ``absolute_slot`` counts slots from the start of the cycle the walk
+    tuned into (1-based, so the tune-in slot itself is ``tune_slot``);
+    the broadcast is cyclic, so the airing's content is the bucket at
+    cycle-relative slot ``(absolute_slot - 1) % cycle + 1``.
+    """
+
+    channel: int
+    absolute_slot: int
+
+
+@dataclass(frozen=True)
+class WalkResult:
+    """Measured outcome of one key-routed walk.
+
+    Field meanings match :class:`~repro.client.protocol.AccessRecord` /
+    :class:`~repro.client.protocol.RecoveredAccessRecord` (``key``
+    replaces ``target``: a frame-level client knows search keys, not
+    node objects). ``payload`` is the data bucket's delivered bytes —
+    empty when the walk was abandoned.
+    """
+
+    key: str
+    tune_slot: int
+    access_time: int
+    probe_wait: int
+    data_wait: int
+    tuning_time: int
+    channel_switches: int
+    lost_buckets: int = 0
+    corrupt_buckets: int = 0
+    retries: int = 0
+    wasted_probes: int = 0
+    cycles_spent: int = 1
+    abandoned: bool = False
+    payload: bytes = b""
+
+
+_PROBE = "probe"
+_DESCEND = "descend"
+_DONE = "done"
+
+
+class PointerWalk:
+    """Sans-io protocol walk: probe, descend by key, recover on loss.
+
+    Parameters
+    ----------
+    key:
+        Search key of the requested item (an alphabetic index tree is a
+        search tree, so pointer-table ``key_hi`` separators route it).
+    tune_slot:
+        Cycle-relative slot (1..cycle_length) at which the client tunes
+        into channel 1.
+    cycle_length:
+        Slots per broadcast cycle (from the station's welcome metadata
+        or the frame grid's row length).
+    policy:
+        Loss-recovery behaviour; default
+        :class:`~repro.client.protocol.RecoveryPolicy` (retry-parent,
+        give up after 8 cycles).
+
+    Drive it as::
+
+        walk = PointerWalk(key, tune_slot, cycle)
+        while (listen := walk.next_listen()) is not None:
+            bucket = ...read the airing listen names...
+            walk.deliver(bucket)        # or walk.on_loss(...)
+        record = walk.result
+    """
+
+    def __init__(
+        self,
+        key: str,
+        tune_slot: int,
+        cycle_length: int,
+        *,
+        policy: RecoveryPolicy | None = None,
+    ) -> None:
+        if cycle_length < 1:
+            raise ValueError("cycle_length must be >= 1")
+        if not 1 <= tune_slot <= cycle_length:
+            raise ValueError(f"tune_slot must be in 1..{cycle_length}")
+        self.key = key
+        self.tune_slot = tune_slot
+        self.cycle = cycle_length
+        self.policy = policy if policy is not None else RecoveryPolicy()
+        self._deadline = self.policy.max_cycles * cycle_length
+
+        self._state = _PROBE
+        self._listen: Listen | None = Listen(1, tune_slot)
+        self._current_channel = 1
+        self._tuning = 0
+        self._switches = 0
+        self._lost = 0
+        self._corrupt = 0
+        self._retries = 0
+        self._probe_wait = 0
+        self._depth = 0
+        # Successfully read index hops (depth, channel, cycle-relative
+        # slot) — the resume points of the "retry-parent" policy.
+        self._good: list[tuple[int, int, int]] = []
+        self._result: WalkResult | None = None
+
+    # -- driver-facing surface ---------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._state == _DONE
+
+    @property
+    def result(self) -> WalkResult:
+        if self._result is None:
+            raise ReproError("walk is not finished; keep driving next_listen()")
+        return self._result
+
+    def next_listen(self) -> Listen | None:
+        """The airing to read next, or ``None`` once the walk finished."""
+        return self._listen
+
+    def deliver(self, bucket: DecodedBucket) -> None:
+        """Feed the successfully decoded bucket of the pending listen."""
+        listen = self._require_listen()
+        self._register_read(listen)
+        if self._state == _PROBE:
+            self._probe_delivered(listen, bucket)
+        else:
+            self._descend_delivered(listen, bucket)
+
+    def on_loss(self, *, corrupt: bool = False) -> None:
+        """The pending listen's airing was lost (or failed its checksum).
+
+        The client was awake for the slot either way, so the read still
+        costs tuning time; recovery then follows the policy — a lost
+        channel-1 probe just keeps listening (the very next slot also
+        carries a next-cycle pointer), a lost index/data bucket either
+        waits for its next airing one cycle later (``next-cycle``, and
+        always for the root, which has no parent to retry) or re-tunes
+        to the deepest successfully read index node (``retry-parent``).
+        """
+        listen = self._require_listen()
+        self._register_read(listen)
+        self._retries += 1
+        if corrupt:
+            self._corrupt += 1
+        else:
+            self._lost += 1
+        if self._state == _PROBE:
+            self._schedule(1, listen.absolute_slot + 1)
+        elif self.policy.mode == "next-cycle" or not self._good:
+            self._schedule(listen.channel, listen.absolute_slot + self.cycle)
+        else:
+            self._depth, channel, rel_slot = self._good.pop()
+            self._schedule(
+                channel, _next_airing(rel_slot, listen.absolute_slot, self.cycle)
+            )
+
+    # -- internals ----------------------------------------------------------
+    def _require_listen(self) -> Listen:
+        if self._listen is None:
+            raise ReproError("walk already finished; nothing is listening")
+        return self._listen
+
+    def _register_read(self, listen: Listen) -> None:
+        self._tuning += 1
+        if listen.channel != self._current_channel:
+            self._switches += 1
+            self._current_channel = listen.channel
+
+    def _schedule(self, channel: int, absolute: int) -> None:
+        """Queue the next read, abandoning if it lies past the deadline."""
+        if absolute > self._deadline:
+            self._finish(self._deadline, abandoned=True)
+        else:
+            self._listen = Listen(channel, absolute)
+
+    def _probe_delivered(self, listen: Listen, bucket: DecodedBucket) -> None:
+        if bucket.next_cycle_offset <= 0:
+            raise WireFormatError("channel-1 frame lacks a next-cycle pointer")
+        # The offset names the root airing of the cycle after the
+        # probe's; the root always airs on channel 1 (§3.1 rule).
+        self._state = _DESCEND
+        self._depth = 0
+        self._schedule(1, listen.absolute_slot + bucket.next_cycle_offset)
+
+    def _descend_delivered(self, listen: Listen, bucket: DecodedBucket) -> None:
+        if bucket.kind == "empty":
+            if self._depth == 0:
+                raise WireFormatError(
+                    "next-cycle pointer landed off the index root"
+                )
+            raise WireFormatError("pointer landed on an empty bucket")
+        if self._depth == 0:
+            if bucket.kind != "index":
+                raise WireFormatError(
+                    "next-cycle pointer landed off the index root"
+                )
+            if self._probe_wait == 0:
+                self._probe_wait = listen.absolute_slot - self.tune_slot + 1
+        if bucket.kind == "data":
+            if bucket.label != self.key and not bucket.label.startswith(
+                self.key
+            ):
+                raise LookupFailed(
+                    f"lookup for {self.key!r} ended at {bucket.label!r}"
+                )
+            self._finish(
+                listen.absolute_slot, abandoned=False, payload=bucket.payload
+            )
+            return
+        pointer = self._route(bucket)
+        if pointer.offset <= 0:
+            raise WireFormatError(
+                f"non-positive pointer offset {pointer.offset} in index "
+                f"bucket {bucket.label!r}"
+            )
+        self._good.append(
+            (self._depth, listen.channel, _relative(listen.absolute_slot, self.cycle))
+        )
+        self._depth += 1
+        self._schedule(pointer.channel, listen.absolute_slot + pointer.offset)
+
+    def _route(self, bucket: DecodedBucket) -> DecodedPointer:
+        """Pick the child pointer whose key range covers :attr:`key`.
+
+        ``key_hi`` separators are the max key of each child's subtree;
+        the first pointer with ``key <= key_hi`` covers the key. Falls
+        off the end to the last pointer (keys above the maximum cannot
+        exist, but a search must land somewhere to discover that).
+        """
+        for pointer in bucket.pointers:
+            if self.key <= pointer.key_hi:
+                return pointer
+        if not bucket.pointers:
+            raise WireFormatError(
+                f"index bucket {bucket.label!r} has no pointers"
+            )
+        return bucket.pointers[-1]
+
+    def _finish(
+        self, final_absolute: int, *, abandoned: bool, payload: bytes = b""
+    ) -> None:
+        # ``wasted_probes``: reads beyond the lossless walk's — probe +
+        # one read per index level + the data read. An abandoned walk
+        # wasted everything it read.
+        clean_reads = self._depth + 2
+        self._result = WalkResult(
+            key=self.key,
+            tune_slot=self.tune_slot,
+            access_time=final_absolute - self.tune_slot + 1,
+            probe_wait=self._probe_wait,
+            data_wait=final_absolute - self.cycle,
+            tuning_time=self._tuning,
+            channel_switches=self._switches,
+            lost_buckets=self._lost,
+            corrupt_buckets=self._corrupt,
+            retries=self._retries,
+            wasted_probes=(
+                self._tuning if abandoned else self._tuning - clean_reads
+            ),
+            cycles_spent=(final_absolute - 1) // self.cycle + 1,
+            abandoned=abandoned,
+            payload=payload,
+        )
+        self._state = _DONE
+        self._listen = None
+
+
+def _relative(absolute: int, cycle: int) -> int:
+    """Cycle-relative slot (1-based) of 1-based absolute slot."""
+    return (absolute - 1) % cycle + 1

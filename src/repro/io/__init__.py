@@ -12,11 +12,14 @@ from .json_io import (
 )
 from .wire import (
     WIRE_VERSION,
+    AirFrame,
     DecodedBucket,
     DecodedPointer,
+    FrameStreamDecoder,
     WireFormatError,
     decode_bucket,
     decode_cycle,
+    encode_air_frame,
     encode_bucket,
     encode_program,
     index_bucket_size,
@@ -35,6 +38,9 @@ __all__ = [
     "decode_cycle",
     "index_bucket_size",
     "max_fanout_for_bucket_size",
+    "AirFrame",
+    "encode_air_frame",
+    "FrameStreamDecoder",
     "WireAccessRecord",
     "run_request_wire",
     "PersistenceError",

@@ -69,6 +69,9 @@ __all__ = [
     "decode_cycle",
     "index_bucket_size",
     "max_fanout_for_bucket_size",
+    "AirFrame",
+    "encode_air_frame",
+    "FrameStreamDecoder",
 ]
 
 DEFAULT_BUCKET_SIZE = 96
@@ -215,6 +218,20 @@ def decode_bucket(
     airing* was bad.
     """
     where = _frame_context(channel, offset)
+    try:
+        return _decode_frame(frame, where)
+    except WireFormatError:
+        raise
+    except (struct.error, IndexError, ValueError) as error:
+        # Belt-and-braces: every truncation *should* hit an explicit
+        # length guard above a struct read, but a short or mangled frame
+        # must never surface a bare parsing exception to a receiver.
+        raise WireFormatError(
+            f"truncated or malformed frame{where}: {error}"
+        ) from error
+
+
+def _decode_frame(frame: bytes, where: str) -> DecodedBucket:
     if not frame:
         raise WireFormatError(f"empty frame{where}")
     if frame[0] == _MAGIC_V1:
@@ -343,3 +360,113 @@ def max_fanout_for_bucket_size(
     budget = bucket_size - header - 4 - label_bytes - 1
     per_pointer = 4 + key_bytes
     return max(0, budget // per_pointer)
+
+
+# ---------------------------------------------------------------------------
+# Transport envelope — how a live station airs frames over a byte stream.
+# ---------------------------------------------------------------------------
+
+_AIR_MAGIC = 0xAE
+_AIR_HEADER = struct.Struct(">BBBIH")  # magic, status, channel, slot, length
+
+_AIR_OK = 0
+_AIR_LOST = 1
+
+_MAX_AIR_PAYLOAD = 0xFFFF
+
+
+@dataclass(frozen=True)
+class AirFrame:
+    """One airing as it crosses a transport: provenance + frame bytes.
+
+    The bucket wire format (:func:`encode_bucket`) is position-blind —
+    a frame does not say when or where it aired. A live receiver needs
+    exactly that to drive its pointer walk, so the station wraps each
+    airing in a 9-byte envelope carrying the channel, the absolute slot
+    (1-based, station air time) and a status byte: ``lost`` marks an
+    airing the channel dropped (the client was tuned in and heard
+    nothing — the envelope is how a *simulated* unreliable medium tells
+    a real socket client about an absence). Corrupted airings travel as
+    ordinary payloads; the bucket CRC is what detects those, end to
+    end, exactly as over real air.
+    """
+
+    channel: int
+    absolute_slot: int
+    payload: bytes = b""
+    lost: bool = False
+
+
+def encode_air_frame(air: AirFrame) -> bytes:
+    """Serialise one envelope (+ payload) for a byte-stream transport."""
+    if not 1 <= air.channel <= 0xFF:
+        raise WireFormatError(f"air channel {air.channel} out of range")
+    if not 1 <= air.absolute_slot <= 0xFFFFFFFF:
+        raise WireFormatError(
+            f"absolute slot {air.absolute_slot} out of range"
+        )
+    if len(air.payload) > _MAX_AIR_PAYLOAD:
+        raise WireFormatError("air payload exceeds 64 KiB")
+    if air.lost and air.payload:
+        raise WireFormatError("a lost airing cannot carry a payload")
+    status = _AIR_LOST if air.lost else _AIR_OK
+    header = _AIR_HEADER.pack(
+        _AIR_MAGIC, status, air.channel, air.absolute_slot, len(air.payload)
+    )
+    return header + air.payload
+
+
+class FrameStreamDecoder:
+    """Incremental envelope parser for a byte-stream transport.
+
+    TCP delivers bytes, not messages: one ``read()`` may return half an
+    envelope, or three and a half. Feed whatever arrives to
+    :meth:`feed`; it returns every envelope completed so far and
+    buffers the partial tail for the next chunk. A byte that cannot
+    begin an envelope raises :class:`WireFormatError` — on a stream
+    transport there is no resynchronising past garbage.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting the rest of their envelope."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[AirFrame]:
+        """Absorb ``data``; return the envelopes it completed, in order."""
+        self._buffer.extend(data)
+        frames: list[AirFrame] = []
+        cursor = 0
+        size = _AIR_HEADER.size
+        while len(self._buffer) - cursor >= size:
+            magic, status, channel, slot, length = _AIR_HEADER.unpack_from(
+                self._buffer, cursor
+            )
+            if magic != _AIR_MAGIC:
+                raise WireFormatError(
+                    f"bad air-envelope magic {magic:#04x}; stream is "
+                    "desynchronised"
+                )
+            if status not in (_AIR_OK, _AIR_LOST):
+                raise WireFormatError(f"unknown air status {status}")
+            if len(self._buffer) - cursor - size < length:
+                break  # payload still in flight
+            start = cursor + size
+            payload = bytes(self._buffer[start:start + length])
+            if status == _AIR_LOST and payload:
+                raise WireFormatError("lost airing carries a payload")
+            frames.append(
+                AirFrame(
+                    channel=channel,
+                    absolute_slot=slot,
+                    payload=payload,
+                    lost=status == _AIR_LOST,
+                )
+            )
+            cursor = start + length
+        if cursor:
+            del self._buffer[:cursor]
+        return frames

@@ -5,23 +5,22 @@ this client sees nothing but the byte stream of
 :mod:`repro.io.wire`: it decodes each frame it tunes to, routes by
 comparing its search key against the pointer table's ``key_hi``
 separators (an alphabetic index tree is a search tree — the property
-the paper insists on in §1), and dozes between frames. Agreement with
-the object-level protocol is asserted in the test suite, closing the
-serialisation loop.
+the paper insists on in §1), and dozes between frames.
+
+The walk itself lives in :class:`repro.client.walk.PointerWalk` — the
+sans-io state machine this module *drives* against an in-memory frame
+grid, exactly as the asyncio tuner of :mod:`repro.net` drives it
+against a socket. Agreement with the object-level protocol is asserted
+in the test suite, closing the serialisation loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..exceptions import ReproError
-from .wire import DecodedBucket, WireFormatError, decode_bucket
+from .wire import decode_bucket
 
 __all__ = ["WireAccessRecord", "run_request_wire"]
-
-
-class _LookupFailed(ReproError):
-    pass
 
 
 @dataclass(frozen=True)
@@ -48,73 +47,27 @@ def run_request_wire(
     index by key comparison. Raises :class:`WireFormatError` on corrupt
     frames and :class:`ReproError` when the key routes nowhere.
     """
+    # Imported lazily: repro.client.walk itself builds on repro.io.wire,
+    # and the package inits would otherwise form a cycle.
+    from ..client.walk import PointerWalk
+
     cycle = len(frames[0])
-    if not 1 <= tune_slot <= cycle:
-        raise ValueError(f"tune_slot must be in 1..{cycle}")
-
-    tuning = 1
-    switches = 0
-    current_channel = 1
-
-    first = decode_bucket(frames[0][tune_slot - 1], channel=1, offset=tune_slot)
-    if first.next_cycle_offset <= 0:
-        raise WireFormatError("channel-1 frame lacks a next-cycle pointer")
-    # Absolute slot (from this cycle's start) of the root frame.
-    absolute = tune_slot + first.next_cycle_offset
-    root_slot = absolute - cycle
-    bucket = decode_bucket(frames[0][root_slot - 1], channel=1, offset=root_slot)
-    tuning += 1
-    if bucket.kind != "index":
-        raise WireFormatError("next-cycle pointer landed off the index root")
-
-    while bucket.kind == "index":
-        pointer = _route(bucket, key)
-        if pointer.channel != current_channel:
-            switches += 1
-            current_channel = pointer.channel
-        absolute += pointer.offset
-        slot = absolute - cycle
-        if not 1 <= slot <= cycle:
-            raise WireFormatError("pointer walked out of the cycle")
+    walk = PointerWalk(key, tune_slot, cycle)
+    while (listen := walk.next_listen()) is not None:
+        slot = (listen.absolute_slot - 1) % cycle + 1
         bucket = decode_bucket(
-            frames[pointer.channel - 1][slot - 1],
-            channel=pointer.channel,
+            frames[listen.channel - 1][slot - 1],
+            channel=listen.channel,
             offset=slot,
         )
-        tuning += 1
-        if bucket.kind == "empty":
-            raise WireFormatError("pointer landed on an empty bucket")
-
-    if bucket.label != key and not bucket.label.startswith(key):
-        # Route by key ordering: landing elsewhere means the key is
-        # absent from the broadcast (or the index is not alphabetic).
-        raise _LookupFailed(
-            f"lookup for {key!r} ended at {bucket.label!r}"
-        )
-    data_wait = absolute - cycle
-    access_time = (cycle - tune_slot + 1) + data_wait
+        walk.deliver(bucket)
+    result = walk.result
     return WireAccessRecord(
         key=key,
         tune_slot=tune_slot,
-        access_time=access_time,
-        data_wait=data_wait,
-        tuning_time=tuning,
-        channel_switches=switches,
-        payload=bucket.payload,
+        access_time=result.access_time,
+        data_wait=result.data_wait,
+        tuning_time=result.tuning_time,
+        channel_switches=result.channel_switches,
+        payload=result.payload,
     )
-
-
-def _route(bucket: DecodedBucket, key: str):
-    """Pick the child pointer whose key range covers ``key``.
-
-    ``key_hi`` separators are the max key of each child's subtree; the
-    first pointer with ``key <= key_hi`` covers the key. Falls off the
-    end to the last pointer (keys above the maximum cannot exist, but a
-    search must terminate somewhere to discover that).
-    """
-    for pointer in bucket.pointers:
-        if key <= pointer.key_hi:
-            return pointer
-    if not bucket.pointers:
-        raise WireFormatError(f"index bucket {bucket.label!r} has no pointers")
-    return bucket.pointers[-1]

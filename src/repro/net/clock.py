@@ -1,0 +1,93 @@
+"""The station's slot clock: logical air time, optionally wall-paced.
+
+Every measurement in this repository is denominated in *slots* — the
+broadcast medium's unit of time. A live station therefore needs one
+authority for "which absolute slot is on air", and that is this clock.
+
+Two modes:
+
+* ``slot_duration > 0`` — real-time pacing: slot ``n`` goes on air
+  ``n · slot_duration`` seconds after :meth:`start`. Consumers
+  :meth:`wait_for` a future slot and genuinely sleep (a tuner's doze).
+* ``slot_duration == 0`` (default) — free-running logical time: the
+  clock still ticks (push transports need a tick to air on) but
+  :meth:`wait_for` never blocks. The broadcast is cyclic and the fault
+  pattern is a pure function of (channel, absolute slot), so an airing's
+  content is fully determined whether it is served at its wall-clock
+  instant or immediately — this is what lets a loadtest run as fast as
+  the hardware allows while keeping slot-denominated measurements
+  exactly reproducible.
+
+Tick subscribers (:meth:`on_tick`) are invoked synchronously inside the
+clock task with the newly aired slot number; the UDP push interface uses
+this to fan each slot's frames out to its subscribers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable
+
+__all__ = ["SlotClock"]
+
+
+class SlotClock:
+    """Monotonic 1-based absolute-slot counter driving a station's air."""
+
+    def __init__(self, slot_duration: float = 0.0) -> None:
+        if slot_duration < 0:
+            raise ValueError("slot_duration must be >= 0")
+        self.slot_duration = slot_duration
+        self.aired = 0  # highest absolute slot that has gone on air
+        self._event = asyncio.Event()
+        self._task: asyncio.Task | None = None
+        self._subscribers: list[Callable[[int], None]] = []
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None and not self._task.done()
+
+    def on_tick(self, callback: Callable[[int], None]) -> None:
+        """Call ``callback(slot)`` each time a slot goes on air."""
+        self._subscribers.append(callback)
+
+    def start(self) -> None:
+        """Begin ticking; idempotent."""
+        if not self.running:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name="repro-slot-clock"
+            )
+
+    async def aclose(self) -> None:
+        """Stop ticking; idempotent, safe mid-tick."""
+        task, self._task = self._task, None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+    async def _run(self) -> None:
+        while True:
+            self.aired += 1
+            for callback in self._subscribers:
+                callback(self.aired)
+            self._event.set()
+            self._event = asyncio.Event()
+            if self.slot_duration > 0:
+                await asyncio.sleep(self.slot_duration)
+            else:
+                await asyncio.sleep(0)
+
+    async def wait_for(self, slot: int) -> None:
+        """Doze until absolute ``slot`` has gone on air.
+
+        Free-running clocks (``slot_duration == 0``) return immediately:
+        logical time has no future, every airing's content is already
+        determined (see module docstring).
+        """
+        if self.slot_duration == 0:
+            return
+        while self.aired < slot and self.running:
+            await self._event.wait()

@@ -1,0 +1,387 @@
+"""Load harness: thousands of concurrent tuners against a loopback station.
+
+The ROADMAP's north star is "heavy traffic from millions of users, as
+fast as the hardware allows"; this module is the measuring stick. It
+spawns a :class:`~repro.net.station.BroadcastStation` on loopback, then
+a fleet of tuner coroutines with Poisson arrivals — each one connection,
+one full pointer walk — and reports throughput, access- and tuning-time
+distributions, loss/retry/abandon counters and a frame-accounting
+balance (every envelope the station sent must have been consumed by
+exactly one walk read; anything else is a transport bug).
+
+The **parity gate** is the harness's correctness anchor: on a zero-loss
+station the socket fleet replays the *identical* request trace through
+the in-process simulator (:func:`repro.client.protocol.run_request`)
+and demands bit-equality of every access time and tuning time — the
+network layer may add wall-clock latency, never slot-denominated error.
+``python -m repro.cli loadtest --check-parity`` (and ``make bench-net``)
+exit non-zero if the gate fails.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from ..broadcast.pointers import BroadcastProgram
+from ..client.protocol import RecoveryPolicy, run_request
+from ..client.walk import WalkResult
+from ..faults import FaultConfig
+from ..io.wire import DEFAULT_BUCKET_SIZE
+from ..perf import PerfRecorder
+from ..planners import plan
+from ..tree.alphabetic import optimal_alphabetic_tree
+from ..workloads.weights import zipf_weights
+from .station import BroadcastStation
+from .tuner import TunerClient
+
+__all__ = [
+    "LoadReport",
+    "build_demo_program",
+    "make_request_trace",
+    "simulator_baseline",
+    "run_loadtest",
+    "write_loadtest_json",
+]
+
+
+def build_demo_program(
+    *,
+    items: int = 24,
+    channels: int = 3,
+    fanout: int = 3,
+    planner: str = "sorting",
+    theta: float = 0.95,
+    seed: int = 2000,
+) -> BroadcastProgram:
+    """A compiled broadcast program for serving/loadtest demos.
+
+    Zipf-weighted catalog of ``items`` string keys, an optimal
+    alphabetic index tree, and any :mod:`repro.planners` registry
+    strategy for the channel allocation.
+    """
+    rng = np.random.default_rng(seed)
+    labels = [f"K{index:03d}" for index in range(items)]
+    weights = zipf_weights(rng, items, theta=theta)
+    tree = optimal_alphabetic_tree(labels, weights, fanout=fanout)
+    return plan(tree, channels, method=planner).compile()
+
+
+def make_request_trace(
+    program: BroadcastProgram, requests: int, rng: np.random.Generator
+) -> list[tuple[str, int]]:
+    """Draw ``requests`` (key, tune_slot) pairs, the workload's trace.
+
+    Targets are drawn proportionally to their access weights and tune-in
+    slots uniformly over the cycle — the same model as
+    :func:`repro.client.simulator.simulate_workload`, reified as a list
+    so the identical trace can be replayed through both the socket
+    fleet and the in-process simulator.
+    """
+    targets = program.schedule.tree.data_nodes()
+    weights = np.array([t.weight for t in targets], dtype=float)
+    if weights.sum() == 0:
+        probabilities = np.full(len(targets), 1.0 / len(targets))
+    else:
+        probabilities = weights / weights.sum()
+    target_draws = rng.choice(len(targets), size=requests, p=probabilities)
+    slot_draws = rng.integers(1, program.cycle_length + 1, size=requests)
+    return [
+        (targets[int(t)].label, int(s))
+        for t, s in zip(target_draws, slot_draws)
+    ]
+
+
+def simulator_baseline(
+    program: BroadcastProgram, trace: list[tuple[str, int]]
+) -> dict:
+    """Replay ``trace`` through the in-process object-level walk."""
+    leaf_of = {leaf.label: leaf for leaf in program.schedule.tree.data_nodes()}
+    records = [
+        run_request(program, leaf_of[key], tune_slot)
+        for key, tune_slot in trace
+    ]
+    return {
+        "requests": len(records),
+        "access_times": [r.access_time for r in records],
+        "tuning_times": [r.tuning_time for r in records],
+        "mean_access_time": (
+            sum(r.access_time for r in records) / len(records)
+            if records
+            else 0.0
+        ),
+        "mean_tuning_time": (
+            sum(r.tuning_time for r in records) / len(records)
+            if records
+            else 0.0
+        ),
+    }
+
+
+@dataclass
+class LoadReport:
+    """Everything one loadtest run measured."""
+
+    tuners: int
+    completed: int
+    abandoned: int
+    wall_seconds: float
+    walks_per_second: float
+    mean_access_time: float
+    mean_tuning_time: float
+    access_percentiles: dict[str, float]
+    tuning_percentiles: dict[str, float]
+    mean_channel_switches: float
+    lost_buckets: int
+    corrupt_buckets: int
+    retries: int
+    wasted_probes: int
+    frames_requested: int
+    frames_answered: int
+    frames_read: int
+    unaccounted_frames: int
+    parity: dict | None = None
+    perf: dict = field(default_factory=dict)
+
+    @property
+    def parity_ok(self) -> bool:
+        """True when no parity check ran or the check matched exactly."""
+        return self.parity is None or bool(self.parity["exact_match"])
+
+    @property
+    def accounting_ok(self) -> bool:
+        return self.unaccounted_frames == 0
+
+    def to_dict(self) -> dict:
+        record = {
+            name: getattr(self, name)
+            for name in (
+                "tuners",
+                "completed",
+                "abandoned",
+                "wall_seconds",
+                "walks_per_second",
+                "mean_access_time",
+                "mean_tuning_time",
+                "access_percentiles",
+                "tuning_percentiles",
+                "mean_channel_switches",
+                "lost_buckets",
+                "corrupt_buckets",
+                "retries",
+                "wasted_probes",
+                "frames_requested",
+                "frames_answered",
+                "frames_read",
+                "unaccounted_frames",
+                "parity",
+                "perf",
+            )
+        }
+        record["checks"] = {
+            "zero_unaccounted_frames": self.accounting_ok,
+            "parity_exact": self.parity_ok,
+        }
+        return record
+
+
+def _percentiles(values: list[int]) -> dict[str, float]:
+    if not values:
+        return {"p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+    array = np.asarray(values, dtype=float)
+    p50, p90, p99 = np.percentile(array, [50, 90, 99])
+    return {
+        "p50": float(p50),
+        "p90": float(p90),
+        "p99": float(p99),
+        "max": float(array.max()),
+    }
+
+
+async def run_loadtest(
+    program: BroadcastProgram,
+    *,
+    tuners: int = 1000,
+    rng: np.random.Generator | None = None,
+    trace: list[tuple[str, int]] | None = None,
+    faults: FaultConfig | None = None,
+    policy: RecoveryPolicy | None = None,
+    slot_duration: float = 0.0,
+    arrival_rate: float = 5000.0,
+    max_open: int = 256,
+    bucket_size: int = DEFAULT_BUCKET_SIZE,
+    queue_limit: int = 64,
+    check_parity: bool = False,
+    perf: PerfRecorder | None = None,
+) -> LoadReport:
+    """Air ``program`` on loopback and run a concurrent tuner fleet.
+
+    Parameters
+    ----------
+    tuners:
+        Fleet size; each tuner makes one connection and one full walk.
+    rng:
+        Drives the request trace and the Poisson arrival offsets
+        (default: seeded generator 2000). Ignored for the trace when an
+        explicit ``trace`` is given.
+    trace:
+        Optional pre-drawn (key, tune_slot) list; its length overrides
+        ``tuners``.
+    faults, policy:
+        Unreliable-air config injected *at the station* and the client
+        fleet's recovery policy.
+    slot_duration:
+        Station pacing in seconds per slot; 0 runs in logical time (as
+        fast as the hardware allows).
+    arrival_rate:
+        Poisson arrival intensity in tuners/second; 0 starts everyone
+        at once.
+    max_open:
+        Concurrency bound on simultaneously open connections (the
+        fleet's coroutines all exist at once; sockets are throttled so
+        a million-tuner ambition does not hit the fd limit head on).
+    check_parity:
+        Replay the identical trace through the in-process simulator and
+        record exact-equality of every access and tuning time. Requires
+        zero-loss air (``faults is None``).
+
+    Returns the aggregated :class:`LoadReport`; ``report.accounting_ok``
+    and ``report.parity_ok`` are the acceptance gates.
+    """
+    if check_parity and faults is not None:
+        raise ValueError(
+            "parity is defined against lossless air; drop faults= or "
+            "check_parity="
+        )
+    if rng is None:
+        rng = np.random.default_rng(2000)
+    if trace is None:
+        trace = make_request_trace(program, tuners, rng)
+    tuners = len(trace)
+    if arrival_rate > 0:
+        offsets = np.cumsum(rng.exponential(1.0 / arrival_rate, size=tuners))
+    else:
+        offsets = np.zeros(tuners)
+
+    recorder = perf if perf is not None else PerfRecorder()
+    station = BroadcastStation(
+        program,
+        bucket_size=bucket_size,
+        faults=faults,
+        slot_duration=slot_duration,
+        queue_limit=queue_limit,
+        perf=recorder,
+    )
+    gate = asyncio.Semaphore(max_open)
+    results: list[WalkResult | None] = [None] * tuners
+    failures: list[Exception] = []
+
+    async def one_tuner(index: int, key: str, tune_slot: int) -> None:
+        if offsets[index]:
+            await asyncio.sleep(float(offsets[index]))
+        async with gate:
+            try:
+                async with TunerClient(
+                    station.host, station.port, policy=policy, perf=recorder
+                ) as tuner:
+                    results[index] = await tuner.fetch(key, tune_slot)
+            except Exception as error:  # accounted, not swallowed
+                failures.append(error)
+
+    started = perf_counter()
+    async with station:
+        await asyncio.gather(
+            *(
+                one_tuner(index, key, slot)
+                for index, (key, slot) in enumerate(trace)
+            )
+        )
+    wall = perf_counter() - started
+    if failures:
+        raise failures[0]
+
+    walks = [result for result in results if result is not None]
+    completed = [walk for walk in walks if not walk.abandoned]
+    reads = sum(walk.tuning_time for walk in walks)
+    counters = recorder.counters
+    requested = counters.get("net.station.requests", 0)
+    answered = counters.get("net.station.frames_sent", 0)
+    recorder.add_seconds("net.loadtest.seconds", wall)
+
+    parity = None
+    if check_parity:
+        baseline = simulator_baseline(program, trace)
+        fleet_access = [walk.access_time for walk in walks]
+        fleet_tuning = [walk.tuning_time for walk in walks]
+        parity = {
+            "exact_match": (
+                fleet_access == baseline["access_times"]
+                and fleet_tuning == baseline["tuning_times"]
+            ),
+            "fleet_mean_access_time": (
+                sum(fleet_access) / len(fleet_access) if fleet_access else 0.0
+            ),
+            "simulator_mean_access_time": baseline["mean_access_time"],
+            "fleet_mean_tuning_time": (
+                sum(fleet_tuning) / len(fleet_tuning) if fleet_tuning else 0.0
+            ),
+            "simulator_mean_tuning_time": baseline["mean_tuning_time"],
+        }
+
+    return LoadReport(
+        tuners=tuners,
+        completed=len(completed),
+        abandoned=len(walks) - len(completed),
+        wall_seconds=wall,
+        walks_per_second=len(walks) / wall if wall > 0 else 0.0,
+        mean_access_time=(
+            sum(w.access_time for w in completed) / len(completed)
+            if completed
+            else 0.0
+        ),
+        mean_tuning_time=(
+            sum(w.tuning_time for w in completed) / len(completed)
+            if completed
+            else 0.0
+        ),
+        access_percentiles=_percentiles([w.access_time for w in completed]),
+        tuning_percentiles=_percentiles([w.tuning_time for w in completed]),
+        mean_channel_switches=(
+            sum(w.channel_switches for w in completed) / len(completed)
+            if completed
+            else 0.0
+        ),
+        lost_buckets=sum(w.lost_buckets for w in walks),
+        corrupt_buckets=sum(w.corrupt_buckets for w in walks),
+        retries=sum(w.retries for w in walks),
+        wasted_probes=sum(w.wasted_probes for w in walks),
+        frames_requested=requested,
+        frames_answered=answered,
+        frames_read=reads,
+        unaccounted_frames=answered - reads,
+        parity=parity,
+        perf=recorder.snapshot(),
+    )
+
+
+def write_loadtest_json(path: str, report: LoadReport, config: dict) -> dict:
+    """Persist one loadtest run as the ``BENCH_net.json`` record."""
+    record = {
+        "suite": "net-loadtest",
+        "config": config,
+        "result": report.to_dict(),
+        "aggregate": {
+            "walks_per_second": report.walks_per_second,
+            "mean_access_time": report.mean_access_time,
+            "mean_tuning_time": report.mean_tuning_time,
+            "checks": report.to_dict()["checks"],
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    return record

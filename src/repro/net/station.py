@@ -1,0 +1,383 @@
+"""The asyncio broadcast station: a compiled plan, actually on air.
+
+The station takes a pointer-wired
+:class:`~repro.broadcast.pointers.BroadcastProgram` (usually via
+:meth:`repro.planners.PlanResult.compile` or
+:meth:`repro.server.BroadcastServer.station`), encodes it to version-1
+wire frames once, and airs it cyclically on a
+:class:`~repro.net.clock.SlotClock` — one frame per channel per slot
+tick — over one of two transports:
+
+* **TCP fan-out** (default). Clients connect, receive a one-line JSON
+  ``WELCOME`` (cycle length, channel count, bucket size, slot
+  duration), then send ``LISTEN <channel> <absolute-slot>`` control
+  lines — one per bucket the pointer walk names; the station answers
+  each with that airing's envelope (:class:`repro.io.wire.AirFrame`)
+  once the slot clock reaches it. A client that listens to nothing
+  receives nothing: dozing costs the station no bandwidth, exactly the
+  energy model of §2.1. Each connection has a bounded request queue and
+  a single ordered sender task, so a slow client backpressures its own
+  socket and nobody else's.
+* **UDP push**. Clients send ``SUB <channel>`` datagrams and the
+  station pushes every airing of that channel as it ticks, through
+  bounded per-channel queues that drop-oldest under overload (counted
+  in ``net.station.udp_dropped`` — a datagram medium loses frames, it
+  does not queue them forever).
+
+Unreliable air is simulated *at the station*, from the same seeded
+:class:`~repro.faults.FaultInjector` the in-process stack uses: a LOST
+outcome airs a lost-marker envelope (the tuned-in client hears
+silence), a CORRUPT outcome airs byte-damaged payloads the receiver's
+frame CRC catches. Outcomes and damage are pure functions of
+(channel, absolute slot), so a socket fleet and the in-process
+simulator experience the *same* channel — the foundation of the
+loopback parity gate.
+
+Shutdown is clean by construction: :meth:`aclose` (or the async context
+manager) closes the listening socket, cancels every per-connection
+task, flushes and closes writers, and stops the clock; all counters
+survive in :attr:`perf`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+
+import numpy as np
+
+from ..broadcast.pointers import BroadcastProgram
+from ..faults import CORRUPT, LOST, FaultConfig, FaultInjector, corrupt_frame
+from ..io.wire import (
+    DEFAULT_BUCKET_SIZE,
+    AirFrame,
+    encode_air_frame,
+    encode_program,
+)
+from ..perf import PerfRecorder
+from .clock import SlotClock
+
+__all__ = ["BroadcastStation"]
+
+_QUEUE_SENTINEL = None
+
+
+class BroadcastStation:
+    """Air one broadcast program over sockets until closed.
+
+    Parameters
+    ----------
+    program:
+        The pointer-wired cycle to air.
+    bucket_size:
+        Frame size in bytes (every airing is exactly this long).
+    faults:
+        Optional :class:`~repro.faults.FaultConfig`; ``None`` is perfect
+        air. The injector is seeded by the config, never by wall time.
+    slot_duration:
+        Seconds per slot. 0 (default) free-runs: TCP requests are
+        answered immediately (logical time), and is invalid for the UDP
+        push transport, which needs real pacing.
+    host, port:
+        Bind address; port 0 picks a free port (read :attr:`port` after
+        :meth:`start`).
+    transport:
+        ``"tcp"`` (LISTEN/answer fan-out) or ``"udp"`` (subscribe/push).
+    queue_limit:
+        Bound of each per-connection (TCP) or per-channel (UDP) send
+        queue.
+    perf:
+        Optional shared :class:`~repro.perf.PerfRecorder`; a private one
+        is created otherwise. Counters are namespaced
+        ``net.station.*``.
+    """
+
+    def __init__(
+        self,
+        program: BroadcastProgram,
+        *,
+        bucket_size: int = DEFAULT_BUCKET_SIZE,
+        faults: FaultConfig | None = None,
+        slot_duration: float = 0.0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        transport: str = "tcp",
+        queue_limit: int = 64,
+        perf: PerfRecorder | None = None,
+    ) -> None:
+        if transport not in ("tcp", "udp"):
+            raise ValueError(
+                f"unknown transport {transport!r}; expected 'tcp' or 'udp'"
+            )
+        if transport == "udp" and slot_duration <= 0:
+            raise ValueError(
+                "the UDP push transport needs real pacing; pass a "
+                "positive slot_duration"
+            )
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.program = program
+        self.bucket_size = bucket_size
+        self.frames = encode_program(program, bucket_size)
+        self.cycle_length = program.cycle_length
+        self.channels = program.channels
+        self.faults = faults
+        self._injector = FaultInjector(faults) if faults is not None else None
+        self.clock = SlotClock(slot_duration)
+        self.host = host
+        self.port = port
+        self.transport = transport
+        self.queue_limit = queue_limit
+        self.perf = perf if perf is not None else PerfRecorder()
+
+        self._server: asyncio.base_events.Server | None = None
+        self._datagram: asyncio.DatagramTransport | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._udp_subscribers: dict[int, set[tuple]] = {}
+        self._udp_queues: dict[int, asyncio.Queue] = {}
+        self._udp_pumps: list[asyncio.Task] = []
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> "BroadcastStation":
+        """Bind the transport and begin airing."""
+        if self._started:
+            return self
+        self._started = True
+        if self.transport == "tcp":
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+            if self.clock.slot_duration > 0:
+                self.clock.start()
+        else:
+            loop = asyncio.get_running_loop()
+            self._datagram, _ = await loop.create_datagram_endpoint(
+                lambda: _UdpAirProtocol(self),
+                local_addr=(self.host, self.port),
+            )
+            self.port = self._datagram.get_extra_info("sockname")[1]
+            for channel in range(1, self.channels + 1):
+                queue: asyncio.Queue = asyncio.Queue(maxsize=self.queue_limit)
+                self._udp_queues[channel] = queue
+                self._udp_pumps.append(
+                    loop.create_task(self._udp_pump(channel, queue))
+                )
+            self.clock.on_tick(self._udp_tick)
+            self.clock.start()
+        return self
+
+    async def aclose(self) -> None:
+        """Stop airing: close sockets, cancel tasks, keep the counters."""
+        if self._closed:
+            return
+        self._closed = True
+        await self.clock.aclose()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._connections) + self._udp_pumps:
+            task.cancel()
+        for task in list(self._connections) + self._udp_pumps:
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        self._connections.clear()
+        self._udp_pumps.clear()
+        if self._datagram is not None:
+            self._datagram.close()
+
+    async def __aenter__(self) -> "BroadcastStation":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # -- the air itself -----------------------------------------------------
+    def airing(self, channel: int, absolute_slot: int) -> AirFrame:
+        """What actually went out on ``channel`` at ``absolute_slot``.
+
+        A pure function of the program, the fault config and the
+        coordinates — the same airing is the same bytes no matter when
+        or how often it is asked for, which is what makes a concurrent
+        fleet's measurements reproducible.
+        """
+        if not 1 <= channel <= self.channels:
+            raise ValueError(f"channel must be in 1..{self.channels}")
+        if absolute_slot < 1:
+            raise ValueError("absolute_slot is 1-based")
+        slot = (absolute_slot - 1) % self.cycle_length + 1
+        frame = self.frames[channel - 1][slot - 1]
+        fate = (
+            self._injector.outcome(channel, absolute_slot)
+            if self._injector is not None
+            else "ok"
+        )
+        if fate == LOST:
+            self.perf.count("net.station.lost_aired")
+            return AirFrame(channel=channel, absolute_slot=absolute_slot, lost=True)
+        if fate == CORRUPT:
+            # Damage is seeded per airing so repeat queries agree.
+            rng = np.random.default_rng(
+                [self.faults.seed, 0xC0, channel, absolute_slot]
+            )
+            self.perf.count("net.station.corrupt_aired")
+            frame = corrupt_frame(frame, rng)
+        return AirFrame(
+            channel=channel, absolute_slot=absolute_slot, payload=frame
+        )
+
+    def welcome(self) -> bytes:
+        """The one-line JSON metadata greeting new TCP connections."""
+        return (
+            json.dumps(
+                {
+                    "cycle_length": self.cycle_length,
+                    "channels": self.channels,
+                    "bucket_size": self.bucket_size,
+                    "slot_duration": self.clock.slot_duration,
+                }
+            ).encode()
+            + b"\n"
+        )
+
+    # -- TCP fan-out --------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._connections.add(task)
+        self.perf.count("net.station.connections")
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self.queue_limit)
+        sender = asyncio.get_running_loop().create_task(
+            self._send_loop(queue, writer)
+        )
+        flush = False
+        try:
+            writer.write(self.welcome())
+            await writer.drain()
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                request = self._parse_control(line)
+                if request == "bye":
+                    break
+                if request is None:
+                    self.perf.count("net.station.protocol_errors")
+                    break
+                # Bounded queue: a client outpacing its own socket
+                # backpressures here, not in station memory.
+                await queue.put(request)
+                self.perf.count("net.station.requests")
+            flush = True  # orderly goodbye: answer what was already asked
+        except (ConnectionResetError, asyncio.CancelledError):
+            pass
+        finally:
+            if flush:
+                try:
+                    queue.put_nowait(_QUEUE_SENTINEL)
+                except asyncio.QueueFull:
+                    flush = False
+            if not flush:
+                sender.cancel()
+            try:
+                await sender
+            except BaseException:
+                # Sender failure, or our own cancellation mid-flush
+                # (station shutdown): take the sender down with us
+                # rather than leak it.
+                sender.cancel()
+                with contextlib.suppress(BaseException):
+                    await sender
+            # BaseException (not Exception): a cancellation delivered in
+            # this teardown must not make the handler end *cancelled* —
+            # asyncio's stream wrapper logs a spurious traceback for
+            # every such handler, and the socket is being closed anyway.
+            writer.close()
+            with contextlib.suppress(BaseException):
+                await writer.wait_closed()
+            self._connections.discard(task)
+
+    def _parse_control(self, line: bytes) -> tuple[int, int] | str | None:
+        parts = line.split()
+        if not parts:
+            return None
+        if parts[0] == b"BYE":
+            return "bye"
+        if parts[0] == b"LISTEN" and len(parts) == 3:
+            try:
+                channel, slot = int(parts[1]), int(parts[2])
+            except ValueError:
+                return None
+            if 1 <= channel <= self.channels and slot >= 1:
+                return (channel, slot)
+        return None
+
+    async def _send_loop(
+        self, queue: asyncio.Queue, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer one connection's LISTENs, in order, paced by the clock."""
+        while True:
+            request = await queue.get()
+            if request is _QUEUE_SENTINEL:
+                return
+            channel, slot = request
+            await self.clock.wait_for(slot)
+            air = self.airing(channel, slot)
+            writer.write(encode_air_frame(air))
+            await writer.drain()
+            self.perf.count("net.station.frames_sent")
+
+    # -- UDP push -----------------------------------------------------------
+    def _udp_tick(self, slot: int) -> None:
+        for channel, subscribers in self._udp_subscribers.items():
+            if not subscribers:
+                continue
+            queue = self._udp_queues[channel]
+            if queue.full():
+                # A datagram medium drops under overload; oldest first.
+                with contextlib.suppress(asyncio.QueueEmpty):
+                    queue.get_nowait()
+                self.perf.count("net.station.udp_dropped")
+            queue.put_nowait(slot)
+
+    async def _udp_pump(self, channel: int, queue: asyncio.Queue) -> None:
+        while True:
+            slot = await queue.get()
+            air = self.airing(channel, slot)
+            datagram = encode_air_frame(air)
+            for address in tuple(self._udp_subscribers.get(channel, ())):
+                assert self._datagram is not None
+                self._datagram.sendto(datagram, address)
+                self.perf.count("net.station.udp_sent")
+
+    def _udp_control(self, data: bytes, address: tuple) -> None:
+        parts = data.split()
+        if len(parts) == 2 and parts[0] in (b"SUB", b"UNSUB"):
+            try:
+                channel = int(parts[1])
+            except ValueError:
+                channel = -1
+            if 1 <= channel <= self.channels:
+                members = self._udp_subscribers.setdefault(channel, set())
+                if parts[0] == b"SUB":
+                    members.add(address)
+                    self.perf.count("net.station.udp_subscribed")
+                else:
+                    members.discard(address)
+                return
+        self.perf.count("net.station.protocol_errors")
+
+
+class _UdpAirProtocol(asyncio.DatagramProtocol):
+    """Datagram endpoint: control messages in, airings out."""
+
+    def __init__(self, station: BroadcastStation) -> None:
+        self.station = station
+
+    def datagram_received(self, data: bytes, addr: tuple) -> None:
+        self.station._udp_control(data, addr)

@@ -90,6 +90,22 @@ class PlanResult:
     cost: float
     method: str
     stats: dict = field(default_factory=dict)
+    _program = None  # cached pointer compilation (not a dataclass field)
+
+    def compile(self):
+        """The pointer-wired :class:`~repro.broadcast.pointers.BroadcastProgram`.
+
+        Every consumer that *executes* a plan — the client simulator,
+        the serving loop, the :mod:`repro.net` station — needs the
+        compiled bucket grid, not the bare schedule; this caches the
+        compilation so planning layers can hand a ``PlanResult``
+        straight to any of them.
+        """
+        from .broadcast.pointers import compile_program
+
+        if self._program is None or self._program.schedule is not self.schedule:
+            self._program = compile_program(self.schedule)
+        return self._program
 
 
 @runtime_checkable

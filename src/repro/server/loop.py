@@ -84,6 +84,10 @@ class ServerReport:
     cycles: list[CycleStats] = field(default_factory=list)
     replans: int = 0
     perf: dict = field(default_factory=dict)
+    # True when the run was cut short by SIGINT/KeyboardInterrupt; the
+    # stats above still cover every *completed* cycle (nothing is lost
+    # on an operator's Ctrl-C — the satellite guarantee).
+    interrupted: bool = False
 
     @property
     def requests_served(self) -> int:
@@ -263,80 +267,113 @@ class BroadcastServer:
             true_weights = {item: 1.0 for item in items}
         report = ServerReport()
         perf = PerfRecorder()
-        for cycle_index in range(cycles):
-            if shift_at is not None and cycle_index == shift_at:
-                if shifted_weights is None:
-                    raise ValueError("shift_at requires shifted_weights")
-                true_weights = shifted_weights
-            raw = np.array([true_weights[item] for item in items], dtype=float)
-            probabilities = raw / raw.sum()
-
-            with perf.timer("serve.seconds"):
-                records = self._serve_cycle(
-                    cycle_index, rng, mean_requests_per_cycle,
-                    probabilities, items,
+        try:
+            for cycle_index in range(cycles):
+                if shift_at is not None and cycle_index == shift_at:
+                    if shifted_weights is None:
+                        raise ValueError("shift_at requires shifted_weights")
+                    true_weights = shifted_weights
+                raw = np.array(
+                    [true_weights[item] for item in items], dtype=float
                 )
-            # The analytic expectation must describe the schedule these
-            # requests actually walked — capture it before any replan
-            # swaps the plan out from under the cycle's statistics.
-            serving_schedule = self.planner.schedule
-            assert serving_schedule is not None
-            analytic = expected_access_time(serving_schedule)
+                probabilities = raw / raw.sum()
 
-            replanned = False
-            if (
-                self.replan_every
-                and (cycle_index + 1) % self.replan_every == 0
-            ):
-                with perf.timer("replan.seconds"):
-                    self.planner.replan()
-                report.replans += 1
-                perf.count("replans")
-                replanned = True
+                with perf.timer("serve.seconds"):
+                    records = self._serve_cycle(
+                        cycle_index, rng, mean_requests_per_cycle,
+                        probabilities, items,
+                    )
+                # The analytic expectation must describe the schedule
+                # these requests actually walked — capture it before any
+                # replan swaps the plan out from under the cycle's
+                # statistics.
+                serving_schedule = self.planner.schedule
+                assert serving_schedule is not None
+                analytic = expected_access_time(serving_schedule)
 
-            count = len(records)
-            perf.count("cycles")
-            perf.count("requests", count)
-            # A request that gave up has no finite access time; it is
-            # counted (requests, abandoned) but never averaged.
-            completed = [
-                r for r in records if not getattr(r, "abandoned", False)
-            ]
-            done = len(completed)
-            lost = sum(getattr(r, "lost_buckets", 0) for r in records)
-            corrupt = sum(getattr(r, "corrupt_buckets", 0) for r in records)
-            retries = sum(getattr(r, "retries", 0) for r in records)
-            if self._injector is not None:
-                perf.count("server.faults.lost", lost)
-                perf.count("server.faults.corrupt", corrupt)
-                perf.count("server.faults.retries", retries)
-                perf.count("server.faults.abandoned", count - done)
-                perf.count(
-                    "server.faults.wasted_probes",
-                    sum(getattr(r, "wasted_probes", 0) for r in records),
+                replanned = False
+                if (
+                    self.replan_every
+                    and (cycle_index + 1) % self.replan_every == 0
+                ):
+                    with perf.timer("replan.seconds"):
+                        self.planner.replan()
+                    report.replans += 1
+                    perf.count("replans")
+                    replanned = True
+
+                count = len(records)
+                perf.count("cycles")
+                perf.count("requests", count)
+                # A request that gave up has no finite access time; it
+                # is counted (requests, abandoned) but never averaged.
+                completed = [
+                    r for r in records if not getattr(r, "abandoned", False)
+                ]
+                done = len(completed)
+                lost = sum(getattr(r, "lost_buckets", 0) for r in records)
+                corrupt = sum(
+                    getattr(r, "corrupt_buckets", 0) for r in records
                 )
-            report.cycles.append(
-                CycleStats(
-                    cycle=cycle_index,
-                    requests=count,
-                    mean_access_time=(
-                        sum(r.access_time for r in completed) / done
-                        if done
-                        else 0.0
-                    ),
-                    mean_tuning_time=(
-                        sum(r.tuning_time for r in completed) / done
-                        if done
-                        else 0.0
-                    ),
-                    analytic_access_time=analytic,
-                    replanned=replanned,
-                    lost_buckets=lost,
-                    corrupt_buckets=corrupt,
-                    retries=retries,
-                    abandoned=count - done,
+                retries = sum(getattr(r, "retries", 0) for r in records)
+                if self._injector is not None:
+                    perf.count("server.faults.lost", lost)
+                    perf.count("server.faults.corrupt", corrupt)
+                    perf.count("server.faults.retries", retries)
+                    perf.count("server.faults.abandoned", count - done)
+                    perf.count(
+                        "server.faults.wasted_probes",
+                        sum(getattr(r, "wasted_probes", 0) for r in records),
+                    )
+                report.cycles.append(
+                    CycleStats(
+                        cycle=cycle_index,
+                        requests=count,
+                        mean_access_time=(
+                            sum(r.access_time for r in completed) / done
+                            if done
+                            else 0.0
+                        ),
+                        mean_tuning_time=(
+                            sum(r.tuning_time for r in completed) / done
+                            if done
+                            else 0.0
+                        ),
+                        analytic_access_time=analytic,
+                        replanned=replanned,
+                        lost_buckets=lost,
+                        corrupt_buckets=corrupt,
+                        retries=retries,
+                        abandoned=count - done,
+                    )
                 )
-            )
+        except KeyboardInterrupt:
+            # SIGINT mid-run: stop airing, keep every completed cycle's
+            # statistics, and flush the perf counters below exactly as a
+            # full run would — the operator's Ctrl-C loses nothing.
+            report.interrupted = True
+            perf.count("interrupts")
         report.perf = perf.snapshot()
         self.perf.merge(perf)
         return report
+
+    # -- the bridge onto real air --------------------------------------------
+    def station(self, **options):
+        """A :class:`repro.net.BroadcastStation` airing the current plan.
+
+        This is how the in-process serving loop graduates to sockets:
+        the server's planner/estimator stack keeps deciding *what* to
+        broadcast, and the returned (unstarted) station puts that plan
+        on the air. The server's fault model is inherited unless
+        ``options`` overrides ``faults=``; any
+        :class:`~repro.net.station.BroadcastStation` keyword passes
+        through. Start it with ``async with server.station() as st:``.
+        """
+        from ..broadcast.pointers import compile_program
+        from ..net.station import BroadcastStation
+
+        schedule = self.planner.schedule
+        if schedule is None:
+            raise RuntimeError("no plan yet; call planner.replan() first")
+        options.setdefault("faults", self.faults)
+        return BroadcastStation(compile_program(schedule), **options)

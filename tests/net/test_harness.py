@@ -1,0 +1,149 @@
+"""Tests for the loadtest harness, including the loopback parity gate."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.client.protocol import RecoveryPolicy, run_request_recovering
+from repro.faults import FaultConfig, FaultInjector
+from repro.net import (
+    build_demo_program,
+    make_request_trace,
+    run_loadtest,
+    simulator_baseline,
+    write_loadtest_json,
+)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_demo_program(items=12, channels=2, fanout=3, seed=17)
+
+
+class TestTrace:
+    def test_trace_is_reproducible(self, program):
+        first = make_request_trace(program, 50, np.random.default_rng(4))
+        again = make_request_trace(program, 50, np.random.default_rng(4))
+        assert first == again
+        labels = {leaf.label for leaf in program.schedule.tree.data_nodes()}
+        for key, slot in first:
+            assert key in labels
+            assert 1 <= slot <= program.cycle_length
+
+
+class TestParityGate:
+    def test_lossless_fleet_reproduces_the_simulator(self, program):
+        report = asyncio.run(
+            run_loadtest(
+                program,
+                tuners=120,
+                rng=np.random.default_rng(6),
+                arrival_rate=0.0,
+                check_parity=True,
+            )
+        )
+        assert report.completed == 120
+        assert report.abandoned == 0
+        assert report.parity is not None
+        assert report.parity["exact_match"]
+        assert report.parity_ok and report.accounting_ok
+        assert report.unaccounted_frames == 0
+        assert report.frames_answered == report.frames_read
+
+    def test_parity_refuses_lossy_air(self, program):
+        with pytest.raises(ValueError, match="lossless"):
+            asyncio.run(
+                run_loadtest(
+                    program,
+                    tuners=5,
+                    faults=FaultConfig(loss=0.1, seed=1),
+                    check_parity=True,
+                )
+            )
+
+    def test_poisson_arrivals_do_not_change_the_numbers(self, program):
+        trace = make_request_trace(program, 60, np.random.default_rng(9))
+        burst = asyncio.run(
+            run_loadtest(program, trace=trace, arrival_rate=0.0)
+        )
+        staggered = asyncio.run(
+            run_loadtest(program, trace=trace, arrival_rate=2000.0)
+        )
+        # Wall clock differs; slot-denominated measurements must not.
+        assert burst.mean_access_time == staggered.mean_access_time
+        assert burst.mean_tuning_time == staggered.mean_tuning_time
+
+
+class TestLossyFleet:
+    def test_lossy_fleet_matches_in_process_recovery(self, program):
+        faults = FaultConfig(loss=0.15, corruption=0.05, seed=11)
+        policy = RecoveryPolicy(mode="retry-parent", max_cycles=8)
+        trace = make_request_trace(program, 80, np.random.default_rng(3))
+        report = asyncio.run(
+            run_loadtest(
+                program,
+                trace=trace,
+                faults=faults,
+                policy=policy,
+                arrival_rate=0.0,
+            )
+        )
+        leaf_of = {
+            leaf.label: leaf for leaf in program.schedule.tree.data_nodes()
+        }
+        injector = FaultInjector(faults)
+        baseline = [
+            run_request_recovering(
+                program, leaf_of[key], slot, faults=injector, policy=policy
+            )
+            for key, slot in trace
+        ]
+        done = [r for r in baseline if not r.abandoned]
+        assert report.completed == len(done)
+        assert report.lost_buckets == sum(r.lost_buckets for r in baseline)
+        assert report.corrupt_buckets == sum(
+            r.corrupt_buckets for r in baseline
+        )
+        assert report.retries == sum(r.retries for r in baseline)
+        if done:
+            assert report.mean_access_time == pytest.approx(
+                sum(r.access_time for r in done) / len(done)
+            )
+        assert report.accounting_ok
+
+    def test_simulator_baseline_shape(self, program):
+        trace = make_request_trace(program, 10, np.random.default_rng(2))
+        baseline = simulator_baseline(program, trace)
+        assert baseline["requests"] == 10
+        assert len(baseline["access_times"]) == 10
+        assert baseline["mean_access_time"] == pytest.approx(
+            sum(baseline["access_times"]) / 10
+        )
+
+
+class TestReportRecord:
+    def test_write_loadtest_json(self, program, tmp_path):
+        report = asyncio.run(
+            run_loadtest(
+                program,
+                tuners=20,
+                rng=np.random.default_rng(1),
+                arrival_rate=0.0,
+                check_parity=True,
+            )
+        )
+        path = tmp_path / "BENCH_net.json"
+        record = write_loadtest_json(str(path), report, {"tuners": 20})
+        on_disk = json.loads(path.read_text())
+        assert on_disk == record
+        assert on_disk["suite"] == "net-loadtest"
+        assert on_disk["config"] == {"tuners": 20}
+        assert on_disk["aggregate"]["checks"] == {
+            "zero_unaccounted_frames": True,
+            "parity_exact": True,
+        }
+        assert on_disk["result"]["tuners"] == 20

@@ -1,0 +1,223 @@
+"""Tests for the asyncio broadcast station (both transports)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.faults import FaultConfig
+from repro.io.wire import FrameStreamDecoder, decode_bucket
+from repro.net import BroadcastStation, build_demo_program
+from repro.perf import PerfRecorder
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_demo_program(items=10, channels=2, fanout=3, seed=3)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestConstruction:
+    def test_rejects_unknown_transport(self, program):
+        with pytest.raises(ValueError, match="transport"):
+            BroadcastStation(program, transport="carrier-pigeon")
+
+    def test_udp_requires_pacing(self, program):
+        with pytest.raises(ValueError, match="pacing"):
+            BroadcastStation(program, transport="udp", slot_duration=0.0)
+
+    def test_rejects_bad_queue_limit(self, program):
+        with pytest.raises(ValueError, match="queue_limit"):
+            BroadcastStation(program, queue_limit=0)
+
+
+class TestAiring:
+    def test_airing_is_pure(self, program):
+        station = BroadcastStation(
+            program, faults=FaultConfig(loss=0.3, corruption=0.1, seed=5)
+        )
+        for channel in (1, 2):
+            for slot in (1, 7, 23):
+                first = station.airing(channel, slot)
+                again = station.airing(channel, slot)
+                assert first == again  # same fate, same bytes, every time
+
+    def test_airing_wraps_the_cycle(self, program):
+        station = BroadcastStation(program)
+        cycle = program.cycle_length
+        assert station.airing(1, 3).payload == station.airing(1, 3 + cycle).payload
+
+    def test_airing_rejects_bad_coordinates(self, program):
+        station = BroadcastStation(program)
+        with pytest.raises(ValueError):
+            station.airing(0, 1)
+        with pytest.raises(ValueError):
+            station.airing(99, 1)
+        with pytest.raises(ValueError):
+            station.airing(1, 0)
+
+    def test_lost_airing_has_no_payload(self, program):
+        station = BroadcastStation(
+            program, faults=FaultConfig(loss=0.9, seed=1)
+        )
+        lost = [
+            station.airing(1, slot)
+            for slot in range(1, 40)
+            if station.airing(1, slot).lost
+        ]
+        assert lost, "a 0.9-loss channel must drop something in 40 slots"
+        assert all(air.payload == b"" for air in lost)
+
+
+class TestTcpFanout:
+    def test_listen_answer_roundtrip(self, program):
+        async def scenario():
+            async with BroadcastStation(program) as station:
+                reader, writer = await asyncio.open_connection(
+                    station.host, station.port
+                )
+                welcome = json.loads(await reader.readline())
+                assert welcome["cycle_length"] == program.cycle_length
+                assert welcome["channels"] == program.channels
+
+                writer.write(b"LISTEN 1 3\n")
+                await writer.drain()
+                decoder = FrameStreamDecoder()
+                frames = []
+                while not frames:
+                    frames = decoder.feed(await reader.read(4096))
+                (air,) = frames
+                assert (air.channel, air.absolute_slot) == (1, 3)
+                # The payload is the actual slot-3 frame of the cycle.
+                decode_bucket(air.payload, channel=1, offset=3)
+
+                writer.write(b"BYE\n")
+                await writer.drain()
+                assert await reader.read() == b""  # orderly close
+                writer.close()
+                await writer.wait_closed()
+
+        run(scenario())
+
+    def test_garbage_control_line_closes_the_connection(self, program):
+        async def scenario():
+            perf = PerfRecorder()
+            async with BroadcastStation(program, perf=perf) as station:
+                reader, writer = await asyncio.open_connection(
+                    station.host, station.port
+                )
+                await reader.readline()  # welcome
+                writer.write(b"EAVESDROP everything\n")
+                await writer.drain()
+                assert await reader.read() == b""
+                writer.close()
+                await writer.wait_closed()
+            assert perf.counters["net.station.protocol_errors"] == 1
+
+        run(scenario())
+
+    def test_shutdown_with_connection_mid_walk(self, program):
+        """aclose() while a client is connected must not hang or leak."""
+
+        async def scenario():
+            station = BroadcastStation(program)
+            await station.start()
+            reader, writer = await asyncio.open_connection(
+                station.host, station.port
+            )
+            await reader.readline()
+            writer.write(b"LISTEN 1 1\n")  # walk in progress, no BYE
+            await writer.drain()
+            await asyncio.sleep(0.01)
+            await station.aclose()
+            assert not station._connections
+            await station.aclose()  # idempotent
+            while await reader.read(4096):
+                pass  # drain any answered frames until the hang-up EOF
+            writer.close()
+            await writer.wait_closed()
+
+        run(scenario())
+
+    def test_counters_survive_shutdown(self, program):
+        async def scenario():
+            perf = PerfRecorder()
+            async with BroadcastStation(program, perf=perf) as station:
+                reader, writer = await asyncio.open_connection(
+                    station.host, station.port
+                )
+                await reader.readline()
+                writer.write(b"LISTEN 2 5\nBYE\n")
+                await writer.drain()
+                await reader.read()
+                writer.close()
+                await writer.wait_closed()
+            return perf
+
+        perf = run(scenario())
+        assert perf.counters["net.station.connections"] == 1
+        assert perf.counters["net.station.requests"] == 1
+        assert perf.counters["net.station.frames_sent"] == 1
+
+
+class TestUdpPush:
+    def test_subscribe_receives_paced_airings(self, program):
+        async def scenario():
+            async with BroadcastStation(
+                program, transport="udp", slot_duration=0.002
+            ) as station:
+                loop = asyncio.get_running_loop()
+                received: asyncio.Queue = asyncio.Queue()
+
+                class Listener(asyncio.DatagramProtocol):
+                    def connection_made(self, transport):
+                        self.transport = transport
+
+                    def datagram_received(self, data, addr):
+                        received.put_nowait(data)
+
+                transport, protocol = await loop.create_datagram_endpoint(
+                    Listener, remote_addr=(station.host, station.port)
+                )
+                protocol.transport.sendto(b"SUB 1")
+                airs = []
+                decoder = FrameStreamDecoder()
+                while len(airs) < 3:
+                    datagram = await asyncio.wait_for(
+                        received.get(), timeout=5.0
+                    )
+                    airs.extend(decoder.feed(datagram))
+                transport.close()
+
+            assert all(air.channel == 1 for air in airs)
+            slots = [air.absolute_slot for air in airs]
+            assert slots == sorted(slots)
+            for air in airs:
+                decode_bucket(air.payload)
+
+        run(scenario())
+
+    def test_bad_subscription_counts_protocol_error(self, program):
+        async def scenario():
+            perf = PerfRecorder()
+            async with BroadcastStation(
+                program, transport="udp", slot_duration=0.01, perf=perf
+            ) as station:
+                loop = asyncio.get_running_loop()
+                transport, _ = await loop.create_datagram_endpoint(
+                    asyncio.DatagramProtocol,
+                    remote_addr=(station.host, station.port),
+                )
+                transport.sendto(b"SUB 999")
+                transport.sendto(b"nonsense")
+                await asyncio.sleep(0.05)
+                transport.close()
+            return perf
+
+        perf = run(scenario())
+        assert perf.counters["net.station.protocol_errors"] == 2

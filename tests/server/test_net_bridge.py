@@ -1,0 +1,49 @@
+"""The BroadcastServer → BroadcastStation bridge: a plan graduates to air."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.faults import FaultConfig
+from repro.net import TunerClient
+from repro.server import BroadcastServer
+
+
+class TestStationBridge:
+    def test_station_airs_the_current_plan(self):
+        items = [f"K{i:02d}" for i in range(6)]
+        server = BroadcastServer(items, channels=2, fanout=3)
+
+        async def scenario():
+            async with server.station() as station:
+                async with TunerClient(station.host, station.port) as tuner:
+                    return await tuner.fetch("K03", 1)
+
+        result = asyncio.run(scenario())
+        assert result.payload == b"item:K03"
+        assert not result.abandoned
+
+    def test_station_inherits_the_server_fault_model(self):
+        items = [f"K{i:02d}" for i in range(6)]
+        faults = FaultConfig(loss=0.5, seed=3)
+        server = BroadcastServer(items, channels=2, faults=faults)
+        station = server.station()
+        assert station.faults is faults
+        # ...unless explicitly overridden.
+        assert server.station(faults=None).faults is None
+
+    def test_station_options_pass_through(self):
+        items = [f"K{i:02d}" for i in range(6)]
+        server = BroadcastServer(items, channels=2)
+        station = server.station(bucket_size=128, queue_limit=8)
+        assert station.bucket_size == 128
+        assert station.queue_limit == 8
+
+    def test_station_requires_a_plan(self):
+        items = [f"K{i:02d}" for i in range(6)]
+        server = BroadcastServer(items, channels=2)
+        server.planner.schedule = None
+        with pytest.raises(RuntimeError, match="no plan"):
+            server.station()

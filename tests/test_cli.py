@@ -100,3 +100,96 @@ class TestCommands:
         assert "p0_differential=True" in out
         record = json.loads(path.read_text())
         assert all(record["aggregate"]["checks"].values())
+
+
+class TestNetCommands:
+    def test_loadtest_parity_gate_passes(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "BENCH_net.json"
+        assert main(
+            [
+                "loadtest",
+                "--tuners", "60",
+                "--items", "10",
+                "--channels", "2",
+                "--check-parity",
+                "--json", str(path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "parity vs simulator: EXACT" in out
+        assert "0 unaccounted" in out
+        record = json.loads(path.read_text())
+        assert record["suite"] == "net-loadtest"
+        assert record["aggregate"]["checks"] == {
+            "zero_unaccounted_frames": True,
+            "parity_exact": True,
+        }
+
+    def test_loadtest_lossy_fleet(self, capsys):
+        assert main(
+            [
+                "loadtest",
+                "--tuners", "40",
+                "--items", "10",
+                "--channels", "2",
+                "--loss", "0.2",
+                "--policy", "retry-parent",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "faults:" in out
+
+    def test_loadtest_parity_refuses_lossy_air(self, capsys):
+        assert main(
+            ["loadtest", "--tuners", "5", "--loss", "0.1", "--check-parity"]
+        ) == 2
+        assert "lossless air" in capsys.readouterr().err
+
+    def test_serve_and_tune_then_sigint_exits_cleanly(self, tmp_path):
+        """The serve command airs for real, answers a live tune, and a
+        Ctrl-C (SIGINT) shuts it down with exit code 0 and flushed stats.
+        """
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-u", "-m", "repro.cli",
+                "serve", "--items", "10", "--channels", "2", "--port", "0",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"tcp://127\.0\.0\.1:(\d+)", banner)
+            assert match, f"no address in serve banner: {banner!r}"
+            port = match.group(1)
+
+            assert main(
+                ["tune", "--port", port, "--key", "K003", "--tune-slot", "2"]
+            ) == 0
+
+            proc.send_signal(signal.SIGINT)
+            out, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0
+        assert "station stopped; stats flushed" in out
+        assert "net.station.connections = 1" in out
+
+    def test_tune_against_nothing_fails(self):
+        with pytest.raises(OSError):
+            main(["tune", "--port", "1", "--key", "K000"])
