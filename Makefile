@@ -1,6 +1,22 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-json bench-server bench-net examples experiments clean
+# Bench-envelope stamps (see src/repro/bench_envelope.py): every
+# BENCH_*.json written through the bench-* targets carries the git
+# revision and a UTC timestamp, supplied here so the benches themselves
+# never read clocks they do not own.
+# := (immediate) so one make invocation stamps every suite with the
+# same values — bench-merge checks envelope consistency across files.
+ifeq ($(origin GIT_REV), undefined)
+GIT_REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
+endif
+ifeq ($(origin BENCH_TIMESTAMP), undefined)
+BENCH_TIMESTAMP := $(shell date -u +%Y-%m-%dT%H:%M:%SZ)
+endif
+BENCH_META = --rev $(GIT_REV) --timestamp $(BENCH_TIMESTAMP)
+BENCH_REPEATS ?= 3
+BENCH_TUNERS ?= 1000
+
+.PHONY: install test bench bench-json bench-server bench-net bench-all examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,13 +28,16 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-json:
-	$(PYTHON) -m repro.cli bench --json BENCH_search.json
+	$(PYTHON) -m repro.cli bench --repeats $(BENCH_REPEATS) --json BENCH_search.json $(BENCH_META)
 
 bench-server:
-	$(PYTHON) -m repro.cli bench-server --json BENCH_server.json
+	$(PYTHON) -m repro.cli bench-server --json BENCH_server.json $(BENCH_META)
 
 bench-net:
-	$(PYTHON) -m repro.cli loadtest --tuners 1000 --check-parity --json BENCH_net.json
+	$(PYTHON) -m repro.cli loadtest --tuners $(BENCH_TUNERS) --check-parity --json BENCH_net.json $(BENCH_META)
+
+bench-all: bench-json bench-server bench-net
+	$(PYTHON) -m repro.cli bench-merge BENCH_search.json BENCH_server.json BENCH_net.json --out BENCH_all.json
 
 examples:
 	@for script in examples/*.py; do \

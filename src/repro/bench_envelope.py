@@ -1,0 +1,148 @@
+"""The shared envelope of every ``BENCH_*.json`` perf record.
+
+Three bench suites persist JSON records — ``bench --json``
+(``BENCH_search.json``), ``bench-server --json`` (``BENCH_server.json``)
+and ``loadtest --json`` (``BENCH_net.json``) — and they grew up
+separately: same spirit, no shared schema. This module is the contract
+they now share. Every record carries the same four top-level fields::
+
+    {
+      "schema_version": 1,        # this module's SCHEMA_VERSION
+      "suite": "search-overhaul", # which bench produced it
+      "rev": "d77d042",           # git revision, stamped by the caller
+      "timestamp": "2026-…",      # ISO timestamp, stamped by the caller
+      ...                         # the suite's own payload
+    }
+
+``rev`` and ``timestamp`` are *passed in* (the Makefile's ``bench-all``
+target supplies ``git rev-parse`` and ``date -u``) rather than sampled
+here — the benches themselves stay deterministic and never read clocks
+they do not own. :func:`merge_records` folds the stamped per-suite
+records into one ``BENCH_all.json`` whose ``aggregate.checks`` is the
+union of every suite's acceptance checks (prefixed by suite name), plus
+envelope-consistency checks of its own.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Mapping
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ENVELOPE_FIELDS",
+    "stamp_record",
+    "validate_record",
+    "merge_records",
+    "load_records",
+    "write_merged_json",
+]
+
+SCHEMA_VERSION = 1
+
+#: Top-level keys every stamped bench record must carry.
+ENVELOPE_FIELDS = ("schema_version", "suite", "rev", "timestamp")
+
+
+def stamp_record(
+    record: dict,
+    *,
+    rev: str | None = None,
+    timestamp: str | None = None,
+) -> dict:
+    """Return ``record`` wrapped in the shared envelope.
+
+    The envelope fields lead the document (stable, greppable heads for
+    ``BENCH_*.json`` files in CI artifacts); the suite's own payload
+    follows untouched. ``suite`` is taken from the record itself —
+    every bench already names itself — and ``rev``/``timestamp`` are
+    whatever the caller passes (``None`` meaning "not stamped", e.g. a
+    developer run outside the Makefile).
+    """
+    suite = record.get("suite")
+    if not suite:
+        raise ValueError("bench record has no 'suite' field to envelope")
+    payload = {
+        key: value
+        for key, value in record.items()
+        if key not in ENVELOPE_FIELDS
+    }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite,
+        "rev": rev,
+        "timestamp": timestamp,
+        **payload,
+    }
+
+
+def validate_record(record: dict) -> None:
+    """Raise ``ValueError`` unless ``record`` wears the shared envelope."""
+    missing = [field for field in ENVELOPE_FIELDS if field not in record]
+    if missing:
+        raise ValueError(
+            f"bench record is missing envelope field(s): {', '.join(missing)}"
+        )
+    version = record["schema_version"]
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"bench record has schema_version {version!r}; this tooling "
+            f"speaks {SCHEMA_VERSION}"
+        )
+
+
+def merge_records(records: Mapping[str, dict]) -> dict:
+    """Fold stamped per-suite records into one ``BENCH_all.json`` document.
+
+    ``records`` maps suite name → stamped record. The merged document
+    carries every suite under ``suites`` and an ``aggregate.checks``
+    union where each member check is prefixed by its suite name
+    (``"net-loadtest.parity_exact"``), plus two envelope checks of its
+    own: every member stamped at the same ``rev``, and every member on
+    this schema version.
+    """
+    if not records:
+        raise ValueError("nothing to merge: no bench records given")
+    checks: dict[str, bool] = {}
+    versions_ok = True
+    for name in sorted(records):
+        record = records[name]
+        versions_ok &= record.get("schema_version") == SCHEMA_VERSION
+        member_checks = record.get("aggregate", {}).get("checks", {})
+        for check, ok in member_checks.items():
+            checks[f"{name}.{check}"] = bool(ok)
+    revs = {record.get("rev") for record in records.values()}
+    stamps = {record.get("timestamp") for record in records.values()}
+    checks["envelope.same_rev"] = len(revs) == 1
+    checks["envelope.schema_version"] = versions_ok
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "all",
+        "rev": revs.pop() if len(revs) == 1 else None,
+        "timestamp": stamps.pop() if len(stamps) == 1 else None,
+        "suites": {name: records[name] for name in sorted(records)},
+        "aggregate": {"checks": checks},
+    }
+
+
+def load_records(paths: Iterable[str]) -> dict[str, dict]:
+    """Read stamped records from ``paths``, keyed by their suite names."""
+    records: dict[str, dict] = {}
+    for path in paths:
+        with open(path) as handle:
+            record = json.load(handle)
+        validate_record(record)
+        suite = record["suite"]
+        if suite in records:
+            raise ValueError(f"duplicate bench suite {suite!r} (from {path})")
+        records[suite] = record
+    return records
+
+
+def write_merged_json(path: str, records: Mapping[str, dict]) -> dict:
+    """Merge ``records`` and write the ``BENCH_all.json`` document."""
+    merged = merge_records(records)
+    with open(path, "w") as handle:
+        json.dump(merged, handle, indent=2)
+        handle.write("\n")
+    return merged

@@ -17,10 +17,21 @@ Subcommands regenerate each experiment on demand:
   lossy air, writing ``BENCH_server.json`` via ``--json``;
 * ``serve``    — put a compiled plan on the air over real sockets
   (:mod:`repro.net`); Ctrl-C shuts down cleanly and flushes stats;
+  ``--metrics-port`` additionally mounts the :mod:`repro.obs` HTTP
+  endpoint (``/metrics`` Prometheus exposition + ``/healthz``);
 * ``tune``     — one live client walk against a running station;
 * ``loadtest`` — the concurrent tuner-fleet harness; with
   ``--check-parity`` it exits non-zero unless the socket fleet's
-  access/tuning times match the in-process simulator exactly.
+  access/tuning times match the in-process simulator exactly; with
+  ``--trace PREFIX`` it writes the fleet's JSONL event trace
+  (``PREFIX.live.jsonl``) alongside a lossless simulator replay of the
+  identical request trace (``PREFIX.sim.jsonl``) — the input pair for
+  ``obs diff``;
+* ``obs``      — trace tooling: ``obs timeline`` reconstructs the
+  per-(channel, slot) view of one JSONL trace, ``obs diff`` compares
+  two traces and names the first divergent slot;
+* ``bench-merge`` — fold stamped ``BENCH_*.json`` records into one
+  ``BENCH_all.json`` (see :mod:`repro.bench_envelope`).
 
 Installed as the ``repro`` console script (``broadcast-alloc`` remains
 as the historical alias).
@@ -47,6 +58,22 @@ from .core.optimal import solve
 from .tree.builders import paper_example_tree
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_envelope_options(sub: argparse.ArgumentParser) -> None:
+    """``--rev``/``--timestamp`` stamps for JSON-writing bench commands."""
+    sub.add_argument(
+        "--rev",
+        default=None,
+        help="git revision to stamp into the bench envelope "
+        "(the Makefile passes `git rev-parse --short HEAD`)",
+    )
+    sub.add_argument(
+        "--timestamp",
+        default=None,
+        help="ISO timestamp to stamp into the bench envelope "
+        "(the Makefile passes `date -u`)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -115,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="timing repeats per case; wall time is the best-of-N "
         "(default 3)",
     )
+    _add_envelope_options(bench)
 
     spaces = commands.add_parser(
         "spaces", help="render the reduced search trees (Figs. 9-12)"
@@ -182,6 +210,24 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the JSON perf record to PATH",
     )
+    _add_envelope_options(bench_server)
+
+    bench_merge = commands.add_parser(
+        "bench-merge",
+        help="merge stamped BENCH_*.json records into BENCH_all.json",
+    )
+    bench_merge.add_argument(
+        "inputs",
+        nargs="+",
+        metavar="BENCH_JSON",
+        help="stamped bench records (BENCH_search/server/net.json)",
+    )
+    bench_merge.add_argument(
+        "--out",
+        required=True,
+        metavar="PATH",
+        help="path of the merged BENCH_all.json document",
+    )
 
     def add_program_options(sub: argparse.ArgumentParser) -> None:
         """Knobs shared by every repro.net command that builds a plan."""
@@ -219,6 +265,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="per-bucket payload corruption probability",
+    )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve /metrics (Prometheus) and /healthz on this "
+        "port (0 picks a free one)",
     )
 
     tune = commands.add_parser(
@@ -283,6 +337,50 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the BENCH_net.json loadtest record to PATH",
+    )
+    loadtest.add_argument(
+        "--trace",
+        dest="trace_prefix",
+        default=None,
+        metavar="PREFIX",
+        help="write the fleet's JSONL event trace to PREFIX.live.jsonl "
+        "and a lossless simulator replay of the same requests to "
+        "PREFIX.sim.jsonl (diff them with 'obs diff')",
+    )
+    _add_envelope_options(loadtest)
+
+    obs = commands.add_parser(
+        "obs", help="trace tooling: timelines and trace diffs"
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    timeline = obs_commands.add_parser(
+        "timeline",
+        help="reconstruct the per-(channel, slot) view of one trace",
+    )
+    timeline.add_argument("trace", help="JSONL trace file")
+    timeline.add_argument(
+        "--channel", type=int, default=None, help="show one channel only"
+    )
+    timeline.add_argument(
+        "--limit",
+        type=int,
+        default=40,
+        help="max slot cells to print (0 = all; default 40)",
+    )
+    diff = obs_commands.add_parser(
+        "diff",
+        help="compare two traces; exit 1 and name the first divergent "
+        "slot when they disagree",
+    )
+    diff.add_argument("trace_a", help="JSONL trace file (side A)")
+    diff.add_argument("trace_b", help="JSONL trace file (side B)")
+    diff.add_argument("--label-a", default="A", help="display name of side A")
+    diff.add_argument("--label-b", default="B", help="display name of side B")
+    diff.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="max divergent cells to print (default 10)",
     )
 
     sensitivity = commands.add_parser(
@@ -375,7 +473,12 @@ def main(argv: list[str] | None = None) -> int:
             print("error: --repeats must be >= 1", file=sys.stderr)
             return 2
         if args.json_path:
-            record = write_bench_json(args.json_path, repeats=args.repeats)
+            record = write_bench_json(
+                args.json_path,
+                repeats=args.repeats,
+                rev=args.rev,
+                timestamp=args.timestamp,
+            )
         else:
             record = run_bench(repeats=args.repeats)
         print(format_bench(record))
@@ -473,7 +576,9 @@ def main(argv: list[str] | None = None) -> int:
         )
 
         if args.json_path:
-            record = write_server_bench_json(args.json_path)
+            record = write_server_bench_json(
+                args.json_path, rev=args.rev, timestamp=args.timestamp
+            )
         else:
             record = run_server_bench()
         print(format_server_bench(record))
@@ -490,6 +595,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "loadtest":
         return _cmd_loadtest(args)
+
+    if args.command == "obs":
+        return _cmd_obs(args)
+
+    if args.command == "bench-merge":
+        return _cmd_bench_merge(args)
 
     if args.command == "sensitivity":
         from .analysis.sensitivity import (
@@ -585,7 +696,39 @@ def _cmd_serve(args) -> int:
                 f"{program.cycle_length}, on {args.transport}://"
                 f"{station.host}:{station.port} (Ctrl-C to stop)"
             )
-            await asyncio.Event().wait()
+            if args.metrics_port is not None:
+                from .obs import (
+                    MetricsRegistry,
+                    ObsHttpServer,
+                    declare_perf_baseline,
+                )
+
+                registry = MetricsRegistry()
+                declare_perf_baseline(registry)
+
+                def health() -> dict:
+                    return {
+                        "status": "ok",
+                        "transport": args.transport,
+                        "channels": station.channels,
+                        "cycle_length": station.cycle_length,
+                        "station_port": station.port,
+                    }
+
+                async with ObsHttpServer(
+                    registry,
+                    collect=lambda reg: reg.absorb_perf(perf),
+                    health=health,
+                    host=args.host,
+                    port=args.metrics_port,
+                ) as metrics:
+                    print(
+                        "metrics on http://"
+                        f"{args.host}:{metrics.port}/metrics"
+                    )
+                    await asyncio.Event().wait()
+            else:
+                await asyncio.Event().wait()
 
     try:
         asyncio.run(air_forever())
@@ -594,6 +737,11 @@ def _cmd_serve(args) -> int:
         # serving tasks and run the station's async-with teardown, so
         # sockets are closed — flush the counters and exit cleanly.
         pass
+    except OSError as error:
+        # Bind failure (port already in use, bad address): a usage
+        # error the operator can fix, not a traceback.
+        print(f"error: cannot serve: {error}", file=sys.stderr)
+        return 1
     counters = perf.snapshot().get("counters", {})
     print("station stopped; stats flushed:")
     for name in sorted(counters):
@@ -605,6 +753,7 @@ def _cmd_serve(args) -> int:
 def _cmd_tune(args) -> int:
     import asyncio
 
+    from .exceptions import ReproError
     from .net import TunerClient
 
     async def one_walk():
@@ -615,7 +764,19 @@ def _cmd_tune(args) -> int:
         ) as tuner:
             return await tuner.fetch(args.key, args.tune_slot)
 
-    result = asyncio.run(one_walk())
+    try:
+        result = asyncio.run(one_walk())
+    except OSError as error:
+        print(
+            f"error: cannot reach station at {args.host}:{args.port}: "
+            f"{error}",
+            file=sys.stderr,
+        )
+        return 1
+    except ReproError as error:
+        # Protocol violations and failed lookups: report, don't crash.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     if result.abandoned:
         print(
             f"abandoned after {result.cycles_spent} cycle(s): "
@@ -638,7 +799,13 @@ def _cmd_tune(args) -> int:
 def _cmd_loadtest(args) -> int:
     import asyncio
 
-    from .net import build_demo_program, run_loadtest, write_loadtest_json
+    from .net import (
+        build_demo_program,
+        make_request_trace,
+        run_loadtest,
+        trace_simulator,
+        write_loadtest_json,
+    )
 
     faults = _net_faults(args)
     if args.check_parity and faults is not None:
@@ -655,19 +822,43 @@ def _cmd_loadtest(args) -> int:
         planner=args.planner,
         seed=args.seed,
     )
-    report = asyncio.run(
-        run_loadtest(
-            program,
-            tuners=args.tuners,
-            rng=np.random.default_rng(args.seed),
-            faults=faults,
-            policy=_net_policy(args.policy, args.max_cycles),
-            slot_duration=args.slot_duration,
-            arrival_rate=args.arrival_rate,
-            max_open=args.max_open,
-            check_parity=args.check_parity,
+    rng = np.random.default_rng(args.seed)
+    trace = None
+    tracer = None
+    if args.trace_prefix:
+        from .obs.events import JsonlTracer
+
+        # Pre-draw the request trace from the same generator state the
+        # harness would have used, so measured numbers are unchanged by
+        # tracing; the identical trace then feeds the simulator replay.
+        trace = make_request_trace(program, args.tuners, rng)
+        tracer = JsonlTracer(f"{args.trace_prefix}.live.jsonl")
+    try:
+        report = asyncio.run(
+            run_loadtest(
+                program,
+                tuners=args.tuners,
+                rng=rng,
+                trace=trace,
+                faults=faults,
+                policy=_net_policy(args.policy, args.max_cycles),
+                slot_duration=args.slot_duration,
+                arrival_rate=args.arrival_rate,
+                max_open=args.max_open,
+                check_parity=args.check_parity,
+                tracer=tracer,
+            )
         )
-    )
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if args.trace_prefix:
+        from .obs.events import JsonlTracer
+
+        with JsonlTracer(f"{args.trace_prefix}.sim.jsonl") as sim_tracer:
+            trace_simulator(program, trace, tracer=sim_tracer)
+        print(f"live trace written to {args.trace_prefix}.live.jsonl")
+        print(f"simulator trace written to {args.trace_prefix}.sim.jsonl")
     print(
         f"{report.tuners} tuners: {report.completed} completed, "
         f"{report.abandoned} abandoned in {report.wall_seconds:.2f}s "
@@ -720,7 +911,13 @@ def _cmd_loadtest(args) -> int:
             "check_parity": args.check_parity,
             "seed": args.seed,
         }
-        write_loadtest_json(args.json_path, report, config)
+        write_loadtest_json(
+            args.json_path,
+            report,
+            config,
+            rev=args.rev,
+            timestamp=args.timestamp,
+        )
         print(f"loadtest record written to {args.json_path}")
     ok = report.accounting_ok and report.parity_ok
     if not report.accounting_ok:
@@ -735,6 +932,60 @@ def _cmd_loadtest(args) -> int:
             file=sys.stderr,
         )
     return 0 if ok else 1
+
+
+def _cmd_obs(args) -> int:
+    from .obs import (
+        diff_trace_files,
+        format_diff,
+        format_timeline,
+        load_timeline,
+    )
+
+    if args.obs_command == "timeline":
+        try:
+            timeline = load_timeline(args.trace)
+        except OSError as error:
+            print(f"error: cannot read trace: {error}", file=sys.stderr)
+            return 1
+        print(
+            format_timeline(
+                timeline, limit=args.limit, channel=args.channel
+            )
+        )
+        return 0
+
+    assert args.obs_command == "diff"
+    try:
+        diff = diff_trace_files(args.trace_a, args.trace_b)
+    except OSError as error:
+        print(f"error: cannot read trace: {error}", file=sys.stderr)
+        return 1
+    print(
+        format_diff(
+            diff,
+            label_a=args.label_a,
+            label_b=args.label_b,
+            limit=args.limit,
+        )
+    )
+    return 0 if diff.identical else 1
+
+
+def _cmd_bench_merge(args) -> int:
+    from .bench_envelope import load_records, write_merged_json
+
+    try:
+        records = load_records(args.inputs)
+        merged = write_merged_json(args.out, records)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    checks = merged["aggregate"]["checks"]
+    for name in sorted(checks):
+        print(f"{'ok  ' if checks[name] else 'FAIL'} {name}")
+    print(f"merged record written to {args.out}")
+    return 0 if all(checks.values()) else 1
 
 
 if __name__ == "__main__":

@@ -36,6 +36,13 @@ from dataclasses import dataclass
 
 from ..exceptions import ReproError
 from ..io.wire import DecodedBucket, DecodedPointer, WireFormatError
+from ..obs.events import (
+    NULL_TRACER,
+    ChannelHop,
+    SlotRead,
+    Tracer,
+    WalkFinished,
+)
 from .protocol import RecoveryPolicy, _next_airing
 
 __all__ = ["Listen", "WalkResult", "LookupFailed", "PointerWalk"]
@@ -109,6 +116,13 @@ class PointerWalk:
         Loss-recovery behaviour; default
         :class:`~repro.client.protocol.RecoveryPolicy` (retry-parent,
         give up after 8 cycles).
+    tracer:
+        Optional :class:`~repro.obs.events.Tracer`; when enabled the
+        walk narrates every read (:class:`~repro.obs.events.SlotRead`),
+        every re-tune (:class:`~repro.obs.events.ChannelHop`) and its
+        completion (:class:`~repro.obs.events.WalkFinished`). The
+        default no-op tracer costs one boolean check per read and never
+        alters the walk's measured numbers.
 
     Drive it as::
 
@@ -126,6 +140,7 @@ class PointerWalk:
         cycle_length: int,
         *,
         policy: RecoveryPolicy | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if cycle_length < 1:
             raise ValueError("cycle_length must be >= 1")
@@ -135,6 +150,7 @@ class PointerWalk:
         self.tune_slot = tune_slot
         self.cycle = cycle_length
         self.policy = policy if policy is not None else RecoveryPolicy()
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._deadline = self.policy.max_cycles * cycle_length
 
         self._state = _PROBE
@@ -170,7 +186,7 @@ class PointerWalk:
     def deliver(self, bucket: DecodedBucket) -> None:
         """Feed the successfully decoded bucket of the pending listen."""
         listen = self._require_listen()
-        self._register_read(listen)
+        self._register_read(listen, "ok")
         if self._state == _PROBE:
             self._probe_delivered(listen, bucket)
         else:
@@ -188,7 +204,7 @@ class PointerWalk:
         to the deepest successfully read index node (``retry-parent``).
         """
         listen = self._require_listen()
-        self._register_read(listen)
+        self._register_read(listen, "corrupt" if corrupt else "lost")
         self._retries += 1
         if corrupt:
             self._corrupt += 1
@@ -210,10 +226,30 @@ class PointerWalk:
             raise ReproError("walk already finished; nothing is listening")
         return self._listen
 
-    def _register_read(self, listen: Listen) -> None:
+    def _register_read(self, listen: Listen, outcome: str) -> None:
         self._tuning += 1
-        if listen.channel != self._current_channel:
+        hopped = listen.channel != self._current_channel
+        if hopped:
             self._switches += 1
+        if self._tracer.enabled:
+            self._tracer.emit(
+                SlotRead(
+                    key=self.key,
+                    channel=listen.channel,
+                    absolute_slot=listen.absolute_slot,
+                    outcome=outcome,
+                )
+            )
+            if hopped:
+                self._tracer.emit(
+                    ChannelHop(
+                        key=self.key,
+                        from_channel=self._current_channel,
+                        to_channel=listen.channel,
+                        absolute_slot=listen.absolute_slot,
+                    )
+                )
+        if hopped:
             self._current_channel = listen.channel
 
     def _schedule(self, channel: int, absolute: int) -> None:
@@ -313,6 +349,18 @@ class PointerWalk:
         )
         self._state = _DONE
         self._listen = None
+        if self._tracer.enabled:
+            self._tracer.emit(
+                WalkFinished(
+                    key=self.key,
+                    tune_slot=self.tune_slot,
+                    access_time=self._result.access_time,
+                    tuning_time=self._result.tuning_time,
+                    channel_switches=self._result.channel_switches,
+                    retries=self._result.retries,
+                    abandoned=abandoned,
+                )
+            )
 
 
 def _relative(absolute: int, cycle: int) -> int:

@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 
 from .._compat import deprecated_positionals
 from ..exceptions import InfeasibleError, SearchBudgetExceeded
+from ..obs.events import SearchProgress, Tracer
 from ..perf import PerfRecorder, Stopwatch
 from .candidates import PruningConfig, reduced_children
 from .problem import AllocationProblem
@@ -59,6 +60,11 @@ __all__ = [
     "dfs_branch_and_bound",
     "lower_bound",
 ]
+
+#: Expansion interval between ``search_progress`` trace events — rare
+#: enough that tracing a million-node search stays cheap, frequent
+#: enough to watch a stuck search move.
+_TRACE_EVERY = 2000
 
 
 @dataclass
@@ -128,12 +134,16 @@ def best_first_search(
     bound: str = "packed",
     node_budget: int | None = None,
     perf: PerfRecorder | None = None,
+    tracer: Tracer | None = None,
 ) -> SearchResult:
     """Optimal allocation via best-first search with an admissible bound.
 
     ``pruning`` selects the §3.2 candidate rules (``PruningConfig.none()``
     searches the raw Algorithm 1 tree — exact but slow). ``perf``, when
-    given, also receives the search's counters and timer. Raises
+    given, also receives the search's counters and timer; ``tracer``
+    additionally narrates progress (one
+    :class:`~repro.obs.events.SearchProgress` event per
+    :data:`_TRACE_EVERY` expansions, plus a final one). Raises
     :class:`SearchBudgetExceeded` when more than ``node_budget`` compound
     nodes get expanded, and :class:`InfeasibleError` if the frontier
     drains without completing (cannot happen with sound pruning; it
@@ -142,6 +152,7 @@ def best_first_search(
     if pruning is None:
         pruning = PruningConfig.paper()
     packed = _validate_bound(bound)
+    tracing = tracer is not None and tracer.enabled
     watch = Stopwatch().start()
 
     counter = itertools.count()
@@ -180,7 +191,7 @@ def best_first_search(
         if not available:
             return _finish(
                 problem, g, link, expanded, generated, watch, perf,
-                suppressed, stale, memo_hits, "best-first",
+                suppressed, stale, memo_hits, "best-first", tracer,
             )
         state_key = (available, last_group, slot)
         if state_key in closed:
@@ -193,6 +204,14 @@ def best_first_search(
         closed.add(state_key)
         best_g[state_key] = g
         expanded += 1
+        if tracing and expanded % _TRACE_EVERY == 0:
+            tracer.emit(
+                SearchProgress(
+                    mode="best-first",
+                    nodes_expanded=expanded,
+                    nodes_generated=generated,
+                )
+            )
         if node_budget is not None and expanded > node_budget:
             raise SearchBudgetExceeded(node_budget)
 
@@ -263,6 +282,7 @@ def dfs_branch_and_bound(
     bound: str = "packed",
     node_budget: int | None = None,
     perf: PerfRecorder | None = None,
+    tracer: Tracer | None = None,
 ) -> SearchResult:
     """Optimal allocation via depth-first branch-and-bound.
 
@@ -282,6 +302,7 @@ def dfs_branch_and_bound(
     if pruning is None:
         pruning = PruningConfig.paper()
     packed = _validate_bound(bound)
+    tracing = tracer is not None and tracer.enabled
     watch = Stopwatch().start()
 
     best_g: dict[tuple[int, tuple[int, ...], int], float] = {}
@@ -315,6 +336,14 @@ def dfs_branch_and_bound(
             return
         best_g[state_key] = g
         counters["expanded"] += 1
+        if tracing and counters["expanded"] % _TRACE_EVERY == 0:
+            tracer.emit(
+                SearchProgress(
+                    mode="dfs-bnb",
+                    nodes_expanded=counters["expanded"],
+                    nodes_generated=counters["generated"],
+                )
+            )
         if node_budget is not None and counters["expanded"] > node_budget:
             raise SearchBudgetExceeded(node_budget)
 
@@ -381,7 +410,7 @@ def dfs_branch_and_bound(
         problem, incumbent["cost"], incumbent["path"],
         counters["expanded"], counters["generated"], watch, perf,
         counters["suppressed"], counters["cutoffs"], counters["memo_hits"],
-        "dfs-bnb",
+        "dfs-bnb", tracer,
     )
 
 
@@ -397,8 +426,18 @@ def _finish(
     stale: int,
     memo_hits: int,
     mode: str,
+    tracer: Tracer | None = None,
 ) -> SearchResult:
     seconds = watch.stop()
+    if tracer is not None and tracer.enabled:
+        tracer.emit(
+            SearchProgress(
+                mode=mode,
+                nodes_expanded=expanded,
+                nodes_generated=generated,
+                finished=True,
+            )
+        )
     path = _reconstruct(link)
     cost = g / problem.total_weight if problem.total_weight else 0.0
     stats = {

@@ -36,6 +36,8 @@ from typing import Sequence
 
 import numpy as np
 
+from .obs.events import FaultInjected, Tracer
+
 __all__ = [
     "OK",
     "LOST",
@@ -159,11 +161,23 @@ class FaultInjector:
     ``origin`` absolute slots while sharing this injector's cache — the
     serving loop hands each cycle's clients a view anchored at the
     cycle's start so their cycle-relative walks index global air time.
+
+    When a ``tracer`` is attached, every non-OK query answer is
+    narrated as a :class:`~repro.obs.events.FaultInjected` event at the
+    *global* absolute slot (``origin + slot``), so shifted per-cycle
+    views land on one shared slot axis in the trace.
     """
 
-    def __init__(self, config: FaultConfig, *, origin: int = 0) -> None:
+    def __init__(
+        self,
+        config: FaultConfig,
+        *,
+        origin: int = 0,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.config = config
         self.origin = origin
+        self.tracer = tracer
         self._outcomes: dict[int, list[str]] = {}
         self._states: dict[int, bool] = {}  # per-channel "in bad state"
 
@@ -178,7 +192,14 @@ class FaultInjector:
         pattern = self._outcomes.setdefault(channel, [])
         if index >= len(pattern):
             self._extend(channel, pattern, index + 1)
-        return pattern[index]
+        fate = pattern[index]
+        if fate != OK and self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(
+                FaultInjected(
+                    channel=channel, absolute_slot=index + 1, fate=fate
+                )
+            )
+        return fate
 
     def lost(self, channel: int, slot: int) -> bool:
         """Whether the airing is unusable (lost *or* corrupt)."""
@@ -189,6 +210,7 @@ class FaultInjector:
         view = FaultInjector.__new__(FaultInjector)
         view.config = self.config
         view.origin = self.origin + origin
+        view.tracer = self.tracer
         view._outcomes = self._outcomes
         view._states = self._states
         return view

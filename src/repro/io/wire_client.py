@@ -37,7 +37,7 @@ class WireAccessRecord:
 
 
 def run_request_wire(
-    frames: list[list[bytes]], key: str, tune_slot: int
+    frames: list[list[bytes]], key: str, tune_slot: int, *, tracer=None
 ) -> WireAccessRecord:
     """Fetch the item with search key ``key`` from an encoded cycle.
 
@@ -46,13 +46,17 @@ def run_request_wire(
     follows the next-cycle pointer to the root, then routes down the
     index by key comparison. Raises :class:`WireFormatError` on corrupt
     frames and :class:`ReproError` when the key routes nowhere.
+
+    ``tracer`` is an optional :class:`~repro.obs.events.Tracer` the walk
+    narrates into — the hook the trace-diff tooling uses to replay a
+    request trace through the simulator in the live fleet's vocabulary.
     """
     # Imported lazily: repro.client.walk itself builds on repro.io.wire,
     # and the package inits would otherwise form a cycle.
     from ..client.walk import PointerWalk
 
     cycle = len(frames[0])
-    walk = PointerWalk(key, tune_slot, cycle)
+    walk = PointerWalk(key, tune_slot, cycle, tracer=tracer)
     while (listen := walk.next_listen()) is not None:
         slot = (listen.absolute_slot - 1) % cycle + 1
         bucket = decode_bucket(

@@ -27,6 +27,7 @@ from .harness import (
     make_request_trace,
     run_loadtest,
     simulator_baseline,
+    trace_simulator,
     write_loadtest_json,
 )
 from .station import BroadcastStation
@@ -42,5 +43,6 @@ __all__ = [
     "make_request_trace",
     "run_loadtest",
     "simulator_baseline",
+    "trace_simulator",
     "write_loadtest_json",
 ]

@@ -31,7 +31,9 @@ from ..broadcast.pointers import BroadcastProgram
 from ..client.protocol import RecoveryPolicy, run_request
 from ..client.walk import WalkResult
 from ..faults import FaultConfig
-from ..io.wire import DEFAULT_BUCKET_SIZE
+from ..io.wire import DEFAULT_BUCKET_SIZE, encode_program
+from ..io.wire_client import WireAccessRecord, run_request_wire
+from ..obs.events import Tracer
 from ..perf import PerfRecorder
 from ..planners import plan
 from ..tree.alphabetic import optimal_alphabetic_tree
@@ -44,6 +46,7 @@ __all__ = [
     "build_demo_program",
     "make_request_trace",
     "simulator_baseline",
+    "trace_simulator",
     "run_loadtest",
     "write_loadtest_json",
 ]
@@ -120,6 +123,31 @@ def simulator_baseline(
             else 0.0
         ),
     }
+
+
+def trace_simulator(
+    program: BroadcastProgram,
+    trace: list[tuple[str, int]],
+    *,
+    tracer: Tracer | None = None,
+    bucket_size: int = DEFAULT_BUCKET_SIZE,
+) -> list[WireAccessRecord]:
+    """Replay ``trace`` through the frame-level simulator, narrating it.
+
+    Encodes ``program`` once and drives the same
+    :class:`~repro.client.walk.PointerWalk` the live tuners use, frame
+    by frame, over *lossless* air — emitting the identical
+    ``slot_read``/``channel_hop``/``walk_finished`` event vocabulary
+    into ``tracer``. This is the reference side of ``repro obs diff``:
+    diff a live (possibly lossy) fleet trace against this replay and
+    the first divergent (channel, slot) is where the air departed from
+    the model.
+    """
+    frames = encode_program(program, bucket_size)
+    return [
+        run_request_wire(frames, key, tune_slot, tracer=tracer)
+        for key, tune_slot in trace
+    ]
 
 
 @dataclass
@@ -217,6 +245,7 @@ async def run_loadtest(
     queue_limit: int = 64,
     check_parity: bool = False,
     perf: PerfRecorder | None = None,
+    tracer: Tracer | None = None,
 ) -> LoadReport:
     """Air ``program`` on loopback and run a concurrent tuner fleet.
 
@@ -248,6 +277,10 @@ async def run_loadtest(
         Replay the identical trace through the in-process simulator and
         record exact-equality of every access and tuning time. Requires
         zero-loss air (``faults is None``).
+    tracer:
+        Optional :class:`~repro.obs.events.Tracer` shared by the
+        station and the whole fleet — the live side of a trace diff.
+        ``None`` (default) keeps the hot paths on the no-op tracer.
 
     Returns the aggregated :class:`LoadReport`; ``report.accounting_ok``
     and ``report.parity_ok`` are the acceptance gates.
@@ -275,6 +308,7 @@ async def run_loadtest(
         slot_duration=slot_duration,
         queue_limit=queue_limit,
         perf=recorder,
+        tracer=tracer,
     )
     gate = asyncio.Semaphore(max_open)
     results: list[WalkResult | None] = [None] * tuners
@@ -286,7 +320,11 @@ async def run_loadtest(
         async with gate:
             try:
                 async with TunerClient(
-                    station.host, station.port, policy=policy, perf=recorder
+                    station.host,
+                    station.port,
+                    policy=policy,
+                    perf=recorder,
+                    tracer=tracer,
                 ) as tuner:
                     results[index] = await tuner.fetch(key, tune_slot)
             except Exception as error:  # accounted, not swallowed
@@ -368,19 +406,36 @@ async def run_loadtest(
     )
 
 
-def write_loadtest_json(path: str, report: LoadReport, config: dict) -> dict:
-    """Persist one loadtest run as the ``BENCH_net.json`` record."""
-    record = {
-        "suite": "net-loadtest",
-        "config": config,
-        "result": report.to_dict(),
-        "aggregate": {
-            "walks_per_second": report.walks_per_second,
-            "mean_access_time": report.mean_access_time,
-            "mean_tuning_time": report.mean_tuning_time,
-            "checks": report.to_dict()["checks"],
+def write_loadtest_json(
+    path: str,
+    report: LoadReport,
+    config: dict,
+    *,
+    rev: str | None = None,
+    timestamp: str | None = None,
+) -> dict:
+    """Persist one loadtest run as the ``BENCH_net.json`` record.
+
+    ``rev``/``timestamp`` fill the shared :mod:`repro.bench_envelope`
+    fields; the Makefile's ``bench-all`` passes them in.
+    """
+    from ..bench_envelope import stamp_record
+
+    record = stamp_record(
+        {
+            "suite": "net-loadtest",
+            "config": config,
+            "result": report.to_dict(),
+            "aggregate": {
+                "walks_per_second": report.walks_per_second,
+                "mean_access_time": report.mean_access_time,
+                "mean_tuning_time": report.mean_tuning_time,
+                "checks": report.to_dict()["checks"],
+            },
         },
-    }
+        rev=rev,
+        timestamp=timestamp,
+    )
     with open(path, "w") as handle:
         json.dump(record, handle, indent=2)
         handle.write("\n")

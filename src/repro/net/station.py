@@ -55,6 +55,7 @@ from ..io.wire import (
     encode_air_frame,
     encode_program,
 )
+from ..obs.events import NULL_TRACER, FrameDropped, SlotAired, Tracer
 from ..perf import PerfRecorder
 from .clock import SlotClock
 
@@ -91,6 +92,13 @@ class BroadcastStation:
         Optional shared :class:`~repro.perf.PerfRecorder`; a private one
         is created otherwise. Counters are namespaced
         ``net.station.*``.
+    tracer:
+        Optional :class:`~repro.obs.events.Tracer`. When enabled the
+        station narrates every answered airing
+        (:class:`~repro.obs.events.SlotAired`, one event per answered
+        query of a coordinate), every UDP overload drop
+        (:class:`~repro.obs.events.FrameDropped`) and — via the fault
+        injector — every non-OK channel decision.
     """
 
     def __init__(
@@ -105,6 +113,7 @@ class BroadcastStation:
         transport: str = "tcp",
         queue_limit: int = 64,
         perf: PerfRecorder | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if transport not in ("tcp", "udp"):
             raise ValueError(
@@ -123,7 +132,12 @@ class BroadcastStation:
         self.cycle_length = program.cycle_length
         self.channels = program.channels
         self.faults = faults
-        self._injector = FaultInjector(faults) if faults is not None else None
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._injector = (
+            FaultInjector(faults, tracer=self.tracer)
+            if faults is not None
+            else None
+        )
         self.clock = SlotClock(slot_duration)
         self.host = host
         self.port = port
@@ -215,6 +229,12 @@ class BroadcastStation:
             if self._injector is not None
             else "ok"
         )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                SlotAired(
+                    channel=channel, absolute_slot=absolute_slot, fate=fate
+                )
+            )
         if fate == LOST:
             self.perf.count("net.station.lost_aired")
             return AirFrame(channel=channel, absolute_slot=absolute_slot, lost=True)
@@ -341,7 +361,13 @@ class BroadcastStation:
             if queue.full():
                 # A datagram medium drops under overload; oldest first.
                 with contextlib.suppress(asyncio.QueueEmpty):
-                    queue.get_nowait()
+                    dropped = queue.get_nowait()
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            FrameDropped(
+                                channel=channel, absolute_slot=dropped
+                            )
+                        )
                 self.perf.count("net.station.udp_dropped")
             queue.put_nowait(slot)
 

@@ -31,6 +31,7 @@ from ..client.protocol import RecoveryPolicy
 from ..client.walk import PointerWalk, WalkResult
 from ..exceptions import ReproError
 from ..io.wire import AirFrame, FrameStreamDecoder, WireFormatError, decode_bucket
+from ..obs.events import Tracer
 from ..perf import PerfRecorder
 
 __all__ = ["TunerClient", "TunerProtocolError"]
@@ -53,6 +54,12 @@ class TunerClient:
         Loss-recovery policy for every fetch on this connection.
     perf:
         Optional shared recorder; counters are namespaced ``net.tuner.*``.
+    tracer:
+        Optional :class:`~repro.obs.events.Tracer` handed to every
+        :class:`~repro.client.walk.PointerWalk` this tuner drives, so a
+        live fleet narrates ``slot_read``/``channel_hop``/
+        ``walk_finished`` events in the same coordinates as the
+        in-process simulator.
     """
 
     def __init__(
@@ -62,11 +69,13 @@ class TunerClient:
         *,
         policy: RecoveryPolicy | None = None,
         perf: PerfRecorder | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.policy = policy
         self.perf = perf if perf is not None else PerfRecorder()
+        self.tracer = tracer
         self.cycle_length: int | None = None
         self.channels: int | None = None
         self.bucket_size: int | None = None
@@ -131,7 +140,11 @@ class TunerClient:
         if self._reader is None or self.cycle_length is None:
             raise TunerProtocolError("not connected; call connect() first")
         walk = PointerWalk(
-            key, tune_slot, self.cycle_length, policy=self.policy
+            key,
+            tune_slot,
+            self.cycle_length,
+            policy=self.policy,
+            tracer=self.tracer,
         )
         while (listen := walk.next_listen()) is not None:
             air = await self._listen(listen.channel, listen.absolute_slot)

@@ -1,0 +1,105 @@
+"""Structured observability: tracing, metrics exposition, slot timelines.
+
+Three layers, all opt-in and all free when unused:
+
+* :mod:`repro.obs.events` — typed trace events (`SlotAired`,
+  `SlotRead`, `ChannelHop`, `WalkFinished`, `ReplanStarted/Finished`,
+  `SearchProgress`, `FaultInjected`, `FrameDropped`) behind the
+  :class:`~repro.obs.events.Tracer` protocol, with a no-op default
+  (:data:`~repro.obs.events.NULL_TRACER`), a bounded ring buffer and a
+  rotating JSONL sink. The tracer is threaded through the station, the
+  tuner fleet, the pointer walk, the serving loop, the solvers and the
+  fault injector.
+* :mod:`repro.obs.metrics` — counter/gauge/histogram registry that
+  absorbs :class:`~repro.perf.PerfRecorder` snapshots and renders
+  Prometheus text exposition; :mod:`repro.obs.http` mounts it on an
+  asyncio ``/metrics`` + ``/healthz`` endpoint
+  (``repro serve --metrics-port``).
+* :mod:`repro.obs.timeline` — reconstruct a per-(channel, slot)
+  timeline from a JSONL trace and diff two traces (live air vs the
+  in-process simulator, lossy vs lossless) down to the first divergent
+  slot (``repro obs timeline`` / ``repro obs diff``).
+"""
+
+from .events import (
+    EVENT_TYPES,
+    NULL_TRACER,
+    ChannelHop,
+    FaultInjected,
+    FrameDropped,
+    JsonlTracer,
+    NullTracer,
+    ReplanFinished,
+    ReplanStarted,
+    RingBufferTracer,
+    SearchProgress,
+    SlotAired,
+    SlotRead,
+    TeeTracer,
+    TraceEvent,
+    Tracer,
+    WalkFinished,
+    event_from_dict,
+    event_to_dict,
+    read_events,
+)
+from .http import ObsHttpServer
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    declare_perf_baseline,
+)
+from .timeline import (
+    SlotCell,
+    Timeline,
+    TimelineDiff,
+    build_timeline,
+    diff_timelines,
+    diff_trace_files,
+    format_diff,
+    format_timeline,
+    load_timeline,
+)
+
+__all__ = [
+    # events / tracers
+    "TraceEvent",
+    "SlotAired",
+    "FrameDropped",
+    "SlotRead",
+    "ChannelHop",
+    "WalkFinished",
+    "ReplanStarted",
+    "ReplanFinished",
+    "SearchProgress",
+    "FaultInjected",
+    "EVENT_TYPES",
+    "event_to_dict",
+    "event_from_dict",
+    "read_events",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RingBufferTracer",
+    "JsonlTracer",
+    "TeeTracer",
+    # metrics + http
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "declare_perf_baseline",
+    "ObsHttpServer",
+    # timeline
+    "SlotCell",
+    "Timeline",
+    "TimelineDiff",
+    "build_timeline",
+    "load_timeline",
+    "diff_timelines",
+    "diff_trace_files",
+    "format_timeline",
+    "format_diff",
+]

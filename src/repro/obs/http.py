@@ -1,0 +1,156 @@
+"""A tiny asyncio HTTP endpoint: ``/metrics`` and ``/healthz``.
+
+Deliberately minimal — two fixed routes, ``Connection: close``, no
+dependencies — because its only job is to let a scraper or a load
+balancer look at a running :class:`~repro.net.station.BroadcastStation`
+(or any other component holding a :class:`~repro.perf.PerfRecorder`):
+
+* ``GET /metrics`` — calls the ``collect`` hook (typically
+  ``registry.absorb_perf(station.perf)`` plus a few gauges) and serves
+  :meth:`~repro.obs.metrics.MetricsRegistry.render`'s Prometheus text
+  exposition;
+* ``GET /healthz`` — serves the ``health`` hook's dict as JSON
+  (default ``{"status": "ok"}``).
+
+Mounted by ``repro.cli serve --metrics-port``; see
+:class:`ObsHttpServer` for programmatic use::
+
+    registry = MetricsRegistry()
+    async with ObsHttpServer(registry, port=9100) as obs:
+        print(obs.port)   # bound port (9100, or the free pick for 0)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from typing import Callable
+
+from .metrics import MetricsRegistry
+
+__all__ = ["ObsHttpServer"]
+
+_MAX_REQUEST_BYTES = 8192
+
+
+class ObsHttpServer:
+    """Serve one registry over HTTP until closed.
+
+    Parameters
+    ----------
+    registry:
+        The metric families to expose.
+    collect:
+        Optional hook called with the registry before each ``/metrics``
+        render — the place to absorb live :class:`~repro.perf.PerfRecorder`
+        totals and refresh gauges.
+    health:
+        Optional hook returning the ``/healthz`` JSON payload.
+    host, port:
+        Bind address; port 0 picks a free port (read :attr:`port` after
+        :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        collect: Callable[[MetricsRegistry], None] | None = None,
+        health: Callable[[], dict] | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry
+        self.collect = collect
+        self.health = health
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> "ObsHttpServer":
+        if self._server is None:
+            self._server = await asyncio.start_server(
+                self._handle, self.host, self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def aclose(self) -> None:
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+
+    async def __aenter__(self) -> "ObsHttpServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # -- one request --------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                head = await reader.readuntil(b"\r\n\r\n")
+            except asyncio.IncompleteReadError as error:
+                head = error.partial
+            except asyncio.LimitOverrunError:
+                head = b""
+            if len(head) > _MAX_REQUEST_BYTES or not head:
+                return
+            request_line = head.split(b"\r\n", 1)[0].decode(
+                "latin-1", "replace"
+            )
+            parts = request_line.split()
+            if len(parts) < 2:
+                return
+            method, path = parts[0], parts[1].split("?", 1)[0]
+            status, content_type, body = self._route(method, path)
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+                + body
+            )
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    def _route(self, method: str, path: str) -> tuple[str, str, bytes]:
+        if method != "GET":
+            return (
+                "405 Method Not Allowed",
+                "text/plain; charset=utf-8",
+                b"method not allowed\n",
+            )
+        if path == "/metrics":
+            if self.collect is not None:
+                self.collect(self.registry)
+            body = self.registry.render().encode("utf-8")
+            return (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                body,
+            )
+        if path == "/healthz":
+            payload = self.health() if self.health is not None else None
+            if payload is None:
+                payload = {"status": "ok"}
+            return (
+                "200 OK",
+                "application/json; charset=utf-8",
+                (json.dumps(payload) + "\n").encode("utf-8"),
+            )
+        return ("404 Not Found", "text/plain; charset=utf-8", b"not found\n")

@@ -1,0 +1,325 @@
+"""Counter/gauge/histogram registry with Prometheus text exposition.
+
+The repository already measures everything through
+:class:`repro.perf.PerfRecorder` — flat named monotonic counters and
+second-denominated timers. This module turns those snapshots into
+something a scraper can consume: a :class:`MetricsRegistry` holding
+typed metric families, :meth:`MetricsRegistry.absorb_perf` mapping a
+recorder's counters/timers onto Prometheus-named series, and
+:meth:`MetricsRegistry.render` emitting the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+(version 0.0.4) the ``/metrics`` endpoint of :mod:`repro.obs.http`
+serves.
+
+Naming: a perf counter ``net.station.frames_sent`` becomes
+``repro_net_station_frames_sent_total`` (dots and dashes → underscores,
+``repro_`` prefix, ``_total`` suffix); a perf timer ``serve.seconds``
+becomes ``repro_serve_seconds_total``. :func:`declare_perf_baseline`
+pre-registers the station / tuner-fleet / replan families at zero so a
+scrape of a freshly started, idle station already exposes every series
+an alerting rule might reference.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Iterable
+
+from ..perf import PerfRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "perf_counter_metric_name",
+    "perf_timer_metric_name",
+    "declare_perf_baseline",
+    "DEFAULT_PERF_BASELINE",
+]
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+_VALID_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+DEFAULT_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: The perf counters every live deployment should expose even at zero:
+#: the station's air path, the tuner fleet, and the serving loop's
+#: replan accounting.
+DEFAULT_PERF_BASELINE = (
+    "net.station.connections",
+    "net.station.requests",
+    "net.station.frames_sent",
+    "net.station.protocol_errors",
+    "net.station.lost_aired",
+    "net.station.corrupt_aired",
+    "net.station.udp_subscribed",
+    "net.station.udp_sent",
+    "net.station.udp_dropped",
+    "net.tuner.connections",
+    "net.tuner.fetches",
+    "net.tuner.frames",
+    "net.tuner.reads",
+    "net.tuner.retries",
+    "net.tuner.lost",
+    "net.tuner.corrupt",
+    "net.tuner.abandoned",
+    "cycles",
+    "requests",
+    "replans",
+)
+
+
+def _sanitise(raw: str) -> str:
+    name = _INVALID.sub("_", raw.replace(".", "_").replace("-", "_"))
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def perf_counter_metric_name(counter: str, *, prefix: str = "repro") -> str:
+    """Prometheus series name of perf counter ``counter``."""
+    base = _sanitise(counter)
+    if prefix:
+        base = f"{prefix}_{base}"
+    return base if base.endswith("_total") else f"{base}_total"
+
+
+def perf_timer_metric_name(timer: str, *, prefix: str = "repro") -> str:
+    """Prometheus series name of perf timer ``timer`` (seconds)."""
+    base = _sanitise(timer)
+    if prefix:
+        base = f"{prefix}_{base}"
+    if not base.endswith("_seconds"):
+        base = f"{base}_seconds"
+    return f"{base}_total"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+class _Metric:
+    """Shared shape: a name, a help string, and a type tag."""
+
+    metric_type = "untyped"
+
+    def __init__(self, name: str, help: str) -> None:
+        if not _VALID_NAME.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help or name
+
+    def samples(self) -> list[tuple[str, float]]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing total."""
+
+    metric_type = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def set_total(self, value: float) -> None:
+        """Adopt an externally accumulated total (a perf snapshot).
+
+        The perf recorders are themselves monotonic, so adopting their
+        running total preserves counter semantics; a smaller value is
+        ignored rather than ever moving the series backwards.
+        """
+        if value > self.value:
+            self.value = float(value)
+
+    def samples(self) -> list[tuple[str, float]]:
+        return [(self.name, self.value)]
+
+
+class Gauge(_Metric):
+    """A value that can go anywhere (current slot, queue depth, …)."""
+
+    metric_type = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def samples(self) -> list[tuple[str, float]]:
+        return [(self.name, self.value)]
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (the Prometheus shape).
+
+    ``buckets`` are ascending upper bounds; the ``+Inf`` bucket is
+    implicit. Rendered as ``name_bucket{le="…"}`` series plus
+    ``name_sum`` and ``name_count``.
+    """
+
+    metric_type = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly ascending")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last entry = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def samples(self) -> list[tuple[str, float]]:
+        rows: list[tuple[str, float]] = []
+        cumulative = 0
+        for bound, count in zip(self.bounds, self.counts):
+            cumulative += count
+            rows.append(
+                (
+                    f'{self.name}_bucket{{le="{_format_value(bound)}"}}',
+                    cumulative,
+                )
+            )
+        cumulative += self.counts[-1]
+        rows.append((f'{self.name}_bucket{{le="+Inf"}}', cumulative))
+        rows.append((f"{self.name}_sum", self.sum))
+        rows.append((f"{self.name}_count", self.count))
+        return rows
+
+
+class MetricsRegistry:
+    """Named metric families, rendered in one stable-ordered exposition.
+
+    Constructors are get-or-create: asking twice for the same name
+    returns the same object, and asking for it with a *different* type
+    raises — the same discipline Prometheus client libraries enforce.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, *args, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.metric_type}, not {cls.metric_type}"
+                )
+            return existing
+        metric = cls(name, *args, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- the PerfRecorder bridge --------------------------------------------
+    def absorb_perf(
+        self,
+        perf: PerfRecorder | dict,
+        *,
+        prefix: str = "repro",
+    ) -> None:
+        """Adopt a recorder's (or ``snapshot()``'s) totals as counters.
+
+        Safe to call on every scrape: counters adopt the latest running
+        total, they are never incremented twice for the same work.
+        """
+        snapshot = perf.snapshot() if isinstance(perf, PerfRecorder) else perf
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(
+                perf_counter_metric_name(name, prefix=prefix),
+                f"perf counter {name}",
+            ).set_total(value)
+        for name, seconds in snapshot.get("timers", {}).items():
+            self.counter(
+                perf_timer_metric_name(name, prefix=prefix),
+                f"perf timer {name} (seconds)",
+            ).set_total(seconds)
+
+    # -- exposition ---------------------------------------------------------
+    def render(self) -> str:
+        """Prometheus text exposition (format version 0.0.4)."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            lines.append(f"# HELP {name} {_escape_help(metric.help)}")
+            lines.append(f"# TYPE {name} {metric.metric_type}")
+            for series, value in metric.samples():
+                lines.append(f"{series} {_format_value(value)}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def declare_perf_baseline(
+    registry: MetricsRegistry,
+    names: Iterable[str] = DEFAULT_PERF_BASELINE,
+    *,
+    prefix: str = "repro",
+) -> None:
+    """Pre-register the standard perf counter families at zero.
+
+    A fresh station that has served nothing still exposes the full
+    station / fleet / replan vocabulary, so scrapers and alerting rules
+    never see series flicker into existence.
+    """
+    for name in names:
+        registry.counter(
+            perf_counter_metric_name(name, prefix=prefix),
+            f"perf counter {name}",
+        )

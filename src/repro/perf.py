@@ -96,7 +96,17 @@ class PerfRecorder:
 
     # -- aggregation / export ----------------------------------------------
     def merge(self, other: "PerfRecorder") -> "PerfRecorder":
-        """Fold ``other``'s counters and timers into this recorder."""
+        """Fold ``other``'s counters and timers into this recorder.
+
+        Same-key entries **add** on both sides: merging two recorders
+        that both timed ``"replan.seconds"`` yields the sum of their
+        accumulated seconds, exactly as if every block had run against
+        one recorder. A :meth:`timer` block still *open* on ``other``
+        contributes nothing at merge time — an interval is committed to
+        ``other`` (and only ``other``) when its block exits, so merging
+        mid-flight never double-counts and never moves in-flight time
+        between recorders. ``other`` is read, never mutated.
+        """
         for name, value in other.counters.items():
             self.count(name, value)
         for name, seconds in other.timers.items():
@@ -104,10 +114,20 @@ class PerfRecorder:
         return self
 
     def snapshot(self) -> dict[str, dict[str, int | float]]:
-        """Plain-dict copy: ``{"counters": {...}, "timers": {...}}``."""
+        """Plain-dict copy: ``{"counters": {...}, "timers": {...}}``.
+
+        Keys are sorted, so two recorders holding the same measurements
+        serialise byte-identically regardless of the order the
+        measurements arrived in — stable diffs for ``BENCH_*.json``
+        files and the metrics exposition built on top.
+        """
         return {
-            "counters": dict(self.counters),
-            "timers": dict(self.timers),
+            "counters": {
+                name: self.counters[name] for name in sorted(self.counters)
+            },
+            "timers": {
+                name: self.timers[name] for name in sorted(self.timers)
+            },
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

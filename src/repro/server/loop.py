@@ -21,6 +21,7 @@ under stationary load and recovering after injected popularity shifts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Hashable
 
 import numpy as np
@@ -35,6 +36,7 @@ from ..client.protocol import (
     run_request_recovering,
 )
 from ..faults import FaultConfig, FaultInjector
+from ..obs.events import NULL_TRACER, ReplanFinished, ReplanStarted, Tracer
 from ..online.adaptive import AdaptiveBroadcaster
 from ..perf import PerfRecorder
 
@@ -160,6 +162,13 @@ class BroadcastServer:
     recovery:
         Client-side :class:`~repro.client.protocol.RecoveryPolicy`
         applied when ``faults`` is given.
+    tracer:
+        Optional :class:`~repro.obs.events.Tracer`; when enabled the
+        loop narrates every replan
+        (:class:`~repro.obs.events.ReplanStarted` /
+        :class:`~repro.obs.events.ReplanFinished` with its wall-clock
+        seconds) and — via the fault injector — every non-OK airing
+        decision.
 
     All parameters after ``items`` are keyword-only; legacy positional
     calls still work for one release with a ``DeprecationWarning``.
@@ -177,6 +186,7 @@ class BroadcastServer:
         planner: str = "budgeted",
         faults: FaultConfig | None = None,
         recovery: RecoveryPolicy | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.planner = AdaptiveBroadcaster(
             items,
@@ -188,7 +198,12 @@ class BroadcastServer:
         self.replan_every = replan_every
         self.faults = faults
         self.recovery = recovery
-        self._injector = FaultInjector(faults) if faults is not None else None
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._injector = (
+            FaultInjector(faults, tracer=self.tracer)
+            if faults is not None
+            else None
+        )
         self._air_clock = 0  # absolute slots aired so far, across run() calls
         self.perf = PerfRecorder()  # lifetime counters across run() calls
         self.planner.replan()
@@ -296,8 +311,19 @@ class BroadcastServer:
                     self.replan_every
                     and (cycle_index + 1) % self.replan_every == 0
                 ):
+                    tracing = self.tracer.enabled
+                    if tracing:
+                        self.tracer.emit(ReplanStarted(cycle=cycle_index))
+                        replan_started = perf_counter()
                     with perf.timer("replan.seconds"):
                         self.planner.replan()
+                    if tracing:
+                        self.tracer.emit(
+                            ReplanFinished(
+                                cycle=cycle_index,
+                                seconds=perf_counter() - replan_started,
+                            )
+                        )
                     report.replans += 1
                     perf.count("replans")
                     replanned = True

@@ -1,0 +1,97 @@
+"""Tests for the asyncio /metrics + /healthz endpoint."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.obs.http import ObsHttpServer
+from repro.obs.metrics import MetricsRegistry
+from repro.perf import PerfRecorder
+
+
+async def _request(port: int, target: str, method: str = "GET") -> tuple:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        f"{method} {target} HTTP/1.1\r\nHost: x\r\n\r\n".encode()
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line, *header_lines = head.decode("latin-1").split("\r\n")
+    headers = dict(
+        line.split(": ", 1) for line in header_lines if ": " in line
+    )
+    return status_line, headers, body.decode("utf-8")
+
+
+class TestObsHttpServer:
+    def test_metrics_scrape_collects_then_renders(self):
+        perf = PerfRecorder()
+        perf.count("requests", 3)
+        registry = MetricsRegistry()
+
+        async def scenario():
+            async with ObsHttpServer(
+                registry,
+                collect=lambda reg: reg.absorb_perf(perf),
+            ) as obs:
+                assert obs.port != 0  # port 0 bound to a free pick
+                first = await _request(obs.port, "/metrics")
+                perf.count("requests", 2)  # work between scrapes
+                second = await _request(obs.port, "/metrics")
+                return first, second
+
+        first, second = asyncio.run(scenario())
+        status, headers, body = first
+        assert status == "HTTP/1.1 200 OK"
+        assert headers["Content-Type"] == (
+            "text/plain; version=0.0.4; charset=utf-8"
+        )
+        assert headers["Connection"] == "close"
+        assert int(headers["Content-Length"]) == len(body.encode())
+        assert "repro_requests_total 3" in body
+        assert "repro_requests_total 5" in second[2]
+
+    def test_healthz_default_and_custom(self):
+        async def scenario():
+            async with ObsHttpServer(MetricsRegistry()) as obs:
+                default = await _request(obs.port, "/healthz")
+            async with ObsHttpServer(
+                MetricsRegistry(),
+                health=lambda: {"status": "ok", "channels": 3},
+            ) as obs:
+                custom = await _request(obs.port, "/healthz")
+            return default, custom
+
+        default, custom = asyncio.run(scenario())
+        assert json.loads(default[2]) == {"status": "ok"}
+        assert custom[1]["Content-Type"] == "application/json; charset=utf-8"
+        assert json.loads(custom[2]) == {"status": "ok", "channels": 3}
+
+    def test_unknown_route_and_method(self):
+        async def scenario():
+            async with ObsHttpServer(MetricsRegistry()) as obs:
+                missing = await _request(obs.port, "/nope")
+                posted = await _request(obs.port, "/metrics", method="POST")
+            return missing, posted
+
+        missing, posted = asyncio.run(scenario())
+        assert missing[0] == "HTTP/1.1 404 Not Found"
+        assert posted[0] == "HTTP/1.1 405 Method Not Allowed"
+
+    def test_close_releases_the_port(self):
+        async def scenario():
+            obs = ObsHttpServer(MetricsRegistry())
+            await obs.start()
+            port = obs.port
+            await obs.aclose()
+            try:
+                await _request(port, "/healthz")
+            except OSError:
+                return True
+            return False
+
+        assert asyncio.run(scenario())

@@ -1,0 +1,167 @@
+"""Unit tests for the metrics registry and Prometheus exposition."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_PERF_BASELINE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    declare_perf_baseline,
+    perf_counter_metric_name,
+    perf_timer_metric_name,
+)
+from repro.perf import PerfRecorder
+
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le=\"[^\"]+\"\})? \S+$"
+)
+
+
+class TestCounter:
+    def test_monotonic(self):
+        counter = Counter("c_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_set_total_never_moves_backwards(self):
+        counter = Counter("c_total")
+        counter.set_total(10)
+        counter.set_total(4)  # stale snapshot: ignored
+        assert counter.value == 10
+        counter.set_total(12)
+        assert counter.value == 12
+
+
+class TestGauge:
+    def test_goes_anywhere(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(3)
+        assert gauge.value == 3.0
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        hist = Histogram("h", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 2.0):
+            hist.observe(value)
+        samples = dict(hist.samples())
+        assert samples['h_bucket{le="0.1"}'] == 1
+        assert samples['h_bucket{le="1"}'] == 3
+        assert samples['h_bucket{le="+Inf"}'] == 4
+        assert samples["h_count"] == 4
+        assert samples["h_sum"] == pytest.approx(3.05)
+
+    def test_rejects_unsorted_or_empty_bounds(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("h", buckets=(1.0, 0.5))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_requests_total")
+        second = registry.counter("repro_requests_total")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_requests_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_requests_total")
+
+    def test_invalid_name_raises(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            MetricsRegistry().counter("has spaces")
+
+    def test_render_is_valid_sorted_exposition(self):
+        registry = MetricsRegistry()
+        registry.gauge("zz_last", "the last family").set(1)
+        registry.counter("aa_first_total", "the first family").inc(2)
+        registry.histogram("mm_mid", buckets=(0.5,)).observe(0.1)
+        text = registry.render()
+        assert text.endswith("\n")
+        names = [
+            line.split()[2]
+            for line in text.splitlines()
+            if line.startswith("# TYPE")
+        ]
+        assert names == ["aa_first_total", "mm_mid", "zz_last"]
+        for line in text.splitlines():
+            if not line.startswith("#"):
+                assert _SAMPLE_LINE.match(line), line
+        assert "# TYPE aa_first_total counter" in text
+        assert "# TYPE mm_mid histogram" in text
+        assert "# HELP zz_last the last family" in text
+        assert "aa_first_total 2" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""
+
+
+class TestPerfBridge:
+    def test_name_mapping(self):
+        assert (
+            perf_counter_metric_name("net.station.frames_sent")
+            == "repro_net_station_frames_sent_total"
+        )
+        assert (
+            perf_counter_metric_name("retry-parent.walks", prefix="x")
+            == "x_retry_parent_walks_total"
+        )
+        assert (
+            perf_timer_metric_name("replan.seconds")
+            == "repro_replan_seconds_total"
+        )
+        assert (
+            perf_timer_metric_name("serve", prefix="")
+            == "serve_seconds_total"
+        )
+
+    def test_absorb_perf_adopts_running_totals(self):
+        perf = PerfRecorder()
+        perf.count("net.station.frames_sent", 7)
+        perf.add_seconds("replan.seconds", 0.5)
+        registry = MetricsRegistry()
+        registry.absorb_perf(perf)
+        text = registry.render()
+        assert "repro_net_station_frames_sent_total 7" in text
+        assert "repro_replan_seconds_total 0.5" in text
+
+    def test_absorb_is_scrape_safe(self):
+        """Re-absorbing the same recorder never double-counts."""
+        perf = PerfRecorder()
+        perf.count("requests", 3)
+        registry = MetricsRegistry()
+        registry.absorb_perf(perf)
+        registry.absorb_perf(perf)  # second scrape, no new work
+        assert "repro_requests_total 3" in registry.render()
+        perf.count("requests", 2)
+        registry.absorb_perf(perf.snapshot())  # snapshots work too
+        assert "repro_requests_total 5" in registry.render()
+
+    def test_declared_baseline_exposes_idle_series_at_zero(self):
+        registry = MetricsRegistry()
+        declare_perf_baseline(registry)
+        text = registry.render()
+        for name in DEFAULT_PERF_BASELINE:
+            assert f"{perf_counter_metric_name(name)} 0" in text
+        # A later scrape of real totals lands on the declared families.
+        perf = PerfRecorder()
+        perf.count("net.station.frames_sent", 9)
+        registry.absorb_perf(perf)
+        assert len(registry) == len(DEFAULT_PERF_BASELINE)
+        assert "repro_net_station_frames_sent_total 9" in registry.render()

@@ -1,0 +1,123 @@
+"""The observability layer's zero-overhead contract, differentially.
+
+Every instrumented component takes ``tracer=`` defaulting to the no-op
+:data:`~repro.obs.events.NULL_TRACER`. These tests pin the two halves of
+the contract on seeded runs:
+
+* **disabled == absent** — passing no tracer and passing the null
+  tracer produce bit-identical measured results;
+* **enabled changes nothing measured** — an active collector observes
+  the run without perturbing any slot-denominated number (events carry
+  logical coordinates; only wall-clock fields may differ).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.problem import AllocationProblem
+from repro.core.search import best_first_search, dfs_branch_and_bound
+from repro.io.wire import encode_program
+from repro.io.wire_client import run_request_wire
+from repro.net import build_demo_program, make_request_trace, run_loadtest
+from repro.obs.events import NULL_TRACER, RingBufferTracer, SearchProgress
+from repro.tree.builders import random_tree
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_demo_program(items=10, channels=2, fanout=3, seed=17)
+
+
+def _report_measurements(report):
+    """Every slot-denominated (seed-determined) number in a LoadReport."""
+    return {
+        "completed": report.completed,
+        "abandoned": report.abandoned,
+        "mean_access": report.mean_access_time,
+        "mean_tuning": report.mean_tuning_time,
+        "access_percentiles": report.access_percentiles,
+        "tuning_percentiles": report.tuning_percentiles,
+        "mean_switches": report.mean_channel_switches,
+        "retries": report.retries,
+        "lost": report.lost_buckets,
+        "corrupt": report.corrupt_buckets,
+        "wasted_probes": report.wasted_probes,
+        "frames_requested": report.frames_requested,
+        "frames_answered": report.frames_answered,
+        "frames_read": report.frames_read,
+        "unaccounted": report.unaccounted_frames,
+    }
+
+
+def _run_fleet(program, trace, tracer):
+    return asyncio.run(
+        run_loadtest(
+            program,
+            tuners=len(trace),
+            trace=trace,
+            rng=np.random.default_rng(5),
+            arrival_rate=0.0,
+            tracer=tracer,
+        )
+    )
+
+
+class TestFleetDifferential:
+    def test_null_tracer_is_indistinguishable_from_no_tracer(self, program):
+        trace = make_request_trace(program, 25, np.random.default_rng(5))
+        bare = _run_fleet(program, trace, tracer=None)
+        nulled = _run_fleet(program, trace, tracer=NULL_TRACER)
+        assert _report_measurements(bare) == _report_measurements(nulled)
+
+    def test_an_active_collector_changes_no_measurement(self, program):
+        trace = make_request_trace(program, 25, np.random.default_rng(5))
+        bare = _run_fleet(program, trace, tracer=None)
+        ring = RingBufferTracer()
+        observed = _run_fleet(program, trace, tracer=ring)
+        assert _report_measurements(bare) == _report_measurements(observed)
+        assert len(ring) > 0  # it really was watching
+
+
+class TestWalkDifferential:
+    def test_wire_walks_are_identical_under_observation(self, program):
+        frames = encode_program(program, 64)
+        for key, tune_slot in make_request_trace(
+            program, 10, np.random.default_rng(3)
+        ):
+            bare = run_request_wire(frames, key, tune_slot)
+            seen = run_request_wire(
+                frames, key, tune_slot, tracer=RingBufferTracer()
+            )
+            assert bare == seen
+
+
+class TestSearchDifferential:
+    @pytest.mark.parametrize(
+        "search", [best_first_search, dfs_branch_and_bound]
+    )
+    def test_traced_search_matches_untraced(self, search, rng):
+        problem = AllocationProblem(random_tree(rng, 8), channels=2)
+        bare = search(problem)
+        ring = RingBufferTracer()
+        traced = search(problem, tracer=ring)
+        assert traced.cost == bare.cost
+        assert traced.path == bare.path
+        assert traced.nodes_expanded == bare.nodes_expanded
+        assert traced.nodes_generated == bare.nodes_generated
+        final = ring.events[-1]
+        assert isinstance(final, SearchProgress)
+        assert final.finished
+        assert final.nodes_expanded == bare.nodes_expanded
+
+    def test_periodic_progress_while_running(self, rng, monkeypatch):
+        monkeypatch.setattr("repro.core.search._TRACE_EVERY", 1)
+        problem = AllocationProblem(random_tree(rng, 6), channels=2)
+        ring = RingBufferTracer()
+        result = best_first_search(problem, tracer=ring)
+        running = [e for e in ring.events if not e.finished]
+        assert len(running) == result.nodes_expanded
+        assert all(e.mode == "best-first" for e in ring.events)

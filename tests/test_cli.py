@@ -190,6 +190,7 @@ class TestNetCommands:
         assert "station stopped; stats flushed" in out
         assert "net.station.connections = 1" in out
 
-    def test_tune_against_nothing_fails(self):
-        with pytest.raises(OSError):
-            main(["tune", "--port", "1", "--key", "K000"])
+    def test_tune_against_nothing_fails(self, capsys):
+        assert main(["tune", "--port", "1", "--key", "K000"]) == 1
+        err = capsys.readouterr().err
+        assert "error: cannot reach station at 127.0.0.1:1" in err

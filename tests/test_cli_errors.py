@@ -1,0 +1,165 @@
+"""CLI error paths exit non-zero with a message, never a traceback."""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def occupied_port():
+    """A TCP port something else is already listening on."""
+    blocker = socket.socket()
+    blocker.bind(("127.0.0.1", 0))
+    blocker.listen(1)
+    try:
+        yield blocker.getsockname()[1]
+    finally:
+        blocker.close()
+
+
+def _no_traceback(captured):
+    assert "Traceback" not in captured.err
+    assert "Traceback" not in captured.out
+
+
+class TestServeErrors:
+    def test_station_port_already_bound(self, occupied_port, capsys):
+        assert main(
+            [
+                "serve",
+                "--items", "6",
+                "--channels", "2",
+                "--port", str(occupied_port),
+            ]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "error: cannot serve:" in captured.err
+        _no_traceback(captured)
+
+    def test_metrics_port_already_bound(self, occupied_port, capsys):
+        assert main(
+            [
+                "serve",
+                "--items", "6",
+                "--channels", "2",
+                "--port", "0",
+                "--metrics-port", str(occupied_port),
+            ]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "error: cannot serve:" in captured.err
+        _no_traceback(captured)
+
+
+class TestTuneErrors:
+    def test_dead_station_is_a_message_not_a_traceback(self, capsys):
+        assert main(["tune", "--port", "1", "--key", "K000"]) == 1
+        captured = capsys.readouterr()
+        assert "error: cannot reach station at 127.0.0.1:1:" in captured.err
+        _no_traceback(captured)
+
+
+class TestLoadtestErrors:
+    def test_check_parity_refuses_lossy_air_with_exit_2(self, capsys):
+        assert main(
+            ["loadtest", "--tuners", "5", "--loss", "0.1", "--check-parity"]
+        ) == 2
+        captured = capsys.readouterr()
+        assert "requires lossless air" in captured.err
+        _no_traceback(captured)
+
+    def test_parity_mismatch_exits_1(self, capsys, monkeypatch):
+        def skewed_baseline(program, trace):
+            return {
+                "requests": len(trace),
+                "access_times": [-1] * len(trace),
+                "tuning_times": [-1] * len(trace),
+                "mean_access_time": -1.0,
+                "mean_tuning_time": -1.0,
+            }
+
+        monkeypatch.setattr(
+            "repro.net.harness.simulator_baseline", skewed_baseline
+        )
+        assert main(
+            [
+                "loadtest",
+                "--tuners", "10",
+                "--items", "8",
+                "--channels", "2",
+                "--check-parity",
+            ]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "parity vs simulator: MISMATCH" in captured.out
+        assert (
+            "error: socket fleet does not reproduce the in-process simulator"
+            in captured.err.replace("\n", " ")
+        )
+        _no_traceback(captured)
+
+
+class TestObsErrors:
+    def test_timeline_on_missing_trace(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["obs", "timeline", str(missing)]) == 1
+        captured = capsys.readouterr()
+        assert "error: cannot read trace:" in captured.err
+        _no_traceback(captured)
+
+    def test_diff_on_missing_trace(self, tmp_path, capsys):
+        present = tmp_path / "a.jsonl"
+        present.write_text("")
+        assert main(
+            ["obs", "diff", str(present), str(tmp_path / "nope.jsonl")]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "error: cannot read trace:" in captured.err
+        _no_traceback(captured)
+
+
+class TestBenchMergeErrors:
+    def test_missing_input_exits_2(self, tmp_path, capsys):
+        assert main(
+            [
+                "bench-merge",
+                str(tmp_path / "nope.json"),
+                "--out", str(tmp_path / "all.json"),
+            ]
+        ) == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        _no_traceback(captured)
+
+    def test_unstamped_input_exits_2(self, tmp_path, capsys):
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(json.dumps({"suite": "legacy"}))
+        assert main(
+            ["bench-merge", str(legacy), "--out", str(tmp_path / "all.json")]
+        ) == 2
+        captured = capsys.readouterr()
+        assert "missing envelope field" in captured.err
+        _no_traceback(captured)
+
+    def test_failing_member_check_exits_1(self, tmp_path, capsys):
+        record = {
+            "schema_version": 1,
+            "suite": "s",
+            "rev": "r",
+            "timestamp": "t",
+            "aggregate": {"checks": {"passes": False}},
+        }
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps(record))
+        out = tmp_path / "all.json"
+        assert main(["bench-merge", str(path), "--out", str(out)]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL s.passes" in captured.out
+        assert "ok   envelope.same_rev" in captured.out
+        assert out.exists()  # the merged record is still written
+        _no_traceback(captured)

@@ -76,6 +76,50 @@ class TestPerfRecorder:
         assert a.counters == {"n": 5, "m": 1}
         assert a.timers == {"t": pytest.approx(1.5)}
 
+    def test_merge_same_timer_key_adds_exactly_once(self):
+        """Two recorders that both timed one key merge to the sum."""
+        a = PerfRecorder()
+        b = PerfRecorder()
+        a.add_seconds("replan.seconds", 1.25)
+        b.add_seconds("replan.seconds", 0.75)
+        a.merge(b)
+        assert a.timers == {"replan.seconds": pytest.approx(2.0)}
+        assert b.timers == {"replan.seconds": pytest.approx(0.75)}
+
+    def test_merge_ignores_an_open_timer_block(self):
+        """An in-flight interval is committed on block exit, only to the
+        recorder that owns the block — merging mid-flight never
+        double-counts and never moves in-flight time across recorders.
+        """
+        a = PerfRecorder()
+        b = PerfRecorder()
+        b.add_seconds("t", 1.0)
+        with b.timer("t"):
+            a.merge(b)  # mid-flight: only the committed 1.0 crosses
+            merged_at = a.timers["t"]
+        assert merged_at == pytest.approx(1.0)
+        assert b.timers["t"] > 1.0  # the block committed to b on exit
+        assert a.timers["t"] == pytest.approx(1.0)  # and never to a
+
+    def test_snapshot_key_order_is_stable(self):
+        """Arrival order never leaks into serialised records."""
+        forwards = PerfRecorder()
+        forwards.count("a")
+        forwards.count("b")
+        forwards.add_seconds("x", 1.0)
+        forwards.add_seconds("y", 2.0)
+        backwards = PerfRecorder()
+        backwards.add_seconds("y", 2.0)
+        backwards.add_seconds("x", 1.0)
+        backwards.count("b")
+        backwards.count("a")
+        assert json.dumps(forwards.snapshot()) == json.dumps(
+            backwards.snapshot()
+        )
+        snap = backwards.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert list(snap["timers"]) == ["x", "y"]
+
     def test_snapshot_is_a_json_able_copy(self):
         perf = PerfRecorder()
         perf.count("n")
