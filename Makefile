@@ -16,7 +16,16 @@ BENCH_META = --rev $(GIT_REV) --timestamp $(BENCH_TIMESTAMP)
 BENCH_REPEATS ?= 3
 BENCH_TUNERS ?= 1000
 
-.PHONY: install test bench bench-json bench-server bench-net bench-all examples experiments clean
+# The regression trajectory (benchmarks/history/) is recorded at a
+# small fixed scale so it runs everywhere, including CI smoke runs; the
+# committed baseline.jsonl was seeded at exactly this scale — the
+# sentinel refuses to compare mismatched configs.
+HISTORY_DIR ?= benchmarks/history
+HISTORY_TUNERS ?= 50
+HISTORY_REPEATS ?= 1
+HISTORY_TOLERANCE ?= 0.15
+
+.PHONY: install test bench bench-json bench-server bench-net bench-all bench-history examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -38,6 +47,19 @@ bench-net:
 
 bench-all: bench-json bench-server bench-net
 	$(PYTHON) -m repro.cli bench-merge BENCH_search.json BENCH_server.json BENCH_net.json --out BENCH_all.json
+
+# Run the three suites at history scale (scratch output under
+# $(HISTORY_DIR)/tmp so the full-scale BENCH_*.json records stay
+# untouched), append the run to the trajectory, and gate it against
+# the committed baseline — non-zero exit names the first regressed
+# metric.
+bench-history:
+	mkdir -p $(HISTORY_DIR)/tmp
+	$(PYTHON) -m repro.cli bench --repeats $(HISTORY_REPEATS) --json $(HISTORY_DIR)/tmp/search.json $(BENCH_META)
+	$(PYTHON) -m repro.cli bench-server --json $(HISTORY_DIR)/tmp/server.json $(BENCH_META)
+	$(PYTHON) -m repro.cli loadtest --tuners $(HISTORY_TUNERS) --check-parity --json $(HISTORY_DIR)/tmp/net.json $(BENCH_META)
+	$(PYTHON) -m repro.cli bench-merge $(HISTORY_DIR)/tmp/search.json $(HISTORY_DIR)/tmp/server.json $(HISTORY_DIR)/tmp/net.json --out $(HISTORY_DIR)/tmp/all.json
+	$(PYTHON) -m repro.cli obs regress --baseline $(HISTORY_DIR)/baseline.jsonl --candidate $(HISTORY_DIR)/tmp/all.json --tolerance $(HISTORY_TOLERANCE) --append $(HISTORY_DIR)/trajectory.jsonl --bootstrap
 
 examples:
 	@for script in examples/*.py; do \

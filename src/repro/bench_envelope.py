@@ -35,6 +35,7 @@ __all__ = [
     "validate_record",
     "merge_records",
     "load_records",
+    "suite_records",
     "write_merged_json",
 ]
 
@@ -137,6 +138,24 @@ def load_records(paths: Iterable[str]) -> dict[str, dict]:
             raise ValueError(f"duplicate bench suite {suite!r} (from {path})")
         records[suite] = record
     return records
+
+
+def suite_records(merged: dict) -> list[tuple[str, dict]]:
+    """The member suites of one merged ``BENCH_all.json``, sorted by name.
+
+    Accepts either a merged document (``suite == "all"``, members under
+    ``suites``) or a single stamped suite record, which yields itself —
+    so consumers like :mod:`repro.obs.regress` can point at whichever
+    file a bench run produced. Raises ``ValueError`` when the document
+    does not wear the envelope.
+    """
+    validate_record(merged)
+    if merged.get("suite") != "all":
+        return [(merged["suite"], merged)]
+    suites = merged.get("suites")
+    if not isinstance(suites, dict) or not suites:
+        raise ValueError("merged bench record carries no member suites")
+    return [(name, suites[name]) for name in sorted(suites)]
 
 
 def write_merged_json(path: str, records: Mapping[str, dict]) -> dict:

@@ -350,7 +350,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_envelope_options(loadtest)
 
     obs = commands.add_parser(
-        "obs", help="trace tooling: timelines and trace diffs"
+        "obs",
+        help="trace tooling: timelines, diffs, latency attribution, "
+        "and the bench-regression sentinel",
     )
     obs_commands = obs.add_subparsers(dest="obs_command", required=True)
     timeline = obs_commands.add_parser(
@@ -381,6 +383,71 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=10,
         help="max divergent cells to print (default 10)",
+    )
+    attrib = obs_commands.add_parser(
+        "attrib",
+        help="fold a trace into per-walk phase breakdowns "
+        "(probe/descent/hop/retry/slack) that sum exactly to each "
+        "walk's access time; exit 1 if any walk violates exactness",
+    )
+    attrib.add_argument("trace", help="JSONL trace file")
+    attrib.add_argument(
+        "--slowest",
+        type=int,
+        default=5,
+        help="how many of the slowest walks to break down individually "
+        "(0 = none; default 5)",
+    )
+    regress = obs_commands.add_parser(
+        "regress",
+        help="gate a BENCH_all.json candidate against a committed "
+        "baseline trajectory; exit 1 naming the first regressed metric",
+    )
+    regress.add_argument(
+        "--baseline",
+        required=True,
+        metavar="PATH",
+        help="JSONL history file whose last entry is the baseline",
+    )
+    regress.add_argument(
+        "--candidate",
+        default="BENCH_all.json",
+        metavar="PATH",
+        help="merged bench record to judge (default BENCH_all.json)",
+    )
+    regress.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.1,
+        help="relative worse-ward tolerance on quality metrics "
+        "(default 0.1)",
+    )
+    regress.add_argument(
+        "--timing-tolerance",
+        type=float,
+        default=None,
+        help="also gate machine-dependent timing metrics at this "
+        "relative tolerance (default: tracked but ungated)",
+    )
+    regress.add_argument(
+        "--append",
+        dest="append_path",
+        default=None,
+        metavar="PATH",
+        help="also append the candidate's history entry to this "
+        "JSONL trajectory file",
+    )
+    regress.add_argument(
+        "--bootstrap",
+        action="store_true",
+        help="if the baseline file does not exist yet, seed it with "
+        "the candidate's entry and exit 0",
+    )
+    regress.add_argument(
+        "--allow-config-mismatch",
+        action="store_true",
+        help="compare runs even when their config fingerprints differ "
+        "(normally a hard error: different scales are incomparable)",
     )
 
     sensitivity = commands.add_parser(
@@ -955,21 +1022,136 @@ def _cmd_obs(args) -> int:
         )
         return 0
 
-    assert args.obs_command == "diff"
+    if args.obs_command == "diff":
+        try:
+            diff = diff_trace_files(args.trace_a, args.trace_b)
+        except OSError as error:
+            print(f"error: cannot read trace: {error}", file=sys.stderr)
+            return 1
+        print(
+            format_diff(
+                diff,
+                label_a=args.label_a,
+                label_b=args.label_b,
+                limit=args.limit,
+            )
+        )
+        return 0 if diff.identical else 1
+
+    if args.obs_command == "attrib":
+        return _cmd_obs_attrib(args)
+
+    assert args.obs_command == "regress"
+    return _cmd_obs_regress(args)
+
+
+def _cmd_obs_attrib(args) -> int:
+    from .obs import (
+        AttributionError,
+        attribute_events,
+        format_attribution,
+        read_events,
+    )
+
     try:
-        diff = diff_trace_files(args.trace_a, args.trace_b)
+        attributions = attribute_events(read_events(args.trace))
     except OSError as error:
         print(f"error: cannot read trace: {error}", file=sys.stderr)
         return 1
+    except AttributionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if not attributions:
+        print(
+            "error: trace holds no finished walks to attribute "
+            "(was it recorded with 'loadtest --trace'?)",
+            file=sys.stderr,
+        )
+        return 1
+    print(format_attribution(attributions, slowest=args.slowest))
+    inexact = [a for a in attributions if not a.exact]
+    if inexact:
+        worst = inexact[0]
+        print(
+            f"error: {len(inexact)} walk(s) violate the exactness "
+            f"invariant (first: walk {worst.walk} {worst.key!r}, phases "
+            f"sum to {worst.total} but measured access time is "
+            f"{worst.access_time})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_obs_regress(args) -> int:
+    import json as _json
+    import os
+
+    from .obs import (
+        RegressError,
+        append_history,
+        compare_runs,
+        extract_metrics,
+        format_report,
+        load_history,
+    )
+
+    try:
+        with open(args.candidate) as handle:
+            merged = _json.load(handle)
+        entry = extract_metrics(merged)
+    except OSError as error:
+        print(f"error: cannot read candidate: {error}", file=sys.stderr)
+        return 2
+    except (ValueError, RegressError) as error:
+        print(f"error: bad candidate record: {error}", file=sys.stderr)
+        return 2
+    if args.append_path:
+        append_history(args.append_path, entry)
+        print(f"candidate entry appended to {args.append_path}")
+    if not os.path.exists(args.baseline):
+        if args.bootstrap:
+            append_history(args.baseline, entry)
+            print(
+                f"baseline seeded at {args.baseline} from "
+                f"{args.candidate} (rev {entry.get('rev') or '?'})"
+            )
+            return 0
+        print(
+            f"error: baseline {args.baseline} does not exist "
+            "(seed it with --bootstrap)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        history = load_history(args.baseline)
+        if not history:
+            print(
+                f"error: baseline {args.baseline} is empty",
+                file=sys.stderr,
+            )
+            return 2
+        report = compare_runs(
+            history[-1],
+            entry,
+            tolerance=args.tolerance,
+            timing_tolerance=args.timing_tolerance,
+            allow_config_mismatch=args.allow_config_mismatch,
+        )
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except RegressError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(
-        format_diff(
-            diff,
-            label_a=args.label_a,
-            label_b=args.label_b,
-            limit=args.limit,
+        format_report(
+            report,
+            tolerance=args.tolerance,
+            timing_tolerance=args.timing_tolerance,
         )
     )
-    return 0 if diff.identical else 1
+    return 0 if report.ok else 1
 
 
 def _cmd_bench_merge(args) -> int:

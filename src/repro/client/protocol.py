@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from ..broadcast.pointers import BroadcastProgram
 from ..exceptions import ScheduleError
 from ..faults import CORRUPT, OK, FaultConfig, FaultInjector
+from ..obs.events import NO_WALK, ChannelHop, SlotRead, Tracer, WalkFinished
 from ..tree.node import DataNode, IndexNode, Node
 
 __all__ = [
@@ -70,19 +71,35 @@ class AccessRecord:
 
 
 def run_request(
-    program: BroadcastProgram, target: Node, tune_slot: int
+    program: BroadcastProgram,
+    target: Node,
+    tune_slot: int,
+    *,
+    tracer: Tracer | None = None,
+    walk_id: int | None = None,
 ) -> AccessRecord:
     """Execute one request for ``target`` tuning in at ``tune_slot``.
 
     ``tune_slot`` is cycle-relative (1..cycle_length) on channel 1.
     Raises :class:`ScheduleError` if the pointer walk derails (which a
     correctly compiled program cannot do).
+
+    When ``tracer`` is enabled the walk narrates each read
+    (:class:`~repro.obs.events.SlotRead`), re-tune
+    (:class:`~repro.obs.events.ChannelHop`) and its completion
+    (:class:`~repro.obs.events.WalkFinished`) in the same vocabulary —
+    and the same absolute-slot frame, counted from the start of the
+    tune-in cycle — as :class:`~repro.client.walk.PointerWalk`, so the
+    object-level and frame-level paths produce diffable traces.
+    ``walk_id`` stamps the events' ``walk`` correlation field.
     """
     if not isinstance(target, DataNode):
         raise ValueError("targets must be data nodes")
     cycle = program.cycle_length
     if not 1 <= tune_slot <= cycle:
         raise ValueError(f"tune_slot must be in 1..{cycle}")
+    emit = tracer is not None and tracer.enabled
+    wid = NO_WALK if walk_id is None else walk_id
 
     # Root path inside the index tree guides pointer choice at each hop.
     path = list(target.ancestors())
@@ -92,6 +109,12 @@ def run_request(
     tuning = 1  # the initial probe bucket on channel 1
     switches = 0
     current_channel = 1
+    if emit:
+        tracer.emit(
+            SlotRead(
+                key=target.label, channel=1, absolute_slot=tune_slot, walk=wid
+            )
+        )
 
     first_bucket = program.bucket_at(1, tune_slot)
     pointer = first_bucket.next_cycle_pointer
@@ -100,12 +123,31 @@ def run_request(
     # Absolute time, measured in slots since the start of the tune-in
     # cycle. The next cycle begins at absolute slot cycle + 1.
     absolute = cycle + pointer.slot
-    if pointer.channel != current_channel:
-        switches += 1
-        current_channel = pointer.channel
 
     bucket = program.bucket_at(pointer.channel, pointer.slot)
     tuning += 1
+    if emit:
+        tracer.emit(
+            SlotRead(
+                key=target.label,
+                channel=pointer.channel,
+                absolute_slot=absolute,
+                walk=wid,
+            )
+        )
+        if pointer.channel != current_channel:
+            tracer.emit(
+                ChannelHop(
+                    key=target.label,
+                    from_channel=current_channel,
+                    to_channel=pointer.channel,
+                    absolute_slot=absolute,
+                    walk=wid,
+                )
+            )
+    if pointer.channel != current_channel:
+        switches += 1
+        current_channel = pointer.channel
     if bucket.node is not path[0]:
         raise ScheduleError("next-cycle pointer did not land on the root")
     probe_wait = (cycle - tune_slot + 1) + pointer.slot
@@ -113,12 +155,31 @@ def run_request(
     for hop in path[1:]:
         assert isinstance(bucket.node, IndexNode)
         pointer = _pointer_for(bucket, hop)
-        if pointer.channel != current_channel:
-            switches += 1
-            current_channel = pointer.channel
         absolute = cycle + pointer.slot
         bucket = program.bucket_at(pointer.channel, pointer.slot)
         tuning += 1
+        if emit:
+            tracer.emit(
+                SlotRead(
+                    key=target.label,
+                    channel=pointer.channel,
+                    absolute_slot=absolute,
+                    walk=wid,
+                )
+            )
+            if pointer.channel != current_channel:
+                tracer.emit(
+                    ChannelHop(
+                        key=target.label,
+                        from_channel=current_channel,
+                        to_channel=pointer.channel,
+                        absolute_slot=absolute,
+                        walk=wid,
+                    )
+                )
+        if pointer.channel != current_channel:
+            switches += 1
+            current_channel = pointer.channel
         if bucket.node is not hop:
             raise ScheduleError(
                 f"pointer to {hop.label!r} landed on "
@@ -127,6 +188,17 @@ def run_request(
 
     data_wait = absolute - cycle
     access_time = (cycle - tune_slot + 1) + data_wait
+    if emit:
+        tracer.emit(
+            WalkFinished(
+                key=target.label,
+                tune_slot=tune_slot,
+                access_time=access_time,
+                tuning_time=tuning,
+                channel_switches=switches,
+                walk=wid,
+            )
+        )
     return AccessRecord(
         target=target.label,
         tune_slot=tune_slot,
@@ -205,6 +277,8 @@ def run_request_recovering(
     *,
     faults: FaultInjector | FaultConfig | None = None,
     policy: RecoveryPolicy | None = None,
+    tracer: Tracer | None = None,
+    walk_id: int | None = None,
 ) -> RecoveredAccessRecord:
     """Execute one request over an unreliable channel, recovering on loss.
 
@@ -219,6 +293,11 @@ def run_request_recovering(
     every inherited field of the returned record, is **bit-identical**
     to :func:`run_request` — the differential invariant the test suite
     locks.
+
+    ``tracer``/``walk_id`` narrate the walk exactly as in
+    :func:`run_request`, with every failed read carrying its
+    ``outcome`` (``"lost"``/``"corrupt"``) so
+    :mod:`repro.obs.attrib` can charge recovery time to the fault.
     """
     if not isinstance(target, DataNode):
         raise ValueError("targets must be data nodes")
@@ -229,6 +308,8 @@ def run_request_recovering(
         policy = RecoveryPolicy()
     if isinstance(faults, FaultConfig):
         faults = FaultInjector(faults)
+    emit = tracer is not None and tracer.enabled
+    wid = NO_WALK if walk_id is None else walk_id
 
     path = list(target.ancestors())
     path.reverse()
@@ -246,6 +327,19 @@ def run_request_recovering(
     probe_wait = 0
 
     def record(final_absolute: int, *, abandoned: bool) -> RecoveredAccessRecord:
+        if emit:
+            tracer.emit(
+                WalkFinished(
+                    key=target.label,
+                    tune_slot=tune_slot,
+                    access_time=final_absolute - tune_slot + 1,
+                    tuning_time=tuning,
+                    channel_switches=switches,
+                    retries=retries,
+                    abandoned=abandoned,
+                    walk=wid,
+                )
+            )
         return RecoveredAccessRecord(
             target=target.label,
             tune_slot=tune_slot,
@@ -271,6 +365,16 @@ def run_request_recovering(
             return record(deadline, abandoned=True)
         fate = fate_of(1, absolute)
         tuning += 1
+        if emit:
+            tracer.emit(
+                SlotRead(
+                    key=target.label,
+                    channel=1,
+                    absolute_slot=absolute,
+                    outcome=fate,
+                    walk=wid,
+                )
+            )
         if fate == OK:
             break
         retries += 1
@@ -297,11 +401,33 @@ def run_request_recovering(
     while True:
         if next_absolute > deadline:
             return record(deadline, abandoned=True)
-        if next_channel != current_channel:
+        hopped = next_channel != current_channel
+        if hopped:
             switches += 1
-            current_channel = next_channel
         fate = fate_of(next_channel, next_absolute)
         tuning += 1
+        if emit:
+            tracer.emit(
+                SlotRead(
+                    key=target.label,
+                    channel=next_channel,
+                    absolute_slot=next_absolute,
+                    outcome=fate,
+                    walk=wid,
+                )
+            )
+            if hopped:
+                tracer.emit(
+                    ChannelHop(
+                        key=target.label,
+                        from_channel=current_channel,
+                        to_channel=next_channel,
+                        absolute_slot=next_absolute,
+                        walk=wid,
+                    )
+                )
+        if hopped:
+            current_channel = next_channel
         if fate != OK:
             retries += 1
             if fate == CORRUPT:

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from ..exceptions import ReproError
 from ..io.wire import DecodedBucket, DecodedPointer, WireFormatError
 from ..obs.events import (
+    NO_WALK,
     NULL_TRACER,
     ChannelHop,
     SlotRead,
@@ -123,6 +124,11 @@ class PointerWalk:
         completion (:class:`~repro.obs.events.WalkFinished`). The
         default no-op tracer costs one boolean check per read and never
         alters the walk's measured numbers.
+    walk_id:
+        Optional correlation id stamped into every emitted event's
+        ``walk`` field, so a concurrent fleet's interleaved trace can be
+        reassembled per walk (:mod:`repro.obs.attrib`). ``None`` leaves
+        the events at :data:`~repro.obs.events.NO_WALK`.
 
     Drive it as::
 
@@ -141,6 +147,7 @@ class PointerWalk:
         *,
         policy: RecoveryPolicy | None = None,
         tracer: Tracer | None = None,
+        walk_id: int | None = None,
     ) -> None:
         if cycle_length < 1:
             raise ValueError("cycle_length must be >= 1")
@@ -151,6 +158,7 @@ class PointerWalk:
         self.cycle = cycle_length
         self.policy = policy if policy is not None else RecoveryPolicy()
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self.walk_id = NO_WALK if walk_id is None else walk_id
         self._deadline = self.policy.max_cycles * cycle_length
 
         self._state = _PROBE
@@ -238,6 +246,7 @@ class PointerWalk:
                     channel=listen.channel,
                     absolute_slot=listen.absolute_slot,
                     outcome=outcome,
+                    walk=self.walk_id,
                 )
             )
             if hopped:
@@ -247,6 +256,7 @@ class PointerWalk:
                         from_channel=self._current_channel,
                         to_channel=listen.channel,
                         absolute_slot=listen.absolute_slot,
+                        walk=self.walk_id,
                     )
                 )
         if hopped:
@@ -359,6 +369,7 @@ class PointerWalk:
                     channel_switches=self._result.channel_switches,
                     retries=self._result.retries,
                     abandoned=abandoned,
+                    walk=self.walk_id,
                 )
             )
 

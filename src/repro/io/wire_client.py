@@ -37,7 +37,12 @@ class WireAccessRecord:
 
 
 def run_request_wire(
-    frames: list[list[bytes]], key: str, tune_slot: int, *, tracer=None
+    frames: list[list[bytes]],
+    key: str,
+    tune_slot: int,
+    *,
+    tracer=None,
+    walk_id: int | None = None,
 ) -> WireAccessRecord:
     """Fetch the item with search key ``key`` from an encoded cycle.
 
@@ -50,13 +55,15 @@ def run_request_wire(
     ``tracer`` is an optional :class:`~repro.obs.events.Tracer` the walk
     narrates into — the hook the trace-diff tooling uses to replay a
     request trace through the simulator in the live fleet's vocabulary.
+    ``walk_id`` stamps the emitted events' ``walk`` correlation field
+    (see :class:`~repro.obs.events.SlotRead`).
     """
     # Imported lazily: repro.client.walk itself builds on repro.io.wire,
     # and the package inits would otherwise form a cycle.
     from ..client.walk import PointerWalk
 
     cycle = len(frames[0])
-    walk = PointerWalk(key, tune_slot, cycle, tracer=tracer)
+    walk = PointerWalk(key, tune_slot, cycle, tracer=tracer, walk_id=walk_id)
     while (listen := walk.next_listen()) is not None:
         slot = (listen.absolute_slot - 1) % cycle + 1
         bucket = decode_bucket(

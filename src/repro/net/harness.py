@@ -33,7 +33,9 @@ from ..client.walk import WalkResult
 from ..faults import FaultConfig
 from ..io.wire import DEFAULT_BUCKET_SIZE, encode_program
 from ..io.wire_client import WireAccessRecord, run_request_wire
-from ..obs.events import Tracer
+from ..obs.attrib import AttributionCollector
+from ..obs.events import TeeTracer, Tracer
+from ..obs.metrics import MetricsRegistry, slot_buckets
 from ..perf import PerfRecorder
 from ..planners import plan
 from ..tree.alphabetic import optimal_alphabetic_tree
@@ -145,8 +147,8 @@ def trace_simulator(
     """
     frames = encode_program(program, bucket_size)
     return [
-        run_request_wire(frames, key, tune_slot, tracer=tracer)
-        for key, tune_slot in trace
+        run_request_wire(frames, key, tune_slot, tracer=tracer, walk_id=index)
+        for index, (key, tune_slot) in enumerate(trace)
     ]
 
 
@@ -246,6 +248,7 @@ async def run_loadtest(
     check_parity: bool = False,
     perf: PerfRecorder | None = None,
     tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> LoadReport:
     """Air ``program`` on loopback and run a concurrent tuner fleet.
 
@@ -281,6 +284,16 @@ async def run_loadtest(
         Optional :class:`~repro.obs.events.Tracer` shared by the
         station and the whole fleet — the live side of a trace diff.
         ``None`` (default) keeps the hot paths on the no-op tracer.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`. When
+        given, an :class:`~repro.obs.attrib.AttributionCollector` is
+        teed into the fleet's tracer so every completed walk feeds the
+        registry's access/tuning/per-phase quantile summaries, the
+        completed walks' access times fill a cycle-derived
+        :func:`~repro.obs.metrics.slot_buckets` histogram, and the
+        run's perf counters are absorbed — all purely observational:
+        every measured number stays bit-identical to a run without it
+        (the zero-overhead differential locks this).
 
     Returns the aggregated :class:`LoadReport`; ``report.accounting_ok``
     and ``report.parity_ok`` are the acceptance gates.
@@ -299,6 +312,13 @@ async def run_loadtest(
         offsets = np.cumsum(rng.exponential(1.0 / arrival_rate, size=tuners))
     else:
         offsets = np.zeros(tuners)
+
+    collector: AttributionCollector | None = None
+    if metrics is not None:
+        collector = AttributionCollector(metrics)
+        tracer = (
+            collector if tracer is None else TeeTracer(tracer, collector)
+        )
 
     recorder = perf if perf is not None else PerfRecorder()
     station = BroadcastStation(
@@ -326,7 +346,9 @@ async def run_loadtest(
                     perf=recorder,
                     tracer=tracer,
                 ) as tuner:
-                    results[index] = await tuner.fetch(key, tune_slot)
+                    results[index] = await tuner.fetch(
+                        key, tune_slot, walk_id=index
+                    )
             except Exception as error:  # accounted, not swallowed
                 failures.append(error)
 
@@ -345,6 +367,17 @@ async def run_loadtest(
     walks = [result for result in results if result is not None]
     completed = [walk for walk in walks if not walk.abandoned]
     reads = sum(walk.tuning_time for walk in walks)
+    if metrics is not None:
+        # Fed after the fleet is done, from already-measured numbers —
+        # exposition changes, measurements cannot.
+        access_histogram = metrics.histogram(
+            "repro_loadtest_access_time_slots",
+            "access-time distribution of completed walks (slots)",
+            buckets=slot_buckets(program.cycle_length),
+        )
+        for walk in completed:
+            access_histogram.observe(walk.access_time)
+        metrics.absorb_perf(recorder)
     counters = recorder.counters
     requested = counters.get("net.station.requests", 0)
     answered = counters.get("net.station.frames_sent", 0)

@@ -129,13 +129,17 @@ class TunerClient:
         await self.aclose()
 
     # -- the access protocol -------------------------------------------------
-    async def fetch(self, key: str, tune_slot: int) -> WalkResult:
+    async def fetch(
+        self, key: str, tune_slot: int, *, walk_id: int | None = None
+    ) -> WalkResult:
         """Run one full access-protocol walk for ``key`` over the socket.
 
         ``tune_slot`` is the cycle-relative slot (1..cycle_length) the
         client tunes into channel 1 — identical semantics (and, at zero
         loss, identical measured numbers) to
         :func:`repro.client.protocol.run_request` on the same program.
+        ``walk_id`` stamps the traced events' ``walk`` correlation field
+        so a concurrent fleet's interleaved trace stays attributable.
         """
         if self._reader is None or self.cycle_length is None:
             raise TunerProtocolError("not connected; call connect() first")
@@ -145,6 +149,7 @@ class TunerClient:
             self.cycle_length,
             policy=self.policy,
             tracer=self.tracer,
+            walk_id=walk_id,
         )
         while (listen := walk.next_listen()) is not None:
             air = await self._listen(listen.channel, listen.absolute_slot)

@@ -19,8 +19,32 @@ Three layers, all opt-in and all free when unused:
   timeline from a JSONL trace and diff two traces (live air vs the
   in-process simulator, lossy vs lossless) down to the first divergent
   slot (``repro obs timeline`` / ``repro obs diff``).
+
+A second layer *explains* what the first records:
+
+* :mod:`repro.obs.attrib` — fold a trace per walk into an additive
+  phase breakdown (probe / descent / hop / retry / slack) whose sum is
+  bit-identical to the measured access time (``repro obs attrib``);
+* :mod:`repro.obs.digest` — deterministic, mergeable integer quantile
+  digests backing the registry's :class:`~repro.obs.metrics.Summary`
+  series (p50/p95/p99 access, tuning and per-phase times on
+  ``/metrics``);
+* :mod:`repro.obs.regress` — the bench-regression sentinel: append
+  each ``BENCH_all.json`` to a history trajectory and gate against a
+  committed baseline (``repro obs regress`` / ``make bench-history``).
 """
 
+from .attrib import (
+    PHASES,
+    AttributionBuilder,
+    AttributionCollector,
+    AttributionError,
+    WalkAttribution,
+    attribute_events,
+    attribute_walk,
+    format_attribution,
+)
+from .digest import DEFAULT_QUANTILES, QuantileDigest
 from .events import (
     EVENT_TYPES,
     NULL_TRACER,
@@ -49,7 +73,19 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    Summary,
     declare_perf_baseline,
+    slot_buckets,
+)
+from .regress import (
+    MetricReading,
+    RegressError,
+    RegressionReport,
+    append_history,
+    compare_runs,
+    extract_metrics,
+    format_report,
+    load_history,
 )
 from .timeline import (
     SlotCell,
@@ -89,9 +125,32 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Summary",
     "MetricsRegistry",
     "declare_perf_baseline",
+    "slot_buckets",
     "ObsHttpServer",
+    # digests
+    "QuantileDigest",
+    "DEFAULT_QUANTILES",
+    # attribution
+    "PHASES",
+    "WalkAttribution",
+    "AttributionError",
+    "AttributionBuilder",
+    "AttributionCollector",
+    "attribute_events",
+    "attribute_walk",
+    "format_attribution",
+    # regression sentinel
+    "MetricReading",
+    "RegressError",
+    "RegressionReport",
+    "extract_metrics",
+    "append_history",
+    "load_history",
+    "compare_runs",
+    "format_report",
     # timeline
     "SlotCell",
     "Timeline",

@@ -56,6 +56,7 @@ __all__ = [
     "SearchProgress",
     "FaultInjected",
     "EVENT_TYPES",
+    "NO_WALK",
     "event_to_dict",
     "event_from_dict",
     "Tracer",
@@ -70,6 +71,11 @@ __all__ = [
 # ---------------------------------------------------------------------------
 # the event vocabulary
 # ---------------------------------------------------------------------------
+
+#: The ``walk`` id carried by :class:`SlotRead`/:class:`ChannelHop`/
+#: :class:`WalkFinished` when no correlation id was assigned.
+NO_WALK = -1
+
 
 @dataclass(frozen=True, slots=True)
 class SlotAired:
@@ -106,6 +112,13 @@ class SlotRead:
     the in-process simulator — which is what makes live and simulated
     traces of the same seeded workload directly diffable. ``outcome``
     is ``"ok"``, ``"lost"`` or ``"corrupt"`` as the *receiver* saw it.
+
+    ``walk`` is the walk correlation id (see :data:`NO_WALK`): two
+    concurrent walks for the same key interleave their events in a
+    fleet trace, and the id is what lets
+    :mod:`repro.obs.attrib` reassemble each walk exactly. ``-1`` means
+    "unassigned" (old traces, callers that never set one) — consumers
+    then fall back to grouping by key.
     """
 
     kind: ClassVar[str] = "slot_read"
@@ -113,6 +126,7 @@ class SlotRead:
     channel: int
     absolute_slot: int
     outcome: str = "ok"
+    walk: int = -1
 
 
 @dataclass(frozen=True, slots=True)
@@ -124,6 +138,7 @@ class ChannelHop:
     from_channel: int
     to_channel: int
     absolute_slot: int
+    walk: int = -1
 
 
 @dataclass(frozen=True, slots=True)
@@ -138,6 +153,7 @@ class WalkFinished:
     channel_switches: int
     retries: int = 0
     abandoned: bool = False
+    walk: int = -1
 
 
 @dataclass(frozen=True, slots=True)

@@ -24,18 +24,22 @@ from __future__ import annotations
 
 import re
 from bisect import bisect_left
+from math import ceil
 from typing import Iterable
 
 from ..perf import PerfRecorder
+from .digest import DEFAULT_QUANTILES, QuantileDigest
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Summary",
     "MetricsRegistry",
     "perf_counter_metric_name",
     "perf_timer_metric_name",
     "declare_perf_baseline",
+    "slot_buckets",
     "DEFAULT_PERF_BASELINE",
 ]
 
@@ -46,9 +50,41 @@ DEFAULT_BUCKETS = (
     0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
+
+def slot_buckets(cycle_length: int, *, max_cycles: int = 8) -> tuple[float, ...]:
+    """Histogram bounds for slot-denominated quantities, from the cycle.
+
+    The generic Prometheus defaults (:data:`DEFAULT_BUCKETS`) are
+    tuned for sub-second latencies; slot-valued access and tuning times
+    live on a completely different axis whose natural unit *is* the
+    cycle length: a lossless walk finishes within two cycles, and the
+    default :class:`~repro.client.protocol.RecoveryPolicy` abandons
+    after ``max_cycles``. The bounds therefore cover fractions of a
+    cycle (⅛, ¼, ½, ¾) for tuning-time-sized values, then whole-cycle
+    multiples up to the give-up deadline — deduplicated and ascending,
+    so tiny cycles (where ⌈L/8⌉ == ⌈L/4⌉) still yield a valid histogram.
+    """
+    if cycle_length < 1:
+        raise ValueError("cycle_length must be >= 1")
+    if max_cycles < 2:
+        raise ValueError("max_cycles must be >= 2")
+    fractions = {
+        ceil(cycle_length / 8),
+        ceil(cycle_length / 4),
+        ceil(cycle_length / 2),
+        ceil(3 * cycle_length / 4),
+    }
+    multiples = {
+        m * cycle_length for m in (1, 2, 3, 4, 6, 8) if m <= max_cycles
+    }
+    multiples.add(max_cycles * cycle_length)
+    return tuple(float(b) for b in sorted(fractions | multiples))
+
+
 #: The perf counters every live deployment should expose even at zero:
-#: the station's air path, the tuner fleet, and the serving loop's
-#: replan accounting.
+#: the station's air path, the tuner fleet, the serving loop's
+#: replan accounting, and the fault-recovery tallies a degraded server
+#: reports (PR 2's ``server.faults.*`` family).
 DEFAULT_PERF_BASELINE = (
     "net.station.connections",
     "net.station.requests",
@@ -70,6 +106,11 @@ DEFAULT_PERF_BASELINE = (
     "cycles",
     "requests",
     "replans",
+    "server.faults.lost",
+    "server.faults.corrupt",
+    "server.faults.retries",
+    "server.faults.abandoned",
+    "server.faults.wasted_probes",
 )
 
 
@@ -225,6 +266,57 @@ class Histogram(_Metric):
         return rows
 
 
+class Summary(_Metric):
+    """Quantile summary backed by a :class:`~repro.obs.digest.QuantileDigest`.
+
+    Rendered in the Prometheus summary shape: one
+    ``name{quantile="…"}`` series per configured quantile point plus
+    ``name_sum`` and ``name_count``. The digest keeps the quantiles
+    deterministic and order-independent (two scrapes of one multiset
+    render identically) and integer-exact while the distinct-value
+    count fits the bin budget — see :mod:`repro.obs.digest`.
+    """
+
+    metric_type = "summary"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        quantiles: Iterable[float] = DEFAULT_QUANTILES,
+        max_bins: int = 256,
+    ) -> None:
+        super().__init__(name, help)
+        points = tuple(float(q) for q in quantiles)
+        if not points:
+            raise ValueError("summary needs at least one quantile point")
+        if any(not 0.0 <= q <= 1.0 for q in points):
+            raise ValueError("quantile points must be in [0, 1]")
+        if any(q2 <= q1 for q1, q2 in zip(points, points[1:])):
+            raise ValueError("quantile points must be strictly ascending")
+        self.quantiles = points
+        self.digest = QuantileDigest(max_bins=max_bins)
+
+    def observe(self, value: int) -> None:
+        self.digest.observe(value)
+
+    def merge_digest(self, shard: QuantileDigest) -> None:
+        """Fold one fleet shard's digest into this series."""
+        self.digest.merge(shard)
+
+    def samples(self) -> list[tuple[str, float]]:
+        rows: list[tuple[str, float]] = [
+            (
+                f'{self.name}{{quantile="{_format_value(q)}"}}',
+                self.digest.quantile(q),
+            )
+            for q in self.quantiles
+        ]
+        rows.append((f"{self.name}_sum", self.digest.total))
+        rows.append((f"{self.name}_count", self.digest.count))
+        return rows
+
+
 class MetricsRegistry:
     """Named metric families, rendered in one stable-ordered exposition.
 
@@ -262,6 +354,15 @@ class MetricsRegistry:
         buckets: Iterable[float] = DEFAULT_BUCKETS,
     ) -> Histogram:
         return self._get_or_create(Histogram, name, help, buckets)
+
+    def summary(
+        self,
+        name: str,
+        help: str = "",
+        quantiles: Iterable[float] = DEFAULT_QUANTILES,
+        max_bins: int = 256,
+    ) -> Summary:
+        return self._get_or_create(Summary, name, help, quantiles, max_bins)
 
     def __contains__(self, name: str) -> bool:
         return name in self._metrics

@@ -1,0 +1,415 @@
+"""The bench-regression sentinel: turn BENCH snapshots into a gated trajectory.
+
+The ROADMAP's north star ("as fast as the hardware allows") is
+unenforceable while ``BENCH_*.json`` files are point-in-time snapshots:
+nothing notices when a change quietly costs two slots of mean access
+time or doubles the search's node count. This module gives the bench
+envelope a memory and a gate:
+
+* :func:`extract_metrics` flattens a merged ``BENCH_all.json``
+  (:func:`repro.bench_envelope.merge_records`) into one history entry —
+  named metrics, the run's acceptance checks, and a **config
+  fingerprint** (tuner count, repeats, seeds, …) identifying the scale
+  the numbers were measured at;
+* :func:`append_history` / :func:`load_history` persist entries as one
+  JSONL line per run under ``benchmarks/history/`` — the trajectory;
+* :func:`compare_runs` diffs a candidate entry against a baseline with
+  per-metric relative tolerances and names the **first regressed
+  metric** — the message CI fails the build with.
+
+Metrics are classified on two axes. *Direction*: ``lower`` is better
+(access times, node counts) or ``higher`` is better (throughput).
+*Kind*: ``quality`` metrics are deterministic functions of the seeds
+(slot-denominated latencies, node counts) and gate the build at
+``tolerance``; ``timing`` metrics are machine-dependent wall-clock
+figures, tracked in every entry and report but gated only when an
+explicit ``timing_tolerance`` is supplied — a CI runner's noisy clock
+must not fail a build over seconds while a real slot regression must.
+
+Comparing runs measured at different scales is meaningless, so a
+fingerprint mismatch is a hard error unless explicitly waived; a
+candidate whose own acceptance checks failed regresses outright.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from ..bench_envelope import suite_records
+from ..exceptions import ReproError
+
+__all__ = [
+    "HISTORY_SCHEMA_VERSION",
+    "METRIC_SPECS",
+    "MetricSpec",
+    "MetricReading",
+    "RegressionReport",
+    "RegressError",
+    "extract_metrics",
+    "append_history",
+    "load_history",
+    "compare_runs",
+    "format_report",
+]
+
+HISTORY_SCHEMA_VERSION = 1
+
+QUALITY = "quality"
+TIMING = "timing"
+LOWER = "lower"
+HIGHER = "higher"
+
+
+class RegressError(ReproError):
+    """The sentinel cannot produce a meaningful comparison."""
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Where one tracked metric lives in a suite record, and how to judge it.
+
+    ``path`` indexes into the suite's stamped record (usually under
+    ``aggregate``); ``direction`` says which way is better; ``kind``
+    separates seed-deterministic quality metrics (gated) from
+    machine-dependent timing metrics (tracked, gated only on request).
+    """
+
+    suite: str
+    metric: str
+    path: tuple[str, ...]
+    direction: str = LOWER
+    kind: str = QUALITY
+
+    @property
+    def name(self) -> str:
+        return f"{self.suite}.{self.metric}"
+
+
+#: Every metric the trajectory tracks, in gate order — the *first*
+#: entry here that regresses is the one the failure names.
+METRIC_SPECS: tuple[MetricSpec, ...] = (
+    # net-loadtest: slot-denominated latencies are seed-deterministic.
+    MetricSpec(
+        "net-loadtest", "mean_access_time",
+        ("aggregate", "mean_access_time"),
+    ),
+    MetricSpec(
+        "net-loadtest", "mean_tuning_time",
+        ("aggregate", "mean_tuning_time"),
+    ),
+    MetricSpec(
+        "net-loadtest", "access_p99",
+        ("result", "access_percentiles", "p99"),
+    ),
+    MetricSpec(
+        "net-loadtest", "walks_per_second",
+        ("aggregate", "walks_per_second"),
+        direction=HIGHER, kind=TIMING,
+    ),
+    # search-overhaul: node counts are the quality axis, clocks timing.
+    MetricSpec(
+        "search-overhaul", "best_first_nodes_expanded",
+        ("aggregate", "best_first_nodes_expanded"),
+    ),
+    MetricSpec(
+        "search-overhaul", "a2_best_first_nodes_expanded",
+        ("aggregate", "a2_best_first_nodes_expanded"),
+    ),
+    MetricSpec(
+        "search-overhaul", "best_first_seconds",
+        ("aggregate", "best_first_seconds"), kind=TIMING,
+    ),
+    MetricSpec(
+        "search-overhaul", "dfs_bnb_seconds",
+        ("aggregate", "dfs_bnb_seconds"), kind=TIMING,
+    ),
+    MetricSpec(
+        "search-overhaul", "speedup",
+        ("aggregate", "speedup"), direction=HIGHER, kind=TIMING,
+    ),
+    # server-faults: how gracefully the server degrades, in slots.
+    MetricSpec(
+        "server-faults", "lossless_mean_access",
+        ("aggregate", "lossless_mean_access"),
+    ),
+    MetricSpec(
+        "server-faults", "lossy_mean_access",
+        ("aggregate", "lossy_mean_access"),
+    ),
+    MetricSpec(
+        "server-faults", "degradation_slots",
+        ("aggregate", "degradation_slots"),
+    ),
+)
+
+_SPEC_BY_NAME = {spec.name: spec for spec in METRIC_SPECS}
+
+
+def _dig(record: dict, path: tuple[str, ...]):
+    value = record
+    for key in path:
+        if not isinstance(value, dict) or key not in value:
+            return None
+        value = value[key]
+    return value
+
+
+def extract_metrics(merged: dict) -> dict:
+    """Flatten one merged ``BENCH_all.json`` into a history entry.
+
+    The entry carries the envelope's ``rev``/``timestamp``, every
+    tracked metric present in the run, the run's aggregate checks, and
+    the config fingerprint (each suite's ``config`` block, plus the
+    search suite's ``repeats``, which lives in its aggregate).
+    """
+    suites = dict(suite_records(merged))
+    metrics: dict[str, float] = {}
+    for spec in METRIC_SPECS:
+        record = suites.get(spec.suite)
+        if record is None:
+            continue
+        value = _dig(record, spec.path)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            metrics[spec.name] = float(value)
+    fingerprint: dict[str, dict] = {}
+    for name, record in sorted(suites.items()):
+        fingerprint[name] = dict(record.get("config") or {})
+        repeats = _dig(record, ("aggregate", "repeats"))
+        if repeats is not None:
+            fingerprint[name]["repeats"] = repeats
+    return {
+        "schema_version": HISTORY_SCHEMA_VERSION,
+        "rev": merged.get("rev"),
+        "timestamp": merged.get("timestamp"),
+        "fingerprint": fingerprint,
+        "metrics": metrics,
+        "checks": {
+            name: bool(ok)
+            for name, ok in sorted(
+                merged.get("aggregate", {}).get("checks", {}).items()
+            )
+        },
+    }
+
+
+def append_history(path: str, entry: dict) -> None:
+    """Append one history entry as a JSONL line, creating parents."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def load_history(path: str) -> list[dict]:
+    """Read a trajectory file; entries in append (chronological) order."""
+    entries: list[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            version = entry.get("schema_version")
+            if version != HISTORY_SCHEMA_VERSION:
+                raise RegressError(
+                    f"{path}:{line_number}: history schema_version "
+                    f"{version!r}; this tooling speaks "
+                    f"{HISTORY_SCHEMA_VERSION}"
+                )
+            entries.append(entry)
+    return entries
+
+
+@dataclass(frozen=True)
+class MetricReading:
+    """One metric's baseline-vs-candidate judgement."""
+
+    name: str
+    baseline: float | None
+    candidate: float | None
+    direction: str
+    kind: str
+    delta: float | None  # signed relative change, candidate vs baseline
+    gated: bool
+    regressed: bool
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """Everything :func:`compare_runs` judged, in gate order."""
+
+    readings: list[MetricReading] = field(default_factory=list)
+    failed_checks: list[str] = field(default_factory=list)
+    baseline_rev: str | None = None
+    candidate_rev: str | None = None
+
+    @property
+    def regressions(self) -> list[MetricReading]:
+        return [r for r in self.readings if r.regressed]
+
+    @property
+    def first_regressed(self) -> str | None:
+        """Name of the first regression — checks gate before metrics."""
+        if self.failed_checks:
+            return f"checks.{self.failed_checks[0]}"
+        for reading in self.readings:
+            if reading.regressed:
+                return reading.name
+        return None
+
+    @property
+    def ok(self) -> bool:
+        return self.first_regressed is None
+
+
+def _relative_delta(
+    baseline: float, candidate: float, direction: str
+) -> tuple[float, float]:
+    """Signed relative change and how much of it is *worse*-ward."""
+    if baseline == 0.0:
+        delta = 0.0 if candidate == 0.0 else float("inf")
+    else:
+        delta = (candidate - baseline) / abs(baseline)
+    worse = delta if direction == LOWER else -delta
+    return delta, worse
+
+
+def compare_runs(
+    baseline: dict,
+    candidate: dict,
+    *,
+    tolerance: float = 0.1,
+    timing_tolerance: float | None = None,
+    allow_config_mismatch: bool = False,
+) -> RegressionReport:
+    """Judge a candidate history entry against a baseline entry.
+
+    Quality metrics regress when they move worse-ward by more than
+    ``tolerance`` (relative); timing metrics are reported but gate only
+    when ``timing_tolerance`` is given. A quality metric the baseline
+    tracked but the candidate lost regresses outright (a suite must not
+    silently drop out of the gate), and any failed candidate check is a
+    regression of its own, reported first.
+
+    The config fingerprints must match exactly: the comparison of a
+    1000-tuner run against a 50-tuner run is not a regression signal
+    but a scale mismatch, raised as :class:`RegressError` unless
+    ``allow_config_mismatch`` waives it.
+    """
+    if not 0.0 <= tolerance:
+        raise ValueError("tolerance must be >= 0")
+    base_fp = baseline.get("fingerprint", {})
+    cand_fp = candidate.get("fingerprint", {})
+    if base_fp != cand_fp and not allow_config_mismatch:
+        for suite in sorted(set(base_fp) | set(cand_fp)):
+            if base_fp.get(suite) != cand_fp.get(suite):
+                raise RegressError(
+                    f"config fingerprint mismatch in suite {suite!r}: "
+                    f"baseline {base_fp.get(suite)!r} vs candidate "
+                    f"{cand_fp.get(suite)!r}; re-seed the baseline at this "
+                    "scale or pass --allow-config-mismatch"
+                )
+    failed_checks = sorted(
+        name
+        for name, ok in candidate.get("checks", {}).items()
+        if not ok
+    )
+    base_metrics = baseline.get("metrics", {})
+    cand_metrics = candidate.get("metrics", {})
+    readings: list[MetricReading] = []
+    for spec in METRIC_SPECS:
+        base_value = base_metrics.get(spec.name)
+        cand_value = cand_metrics.get(spec.name)
+        if base_value is None and cand_value is None:
+            continue
+        gate = tolerance if spec.kind == QUALITY else timing_tolerance
+        gated = gate is not None
+        if base_value is None:
+            readings.append(
+                MetricReading(
+                    spec.name, None, cand_value, spec.direction, spec.kind,
+                    delta=None, gated=False, regressed=False,
+                    note="new metric (no baseline)",
+                )
+            )
+            continue
+        if cand_value is None:
+            regressed = spec.kind == QUALITY
+            readings.append(
+                MetricReading(
+                    spec.name, base_value, None, spec.direction, spec.kind,
+                    delta=None, gated=gated, regressed=regressed,
+                    note="missing from candidate",
+                )
+            )
+            continue
+        delta, worse = _relative_delta(base_value, cand_value, spec.direction)
+        regressed = gated and worse > gate
+        readings.append(
+            MetricReading(
+                spec.name, base_value, cand_value, spec.direction, spec.kind,
+                delta=delta, gated=gated, regressed=regressed,
+            )
+        )
+    return RegressionReport(
+        readings=readings,
+        failed_checks=failed_checks,
+        baseline_rev=baseline.get("rev"),
+        candidate_rev=candidate.get("rev"),
+    )
+
+
+def format_report(
+    report: RegressionReport,
+    *,
+    tolerance: float,
+    timing_tolerance: float | None = None,
+) -> str:
+    """Human-readable comparison table, regressions flagged."""
+    lines = [
+        f"baseline rev {report.baseline_rev or '?'} vs candidate rev "
+        f"{report.candidate_rev or '?'} "
+        f"(tolerance {tolerance:.0%} on quality metrics"
+        + (
+            f", {timing_tolerance:.0%} on timing metrics)"
+            if timing_tolerance is not None
+            else "; timing tracked, ungated)"
+        )
+    ]
+    header = (
+        f"{'metric':<42} {'baseline':>12} {'candidate':>12} "
+        f"{'delta':>8}  verdict"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in report.readings:
+        base = f"{r.baseline:.4g}" if r.baseline is not None else "-"
+        cand = f"{r.candidate:.4g}" if r.candidate is not None else "-"
+        if r.delta is None:
+            delta = "-"
+        elif r.delta == float("inf"):
+            delta = "+inf"
+        else:
+            delta = f"{r.delta:+.1%}"
+        if r.regressed:
+            verdict = "REGRESSED"
+        elif r.note:
+            verdict = r.note
+        elif not r.gated:
+            verdict = f"ok ({r.kind}, ungated)"
+        else:
+            verdict = "ok"
+        lines.append(f"{r.name:<42} {base:>12} {cand:>12} {delta:>8}  {verdict}")
+    for check in report.failed_checks:
+        lines.append(f"check {check}: FAILED in candidate")
+    first = report.first_regressed
+    lines.append(
+        "result: ok — no tracked metric regressed"
+        if first is None
+        else f"result: REGRESSION — first regressed metric: {first}"
+    )
+    return "\n".join(lines)

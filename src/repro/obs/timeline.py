@@ -52,12 +52,33 @@ class SlotCell:
     aired: dict[str, int] = field(default_factory=dict)
     #: fault-model decisions by fate — from FaultInjected events
     faults: dict[str, int] = field(default_factory=dict)
-    #: every receiver read: (key, outcome), sorted for order-independence
-    reads: list[tuple[str, str]] = field(default_factory=list)
+    #: receiver reads as a counted multiset: (key, outcome) → count.
+    #: Counts, not a list: a hot cell (the channel-1 probe slot of a
+    #: big fleet) is read by thousands of walks but touches only a
+    #: handful of distinct (key, outcome) pairs, so the timeline's
+    #: memory stays proportional to distinct activity, not trace size.
+    read_counts: dict[tuple[str, str], int] = field(default_factory=dict)
     #: frames dropped before any receiver (UDP overload)
     drops: int = 0
     #: channel hops that landed here
     hops: int = 0
+
+    def count_read(self, key: str, outcome: str) -> None:
+        pair = (key, outcome)
+        self.read_counts[pair] = self.read_counts.get(pair, 0) + 1
+
+    @property
+    def reads(self) -> list[tuple[str, str]]:
+        """The cell's reads expanded to (key, outcome) pairs, sorted."""
+        return [
+            pair
+            for pair in sorted(self.read_counts)
+            for _ in range(self.read_counts[pair])
+        ]
+
+    @property
+    def total_reads(self) -> int:
+        return sum(self.read_counts.values())
 
     @property
     def read_signature(self) -> tuple[tuple[str, str], ...]:
@@ -67,7 +88,7 @@ class SlotCell:
         two traces of the same seeded run list a cell's reads in
         different sequences; the sorted multiset is what must agree.
         """
-        return tuple(sorted(self.reads))
+        return tuple(self.reads)
 
     @property
     def fate(self) -> str:
@@ -127,8 +148,8 @@ def build_timeline(records) -> Timeline:
         kind = record.get("kind")
         if kind == "slot_read":
             cell = timeline.cell(record["channel"], record["absolute_slot"])
-            cell.reads.append(
-                (record.get("key", ""), record.get("outcome", "ok"))
+            cell.count_read(
+                record.get("key", ""), record.get("outcome", "ok")
             )
         elif kind == "slot_aired":
             cell = timeline.cell(record["channel"], record["absolute_slot"])
@@ -290,12 +311,16 @@ def format_timeline(
         "-" * 64,
     ]
     for cell in shown:
-        bad = sum(1 for _, outcome in cell.reads if outcome != "ok")
-        keys = sorted({key for key, _ in cell.reads})
+        bad = sum(
+            count
+            for (_, outcome), count in cell.read_counts.items()
+            if outcome != "ok"
+        )
+        keys = sorted({key for key, _ in cell.read_counts})
         preview = ",".join(keys[:3]) + ("…" if len(keys) > 3 else "")
         lines.append(
             f"{cell.channel:>3} {cell.slot:>6} {cell.fate:>8} "
-            f"{sum(cell.aired.values()):>6} {len(cell.reads):>6} "
+            f"{sum(cell.aired.values()):>6} {cell.total_reads:>6} "
             f"{bad:>4} {cell.drops:>6} {preview}"
         )
     if len(cells) > len(shown):

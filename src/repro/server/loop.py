@@ -36,7 +36,9 @@ from ..client.protocol import (
     run_request_recovering,
 )
 from ..faults import FaultConfig, FaultInjector
+from ..obs.attrib import AttributionCollector
 from ..obs.events import NULL_TRACER, ReplanFinished, ReplanStarted, Tracer
+from ..obs.metrics import MetricsRegistry, declare_perf_baseline
 from ..online.adaptive import AdaptiveBroadcaster
 from ..perf import PerfRecorder
 
@@ -169,6 +171,17 @@ class BroadcastServer:
         :class:`~repro.obs.events.ReplanFinished` with its wall-clock
         seconds) and — via the fault injector — every non-OK airing
         decision.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`. When
+        given, the standard perf families (including the
+        ``server.faults.*`` counters) are declared at zero
+        immediately, every served walk feeds the registry's
+        access/tuning/per-phase quantile summaries through an
+        :class:`~repro.obs.attrib.AttributionCollector`, and each
+        :meth:`run` absorbs the lifetime perf counters — a scrape of
+        the registry is always current. Purely observational: every
+        number in :class:`CycleStats`/:class:`ServerReport` stays
+        bit-identical to a run without it.
 
     All parameters after ``items`` are keyword-only; legacy positional
     calls still work for one release with a ``DeprecationWarning``.
@@ -187,6 +200,7 @@ class BroadcastServer:
         faults: FaultConfig | None = None,
         recovery: RecoveryPolicy | None = None,
         tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.planner = AdaptiveBroadcaster(
             items,
@@ -206,6 +220,13 @@ class BroadcastServer:
         )
         self._air_clock = 0  # absolute slots aired so far, across run() calls
         self.perf = PerfRecorder()  # lifetime counters across run() calls
+        self.metrics = metrics
+        self._collector = (
+            AttributionCollector(metrics) if metrics is not None else None
+        )
+        if metrics is not None:
+            declare_perf_baseline(metrics)
+        self._next_walk_id = 0
         self.planner.replan()
 
     # -- one aired cycle ------------------------------------------------------
@@ -243,11 +264,21 @@ class BroadcastServer:
                 1, program.cycle_length + 1, size=request_count
             )
             observe = self.planner.observe
+            collector = self._collector
             for item_index, tune_slot in zip(item_draws, tune_draws):
                 item = items[int(item_index)]
+                if collector is not None:
+                    walk_id = self._next_walk_id
+                    self._next_walk_id += 1
+                else:
+                    walk_id = None
                 if air is None:
                     record: AccessRecord = run_request(
-                        program, leaf_of[item], int(tune_slot)
+                        program,
+                        leaf_of[item],
+                        int(tune_slot),
+                        tracer=collector,
+                        walk_id=walk_id,
                     )
                 else:
                     record = run_request_recovering(
@@ -256,6 +287,8 @@ class BroadcastServer:
                         int(tune_slot),
                         faults=air,
                         policy=self.recovery,
+                        tracer=collector,
+                        walk_id=walk_id,
                     )
                 records.append(record)
                 observe(item)
@@ -381,6 +414,8 @@ class BroadcastServer:
             perf.count("interrupts")
         report.perf = perf.snapshot()
         self.perf.merge(perf)
+        if self.metrics is not None:
+            self.metrics.absorb_perf(self.perf)
         return report
 
     # -- the bridge onto real air --------------------------------------------

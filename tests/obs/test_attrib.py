@@ -1,0 +1,363 @@
+"""Latency attribution: additive, exact, across every walk path.
+
+The headline invariant is exactness — for every walk, the five phase
+totals (probe / descent / hop / retry / slack) sum **bit-identically**
+to the measured access time. These tests lock it differentially against
+all three walk paths (plain protocol, recovering protocol under
+injected loss and bursts, and the frame-driven
+:class:`~repro.client.walk.PointerWalk`), including walks that abandon
+at the deadline, plus the builder's internal consistency checks and the
+live :class:`~repro.obs.attrib.AttributionCollector` metrics feed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.broadcast.pointers import compile_program
+from repro.client.protocol import (
+    RecoveryPolicy,
+    run_request,
+    run_request_recovering,
+)
+from repro.faults import BurstConfig, FaultConfig
+from repro.heuristics.channel_allocation import sorting_schedule
+from repro.io.wire import encode_program
+from repro.io.wire_client import run_request_wire
+from repro.obs.attrib import (
+    PHASES,
+    AttributionBuilder,
+    AttributionCollector,
+    AttributionError,
+    attribute_events,
+    attribute_walk,
+    format_attribution,
+)
+from repro.obs.events import NO_WALK, RingBufferTracer, event_to_dict
+from repro.obs.metrics import MetricsRegistry
+from repro.tree.builders import random_tree
+from repro.workloads.weights import zipf_weights
+
+
+def _program(seed: int, channels: int = 2, data_count: int = 8):
+    rng = np.random.default_rng(seed)
+    tree = random_tree(rng, data_count, max_fanout=3)
+    for leaf, weight in zip(tree.data_nodes(), zipf_weights(rng, data_count)):
+        leaf.weight = weight
+    return compile_program(sorting_schedule(tree, channels))
+
+
+def _attribute_ring(ring):
+    return attribute_events(event_to_dict(event) for event in ring.events)
+
+
+class TestLosslessExactness:
+    def test_plain_walks_attribute_exactly(self):
+        program = _program(21)
+        for target in program.schedule.tree.data_nodes():
+            for tune_slot in range(1, program.cycle_length + 1):
+                ring = RingBufferTracer()
+                record = run_request(
+                    program, target, tune_slot, tracer=ring, walk_id=7
+                )
+                (attribution,) = _attribute_ring(ring)
+                assert attribution.exact
+                assert attribution.access_time == record.access_time
+                assert attribution.tuning_time == record.tuning_time
+                assert attribution.walk == 7
+                # Lossless: nothing to retry, and the probe phase is
+                # exactly the protocol's own probe_wait measurement.
+                assert attribution.retry == 0
+                assert attribution.probe == record.probe_wait
+
+    def test_wire_walks_attribute_exactly(self):
+        program = _program(22)
+        frames = encode_program(program, 64)
+        for index, target in enumerate(program.schedule.tree.data_nodes()):
+            ring = RingBufferTracer()
+            record = run_request_wire(
+                frames, target.label, 3, tracer=ring, walk_id=index
+            )
+            (attribution,) = _attribute_ring(ring)
+            assert attribution.exact
+            assert attribution.access_time == record.access_time
+            assert attribution.walk == index
+
+
+class TestFaultyExactness:
+    @pytest.mark.parametrize(
+        "faults",
+        [
+            FaultConfig(loss=0.15, seed=5),
+            FaultConfig(loss=0.1, corruption=0.1, seed=6),
+            FaultConfig(loss=0.1, burst=BurstConfig(), seed=11),
+        ],
+        ids=["loss", "loss+corruption", "burst"],
+    )
+    def test_lossy_walks_attribute_exactly(self, faults):
+        program = _program(23)
+        for target in program.schedule.tree.data_nodes():
+            for tune_slot in (1, 3, program.cycle_length):
+                ring = RingBufferTracer()
+                record = run_request_recovering(
+                    program,
+                    target,
+                    tune_slot,
+                    faults=faults,
+                    tracer=ring,
+                    walk_id=1,
+                )
+                (attribution,) = _attribute_ring(ring)
+                assert attribution.exact
+                assert attribution.access_time == record.access_time
+                assert attribution.tuning_time == record.tuning_time
+                if record.retries:
+                    assert attribution.retry > 0
+
+    def test_abandoned_walks_charge_the_deadline_tail_to_retry(self):
+        program = _program(24)
+        policy = RecoveryPolicy(max_cycles=2)
+        faults = FaultConfig(loss=0.6, corruption=0.1, seed=9)
+        abandoned = 0
+        for target in program.schedule.tree.data_nodes():
+            for tune_slot in (1, 2, 5):
+                ring = RingBufferTracer()
+                record = run_request_recovering(
+                    program,
+                    target,
+                    tune_slot,
+                    faults=faults,
+                    policy=policy,
+                    tracer=ring,
+                    walk_id=0,
+                )
+                (attribution,) = _attribute_ring(ring)
+                assert attribution.exact
+                assert attribution.abandoned == record.abandoned
+                if record.abandoned:
+                    abandoned += 1
+                    assert attribution.retry > 0
+        assert abandoned > 0  # the scenario really exercised the deadline
+
+
+class TestBuilderConsistency:
+    def test_hand_worked_walk(self):
+        # tune-in probe at slot 2, root at 5 (probe gap 2), descent read
+        # at 6, hop to channel 2 landing at 9 (hop gap 2), data at 9.
+        attribution = attribute_walk(
+            [(1, 2, "ok"), (1, 5, "ok"), (1, 6, "ok"), (2, 9, "ok")],
+            key="K",
+            access_time=8,
+            tuning_time=4,
+        )
+        assert attribution.phases == {
+            "probe": 4,
+            "descent": 2,
+            "hop": 2,
+            "retry": 0,
+            "slack": 0,
+        }
+        assert attribution.exact
+
+    def test_failed_reads_and_their_gaps_are_retry(self):
+        attribution = attribute_walk(
+            [(1, 1, "ok"), (1, 4, "ok"), (1, 6, "lost"), (1, 9, "ok")],
+            key="K",
+            access_time=9,
+            tuning_time=4,
+        )
+        assert attribution.retry == 3  # the lost read + the doze back
+        assert attribution.exact
+
+    def test_out_of_order_reads_raise(self):
+        builder = AttributionBuilder("K")
+        builder.on_read(1, 5, "ok")
+        with pytest.raises(AttributionError, match="out of order"):
+            builder.on_read(1, 4, "ok")
+
+    def test_read_count_must_match_measured_tuning_time(self):
+        with pytest.raises(AttributionError, match="tuning time"):
+            attribute_walk(
+                [(1, 1, "ok"), (1, 2, "ok")],
+                access_time=2,
+                tuning_time=5,
+            )
+
+    def test_walk_with_no_reads_cannot_be_attributed(self):
+        with pytest.raises(AttributionError):
+            attribute_walk([], access_time=1, tuning_time=0)
+
+
+class TestEventStreamGrouping:
+    def test_interleaved_walks_reassemble_by_correlation_id(self):
+        events = [
+            {"kind": "slot_read", "key": "A", "channel": 1,
+             "absolute_slot": 1, "outcome": "ok", "walk": 0},
+            {"kind": "slot_read", "key": "B", "channel": 1,
+             "absolute_slot": 2, "outcome": "ok", "walk": 1},
+            {"kind": "slot_read", "key": "A", "channel": 1,
+             "absolute_slot": 3, "outcome": "ok", "walk": 0},
+            {"kind": "slot_read", "key": "B", "channel": 1,
+             "absolute_slot": 4, "outcome": "ok", "walk": 1},
+            {"kind": "walk_finished", "key": "A", "walk": 0,
+             "tune_slot": 1, "access_time": 3, "tuning_time": 2,
+             "abandoned": False},
+            {"kind": "walk_finished", "key": "B", "walk": 1,
+             "tune_slot": 2, "access_time": 3, "tuning_time": 2,
+             "abandoned": False},
+        ]
+        a, b = attribute_events(events)
+        assert (a.key, a.walk) == ("A", 0)
+        assert (b.key, b.walk) == ("B", 1)
+        assert a.exact and b.exact
+
+    def test_legacy_traces_fall_back_to_per_key_grouping(self):
+        events = [
+            {"kind": "slot_read", "key": "A", "channel": 1,
+             "absolute_slot": 1, "outcome": "ok"},
+            {"kind": "slot_read", "key": "A", "channel": 1,
+             "absolute_slot": 2, "outcome": "ok"},
+            {"kind": "walk_finished", "key": "A", "tune_slot": 1,
+             "access_time": 2, "tuning_time": 2, "abandoned": False},
+        ]
+        (attribution,) = attribute_events(events)
+        assert attribution.walk == NO_WALK
+        assert attribution.exact
+
+    def test_finish_without_reads_raises(self):
+        with pytest.raises(AttributionError, match="without any reads"):
+            attribute_events(
+                [
+                    {"kind": "walk_finished", "key": "A", "walk": 3,
+                     "tune_slot": 1, "access_time": 2, "tuning_time": 1,
+                     "abandoned": False},
+                ]
+            )
+
+    def test_truncated_trace_drops_unfinished_walks(self):
+        events = [
+            {"kind": "slot_read", "key": "A", "channel": 1,
+             "absolute_slot": 1, "outcome": "ok", "walk": 0},
+        ]
+        assert attribute_events(events) == []
+
+
+class TestCollector:
+    def _walk_events(self, ring, program, faults=None):
+        for index, target in enumerate(program.schedule.tree.data_nodes()):
+            if faults is None:
+                run_request(program, target, 1, tracer=ring, walk_id=index)
+            else:
+                run_request_recovering(
+                    program, target, 1, faults=faults,
+                    tracer=ring, walk_id=index,
+                )
+
+    def test_collector_feeds_summaries_and_counters(self):
+        program = _program(25)
+        registry = MetricsRegistry()
+        collector = AttributionCollector(registry)
+        self._walk_events(collector, program)
+        walks = len(collector.walks)
+        assert walks == len(program.schedule.tree.data_nodes())
+        assert all(a.exact for a in collector.walks)
+        rendered = registry.render()
+        assert f"repro_walk_completed_total {walks}" in rendered
+        assert 'repro_walk_access_time_slots{quantile="0.99"}' in rendered
+        for phase in PHASES:
+            assert f"repro_walk_phase_{phase}_slots_count {walks}" in rendered
+        total_access = sum(a.access_time for a in collector.walks)
+        assert f"repro_walk_access_time_slots_sum {total_access}" in rendered
+
+    def test_abandoned_walks_stay_out_of_latency_summaries(self):
+        program = _program(26)
+        registry = MetricsRegistry()
+        collector = AttributionCollector(registry)
+        self._walk_events(
+            collector, program,
+            faults=FaultConfig(loss=0.7, corruption=0.1, seed=2),
+        )
+        abandoned = sum(1 for a in collector.walks if a.abandoned)
+        completed = len(collector.walks) - abandoned
+        assert abandoned > 0
+        rendered = registry.render()
+        assert f"repro_walk_abandoned_total {abandoned}" in rendered
+        assert f"repro_walk_access_time_slots_count {completed}" in rendered
+
+    def test_vocabulary_is_declared_before_any_walk(self):
+        registry = MetricsRegistry()
+        AttributionCollector(registry)
+        rendered = registry.render()
+        assert "repro_walk_completed_total 0" in rendered
+        assert "repro_walk_phase_retry_slots_count 0" in rendered
+
+
+class TestAttribCli:
+    def _write_trace(self, tmp_path, program):
+        from repro.obs.events import JsonlTracer
+
+        path = tmp_path / "walks.jsonl"
+        with JsonlTracer(str(path)) as tracer:
+            for index, target in enumerate(
+                program.schedule.tree.data_nodes()
+            ):
+                run_request(
+                    program, target, 1, tracer=tracer, walk_id=index
+                )
+        return str(path)
+
+    def test_clean_trace_exits_zero_with_phase_table(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = self._write_trace(tmp_path, _program(31))
+        assert main(["obs", "attrib", trace, "--slowest", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "exactness: ok" in out
+        assert "slowest 2 walks:" in out
+
+    def test_inconsistent_trace_exits_one(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        path = tmp_path / "broken.jsonl"
+        records = [
+            {"kind": "slot_read", "key": "A", "channel": 1,
+             "absolute_slot": 1, "outcome": "ok", "walk": 0},
+            {"kind": "walk_finished", "key": "A", "walk": 0,
+             "tune_slot": 1, "access_time": 4, "tuning_time": 9,
+             "abandoned": False},
+        ]
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records)
+        )
+        assert main(["obs", "attrib", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_trace_exits_one(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["obs", "attrib", str(tmp_path / "nope.jsonl")]) == 1
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_trace_with_no_finished_walks_exits_one(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["obs", "attrib", str(path)]) == 1
+        assert "no finished walks" in capsys.readouterr().err
+
+
+class TestFormatting:
+    def test_report_names_phases_and_asserts_exactness(self):
+        program = _program(27)
+        collector = AttributionCollector()
+        for index, target in enumerate(program.schedule.tree.data_nodes()):
+            run_request(program, target, 1, tracer=collector, walk_id=index)
+        report = format_attribution(collector.walks, slowest=3)
+        for phase in PHASES:
+            assert phase in report
+        assert "exactness: ok" in report
+        assert "slowest 3 walks:" in report

@@ -1,0 +1,132 @@
+"""The quantile digest's exactness, determinism and merge algebra."""
+
+from __future__ import annotations
+
+from math import ceil
+
+import numpy as np
+import pytest
+
+from repro.obs.digest import DEFAULT_QUANTILES, QuantileDigest
+
+
+def nearest_rank(values, q):
+    """The textbook nearest-rank order statistic the digest must match."""
+    ordered = sorted(values)
+    rank = max(1, ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TestExactness:
+    def test_width_one_quantiles_are_exact_order_statistics(self):
+        rng = np.random.default_rng(11)
+        values = rng.integers(0, 200, size=150).tolist()
+        digest = QuantileDigest()
+        digest.observe_many(values)
+        assert digest.width == 1
+        for q in (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0):
+            assert digest.quantile(q) == nearest_rank(values, q)
+
+    def test_count_total_and_mean_survive_coarsening(self):
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 100_000, size=5_000).tolist()
+        digest = QuantileDigest(max_bins=16)
+        digest.observe_many(values)
+        assert digest.width > 1  # it really did coarsen
+        assert digest.count == len(values)
+        assert digest.total == sum(values)
+        assert digest.mean == pytest.approx(sum(values) / len(values))
+
+    def test_coarsened_quantile_errs_by_at_most_one_bin_width(self):
+        rng = np.random.default_rng(4)
+        values = rng.integers(0, 10_000, size=2_000).tolist()
+        digest = QuantileDigest(max_bins=32)
+        digest.observe_many(values)
+        for q in DEFAULT_QUANTILES:
+            exact = nearest_rank(values, q)
+            approx = digest.quantile(q)
+            assert approx <= exact < approx + digest.width
+
+    def test_empty_digest_reports_zero(self):
+        digest = QuantileDigest()
+        assert digest.quantile(0.99) == 0
+        assert digest.mean == 0.0
+        assert len(digest) == 0
+
+
+class TestDeterminism:
+    def test_arrival_order_never_changes_the_digest(self):
+        rng = np.random.default_rng(7)
+        values = rng.integers(0, 50_000, size=2_000).tolist()
+        reference = QuantileDigest(max_bins=64)
+        reference.observe_many(values)
+        for _ in range(5):
+            rng.shuffle(values)
+            shuffled = QuantileDigest(max_bins=64)
+            shuffled.observe_many(values)
+            assert shuffled.width == reference.width
+            assert list(shuffled) == list(reference)
+            assert shuffled.quantiles(DEFAULT_QUANTILES) == (
+                reference.quantiles(DEFAULT_QUANTILES)
+            )
+
+    def test_width_is_a_power_of_two_and_bins_fit_budget(self):
+        digest = QuantileDigest(max_bins=8)
+        digest.observe_many(range(1_000))
+        assert digest.width & (digest.width - 1) == 0
+        assert len(list(digest)) <= 8
+
+
+class TestMerge:
+    def test_merge_equals_digest_of_concatenation(self):
+        rng = np.random.default_rng(9)
+        left = rng.integers(0, 5_000, size=700).tolist()
+        right = rng.integers(0, 80_000, size=900).tolist()
+        a = QuantileDigest(max_bins=32)
+        a.observe_many(left)
+        b = QuantileDigest(max_bins=32)
+        b.observe_many(right)
+        a.merge(b)
+        whole = QuantileDigest(max_bins=32)
+        whole.observe_many(left + right)
+        assert a.width == whole.width
+        assert list(a) == list(whole)
+        assert a.count == whole.count
+        assert a.total == whole.total
+
+    def test_merge_requires_matching_budgets(self):
+        with pytest.raises(ValueError, match="budget"):
+            QuantileDigest(max_bins=16).merge(QuantileDigest(max_bins=32))
+
+    def test_roundtrip_through_dict_transport(self):
+        digest = QuantileDigest(max_bins=32)
+        digest.observe_many([3, 3, 7, 900, 900, 900, 12_000])
+        clone = QuantileDigest.from_dict(digest.to_dict())
+        assert list(clone) == list(digest)
+        assert clone.quantiles(DEFAULT_QUANTILES) == (
+            digest.quantiles(DEFAULT_QUANTILES)
+        )
+        # And the transported shard still merges like the original.
+        other = QuantileDigest(max_bins=32)
+        other.observe_many([1, 2])
+        assert clone.merge(other).count == digest.count + 2
+
+
+class TestValidation:
+    def test_rejects_negative_and_fractional_values(self):
+        digest = QuantileDigest()
+        with pytest.raises(ValueError):
+            digest.observe(-1)
+        with pytest.raises(ValueError):
+            digest.observe(1.5)
+        with pytest.raises(ValueError):
+            digest.observe(4, weight=0)
+
+    def test_integer_valued_floats_are_accepted(self):
+        digest = QuantileDigest()
+        digest.observe(14.0)  # numpy means arrive as floats
+        assert digest.quantile(0.5) == 14
+
+    def test_rejects_empty_budget(self):
+        with pytest.raises(ValueError):
+            QuantileDigest(max_bins=0)

@@ -82,6 +82,64 @@ class TestObsHttpServer:
         assert missing[0] == "HTTP/1.1 404 Not Found"
         assert posted[0] == "HTTP/1.1 405 Method Not Allowed"
 
+    def test_concurrent_scrapes_during_an_active_loadtest(self):
+        """Satellite check: /metrics stays consistent under scrape load.
+
+        A fleet run drives the registry (attribution summaries, the
+        perf bridge) while a burst of concurrent scrapers hits both
+        endpoints; every response must be complete, well-formed 0.0.4
+        exposition — no torn renders, no half-written counters.
+        """
+        import re
+
+        import numpy as np
+
+        from repro.net import build_demo_program, run_loadtest
+
+        sample_line = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+            r"(\{(le|quantile)=\"[^\"]+\"\})? \S+$"
+        )
+        program = build_demo_program(items=10, channels=2, fanout=3, seed=17)
+        registry = MetricsRegistry()
+
+        async def scenario():
+            async with ObsHttpServer(registry) as obs:
+                fleet = asyncio.ensure_future(
+                    run_loadtest(
+                        program,
+                        tuners=40,
+                        rng=np.random.default_rng(5),
+                        arrival_rate=0.0,
+                        metrics=registry,
+                    )
+                )
+                responses = []
+                while not fleet.done():
+                    burst = await asyncio.gather(
+                        *[_request(obs.port, "/metrics") for _ in range(4)],
+                        _request(obs.port, "/healthz"),
+                    )
+                    responses.extend(burst)
+                report = await fleet
+                responses.append(await _request(obs.port, "/metrics"))
+                return report, responses
+
+        report, responses = asyncio.run(scenario())
+        assert report.completed == 40
+        assert len(responses) >= 6
+        for status, headers, body in responses:
+            assert status == "HTTP/1.1 200 OK"
+            assert int(headers["Content-Length"]) == len(body.encode())
+            if headers["Content-Type"].startswith("text/plain"):
+                for line in body.splitlines():
+                    if line and not line.startswith("#"):
+                        assert sample_line.match(line), line
+        final_body = responses[-1][2]
+        assert "repro_walk_completed_total 40" in final_body
+        assert 'repro_walk_access_time_slots{quantile="0.99"}' in final_body
+        assert "repro_loadtest_access_time_slots_count 40" in final_body
+
     def test_close_releases_the_port(self):
         async def scenario():
             obs = ObsHttpServer(MetricsRegistry())

@@ -12,14 +12,16 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    Summary,
     declare_perf_baseline,
     perf_counter_metric_name,
     perf_timer_metric_name,
+    slot_buckets,
 )
 from repro.perf import PerfRecorder
 
 _SAMPLE_LINE = re.compile(
-    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le=\"[^\"]+\"\})? \S+$"
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{(le|quantile)=\"[^\"]+\"\})? \S+$"
 )
 
 
@@ -112,6 +114,124 @@ class TestRegistry:
         assert MetricsRegistry().render() == ""
 
 
+class TestSummary:
+    def test_renders_quantile_rows_plus_sum_and_count(self):
+        summary = Summary("s_slots", quantiles=(0.5, 0.99))
+        for value in (10, 20, 30, 40):
+            summary.observe(value)
+        samples = dict(summary.samples())
+        assert samples['s_slots{quantile="0.5"}'] == 20
+        assert samples['s_slots{quantile="0.99"}'] == 40
+        assert samples["s_slots_sum"] == 100
+        assert samples["s_slots_count"] == 4
+
+    def test_rejects_bad_quantile_points(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Summary("s", quantiles=())
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            Summary("s", quantiles=(0.5, 1.5))
+        with pytest.raises(ValueError, match="ascending"):
+            Summary("s", quantiles=(0.9, 0.5))
+
+    def test_registry_get_or_create_and_type_conflict(self):
+        registry = MetricsRegistry()
+        first = registry.summary("repro_walk_access_time_slots")
+        assert registry.summary("repro_walk_access_time_slots") is first
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("repro_walk_access_time_slots")
+
+    def test_merge_digest_folds_a_fleet_shard(self):
+        summary = Summary("s")
+        summary.observe(10)
+        shard = Summary("s").digest
+        shard.observe_many([20, 30])
+        summary.merge_digest(shard)
+        assert dict(summary.samples())["s_count"] == 3
+
+
+class TestSlotBuckets:
+    def test_bounds_cover_cycle_fractions_and_multiples(self):
+        bounds = slot_buckets(20, max_cycles=8)
+        assert bounds == (
+            3.0, 5.0, 10.0, 15.0, 20.0, 40.0, 60.0, 80.0, 120.0, 160.0
+        )
+        # Strictly ascending — a valid Histogram construction.
+        MetricsRegistry().histogram("h_slots", buckets=bounds)
+
+    def test_deadline_bound_follows_max_cycles(self):
+        bounds = slot_buckets(10, max_cycles=3)
+        assert bounds[-1] == 30.0
+        assert 40.0 not in bounds  # multiples past the deadline dropped
+
+    def test_tiny_cycles_deduplicate_to_a_valid_histogram(self):
+        bounds = slot_buckets(1)
+        assert bounds == (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
+        MetricsRegistry().histogram("h_slots", buckets=bounds)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="cycle_length"):
+            slot_buckets(0)
+        with pytest.raises(ValueError, match="max_cycles"):
+            slot_buckets(10, max_cycles=1)
+
+
+class TestGoldenExposition:
+    def test_walk_metrics_render_byte_exactly(self):
+        """Golden 0.0.4 render: stable order, stable formatting.
+
+        This is the exposition the regression sentinel and scrape
+        parsers rely on — any drift in sorting, type lines, or value
+        formatting must be a conscious change to this test.
+        """
+        registry = MetricsRegistry()
+        summary = registry.summary(
+            "repro_walk_access_time_slots",
+            "access time per completed walk (slots)",
+        )
+        for value in (12, 14, 14, 25):
+            summary.observe(value)
+        registry.counter(
+            "repro_walk_completed_total", "walks that reached their data"
+        ).inc(4)
+        hist = registry.histogram(
+            "repro_loadtest_access_time_slots",
+            "fleet access times",
+            buckets=slot_buckets(4, max_cycles=2),
+        )
+        hist.observe(3)
+        expected = "\n".join(
+            [
+                "# HELP repro_loadtest_access_time_slots fleet access times",
+                "# TYPE repro_loadtest_access_time_slots histogram",
+                'repro_loadtest_access_time_slots_bucket{le="1"} 0',
+                'repro_loadtest_access_time_slots_bucket{le="2"} 0',
+                'repro_loadtest_access_time_slots_bucket{le="3"} 1',
+                'repro_loadtest_access_time_slots_bucket{le="4"} 1',
+                'repro_loadtest_access_time_slots_bucket{le="8"} 1',
+                'repro_loadtest_access_time_slots_bucket{le="+Inf"} 1',
+                "repro_loadtest_access_time_slots_sum 3",
+                "repro_loadtest_access_time_slots_count 1",
+                "# HELP repro_walk_access_time_slots access time per "
+                "completed walk (slots)",
+                "# TYPE repro_walk_access_time_slots summary",
+                'repro_walk_access_time_slots{quantile="0.5"} 14',
+                'repro_walk_access_time_slots{quantile="0.95"} 25',
+                'repro_walk_access_time_slots{quantile="0.99"} 25',
+                "repro_walk_access_time_slots_sum 65",
+                "repro_walk_access_time_slots_count 4",
+                "# HELP repro_walk_completed_total walks that reached "
+                "their data",
+                "# TYPE repro_walk_completed_total counter",
+                "repro_walk_completed_total 4",
+                "",
+            ]
+        )
+        assert registry.render() == expected
+        for line in registry.render().splitlines():
+            if not line.startswith("#"):
+                assert _SAMPLE_LINE.match(line), line
+
+
 class TestPerfBridge:
     def test_name_mapping(self):
         assert (
@@ -165,3 +285,35 @@ class TestPerfBridge:
         registry.absorb_perf(perf)
         assert len(registry) == len(DEFAULT_PERF_BASELINE)
         assert "repro_net_station_frames_sent_total 9" in registry.render()
+
+    def test_baseline_covers_the_server_fault_family(self):
+        """An idle scrape already exposes every server.faults.* series."""
+        registry = MetricsRegistry()
+        declare_perf_baseline(registry)
+        text = registry.render()
+        for tail in ("lost", "corrupt", "retries", "abandoned",
+                     "wasted_probes"):
+            assert f"repro_server_faults_{tail}_total 0" in text
+
+    def test_faulty_server_run_populates_the_fault_series(self):
+        """Satellite check: a degraded server's scrape shows its faults."""
+        import numpy as np
+
+        from repro.faults import FaultConfig
+        from repro.server.loop import BroadcastServer
+
+        items = [f"K{i:02d}" for i in range(8)]
+        server = BroadcastServer(
+            items, channels=2, faults=FaultConfig(loss=0.3, seed=3)
+        )
+        server.run(
+            np.random.default_rng(7), cycles=8, mean_requests_per_cycle=15.0
+        )
+        registry = MetricsRegistry()
+        declare_perf_baseline(registry)
+        registry.absorb_perf(server.perf)
+        text = registry.render()
+        match = re.search(r"repro_server_faults_lost_total (\d+)", text)
+        assert match and int(match.group(1)) > 0
+        match = re.search(r"repro_server_faults_retries_total (\d+)", text)
+        assert match and int(match.group(1)) > 0

@@ -242,3 +242,69 @@ class TestLiveVersusSimulator:
         )
         first = diff.divergences[0]
         assert first.reads_a != first.reads_b
+
+
+class TestLargeTraceMemory:
+    """Satellite check: timelines stay small on huge, repetitive traces.
+
+    A long-running fleet reads the same hot coordinates (the channel-1
+    probe slots) millions of times. The timeline counts reads as a
+    (key, outcome) multiset per cell, so its footprint follows the
+    *distinct* activity — this pins that with tracemalloc against a
+    generated 200k-event stream that never materialises as a list.
+    """
+
+    def _event_stream(self, events: int, cells: int = 40, keys: int = 8):
+        for index in range(events):
+            yield {
+                "kind": "slot_read",
+                "key": f"K{index % keys:02d}",
+                "channel": 1 + index % 2,
+                "absolute_slot": 1 + index % cells,
+                "outcome": "ok" if index % 11 else "lost",
+            }
+
+    def test_read_counts_bound_cell_memory(self):
+        import tracemalloc
+
+        events = 200_000
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        timeline = build_timeline(self._event_stream(events))
+        after, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert timeline.events == events
+        assert sum(
+            cell.total_reads for cell in timeline.cells.values()
+        ) == events
+        # 40 cells × ≤16 distinct (key, outcome) pairs — far below one
+        # entry per read. The RSS proxy: well under a list-of-reads
+        # footprint (200k tuples ≈ tens of MB); generous slack for
+        # interpreter noise.
+        assert len(timeline.cells) == 40
+        assert all(
+            len(cell.read_counts) <= 16
+            for cell in timeline.cells.values()
+        )
+        assert peak - before < 4 * 1024 * 1024
+
+    def test_counted_cells_expand_compatibly(self):
+        timeline = build_timeline(
+            [
+                {"kind": "slot_read", "key": "B", "channel": 1,
+                 "absolute_slot": 2, "outcome": "ok"},
+                {"kind": "slot_read", "key": "A", "channel": 1,
+                 "absolute_slot": 2, "outcome": "ok"},
+                {"kind": "slot_read", "key": "A", "channel": 1,
+                 "absolute_slot": 2, "outcome": "ok"},
+            ]
+        )
+        cell = timeline.cells[(1, 2)]
+        assert cell.read_counts == {("A", "ok"): 2, ("B", "ok"): 1}
+        # The compat view stays a sorted expanded list, and the diff
+        # signature remains the sorted multiset.
+        assert cell.reads == [("A", "ok"), ("A", "ok"), ("B", "ok")]
+        assert cell.total_reads == 3
+        assert cell.read_signature == (
+            ("A", "ok"), ("A", "ok"), ("B", "ok")
+        )

@@ -82,6 +82,77 @@ class TestFleetDifferential:
         assert len(ring) > 0  # it really was watching
 
 
+class TestInstrumentedFleetDifferential:
+    """PR 5 extension: digests + attribution enabled change nothing.
+
+    ``run_loadtest(metrics=…)`` tees an
+    :class:`~repro.obs.attrib.AttributionCollector` into the fleet and
+    feeds quantile summaries and histograms — the heaviest
+    observability configuration there is. Every slot-denominated
+    measurement must still be bit-identical to the bare run.
+    """
+
+    def test_metrics_and_attribution_change_no_measurement(self, program):
+        import numpy as np
+
+        from repro.obs.metrics import MetricsRegistry
+
+        trace = make_request_trace(program, 25, np.random.default_rng(5))
+        bare = _run_fleet(program, trace, tracer=None)
+        registry = MetricsRegistry()
+        instrumented = asyncio.run(
+            run_loadtest(
+                program,
+                tuners=len(trace),
+                trace=trace,
+                rng=np.random.default_rng(5),
+                arrival_rate=0.0,
+                metrics=registry,
+            )
+        )
+        assert _report_measurements(bare) == _report_measurements(
+            instrumented
+        )
+        rendered = registry.render()  # and it really was measuring
+        assert "repro_walk_completed_total 25" in rendered
+        assert 'repro_walk_access_time_slots{quantile="0.5"}' in rendered
+
+    def test_server_metrics_change_no_cycle_stat(self):
+        import numpy as np
+
+        from repro.obs.metrics import MetricsRegistry
+        from repro.server.loop import BroadcastServer
+
+        items = [f"K{i:02d}" for i in range(10)]
+
+        def run(metrics):
+            server = BroadcastServer(
+                items, channels=2, replan_every=4, metrics=metrics
+            )
+            report = server.run(
+                np.random.default_rng(7),
+                cycles=10,
+                mean_requests_per_cycle=20.0,
+            )
+            return [
+                (
+                    stats.cycle,
+                    stats.requests,
+                    stats.mean_access_time,
+                    stats.mean_tuning_time,
+                    stats.analytic_access_time,
+                    stats.replanned,
+                )
+                for stats in report.cycles
+            ]
+
+        registry = MetricsRegistry()
+        assert run(None) == run(registry)
+        rendered = registry.render()
+        assert 'repro_walk_access_time_slots{quantile="0.99"}' in rendered
+        assert "repro_requests_total" in rendered
+
+
 class TestWalkDifferential:
     def test_wire_walks_are_identical_under_observation(self, program):
         frames = encode_program(program, 64)
