@@ -16,6 +16,14 @@ BENCH_META = --rev $(GIT_REV) --timestamp $(BENCH_TIMESTAMP)
 BENCH_REPEATS ?= 3
 BENCH_TUNERS ?= 1000
 
+# bench-cluster pacing: real air time (slots of CLUSTER_SLOT seconds)
+# is what makes aggregate walks/sec scale with the shard count —
+# sharding shortens each shard's cycle, so a paced walk finishes in
+# ~1/N of the wall-clock even on one core.
+CLUSTER_TUNERS ?= 100
+CLUSTER_SLOT ?= 0.02
+CLUSTER_SWEEP ?= 1,2,4
+
 # The regression trajectory (benchmarks/history/) is recorded at a
 # small fixed scale so it runs everywhere, including CI smoke runs; the
 # committed baseline.jsonl was seeded at exactly this scale — the
@@ -25,7 +33,7 @@ HISTORY_TUNERS ?= 50
 HISTORY_REPEATS ?= 1
 HISTORY_TOLERANCE ?= 0.15
 
-.PHONY: install test bench bench-json bench-server bench-net bench-all bench-history examples experiments clean
+.PHONY: install test bench bench-json bench-server bench-net bench-cluster bench-all bench-history examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -44,6 +52,14 @@ bench-server:
 
 bench-net:
 	$(PYTHON) -m repro.cli loadtest --tuners $(BENCH_TUNERS) --check-parity --json BENCH_net.json $(BENCH_META)
+
+# Shard-count scaling sweep with per-shard accounting + parity gates,
+# appended to its own trajectory and gated against the committed
+# cluster baseline (--bootstrap seeds it on first run).
+bench-cluster:
+	mkdir -p $(HISTORY_DIR)
+	$(PYTHON) -m repro.cli cluster loadtest --tuners $(CLUSTER_TUNERS) --sweep $(CLUSTER_SWEEP) --slot-duration $(CLUSTER_SLOT) --check-parity --json BENCH_cluster.json $(BENCH_META)
+	$(PYTHON) -m repro.cli obs regress --baseline $(HISTORY_DIR)/cluster-baseline.jsonl --candidate BENCH_cluster.json --tolerance $(HISTORY_TOLERANCE) --append $(HISTORY_DIR)/cluster-trajectory.jsonl --bootstrap
 
 bench-all: bench-json bench-server bench-net
 	$(PYTHON) -m repro.cli bench-merge BENCH_search.json BENCH_server.json BENCH_net.json --out BENCH_all.json

@@ -349,6 +349,99 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_envelope_options(loadtest)
 
+    cluster = commands.add_parser(
+        "cluster",
+        help="sharded multi-station cluster: partitioned planning, "
+        "routing, refit, fleet loadtest (repro.cluster)",
+    )
+    cluster_commands = cluster.add_subparsers(
+        dest="cluster_command", required=True
+    )
+
+    def add_cluster_options(sub: argparse.ArgumentParser) -> None:
+        """Knobs shared by every cluster subcommand."""
+        sub.add_argument("--items", type=int, default=32)
+        sub.add_argument("--channels", type=int, default=3)
+        sub.add_argument("--fanout", type=int, default=3)
+        sub.add_argument(
+            "--planner",
+            default="sorting",
+            help="repro.planners registry name used per shard",
+        )
+        sub.add_argument("--shards", type=int, default=2)
+        sub.add_argument(
+            "--partitioner",
+            default="hash",
+            help="repro.cluster.partition registry name "
+            "(default 'hash'; also 'weight-balanced')",
+        )
+        sub.add_argument(
+            "--refit-rounds",
+            type=int,
+            default=0,
+            help="run the measuring refit loop for up to N rounds "
+            "before serving/loadtesting (default 0 = off)",
+        )
+
+    cluster_plan = cluster_commands.add_parser(
+        "plan",
+        help="partition the catalog, plan every shard, print the table",
+    )
+    add_cluster_options(cluster_plan)
+
+    cluster_serve = cluster_commands.add_parser(
+        "serve", help="air every shard's program on its own station"
+    )
+    add_cluster_options(cluster_serve)
+    cluster_serve.add_argument("--host", default="127.0.0.1")
+    cluster_serve.add_argument(
+        "--slot-duration",
+        type=float,
+        default=0.0,
+        help="seconds per slot; 0 = logical time",
+    )
+
+    cluster_loadtest = cluster_commands.add_parser(
+        "loadtest",
+        help="routed tuner fleet across every shard, with per-shard "
+        "accounting and parity gates",
+    )
+    add_cluster_options(cluster_loadtest)
+    cluster_loadtest.add_argument("--tuners", type=int, default=200)
+    cluster_loadtest.add_argument(
+        "--sweep",
+        default=None,
+        metavar="COUNTS",
+        help="comma-separated shard counts (e.g. 1,2,4) to loadtest "
+        "in sequence; overrides --shards and records speedups",
+    )
+    cluster_loadtest.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=0.0,
+        help="Poisson arrival intensity, tuners/second (0 = all at once)",
+    )
+    cluster_loadtest.add_argument("--max-open", type=int, default=256)
+    cluster_loadtest.add_argument(
+        "--slot-duration",
+        type=float,
+        default=0.0,
+        help="station pacing, seconds per slot (0 = logical time)",
+    )
+    cluster_loadtest.add_argument(
+        "--check-parity",
+        action="store_true",
+        help="per-shard simulator replay with exact-equality gate",
+    )
+    cluster_loadtest.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="write the BENCH_cluster.json sweep record to PATH",
+    )
+    _add_envelope_options(cluster_loadtest)
+
     obs = commands.add_parser(
         "obs",
         help="trace tooling: timelines, diffs, latency attribution, "
@@ -663,6 +756,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "loadtest":
         return _cmd_loadtest(args)
 
+    if args.command == "cluster":
+        return _cmd_cluster(args)
+
     if args.command == "obs":
         return _cmd_obs(args)
 
@@ -866,6 +962,7 @@ def _cmd_tune(args) -> int:
 def _cmd_loadtest(args) -> int:
     import asyncio
 
+    from .exceptions import ReproError
     from .net import (
         build_demo_program,
         make_request_trace,
@@ -916,6 +1013,15 @@ def _cmd_loadtest(args) -> int:
                 tracer=tracer,
             )
         )
+    except OSError as error:
+        # A station that died (or never bound) mid-run is an
+        # operational failure, not a stack trace — same contract as
+        # `tune` against an unreachable station.
+        print(f"error: station unreachable mid-run: {error}", file=sys.stderr)
+        return 1
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     finally:
         if tracer is not None:
             tracer.close()
@@ -999,6 +1105,237 @@ def _cmd_loadtest(args) -> int:
             file=sys.stderr,
         )
     return 0 if ok else 1
+
+
+def _cluster_catalog(items: int, seed: int) -> list[tuple[str, float]]:
+    """The demo catalog every cluster subcommand shares.
+
+    Same shape as :func:`repro.net.harness.build_demo_program`'s input
+    (Zipf-weighted ``K%03d`` keys), so a 1-shard cluster airs the same
+    catalog the single-station commands do.
+    """
+    from .workloads.weights import zipf_weights
+
+    rng = np.random.default_rng(seed)
+    labels = [f"K{index:03d}" for index in range(items)]
+    return list(zip(labels, (float(w) for w in zipf_weights(rng, items))))
+
+
+def _build_cluster(args, shards: int):
+    from .cluster import StationCluster
+
+    return StationCluster(
+        _cluster_catalog(args.items, args.seed),
+        shards,
+        partitioner=args.partitioner,
+        planner=args.planner,
+        channels=args.channels,
+        fanout=args.fanout,
+        seed=args.seed,
+    )
+
+
+def _print_cluster_table(cluster) -> None:
+    header = (
+        f"{'shard':>5} {'keys':>5} {'load':>10} {'cycle':>6} "
+        f"{'plan cost':>10} {'measured':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in cluster.shard_rows():
+        measured = (
+            f"{row['measured_cost']:.3f}"
+            if row["measured_cost"] is not None
+            else "-"
+        )
+        print(
+            f"{row['shard']:>5} {row['keys']:>5} {row['load']:>10.3f} "
+            f"{row['cycle_length']:>6} {row['planner_cost']:>10.4f} "
+            f"{measured:>9}"
+        )
+
+
+def _cmd_cluster(args) -> int:
+    if args.cluster_command == "plan":
+        return _cmd_cluster_plan(args)
+    if args.cluster_command == "serve":
+        return _cmd_cluster_serve(args)
+    if args.cluster_command == "loadtest":
+        return _cmd_cluster_loadtest(args)
+    raise AssertionError(
+        f"unhandled cluster command {args.cluster_command!r}"
+    )
+
+
+def _cmd_cluster_plan(args) -> int:
+    from .exceptions import ReproError
+
+    try:
+        cluster = _build_cluster(args, args.shards)
+        if args.refit_rounds > 0:
+            report = cluster.refit(max_rounds=args.refit_rounds)
+        else:
+            report = None
+            cluster.measure()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"{args.shards} shard(s), partitioner {args.partitioner!r}, "
+        f"planner {args.planner!r}"
+    )
+    _print_cluster_table(cluster)
+    print(f"aggregate expected access time = {cluster.aggregate_cost():.4f}")
+    if report is not None:
+        print(
+            f"refit: {report.initial:.4f} -> {report.final:.4f} over "
+            f"{len(report.rounds)} round(s), {cluster.router.moves} key "
+            "move(s)"
+        )
+        for round_ in report.rounds:
+            verdict = "accepted" if round_.accepted else "reverted"
+            print(
+                f"  moved {len(round_.moved)} key(s) shard "
+                f"{round_.from_shard} -> {round_.to_shard}: "
+                f"{round_.before:.4f} -> {round_.after:.4f} ({verdict})"
+            )
+    return 0
+
+
+def _cmd_cluster_serve(args) -> int:
+    import asyncio
+
+    from .cluster import serve_cluster
+    from .exceptions import ReproError
+
+    try:
+        cluster = _build_cluster(args, args.shards)
+        if args.refit_rounds > 0:
+            cluster.refit(max_rounds=args.refit_rounds)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    async def air_forever() -> None:
+        async with serve_cluster(
+            cluster,
+            host=args.host,
+            slot_duration=args.slot_duration,
+        ):
+            for shard in range(cluster.shards):
+                host, port = cluster.endpoints[shard]
+                plan = cluster.plans[shard]
+                print(
+                    f"shard {shard}: {len(plan.keys)} keys, cycle "
+                    f"{plan.cycle_length}, on tcp://{host}:{port}"
+                )
+            print("cluster up (Ctrl-C to stop)")
+            await asyncio.Event().wait()
+
+    try:
+        asyncio.run(air_forever())
+    except KeyboardInterrupt:
+        pass
+    except OSError as error:
+        print(f"error: cannot serve cluster: {error}", file=sys.stderr)
+        return 1
+    print("cluster stopped")
+    return 0
+
+
+def _cmd_cluster_loadtest(args) -> int:
+    from .cluster import run_cluster_sweep, write_cluster_bench_json
+    from .exceptions import ReproError
+
+    if args.sweep:
+        try:
+            counts = [
+                int(token)
+                for token in args.sweep.split(",")
+                if token.strip()
+            ]
+        except ValueError:
+            print(
+                f"error: --sweep must be comma-separated shard counts, "
+                f"got {args.sweep!r}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        counts = [args.shards]
+    try:
+        results = run_cluster_sweep(
+            _cluster_catalog(args.items, args.seed),
+            counts,
+            tuners=args.tuners,
+            partitioner=args.partitioner,
+            planner=args.planner,
+            channels=args.channels,
+            fanout=args.fanout,
+            seed=args.seed,
+            refit_rounds=args.refit_rounds,
+            slot_duration=args.slot_duration,
+            arrival_rate=args.arrival_rate,
+            max_open=args.max_open,
+            check_parity=args.check_parity,
+        )
+    except OSError as error:
+        # One unreachable/dead shard station fails the whole run with
+        # a one-line verdict, mirroring `tune`/`loadtest`.
+        print(f"error: shard unreachable mid-run: {error}", file=sys.stderr)
+        return 1
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    for count, report in sorted(results.items()):
+        unaccounted = sum(
+            shard["unaccounted_frames"]
+            for shard in report.per_shard.values()
+        )
+        print(
+            f"{count} shard(s): {report.completed} completed, "
+            f"{report.abandoned} abandoned in {report.wall_seconds:.2f}s "
+            f"({report.aggregate_walks_per_second:.0f} walks/s aggregate, "
+            f"mean access {report.mean_access_time:.3f}, "
+            f"{unaccounted} unaccounted frames)"
+        )
+    record = None
+    config = {
+        "items": args.items,
+        "channels": args.channels,
+        "fanout": args.fanout,
+        "planner": args.planner,
+        "partitioner": args.partitioner,
+        "shard_counts": counts,
+        "tuners": args.tuners,
+        "refit_rounds": args.refit_rounds,
+        "arrival_rate": args.arrival_rate,
+        "max_open": args.max_open,
+        "slot_duration": args.slot_duration,
+        "check_parity": args.check_parity,
+        "seed": args.seed,
+    }
+    if args.json_path:
+        record = write_cluster_bench_json(
+            args.json_path,
+            results,
+            config,
+            rev=args.rev,
+            timestamp=args.timestamp,
+        )
+        print(f"cluster record written to {args.json_path}")
+    else:
+        record = write_cluster_bench_json(
+            "/dev/null", results, config
+        )
+    speedups = record["aggregate"]["speedups"]
+    for count, speedup in sorted(speedups.items(), key=lambda kv: int(kv[0])):
+        print(f"speedup at {count} shards vs 1: {speedup:.2f}x")
+    checks = record["aggregate"]["checks"]
+    failed = sorted(name for name, ok in checks.items() if not ok)
+    for name in failed:
+        print(f"error: cluster check failed: {name}", file=sys.stderr)
+    return 0 if not failed else 1
 
 
 def _cmd_obs(args) -> int:

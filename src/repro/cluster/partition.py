@@ -1,0 +1,144 @@
+"""Catalog partitioners: split one workload across N station shards.
+
+A partitioner decides which :class:`~repro.net.station.BroadcastStation`
+shard owns each catalog key. The cluster layer treats the choice as a
+pluggable strategy behind a small registry — the same discipline
+:mod:`repro.planners` uses for allocation strategies — so a deployment
+can swap the splitting policy without touching the router, the refit
+loop or the harness:
+
+* ``"hash"`` — stable content hash (CRC-32 of the key bytes) modulo the
+  shard count. Deterministic across processes and Python runs (never
+  the salted built-in ``hash``), spreads keys uniformly, ignores
+  weights.
+* ``"weight-balanced"`` — longest-processing-time greedy: keys are
+  placed heaviest-first onto the currently lightest shard, so each
+  shard's *request share* (sum of access weights) is near-equal even
+  under heavy Zipf skew. Deterministic tie-breaks (weight, then key).
+
+Every partitioner maps **each key to exactly one shard** — the property
+test in ``tests/cluster/test_partition.py`` holds all registered
+strategies to it. Partitioners may leave a shard empty (hash collisions
+on tiny catalogs); :class:`~repro.cluster.core.StationCluster` repairs
+that deterministically, because a station cannot air an empty catalog.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Mapping, Sequence
+
+from ..exceptions import ReproError
+
+__all__ = [
+    "PartitionerNotFound",
+    "Partitioner",
+    "register_partitioner",
+    "unregister_partitioner",
+    "get_partitioner",
+    "available_partitioners",
+    "partition_catalog",
+    "hash_partition",
+    "weight_balanced_partition",
+]
+
+#: A partitioner maps a (key, weight) catalog onto shard ids ``0..shards-1``.
+Partitioner = Callable[[Sequence[tuple[str, float]], int], "dict[str, int]"]
+
+
+class PartitionerNotFound(ReproError, KeyError):
+    """No partitioner is registered under the requested name."""
+
+    def __init__(self, name: str, available: list[str]) -> None:
+        super().__init__(
+            f"no partitioner registered as {name!r}; available: "
+            f"{', '.join(available)}"
+        )
+        self.name = name
+
+
+_REGISTRY: dict[str, Partitioner] = {}
+
+
+def register_partitioner(name: str, partitioner: Partitioner | None = None):
+    """Register ``partitioner`` under ``name`` (usable as a decorator)."""
+    if partitioner is None:
+
+        def decorator(func: Partitioner) -> Partitioner:
+            _REGISTRY[name] = func
+            return func
+
+        return decorator
+    _REGISTRY[name] = partitioner
+    return partitioner
+
+
+def unregister_partitioner(name: str) -> None:
+    """Remove a registered partitioner (missing names are ignored)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_partitioner(name: str) -> Partitioner:
+    """Resolve a registry name to its partitioner."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise PartitionerNotFound(name, available_partitioners()) from None
+
+
+def available_partitioners() -> list[str]:
+    """Registered partitioner names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def _validate(catalog: Sequence[tuple[str, float]], shards: int) -> None:
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if not catalog:
+        raise ValueError("cannot partition an empty catalog")
+    keys = [key for key, _ in catalog]
+    if len(set(keys)) != len(keys):
+        raise ValueError("catalog keys must be unique")
+
+
+def partition_catalog(
+    catalog: Sequence[tuple[str, float]] | Mapping[str, float],
+    shards: int,
+    *,
+    method: str = "hash",
+) -> dict[str, int]:
+    """Split ``catalog`` onto ``shards`` with the named strategy."""
+    if isinstance(catalog, Mapping):
+        catalog = list(catalog.items())
+    return get_partitioner(method)(catalog, shards)
+
+
+@register_partitioner("hash")
+def hash_partition(
+    catalog: Sequence[tuple[str, float]], shards: int
+) -> dict[str, int]:
+    """Stable CRC-32 hash of the key bytes, modulo the shard count."""
+    _validate(catalog, shards)
+    return {
+        key: zlib.crc32(key.encode("utf-8")) % shards for key, _ in catalog
+    }
+
+
+@register_partitioner("weight-balanced")
+def weight_balanced_partition(
+    catalog: Sequence[tuple[str, float]], shards: int
+) -> dict[str, int]:
+    """LPT greedy: heaviest key onto the currently lightest shard.
+
+    Ties (equal loads, equal weights) break deterministically — lowest
+    shard id and lexicographically-first key — so the same catalog
+    always partitions the same way.
+    """
+    _validate(catalog, shards)
+    loads = [0.0] * shards
+    assignment: dict[str, int] = {}
+    for key, weight in sorted(catalog, key=lambda kw: (-kw[1], kw[0])):
+        target = min(range(shards), key=lambda s: (loads[s], s))
+        assignment[key] = target
+        loads[target] += weight
+    return assignment

@@ -1,0 +1,123 @@
+"""The cluster's routing directory: key → shard, explicitly.
+
+Routing is a *directory*, not a function: the partitioner seeds an
+explicit key→shard map and from then on only
+:meth:`ClusterRouter.move` rewrites entries. That is what makes routing
+**stable under re-partition of untouched shards** — replanning shard 2's
+schedule (or even rebuilding its whole tree) cannot move a single key
+owned by shard 0, because nothing recomputes the map as a side effect.
+The refit loop leans on exactly this: it moves a handful of hot keys,
+replans the two touched shards, and every other shard's tuners keep
+routing where they always did.
+
+The directory also answers the tuner-assignment question of the live
+cluster: a client asking for key ``K017`` is handed the (host, port) of
+the one station whose schedule airs it — see
+:meth:`repro.cluster.core.StationCluster.endpoint_of` once stations are
+up.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..exceptions import ReproError
+
+__all__ = ["ClusterRouter", "UnknownKeyError"]
+
+
+class UnknownKeyError(ReproError, KeyError):
+    """The requested key is not in the cluster's catalog directory."""
+
+    def __init__(self, key: str) -> None:
+        super().__init__(f"key {key!r} is not in the cluster directory")
+        self.key = key
+
+
+class ClusterRouter:
+    """Explicit key→shard directory with deterministic, auditable moves.
+
+    Parameters
+    ----------
+    assignment:
+        Initial key→shard map (what a partitioner produced). Every
+        shard id must lie in ``0..shards-1``; every key appears exactly
+        once by construction of a dict.
+    shards:
+        Number of shards the directory spans (fixed for the router's
+        lifetime — growing the cluster is a re-partition, not a move).
+    """
+
+    def __init__(self, assignment: Mapping[str, int], shards: int) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if not assignment:
+            raise ValueError("router needs a non-empty assignment")
+        for key, shard in assignment.items():
+            if not 0 <= shard < shards:
+                raise ValueError(
+                    f"key {key!r} assigned to shard {shard}, outside "
+                    f"0..{shards - 1}"
+                )
+        self.shards = shards
+        self._directory: dict[str, int] = dict(assignment)
+        self.moves = 0  # total keys ever re-routed, for refit reporting
+
+    def __len__(self) -> int:
+        return len(self._directory)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._directory
+
+    def shard_of(self, key: str) -> int:
+        """The one shard that owns ``key``; :class:`UnknownKeyError` if none."""
+        try:
+            return self._directory[key]
+        except KeyError:
+            raise UnknownKeyError(key) from None
+
+    def keys_of(self, shard: int) -> list[str]:
+        """The keys shard ``shard`` owns, in sorted key order.
+
+        Sorted order is load-bearing: a shard's station airs an
+        *alphabetic* index tree, so its catalog slice must be handed to
+        the planner in key order.
+        """
+        if not 0 <= shard < self.shards:
+            raise ValueError(f"shard must be in 0..{self.shards - 1}")
+        return sorted(
+            key for key, owner in self._directory.items() if owner == shard
+        )
+
+    def counts(self) -> list[int]:
+        """Keys per shard, indexed by shard id."""
+        counts = [0] * self.shards
+        for shard in self._directory.values():
+            counts[shard] += 1
+        return counts
+
+    def assignment(self) -> dict[str, int]:
+        """A snapshot copy of the directory (mutating it changes nothing)."""
+        return dict(self._directory)
+
+    def move(self, keys: Iterable[str], to_shard: int) -> list[str]:
+        """Re-route ``keys`` to ``to_shard``; returns the keys that moved.
+
+        Unknown keys raise (a typo in a refit decision must not pass
+        silently); keys already on ``to_shard`` are counted as not
+        moved. Entries for every other key are untouched — the
+        stability property the router exists to provide.
+        """
+        if not 0 <= to_shard < self.shards:
+            raise ValueError(f"shard must be in 0..{self.shards - 1}")
+        moved: list[str] = []
+        keys = list(keys)
+        for key in keys:
+            if key not in self._directory:
+                raise UnknownKeyError(key)
+        for key in keys:
+            if self._directory[key] != to_shard:
+                self._directory[key] = to_shard
+                moved.append(key)
+        self.moves += len(moved)
+        return moved

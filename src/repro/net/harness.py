@@ -23,6 +23,7 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass, field
+from math import ceil
 from time import perf_counter
 
 import numpy as np
@@ -37,8 +38,7 @@ from ..obs.attrib import AttributionCollector
 from ..obs.events import TeeTracer, Tracer
 from ..obs.metrics import MetricsRegistry, slot_buckets
 from ..perf import PerfRecorder
-from ..planners import plan
-from ..tree.alphabetic import optimal_alphabetic_tree
+from ..planners import plan_catalog
 from ..workloads.weights import zipf_weights
 from .station import BroadcastStation
 from .tuner import TunerClient
@@ -65,15 +65,17 @@ def build_demo_program(
 ) -> BroadcastProgram:
     """A compiled broadcast program for serving/loadtest demos.
 
-    Zipf-weighted catalog of ``items`` string keys, an optimal
-    alphabetic index tree, and any :mod:`repro.planners` registry
-    strategy for the channel allocation.
+    Zipf-weighted catalog of ``items`` string keys, planned end-to-end
+    through :func:`repro.planners.plan_catalog` — the same facade the
+    sharded cluster plans each shard through, so a demo program and a
+    one-shard cluster are built by the identical path.
     """
     rng = np.random.default_rng(seed)
     labels = [f"K{index:03d}" for index in range(items)]
     weights = zipf_weights(rng, items, theta=theta)
-    tree = optimal_alphabetic_tree(labels, weights, fanout=fanout)
-    return plan(tree, channels, method=planner).compile()
+    return plan_catalog(
+        labels, list(weights), channels, method=planner, fanout=fanout
+    ).compile()
 
 
 def make_request_trace(
@@ -220,15 +222,31 @@ class LoadReport:
 
 
 def _percentiles(values: list[int]) -> dict[str, float]:
+    """Nearest-rank percentiles, the :mod:`repro.obs.digest` convention.
+
+    ``rank = max(1, ceil(q·n))``, value = the rank-th order statistic —
+    an *observed* value, never an interpolation, and bit-identical to
+    what :class:`~repro.obs.digest.QuantileDigest` reports for the same
+    multiset. The loadtest JSON and a ``/metrics`` scrape therefore can
+    never disagree on identical data (they previously could:
+    ``np.percentile`` interpolates linearly). Zero completed walks
+    yield an explicit all-zero dict — no NaN ever reaches a BENCH
+    record.
+    """
     if not values:
         return {"p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
-    array = np.asarray(values, dtype=float)
-    p50, p90, p99 = np.percentile(array, [50, 90, 99])
+    ordered = sorted(values)
+    count = len(ordered)
+
+    def nearest_rank(q: float) -> float:
+        rank = max(1, ceil(q * count))
+        return float(ordered[rank - 1])
+
     return {
-        "p50": float(p50),
-        "p90": float(p90),
-        "p99": float(p99),
-        "max": float(array.max()),
+        "p50": nearest_rank(0.50),
+        "p90": nearest_rank(0.90),
+        "p99": nearest_rank(0.99),
+        "max": float(ordered[-1]),
     }
 
 

@@ -369,31 +369,42 @@ class AttributionCollector:
 
     enabled = True
 
-    def __init__(self, registry=None) -> None:
+    def __init__(self, registry=None, *, labels=None) -> None:
         self.registry = registry
+        self.labels = dict(labels) if labels else None
         self.walks: list[WalkAttribution] = []
         self._state = _GroupState()
         if registry is not None:
             # Declare the full vocabulary up front so an idle scrape
-            # already exposes every series.
+            # already exposes every series. ``labels`` scope every
+            # series to one child of its family — the cluster layer
+            # runs one collector per shard with
+            # ``labels={"shard": "2"}`` and the summaries stay apart.
             registry.summary(
                 "repro_walk_access_time_slots",
                 "access time per completed walk (slots)",
+                labels=self.labels,
             )
             registry.summary(
                 "repro_walk_tuning_time_reads",
                 "tuning time per completed walk (bucket reads)",
+                labels=self.labels,
             )
             for phase in PHASES:
                 registry.summary(
                     f"repro_walk_phase_{phase}_slots",
                     f"slots attributed to the {phase} phase per completed walk",
+                    labels=self.labels,
                 )
             registry.counter(
-                "repro_walk_completed_total", "walks that reached their data"
+                "repro_walk_completed_total",
+                "walks that reached their data",
+                labels=self.labels,
             )
             registry.counter(
-                "repro_walk_abandoned_total", "walks that hit the give-up bound"
+                "repro_walk_abandoned_total",
+                "walks that hit the give-up bound",
+                labels=self.labels,
             )
 
     def emit(self, event: TraceEvent) -> None:
@@ -419,20 +430,23 @@ class AttributionCollector:
 
     def _feed(self, attribution: WalkAttribution) -> None:
         registry = self.registry
+        labels = self.labels
         if attribution.abandoned:
-            registry.counter("repro_walk_abandoned_total").inc()
+            registry.counter(
+                "repro_walk_abandoned_total", labels=labels
+            ).inc()
             return
-        registry.counter("repro_walk_completed_total").inc()
-        registry.summary("repro_walk_access_time_slots").observe(
-            attribution.access_time
-        )
-        registry.summary("repro_walk_tuning_time_reads").observe(
-            attribution.tuning_time
-        )
+        registry.counter("repro_walk_completed_total", labels=labels).inc()
+        registry.summary(
+            "repro_walk_access_time_slots", labels=labels
+        ).observe(attribution.access_time)
+        registry.summary(
+            "repro_walk_tuning_time_reads", labels=labels
+        ).observe(attribution.tuning_time)
         for phase in PHASES:
-            registry.summary(f"repro_walk_phase_{phase}_slots").observe(
-                getattr(attribution, phase)
-            )
+            registry.summary(
+                f"repro_walk_phase_{phase}_slots", labels=labels
+            ).observe(getattr(attribution, phase))
 
 
 def format_attribution(

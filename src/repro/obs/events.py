@@ -42,7 +42,7 @@ import os
 import time
 from collections import deque
 from dataclasses import asdict, dataclass, fields
-from typing import ClassVar, Iterable, Iterator, Protocol
+from typing import ClassVar, Iterable, Iterator, Mapping, Protocol
 
 __all__ = [
     "TraceEvent",
@@ -326,11 +326,16 @@ class JsonlTracer:
     """Append events to a JSONL file, rotating on size.
 
     Each line is ``event_to_dict(event)`` plus a wall-clock ``ts``
-    stamp. When ``rotate_bytes`` is set and a write would push the
-    current file past it, the file is rotated logrotate-style
-    (``path`` → ``path.1`` → … → ``path.keep``; the oldest is deleted)
-    before the write, so ``path`` always holds the newest tail and no
-    event is ever split across files.
+    stamp — stamped **only when the record does not already carry
+    one**: re-serializing a replayed trace (raw dicts straight from
+    :func:`read_events`, or typed events whose dict kept its ``ts``)
+    must preserve the original capture times, not clobber them with
+    re-write time. ``stamp=False`` disables stamping entirely. When
+    ``rotate_bytes`` is set and a write would push the current file
+    past it, the file is rotated logrotate-style (``path`` → ``path.1``
+    → … → ``path.keep``; the oldest is deleted) before the write, so
+    ``path`` always holds the newest tail and no event is ever split
+    across files.
     """
 
     enabled = True
@@ -356,9 +361,11 @@ class JsonlTracer:
         self._handle = open(path, "a", encoding="utf-8")
         self._size = self._handle.tell()
 
-    def emit(self, event: TraceEvent) -> None:
-        record = event_to_dict(event)
-        if self.stamp:
+    def emit(self, event) -> None:
+        # Raw dicts (a replayed JSONL trace) pass through as-is so a
+        # re-serialization round-trips byte-for-byte.
+        record = dict(event) if isinstance(event, Mapping) else event_to_dict(event)
+        if self.stamp and "ts" not in record:
             record["ts"] = time.time()
         line = json.dumps(record, separators=(",", ":")) + "\n"
         encoded = len(line)

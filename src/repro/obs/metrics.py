@@ -45,6 +45,7 @@ __all__ = [
 
 _INVALID = re.compile(r"[^a-zA-Z0-9_:]")
 _VALID_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_VALID_LABEL = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
 DEFAULT_BUCKETS = (
     0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
@@ -143,6 +144,25 @@ def _escape_help(text: str) -> str:
     return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_signature(labels: "dict[str, str]") -> str:
+    """Canonical (sorted) ``key="value"`` list — the series identity."""
+    return ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in sorted(labels.items())
+    )
+
+
+def _series_name(name: str, signature: str, extra: str = "") -> str:
+    parts = ",".join(part for part in (signature, extra) if part)
+    return f"{name}{{{parts}}}" if parts else name
+
+
 def _format_value(value: float) -> str:
     if value == float("inf"):
         return "+Inf"
@@ -152,15 +172,33 @@ def _format_value(value: float) -> str:
 
 
 class _Metric:
-    """Shared shape: a name, a help string, and a type tag."""
+    """Shared shape: a name, a help string, a type tag, and base labels.
+
+    ``labels`` identify one *child* of a metric family: the family name
+    plus the canonical (sorted, escaped) label signature is the series
+    identity, so ``{"shard": "0"}`` and ``{"shard": "1"}`` are distinct
+    children of one family and render under one ``# HELP`` / ``# TYPE``
+    header.
+    """
 
     metric_type = "untyped"
 
-    def __init__(self, name: str, help: str) -> None:
+    def __init__(
+        self, name: str, help: str, labels: "dict[str, str] | None" = None
+    ) -> None:
         if not _VALID_NAME.match(name):
             raise ValueError(f"invalid metric name {name!r}")
         self.name = name
         self.help = help or name
+        self.labels = {k: str(v) for k, v in (labels or {}).items()}
+        for label in self.labels:
+            if not _VALID_LABEL.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.label_signature = _label_signature(self.labels)
+
+    def series(self, extra: str = "", *, suffix: str = "") -> str:
+        """The exposition series name: base labels merged with ``extra``."""
+        return _series_name(self.name + suffix, self.label_signature, extra)
 
     def samples(self) -> list[tuple[str, float]]:  # pragma: no cover
         raise NotImplementedError
@@ -171,8 +209,13 @@ class Counter(_Metric):
 
     metric_type = "counter"
 
-    def __init__(self, name: str, help: str = "") -> None:
-        super().__init__(name, help)
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: "dict[str, str] | None" = None,
+    ) -> None:
+        super().__init__(name, help, labels)
         self.value: float = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
@@ -191,7 +234,7 @@ class Counter(_Metric):
             self.value = float(value)
 
     def samples(self) -> list[tuple[str, float]]:
-        return [(self.name, self.value)]
+        return [(self.series(), self.value)]
 
 
 class Gauge(_Metric):
@@ -199,8 +242,13 @@ class Gauge(_Metric):
 
     metric_type = "gauge"
 
-    def __init__(self, name: str, help: str = "") -> None:
-        super().__init__(name, help)
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: "dict[str, str] | None" = None,
+    ) -> None:
+        super().__init__(name, help, labels)
         self.value: float = 0.0
 
     def set(self, value: float) -> None:
@@ -213,7 +261,7 @@ class Gauge(_Metric):
         self.value -= amount
 
     def samples(self) -> list[tuple[str, float]]:
-        return [(self.name, self.value)]
+        return [(self.series(), self.value)]
 
 
 class Histogram(_Metric):
@@ -231,8 +279,9 @@ class Histogram(_Metric):
         name: str,
         help: str = "",
         buckets: Iterable[float] = DEFAULT_BUCKETS,
+        labels: "dict[str, str] | None" = None,
     ) -> None:
-        super().__init__(name, help)
+        super().__init__(name, help, labels)
         bounds = tuple(float(b) for b in buckets)
         if not bounds:
             raise ValueError("histogram needs at least one bucket bound")
@@ -255,14 +304,16 @@ class Histogram(_Metric):
             cumulative += count
             rows.append(
                 (
-                    f'{self.name}_bucket{{le="{_format_value(bound)}"}}',
+                    self.series(
+                        f'le="{_format_value(bound)}"', suffix="_bucket"
+                    ),
                     cumulative,
                 )
             )
         cumulative += self.counts[-1]
-        rows.append((f'{self.name}_bucket{{le="+Inf"}}', cumulative))
-        rows.append((f"{self.name}_sum", self.sum))
-        rows.append((f"{self.name}_count", self.count))
+        rows.append((self.series('le="+Inf"', suffix="_bucket"), cumulative))
+        rows.append((self.series(suffix="_sum"), self.sum))
+        rows.append((self.series(suffix="_count"), self.count))
         return rows
 
 
@@ -285,8 +336,9 @@ class Summary(_Metric):
         help: str = "",
         quantiles: Iterable[float] = DEFAULT_QUANTILES,
         max_bins: int = 256,
+        labels: "dict[str, str] | None" = None,
     ) -> None:
-        super().__init__(name, help)
+        super().__init__(name, help, labels)
         points = tuple(float(q) for q in quantiles)
         if not points:
             raise ValueError("summary needs at least one quantile point")
@@ -307,29 +359,36 @@ class Summary(_Metric):
     def samples(self) -> list[tuple[str, float]]:
         rows: list[tuple[str, float]] = [
             (
-                f'{self.name}{{quantile="{_format_value(q)}"}}',
+                self.series(f'quantile="{_format_value(q)}"'),
                 self.digest.quantile(q),
             )
             for q in self.quantiles
         ]
-        rows.append((f"{self.name}_sum", self.digest.total))
-        rows.append((f"{self.name}_count", self.digest.count))
+        rows.append((self.series(suffix="_sum"), self.digest.total))
+        rows.append((self.series(suffix="_count"), self.digest.count))
         return rows
 
 
 class MetricsRegistry:
     """Named metric families, rendered in one stable-ordered exposition.
 
-    Constructors are get-or-create: asking twice for the same name
-    returns the same object, and asking for it with a *different* type
-    raises — the same discipline Prometheus client libraries enforce.
+    Constructors are get-or-create: asking twice for the same name *and*
+    labels returns the same object, and asking for a family with a
+    *different* type raises — the same discipline Prometheus client
+    libraries enforce. ``labels`` address one child of a family
+    (``repro_walk_access_time_slots{shard="2"}``); all children of a
+    family share one type and render under one header.
     """
 
     def __init__(self) -> None:
         self._metrics: dict[str, _Metric] = {}
+        self._family_types: dict[str, type] = {}
 
-    def _get_or_create(self, cls, name: str, *args, **kwargs):
-        existing = self._metrics.get(name)
+    def _get_or_create(
+        self, cls, name: str, *args, labels=None, **kwargs
+    ):
+        key = _series_name(name, _label_signature(labels or {}))
+        existing = self._metrics.get(key)
         if existing is not None:
             if not isinstance(existing, cls):
                 raise ValueError(
@@ -337,23 +396,36 @@ class MetricsRegistry:
                     f"{existing.metric_type}, not {cls.metric_type}"
                 )
             return existing
-        metric = cls(name, *args, **kwargs)
-        self._metrics[name] = metric
+        family = self._family_types.get(name)
+        if family is not None and family is not cls:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{family.metric_type}, not {cls.metric_type}"
+            )
+        metric = cls(name, *args, labels=labels, **kwargs)
+        self._metrics[key] = metric
+        self._family_types[name] = cls
         return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get_or_create(Counter, name, help)
+    def counter(
+        self, name: str, help: str = "", *, labels=None
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labels=labels)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get_or_create(Gauge, name, help)
+    def gauge(self, name: str, help: str = "", *, labels=None) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels=labels)
 
     def histogram(
         self,
         name: str,
         help: str = "",
         buckets: Iterable[float] = DEFAULT_BUCKETS,
+        *,
+        labels=None,
     ) -> Histogram:
-        return self._get_or_create(Histogram, name, help, buckets)
+        return self._get_or_create(
+            Histogram, name, help, buckets, labels=labels
+        )
 
     def summary(
         self,
@@ -361,11 +433,17 @@ class MetricsRegistry:
         help: str = "",
         quantiles: Iterable[float] = DEFAULT_QUANTILES,
         max_bins: int = 256,
+        *,
+        labels=None,
     ) -> Summary:
-        return self._get_or_create(Summary, name, help, quantiles, max_bins)
+        return self._get_or_create(
+            Summary, name, help, quantiles, max_bins, labels=labels
+        )
 
     def __contains__(self, name: str) -> bool:
-        return name in self._metrics
+        # A family name matches whether its children are labelled or not;
+        # a full series key ('name{a="b"}') matches its exact child.
+        return name in self._metrics or name in self._family_types
 
     def __len__(self) -> int:
         return len(self._metrics)
@@ -376,34 +454,54 @@ class MetricsRegistry:
         perf: PerfRecorder | dict,
         *,
         prefix: str = "repro",
+        labels: "dict[str, str] | None" = None,
     ) -> None:
         """Adopt a recorder's (or ``snapshot()``'s) totals as counters.
 
         Safe to call on every scrape: counters adopt the latest running
         total, they are never incremented twice for the same work.
+        ``labels`` scope the absorbed series to one child — the cluster
+        harness absorbs each shard's recorder with
+        ``labels={"shard": …}`` so per-shard accounting survives into
+        the exposition.
         """
         snapshot = perf.snapshot() if isinstance(perf, PerfRecorder) else perf
         for name, value in snapshot.get("counters", {}).items():
             self.counter(
                 perf_counter_metric_name(name, prefix=prefix),
                 f"perf counter {name}",
+                labels=labels,
             ).set_total(value)
         for name, seconds in snapshot.get("timers", {}).items():
             self.counter(
                 perf_timer_metric_name(name, prefix=prefix),
                 f"perf timer {name} (seconds)",
+                labels=labels,
             ).set_total(seconds)
 
     # -- exposition ---------------------------------------------------------
     def render(self) -> str:
-        """Prometheus text exposition (format version 0.0.4)."""
+        """Prometheus text exposition (format version 0.0.4).
+
+        Children of one family (same name, different labels) render
+        consecutively under a single ``# HELP`` / ``# TYPE`` header, as
+        the format requires — grouping is by family name, never by the
+        naive sort of series keys (which would interleave ``foo`` /
+        ``foobar`` / ``foo{…}``).
+        """
+        families: dict[str, list[_Metric]] = {}
+        for metric in self._metrics.values():
+            families.setdefault(metric.name, []).append(metric)
         lines: list[str] = []
-        for name in sorted(self._metrics):
-            metric = self._metrics[name]
-            lines.append(f"# HELP {name} {_escape_help(metric.help)}")
-            lines.append(f"# TYPE {name} {metric.metric_type}")
-            for series, value in metric.samples():
-                lines.append(f"{series} {_format_value(value)}")
+        for name in sorted(families):
+            children = sorted(
+                families[name], key=lambda m: m.label_signature
+            )
+            lines.append(f"# HELP {name} {_escape_help(children[0].help)}")
+            lines.append(f"# TYPE {name} {children[0].metric_type}")
+            for metric in children:
+                for series, value in metric.samples():
+                    lines.append(f"{series} {_format_value(value)}")
         return "\n".join(lines) + "\n" if lines else ""
 
 

@@ -129,6 +129,35 @@ METRIC_SPECS: tuple[MetricSpec, ...] = (
         "search-overhaul", "speedup",
         ("aggregate", "speedup"), direction=HIGHER, kind=TIMING,
     ),
+    # cluster-loadtest: per-shard-count access times are
+    # seed-deterministic quality; throughput and speedups are wall-clock.
+    MetricSpec(
+        "cluster-loadtest", "mean_access_time_1shard",
+        ("aggregate", "mean_access_time_by_shards", "1"),
+    ),
+    MetricSpec(
+        "cluster-loadtest", "mean_access_time_2shards",
+        ("aggregate", "mean_access_time_by_shards", "2"),
+    ),
+    MetricSpec(
+        "cluster-loadtest", "mean_access_time_4shards",
+        ("aggregate", "mean_access_time_by_shards", "4"),
+    ),
+    MetricSpec(
+        "cluster-loadtest", "walks_per_second_1shard",
+        ("aggregate", "walks_per_second_by_shards", "1"),
+        direction=HIGHER, kind=TIMING,
+    ),
+    MetricSpec(
+        "cluster-loadtest", "speedup_2shards",
+        ("aggregate", "speedup_2shards"),
+        direction=HIGHER, kind=TIMING,
+    ),
+    MetricSpec(
+        "cluster-loadtest", "speedup_4shards",
+        ("aggregate", "speedup_4shards"),
+        direction=HIGHER, kind=TIMING,
+    ),
     # server-faults: how gracefully the server degrades, in slots.
     MetricSpec(
         "server-faults", "lossless_mean_access",

@@ -52,6 +52,7 @@ __all__ = [
     "get_planner",
     "available_planners",
     "plan",
+    "plan_catalog",
 ]
 
 
@@ -186,6 +187,40 @@ def plan(
     return get_planner(method)(
         tree, channels, perf=perf, rng=rng, **options
     )
+
+
+def plan_catalog(
+    labels: "list[str]",
+    weights: "list[float]",
+    channels: int = 1,
+    *,
+    method: str = "auto",
+    fanout: int = 3,
+    perf: PerfRecorder | None = None,
+    rng: np.random.Generator | None = None,
+    **options,
+) -> PlanResult:
+    """Index a keyed catalog and allocate it in one call.
+
+    The catalog-level entry point the sharded cluster plans each shard
+    through: build the optimal alphabetic index tree over ``labels``
+    (leaves stay in key order so lookup works) weighted by ``weights``,
+    then run the named registry planner on it. ``labels`` must be
+    sorted — a shard's routing directory hands each station a key-range
+    slice, and an unsorted slice would silently break lookups.
+    """
+    if len(labels) != len(weights):
+        raise ValueError(
+            f"catalog has {len(labels)} labels but {len(weights)} weights"
+        )
+    if not labels:
+        raise ValueError("cannot plan an empty catalog")
+    if list(labels) != sorted(labels):
+        raise ValueError("catalog labels must be in sorted key order")
+    from .tree.alphabetic import optimal_alphabetic_tree
+
+    tree = optimal_alphabetic_tree(list(labels), list(weights), fanout=fanout)
+    return plan(tree, channels, method=method, perf=perf, rng=rng, **options)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,187 @@
+"""StationCluster: partitioned planning, measurement, the refit loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import StationCluster
+from repro.cluster.router import UnknownKeyError
+from repro.obs.metrics import MetricsRegistry
+from repro.planners import plan_catalog
+from repro.workloads.weights import zipf_weights
+
+
+def demo_catalog(items=24, seed=2000, theta=0.95):
+    rng = np.random.default_rng(seed)
+    labels = [f"K{index:03d}" for index in range(items)]
+    return list(zip(labels, (float(w) for w in zipf_weights(rng, items, theta=theta))))
+
+
+def skewed_catalog(items=40, seed=11):
+    rng = np.random.default_rng(seed)
+    labels = [f"K{index:03d}" for index in range(items)]
+    return list(zip(labels, rng.zipf(1.3, items).astype(float)))
+
+
+class TestPlanCatalog:
+    def test_matches_manual_tree_plus_plan(self):
+        catalog = demo_catalog(12)
+        labels = [key for key, _ in catalog]
+        weights = [w for _, w in catalog]
+        result = plan_catalog(labels, weights, 2, method="sorting")
+        assert result.method == "sorting"
+        assert result.schedule.data_wait() == pytest.approx(result.cost)
+
+    def test_rejects_unsorted_labels(self):
+        with pytest.raises(ValueError, match="sorted"):
+            plan_catalog(["b", "a"], [1.0, 2.0], 1)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="labels"):
+            plan_catalog(["a"], [1.0, 2.0], 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            plan_catalog([], [], 1)
+
+
+class TestConstruction:
+    def test_every_shard_planned_and_covering(self):
+        catalog = demo_catalog()
+        cluster = StationCluster(catalog, 3)
+        assert sorted(cluster.plans) == [0, 1, 2]
+        covered = sorted(
+            key for shard in range(3) for key in cluster.plans[shard].keys
+        )
+        assert covered == sorted(key for key, _ in catalog)
+        for shard in range(3):
+            plan = cluster.plans[shard]
+            assert plan.keys == cluster.router.keys_of(shard)
+            assert plan.program.cycle_length >= 1
+
+    def test_empty_shards_repaired_deterministically(self):
+        # Two keys, three shards: at least one shard starts empty no
+        # matter what the partitioner does; repair must fill it.
+        catalog = [("a", 5.0), ("b", 1.0), ("c", 3.0)]
+        cluster = StationCluster(catalog, 3)
+        assert all(count >= 1 for count in cluster.router.counts())
+        again = StationCluster(catalog, 3)
+        assert cluster.router.assignment() == again.router.assignment()
+
+    def test_rejects_more_shards_than_keys(self):
+        with pytest.raises(ValueError, match="cannot fill"):
+            StationCluster([("a", 1.0)], 2)
+
+    def test_rejects_duplicate_keys(self):
+        with pytest.raises(ValueError, match="unique"):
+            StationCluster([("a", 1.0), ("a", 2.0)], 1)
+
+    def test_shard_cycles_shrink_with_shard_count(self):
+        catalog = demo_catalog(32)
+        single = StationCluster(catalog, 1)
+        quad = StationCluster(catalog, 4)
+        longest = max(
+            quad.plans[shard].program.cycle_length for shard in range(4)
+        )
+        assert longest < single.plans[0].program.cycle_length
+
+    def test_endpoint_of_requires_live_station(self):
+        cluster = StationCluster(demo_catalog(8), 2)
+        key = cluster.router.keys_of(0)[0]
+        with pytest.raises(ValueError, match="no live station"):
+            cluster.endpoint_of(key)
+        with pytest.raises(UnknownKeyError):
+            cluster.endpoint_of("ghost")
+        cluster.endpoints[0] = ("127.0.0.1", 4711)
+        assert cluster.endpoint_of(key) == ("127.0.0.1", 4711)
+
+
+class TestMeasurement:
+    def test_measure_fills_costs(self):
+        cluster = StationCluster(demo_catalog(), 2, sample_requests=64)
+        costs = cluster.measure()
+        assert sorted(costs) == [0, 1]
+        assert all(cost > 0 for cost in costs.values())
+        assert cluster.aggregate_cost() > 0
+
+    def test_measure_is_deterministic(self):
+        first = StationCluster(demo_catalog(), 3, sample_requests=64)
+        second = StationCluster(demo_catalog(), 3, sample_requests=64)
+        assert first.measure() == second.measure()
+
+    def test_aggregate_cost_requires_measurement(self):
+        cluster = StationCluster(demo_catalog(8), 2)
+        with pytest.raises(ValueError, match="unmeasured"):
+            cluster.aggregate_cost()
+
+    def test_shard_labelled_metrics(self):
+        registry = MetricsRegistry()
+        cluster = StationCluster(
+            demo_catalog(12), 2, sample_requests=32, metrics=registry
+        )
+        cluster.measure()
+        text = registry.render()
+        assert 'repro_cluster_shard_cost_slots{shard="0"}' in text
+        assert 'repro_cluster_shard_cost_slots{shard="1"}' in text
+        assert 'repro_walk_access_time_slots{shard="0",quantile="0.5"}' in text
+
+
+class TestRefit:
+    def test_refit_deterministic_under_fixed_seed(self):
+        catalog = skewed_catalog()
+        first = StationCluster(catalog, 3, sample_requests=96).refit(
+            max_rounds=5
+        )
+        second = StationCluster(catalog, 3, sample_requests=96).refit(
+            max_rounds=5
+        )
+        assert first.to_dict() == second.to_dict()
+
+    def test_refit_improves_skewed_hash_partition(self):
+        cluster = StationCluster(skewed_catalog(), 3, sample_requests=96)
+        report = cluster.refit(max_rounds=5)
+        assert report.improved
+        assert any(round_.accepted for round_ in report.rounds)
+        assert report.final < report.initial
+
+    def test_refit_never_worsens_aggregate(self):
+        # Accept/revert semantics: the final aggregate can never exceed
+        # the starting one, whatever the moves tried.
+        for seed in (1, 5, 13):
+            cluster = StationCluster(
+                skewed_catalog(seed=seed), 3, sample_requests=64
+            )
+            report = cluster.refit(max_rounds=4)
+            assert report.final <= report.initial + 1e-12
+
+    def test_rejected_round_restores_state(self):
+        catalog = demo_catalog()
+        cluster = StationCluster(catalog, 2, sample_requests=64)
+        baseline_assignment = None
+        report = cluster.refit(max_rounds=1)
+        if report.rounds and not report.rounds[-1].accepted:
+            # The revert replans from the restored directory; a fresh
+            # unrefitted cluster must agree exactly.
+            baseline_assignment = StationCluster(
+                catalog, 2, sample_requests=64
+            ).router.assignment()
+            assert cluster.router.assignment() == baseline_assignment
+            assert cluster.aggregate_cost() == pytest.approx(report.final)
+
+    def test_single_shard_refit_is_a_noop(self):
+        cluster = StationCluster(demo_catalog(8), 1, sample_requests=32)
+        report = cluster.refit(max_rounds=3)
+        assert report.rounds == []
+        assert report.initial == report.final
+
+    def test_refit_keeps_total_coverage(self):
+        cluster = StationCluster(skewed_catalog(), 4, sample_requests=64)
+        keys_before = sorted(cluster.catalog)
+        cluster.refit(max_rounds=4)
+        covered = sorted(
+            key
+            for shard in range(cluster.shards)
+            for key in cluster.plans[shard].keys
+        )
+        assert covered == keys_before

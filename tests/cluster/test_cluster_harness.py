@@ -1,0 +1,158 @@
+"""Cluster fleet harness: routing, per-shard accounting, parity, sweep."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    StationCluster,
+    make_cluster_trace,
+    run_cluster_loadtest,
+    run_cluster_sweep,
+    serve_cluster,
+    write_cluster_bench_json,
+)
+from repro.net.tuner import TunerClient
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads.weights import zipf_weights
+
+
+def demo_catalog(items=24, seed=2000):
+    rng = np.random.default_rng(seed)
+    labels = [f"K{index:03d}" for index in range(items)]
+    return list(zip(labels, (float(w) for w in zipf_weights(rng, items))))
+
+
+@pytest.fixture()
+def cluster():
+    return StationCluster(demo_catalog(), 2)
+
+
+class TestClusterTrace:
+    def test_trace_routes_through_directory(self, cluster):
+        rng = np.random.default_rng(7)
+        trace = make_cluster_trace(cluster, 80, rng)
+        assert len(trace) == 80
+        for shard, key, slot in trace:
+            assert cluster.router.shard_of(key) == shard
+            assert 1 <= slot <= cluster.plans[shard].program.cycle_length
+
+    def test_trace_deterministic(self, cluster):
+        first = make_cluster_trace(cluster, 50, np.random.default_rng(3))
+        second = make_cluster_trace(cluster, 50, np.random.default_rng(3))
+        assert first == second
+
+
+class TestClusterLoadtest:
+    def test_accounting_and_parity_per_shard(self, cluster):
+        report = asyncio.run(
+            run_cluster_loadtest(
+                cluster,
+                tuners=60,
+                rng=np.random.default_rng(5),
+                check_parity=True,
+            )
+        )
+        assert report.shards == 2
+        assert report.completed == 60
+        assert report.abandoned == 0
+        assert report.accounting_ok
+        assert report.parity_ok
+        for shard_report in report.per_shard.values():
+            assert shard_report["unaccounted_frames"] == 0
+            assert shard_report["checks"]["zero_unaccounted_frames"]
+            assert shard_report["checks"]["parity_exact"]
+
+    def test_checks_in_dict(self, cluster):
+        report = asyncio.run(
+            run_cluster_loadtest(
+                cluster, tuners=30, rng=np.random.default_rng(5)
+            )
+        )
+        record = report.to_dict()
+        assert record["checks"]["zero_unaccounted_frames"] is True
+        assert set(record["per_shard"]) == {"0", "1"}
+
+    def test_per_shard_metric_labels(self, cluster):
+        registry = MetricsRegistry()
+        asyncio.run(
+            run_cluster_loadtest(
+                cluster,
+                tuners=40,
+                rng=np.random.default_rng(5),
+                metrics=registry,
+            )
+        )
+        text = registry.render()
+        for shard in ("0", "1"):
+            assert f'repro_walk_completed_total{{shard="{shard}"}}' in text
+            assert (
+                f'repro_net_station_frames_sent_total{{shard="{shard}"}}'
+                in text
+            )
+
+
+class TestServeCluster:
+    def test_endpoints_live_while_serving(self, cluster):
+        async def scenario():
+            async with serve_cluster(cluster):
+                assert sorted(cluster.endpoints) == [0, 1]
+                key = cluster.router.keys_of(1)[0]
+                host, port = cluster.endpoint_of(key)
+                assert (host, port) == cluster.endpoints[1]
+                async with TunerClient(host, port) as tuner:
+                    result = await tuner.fetch(key, 1)
+                assert result.key == key
+                assert not result.abandoned
+
+        asyncio.run(scenario())
+        assert cluster.endpoints == {}
+
+
+class TestSweepRecord:
+    def test_sweep_records_speedups_and_checks(self, tmp_path):
+        results = run_cluster_sweep(
+            demo_catalog(),
+            [1, 2],
+            tuners=40,
+            check_parity=True,
+        )
+        path = tmp_path / "BENCH_cluster.json"
+        record = write_cluster_bench_json(
+            str(path), results, {"tuners": 40}, rev="abc", timestamp="t"
+        )
+        aggregate = record["aggregate"]
+        assert set(aggregate["walks_per_second_by_shards"]) == {"1", "2"}
+        assert set(aggregate["mean_access_time_by_shards"]) == {"1", "2"}
+        assert "2" in aggregate["speedups"]
+        assert aggregate["speedup_2shards"] == aggregate["speedups"]["2"]
+        assert aggregate["checks"]["zero_unaccounted_frames"] is True
+        assert aggregate["checks"]["parity_exact"] is True
+        assert "scaling_2shard" in aggregate["checks"]
+        assert record["suite"] == "cluster-loadtest"
+        assert path.exists()
+
+    def test_sweep_without_baseline_has_no_speedups(self, tmp_path):
+        results = run_cluster_sweep(demo_catalog(), [2], tuners=30)
+        record = write_cluster_bench_json(
+            str(tmp_path / "r.json"), results, {}
+        )
+        assert record["aggregate"]["speedups"] == {}
+        assert "scaling_2shard" not in record["aggregate"]["checks"]
+
+    def test_regress_extracts_cluster_metrics(self, tmp_path):
+        from repro.obs.regress import extract_metrics
+
+        results = run_cluster_sweep(demo_catalog(), [1, 2], tuners=30)
+        record = write_cluster_bench_json(
+            str(tmp_path / "r.json"), results, {"tuners": 30}
+        )
+        entry = extract_metrics(record)
+        metrics = entry["metrics"]
+        assert "cluster-loadtest.mean_access_time_1shard" in metrics
+        assert "cluster-loadtest.mean_access_time_2shards" in metrics
+        assert "cluster-loadtest.speedup_2shards" in metrics
+        assert entry["fingerprint"]["cluster-loadtest"] == {"tuners": 30}

@@ -1,0 +1,134 @@
+"""Partitioner registry and the every-key-exactly-one-shard property."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.partition import (
+    PartitionerNotFound,
+    available_partitioners,
+    get_partitioner,
+    hash_partition,
+    partition_catalog,
+    register_partitioner,
+    unregister_partitioner,
+    weight_balanced_partition,
+)
+
+CATALOGS = st.dictionaries(
+    st.text(
+        alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+        min_size=1,
+        max_size=12,
+    ),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=64,
+).map(lambda d: sorted(d.items()))
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert "hash" in available_partitioners()
+        assert "weight-balanced" in available_partitioners()
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(PartitionerNotFound, match="hash"):
+            get_partitioner("round-robin")
+
+    def test_register_and_unregister(self):
+        register_partitioner("all-zero", lambda catalog, shards: {
+            key: 0 for key, _ in catalog
+        })
+        try:
+            assignment = partition_catalog(
+                [("a", 1.0), ("b", 2.0)], 3, method="all-zero"
+            )
+            assert assignment == {"a": 0, "b": 0}
+        finally:
+            unregister_partitioner("all-zero")
+        assert "all-zero" not in available_partitioners()
+
+    def test_mapping_catalog_accepted(self):
+        assignment = partition_catalog({"a": 1.0, "b": 2.0}, 2)
+        assert set(assignment) == {"a", "b"}
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "partition", [hash_partition, weight_balanced_partition]
+    )
+    def test_rejects_empty_catalog(self, partition):
+        with pytest.raises(ValueError, match="empty"):
+            partition([], 2)
+
+    @pytest.mark.parametrize(
+        "partition", [hash_partition, weight_balanced_partition]
+    )
+    def test_rejects_zero_shards(self, partition):
+        with pytest.raises(ValueError, match="shards"):
+            partition([("a", 1.0)], 0)
+
+    def test_rejects_duplicate_keys(self):
+        with pytest.raises(ValueError, match="unique"):
+            hash_partition([("a", 1.0), ("a", 2.0)], 2)
+
+
+class TestEveryKeyExactlyOneShard:
+    """The property every registered partitioner must satisfy."""
+
+    @settings(max_examples=60)
+    @given(catalog=CATALOGS, shards=st.integers(min_value=1, max_value=8))
+    def test_hash_total_function_onto_valid_shards(self, catalog, shards):
+        assignment = hash_partition(catalog, shards)
+        assert sorted(assignment) == sorted(key for key, _ in catalog)
+        assert all(0 <= shard < shards for shard in assignment.values())
+
+    @settings(max_examples=60)
+    @given(catalog=CATALOGS, shards=st.integers(min_value=1, max_value=8))
+    def test_weight_balanced_total_function_onto_valid_shards(
+        self, catalog, shards
+    ):
+        assignment = weight_balanced_partition(catalog, shards)
+        assert sorted(assignment) == sorted(key for key, _ in catalog)
+        assert all(0 <= shard < shards for shard in assignment.values())
+
+    @settings(max_examples=30)
+    @given(catalog=CATALOGS, shards=st.integers(min_value=1, max_value=8))
+    def test_both_partitioners_deterministic(self, catalog, shards):
+        for method in ("hash", "weight-balanced"):
+            first = partition_catalog(catalog, shards, method=method)
+            again = partition_catalog(catalog, shards, method=method)
+            assert first == again
+
+
+class TestHashStability:
+    def test_assignment_is_content_addressed(self):
+        # CRC-32, not the salted builtin: the split must agree across
+        # processes, or two routers would disagree on ownership.
+        assignment = hash_partition(
+            [("K000", 1.0), ("K001", 1.0), ("K002", 1.0)], 4
+        )
+        assert assignment == {"K000": 3, "K001": 1, "K002": 3}
+
+    def test_untouched_keys_keep_shards_when_others_change_weight(self):
+        before = hash_partition([("a", 1.0), ("b", 9.0)], 4)
+        after = hash_partition([("a", 500.0), ("b", 9.0)], 4)
+        assert before == after  # hash ignores weights entirely
+
+
+class TestWeightBalance:
+    def test_lpt_balances_skewed_catalog(self):
+        catalog = [("hot", 100.0)] + [
+            (f"c{index:02d}", 1.0) for index in range(20)
+        ]
+        assignment = weight_balanced_partition(catalog, 2)
+        loads = [0.0, 0.0]
+        weights = dict(catalog)
+        for key, shard in assignment.items():
+            loads[shard] += weights[key]
+        # The hot key sits alone-ish; the cold keys pile opposite it.
+        assert abs(loads[0] - loads[1]) <= 100.0 - 20.0 + 2.0
+        assert assignment["hot"] == 0

@@ -1,0 +1,141 @@
+"""The routing directory: totality, stability, auditable moves."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.partition import hash_partition, partition_catalog
+from repro.cluster.router import ClusterRouter, UnknownKeyError
+
+ASSIGNMENTS = st.dictionaries(
+    st.text(
+        alphabet=st.characters(min_codepoint=48, max_codepoint=122),
+        min_size=1,
+        max_size=10,
+    ),
+    st.integers(min_value=0, max_value=5),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _router(assignment):
+    return ClusterRouter(assignment, max(assignment.values()) + 1)
+
+
+class TestConstruction:
+    def test_rejects_empty_assignment(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ClusterRouter({}, 2)
+
+    def test_rejects_out_of_range_shard(self):
+        with pytest.raises(ValueError, match="outside"):
+            ClusterRouter({"a": 2}, 2)
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError, match="shards"):
+            ClusterRouter({"a": 0}, 0)
+
+
+class TestEveryKeyExactlyOneShard:
+    @settings(max_examples=60)
+    @given(assignment=ASSIGNMENTS)
+    def test_shards_partition_the_keyset(self, assignment):
+        router = _router(assignment)
+        seen: list[str] = []
+        for shard in range(router.shards):
+            keys = router.keys_of(shard)
+            assert keys == sorted(keys)
+            for key in keys:
+                assert router.shard_of(key) == shard
+            seen.extend(keys)
+        # Union over shards is the whole catalog, with no key twice.
+        assert sorted(seen) == sorted(assignment)
+        assert sum(router.counts()) == len(assignment)
+
+    def test_unknown_key_raises(self):
+        router = ClusterRouter({"a": 0}, 1)
+        with pytest.raises(UnknownKeyError, match="ghost"):
+            router.shard_of("ghost")
+        assert "a" in router
+        assert "ghost" not in router
+
+
+class TestStabilityUnderRepartitionOfUntouchedShards:
+    """Replanning/moving other shards cannot move my keys."""
+
+    def test_moves_leave_every_other_entry_alone(self):
+        catalog = [(f"K{index:03d}", float(index + 1)) for index in range(30)]
+        router = ClusterRouter(hash_partition(catalog, 4), 4)
+        victims = router.keys_of(2)[:3]
+        untouched_before = {
+            key: router.shard_of(key)
+            for key in router.assignment()
+            if key not in victims
+        }
+        router.move(victims, 1)
+        for key, shard in untouched_before.items():
+            assert router.shard_of(key) == shard
+        for key in victims:
+            assert router.shard_of(key) == 1
+
+    @settings(max_examples=40)
+    @given(assignment=ASSIGNMENTS, data=st.data())
+    def test_property_untouched_keys_stable_across_any_move(
+        self, assignment, data
+    ):
+        router = _router(assignment)
+        keys = sorted(assignment)
+        moved = data.draw(
+            st.lists(st.sampled_from(keys), max_size=5, unique=True)
+        )
+        target = data.draw(
+            st.integers(min_value=0, max_value=router.shards - 1)
+        )
+        before = router.assignment()
+        router.move(moved, target)
+        after = router.assignment()
+        for key in keys:
+            if key in moved:
+                assert after[key] == target
+            else:
+                assert after[key] == before[key]
+
+    def test_directory_snapshot_is_a_copy(self):
+        router = ClusterRouter({"a": 0, "b": 1}, 2)
+        snapshot = router.assignment()
+        snapshot["a"] = 1
+        assert router.shard_of("a") == 0
+
+
+class TestMoves:
+    def test_move_returns_only_keys_that_moved(self):
+        router = ClusterRouter({"a": 0, "b": 1, "c": 0}, 2)
+        moved = router.move(["a", "b", "c"], 1)
+        assert moved == ["a", "c"]  # b already lived on shard 1
+        assert router.moves == 2
+
+    def test_move_validates_all_keys_before_touching_any(self):
+        router = ClusterRouter({"a": 0, "b": 0}, 2)
+        with pytest.raises(UnknownKeyError):
+            router.move(["a", "ghost"], 1)
+        # "a" must not have moved: the batch failed atomically.
+        assert router.shard_of("a") == 0
+        assert router.moves == 0
+
+    def test_move_rejects_bad_target(self):
+        router = ClusterRouter({"a": 0}, 2)
+        with pytest.raises(ValueError, match="shard"):
+            router.move(["a"], 7)
+
+
+class TestPartitionerRouterAgreement:
+    def test_router_reproduces_partitioner_split(self):
+        catalog = [(f"K{index:03d}", 1.0) for index in range(17)]
+        for method in ("hash", "weight-balanced"):
+            assignment = partition_catalog(catalog, 3, method=method)
+            router = ClusterRouter(assignment, 3)
+            for key, shard in assignment.items():
+                assert router.shard_of(key) == shard

@@ -147,3 +147,46 @@ class TestReportRecord:
             "parity_exact": True,
         }
         assert on_disk["result"]["tuners"] == 20
+
+
+class TestPercentileConvention:
+    """_percentiles is nearest-rank, bit-identical to QuantileDigest."""
+
+    def test_empty_values_yield_zeros_not_nan(self):
+        from repro.net.harness import _percentiles
+
+        result = _percentiles([])
+        assert result == {"p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+        assert all(value == value for value in result.values())  # no NaN
+
+    def test_nearest_rank_is_an_observed_value(self):
+        from repro.net.harness import _percentiles
+
+        # Linear interpolation would report 5.5 for p50 here; nearest
+        # rank must pick the 5th order statistic (rank = ceil(0.5·10)).
+        values = list(range(1, 11))
+        result = _percentiles(values)
+        assert result["p50"] == 5.0
+        assert result["p90"] == 9.0
+        assert result["p99"] == 10.0
+        assert result["max"] == 10.0
+        for reported in result.values():
+            assert reported in [float(v) for v in values]
+
+    def test_agrees_with_quantile_digest(self):
+        from repro.net.harness import _percentiles
+        from repro.obs.digest import QuantileDigest
+
+        rng = np.random.default_rng(99)
+        for size in (1, 2, 7, 100, 501):
+            values = [int(v) for v in rng.integers(0, 120, size)]
+            digest = QuantileDigest()
+            for value in values:
+                digest.observe(value)
+            # Bit-identity is the exact regime: the digest only promises
+            # the true order statistic while its bins are uncoarsened.
+            assert digest.width == 1
+            result = _percentiles(values)
+            assert result["p50"] == float(digest.quantile(0.50))
+            assert result["p90"] == float(digest.quantile(0.90))
+            assert result["p99"] == float(digest.quantile(0.99))

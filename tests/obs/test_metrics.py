@@ -317,3 +317,85 @@ class TestPerfBridge:
         assert match and int(match.group(1)) > 0
         match = re.search(r"repro_server_faults_retries_total (\d+)", text)
         assert match and int(match.group(1)) > 0
+
+
+class TestLabels:
+    """Labelled children: one family, distinct series per label set."""
+
+    def test_labelled_children_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", "x", labels={"shard": "0"}).inc(3)
+        registry.counter("repro_x_total", "x", labels={"shard": "1"}).inc(5)
+        text = registry.render()
+        assert 'repro_x_total{shard="0"} 3' in text
+        assert 'repro_x_total{shard="1"} 5' in text
+        # One HELP/TYPE header for the whole family.
+        assert text.count("# HELP repro_x_total") == 1
+        assert text.count("# TYPE repro_x_total") == 1
+
+    def test_get_or_create_is_per_label_set(self):
+        registry = MetricsRegistry()
+        a = registry.gauge("repro_g", labels={"shard": "0"})
+        b = registry.gauge("repro_g", labels={"shard": "0"})
+        c = registry.gauge("repro_g", labels={"shard": "1"})
+        assert a is b
+        assert a is not c
+        assert "repro_g" in registry
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_c", labels={"a": "1", "b": "2"})
+        b = registry.counter("repro_c", labels={"b": "2", "a": "1"})
+        assert a is b
+
+    def test_family_type_conflict_raises_across_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_mixed", labels={"shard": "0"})
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_mixed", labels={"shard": "1"})
+
+    def test_summary_and_histogram_merge_reserved_labels(self):
+        registry = MetricsRegistry()
+        registry.summary(
+            "repro_s", quantiles=(0.5,), labels={"shard": "2"}
+        ).observe(7)
+        registry.histogram(
+            "repro_h", buckets=(1.0,), labels={"shard": "2"}
+        ).observe(0.5)
+        text = registry.render()
+        assert 'repro_s{shard="2",quantile="0.5"} 7' in text
+        assert 'repro_s_sum{shard="2"} 7' in text
+        assert 'repro_h_bucket{shard="2",le="1"} 1' in text
+        assert 'repro_h_count{shard="2"} 1' in text
+
+    def test_invalid_label_name_rejected(self):
+        with pytest.raises(ValueError, match="invalid label"):
+            Counter("repro_c", labels={"bad-name": "1"})
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_g", labels={"path": 'a"b\\c'}).set(1)
+        assert 'path="a\\"b\\\\c"' in registry.render()
+
+    def test_families_group_despite_prefix_collisions(self):
+        # Naive sorted-by-key rendering would interleave foo, foo{...}
+        # and foobar; grouping must be by family name.
+        registry = MetricsRegistry()
+        registry.counter("repro_foo", labels={"shard": "1"}).inc()
+        registry.counter("repro_foobar").inc()
+        registry.counter("repro_foo", labels={"shard": "0"}).inc()
+        text = registry.render()
+        foo_help = text.index("# HELP repro_foo ")
+        shard0 = text.index('repro_foo{shard="0"}')
+        shard1 = text.index('repro_foo{shard="1"}')
+        foobar_help = text.index("# HELP repro_foobar ")
+        assert foo_help < shard0 < shard1 < foobar_help
+
+    def test_absorb_perf_with_labels(self):
+        registry = MetricsRegistry()
+        perf = PerfRecorder()
+        perf.count("net.station.frames_sent", 4)
+        registry.absorb_perf(perf, labels={"shard": "3"})
+        registry.absorb_perf(perf, labels={"shard": "3"})  # idempotent
+        text = registry.render()
+        assert 'repro_net_station_frames_sent_total{shard="3"} 4' in text

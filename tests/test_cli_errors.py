@@ -163,3 +163,43 @@ class TestBenchMergeErrors:
         assert "ok   envelope.same_rev" in captured.out
         assert out.exists()  # the merged record is still written
         _no_traceback(captured)
+
+
+class TestLoadtestErrors:
+    def test_station_death_mid_run_is_one_line(self, capsys, monkeypatch):
+        import repro.net
+
+        async def doomed(*args, **kwargs):
+            raise OSError("connection reset by peer")
+
+        monkeypatch.setattr(repro.net, "run_loadtest", doomed)
+        assert main(["loadtest", "--items", "6", "--tuners", "4"]) == 1
+        captured = capsys.readouterr()
+        assert "error: station unreachable mid-run:" in captured.err
+        assert "connection reset by peer" in captured.err
+        _no_traceback(captured)
+
+
+class TestClusterLoadtestErrors:
+    def test_shard_death_mid_run_is_one_line(self, capsys, monkeypatch):
+        import repro.cluster
+
+        def doomed(*args, **kwargs):
+            raise OSError("shard 1 hung up")
+
+        monkeypatch.setattr(repro.cluster, "run_cluster_sweep", doomed)
+        assert main(
+            ["cluster", "loadtest", "--items", "8", "--tuners", "4"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "error: shard unreachable mid-run:" in captured.err
+        assert "shard 1 hung up" in captured.err
+        _no_traceback(captured)
+
+    def test_malformed_sweep_is_usage_error(self, capsys):
+        assert main(
+            ["cluster", "loadtest", "--sweep", "1,two,4"]
+        ) == 2
+        captured = capsys.readouterr()
+        assert "error: --sweep" in captured.err
+        _no_traceback(captured)
