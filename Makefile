@@ -16,6 +16,16 @@ BENCH_META = --rev $(GIT_REV) --timestamp $(BENCH_TIMESTAMP)
 BENCH_REPEATS ?= 3
 BENCH_TUNERS ?= 1000
 
+# bench-engine trace length: the batch paths run the full trace; the
+# scalar baseline and the per-walk differential gate use ENGINE_SAMPLE.
+# The engine suite keeps its own repeat knob (instead of BENCH_REPEATS /
+# HISTORY_REPEATS) so its config fingerprint is identical across
+# bench-engine, bench-all smoke runs, and bench-history — the regress
+# sentinel refuses to compare mismatched configs.
+ENGINE_WALKS ?= 200000
+ENGINE_SAMPLE ?= 2000
+ENGINE_REPEATS ?= 3
+
 # bench-cluster pacing: real air time (slots of CLUSTER_SLOT seconds)
 # is what makes aggregate walks/sec scale with the shard count —
 # sharding shortens each shard's cycle, so a paced walk finishes in
@@ -33,7 +43,7 @@ HISTORY_TUNERS ?= 50
 HISTORY_REPEATS ?= 1
 HISTORY_TOLERANCE ?= 0.15
 
-.PHONY: install test bench bench-json bench-server bench-net bench-cluster bench-all bench-history examples experiments clean
+.PHONY: install test bench bench-json bench-server bench-net bench-cluster bench-engine bench-all bench-history examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -61,10 +71,18 @@ bench-cluster:
 	$(PYTHON) -m repro.cli cluster loadtest --tuners $(CLUSTER_TUNERS) --sweep $(CLUSTER_SWEEP) --slot-duration $(CLUSTER_SLOT) --check-parity --json BENCH_cluster.json $(BENCH_META)
 	$(PYTHON) -m repro.cli obs regress --baseline $(HISTORY_DIR)/cluster-baseline.jsonl --candidate BENCH_cluster.json --tolerance $(HISTORY_TOLERANCE) --append $(HISTORY_DIR)/cluster-trajectory.jsonl --bootstrap
 
-bench-all: bench-json bench-server bench-net
-	$(PYTHON) -m repro.cli bench-merge BENCH_search.json BENCH_server.json BENCH_net.json --out BENCH_all.json
+# Batch-engine suite: throughput plus the built-in bit-identity gates,
+# appended to its own trajectory and gated against the committed engine
+# baseline (--bootstrap seeds it on first run).
+bench-engine:
+	mkdir -p $(HISTORY_DIR)
+	$(PYTHON) -m repro.cli engine bench --walks $(ENGINE_WALKS) --sample $(ENGINE_SAMPLE) --repeats $(ENGINE_REPEATS) --json BENCH_engine.json $(BENCH_META)
+	$(PYTHON) -m repro.cli obs regress --baseline $(HISTORY_DIR)/engine-baseline.jsonl --candidate BENCH_engine.json --tolerance $(HISTORY_TOLERANCE) --append $(HISTORY_DIR)/engine-trajectory.jsonl --bootstrap
 
-# Run the three suites at history scale (scratch output under
+bench-all: bench-json bench-server bench-net bench-engine
+	$(PYTHON) -m repro.cli bench-merge BENCH_search.json BENCH_server.json BENCH_net.json BENCH_engine.json --out BENCH_all.json
+
+# Run the merged suites at history scale (scratch output under
 # $(HISTORY_DIR)/tmp so the full-scale BENCH_*.json records stay
 # untouched), append the run to the trajectory, and gate it against
 # the committed baseline — non-zero exit names the first regressed
@@ -74,7 +92,8 @@ bench-history:
 	$(PYTHON) -m repro.cli bench --repeats $(HISTORY_REPEATS) --json $(HISTORY_DIR)/tmp/search.json $(BENCH_META)
 	$(PYTHON) -m repro.cli bench-server --json $(HISTORY_DIR)/tmp/server.json $(BENCH_META)
 	$(PYTHON) -m repro.cli loadtest --tuners $(HISTORY_TUNERS) --check-parity --json $(HISTORY_DIR)/tmp/net.json $(BENCH_META)
-	$(PYTHON) -m repro.cli bench-merge $(HISTORY_DIR)/tmp/search.json $(HISTORY_DIR)/tmp/server.json $(HISTORY_DIR)/tmp/net.json --out $(HISTORY_DIR)/tmp/all.json
+	$(PYTHON) -m repro.cli engine bench --walks $(ENGINE_WALKS) --sample $(ENGINE_SAMPLE) --repeats $(ENGINE_REPEATS) --json $(HISTORY_DIR)/tmp/engine.json $(BENCH_META)
+	$(PYTHON) -m repro.cli bench-merge $(HISTORY_DIR)/tmp/search.json $(HISTORY_DIR)/tmp/server.json $(HISTORY_DIR)/tmp/net.json $(HISTORY_DIR)/tmp/engine.json --out $(HISTORY_DIR)/tmp/all.json
 	$(PYTHON) -m repro.cli obs regress --baseline $(HISTORY_DIR)/baseline.jsonl --candidate $(HISTORY_DIR)/tmp/all.json --tolerance $(HISTORY_TOLERANCE) --append $(HISTORY_DIR)/trajectory.jsonl --bootstrap
 
 examples:

@@ -1,11 +1,22 @@
-"""Deprecation shims for the keyword-only API migration.
+"""Deprecation shims for API migrations, kept for one release each.
 
-The public entry points (``solve``, the heuristics, the server, the
-simulator) historically accepted tuning knobs — ``perf=``, ``rng=``,
-pruning/config objects — positionally. They are keyword-only now, but
-one release of positional compatibility is kept: a call that passes
-them positionally still works and emits a :class:`DeprecationWarning`
-naming the offending parameters.
+Two generations live here:
+
+* :func:`deprecated_positionals` — the keyword-only migration: public
+  entry points (``solve``, the heuristics, the server, the simulator)
+  historically accepted tuning knobs — ``perf=``, ``rng=``,
+  pruning/config objects — positionally. They are keyword-only now,
+  but a call that passes them positionally still works and emits a
+  :class:`DeprecationWarning` naming the offending parameters.
+* the ``run_request*`` shims — the walk entry points were collapsed
+  into the :func:`repro.client.request` facade (engines ``"object"`` /
+  ``"wire"`` / ``"batch"``) and renamed to say what they are:
+  ``run_request`` → :func:`repro.client.protocol.object_walk`,
+  ``run_request_recovering`` →
+  :func:`repro.client.protocol.recovering_walk`, ``run_request_wire``
+  → :func:`repro.io.wire_client.wire_walk`. The old spellings live
+  *only* here (a mechanical test bans them everywhere else in the
+  package), forward unchanged, and warn with the replacement call.
 """
 
 from __future__ import annotations
@@ -15,7 +26,12 @@ import inspect
 import warnings
 from typing import Callable, TypeVar
 
-__all__ = ["deprecated_positionals"]
+__all__ = [
+    "deprecated_positionals",
+    "run_request",
+    "run_request_recovering",
+    "run_request_wire",
+]
 
 F = TypeVar("F", bound=Callable)
 
@@ -72,3 +88,56 @@ def deprecated_positionals(func: F) -> F:
         return func(*args, **kwargs)
 
     return wrapper  # type: ignore[return-value]
+
+
+def _renamed(old: str, new: str, resolve: Callable[[], Callable]):
+    """A shim that warns with the replacement spelling, then forwards.
+
+    The target is resolved lazily — this module sits below the client
+    and io packages in the import graph, so importing them eagerly here
+    would be circular.
+    """
+
+    def shim(*args, **kwargs):
+        warnings.warn(
+            f"{old}() is deprecated; call {new}() or the unified "
+            "repro.client.request() facade",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return resolve()(*args, **kwargs)
+
+    shim.__name__ = old
+    shim.__qualname__ = old
+    shim.__doc__ = f"Deprecated alias of :func:`{new}`."
+    return shim
+
+
+def _object_walk():
+    from .client.protocol import object_walk
+
+    return object_walk
+
+
+def _recovering_walk():
+    from .client.protocol import recovering_walk
+
+    return recovering_walk
+
+
+def _wire_walk():
+    from .io.wire_client import wire_walk
+
+    return wire_walk
+
+
+run_request = _renamed(
+    "run_request", "repro.client.object_walk", _object_walk
+)
+run_request_recovering = _renamed(
+    "run_request_recovering", "repro.client.recovering_walk",
+    _recovering_walk,
+)
+run_request_wire = _renamed(
+    "run_request_wire", "repro.io.wire_walk", _wire_walk
+)

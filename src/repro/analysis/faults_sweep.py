@@ -27,8 +27,8 @@ import numpy as np
 from ..broadcast.pointers import compile_program
 from ..client.protocol import (
     RecoveryPolicy,
-    run_request,
-    run_request_recovering,
+    object_walk,
+    recovering_walk,
 )
 from ..client.simulator import simulate_workload
 from ..faults import BurstConfig, FaultConfig
@@ -114,8 +114,8 @@ def _differential_check(method: str, program) -> DifferentialCheck:
     for target in program.schedule.tree.data_nodes():
         for tune_slot in range(1, cycle + 1):
             pairs += 1
-            base = run_request(program, target, tune_slot)
-            recovered = run_request_recovering(
+            base = object_walk(program, target, tune_slot)
+            recovered = recovering_walk(
                 program, target, tune_slot, faults=lossless_air
             )
             if (

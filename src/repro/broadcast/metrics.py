@@ -95,7 +95,7 @@ def expected_tuning_time(schedule: BroadcastSchedule) -> float:
     """Mean number of buckets the client actively listens to.
 
     The accounting is the protocol's
-    (:func:`repro.client.protocol.run_request`), term for term: one
+    (:func:`repro.client.protocol.object_walk`), term for term: one
     bucket at tune-in (to read the next-cycle pointer), one per index
     node on the target's root path — the root included — and the data
     bucket itself. A data node with ``a`` proper ancestors therefore

@@ -27,6 +27,12 @@ Subcommands regenerate each experiment on demand:
   (``PREFIX.live.jsonl``) alongside a lossless simulator replay of the
   identical request trace (``PREFIX.sim.jsonl``) — the input pair for
   ``obs diff``;
+* ``engine``   — the vectorised batch walk engine (:mod:`repro.engine`):
+  ``engine bench`` measures batch-vs-scalar throughput with the
+  per-walk bit-identity differential gates built into the record's
+  checks, writing ``BENCH_engine.json`` via ``--json``; ``loadtest
+  --engine batch`` runs the fleet's request trace through the batch
+  simulator instead of sockets;
 * ``obs``      — trace tooling: ``obs timeline`` reconstructs the
   per-(channel, slot) view of one JSONL trace, ``obs diff`` compares
   two traces and names the first divergent slot;
@@ -347,6 +353,16 @@ def build_parser() -> argparse.ArgumentParser:
         "and a lossless simulator replay of the same requests to "
         "PREFIX.sim.jsonl (diff them with 'obs diff')",
     )
+    loadtest.add_argument(
+        "--engine",
+        choices=("fleet", "batch"),
+        default="fleet",
+        help="'fleet' runs the socket tuner fleet (default); 'batch' "
+        "runs the identical request trace through the in-process "
+        "repro.engine batch simulator instead (no sockets; "
+        "--check-parity compares it walk-for-walk against the scalar "
+        "protocol)",
+    )
     _add_envelope_options(loadtest)
 
     cluster = commands.add_parser(
@@ -441,6 +457,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the BENCH_cluster.json sweep record to PATH",
     )
     _add_envelope_options(cluster_loadtest)
+
+    engine = commands.add_parser(
+        "engine",
+        help="vectorised batch walk engine: bench and differential gate "
+        "(repro.engine)",
+    )
+    engine_commands = engine.add_subparsers(
+        dest="engine_command", required=True
+    )
+    engine_bench = engine_commands.add_parser(
+        "bench",
+        help="batch-vs-scalar throughput suite with built-in "
+        "bit-identity gates, writing BENCH_engine.json via --json",
+    )
+    engine_bench.add_argument("--items", type=int, default=24)
+    engine_bench.add_argument("--channels", type=int, default=3)
+    engine_bench.add_argument("--fanout", type=int, default=3)
+    engine_bench.add_argument("--planner", default="sorting")
+    engine_bench.add_argument(
+        "--walks",
+        type=int,
+        default=200_000,
+        help="trace length for the batch paths (default 200000)",
+    )
+    engine_bench.add_argument(
+        "--sample",
+        type=int,
+        default=2000,
+        help="scalar-walk sample for the timing baseline and the "
+        "per-walk differential gate (default 2000)",
+    )
+    engine_bench.add_argument("--loss", type=float, default=0.05)
+    engine_bench.add_argument("--corruption", type=float, default=0.01)
+    engine_bench.add_argument("--repeats", type=int, default=3)
+    engine_bench.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="write the BENCH_engine.json record to PATH",
+    )
+    _add_envelope_options(engine_bench)
 
     obs = commands.add_parser(
         "obs",
@@ -754,10 +812,15 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_tune(args)
 
     if args.command == "loadtest":
+        if args.engine == "batch":
+            return _cmd_loadtest_batch(args)
         return _cmd_loadtest(args)
 
     if args.command == "cluster":
         return _cmd_cluster(args)
+
+    if args.command == "engine":
+        return _cmd_engine(args)
 
     if args.command == "obs":
         return _cmd_obs(args)
@@ -956,6 +1019,185 @@ def _cmd_tune(args) -> int:
             f"recovered        = {result.lost_buckets} lost + "
             f"{result.corrupt_buckets} corrupt via {result.retries} retries"
         )
+    return 0
+
+
+def _cmd_engine(args) -> int:
+    from .engine import (
+        format_engine_bench,
+        run_engine_bench,
+        write_engine_bench_json,
+    )
+
+    if args.engine_command == "bench":
+        if args.repeats < 1 or args.walks < 1:
+            print(
+                "error: --walks and --repeats must be >= 1", file=sys.stderr
+            )
+            return 2
+        record = run_engine_bench(
+            items=args.items,
+            channels=args.channels,
+            fanout=args.fanout,
+            planner=args.planner,
+            walks=args.walks,
+            sample=args.sample,
+            loss=args.loss,
+            corruption=args.corruption,
+            seed=args.seed,
+            repeats=args.repeats,
+        )
+        if args.json_path:
+            record = write_engine_bench_json(
+                args.json_path,
+                record,
+                rev=args.rev,
+                timestamp=args.timestamp,
+            )
+        print(format_engine_bench(record))
+        if args.json_path:
+            print(f"perf record written to {args.json_path}")
+        checks = record["aggregate"]["checks"]
+        if not all(checks.values()):
+            failed = [name for name, ok in checks.items() if not ok]
+            print(
+                f"error: engine bench checks failed: {', '.join(failed)}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    raise AssertionError(f"unhandled engine command {args.engine_command}")
+
+
+def _cmd_loadtest_batch(args) -> int:
+    """``loadtest --engine batch``: the trace, minus the sockets.
+
+    Runs the *identical* seeded request trace the fleet would run, but
+    through :func:`repro.engine.run_batch` in-process. ``--check-parity``
+    replays every walk through the scalar protocol (lossless or
+    recovering, matching the air) and requires record-for-record
+    equality — unlike the fleet, parity here works under faults too,
+    because both sides draw from the same seeded outcome streams.
+    """
+    import json
+    from time import perf_counter
+
+    from .bench_envelope import stamp_record
+    from .client.protocol import object_walk, recovering_walk
+    from .engine import compile_dense, run_batch
+    from .net import build_demo_program, make_request_trace
+
+    program = build_demo_program(
+        items=args.items,
+        channels=args.channels,
+        fanout=args.fanout,
+        planner=args.planner,
+        seed=args.seed,
+    )
+    rng = np.random.default_rng(args.seed)
+    trace = make_request_trace(program, args.tuners, rng)
+    dense = compile_dense(program)
+    ids = np.array([dense.data_index(key) for key, _ in trace])
+    slots = np.array([slot for _, slot in trace])
+    faults = _net_faults(args)
+    policy = _net_policy(args.policy, args.max_cycles)
+
+    started = perf_counter()
+    batch = run_batch(
+        dense,
+        ids,
+        slots,
+        faults=faults,
+        recovery=policy if faults is not None else None,
+    )
+    seconds = perf_counter() - started
+    walks_per_second = len(batch) / seconds if seconds > 0 else 0.0
+    summary = batch.summarise()
+
+    parity_exact = None
+    if args.check_parity:
+        leaves = program.schedule.tree.data_nodes()
+        records = batch.to_records()
+        if faults is None:
+            scalar = [
+                object_walk(program, leaves[int(d)], int(s))
+                for d, s in zip(ids, slots)
+            ]
+        else:
+            scalar = [
+                recovering_walk(
+                    program, leaves[int(d)], int(s),
+                    faults=faults, policy=policy,
+                )
+                for d, s in zip(ids, slots)
+            ]
+        parity_exact = records == scalar
+
+    abandoned = getattr(summary, "abandoned", 0)
+    print(
+        f"{len(batch)} walks (batch engine): "
+        f"{len(batch) - abandoned} completed, {abandoned} abandoned "
+        f"in {seconds:.4f}s ({walks_per_second:.0f} walks/s)"
+    )
+    print(
+        f"access time  mean {summary.mean_access_time:.3f}   "
+        f"tuning time  mean {summary.mean_tuning_time:.3f}"
+    )
+    if faults is not None:
+        print(
+            f"faults: {summary.lost_buckets} lost, "
+            f"{summary.corrupt_buckets} corrupt, {summary.retries} retries"
+        )
+    if parity_exact is not None:
+        print(
+            "parity vs scalar protocol: "
+            + ("EXACT" if parity_exact else "MISMATCH")
+        )
+    if args.json_path:
+        checks = {}
+        if parity_exact is not None:
+            checks["parity_exact"] = parity_exact
+        record = {
+            "suite": "engine-loadtest",
+            "config": {
+                "items": args.items,
+                "channels": args.channels,
+                "fanout": args.fanout,
+                "planner": args.planner,
+                "tuners": args.tuners,
+                "loss": args.loss,
+                "corruption": args.corruption,
+                "policy": args.policy,
+                "max_cycles": args.max_cycles,
+                "check_parity": args.check_parity,
+                "seed": args.seed,
+            },
+            "result": {
+                "walks": len(batch),
+                "abandoned": abandoned,
+                "seconds": seconds,
+                "walks_per_second": walks_per_second,
+            },
+            "aggregate": {
+                "mean_access_time": summary.mean_access_time,
+                "mean_tuning_time": summary.mean_tuning_time,
+                "walks_per_second": walks_per_second,
+                "checks": checks,
+            },
+        }
+        stamped = stamp_record(
+            record, rev=args.rev, timestamp=args.timestamp
+        )
+        with open(args.json_path, "w") as handle:
+            json.dump(stamped, handle, indent=2)
+            handle.write("\n")
+        print(f"loadtest record written to {args.json_path}")
+    if parity_exact is False:
+        print(
+            "error: batch engine does not reproduce the scalar protocol",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

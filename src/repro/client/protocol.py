@@ -11,12 +11,15 @@ buckets it dozes. To fetch a data item it:
    between reads and switching channels as the pointers dictate;
 3. reads the target data bucket.
 
-:func:`run_request` executes this walk against a compiled
+:func:`object_walk` executes this walk against a compiled
 :class:`~repro.broadcast.pointers.BroadcastProgram` and reports the access
 time (slots elapsed), tuning time (buckets actually read — the energy
 cost) and channel switches. The walk never consults the schedule
 directly — only bucket pointers — so it genuinely validates the pointer
-wiring.
+wiring. :func:`recovering_walk` is the same walk hardened against the
+:mod:`repro.faults` channel model. Most callers should go through the
+unified :func:`repro.client.request` facade rather than calling either
+directly.
 """
 
 from __future__ import annotations
@@ -33,8 +36,8 @@ __all__ = [
     "AccessRecord",
     "RecoveryPolicy",
     "RecoveredAccessRecord",
-    "run_request",
-    "run_request_recovering",
+    "object_walk",
+    "recovering_walk",
 ]
 
 
@@ -70,7 +73,7 @@ class AccessRecord:
     channel_switches: int
 
 
-def run_request(
+def object_walk(
     program: BroadcastProgram,
     target: Node,
     tune_slot: int,
@@ -249,7 +252,7 @@ class RecoveredAccessRecord(AccessRecord):
     """An :class:`AccessRecord` measured over an unreliable channel.
 
     The inherited fields keep their meaning (and are bit-identical to
-    :func:`run_request` when nothing is lost). The extras account for
+    :func:`object_walk` when nothing is lost). The extras account for
     the channel's damage:
 
     ``lost_buckets`` / ``corrupt_buckets`` — reads that aired but never
@@ -270,7 +273,7 @@ class RecoveredAccessRecord(AccessRecord):
     abandoned: bool = False
 
 
-def run_request_recovering(
+def recovering_walk(
     program: BroadcastProgram,
     target: Node,
     tune_slot: int,
@@ -282,7 +285,7 @@ def run_request_recovering(
 ) -> RecoveredAccessRecord:
     """Execute one request over an unreliable channel, recovering on loss.
 
-    The walk is :func:`run_request` hardened against the
+    The walk is :func:`object_walk` hardened against the
     :mod:`repro.faults` channel model: every tuned-to bucket may be lost
     or corrupt (a corrupt frame is detected by the wire checksum, so the
     client treats it as lost); the client then recovers per ``policy``
@@ -291,11 +294,11 @@ def run_request_recovering(
 
     With ``faults`` absent (or a zero-probability config) the walk, and
     every inherited field of the returned record, is **bit-identical**
-    to :func:`run_request` — the differential invariant the test suite
+    to :func:`object_walk` — the differential invariant the test suite
     locks.
 
     ``tracer``/``walk_id`` narrate the walk exactly as in
-    :func:`run_request`, with every failed read carrying its
+    :func:`object_walk`, with every failed read carrying its
     ``outcome`` (``"lost"``/``"corrupt"``) so
     :mod:`repro.obs.attrib` can charge recovery time to the fault.
     """

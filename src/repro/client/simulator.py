@@ -1,6 +1,6 @@
 """Workload-level broadcast simulation.
 
-Drives :func:`repro.client.protocol.run_request` over many requests —
+Drives :func:`repro.client.protocol.object_walk` over many requests —
 targets drawn proportionally to their access weights (the paper's model:
 ``W(D_i)`` *is* the request frequency), tune-in slots uniform over the
 cycle — and aggregates access time, tuning time and channel switches.
@@ -25,8 +25,8 @@ from .protocol import (
     AccessRecord,
     RecoveredAccessRecord,
     RecoveryPolicy,
-    run_request,
-    run_request_recovering,
+    object_walk,
+    recovering_walk,
 )
 
 __all__ = [
@@ -95,7 +95,7 @@ def simulate_workload(
     """Monte-Carlo workload: weighted targets, uniform tune-in slots.
 
     With ``faults`` given, every request runs the recovery-aware walk
-    (:func:`~repro.client.protocol.run_request_recovering`) against that
+    (:func:`~repro.client.protocol.recovering_walk`) against that
     shared channel model — all requests see the same air, as real
     receivers would — and the summary reports the loss/retry/abandon
     tallies. The fault stream is seeded independently of ``rng``, so a
@@ -118,11 +118,11 @@ def simulate_workload(
     for target_index, tune_slot in zip(target_indices, tune_slots):
         if faults is None:
             records.append(
-                run_request(program, targets[target_index], int(tune_slot))
+                object_walk(program, targets[target_index], int(tune_slot))
             )
         else:
             records.append(
-                run_request_recovering(
+                recovering_walk(
                     program,
                     targets[target_index],
                     int(tune_slot),
@@ -178,6 +178,6 @@ def exact_averages(program: BroadcastProgram) -> SimulationSummary:
     weights: list[float] = []
     for target in tree.data_nodes():
         for tune_slot in range(1, cycle + 1):
-            records.append(run_request(program, target, tune_slot))
+            records.append(object_walk(program, target, tune_slot))
             weights.append(target.weight / cycle)
     return SimulationSummary.from_records(records, weights)

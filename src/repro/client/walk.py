@@ -1,9 +1,9 @@
 """The sans-io pointer-walk state machine shared by every receiver.
 
 Three different clients walk the same broadcast: the in-process frame
-client (:func:`repro.io.wire_client.run_request_wire`), the asyncio
+client (:func:`repro.io.wire_client.wire_walk`), the asyncio
 tuner of :mod:`repro.net` listening over real sockets, and — at the
-object level — :func:`repro.client.protocol.run_request`. The first two
+object level — :func:`repro.client.protocol.object_walk`. The first two
 see nothing but decoded frames, so their walk logic (probe channel 1,
 follow the next-cycle pointer to the root, route down the index by key
 comparison, recover from lost or corrupt airings per
@@ -22,7 +22,7 @@ decoded bucket (:meth:`deliver`) or the fact of its loss
 over and :attr:`result` holds the measured :class:`WalkResult`.
 
 The slot accounting mirrors
-:func:`~repro.client.protocol.run_request_recovering` *exactly*: on a
+:func:`~repro.client.protocol.recovering_walk` *exactly*: on a
 lossless channel every inherited number (access time, probe wait, data
 wait, tuning time, channel switches) is bit-identical to the object-level
 walk on the same compiled program — the invariant that lets the

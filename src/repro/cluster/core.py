@@ -38,7 +38,7 @@ import numpy as np
 
 from ..broadcast.pointers import BroadcastProgram
 from ..io.wire import DEFAULT_BUCKET_SIZE, encode_program
-from ..io.wire_client import run_request_wire
+from ..io.wire_client import wire_walk
 from ..obs.attrib import AttributionCollector
 from ..obs.metrics import MetricsRegistry
 from ..perf import PerfRecorder
@@ -297,7 +297,7 @@ class StationCluster:
 
         For each shard a weight-proportional request sample replays
         through the frame-level simulator
-        (:func:`repro.io.wire_client.run_request_wire` — the same walk
+        (:func:`repro.io.wire_client.wire_walk` — the same walk
         the live tuners run), narrated into an
         :class:`~repro.obs.attrib.AttributionCollector`; the shard's
         cost is the collector's mean access time. With a registry
@@ -344,7 +344,7 @@ class StationCluster:
         )
         frames = encode_program(plan.program, self.bucket_size)
         for index, (draw, slot) in enumerate(zip(key_draws, slot_draws)):
-            run_request_wire(
+            wire_walk(
                 frames,
                 plan.keys[int(draw)],
                 int(slot),

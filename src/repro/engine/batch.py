@@ -1,0 +1,237 @@
+"""The batch walk engine: 10⁵–10⁶ client walks as array iterations.
+
+Two regimes, both bit-identical to the scalar walks they replace (the
+differential suite asserts this per walk, not in aggregate):
+
+* **loss-free** — a lossless walk's outcome is a pure function of
+  (target, tune slot): every measured number is a closed-form gather
+  from the dense program's per-target tables. No iteration at all.
+* **faulty** — the recovery walk is a per-walk state machine, so the
+  batch runs it as a masked fixed-point iteration: one tuned-to read
+  per active walk per step, fates gathered from the materialised
+  outcome grid (:func:`repro.engine.masks.materialise_outcomes`), until
+  every walk has finished or abandoned. The "retry-parent" resume stack
+  collapses to a depth counter: when a walk attempts depth ``d``, the
+  successfully-read hops are exactly depths ``0..d-1`` of its path, so
+  popping the stack *is* ``depth - 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..client.protocol import RecoveryPolicy
+from ..faults import FaultConfig, FaultInjector
+from .dense import DenseProgram
+from .masks import FATE_CORRUPT, FATE_LOST, FATE_OK, materialise_outcomes
+from .records import BatchRecords
+
+__all__ = ["run_batch"]
+
+
+def run_batch(
+    dense: DenseProgram,
+    targets,
+    tune_slots,
+    *,
+    faults: FaultInjector | FaultConfig | None = None,
+    recovery: RecoveryPolicy | None = None,
+) -> BatchRecords:
+    """Execute one walk per (target, tune slot) pair, vectorised.
+
+    ``targets`` holds data ids (indices into ``dense.data_labels``;
+    resolve labels with :meth:`DenseProgram.data_index`), ``tune_slots``
+    cycle-relative 1-based slots. With neither ``faults`` nor
+    ``recovery`` the loss-free path runs and the records mirror
+    :func:`~repro.client.protocol.object_walk`; otherwise the recovery
+    path runs under ``recovery`` (default :class:`RecoveryPolicy`) and
+    the records mirror
+    :func:`~repro.client.protocol.recovering_walk` — including
+    abandoned-walk accounting — under the same fault seed.
+    """
+    target_id = np.ascontiguousarray(targets, dtype=np.int64)
+    tune = np.ascontiguousarray(tune_slots, dtype=np.int64)
+    if target_id.shape != tune.shape or target_id.ndim != 1:
+        raise ValueError("targets and tune_slots must be equal-length 1-D")
+    cycle = dense.cycle_length
+    if target_id.size and (
+        target_id.min() < 0 or target_id.max() >= dense.n_data
+    ):
+        raise ValueError(f"target ids must be in 0..{dense.n_data - 1}")
+    if tune.size and (tune.min() < 1 or tune.max() > cycle):
+        raise ValueError(f"tune_slots must be in 1..{cycle}")
+
+    if faults is None and recovery is None:
+        return _run_lossless(dense, target_id, tune)
+    return _run_recovering(dense, target_id, tune, faults, recovery)
+
+
+def _run_lossless(
+    dense: DenseProgram, target_id: np.ndarray, tune: np.ndarray
+) -> BatchRecords:
+    """Closed-form gathers — the scalar walk has no data-dependent loop."""
+    cycle = dense.cycle_length
+    wait_to_cycle_end = cycle - tune + 1
+    data_wait = dense.target_data_wait[target_id]
+    return BatchRecords(
+        labels=dense.data_labels,
+        target_id=target_id,
+        tune_slot=tune,
+        access_time=wait_to_cycle_end + data_wait,
+        probe_wait=wait_to_cycle_end + dense.root_slot,
+        data_wait=data_wait,
+        tuning_time=dense.path_len[target_id].astype(np.int64) + 1,
+        channel_switches=dense.target_switches[target_id],
+    )
+
+
+def _run_recovering(
+    dense: DenseProgram,
+    target_id: np.ndarray,
+    tune: np.ndarray,
+    faults: FaultInjector | FaultConfig | None,
+    recovery: RecoveryPolicy | None,
+) -> BatchRecords:
+    """Masked fixed-point iteration of the recovery state machine.
+
+    Per step each still-active walk performs exactly one tuned-to read,
+    in the same order of operations as the scalar walk: deadline check
+    *before* the read, switch counted before the fate is known, fate
+    then routing. ``absolute`` strictly increases for every active walk
+    every step, so the loop terminates within ``deadline`` steps.
+    """
+    if recovery is None:
+        recovery = RecoveryPolicy()
+    cycle = dense.cycle_length
+    deadline = recovery.max_cycles * cycle
+    retry_parent = recovery.mode == "retry-parent"
+    fate_grid = materialise_outcomes(faults, dense.channels, deadline)
+
+    n = target_id.size
+    pstart = dense.path_start[target_id].astype(np.int64)
+    plen = dense.path_len[target_id].astype(np.int64)
+
+    phase = np.zeros(n, dtype=np.int8)  # 0 probing channel 1, 1 descending
+    absolute = tune.copy()
+    depth = np.zeros(n, dtype=np.int64)
+    cur_ch = np.ones(n, dtype=np.int64)
+    nxt_ch = np.zeros(n, dtype=np.int64)
+    nxt_slot = np.zeros(n, dtype=np.int64)
+    tuning = np.zeros(n, dtype=np.int64)
+    switches = np.zeros(n, dtype=np.int64)
+    lost = np.zeros(n, dtype=np.int64)
+    corrupt = np.zeros(n, dtype=np.int64)
+    retries = np.zeros(n, dtype=np.int64)
+    probe_wait = np.zeros(n, dtype=np.int64)
+    final = np.zeros(n, dtype=np.int64)
+    abandoned = np.zeros(n, dtype=bool)
+    done = np.zeros(n, dtype=bool)
+
+    active = np.flatnonzero(~done)
+    while active.size:
+        # -- give-up bound, checked before any read ------------------------
+        over = active[absolute[active] > deadline]
+        if over.size:
+            done[over] = True
+            abandoned[over] = True
+            final[over] = deadline
+            active = active[absolute[active] <= deadline]
+            if not active.size:
+                break
+
+        probing = active[phase[active] == 0]
+        descending = active[phase[active] == 1]
+
+        # -- phase 1: probe channel 1; any slot serves ---------------------
+        if probing.size:
+            fate = fate_grid[0, absolute[probing] - 1]
+            tuning[probing] += 1
+            ok = probing[fate == FATE_OK]
+            bad = probing[fate != FATE_OK]
+            if ok.size:
+                probe_cycle = (absolute[ok] - 1) // cycle
+                absolute[ok] = (probe_cycle + 1) * cycle + dense.root_slot
+                nxt_ch[ok] = dense.root_channel
+                nxt_slot[ok] = dense.root_slot
+                phase[ok] = 1
+            if bad.size:
+                retries[bad] += 1
+                lost[bad] += fate[fate != FATE_OK] == FATE_LOST
+                corrupt[bad] += fate[fate != FATE_OK] == FATE_CORRUPT
+                absolute[bad] += 1
+
+        # -- phase 2: descend the path, recovering as configured -----------
+        if descending.size:
+            hopped = nxt_ch[descending] != cur_ch[descending]
+            switches[descending] += hopped
+            fate = fate_grid[
+                nxt_ch[descending] - 1, absolute[descending] - 1
+            ]
+            tuning[descending] += 1
+            cur_ch[descending] = nxt_ch[descending]
+            ok = descending[fate == FATE_OK]
+            bad = descending[fate != FATE_OK]
+            if ok.size:
+                first = ok[(depth[ok] == 0) & (probe_wait[ok] == 0)]
+                probe_wait[first] = absolute[first] - tune[first] + 1
+                arrived = depth[ok] == plen[ok] - 1
+                fin = ok[arrived]
+                done[fin] = True
+                final[fin] = absolute[fin]
+                down = ok[~arrived]
+                if down.size:
+                    depth[down] += 1
+                    hop = pstart[down] + depth[down]
+                    nxt_ch[down] = dense.path_channel[hop]
+                    nxt_slot[down] = dense.path_slot[hop]
+                    absolute[down] = _next_airing(
+                        nxt_slot[down], absolute[down], cycle
+                    )
+            if bad.size:
+                retries[bad] += 1
+                lost[bad] += fate[fate != FATE_OK] == FATE_LOST
+                corrupt[bad] += fate[fate != FATE_OK] == FATE_CORRUPT
+                if retry_parent:
+                    # The root has no parent; it recovers next cycle.
+                    rewait = bad[depth[bad] == 0]
+                    parent = bad[depth[bad] > 0]
+                else:
+                    rewait = bad
+                    parent = bad[:0]
+                absolute[rewait] += cycle
+                if parent.size:
+                    depth[parent] -= 1
+                    hop = pstart[parent] + depth[parent]
+                    nxt_ch[parent] = dense.path_channel[hop]
+                    nxt_slot[parent] = dense.path_slot[hop]
+                    absolute[parent] = _next_airing(
+                        nxt_slot[parent], absolute[parent], cycle
+                    )
+
+        active = active[~done[active]]
+
+    wasted = np.where(abandoned, tuning, tuning - (plen + 1))
+    return BatchRecords(
+        labels=dense.data_labels,
+        target_id=target_id,
+        tune_slot=tune,
+        access_time=final - tune + 1,
+        probe_wait=probe_wait,
+        data_wait=final - cycle,
+        tuning_time=tuning,
+        channel_switches=switches,
+        recovered=True,
+        lost_buckets=lost,
+        corrupt_buckets=corrupt,
+        retries=retries,
+        wasted_probes=wasted,
+        cycles_spent=(final - 1) // cycle + 1,
+        abandoned=abandoned,
+    )
+
+
+def _next_airing(slot: np.ndarray, after: np.ndarray, cycle: int) -> np.ndarray:
+    """First absolute time strictly after ``after`` when ``slot`` airs."""
+    airing = after + (slot - after) % cycle
+    airing[airing == after] += cycle
+    return airing

@@ -1,0 +1,133 @@
+"""Columnar access records: the batch engine's measured output.
+
+One :class:`BatchRecords` holds the same numbers ``10⁵`` individual
+:class:`~repro.client.protocol.AccessRecord` objects would — one array
+per field — plus converters back to the object world:
+:meth:`BatchRecords.to_records` materialises the per-walk dataclasses
+(the differential tests compare those field-for-field against the
+scalar walks) and :meth:`BatchRecords.summarise` reproduces
+:func:`repro.client.simulator.summarise_faulty_records` exactly —
+completed-only latency means, fault counters totalled over every walk
+including abandoned ones. All fields are integers well below 2⁵³, so
+the float means agree bit-for-bit with the scalar accumulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..client.protocol import AccessRecord, RecoveredAccessRecord
+from ..client.simulator import SimulationSummary
+
+__all__ = ["BatchRecords"]
+
+
+@dataclass(frozen=True)
+class BatchRecords:
+    """Columnar outcome of one :func:`repro.engine.run_batch` call.
+
+    ``target_id[w]`` indexes the dense program's ``data_labels``;
+    ``labels`` carries that tuple so records resolve names without the
+    program at hand. The fault columns are ``None`` for a lossless run
+    (``recovered`` is then ``False`` and :meth:`to_records` yields plain
+    :class:`AccessRecord` objects, matching the scalar facade).
+    """
+
+    labels: tuple[str, ...]
+    target_id: np.ndarray
+    tune_slot: np.ndarray
+    access_time: np.ndarray
+    probe_wait: np.ndarray
+    data_wait: np.ndarray
+    tuning_time: np.ndarray
+    channel_switches: np.ndarray
+    recovered: bool = False
+    lost_buckets: np.ndarray | None = None
+    corrupt_buckets: np.ndarray | None = None
+    retries: np.ndarray | None = None
+    wasted_probes: np.ndarray | None = None
+    cycles_spent: np.ndarray | None = None
+    abandoned: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.target_id)
+
+    def to_records(self) -> list[AccessRecord]:
+        """Materialise per-walk dataclasses (scalar-facade shapes)."""
+        out: list[AccessRecord] = []
+        for w in range(len(self)):
+            if not self.recovered:
+                out.append(
+                    AccessRecord(
+                        target=self.labels[self.target_id[w]],
+                        tune_slot=int(self.tune_slot[w]),
+                        access_time=int(self.access_time[w]),
+                        probe_wait=int(self.probe_wait[w]),
+                        data_wait=int(self.data_wait[w]),
+                        tuning_time=int(self.tuning_time[w]),
+                        channel_switches=int(self.channel_switches[w]),
+                    )
+                )
+            else:
+                out.append(
+                    RecoveredAccessRecord(
+                        target=self.labels[self.target_id[w]],
+                        tune_slot=int(self.tune_slot[w]),
+                        access_time=int(self.access_time[w]),
+                        probe_wait=int(self.probe_wait[w]),
+                        data_wait=int(self.data_wait[w]),
+                        tuning_time=int(self.tuning_time[w]),
+                        channel_switches=int(self.channel_switches[w]),
+                        lost_buckets=int(self.lost_buckets[w]),
+                        corrupt_buckets=int(self.corrupt_buckets[w]),
+                        retries=int(self.retries[w]),
+                        wasted_probes=int(self.wasted_probes[w]),
+                        cycles_spent=int(self.cycles_spent[w]),
+                        abandoned=bool(self.abandoned[w]),
+                    )
+                )
+        return out
+
+    def summarise(self) -> SimulationSummary:
+        """Aggregate exactly as ``summarise_faulty_records`` would.
+
+        Latency means cover completed walks only; the fault counters
+        total every walk — abandoned ones still burned that energy.
+        Every column is integral, so summing in int64 and dividing by
+        the float count reproduces the scalar float arithmetic
+        bit-for-bit.
+        """
+        if self.recovered and self.abandoned is not None:
+            completed = ~self.abandoned
+        else:
+            completed = np.ones(len(self), dtype=bool)
+        n = int(np.count_nonzero(completed))
+        if n == 0:
+            summary = SimulationSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        else:
+            total = float(n)
+
+            def mean(column: np.ndarray) -> float:
+                return int(column[completed].sum(dtype=np.int64)) / total
+
+            summary = SimulationSummary(
+                requests=n,
+                mean_access_time=mean(self.access_time),
+                mean_probe_wait=mean(self.probe_wait),
+                mean_data_wait=mean(self.data_wait),
+                mean_tuning_time=mean(self.tuning_time),
+                mean_channel_switches=mean(self.channel_switches),
+            )
+        if self.recovered:
+            summary.abandoned = int(np.count_nonzero(self.abandoned))
+            summary.lost_buckets = int(self.lost_buckets.sum(dtype=np.int64))
+            summary.corrupt_buckets = int(
+                self.corrupt_buckets.sum(dtype=np.int64)
+            )
+            summary.retries = int(self.retries.sum(dtype=np.int64))
+            summary.wasted_probes = int(
+                self.wasted_probes.sum(dtype=np.int64)
+            )
+        return summary

@@ -3,7 +3,7 @@
 The paper's analysis assumes every bucket a client tunes to arrives
 intact; a wireless medium does not. This module is the single source of
 truth for *what the channel does to a frame*, shared by the object-level
-recovery walk (:func:`repro.client.protocol.run_request_recovering`),
+recovery walk (:func:`repro.client.protocol.recovering_walk`),
 the serving loop (:class:`repro.server.BroadcastServer`) and the wire
 layer (:mod:`repro.io.wire`):
 

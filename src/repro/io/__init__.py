@@ -25,7 +25,7 @@ from .wire import (
     index_bucket_size,
     max_fanout_for_bucket_size,
 )
-from .wire_client import WireAccessRecord, run_request_wire
+from .wire_client import WireAccessRecord, wire_walk
 
 __all__ = [
     "WIRE_VERSION",
@@ -42,7 +42,7 @@ __all__ = [
     "encode_air_frame",
     "FrameStreamDecoder",
     "WireAccessRecord",
-    "run_request_wire",
+    "wire_walk",
     "PersistenceError",
     "tree_to_dict",
     "tree_from_dict",

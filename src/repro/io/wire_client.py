@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 from .wire import decode_bucket
 
-__all__ = ["WireAccessRecord", "run_request_wire"]
+__all__ = ["WireAccessRecord", "wire_walk"]
 
 
 @dataclass(frozen=True)
@@ -36,7 +36,7 @@ class WireAccessRecord:
     payload: bytes
 
 
-def run_request_wire(
+def wire_walk(
     frames: list[list[bytes]],
     key: str,
     tune_slot: int,

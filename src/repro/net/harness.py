@@ -11,7 +11,7 @@ exactly one walk read; anything else is a transport bug).
 
 The **parity gate** is the harness's correctness anchor: on a zero-loss
 station the socket fleet replays the *identical* request trace through
-the in-process simulator (:func:`repro.client.protocol.run_request`)
+the in-process simulator (:func:`repro.client.protocol.object_walk`)
 and demands bit-equality of every access time and tuning time — the
 network layer may add wall-clock latency, never slot-denominated error.
 ``python -m repro.cli loadtest --check-parity`` (and ``make bench-net``)
@@ -29,11 +29,11 @@ from time import perf_counter
 import numpy as np
 
 from ..broadcast.pointers import BroadcastProgram
-from ..client.protocol import RecoveryPolicy, run_request
+from ..client.protocol import RecoveryPolicy, object_walk
 from ..client.walk import WalkResult
 from ..faults import FaultConfig
 from ..io.wire import DEFAULT_BUCKET_SIZE, encode_program
-from ..io.wire_client import WireAccessRecord, run_request_wire
+from ..io.wire_client import WireAccessRecord, wire_walk
 from ..obs.attrib import AttributionCollector
 from ..obs.events import TeeTracer, Tracer
 from ..obs.metrics import MetricsRegistry, slot_buckets
@@ -109,7 +109,7 @@ def simulator_baseline(
     """Replay ``trace`` through the in-process object-level walk."""
     leaf_of = {leaf.label: leaf for leaf in program.schedule.tree.data_nodes()}
     records = [
-        run_request(program, leaf_of[key], tune_slot)
+        object_walk(program, leaf_of[key], tune_slot)
         for key, tune_slot in trace
     ]
     return {
@@ -149,7 +149,7 @@ def trace_simulator(
     """
     frames = encode_program(program, bucket_size)
     return [
-        run_request_wire(frames, key, tune_slot, tracer=tracer, walk_id=index)
+        wire_walk(frames, key, tune_slot, tracer=tracer, walk_id=index)
         for index, (key, tune_slot) in enumerate(trace)
     ]
 

@@ -1,7 +1,7 @@
 """The asyncio tuner: a mobile client on a real socket.
 
 A :class:`TunerClient` is the live counterpart of
-:func:`repro.io.wire_client.run_request_wire` — the *same*
+:func:`repro.io.wire_client.wire_walk` — the *same*
 :class:`~repro.client.walk.PointerWalk` state machine, driven over a
 TCP connection to a :class:`~repro.net.station.BroadcastStation`
 instead of an in-memory frame grid. For each airing the walk names, the
@@ -18,7 +18,7 @@ nothing); a corrupted airing arrives as damaged bytes whose CRC check
 fails in :func:`~repro.io.wire.decode_bucket` — both feed
 :meth:`PointerWalk.on_loss` and recover per the configured
 :class:`~repro.client.protocol.RecoveryPolicy`, mirroring
-:func:`~repro.client.protocol.run_request_recovering` slot for slot.
+:func:`~repro.client.protocol.recovering_walk` slot for slot.
 """
 
 from __future__ import annotations
@@ -137,7 +137,7 @@ class TunerClient:
         ``tune_slot`` is the cycle-relative slot (1..cycle_length) the
         client tunes into channel 1 — identical semantics (and, at zero
         loss, identical measured numbers) to
-        :func:`repro.client.protocol.run_request` on the same program.
+        :func:`repro.client.protocol.object_walk` on the same program.
         ``walk_id`` stamps the traced events' ``walk`` correlation field
         so a concurrent fleet's interleaved trace stays attributable.
         """

@@ -24,8 +24,8 @@ decomposes **additively and exactly** into five phases,
 
 The decomposition is driven purely by the ``slot_read`` /
 ``walk_finished`` trace vocabulary of :mod:`repro.obs.events`, which
-all three walk paths emit (:func:`~repro.client.protocol.run_request`,
-:func:`~repro.client.protocol.run_request_recovering`, and the
+all three walk paths emit (:func:`~repro.client.protocol.object_walk`,
+:func:`~repro.client.protocol.recovering_walk`, and the
 frame/socket walks driving :class:`~repro.client.walk.PointerWalk`), so
 one attributor serves live JSONL traces, ring buffers, and in-process
 runs alike.

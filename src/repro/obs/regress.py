@@ -158,6 +158,35 @@ METRIC_SPECS: tuple[MetricSpec, ...] = (
         ("aggregate", "speedup_4shards"),
         direction=HIGHER, kind=TIMING,
     ),
+    # engine-batch: slot-denominated means are seed-deterministic
+    # quality; walk throughput and speedups are wall-clock.
+    MetricSpec(
+        "engine-batch", "mean_access_time",
+        ("aggregate", "mean_access_time"),
+    ),
+    MetricSpec(
+        "engine-batch", "mean_tuning_time",
+        ("aggregate", "mean_tuning_time"),
+    ),
+    MetricSpec(
+        "engine-batch", "faulty_mean_access_time",
+        ("aggregate", "faulty_mean_access_time"),
+    ),
+    MetricSpec(
+        "engine-batch", "batch_walks_per_second",
+        ("aggregate", "batch_walks_per_second"),
+        direction=HIGHER, kind=TIMING,
+    ),
+    MetricSpec(
+        "engine-batch", "faulty_walks_per_second",
+        ("aggregate", "faulty_walks_per_second"),
+        direction=HIGHER, kind=TIMING,
+    ),
+    MetricSpec(
+        "engine-batch", "speedup_vs_scalar",
+        ("aggregate", "speedup_vs_scalar"),
+        direction=HIGHER, kind=TIMING,
+    ),
     # server-faults: how gracefully the server degrades, in slots.
     MetricSpec(
         "server-faults", "lossless_mean_access",

@@ -91,22 +91,41 @@ class PlanResult:
     cost: float
     method: str
     stats: dict = field(default_factory=dict)
-    _program = None  # cached pointer compilation (not a dataclass field)
+    # Per-instance compilation caches. These must be real dataclass
+    # fields: a bare class attribute would be shared by every
+    # PlanResult, so the first instance's compiled program could be
+    # served to a different plan whose schedule happened to replace it.
+    _program: object = field(default=None, repr=False, compare=False, init=False)
+    _dense: object = field(default=None, repr=False, compare=False, init=False)
 
-    def compile(self):
-        """The pointer-wired :class:`~repro.broadcast.pointers.BroadcastProgram`.
+    def compile(self, level: str = "program"):
+        """The compiled form of the plan, cached per instance.
 
-        Every consumer that *executes* a plan — the client simulator,
-        the serving loop, the :mod:`repro.net` station — needs the
-        compiled bucket grid, not the bare schedule; this caches the
-        compilation so planning layers can hand a ``PlanResult``
-        straight to any of them.
+        ``level="program"`` (default) returns the pointer-wired
+        :class:`~repro.broadcast.pointers.BroadcastProgram` — what every
+        consumer that *executes* a plan needs (the client simulator, the
+        serving loop, the :mod:`repro.net` station). ``level="dense"``
+        returns the flat-array :class:`~repro.engine.DenseProgram` the
+        batch engine runs. Both caches are keyed to the current
+        ``schedule`` by identity: replacing the schedule invalidates
+        them, and the dense level is rebuilt whenever the program is.
         """
         from .broadcast.pointers import compile_program
 
         if self._program is None or self._program.schedule is not self.schedule:
             self._program = compile_program(self.schedule)
-        return self._program
+            self._dense = None  # derived from the program just replaced
+        if level == "program":
+            return self._program
+        if level == "dense":
+            if self._dense is None:
+                from .engine.dense import compile_dense
+
+                self._dense = compile_dense(self._program)
+            return self._dense
+        raise ValueError(
+            f"unknown compile level {level!r}; expected 'program' or 'dense'"
+        )
 
 
 @runtime_checkable

@@ -7,7 +7,7 @@ epoch granularity, this module runs the whole stack as an event loop:
   "aired";
 * client requests arrive as a Poisson process, each tuning in at a
   uniform slot and walking the pointers
-  (:func:`repro.client.protocol.run_request`) — so the measured numbers
+  (:func:`repro.client.protocol.object_walk`) — so the measured numbers
   are protocol-level, not formula-level;
 * every observation feeds the decayed popularity estimator, and every
   ``replan_every`` cycles the server rebuilds the index tree and the
@@ -32,8 +32,8 @@ from ..broadcast.pointers import compile_program
 from ..client.protocol import (
     AccessRecord,
     RecoveryPolicy,
-    run_request,
-    run_request_recovering,
+    object_walk,
+    recovering_walk,
 )
 from ..faults import FaultConfig, FaultInjector
 from ..obs.attrib import AttributionCollector
@@ -273,7 +273,7 @@ class BroadcastServer:
                 else:
                     walk_id = None
                 if air is None:
-                    record: AccessRecord = run_request(
+                    record: AccessRecord = object_walk(
                         program,
                         leaf_of[item],
                         int(tune_slot),
@@ -281,7 +281,7 @@ class BroadcastServer:
                         walk_id=walk_id,
                     )
                 else:
-                    record = run_request_recovering(
+                    record = recovering_walk(
                         program,
                         leaf_of[item],
                         int(tune_slot),

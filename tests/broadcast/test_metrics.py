@@ -80,12 +80,12 @@ class TestTuningTimeReconciliation:
     @staticmethod
     def _measured_mean_tuning(schedule):
         from repro.broadcast.pointers import compile_program
-        from repro.client.protocol import run_request
+        from repro.client.protocol import object_walk
 
         program = compile_program(schedule)
         total = weighted = 0.0
         for leaf in schedule.tree.data_nodes():
-            record = run_request(program, leaf, tune_slot=1)
+            record = object_walk(program, leaf, tune_slot=1)
             total += leaf.weight
             weighted += leaf.weight * record.tuning_time
         return weighted / total
@@ -110,13 +110,13 @@ class TestTuningTimeReconciliation:
 
     def test_tuning_independent_of_tune_slot(self, fig1_tree):
         from repro.broadcast.pointers import compile_program
-        from repro.client.protocol import run_request
+        from repro.client.protocol import object_walk
 
         schedule = solve(fig1_tree, channels=2).schedule
         program = compile_program(schedule)
         leaf = schedule.tree.find("C")
         counts = {
-            run_request(program, leaf, tune_slot=slot).tuning_time
+            object_walk(program, leaf, tune_slot=slot).tuning_time
             for slot in range(1, program.cycle_length + 1)
         }
         assert len(counts) == 1

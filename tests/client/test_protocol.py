@@ -6,7 +6,7 @@ import pytest
 
 from repro.broadcast.pointers import compile_program
 from repro.broadcast.schedule import BroadcastSchedule
-from repro.client.protocol import run_request
+from repro.client.protocol import object_walk
 from repro.core.optimal import solve
 
 
@@ -25,31 +25,31 @@ class TestSingleChannelWalk:
     def test_data_wait_equals_schedule_slot(self, fig1_tree, program_1ch):
         for label in "ABECD":
             target = fig1_tree.find(label)
-            record = run_request(program_1ch, target, tune_slot=1)
+            record = object_walk(program_1ch, target, tune_slot=1)
             assert record.data_wait == program_1ch.schedule.slot_of(target)
 
     def test_access_time_accounting(self, fig1_tree, program_1ch):
         # L = 9; tuning in at slot 4 for A (slot 3 next cycle):
         # (9 - 4 + 1) + 3 = 9 slots.
-        record = run_request(program_1ch, fig1_tree.find("A"), tune_slot=4)
+        record = object_walk(program_1ch, fig1_tree.find("A"), tune_slot=4)
         assert record.access_time == 9
 
     def test_probe_wait_accounting(self, fig1_tree, program_1ch):
         # Probe = (L - t + 1) + root_slot = (9 - 4 + 1) + 1 = 7.
-        record = run_request(program_1ch, fig1_tree.find("A"), tune_slot=4)
+        record = object_walk(program_1ch, fig1_tree.find("A"), tune_slot=4)
         assert record.probe_wait == 7
 
     def test_tuning_time_is_path_length_plus_probe(self, fig1_tree, program_1ch):
         # C at depth 4: probe bucket + 1,3,4 + C = 5 reads.
-        record = run_request(program_1ch, fig1_tree.find("C"), tune_slot=2)
+        record = object_walk(program_1ch, fig1_tree.find("C"), tune_slot=2)
         assert record.tuning_time == 5
         # A at depth 3: probe + 1,2 + A = 4 reads.
-        record = run_request(program_1ch, fig1_tree.find("A"), tune_slot=2)
+        record = object_walk(program_1ch, fig1_tree.find("A"), tune_slot=2)
         assert record.tuning_time == 4
 
     def test_no_switches_on_one_channel(self, fig1_tree, program_1ch):
         for label in "ABECD":
-            record = run_request(
+            record = object_walk(
                 program_1ch, fig1_tree.find(label), tune_slot=3
             )
             assert record.channel_switches == 0
@@ -61,7 +61,7 @@ class TestMultiChannelWalk:
         for label in "ABECD":
             target = fig1_tree.find(label)
             for tune_slot in range(1, cycle + 1):
-                record = run_request(program_2ch, target, tune_slot)
+                record = object_walk(program_2ch, target, tune_slot)
                 assert record.data_wait == program_2ch.schedule.slot_of(target)
                 assert record.target == label
 
@@ -74,17 +74,17 @@ class TestMultiChannelWalk:
             for earlier, later in zip(path, path[1:])
             if schedule.channel_of(earlier) != schedule.channel_of(later)
         )
-        record = run_request(program_2ch, target, tune_slot=1)
+        record = object_walk(program_2ch, target, tune_slot=1)
         assert record.channel_switches == expected
 
 
 class TestValidation:
     def test_index_target_rejected(self, fig1_tree, program_1ch):
         with pytest.raises(ValueError, match="data nodes"):
-            run_request(program_1ch, fig1_tree.find("2"), tune_slot=1)
+            object_walk(program_1ch, fig1_tree.find("2"), tune_slot=1)
 
     def test_tune_slot_bounds(self, fig1_tree, program_1ch):
         with pytest.raises(ValueError, match="tune_slot"):
-            run_request(program_1ch, fig1_tree.find("A"), tune_slot=0)
+            object_walk(program_1ch, fig1_tree.find("A"), tune_slot=0)
         with pytest.raises(ValueError, match="tune_slot"):
-            run_request(program_1ch, fig1_tree.find("A"), tune_slot=99)
+            object_walk(program_1ch, fig1_tree.find("A"), tune_slot=99)

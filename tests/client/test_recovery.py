@@ -1,7 +1,7 @@
 """Tests for the recovery-aware client walk and its differential invariant.
 
 The anchor is the property test: at zero loss probability,
-:func:`run_request_recovering` must reproduce :func:`run_request`
+:func:`recovering_walk` must reproduce :func:`object_walk`
 **bit-identically** — every inherited field, for every (target, tune
 slot) pair, over hypothesis-generated allocation instances. Everything
 the robustness layer reports (loss/retry/abandon accounting) is only
@@ -19,8 +19,8 @@ from repro.broadcast.pointers import compile_program
 from repro.client.protocol import (
     RecoveredAccessRecord,
     RecoveryPolicy,
-    run_request,
-    run_request_recovering,
+    object_walk,
+    recovering_walk,
 )
 from repro.client.simulator import (
     simulate_workload,
@@ -76,8 +76,8 @@ class TestLosslessDifferential:
         lossless_air = FaultConfig(loss=0.0, seed=seed)
         for target in program.schedule.tree.data_nodes():
             for tune_slot in range(1, program.cycle_length + 1):
-                base = run_request(program, target, tune_slot)
-                recovered = run_request_recovering(
+                base = object_walk(program, target, tune_slot)
+                recovered = recovering_walk(
                     program,
                     target,
                     tune_slot,
@@ -99,8 +99,8 @@ class TestLosslessDifferential:
 
     def test_no_faults_argument_is_also_lossless(self, fig1_program):
         for target in fig1_program.schedule.tree.data_nodes():
-            base = run_request(fig1_program, target, 3)
-            recovered = run_request_recovering(fig1_program, target, 3)
+            base = object_walk(fig1_program, target, 3)
+            recovered = recovering_walk(fig1_program, target, 3)
             assert recovered.access_time == base.access_time
             assert recovered.tuning_time == base.tuning_time
 
@@ -110,8 +110,8 @@ class TestLossyWalks:
         faults = FaultInjector(FaultConfig(loss=0.3, corruption=0.05, seed=5))
         for target in fig1_program.schedule.tree.data_nodes():
             for tune_slot in range(1, fig1_program.cycle_length + 1):
-                base = run_request(fig1_program, target, tune_slot)
-                recovered = run_request_recovering(
+                base = object_walk(fig1_program, target, tune_slot)
+                recovered = recovering_walk(
                     fig1_program, target, tune_slot, faults=faults
                 )
                 if recovered.abandoned:
@@ -122,13 +122,13 @@ class TestLossyWalks:
     def test_wasted_probes_measure_the_overhead(self, fig1_program):
         faults = FaultInjector(FaultConfig(loss=0.4, seed=11))
         path_cost = {
-            target.label: run_request(fig1_program, target, 1).tuning_time
+            target.label: object_walk(fig1_program, target, 1).tuning_time
             for target in fig1_program.schedule.tree.data_nodes()
         }
         seen_overhead = False
         for target in fig1_program.schedule.tree.data_nodes():
             for tune_slot in range(1, fig1_program.cycle_length + 1):
-                record = run_request_recovering(
+                record = recovering_walk(
                     fig1_program, target, tune_slot, faults=faults
                 )
                 if record.abandoned:
@@ -143,7 +143,7 @@ class TestLossyWalks:
         policy = RecoveryPolicy(max_cycles=3)
         faults = FaultInjector(FaultConfig(loss=1.0, seed=2))
         target = fig1_program.schedule.tree.data_nodes()[0]
-        record = run_request_recovering(
+        record = recovering_walk(
             fig1_program, target, 2, faults=faults, policy=policy
         )
         assert record.abandoned
@@ -155,10 +155,10 @@ class TestLossyWalks:
     def test_same_injector_same_records(self, fig1_program):
         target = fig1_program.schedule.tree.data_nodes()[1]
         config = FaultConfig(loss=0.3, seed=9)
-        one = run_request_recovering(
+        one = recovering_walk(
             fig1_program, target, 4, faults=FaultInjector(config)
         )
-        two = run_request_recovering(
+        two = recovering_walk(
             fig1_program, target, 4, faults=FaultInjector(config)
         )
         assert one == two
@@ -170,7 +170,7 @@ class TestLossyWalks:
             faults = FaultInjector(config)
             completed = 0
             for target in program.schedule.tree.data_nodes():
-                record = run_request_recovering(
+                record = recovering_walk(
                     program,
                     target,
                     1,

@@ -96,10 +96,10 @@ class TestSummary:
         assert summary.mean_access_time == 0.0
 
     def test_weighted_aggregation(self, fig1_tree, program):
-        from repro.client.protocol import run_request
+        from repro.client.protocol import object_walk
 
-        a = run_request(program, fig1_tree.find("A"), 1)
-        c = run_request(program, fig1_tree.find("C"), 1)
+        a = object_walk(program, fig1_tree.find("A"), 1)
+        c = object_walk(program, fig1_tree.find("C"), 1)
         summary = SimulationSummary.from_records([a, c], weights=[3.0, 1.0])
         expected = (a.access_time * 3 + c.access_time) / 4
         assert summary.mean_access_time == pytest.approx(expected)

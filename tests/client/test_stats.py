@@ -71,7 +71,7 @@ class TestAccessDistribution:
     def test_matches_monte_carlo_tail(self, program):
         """Sampled p95 lands on (or next to) the exact p95."""
         from repro.client.simulator import simulate_workload
-        from repro.client.protocol import run_request
+        from repro.client.protocol import object_walk
 
         distribution = access_time_distribution(program)
         rng = np.random.default_rng(11)
@@ -83,6 +83,6 @@ class TestAccessDistribution:
         for _ in range(4000):
             target = targets[rng.choice(len(targets), p=probabilities)]
             tune = int(rng.integers(1, program.cycle_length + 1))
-            samples.append(run_request(program, target, tune).access_time)
+            samples.append(object_walk(program, target, tune).access_time)
         sampled_p95 = float(np.percentile(samples, 95))
         assert abs(sampled_p95 - distribution.percentile(95)) <= 1.0

@@ -1,8 +1,8 @@
 """Unit tests for the sans-io pointer-walk state machine.
 
 The machine's contract is exact agreement with the object-level
-protocol (:func:`repro.client.protocol.run_request` /
-``run_request_recovering``) when driven over the frame grid of the same
+protocol (:func:`repro.client.protocol.object_walk` /
+``recovering_walk``) when driven over the frame grid of the same
 compiled program — plus hard errors on every malformed input a real
 frame stream could present.
 """
@@ -13,8 +13,8 @@ import pytest
 
 from repro.client.protocol import (
     RecoveryPolicy,
-    run_request,
-    run_request_recovering,
+    object_walk,
+    recovering_walk,
 )
 from repro.client.walk import Listen, LookupFailed, PointerWalk
 from repro.exceptions import ReproError
@@ -61,11 +61,11 @@ def drive(program, frames, key, tune_slot, *, injector=None, policy=None):
 
 
 class TestLosslessParity:
-    def test_every_key_and_slot_matches_run_request(self, program):
+    def test_every_key_and_slot_matches_object_walk(self, program):
         frames = encode_program(program)
         for leaf in program.schedule.tree.data_nodes():
             for tune_slot in range(1, program.cycle_length + 1):
-                expected = run_request(program, leaf, tune_slot)
+                expected = object_walk(program, leaf, tune_slot)
                 got = drive(program, frames, leaf.label, tune_slot)
                 assert got.access_time == expected.access_time
                 assert got.probe_wait == expected.probe_wait
@@ -82,7 +82,7 @@ class TestLosslessParity:
 
 class TestLossyParity:
     @pytest.mark.parametrize("mode", ["retry-parent", "next-cycle"])
-    def test_matches_run_request_recovering(self, program, mode):
+    def test_matches_recovering_walk(self, program, mode):
         frames = encode_program(program)
         injector = FaultInjector(
             FaultConfig(loss=0.2, corruption=0.05, seed=42)
@@ -90,7 +90,7 @@ class TestLossyParity:
         policy = RecoveryPolicy(mode=mode, max_cycles=6)
         for leaf in program.schedule.tree.data_nodes():
             for tune_slot in range(1, program.cycle_length + 1):
-                expected = run_request_recovering(
+                expected = recovering_walk(
                     program, leaf, tune_slot, faults=injector, policy=policy
                 )
                 got = drive(

@@ -1,0 +1,168 @@
+"""The batch walk engine: validation, parity, and summaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.broadcast.pointers import compile_program
+from repro.client.protocol import (
+    RecoveryPolicy,
+    object_walk,
+    recovering_walk,
+)
+from repro.client.simulator import summarise_faulty_records
+from repro.core.optimal import solve
+from repro.engine import BatchRecords, compile_dense, run_batch
+from repro.faults import BurstConfig, FaultConfig
+from repro.tree.builders import paper_example_tree
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_program(solve(paper_example_tree(), channels=2).schedule)
+
+
+@pytest.fixture(scope="module")
+def dense(program):
+    return compile_dense(program)
+
+
+class TestValidation:
+    def test_shape_mismatch_raises(self, dense):
+        with pytest.raises(ValueError, match="equal-length"):
+            run_batch(dense, [0, 1], [1])
+        with pytest.raises(ValueError, match="equal-length"):
+            run_batch(dense, [[0]], [[1]])
+
+    def test_out_of_range_targets_raise(self, dense):
+        with pytest.raises(ValueError, match="target ids"):
+            run_batch(dense, [dense.n_data], [1])
+        with pytest.raises(ValueError, match="target ids"):
+            run_batch(dense, [-1], [1])
+
+    def test_out_of_range_tune_slots_raise(self, dense):
+        with pytest.raises(ValueError, match="tune_slots"):
+            run_batch(dense, [0], [0])
+        with pytest.raises(ValueError, match="tune_slots"):
+            run_batch(dense, [0], [dense.cycle_length + 1])
+
+
+class TestLossFree:
+    def test_every_target_and_slot_matches_object_walk(
+        self, program, dense
+    ):
+        leaves = program.schedule.tree.data_nodes()
+        ids, slots = [], []
+        for d in range(dense.n_data):
+            for s in range(1, dense.cycle_length + 1):
+                ids.append(d)
+                slots.append(s)
+        records = run_batch(dense, ids, slots).to_records()
+        scalar = [
+            object_walk(program, leaves[d], s) for d, s in zip(ids, slots)
+        ]
+        assert records == scalar
+
+    def test_summarise_matches_from_records(self, program, dense):
+        from repro.client.simulator import SimulationSummary
+
+        ids = np.arange(dense.n_data)
+        slots = np.ones(dense.n_data, dtype=int)
+        batch = run_batch(dense, ids, slots)
+        assert batch.summarise() == SimulationSummary.from_records(
+            batch.to_records()
+        )
+
+    def test_empty_batch_summarises_to_zeros(self, dense):
+        batch = run_batch(dense, [], [])
+        assert len(batch) == 0
+        assert batch.to_records() == []
+        summary = batch.summarise()
+        assert summary.requests == 0
+        assert summary.mean_access_time == 0.0
+
+
+class TestRecovering:
+    @pytest.mark.parametrize("mode", ["retry-parent", "next-cycle"])
+    def test_matches_recovering_walk_per_walk(self, program, dense, mode):
+        faults = FaultConfig(loss=0.2, corruption=0.05, seed=13)
+        policy = RecoveryPolicy(mode=mode, max_cycles=4)
+        leaves = program.schedule.tree.data_nodes()
+        rng = np.random.default_rng(4)
+        ids = rng.integers(0, dense.n_data, size=200)
+        slots = rng.integers(1, dense.cycle_length + 1, size=200)
+        batch = run_batch(dense, ids, slots, faults=faults, recovery=policy)
+        records = batch.to_records()
+        scalar = [
+            recovering_walk(
+                program, leaves[int(d)], int(s), faults=faults, policy=policy
+            )
+            for d, s in zip(ids, slots)
+        ]
+        assert records == scalar
+        assert batch.summarise() == summarise_faulty_records(scalar)
+
+    def test_burst_faults_match_too(self, program, dense):
+        faults = FaultConfig(
+            loss=0.1, corruption=0.02, burst=BurstConfig(), seed=21
+        )
+        policy = RecoveryPolicy()
+        leaves = program.schedule.tree.data_nodes()
+        rng = np.random.default_rng(9)
+        ids = rng.integers(0, dense.n_data, size=100)
+        slots = rng.integers(1, dense.cycle_length + 1, size=100)
+        records = run_batch(
+            dense, ids, slots, faults=faults, recovery=policy
+        ).to_records()
+        scalar = [
+            recovering_walk(
+                program, leaves[int(d)], int(s), faults=faults, policy=policy
+            )
+            for d, s in zip(ids, slots)
+        ]
+        assert records == scalar
+
+    def test_recovery_without_faults_matches_lossless_walk(
+        self, program, dense
+    ):
+        # recovery= alone runs the recovering state machine on perfect
+        # air — same invariant the scalar differential gate locks.
+        leaves = program.schedule.tree.data_nodes()
+        batch = run_batch(
+            dense, [0, 1], [1, 2], recovery=RecoveryPolicy()
+        )
+        for record, (d, s) in zip(batch.to_records(), [(0, 1), (1, 2)]):
+            lossless = object_walk(program, leaves[d], s)
+            assert record.access_time == lossless.access_time
+            assert record.tuning_time == lossless.tuning_time
+            assert record.probe_wait == lossless.probe_wait
+            assert record.data_wait == lossless.data_wait
+        assert batch.summarise().abandoned == 0
+
+    def test_abandoned_walks_account_like_the_scalar_summary(
+        self, program, dense
+    ):
+        faults = FaultConfig(loss=0.45, seed=3)
+        policy = RecoveryPolicy(max_cycles=2)
+        leaves = program.schedule.tree.data_nodes()
+        rng = np.random.default_rng(8)
+        ids = rng.integers(0, dense.n_data, size=300)
+        slots = rng.integers(1, dense.cycle_length + 1, size=300)
+        batch = run_batch(dense, ids, slots, faults=faults, recovery=policy)
+        scalar = [
+            recovering_walk(
+                program, leaves[int(d)], int(s), faults=faults, policy=policy
+            )
+            for d, s in zip(ids, slots)
+        ]
+        assert batch.summarise() == summarise_faulty_records(scalar)
+        assert batch.summarise().abandoned > 0  # the scenario bites
+
+
+class TestBatchRecords:
+    def test_len_and_labels(self, dense):
+        batch = run_batch(dense, [0, 0, 1], [1, 2, 3])
+        assert len(batch) == 3
+        assert isinstance(batch, BatchRecords)
+        assert batch.labels == dense.data_labels

@@ -6,10 +6,10 @@ import numpy as np
 import pytest
 
 from repro.broadcast.pointers import compile_program
-from repro.client.protocol import run_request
+from repro.client.protocol import object_walk
 from repro.core.optimal import solve
 from repro.io.wire import WireFormatError, encode_program
-from repro.io.wire_client import run_request_wire
+from repro.io.wire_client import wire_walk
 from repro.tree.alphabetic import optimal_alphabetic_tree
 from repro.workloads.catalogs import stock_catalog
 
@@ -35,8 +35,8 @@ class TestAgreementWithObjectProtocol:
         cycle = program.cycle_length
         for leaf in tree.data_nodes():
             for tune_slot in range(1, cycle + 1):
-                wire = run_request_wire(frames, leaf.label, tune_slot)
-                obj = run_request(program, leaf, tune_slot)
+                wire = wire_walk(frames, leaf.label, tune_slot)
+                obj = object_walk(program, leaf, tune_slot)
                 assert wire.access_time == obj.access_time
                 assert wire.data_wait == obj.data_wait
                 assert wire.tuning_time == obj.tuning_time
@@ -45,7 +45,7 @@ class TestAgreementWithObjectProtocol:
     def test_payload_delivered(self, alphabetic_setup):
         tree, _, frames = alphabetic_setup
         leaf = tree.data_nodes()[0]
-        record = run_request_wire(frames, leaf.label, 1)
+        record = wire_walk(frames, leaf.label, 1)
         assert record.payload == f"item:{leaf.label}".encode()
 
     def test_single_channel_program(self):
@@ -59,7 +59,7 @@ class TestAgreementWithObjectProtocol:
         program = compile_program(solve(tree, channels=1).schedule)
         frames = encode_program(program)
         for leaf in tree.data_nodes():
-            record = run_request_wire(frames, leaf.label, 2)
+            record = wire_walk(frames, leaf.label, 2)
             assert record.channel_switches == 0
             assert record.data_wait == program.schedule.slot_of(leaf)
 
@@ -68,14 +68,14 @@ class TestFailureModes:
     def test_tune_slot_bounds(self, alphabetic_setup):
         _, _, frames = alphabetic_setup
         with pytest.raises(ValueError):
-            run_request_wire(frames, "AAPL", 0)
+            wire_walk(frames, "AAPL", 0)
 
     def test_missing_key_detected(self, alphabetic_setup):
         from repro.exceptions import ReproError
 
         _, _, frames = alphabetic_setup
         with pytest.raises(ReproError):
-            run_request_wire(frames, "ZZZZ", 1)
+            wire_walk(frames, "ZZZZ", 1)
 
     def test_corrupted_root_frame_detected(self, alphabetic_setup):
         tree, program, frames = alphabetic_setup
@@ -85,7 +85,7 @@ class TestFailureModes:
         corrupted[0] = 7  # invalid type byte
         frames[root_channel - 1][root_slot - 1] = bytes(corrupted)
         with pytest.raises(WireFormatError):
-            run_request_wire(frames, tree.data_nodes()[0].label, 1)
+            wire_walk(frames, tree.data_nodes()[0].label, 1)
 
     def test_zeroed_channel1_frame_detected(self, alphabetic_setup):
         _, program, frames = alphabetic_setup
@@ -93,4 +93,4 @@ class TestFailureModes:
         size = len(frames[0][0])
         frames[0][2] = b"\x00" * size  # empty frame with no next pointer
         with pytest.raises(WireFormatError, match="next-cycle"):
-            run_request_wire(frames, "AAPL", 3)
+            wire_walk(frames, "AAPL", 3)

@@ -8,7 +8,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.client.protocol import RecoveryPolicy, run_request_recovering
+from repro.client.protocol import RecoveryPolicy, recovering_walk
 from repro.faults import FaultConfig, FaultInjector
 from repro.net import (
     build_demo_program,
@@ -97,7 +97,7 @@ class TestLossyFleet:
         }
         injector = FaultInjector(faults)
         baseline = [
-            run_request_recovering(
+            recovering_walk(
                 program, leaf_of[key], slot, faults=injector, policy=policy
             )
             for key, slot in trace

@@ -7,7 +7,7 @@ import json
 
 import pytest
 
-from repro.client.protocol import RecoveryPolicy, run_request
+from repro.client.protocol import RecoveryPolicy, object_walk
 from repro.faults import FaultConfig
 from repro.io.wire import AirFrame, encode_air_frame
 from repro.net import BroadcastStation, TunerClient, build_demo_program
@@ -24,7 +24,7 @@ def run(coro):
 
 
 class TestFetch:
-    def test_fetch_matches_run_request(self, program):
+    def test_fetch_matches_object_walk(self, program):
         leaf_of = {
             leaf.label: leaf for leaf in program.schedule.tree.data_nodes()
         }
@@ -39,7 +39,7 @@ class TestFetch:
             return results
 
         for key, result in run(scenario()).items():
-            expected = run_request(program, leaf_of[key], 2)
+            expected = object_walk(program, leaf_of[key], 2)
             assert result.access_time == expected.access_time
             assert result.tuning_time == expected.tuning_time
             assert result.channel_switches == expected.channel_switches

@@ -18,13 +18,13 @@ import pytest
 from repro.broadcast.pointers import compile_program
 from repro.client.protocol import (
     RecoveryPolicy,
-    run_request,
-    run_request_recovering,
+    object_walk,
+    recovering_walk,
 )
 from repro.faults import BurstConfig, FaultConfig
 from repro.heuristics.channel_allocation import sorting_schedule
 from repro.io.wire import encode_program
-from repro.io.wire_client import run_request_wire
+from repro.io.wire_client import wire_walk
 from repro.obs.attrib import (
     PHASES,
     AttributionBuilder,
@@ -58,7 +58,7 @@ class TestLosslessExactness:
         for target in program.schedule.tree.data_nodes():
             for tune_slot in range(1, program.cycle_length + 1):
                 ring = RingBufferTracer()
-                record = run_request(
+                record = object_walk(
                     program, target, tune_slot, tracer=ring, walk_id=7
                 )
                 (attribution,) = _attribute_ring(ring)
@@ -76,7 +76,7 @@ class TestLosslessExactness:
         frames = encode_program(program, 64)
         for index, target in enumerate(program.schedule.tree.data_nodes()):
             ring = RingBufferTracer()
-            record = run_request_wire(
+            record = wire_walk(
                 frames, target.label, 3, tracer=ring, walk_id=index
             )
             (attribution,) = _attribute_ring(ring)
@@ -100,7 +100,7 @@ class TestFaultyExactness:
         for target in program.schedule.tree.data_nodes():
             for tune_slot in (1, 3, program.cycle_length):
                 ring = RingBufferTracer()
-                record = run_request_recovering(
+                record = recovering_walk(
                     program,
                     target,
                     tune_slot,
@@ -123,7 +123,7 @@ class TestFaultyExactness:
         for target in program.schedule.tree.data_nodes():
             for tune_slot in (1, 2, 5):
                 ring = RingBufferTracer()
-                record = run_request_recovering(
+                record = recovering_walk(
                     program,
                     target,
                     tune_slot,
@@ -247,9 +247,9 @@ class TestCollector:
     def _walk_events(self, ring, program, faults=None):
         for index, target in enumerate(program.schedule.tree.data_nodes()):
             if faults is None:
-                run_request(program, target, 1, tracer=ring, walk_id=index)
+                object_walk(program, target, 1, tracer=ring, walk_id=index)
             else:
-                run_request_recovering(
+                recovering_walk(
                     program, target, 1, faults=faults,
                     tracer=ring, walk_id=index,
                 )
@@ -302,7 +302,7 @@ class TestAttribCli:
             for index, target in enumerate(
                 program.schedule.tree.data_nodes()
             ):
-                run_request(
+                object_walk(
                     program, target, 1, tracer=tracer, walk_id=index
                 )
         return str(path)
@@ -355,7 +355,7 @@ class TestFormatting:
         program = _program(27)
         collector = AttributionCollector()
         for index, target in enumerate(program.schedule.tree.data_nodes()):
-            run_request(program, target, 1, tracer=collector, walk_id=index)
+            object_walk(program, target, 1, tracer=collector, walk_id=index)
         report = format_attribution(collector.walks, slowest=3)
         for phase in PHASES:
             assert phase in report

@@ -21,7 +21,7 @@ import pytest
 from repro.core.problem import AllocationProblem
 from repro.core.search import best_first_search, dfs_branch_and_bound
 from repro.io.wire import encode_program
-from repro.io.wire_client import run_request_wire
+from repro.io.wire_client import wire_walk
 from repro.net import build_demo_program, make_request_trace, run_loadtest
 from repro.obs.events import NULL_TRACER, RingBufferTracer, SearchProgress
 from repro.tree.builders import random_tree
@@ -159,8 +159,8 @@ class TestWalkDifferential:
         for key, tune_slot in make_request_trace(
             program, 10, np.random.default_rng(3)
         ):
-            bare = run_request_wire(frames, key, tune_slot)
-            seen = run_request_wire(
+            bare = wire_walk(frames, key, tune_slot)
+            seen = wire_walk(
                 frames, key, tune_slot, tracer=RingBufferTracer()
             )
             assert bare == seen

@@ -147,6 +147,76 @@ class TestNetCommands:
         ) == 2
         assert "lossless air" in capsys.readouterr().err
 
+    def test_loadtest_batch_engine_parity(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "BENCH_engine_loadtest.json"
+        assert main(
+            [
+                "loadtest",
+                "--engine", "batch",
+                "--tuners", "80",
+                "--items", "10",
+                "--channels", "2",
+                "--check-parity",
+                "--json", str(path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "batch engine" in out
+        assert "parity vs scalar protocol: EXACT" in out
+        record = json.loads(path.read_text())
+        assert record["suite"] == "engine-loadtest"
+        assert record["aggregate"]["checks"] == {"parity_exact": True}
+
+    def test_loadtest_batch_engine_parity_under_faults(self, capsys):
+        assert main(
+            [
+                "loadtest",
+                "--engine", "batch",
+                "--tuners", "60",
+                "--items", "10",
+                "--channels", "2",
+                "--loss", "0.2",
+                "--corruption", "0.05",
+                "--check-parity",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "faults:" in out
+        assert "parity vs scalar protocol: EXACT" in out
+
+
+class TestEngineCommands:
+    def test_engine_bench_writes_record_and_passes_gates(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        path = tmp_path / "BENCH_engine.json"
+        assert main(
+            [
+                "engine", "bench",
+                "--items", "12",
+                "--walks", "4000",
+                "--sample", "300",
+                "--repeats", "1",
+                "--json", str(path),
+                "--rev", "testrev",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "differential_exact=True" in out
+        assert "differential_faulty_exact=True" in out
+        record = json.loads(path.read_text())
+        assert record["suite"] == "engine-batch"
+        assert record["rev"] == "testrev"
+        assert record["aggregate"]["checks"]["differential_exact"] is True
+
+    def test_engine_bench_rejects_bad_walks(self, capsys):
+        assert main(["engine", "bench", "--walks", "0"]) == 2
+        assert "--walks" in capsys.readouterr().err
+
     def test_serve_and_tune_then_sigint_exits_cleanly(self, tmp_path):
         """The serve command airs for real, answers a live tune, and a
         Ctrl-C (SIGINT) shuts it down with exit code 0 and flushed stats.

@@ -17,7 +17,7 @@ from repro.broadcast.pointers import compile_program
 from repro.client.stats import access_time_distribution
 from repro.io.json_io import load_schedule, save_schedule
 from repro.io.wire import encode_program
-from repro.io.wire_client import run_request_wire
+from repro.io.wire_client import wire_walk
 from repro.online.adaptive import AdaptiveBroadcaster
 
 
@@ -61,7 +61,7 @@ class TestFullStack:
         measured = 0.0
         for leaf in schedule.tree.data_nodes():
             for tune_slot in range(1, cycle + 1):
-                record = run_request_wire(frames, leaf.label, tune_slot)
+                record = wire_walk(frames, leaf.label, tune_slot)
                 assert record.data_wait == schedule.slot_of(leaf)
                 measured += (
                     leaf.weight * record.access_time / (cycle * total_weight)

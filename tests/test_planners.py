@@ -135,6 +135,56 @@ class TestPlanFacade:
         assert result.stats["channels_used"] == result.schedule.channels
 
 
+class TestCompileCache:
+    def test_program_is_cached_per_instance(self, fig1_tree):
+        result = plan(fig1_tree, 2, method="sorting")
+        assert result.compile() is result.compile()
+
+    def test_cache_is_not_shared_between_instances(self, fig1_tree):
+        """Regression: ``_program`` was a class attribute, so the first
+        compiled plan could be handed to every later ``PlanResult``."""
+        from dataclasses import fields
+
+        spec = {f.name: f for f in fields(PlanResult)}
+        assert "_program" in spec, "_program must be a real dataclass field"
+        assert spec["_program"].compare is False
+        assert spec["_program"].repr is False
+        first = plan(fig1_tree, 2, method="sorting")
+        second = plan(fig1_tree, 2, method="sorting")
+        compiled_first = first.compile()
+        assert second.compile() is not compiled_first
+        assert second.compile().schedule is second.schedule
+
+    def test_replacing_the_schedule_invalidates_the_cache(self, fig1_tree):
+        first = plan(fig1_tree, 2, method="sorting")
+        stale = first.compile()
+        first.schedule = plan(fig1_tree, 1, method="sorting").schedule
+        fresh = first.compile()
+        assert fresh is not stale
+        assert fresh.schedule is first.schedule
+
+    def test_dense_level_is_cached_alongside(self, fig1_tree):
+        from repro.engine import DenseProgram
+
+        result = plan(fig1_tree, 2, method="sorting")
+        dense = result.compile(level="dense")
+        assert isinstance(dense, DenseProgram)
+        assert result.compile(level="dense") is dense
+
+    def test_dense_cache_invalidates_with_the_program(self, fig1_tree):
+        result = plan(fig1_tree, 2, method="sorting")
+        stale = result.compile(level="dense")
+        result.schedule = plan(fig1_tree, 1, method="sorting").schedule
+        fresh = result.compile(level="dense")
+        assert fresh is not stale
+        assert fresh.channels == 1
+
+    def test_unknown_level_raises(self, fig1_tree):
+        result = plan(fig1_tree, 2, method="sorting")
+        with pytest.raises(ValueError, match="compile level"):
+            result.compile(level="sparse")
+
+
 class TestBudgetedPlanner:
     def test_affordable_instances_are_solved_exactly(self, fig1_tree):
         result = plan(fig1_tree, 2, method="budgeted")
