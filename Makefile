@@ -34,6 +34,10 @@ CLUSTER_TUNERS ?= 100
 CLUSTER_SLOT ?= 0.02
 CLUSTER_SWEEP ?= 1,2,4
 
+# bench-sched history depth: enough versions that the snapshot+delta
+# encoding (not the snapshot floor) dominates bytes-per-version.
+SCHED_VERSIONS ?= 40
+
 # The regression trajectory (benchmarks/history/) is recorded at a
 # small fixed scale so it runs everywhere, including CI smoke runs; the
 # committed baseline.jsonl was seeded at exactly this scale — the
@@ -43,7 +47,7 @@ HISTORY_TUNERS ?= 50
 HISTORY_REPEATS ?= 1
 HISTORY_TOLERANCE ?= 0.15
 
-.PHONY: install test bench bench-json bench-server bench-net bench-cluster bench-engine bench-all bench-history examples experiments clean
+.PHONY: install test bench bench-json bench-server bench-net bench-cluster bench-engine bench-sched bench-all bench-history examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -78,6 +82,15 @@ bench-engine:
 	mkdir -p $(HISTORY_DIR)
 	$(PYTHON) -m repro.cli engine bench --walks $(ENGINE_WALKS) --sample $(ENGINE_SAMPLE) --repeats $(ENGINE_REPEATS) --json BENCH_engine.json $(BENCH_META)
 	$(PYTHON) -m repro.cli obs regress --baseline $(HISTORY_DIR)/engine-baseline.jsonl --candidate BENCH_engine.json --tolerance $(HISTORY_TOLERANCE) --append $(HISTORY_DIR)/engine-trajectory.jsonl --bootstrap
+
+# Versioned-store suite: publish/load/rollback latency and the
+# bytes-per-version the delta encoding buys, appended to its own
+# trajectory and gated against the committed sched baseline
+# (--bootstrap seeds it on first run).
+bench-sched:
+	mkdir -p $(HISTORY_DIR)
+	$(PYTHON) -m repro.cli sched bench --versions $(SCHED_VERSIONS) --json BENCH_sched.json $(BENCH_META)
+	$(PYTHON) -m repro.cli obs regress --baseline $(HISTORY_DIR)/sched-baseline.jsonl --candidate BENCH_sched.json --tolerance $(HISTORY_TOLERANCE) --append $(HISTORY_DIR)/sched-trajectory.jsonl --bootstrap
 
 bench-all: bench-json bench-server bench-net bench-engine
 	$(PYTHON) -m repro.cli bench-merge BENCH_search.json BENCH_server.json BENCH_net.json BENCH_engine.json --out BENCH_all.json

@@ -20,7 +20,7 @@ from repro.broadcast.metrics import (
     expected_channel_switches,
     expected_tuning_time,
 )
-from repro.client.protocol import run_request
+from repro.client.protocol import object_walk
 from repro.client.simulator import exact_averages, simulate_workload
 
 
@@ -38,7 +38,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     target = tree.find("C")
     tune_slot = 3
-    record = run_request(program, target, tune_slot)
+    record = object_walk(program, target, tune_slot)
     print(
         f"A client tunes in at slot {tune_slot} of channel 1 wanting "
         f"item {record.target!r}:"
@@ -85,7 +85,9 @@ def main() -> None:
     # ------------------------------------------------------------------
     # A Monte-Carlo client population for flavour.
     # ------------------------------------------------------------------
-    summary = simulate_workload(program, np.random.default_rng(1), requests=5000)
+    summary = simulate_workload(
+        program, rng=np.random.default_rng(1), requests=5000
+    )
     print(
         f"\n5000 random requests: access {summary.mean_access_time:.2f}, "
         f"tuning {summary.mean_tuning_time:.2f}, "

@@ -19,6 +19,17 @@ Subcommands regenerate each experiment on demand:
   (:mod:`repro.net`); Ctrl-C shuts down cleanly and flushes stats;
   ``--metrics-port`` additionally mounts the :mod:`repro.obs` HTTP
   endpoint (``/metrics`` Prometheus exposition + ``/healthz``);
+  ``--store DIR`` serves from a :mod:`repro.sched` schedule store and
+  follows it live — versions published behind the station's back
+  (``sched rollback`` from another shell) cut over at the next cycle
+  boundary with zero dropped walks, and the crash snapshot is flushed
+  before the sockets close;
+* ``sched``    — the versioned schedule store (:mod:`repro.sched`):
+  ``sched log/show/diff`` inspect history, ``sched rollback`` restores
+  an old version byte-exactly as a new head, ``sched gc`` drops
+  unreferenced objects, ``sched bench`` times publish/load/rollback
+  (``BENCH_sched.json`` via ``--json``) and ``sched loadtest`` gates
+  the live replan-and-roll-back cutover under a tuner fleet;
 * ``tune``     — one live client walk against a running station;
 * ``loadtest`` — the concurrent tuner-fleet harness; with
   ``--check-parity`` it exits non-zero unless the socket fleet's
@@ -280,6 +291,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="also serve /metrics (Prometheus) and /healthz on this "
         "port (0 picks a free one)",
     )
+    serve.add_argument(
+        "--store",
+        dest="store_dir",
+        default=None,
+        metavar="DIR",
+        help="serve from a repro.sched schedule store: an empty store "
+        "is seeded with the demo plan as version 1, otherwise the head "
+        "version goes on air; the store is then polled and any version "
+        "published behind the station's back (a replan or a 'sched "
+        "rollback' from another shell) cuts over at the next cycle "
+        "boundary with zero dropped walks",
+    )
+    serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        help="store poll period in seconds when --store is given "
+        "(default 0.5)",
+    )
 
     tune = commands.add_parser(
         "tune", help="one live client walk against a running station"
@@ -457,6 +487,126 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the BENCH_cluster.json sweep record to PATH",
     )
     _add_envelope_options(cluster_loadtest)
+
+    sched = commands.add_parser(
+        "sched",
+        help="versioned schedule store: history, diffs, zero-downtime "
+        "rollback, gc, bench and cutover loadtest (repro.sched)",
+    )
+    sched_commands = sched.add_subparsers(
+        dest="sched_command", required=True
+    )
+
+    def add_store_option(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--store",
+            dest="store_dir",
+            required=True,
+            metavar="DIR",
+            help="schedule store directory (repro.sched.ScheduleStore)",
+        )
+
+    sched_log = sched_commands.add_parser(
+        "log", help="the version log, oldest first"
+    )
+    add_store_option(sched_log)
+    sched_log.add_argument(
+        "--limit",
+        type=int,
+        default=0,
+        help="show only the newest N versions (0 = all; default 0)",
+    )
+
+    sched_show = sched_commands.add_parser(
+        "show", help="print one version's plan, integrity-verified"
+    )
+    add_store_option(sched_show)
+    sched_show.add_argument(
+        "--version",
+        type=int,
+        default=None,
+        help="version to show (default: head)",
+    )
+
+    sched_diff = sched_commands.add_parser(
+        "diff",
+        help="structural delta between two versions' plan documents",
+    )
+    add_store_option(sched_diff)
+    sched_diff.add_argument(
+        "--from", dest="from_version", type=int, required=True,
+        metavar="VERSION",
+    )
+    sched_diff.add_argument(
+        "--to", dest="to_version", type=int, required=True,
+        metavar="VERSION",
+    )
+
+    sched_rollback = sched_commands.add_parser(
+        "rollback",
+        help="republish an old version as the new head (append-only; a "
+        "station serving with --store cuts over at its next cycle "
+        "boundary)",
+    )
+    add_store_option(sched_rollback)
+    sched_rollback.add_argument(
+        "--to", dest="to_version", type=int, required=True,
+        metavar="VERSION", help="version whose content becomes the head",
+    )
+    sched_rollback.add_argument(
+        "--note", default="", help="free-form note stamped into the log"
+    )
+
+    sched_gc = sched_commands.add_parser(
+        "gc",
+        help="drop objects the version log does not reference "
+        "(left-overs of interrupted publishes)",
+    )
+    add_store_option(sched_gc)
+
+    sched_bench = sched_commands.add_parser(
+        "bench",
+        help="store micro-bench: publish/load/rollback timings and "
+        "bytes-per-version, writing BENCH_sched.json via --json",
+    )
+    sched_bench.add_argument("--versions", type=int, default=40)
+    sched_bench.add_argument("--items", type=int, default=24)
+    sched_bench.add_argument("--channels", type=int, default=3)
+    sched_bench.add_argument("--fanout", type=int, default=3)
+    sched_bench.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=8,
+        help="full-snapshot period in versions (default 8)",
+    )
+    sched_bench.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="write the BENCH_sched.json record to PATH",
+    )
+    _add_envelope_options(sched_bench)
+
+    sched_loadtest = sched_commands.add_parser(
+        "loadtest",
+        help="live cutover loadtest: a tuner fleet rides through a "
+        "mid-walk replan and a rollback; exits non-zero unless frame "
+        "accounting, zero-abandonment and byte-exact restore all hold",
+    )
+    sched_loadtest.add_argument("--tuners", type=int, default=200)
+    sched_loadtest.add_argument("--items", type=int, default=24)
+    sched_loadtest.add_argument("--channels", type=int, default=3)
+    sched_loadtest.add_argument("--fanout", type=int, default=3)
+    sched_loadtest.add_argument("--max-open", type=int, default=128)
+    sched_loadtest.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="write the BENCH_sched.json loadtest record to PATH",
+    )
+    _add_envelope_options(sched_loadtest)
 
     engine = commands.add_parser(
         "engine",
@@ -819,6 +969,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "cluster":
         return _cmd_cluster(args)
 
+    if args.command == "sched":
+        return _cmd_sched(args)
+
     if args.command == "engine":
         return _cmd_engine(args)
 
@@ -894,17 +1047,45 @@ def _net_policy(mode: str | None, max_cycles: int):
 def _cmd_serve(args) -> int:
     import asyncio
 
-    from .net import BroadcastStation, build_demo_program
+    from .broadcast.pointers import compile_program
+    from .net import BroadcastStation, build_demo_plan
     from .perf import PerfRecorder
 
-    program = build_demo_program(
-        items=args.items,
-        channels=args.channels,
-        fanout=args.fanout,
-        planner=args.planner,
-        seed=args.seed,
-    )
     perf = PerfRecorder()
+    store = None
+    version = 0
+    if args.store_dir:
+        from .sched import ScheduleStore
+
+        store = ScheduleStore(args.store_dir, perf=perf)
+        head = store.head
+        if head is None:
+            plan = build_demo_plan(
+                items=args.items,
+                channels=args.channels,
+                fanout=args.fanout,
+                planner=args.planner,
+                seed=args.seed,
+            )
+            head = store.publish(plan, note="initial plan (serve)")
+            print(f"store seeded: version 1 published to {args.store_dir}")
+        else:
+            plan = store.load(head.version)
+            print(
+                f"store head: version {head.version} "
+                f"({head.note or 'no note'})"
+            )
+        version = head.version
+        program = compile_program(plan.schedule)
+    else:
+        plan = build_demo_plan(
+            items=args.items,
+            channels=args.channels,
+            fanout=args.fanout,
+            planner=args.planner,
+            seed=args.seed,
+        )
+        program = compile_program(plan.schedule)
     station = BroadcastStation(
         program,
         faults=_net_faults(args),
@@ -913,7 +1094,29 @@ def _cmd_serve(args) -> int:
         port=args.port,
         transport=args.transport,
         perf=perf,
+        schedule_version=version,
     )
+
+    async def follow_store() -> None:
+        # The log is re-read from disk on every head access, so a
+        # version published by another process — a replan, or a
+        # ``sched rollback`` from another shell — shows up here and is
+        # put on air at the station's next cycle boundary. Walks in
+        # flight see the version stamp change and restart from the
+        # root; none are dropped.
+        while True:
+            await asyncio.sleep(max(args.poll_interval, 0.05))
+            head = store.head
+            if head is None or head.version <= station.version:
+                continue
+            result = store.load(head.version)
+            slot = station.publish(
+                compile_program(result.schedule), version=head.version
+            )
+            print(
+                f"cutover: version {head.version} "
+                f"({head.note or 'no note'}) activates at slot {slot}"
+            )
 
     async def air_forever() -> None:
         async with station:
@@ -922,46 +1125,63 @@ def _cmd_serve(args) -> int:
                 f"{program.cycle_length}, on {args.transport}://"
                 f"{station.host}:{station.port} (Ctrl-C to stop)"
             )
-            if args.metrics_port is not None:
-                from .obs import (
-                    MetricsRegistry,
-                    ObsHttpServer,
-                    declare_perf_baseline,
-                )
-
-                registry = MetricsRegistry()
-                declare_perf_baseline(registry)
-
-                def health() -> dict:
-                    return {
-                        "status": "ok",
-                        "transport": args.transport,
-                        "channels": station.channels,
-                        "cycle_length": station.cycle_length,
-                        "station_port": station.port,
-                    }
-
-                async with ObsHttpServer(
-                    registry,
-                    collect=lambda reg: reg.absorb_perf(perf),
-                    health=health,
-                    host=args.host,
-                    port=args.metrics_port,
-                ) as metrics:
-                    print(
-                        "metrics on http://"
-                        f"{args.host}:{metrics.port}/metrics"
+            follower = (
+                asyncio.ensure_future(follow_store())
+                if store is not None
+                else None
+            )
+            try:
+                if args.metrics_port is not None:
+                    from .obs import (
+                        MetricsRegistry,
+                        ObsHttpServer,
+                        declare_perf_baseline,
                     )
+
+                    registry = MetricsRegistry()
+                    declare_perf_baseline(registry)
+
+                    def health() -> dict:
+                        return {
+                            "status": "ok",
+                            "transport": args.transport,
+                            "channels": station.channels,
+                            "cycle_length": station.cycle_length,
+                            "station_port": station.port,
+                            "schedule_version": station.version,
+                        }
+
+                    async with ObsHttpServer(
+                        registry,
+                        collect=lambda reg: reg.absorb_perf(perf),
+                        health=health,
+                        host=args.host,
+                        port=args.metrics_port,
+                    ) as metrics:
+                        print(
+                            "metrics on http://"
+                            f"{args.host}:{metrics.port}/metrics"
+                        )
+                        await asyncio.Event().wait()
+                else:
                     await asyncio.Event().wait()
-            else:
-                await asyncio.Event().wait()
+            finally:
+                # Teardown order matters: the poller must stop and the
+                # store snapshot must be on disk *before* the station's
+                # async-with closes the sockets — an operator's Ctrl-C
+                # leaves the store restorable, never mid-write.
+                if follower is not None:
+                    follower.cancel()
+                if store is not None:
+                    _flush_serve_state(store, station, perf)
 
     try:
         asyncio.run(air_forever())
     except KeyboardInterrupt:
         # The operator's Ctrl-C: asyncio.run has already cancelled the
-        # serving tasks and run the station's async-with teardown, so
-        # sockets are closed — flush the counters and exit cleanly.
+        # serving tasks and run the station's async-with teardown (the
+        # finally above flushed the store first), so sockets are closed
+        # — print the counters and exit cleanly.
         pass
     except OSError as error:
         # Bind failure (port already in use, bad address): a usage
@@ -971,9 +1191,22 @@ def _cmd_serve(args) -> int:
     counters = perf.snapshot().get("counters", {})
     print("station stopped; stats flushed:")
     for name in sorted(counters):
-        if name.startswith("net.station."):
+        if name.startswith(("net.station.", "sched.")):
             print(f"  {name} = {counters[name]}")
     return 0
+
+
+def _flush_serve_state(store, station, perf) -> None:
+    """Persist the serving snapshot (version + counters) to the store."""
+    counters = perf.snapshot().get("counters", {})
+    store.save_state(
+        {
+            "serving_version": station.version,
+            "frames_sent": counters.get("net.station.frames_sent", 0),
+            "cycles_aired": counters.get("net.station.cycles", 0),
+            "publishes": counters.get("sched.publishes", 0),
+        }
+    )
 
 
 def _cmd_tune(args) -> int:
@@ -1577,6 +1810,220 @@ def _cmd_cluster_loadtest(args) -> int:
     failed = sorted(name for name, ok in checks.items() if not ok)
     for name in failed:
         print(f"error: cluster check failed: {name}", file=sys.stderr)
+    return 0 if not failed else 1
+
+
+def _cmd_sched(args) -> int:
+    if args.sched_command == "bench":
+        return _cmd_sched_bench(args)
+    if args.sched_command == "loadtest":
+        return _cmd_sched_loadtest(args)
+
+    from .exceptions import ReproError
+    from .sched import ScheduleStore
+
+    try:
+        store = ScheduleStore(args.store_dir)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    try:
+        if args.sched_command == "log":
+            return _cmd_sched_log(args, store)
+        if args.sched_command == "show":
+            return _cmd_sched_show(args, store)
+        if args.sched_command == "diff":
+            return _cmd_sched_diff(args, store)
+        if args.sched_command == "rollback":
+            return _cmd_sched_rollback(args, store)
+        if args.sched_command == "gc":
+            return _cmd_sched_gc(args, store)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled sched command {args.sched_command!r}")
+
+
+def _cmd_sched_log(args, store) -> int:
+    records = store.versions()
+    if not records:
+        print(f"store at {args.store_dir} is empty")
+        return 0
+    head = records[-1].version
+    if args.limit > 0:
+        records = records[-args.limit:]
+    for record in records:
+        marker = "*" if record.version == head else " "
+        parent = f"<- v{record.parent}" if record.parent else "  root"
+        print(
+            f"{marker} v{record.version:<4} {record.kind:<8} "
+            f"{record.content_id[:12]} {parent:<8} {record.note}"
+        )
+    print(f"{head} version(s), {store.size_bytes()} bytes on disk")
+    return 0
+
+
+def _cmd_sched_show(args, store) -> int:
+    from .broadcast.metrics import expected_access_time
+
+    head = store.head
+    if head is None:
+        print(f"error: store at {args.store_dir} is empty", file=sys.stderr)
+        return 1
+    record = store.record(
+        args.version if args.version is not None else head.version
+    )
+    result = store.load(record.version)
+    print(
+        f"version {record.version} ({record.kind}, "
+        f"content {record.content_id[:12]}): {record.note or 'no note'}"
+    )
+    print(f"method: {result.method}, planned cost: {result.cost:.4f}")
+    print(result.schedule.to_ascii())
+    print(f"data wait            = {result.schedule.data_wait():.4f} slots")
+    print(
+        f"expected access time = "
+        f"{expected_access_time(result.schedule):.4f}"
+    )
+    return 0
+
+
+def _cmd_sched_diff(args, store) -> int:
+    import json
+
+    from .sched import delta
+
+    doc_from = store.doc(args.from_version)
+    doc_to = store.doc(args.to_version)
+    ops = delta(doc_from, doc_to)
+    if not ops:
+        print(
+            f"versions {args.from_version} and {args.to_version} are "
+            "content-identical"
+        )
+        return 0
+    print(
+        f"v{args.from_version} -> v{args.to_version}: {len(ops)} op(s)"
+    )
+    for op in ops:
+        path = "/".join(str(part) for part in op["path"]) or "<root>"
+        if op["op"] == "set":
+            print(f"  set  {path} = {json.dumps(op['value'])}")
+        elif op["op"] == "del":
+            print(f"  del  {path}")
+        elif op["op"] == "push":
+            print(f"  push {path} += {json.dumps(op['values'])}")
+        else:  # trim
+            print(f"  trim {path} -> length {op['length']}")
+    return 0
+
+
+def _cmd_sched_rollback(args, store) -> int:
+    record = store.rollback(args.to_version, note=args.note)
+    print(
+        f"rolled back to version {args.to_version}: published as "
+        f"version {record.version} (content {record.content_id[:12]}, "
+        "byte-identical by construction)"
+    )
+    print(
+        "a station serving with --store picks this up at its next "
+        "cycle boundary"
+    )
+    return 0
+
+
+def _cmd_sched_gc(args, store) -> int:
+    removed = store.gc()
+    if removed:
+        for object_id in removed:
+            print(f"removed {object_id[:12]}")
+    print(
+        f"{len(removed)} unreferenced object(s) removed; "
+        f"{store.size_bytes()} bytes remain"
+    )
+    return 0
+
+
+def _cmd_sched_bench(args) -> int:
+    from .sched.harness import run_store_bench, write_sched_json
+
+    try:
+        record = run_store_bench(
+            versions=args.versions,
+            items=args.items,
+            channels=args.channels,
+            fanout=args.fanout,
+            seed=args.seed,
+            snapshot_every=args.snapshot_every,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result = record["result"]
+    print(
+        f"{result['versions_published']} version(s) "
+        f"({result['snapshots']} snapshot(s), {result['deltas']} "
+        f"delta(s)): publish {result['publish_ms_mean']:.2f} ms mean, "
+        f"load {result['load_ms_mean']:.2f} ms mean, "
+        f"rollback {result['rollback_ms']:.2f} ms"
+    )
+    print(
+        f"store size {result['store_bytes_total']} bytes "
+        f"({result['store_bytes_per_version']:.0f} bytes/version)"
+    )
+    if args.json_path:
+        write_sched_json(
+            args.json_path, record, rev=args.rev, timestamp=args.timestamp
+        )
+        print(f"sched record written to {args.json_path}")
+    return _sched_checks_verdict(record)
+
+
+def _cmd_sched_loadtest(args) -> int:
+    import asyncio
+
+    from .sched.harness import run_cutover_loadtest, write_sched_json
+
+    try:
+        record = asyncio.run(
+            run_cutover_loadtest(
+                tuners=args.tuners,
+                items=args.items,
+                channels=args.channels,
+                fanout=args.fanout,
+                seed=args.seed,
+                max_open=args.max_open,
+            )
+        )
+    except OSError as error:
+        print(f"error: station unreachable mid-run: {error}", file=sys.stderr)
+        return 1
+    result = record["result"]
+    print(
+        f"{result['completed']} completed, {result['abandoned']} "
+        f"abandoned in {result['wall_seconds']:.2f}s; "
+        f"{result['cutovers']} cutover(s) ridden, "
+        f"{result['unaccounted_frames']} unaccounted frame(s)"
+    )
+    print(
+        f"store: {len(result['store']['versions'])} version(s), "
+        f"{result['store']['verified_versions']} verified, "
+        f"{result['store']['size_bytes']} bytes"
+    )
+    if args.json_path:
+        write_sched_json(
+            args.json_path, record, rev=args.rev, timestamp=args.timestamp
+        )
+        print(f"sched record written to {args.json_path}")
+    return _sched_checks_verdict(record)
+
+
+def _sched_checks_verdict(record: dict) -> int:
+    failed = sorted(
+        name for name, ok in record["checks"].items() if not ok
+    )
+    for name in failed:
+        print(f"error: sched check failed: {name}", file=sys.stderr)
     return 0 if not failed else 1
 
 

@@ -231,10 +231,20 @@ class RecoveryPolicy:
         this many cycles from tune-in. Must be at least 2 — a lossless
         walk needs two cycles (probe cycle + index cycle), so smaller
         values would abandon requests no loss ever touched.
+    cutover:
+        What a frame-level walk does when a delivered envelope is
+        stamped with a *different* schedule version than the one it
+        adopted (the station replanned mid-walk — see
+        :mod:`repro.sched`). ``"restart-root"`` (default) re-probes
+        channel 1 from the very next slot and descends the *new*
+        version's index — accounted like a retry, never as a corrupt
+        read. ``"abandon"`` gives the walk up instead (for clients that
+        would rather fail fast than pay the restart).
     """
 
     mode: str = "retry-parent"
     max_cycles: int = 8
+    cutover: str = "restart-root"
 
     def __post_init__(self) -> None:
         if self.mode not in ("retry-parent", "next-cycle"):
@@ -245,6 +255,11 @@ class RecoveryPolicy:
         if self.max_cycles < 2:
             raise ValueError("max_cycles must be >= 2 (a lossless walk "
                              "spans two cycles)")
+        if self.cutover not in ("restart-root", "abandon"):
+            raise ValueError(
+                f"unknown cutover outcome {self.cutover!r}; expected "
+                "'restart-root' or 'abandon'"
+            )
 
 
 @dataclass(frozen=True)

@@ -54,7 +54,37 @@ __all__ = [
     "get_engine",
     "engines",
     "request",
+    "invalidate_request_caches",
 ]
+
+#: Per-program memoisation slots the engines fill lazily. All of them
+#: are derived purely from the program instance, so they stay valid for
+#: its lifetime — *unless* a schedule-version cutover retires the
+#: program, at which point holding them only pins dead frame grids and
+#: dense compilations in memory (see :func:`invalidate_request_caches`).
+_REQUEST_CACHE_KEYS = (
+    "_request_leaves",
+    "_request_frames",
+    "_request_dense",
+    "_request_data_ids",
+)
+
+
+def invalidate_request_caches(program: BroadcastProgram) -> int:
+    """Drop every engine cache memoised on ``program``.
+
+    Called by the schedule-version layer (:mod:`repro.sched`) when a
+    cutover retires a program: its cached wire frames and dense
+    compilation describe an allocation that is no longer on air, and a
+    consumer that kept the program object must not be served stale
+    compiled state if the instance is ever reused for a new version.
+    Returns how many cache slots were dropped.
+    """
+    removed = 0
+    for key in _REQUEST_CACHE_KEYS:
+        if program.__dict__.pop(key, None) is not None:
+            removed += 1
+    return removed
 
 
 class EngineNotFound(ReproError, KeyError):

@@ -18,7 +18,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .._compat import deprecated_positionals
 from ..broadcast.pointers import BroadcastProgram
 from ..faults import FaultConfig, FaultInjector
 from .protocol import (
@@ -83,7 +82,6 @@ class SimulationSummary:
         )
 
 
-@deprecated_positionals
 def simulate_workload(
     program: BroadcastProgram,
     *,

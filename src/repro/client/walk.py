@@ -40,6 +40,7 @@ from ..obs.events import (
     NO_WALK,
     NULL_TRACER,
     ChannelHop,
+    CutoverDetected,
     SlotRead,
     Tracer,
     WalkFinished,
@@ -91,6 +92,8 @@ class WalkResult:
     wasted_probes: int = 0
     cycles_spent: int = 1
     abandoned: bool = False
+    #: Mid-walk schedule cutovers survived (each also counts a retry).
+    cutovers: int = 0
     payload: bytes = b""
 
 
@@ -169,8 +172,13 @@ class PointerWalk:
         self._lost = 0
         self._corrupt = 0
         self._retries = 0
+        self._cutovers = 0
         self._probe_wait = 0
         self._depth = 0
+        #: Schedule version this walk adopted from the air (``None``
+        #: until the first versioned envelope arrives; drivers on
+        #: unversioned transports never touch it).
+        self.version: int | None = None
         # Successfully read index hops (depth, channel, cycle-relative
         # slot) — the resume points of the "retry-parent" policy.
         self._good: list[tuple[int, int, int]] = []
@@ -227,6 +235,64 @@ class PointerWalk:
             self._schedule(
                 channel, _next_airing(rel_slot, listen.absolute_slot, self.cycle)
             )
+
+    def observe_version(self, version: int) -> bool:
+        """Feed the pending envelope's schedule-version stamp.
+
+        Call *before* :meth:`deliver`/:meth:`on_loss` with the
+        :class:`~repro.io.wire.AirFrame`'s ``schedule_version``. A zero
+        (unversioned transport) is ignored; the first positive version
+        is adopted as the walk's own. A *different* positive version is
+        a mid-walk cutover: the walk consumes the pending read through
+        :meth:`on_cutover` and returns ``True`` — the driver must then
+        skip its normal deliver/loss handling for this airing and go
+        back to :meth:`next_listen`.
+        """
+        if version <= 0:
+            return False
+        if self.version is None or version == self.version:
+            self.version = version
+            return False
+        self.on_cutover(version)
+        return True
+
+    def on_cutover(self, new_version: int | None = None) -> None:
+        """The pending airing was stamped with a new schedule version.
+
+        The station replanned and the cutover's cycle boundary passed
+        between this walk's reads: every pointer it holds (the
+        ``_good`` resume stack included) belongs to a retired plan.
+        Per ``policy.cutover`` the walk either restarts from the root —
+        re-probe channel 1 at the very next slot and descend the new
+        version's index — or abandons. Either way the read that
+        revealed the cutover is registered (the client was awake for
+        it, so it costs tuning time and keeps frame accounting exact)
+        and counted like a retry, never as a corrupt bucket.
+        """
+        listen = self._require_listen()
+        self._register_read(listen, "cutover")
+        self._retries += 1
+        self._cutovers += 1
+        previous = self.version if self.version is not None else 0
+        if new_version is not None:
+            self.version = new_version
+        if self._tracer.enabled:
+            self._tracer.emit(
+                CutoverDetected(
+                    key=self.key,
+                    from_version=previous,
+                    to_version=self.version if self.version is not None else 0,
+                    absolute_slot=listen.absolute_slot,
+                    walk=self.walk_id,
+                )
+            )
+        if self.policy.cutover == "abandon":
+            self._finish(listen.absolute_slot, abandoned=True)
+            return
+        self._state = _PROBE
+        self._depth = 0
+        self._good.clear()
+        self._schedule(1, listen.absolute_slot + 1)
 
     # -- internals ----------------------------------------------------------
     def _require_listen(self) -> Listen:
@@ -355,6 +421,7 @@ class PointerWalk:
             ),
             cycles_spent=(final_absolute - 1) // self.cycle + 1,
             abandoned=abandoned,
+            cutovers=self._cutovers,
             payload=payload,
         )
         self._state = _DONE

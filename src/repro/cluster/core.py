@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import ceil
+from pathlib import Path
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -43,6 +44,7 @@ from ..obs.attrib import AttributionCollector
 from ..obs.metrics import MetricsRegistry
 from ..perf import PerfRecorder
 from ..planners import PlanResult, plan_catalog
+from ..sched import ScheduleStore
 from .partition import partition_catalog
 from .router import ClusterRouter
 
@@ -155,6 +157,17 @@ class StationCluster:
         summaries (``repro_walk_access_time_slots{shard="2"}`` …) and a
         per-shard measured-cost gauge, so an operator can watch the
         refit converge on ``/metrics``.
+    store_dir:
+        Optional directory of per-shard
+        :class:`~repro.sched.ScheduleStore` roots (``shard-00`` …).
+        When given, every shard (re)plan — the initial planning pass,
+        each refit move and each revert — is published as a store
+        version, so a shard's plan history is durable, diffable and
+        rollbackable exactly like the single-station store; a revert
+        republishes the identical document, which content addressing
+        dedups to a log entry. Shards with a live station registered in
+        :attr:`stations` additionally have the new version put on air
+        at the next cycle boundary.
     """
 
     def __init__(
@@ -171,6 +184,7 @@ class StationCluster:
         sample_requests: int = 256,
         metrics: MetricsRegistry | None = None,
         perf: PerfRecorder | None = None,
+        store_dir: str | Path | None = None,
     ) -> None:
         if isinstance(catalog, Mapping):
             catalog = list(catalog.items())
@@ -196,11 +210,23 @@ class StationCluster:
         self.metrics = metrics
         self.perf = perf if perf is not None else PerfRecorder()
 
+        #: shard id → live :class:`~repro.net.station.BroadcastStation`;
+        #: populated by the serving harness. A registered station is
+        #: cut over (``station.publish``) whenever its shard replans.
+        self.stations: dict[int, object] = {}
+        self.stores: dict[int, ScheduleStore] = {}
+        if store_dir is not None:
+            root = Path(store_dir)
+            self.stores = {
+                shard: ScheduleStore(root / f"shard-{shard:02d}", perf=self.perf)
+                for shard in range(shards)
+            }
+
         assignment = partition_catalog(catalog, shards, method=partitioner)
         self.router = ClusterRouter(assignment, shards)
         self._repair_empty_shards()
         self.plans: dict[int, ShardPlan] = {}
-        self.plan_shards()
+        self.plan_shards(note="initial plan")
         #: shard id → (host, port) of its live station; populated by the
         #: serving/loadtest harness while stations are up.
         self.endpoints: dict[int, tuple[str, int]] = {}
@@ -251,13 +277,21 @@ class StationCluster:
             (key, self.catalog[key]) for key in self.router.keys_of(shard)
         ]
 
-    def plan_shards(self, shard_ids: Sequence[int] | None = None) -> None:
+    def plan_shards(
+        self,
+        shard_ids: Sequence[int] | None = None,
+        *,
+        note: str = "replan",
+    ) -> None:
         """(Re)plan the named shards — all of them when ``None``.
 
         Each slice goes through :func:`repro.planners.plan_catalog`
         with the cluster's planner; untouched shards keep their plans
         *and* their routing entries (the router is an explicit
-        directory — see :mod:`repro.cluster.router`).
+        directory — see :mod:`repro.cluster.router`). With per-shard
+        stores attached, each planned shard publishes a store version
+        (annotated ``note``), and a shard with a live registered
+        station is cut over at its next cycle boundary.
         """
         targets = range(self.shards) if shard_ids is None else shard_ids
         for shard in targets:
@@ -283,6 +317,14 @@ class StationCluster:
                 load=float(sum(weights)),
             )
             self.perf.count("cluster.shard_plans")
+            store = self.stores.get(shard)
+            if store is not None:
+                record = store.publish(result, note=note)
+                station = self.stations.get(shard)
+                if station is not None:
+                    station.publish(
+                        self.plans[shard].program, version=record.version
+                    )
 
     # -- measurement ---------------------------------------------------------
     def _sample_sizes(self) -> list[int]:
@@ -421,7 +463,7 @@ class StationCluster:
             ]
             before = best
             self.router.move(hottest, target)
-            self.plan_shards([source, target])
+            self.plan_shards([source, target], note="refit move")
             self.measure()
             after = self.aggregate_cost()
             accepted = after < before - min_gain
@@ -441,7 +483,7 @@ class StationCluster:
                 # replan from the restored slices — bit-identical to
                 # the pre-round state because planning is deterministic.
                 self.router.move(hottest, source)
-                self.plan_shards([source, target])
+                self.plan_shards([source, target], note="refit revert")
                 self.measure()
                 best = self.aggregate_cost()
                 break

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .._compat import deprecated_positionals
 from ..broadcast.assembly import assemble_schedule
 from ..broadcast.schedule import BroadcastSchedule
 from ..perf import PerfRecorder
@@ -55,7 +54,6 @@ class OptimalResult:
     stats: dict = field(default_factory=dict)
 
 
-@deprecated_positionals
 def solve(
     tree: IndexTree,
     channels: int = 1,
@@ -69,8 +67,7 @@ def solve(
 ) -> OptimalResult:
     """Find a minimum-data-wait allocation of ``tree`` onto ``channels``.
 
-    Everything beyond ``channels`` is keyword-only (legacy positional
-    calls still work for one release, with a ``DeprecationWarning``).
+    Everything beyond ``channels`` is keyword-only.
 
     Parameters
     ----------

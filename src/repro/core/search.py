@@ -47,7 +47,6 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 
-from .._compat import deprecated_positionals
 from ..exceptions import InfeasibleError, SearchBudgetExceeded
 from ..obs.events import SearchProgress, Tracer
 from ..perf import PerfRecorder, Stopwatch
@@ -126,7 +125,6 @@ def _validate_bound(bound: str) -> bool:
     raise ValueError(f"unknown bound {bound!r} (use 'adjacent' or 'packed')")
 
 
-@deprecated_positionals
 def best_first_search(
     problem: AllocationProblem,
     pruning: PruningConfig | None = None,
@@ -274,7 +272,6 @@ def best_first_search(
     )
 
 
-@deprecated_positionals
 def dfs_branch_and_bound(
     problem: AllocationProblem,
     pruning: PruningConfig | None = None,

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from .._compat import deprecated_positionals
 from ..broadcast.assembly import assemble_schedule
 from ..broadcast.schedule import BroadcastSchedule
 from ..perf import PerfRecorder
@@ -30,7 +29,6 @@ from .sorting import sorting_order
 __all__ = ["allocate_sorted_tree", "sorting_schedule"]
 
 
-@deprecated_positionals
 def allocate_sorted_tree(
     tree: IndexTree,
     channels: int,
@@ -44,8 +42,7 @@ def allocate_sorted_tree(
     compatible linear sequence of all tree nodes); by default the §4.2
     sorting comparator produces it. ``perf``, when given, records the
     heuristic's wall time and node/slot counts under ``heuristic.*``.
-    Both are keyword-only (legacy positional calls warn for one
-    release). Returns a validated schedule.
+    Both are keyword-only. Returns a validated schedule.
     """
     if channels < 1:
         raise ValueError("channels must be >= 1")
@@ -78,7 +75,6 @@ def allocate_sorted_tree(
     return assemble_schedule(tree, groups, channels)
 
 
-@deprecated_positionals
 def sorting_schedule(
     tree: IndexTree,
     channels: int,

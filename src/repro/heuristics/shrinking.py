@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import functools
 
-from .._compat import deprecated_positionals
 from ..broadcast.schedule import BroadcastSchedule
 from ..core.datatree import DataTreeConfig, solve_single_channel
 from ..core.problem import AllocationProblem
@@ -128,7 +127,6 @@ def _expand_order(shadow_order: list[Node]) -> list[Node]:
     return order
 
 
-@deprecated_positionals
 def combine_and_solve(
     tree: IndexTree,
     *,
@@ -149,7 +147,6 @@ def combine_and_solve(
     return BroadcastSchedule.from_sequence(tree, _expand_order(shadow_order))
 
 
-@deprecated_positionals
 def partition_and_solve(
     tree: IndexTree,
     *,
@@ -198,7 +195,6 @@ def _detached_view(node: IndexNode) -> IndexNode:
     return result
 
 
-@deprecated_positionals
 def shrink_and_solve(
     tree: IndexTree,
     strategy: str = "combine",

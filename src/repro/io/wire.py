@@ -366,13 +366,16 @@ def max_fanout_for_bucket_size(
 # Transport envelope — how a live station airs frames over a byte stream.
 # ---------------------------------------------------------------------------
 
-_AIR_MAGIC = 0xAE
+_AIR_MAGIC = 0xAE  # version-1 envelope
+_AIR_MAGIC_V2 = 0xAF  # version-2 envelope: v1 + schedule-version stamp
 _AIR_HEADER = struct.Struct(">BBBIH")  # magic, status, channel, slot, length
+_AIR_HEADER_V2 = struct.Struct(">BBBIHI")  # … + schedule version (u32)
 
 _AIR_OK = 0
 _AIR_LOST = 1
 
 _MAX_AIR_PAYLOAD = 0xFFFF
+_MAX_SCHEDULE_VERSION = 0xFFFFFFFF
 
 
 @dataclass(frozen=True)
@@ -389,16 +392,29 @@ class AirFrame:
     a real socket client about an absence). Corrupted airings travel as
     ordinary payloads; the bucket CRC is what detects those, end to
     end, exactly as over real air.
+
+    ``schedule_version`` is the :mod:`repro.sched` version of the plan
+    that produced the airing. ``0`` means unversioned: the envelope
+    encodes to the original 9-byte version-1 layout, byte-identical to
+    pre-versioning stations. A positive version selects the 13-byte
+    version-2 envelope; receivers decode both, which is how a cutover
+    becomes *visible* to a tuner mid-walk instead of silently swapping
+    the pointer graph under it.
     """
 
     channel: int
     absolute_slot: int
     payload: bytes = b""
     lost: bool = False
+    schedule_version: int = 0
 
 
 def encode_air_frame(air: AirFrame) -> bytes:
-    """Serialise one envelope (+ payload) for a byte-stream transport."""
+    """Serialise one envelope (+ payload) for a byte-stream transport.
+
+    Unversioned airings (``schedule_version == 0``) emit the version-1
+    envelope unchanged; versioned airings emit version 2.
+    """
     if not 1 <= air.channel <= 0xFF:
         raise WireFormatError(f"air channel {air.channel} out of range")
     if not 1 <= air.absolute_slot <= 0xFFFFFFFF:
@@ -409,10 +425,21 @@ def encode_air_frame(air: AirFrame) -> bytes:
         raise WireFormatError("air payload exceeds 64 KiB")
     if air.lost and air.payload:
         raise WireFormatError("a lost airing cannot carry a payload")
+    if not 0 <= air.schedule_version <= _MAX_SCHEDULE_VERSION:
+        raise WireFormatError(
+            f"schedule version {air.schedule_version} out of range"
+        )
     status = _AIR_LOST if air.lost else _AIR_OK
-    header = _AIR_HEADER.pack(
-        _AIR_MAGIC, status, air.channel, air.absolute_slot, len(air.payload)
-    )
+    if air.schedule_version == 0:
+        header = _AIR_HEADER.pack(
+            _AIR_MAGIC, status, air.channel, air.absolute_slot,
+            len(air.payload),
+        )
+    else:
+        header = _AIR_HEADER_V2.pack(
+            _AIR_MAGIC_V2, status, air.channel, air.absolute_slot,
+            len(air.payload), air.schedule_version,
+        )
     return header + air.payload
 
 
@@ -436,20 +463,39 @@ class FrameStreamDecoder:
         return len(self._buffer)
 
     def feed(self, data: bytes) -> list[AirFrame]:
-        """Absorb ``data``; return the envelopes it completed, in order."""
+        """Absorb ``data``; return the envelopes it completed, in order.
+
+        Both envelope versions are accepted, per frame: a stream may
+        interleave version-1 and version-2 airings (a station mid-way
+        through adopting schedule versioning does exactly that).
+        """
         self._buffer.extend(data)
         frames: list[AirFrame] = []
         cursor = 0
-        size = _AIR_HEADER.size
-        while len(self._buffer) - cursor >= size:
-            magic, status, channel, slot, length = _AIR_HEADER.unpack_from(
-                self._buffer, cursor
-            )
-            if magic != _AIR_MAGIC:
+        while len(self._buffer) - cursor >= 1:
+            magic = self._buffer[cursor]
+            if magic == _AIR_MAGIC:
+                header = _AIR_HEADER
+            elif magic == _AIR_MAGIC_V2:
+                header = _AIR_HEADER_V2
+            else:
                 raise WireFormatError(
                     f"bad air-envelope magic {magic:#04x}; stream is "
                     "desynchronised"
                 )
+            size = header.size
+            if len(self._buffer) - cursor < size:
+                break  # header still in flight
+            fields = header.unpack_from(self._buffer, cursor)
+            if magic == _AIR_MAGIC:
+                _, status, channel, slot, length = fields
+                version = 0
+            else:
+                _, status, channel, slot, length, version = fields
+                if version == 0:
+                    raise WireFormatError(
+                        "version-2 air envelope carries schedule version 0"
+                    )
             if status not in (_AIR_OK, _AIR_LOST):
                 raise WireFormatError(f"unknown air status {status}")
             if len(self._buffer) - cursor - size < length:
@@ -464,6 +510,7 @@ class FrameStreamDecoder:
                     absolute_slot=slot,
                     payload=payload,
                     lost=status == _AIR_LOST,
+                    schedule_version=version,
                 )
             )
             cursor = start + length

@@ -23,6 +23,7 @@ the repository; this package is where frames actually cross sockets:
 from .clock import SlotClock
 from .harness import (
     LoadReport,
+    build_demo_plan,
     build_demo_program,
     make_request_trace,
     run_loadtest,
@@ -39,6 +40,7 @@ __all__ = [
     "TunerClient",
     "TunerProtocolError",
     "LoadReport",
+    "build_demo_plan",
     "build_demo_program",
     "make_request_trace",
     "run_loadtest",

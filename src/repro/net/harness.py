@@ -45,6 +45,7 @@ from .tuner import TunerClient
 
 __all__ = [
     "LoadReport",
+    "build_demo_plan",
     "build_demo_program",
     "make_request_trace",
     "simulator_baseline",
@@ -52,6 +53,30 @@ __all__ = [
     "run_loadtest",
     "write_loadtest_json",
 ]
+
+
+def build_demo_plan(
+    *,
+    items: int = 24,
+    channels: int = 3,
+    fanout: int = 3,
+    planner: str = "sorting",
+    theta: float = 0.95,
+    seed: int = 2000,
+):
+    """The full :class:`~repro.planners.PlanResult` behind the demo program.
+
+    The result — not just its compiled program — is what a
+    :class:`~repro.sched.ScheduleStore` publishes (the plan document
+    carries cost/method/stats alongside the schedule), so the sched
+    harness and CLI build plans through this and compile on demand.
+    """
+    rng = np.random.default_rng(seed)
+    labels = [f"K{index:03d}" for index in range(items)]
+    weights = zipf_weights(rng, items, theta=theta)
+    return plan_catalog(
+        labels, list(weights), channels, method=planner, fanout=fanout
+    )
 
 
 def build_demo_program(
@@ -70,11 +95,13 @@ def build_demo_program(
     sharded cluster plans each shard through, so a demo program and a
     one-shard cluster are built by the identical path.
     """
-    rng = np.random.default_rng(seed)
-    labels = [f"K{index:03d}" for index in range(items)]
-    weights = zipf_weights(rng, items, theta=theta)
-    return plan_catalog(
-        labels, list(weights), channels, method=planner, fanout=fanout
+    return build_demo_plan(
+        items=items,
+        channels=channels,
+        fanout=fanout,
+        planner=planner,
+        theta=theta,
+        seed=seed,
     ).compile()
 
 

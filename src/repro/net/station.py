@@ -42,12 +42,15 @@ survive in :attr:`perf`.
 from __future__ import annotations
 
 import asyncio
+import bisect
 import contextlib
 import json
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..broadcast.pointers import BroadcastProgram
+from ..client.request import invalidate_request_caches
 from ..faults import CORRUPT, LOST, FaultConfig, FaultInjector, corrupt_frame
 from ..io.wire import (
     DEFAULT_BUCKET_SIZE,
@@ -55,13 +58,37 @@ from ..io.wire import (
     encode_air_frame,
     encode_program,
 )
-from ..obs.events import NULL_TRACER, FrameDropped, SlotAired, Tracer
+from ..obs.events import (
+    NULL_TRACER,
+    FrameDropped,
+    ScheduleActivated,
+    SlotAired,
+    Tracer,
+)
 from ..perf import PerfRecorder
 from .clock import SlotClock
 
 __all__ = ["BroadcastStation"]
 
 _QUEUE_SENTINEL = None
+
+
+@dataclass(frozen=True)
+class _Segment:
+    """One contiguous stretch of air served by a single plan version.
+
+    ``start`` is the first absolute slot the segment airs; segments are
+    appended by :meth:`BroadcastStation.publish` with starts aligned to
+    the previous segment's cycle grid, so the air is always a whole
+    number of cycles of each plan — a cutover never truncates a cycle
+    mid-way.
+    """
+
+    start: int
+    version: int
+    program: BroadcastProgram
+    frames: list[list[bytes]]
+    cycle_length: int
 
 
 class BroadcastStation:
@@ -99,6 +126,13 @@ class BroadcastStation:
         query of a coordinate), every UDP overload drop
         (:class:`~repro.obs.events.FrameDropped`) and — via the fault
         injector — every non-OK channel decision.
+    schedule_version:
+        :mod:`repro.sched` version of ``program``. 0 (default) airs
+        unversioned version-1 envelopes — byte-identical to a station
+        without versioning. Positive versions stamp every airing with
+        the serving plan's version (wire v2), the signal a tuner's walk
+        uses to detect a mid-walk cutover; new versions go on air via
+        :meth:`publish`.
     """
 
     def __init__(
@@ -114,6 +148,7 @@ class BroadcastStation:
         queue_limit: int = 64,
         perf: PerfRecorder | None = None,
         tracer: Tracer | None = None,
+        schedule_version: int = 0,
     ) -> None:
         if transport not in ("tcp", "udp"):
             raise ValueError(
@@ -126,11 +161,25 @@ class BroadcastStation:
             )
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
+        if schedule_version < 0:
+            raise ValueError("schedule_version must be >= 0")
         self.program = program
         self.bucket_size = bucket_size
         self.frames = encode_program(program, bucket_size)
         self.cycle_length = program.cycle_length
         self.channels = program.channels
+        # The version timeline: one segment per published plan, starts
+        # strictly increasing and cycle-boundary aligned. Version 0
+        # (the default) airs unversioned version-1 envelopes, so a
+        # station that never publishes is byte-identical on the wire to
+        # the pre-versioning implementation.
+        self.version = schedule_version
+        self._timeline: list[_Segment] = [
+            _Segment(1, schedule_version, program, self.frames,
+                     program.cycle_length)
+        ]
+        self._starts = [1]
+        self._frontier = 0  # highest absolute slot ever answered
         self.faults = faults
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._injector = (
@@ -210,20 +259,119 @@ class BroadcastStation:
         await self.aclose()
 
     # -- the air itself -----------------------------------------------------
+    def _segment_for(self, absolute_slot: int) -> _Segment:
+        """The timeline segment active at ``absolute_slot``."""
+        index = bisect.bisect_right(self._starts, absolute_slot) - 1
+        return self._timeline[index]
+
+    def next_boundary(self, after_slot: int) -> int:
+        """First cycle-boundary start slot strictly after ``after_slot``.
+
+        Boundaries are counted on the *last* published segment's grid:
+        its start plus a whole number of its cycles — the earliest slot
+        a new version may legally take over.
+        """
+        last = self._timeline[-1]
+        if after_slot < last.start:
+            after_slot = last.start
+        elapsed = after_slot - last.start + 1
+        cycles = (elapsed + last.cycle_length - 1) // last.cycle_length
+        return last.start + max(1, cycles) * last.cycle_length
+
+    def publish(
+        self,
+        program: BroadcastProgram,
+        *,
+        version: int,
+        activate_at_slot: int | None = None,
+    ) -> int:
+        """Put a new plan version on the air at a cycle boundary.
+
+        The swap is atomic at ``activate_at_slot``: every airing before
+        it comes from the old segment, every airing from it onward from
+        the new one — :meth:`airing` stays a pure function of
+        (timeline, faults, coordinates), so a concurrent fleet still
+        reproduces exactly. ``activate_at_slot`` must lie on the
+        current last segment's cycle grid, after its start, and must
+        not already have been answered from the old plan; ``None``
+        picks the first boundary after everything answered or aired so
+        far. Returns the activation slot.
+
+        The retired program's engine caches are dropped
+        (:func:`repro.client.request.invalidate_request_caches`): its
+        frame grid and dense compilation describe air that ends at the
+        boundary.
+        """
+        if version <= self.version:
+            raise ValueError(
+                f"schedule versions must increase (have {self.version}, "
+                f"got {version})"
+            )
+        if program.channels != self.channels:
+            raise ValueError(
+                f"published program has {program.channels} channels; the "
+                f"station airs {self.channels} (channel count is fixed "
+                "for the station's lifetime)"
+            )
+        last = self._timeline[-1]
+        if activate_at_slot is None:
+            activate_at_slot = self.next_boundary(
+                max(self._frontier, self.clock.aired)
+            )
+        if activate_at_slot <= last.start:
+            raise ValueError(
+                f"activation slot {activate_at_slot} precedes the current "
+                f"segment (starts at {last.start})"
+            )
+        if (activate_at_slot - last.start) % last.cycle_length != 0:
+            raise ValueError(
+                f"activation slot {activate_at_slot} is not a cycle "
+                f"boundary of the current segment (start {last.start}, "
+                f"cycle {last.cycle_length})"
+            )
+        if activate_at_slot <= self._frontier:
+            raise ValueError(
+                f"activation slot {activate_at_slot} was already answered "
+                "from the current plan; activate at a future boundary"
+            )
+        frames = encode_program(program, self.bucket_size)
+        self._timeline.append(
+            _Segment(
+                activate_at_slot, version, program, frames,
+                program.cycle_length,
+            )
+        )
+        self._starts.append(activate_at_slot)
+        invalidate_request_caches(last.program)
+        self.version = version
+        self.perf.count("sched.publishes")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ScheduleActivated(
+                    version=version,
+                    activate_slot=activate_at_slot,
+                    cycle_length=program.cycle_length,
+                )
+            )
+        return activate_at_slot
+
     def airing(self, channel: int, absolute_slot: int) -> AirFrame:
         """What actually went out on ``channel`` at ``absolute_slot``.
 
-        A pure function of the program, the fault config and the
-        coordinates — the same airing is the same bytes no matter when
-        or how often it is asked for, which is what makes a concurrent
-        fleet's measurements reproducible.
+        A pure function of the version timeline, the fault config and
+        the coordinates — the same airing is the same bytes no matter
+        when or how often it is asked for, which is what makes a
+        concurrent fleet's measurements reproducible.
         """
         if not 1 <= channel <= self.channels:
             raise ValueError(f"channel must be in 1..{self.channels}")
         if absolute_slot < 1:
             raise ValueError("absolute_slot is 1-based")
-        slot = (absolute_slot - 1) % self.cycle_length + 1
-        frame = self.frames[channel - 1][slot - 1]
+        segment = self._segment_for(absolute_slot)
+        slot = (absolute_slot - segment.start) % segment.cycle_length + 1
+        frame = segment.frames[channel - 1][slot - 1]
+        if absolute_slot > self._frontier:
+            self._frontier = absolute_slot
         fate = (
             self._injector.outcome(channel, absolute_slot)
             if self._injector is not None
@@ -237,7 +385,12 @@ class BroadcastStation:
             )
         if fate == LOST:
             self.perf.count("net.station.lost_aired")
-            return AirFrame(channel=channel, absolute_slot=absolute_slot, lost=True)
+            return AirFrame(
+                channel=channel,
+                absolute_slot=absolute_slot,
+                lost=True,
+                schedule_version=segment.version,
+            )
         if fate == CORRUPT:
             # Damage is seeded per airing so repeat queries agree.
             rng = np.random.default_rng(
@@ -246,7 +399,10 @@ class BroadcastStation:
             self.perf.count("net.station.corrupt_aired")
             frame = corrupt_frame(frame, rng)
         return AirFrame(
-            channel=channel, absolute_slot=absolute_slot, payload=frame
+            channel=channel,
+            absolute_slot=absolute_slot,
+            payload=frame,
+            schedule_version=segment.version,
         )
 
     def welcome(self) -> bytes:

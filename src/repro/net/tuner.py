@@ -153,6 +153,14 @@ class TunerClient:
         )
         while (listen := walk.next_listen()) is not None:
             air = await self._listen(listen.channel, listen.absolute_slot)
+            if walk.observe_version(air.schedule_version):
+                # The air's schedule version changed under the walk
+                # (the station cut over to a new plan); the walk has
+                # already consumed this read and restarted from the
+                # root per its policy — a recovery event, never a
+                # corrupt bucket.
+                self.perf.count("net.tuner.cutovers")
+                continue
             if air.lost:
                 walk.on_loss()
                 self.perf.count("net.tuner.lost")

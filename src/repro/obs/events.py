@@ -53,6 +53,8 @@ __all__ = [
     "WalkFinished",
     "ReplanStarted",
     "ReplanFinished",
+    "ScheduleActivated",
+    "CutoverDetected",
     "SearchProgress",
     "FaultInjected",
     "EVENT_TYPES",
@@ -174,6 +176,44 @@ class ReplanFinished:
 
 
 @dataclass(frozen=True, slots=True)
+class ScheduleActivated:
+    """A station scheduled a new plan version onto the air.
+
+    Emitted at publish time by :meth:`repro.net.BroadcastStation.publish`
+    (and mirrored by the store-backed serving paths): the new
+    ``version`` takes over at ``activate_slot``, always a cycle boundary
+    of the outgoing segment — the atomicity that lets in-flight walks
+    recover by restart instead of reading a half-swapped cycle.
+    """
+
+    kind: ClassVar[str] = "schedule_activated"
+    version: int
+    activate_slot: int
+    cycle_length: int
+    note: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class CutoverDetected:
+    """A walk noticed the air's schedule version change under it.
+
+    Emitted by :class:`~repro.client.walk.PointerWalk` when a delivered
+    envelope is stamped with a different version than the one the walk
+    adopted: the pointers it was following belong to a retired plan, so
+    it restarts from the root on the new version (accounted like a
+    retry — the read still cost tuning time, and never as a corrupt
+    bucket).
+    """
+
+    kind: ClassVar[str] = "cutover_detected"
+    key: str
+    from_version: int
+    to_version: int
+    absolute_slot: int
+    walk: int = -1
+
+
+@dataclass(frozen=True, slots=True)
 class SearchProgress:
     """A long solve reporting effort while it runs.
 
@@ -213,6 +253,8 @@ TraceEvent = (
     | WalkFinished
     | ReplanStarted
     | ReplanFinished
+    | ScheduleActivated
+    | CutoverDetected
     | SearchProgress
     | FaultInjected
 )
@@ -227,6 +269,8 @@ EVENT_TYPES: dict[str, type] = {
         WalkFinished,
         ReplanStarted,
         ReplanFinished,
+        ScheduleActivated,
+        CutoverDetected,
         SearchProgress,
         FaultInjected,
     )

@@ -187,6 +187,29 @@ METRIC_SPECS: tuple[MetricSpec, ...] = (
         ("aggregate", "speedup_vs_scalar"),
         direction=HIGHER, kind=TIMING,
     ),
+    # sched-bench: bytes per version are seed-deterministic quality
+    # (the delta encoder either compresses the history or it doesn't);
+    # publish/load/rollback latencies are wall-clock.
+    MetricSpec(
+        "sched-bench", "store_bytes_per_version",
+        ("result", "store_bytes_per_version"),
+    ),
+    MetricSpec(
+        "sched-bench", "store_bytes_total",
+        ("result", "store_bytes_total"),
+    ),
+    MetricSpec(
+        "sched-bench", "publish_ms_mean",
+        ("result", "publish_ms_mean"), kind=TIMING,
+    ),
+    MetricSpec(
+        "sched-bench", "load_ms_mean",
+        ("result", "load_ms_mean"), kind=TIMING,
+    ),
+    MetricSpec(
+        "sched-bench", "rollback_ms",
+        ("result", "rollback_ms"), kind=TIMING,
+    ),
     # server-faults: how gracefully the server degrades, in slots.
     MetricSpec(
         "server-faults", "lossless_mean_access",

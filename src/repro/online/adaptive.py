@@ -26,10 +26,9 @@ from typing import Hashable
 
 import numpy as np
 
-from .._compat import deprecated_positionals
 from ..broadcast.schedule import BroadcastSchedule
 from ..perf import PerfRecorder
-from ..planners import plan
+from ..planners import PlanResult, plan
 from ..tree.alphabetic import optimal_alphabetic_tree
 from ..tree.index_tree import IndexTree
 from .estimator import DecayingFrequencyEstimator
@@ -68,11 +67,9 @@ class AdaptiveBroadcaster:
         Optional :class:`~repro.perf.PerfRecorder` shared with the
         planner (``planner.*`` counters and timers).
 
-    All parameters after ``items`` are keyword-only; legacy positional
-    calls still work for one release with a ``DeprecationWarning``.
+    All parameters after ``items`` are keyword-only.
     """
 
-    @deprecated_positionals
     def __init__(
         self,
         items: list[Hashable],
@@ -101,6 +98,10 @@ class AdaptiveBroadcaster:
             self.items, half_life=half_life
         )
         self.schedule: BroadcastSchedule | None = None
+        #: Full planner outcome of the latest replan — what a
+        #: :class:`repro.sched.ScheduleStore` publishes (the schedule
+        #: alone cannot reproduce the plan document's cost/method/stats).
+        self.last_result: PlanResult | None = None
         self.replans = 0
 
     # -- serving ----------------------------------------------------------------
@@ -127,13 +128,14 @@ class AdaptiveBroadcaster:
         )
 
     def _allocate(self, tree: IndexTree) -> BroadcastSchedule:
-        return plan(
+        self.last_result = plan(
             tree,
             self.channels,
             method=self.planner_name,
             perf=self.perf,
             **self.planner_options,
-        ).schedule
+        )
+        return self.last_result.schedule
 
     # -- evaluation ----------------------------------------------------------------
     def true_data_wait(self, true_weights: dict[Hashable, float]) -> float:

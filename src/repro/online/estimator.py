@@ -99,3 +99,33 @@ class DecayingFrequencyEstimator:
     def ranking(self) -> list[Hashable]:
         """Items sorted by estimated popularity, most popular first."""
         return sorted(self._counts, key=self.estimate, reverse=True)
+
+    # -- persistence ----------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of the estimator's learned state.
+
+        Captures the clock and every item's (count, stamp) pair — the
+        lazily-decayed representation itself, so a restore reproduces
+        future estimates bit-for-bit. Items must be JSON keys already
+        (the persistence path serves string catalogs).
+        """
+        return {
+            "clock": self._clock,
+            "counts": [
+                [item, self._counts[item], self._stamps[item]]
+                for item in self._counts
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot over the same catalog."""
+        entries = {item: (count, stamp) for item, count, stamp in state["counts"]}
+        if set(entries) != set(self._counts):
+            raise ValueError(
+                "estimator snapshot covers a different catalog; restore "
+                "requires the same item set"
+            )
+        self._clock = float(state["clock"])
+        for item, (count, stamp) in entries.items():
+            self._counts[item] = float(count)
+            self._stamps[item] = float(stamp)

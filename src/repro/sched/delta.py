@@ -1,0 +1,245 @@
+"""Canonical plan documents and structural deltas — the store's codec.
+
+The versioned store (:mod:`repro.sched.store`) persists every published
+plan as a *canonical document*: a JSON-able dict built from the same
+serialisation :mod:`repro.io.json_io` uses for schedules, extended with
+the :class:`~repro.planners.PlanResult` provenance (cost, method,
+stats). Canonical means one byte sequence per logical plan —
+:func:`canonical_bytes` sorts keys, strips whitespace and refuses
+non-finite floats — which is what makes content addressing
+(:func:`content_id`) and the store's byte-exact round-trip gate
+meaningful.
+
+Consecutive versions of a drifting workload share most of their
+document, so the store encodes follow-up versions as **structural
+deltas**: :func:`delta` diffs two documents into a flat list of
+path-addressed ops, :func:`apply_delta` replays them. The pair
+satisfies the exact-inverse property the hypothesis suite locks::
+
+    canonical_bytes(apply_delta(delta(a, b), a)) == canonical_bytes(b)
+
+for *any* two JSON documents — not just plan documents — because the
+diff recurses structurally and only short-circuits on scalars whose
+type **and** value agree (``2`` and ``2.0`` compare equal in Python but
+serialise differently, so they diff).
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+from typing import Any
+
+from ..exceptions import ReproError
+from ..io.json_io import schedule_from_dict, schedule_to_dict
+from ..planners import PlanResult
+
+__all__ = [
+    "PLAN_FORMAT",
+    "DELTA_FORMAT",
+    "DeltaError",
+    "plan_to_doc",
+    "plan_from_doc",
+    "canonical_bytes",
+    "content_id",
+    "delta",
+    "apply_delta",
+]
+
+PLAN_FORMAT = "broadcast-alloc/plan"
+DELTA_FORMAT = "broadcast-alloc/plan-delta"
+
+
+class DeltaError(ReproError):
+    """A delta document cannot be applied to its base."""
+
+
+def _scalarize(value: Any):
+    """JSON default hook: numpy scalars serialise as their Python value."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(
+        f"{type(value).__name__} is not JSON-serialisable in a plan document"
+    )
+
+
+def canonical_bytes(doc: Any) -> bytes:
+    """The one byte sequence of a document: sorted keys, no whitespace.
+
+    ``allow_nan=False`` because ``NaN``/``Infinity`` are not JSON — a
+    document containing them could never round-trip through the store.
+    """
+    return json.dumps(
+        doc,
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+        default=_scalarize,
+    ).encode()
+
+
+def content_id(doc: Any) -> str:
+    """SHA-256 of the canonical bytes — the document's store address."""
+    return hashlib.sha256(canonical_bytes(doc)).hexdigest()
+
+
+def plan_to_doc(result: PlanResult) -> dict:
+    """Serialise a :class:`~repro.planners.PlanResult` to its document.
+
+    The round trip through ``json`` normalises container types (tuples
+    become lists, numpy scalars become Python scalars) so the document
+    is *already* canonical-typed: serialising the result of
+    :func:`plan_from_doc` reproduces it byte for byte.
+    """
+    doc = {
+        "format": PLAN_FORMAT,
+        "version": 1,
+        "schedule": schedule_to_dict(result.schedule),
+        "cost": result.cost,
+        "method": result.method,
+        "stats": result.stats,
+    }
+    return json.loads(canonical_bytes(doc).decode())
+
+
+def plan_from_doc(doc: dict) -> PlanResult:
+    """Rebuild the :class:`~repro.planners.PlanResult` of a document."""
+    if not isinstance(doc, dict) or doc.get("format") != PLAN_FORMAT:
+        raise DeltaError("not a broadcast-alloc plan document")
+    if doc.get("version") != 1:
+        raise DeltaError(f"unknown plan document version {doc.get('version')!r}")
+    try:
+        schedule = schedule_from_dict(doc["schedule"])
+        return PlanResult(
+            schedule,
+            doc["cost"],
+            doc["method"],
+            copy.deepcopy(doc.get("stats", {})),
+        )
+    except (KeyError, TypeError) as error:
+        raise DeltaError(f"malformed plan document: {error}") from error
+
+
+# ---------------------------------------------------------------------------
+# structural diff / patch
+# ---------------------------------------------------------------------------
+
+def delta(base: Any, target: Any) -> list[dict]:
+    """Diff two JSON documents into path-addressed ops.
+
+    Ops (each a JSON-able dict):
+
+    * ``{"op": "set", "path": [...], "value": v}`` — replace the node at
+      ``path`` (an empty path replaces the whole document);
+    * ``{"op": "del", "path": [...]}`` — remove a dict key;
+    * ``{"op": "push", "path": [...], "values": [...]}`` — extend the
+      list at ``path``;
+    * ``{"op": "trim", "path": [...], "length": n}`` — shrink the list
+      at ``path`` to ``n`` elements.
+
+    Paths mix string dict keys and integer list indices. The op list is
+    deterministic (dict keys are visited sorted), so the same pair of
+    documents always produces the same delta — and therefore the same
+    content-addressed delta object in the store.
+    """
+    ops: list[dict] = []
+    _diff(base, target, [], ops)
+    return ops
+
+
+def _diff(a: Any, b: Any, path: list, ops: list[dict]) -> None:
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(a.keys() - b.keys()):
+            ops.append({"op": "del", "path": path + [key]})
+        for key in sorted(b):
+            if key in a:
+                _diff(a[key], b[key], path + [key], ops)
+            else:
+                ops.append({"op": "set", "path": path + [key], "value": b[key]})
+        return
+    if (
+        isinstance(a, list)
+        and isinstance(b, list)
+        and not isinstance(a, str)
+        and not isinstance(b, str)
+    ):
+        common = min(len(a), len(b))
+        for index in range(common):
+            _diff(a[index], b[index], path + [index], ops)
+        if len(b) > len(a):
+            ops.append({"op": "push", "path": list(path), "values": b[common:]})
+        elif len(b) < len(a):
+            ops.append({"op": "trim", "path": list(path), "length": len(b)})
+        return
+    # Scalars (or mismatched containers). ``type`` must agree as well as
+    # value: bool/int and int/float cross-compare equal in Python but
+    # serialise differently, which would break byte-exactness. The same
+    # trap hides inside float equality itself (-0.0 == 0.0 but they
+    # serialise as "-0.0" and "0.0"), hence the repr check.
+    if type(a) is type(b) and a == b:
+        if not isinstance(a, float) or repr(a) == repr(b):
+            return
+    ops.append({"op": "set", "path": list(path), "value": b})
+
+
+def _resolve(doc: Any, path: list) -> Any:
+    node = doc
+    for step in path:
+        try:
+            node = node[step]
+        except (KeyError, IndexError, TypeError) as error:
+            raise DeltaError(f"delta path {path!r} does not resolve") from error
+    return node
+
+
+def apply_delta(ops: list[dict], base: Any) -> Any:
+    """Replay a :func:`delta` op list onto ``base`` (left untouched)."""
+    doc = copy.deepcopy(base)
+    for op in ops:
+        try:
+            kind = op["op"]
+            path = op["path"]
+        except (KeyError, TypeError) as error:
+            raise DeltaError(f"malformed delta op {op!r}") from error
+        if kind == "set":
+            if not path:
+                doc = copy.deepcopy(op["value"])
+                continue
+            parent = _resolve(doc, path[:-1])
+            try:
+                parent[path[-1]] = copy.deepcopy(op["value"])
+            except (IndexError, TypeError) as error:
+                raise DeltaError(
+                    f"cannot set {path!r} on the base document"
+                ) from error
+        elif kind == "del":
+            if not path:
+                raise DeltaError("cannot delete the document root")
+            parent = _resolve(doc, path[:-1])
+            try:
+                del parent[path[-1]]
+            except (KeyError, IndexError, TypeError) as error:
+                raise DeltaError(
+                    f"cannot delete {path!r} from the base document"
+                ) from error
+        elif kind == "push":
+            target = _resolve(doc, path)
+            if not isinstance(target, list):
+                raise DeltaError(f"push target {path!r} is not a list")
+            target.extend(copy.deepcopy(op["values"]))
+        elif kind == "trim":
+            target = _resolve(doc, path)
+            if not isinstance(target, list):
+                raise DeltaError(f"trim target {path!r} is not a list")
+            length = op["length"]
+            if not 0 <= length <= len(target):
+                raise DeltaError(
+                    f"trim length {length} out of range for {path!r}"
+                )
+            del target[length:]
+        else:
+            raise DeltaError(f"unknown delta op {kind!r}")
+    return doc

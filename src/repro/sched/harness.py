@@ -1,0 +1,343 @@
+"""Live-cutover loadtest and store benchmark for :mod:`repro.sched`.
+
+Two executable proofs back the subsystem's claims:
+
+* :func:`run_cutover_loadtest` — a loopback
+  :class:`~repro.net.station.BroadcastStation` airing a store-published
+  plan, a concurrent tuner fleet walking it, and — *while the fleet is
+  in flight* — a replan cut over at a cycle boundary and then rolled
+  back at a later one. The gates are the subsystem's contract: frame
+  accounting stays exact (every envelope the station sent was consumed
+  by exactly one walk read — cutover reads included), no walk is
+  abandoned, every delivered payload is intact, and the rolled-back
+  version's document is byte-identical to the original's.
+* :func:`run_store_bench` — publish/load/rollback latency and on-disk
+  size against version count, the numbers ``make bench-sched`` tracks
+  through the regression sentinel.
+
+Both are deterministic in their measured (non-timing) numbers: plans,
+activation slots and walks are pure functions of the seed, because
+every publish is scheduled *before* the fleet starts and
+:meth:`~repro.net.station.BroadcastStation.airing` is a pure function
+of (timeline, coordinates).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import tempfile
+from contextlib import ExitStack
+from time import perf_counter
+
+import numpy as np
+
+from ..client.protocol import RecoveryPolicy
+from ..client.walk import WalkResult
+from ..net.harness import build_demo_plan, make_request_trace
+from ..net.station import BroadcastStation
+from ..net.tuner import TunerClient
+from ..obs.events import Tracer
+from ..perf import PerfRecorder
+from ..planners import plan_catalog
+from ..workloads.weights import zipf_weights
+from .delta import canonical_bytes, plan_to_doc
+from .store import ScheduleStore
+
+__all__ = ["run_cutover_loadtest", "run_store_bench", "write_sched_json"]
+
+
+async def run_cutover_loadtest(
+    *,
+    tuners: int = 200,
+    items: int = 24,
+    channels: int = 3,
+    fanout: int = 3,
+    seed: int = 2000,
+    max_open: int = 128,
+    store_dir: str | os.PathLike | None = None,
+    perf: PerfRecorder | None = None,
+    tracer: Tracer | None = None,
+) -> dict:
+    """Replan and roll back under a live tuner fleet; gate the outcome.
+
+    The timeline: plan A (the baseline) goes on air as store version 1;
+    plan B (a deliberately different allocation — same catalog, much
+    flatter access skew) is published as version 2 and activated at the
+    second cycle boundary, so every fleet walk that tuned into cycle 1
+    crosses the cutover when its descend lands in cycle 2; version 2 is
+    then rolled back (store version 3, content-identical to version 1)
+    and activated two B-cycles later. Every activation is scheduled
+    before the fleet starts, which keeps the whole run a pure function
+    of ``seed``.
+
+    Returns the ``sched-loadtest`` record; ``record["ok"]`` is the AND
+    of the acceptance gates (exact frame accounting, zero abandoned
+    walks, observed cutovers, intact payloads, byte-exact rollback).
+    """
+    plan_a = build_demo_plan(
+        items=items, channels=channels, fanout=fanout, seed=seed, theta=0.95
+    )
+    plan_b = build_demo_plan(
+        items=items, channels=channels, fanout=fanout, seed=seed, theta=0.35
+    )
+    recorder = perf if perf is not None else PerfRecorder()
+
+    with ExitStack() as stack:
+        if store_dir is None:
+            store_dir = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-sched-")
+            )
+        store = ScheduleStore(store_dir, perf=recorder)
+        rec_a = store.publish(plan_a, note="baseline plan")
+        rec_b = store.publish(plan_b, note="replan under live traffic")
+        rec_back = store.rollback(rec_a.version, note="roll back bad replan")
+
+        program_a = plan_a.compile()
+        program_b = plan_b.compile()
+        station = BroadcastStation(
+            program_a,
+            perf=recorder,
+            tracer=tracer,
+            schedule_version=rec_a.version,
+        )
+        # Cut over at the second cycle boundary: every walk tunes into
+        # cycle 1 and descends into cycle 2, so every walk crosses it.
+        replan_slot = 1 + program_a.cycle_length
+        station.publish(
+            program_b, version=rec_b.version, activate_at_slot=replan_slot
+        )
+        rollback_slot = replan_slot + 2 * program_b.cycle_length
+        station.publish(
+            program_a, version=rec_back.version, activate_at_slot=rollback_slot
+        )
+
+        trace = make_request_trace(
+            program_a, tuners, np.random.default_rng(seed)
+        )
+        # Restarting from the root (twice, for walks that also cross the
+        # rollback) costs extra cycles; the deadline must never be what
+        # abandons a walk on lossless air.
+        policy = RecoveryPolicy(max_cycles=64)
+        gate = asyncio.Semaphore(max_open)
+        results: list[WalkResult | None] = [None] * len(trace)
+        failures: list[Exception] = []
+
+        async def one_tuner(index: int, key: str, tune_slot: int) -> None:
+            async with gate:
+                try:
+                    async with TunerClient(
+                        station.host,
+                        station.port,
+                        policy=policy,
+                        perf=recorder,
+                        tracer=tracer,
+                    ) as tuner:
+                        results[index] = await tuner.fetch(
+                            key, tune_slot, walk_id=index
+                        )
+                except Exception as error:  # accounted, not swallowed
+                    failures.append(error)
+
+        started = perf_counter()
+        async with station:
+            await asyncio.gather(
+                *(
+                    one_tuner(index, key, slot)
+                    for index, (key, slot) in enumerate(trace)
+                )
+            )
+        wall = perf_counter() - started
+        if failures:
+            raise failures[0]
+
+        walks = [walk for walk in results if walk is not None]
+        completed = [walk for walk in walks if not walk.abandoned]
+        reads = sum(walk.tuning_time for walk in walks)
+        answered = recorder.counters.get("net.station.frames_sent", 0)
+        unaccounted = answered - reads
+        cutovers = sum(walk.cutovers for walk in walks)
+        payloads_intact = all(
+            walk.payload == b"item:" + walk.key.encode() for walk in completed
+        )
+        doc_original = store.doc(rec_a.version)
+        doc_restored = store.doc(rec_back.version)
+        rollback_exact = (
+            canonical_bytes(doc_original)
+            == canonical_bytes(doc_restored)
+            == canonical_bytes(plan_to_doc(plan_a))
+        )
+
+        checks = {
+            "zero_unaccounted_frames": unaccounted == 0,
+            "zero_abandoned_walks": not (len(walks) - len(completed)),
+            "cutovers_observed": cutovers > 0,
+            "payloads_intact": payloads_intact,
+            "rollback_byte_exact": rollback_exact,
+        }
+        return {
+            "suite": "sched-loadtest",
+            "config": {
+                "tuners": len(trace),
+                "items": items,
+                "channels": channels,
+                "fanout": fanout,
+                "seed": seed,
+                "replan_slot": replan_slot,
+                "rollback_slot": rollback_slot,
+            },
+            "result": {
+                "completed": len(completed),
+                "abandoned": len(walks) - len(completed),
+                "cutovers": cutovers,
+                "mean_access_time": (
+                    sum(w.access_time for w in completed) / len(completed)
+                    if completed
+                    else 0.0
+                ),
+                "mean_tuning_time": (
+                    sum(w.tuning_time for w in completed) / len(completed)
+                    if completed
+                    else 0.0
+                ),
+                "retries": sum(w.retries for w in walks),
+                "wall_seconds": wall,
+                "frames_answered": answered,
+                "frames_read": reads,
+                "unaccounted_frames": unaccounted,
+                "store": {
+                    "versions": [r.to_dict() for r in store.versions()],
+                    "size_bytes": store.size_bytes(),
+                    "verified_versions": store.verify(),
+                },
+            },
+            "checks": checks,
+            "ok": all(checks.values()),
+        }
+
+
+def run_store_bench(
+    *,
+    versions: int = 40,
+    items: int = 24,
+    channels: int = 3,
+    fanout: int = 3,
+    seed: int = 2000,
+    snapshot_every: int = 8,
+    store_dir: str | os.PathLike | None = None,
+    perf: PerfRecorder | None = None,
+) -> dict:
+    """Measure publish/load/rollback latency and store growth.
+
+    Publishes ``versions`` distinct plans (the same catalog under a
+    per-version reshuffled Zipf weighting — consecutive versions are
+    similar, which is the workload the delta encoding exists for), then
+    times an integrity-checked load of every version through a *fresh*
+    store handle (cold document cache) and one rollback to version 1.
+    Size metrics are deterministic; the ``*_ms`` timings are what the
+    regression sentinel watches.
+    """
+    if versions < 2:
+        raise ValueError("bench needs at least 2 versions")
+    recorder = perf if perf is not None else PerfRecorder()
+    labels = [f"K{index:03d}" for index in range(items)]
+
+    with ExitStack() as stack:
+        if store_dir is None:
+            store_dir = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-sched-bench-")
+            )
+        store = ScheduleStore(
+            store_dir, snapshot_every=snapshot_every, perf=recorder
+        )
+        publish_seconds: list[float] = []
+        for version in range(versions):
+            rng = np.random.default_rng([seed, version])
+            weights = zipf_weights(rng, items, theta=0.95)
+            shuffled = np.asarray(weights)[rng.permutation(items)]
+            result = plan_catalog(
+                labels,
+                [float(w) for w in shuffled],
+                channels,
+                method="sorting",
+                fanout=fanout,
+            )
+            began = perf_counter()
+            store.publish(result, note=f"bench version {version + 1}")
+            publish_seconds.append(perf_counter() - began)
+
+        reader = ScheduleStore(
+            store_dir, snapshot_every=snapshot_every, perf=recorder
+        )
+        load_seconds: list[float] = []
+        round_trip = True
+        for version in range(1, versions + 1):
+            began = perf_counter()
+            loaded = reader.load(version)
+            load_seconds.append(perf_counter() - began)
+            round_trip = round_trip and (
+                canonical_bytes(plan_to_doc(loaded))
+                == canonical_bytes(reader.doc(version))
+            )
+
+        began = perf_counter()
+        rollback_record = store.rollback(1, note="bench rollback")
+        rollback_seconds = perf_counter() - began
+        rollback_exact = (
+            rollback_record.content_id == store.record(1).content_id
+        )
+
+        records = store.versions()
+        snapshots = sum(1 for r in records if r.kind == "snapshot")
+        deltas = sum(1 for r in records if r.kind == "delta")
+        size = store.size_bytes()
+        verified = store.verify()
+
+        checks = {
+            "round_trip_exact": round_trip,
+            "rollback_byte_exact": rollback_exact,
+            "all_versions_verified": verified == len(records),
+        }
+        return {
+            "suite": "sched-bench",
+            "config": {
+                "versions": versions,
+                "items": items,
+                "channels": channels,
+                "fanout": fanout,
+                "seed": seed,
+                "snapshot_every": snapshot_every,
+            },
+            "result": {
+                "publish_ms_mean": 1e3 * sum(publish_seconds) / versions,
+                "publish_ms_max": 1e3 * max(publish_seconds),
+                "load_ms_mean": 1e3 * sum(load_seconds) / versions,
+                "load_ms_max": 1e3 * max(load_seconds),
+                "rollback_ms": 1e3 * rollback_seconds,
+                "store_bytes_total": size,
+                "store_bytes_per_version": size / len(records),
+                "versions_published": len(records),
+                "snapshots": snapshots,
+                "deltas": deltas,
+            },
+            "checks": checks,
+            "ok": all(checks.values()),
+        }
+
+
+def write_sched_json(
+    path: str,
+    record: dict,
+    *,
+    rev: str | None = None,
+    timestamp: str | None = None,
+) -> dict:
+    """Persist one sched harness record with the shared bench envelope."""
+    from ..bench_envelope import stamp_record
+
+    stamped = stamp_record(dict(record), rev=rev, timestamp=timestamp)
+    with open(path, "w") as handle:
+        json.dump(stamped, handle, indent=2)
+        handle.write("\n")
+    return stamped

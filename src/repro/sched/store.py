@@ -1,0 +1,411 @@
+"""The content-addressed, versioned schedule store.
+
+A replan today swaps the plan in process memory: no history, no
+durability, no way to answer "what was on air at version 3?". The
+:class:`ScheduleStore` is the durable side of :mod:`repro.sched` — a
+directory holding
+
+* ``objects/<sha256>.json`` — content-addressed documents: full plan
+  snapshots (:func:`repro.sched.delta.plan_to_doc`) and delta documents
+  between consecutive versions. Identical content is stored once, which
+  is what makes a rollback version *free*: its document already exists
+  under the original version's address.
+* ``log.jsonl`` — the append-only version log, one line per published
+  version with a parent link, the document's content id, and whether
+  the version is stored as a snapshot or as a delta against its parent.
+  The log is the single source of truth; objects not reachable from it
+  are garbage (:meth:`ScheduleStore.gc`).
+* ``state.json`` — an optional crash snapshot blob
+  (:meth:`save_state`/:meth:`load_state`) the serving loop uses to
+  resume after an interrupt.
+
+Every load reconstructs the requested version from the nearest snapshot
+plus the delta chain and verifies the result's SHA-256 against the
+logged content id — a flipped bit anywhere in the chain surfaces as
+:class:`StoreError`, never as a silently wrong schedule. A full
+snapshot is written every ``snapshot_every`` versions to bound chain
+length.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..exceptions import ReproError
+from ..perf import PerfRecorder
+from ..planners import PlanResult
+from .delta import (
+    DELTA_FORMAT,
+    apply_delta,
+    canonical_bytes,
+    content_id,
+    delta,
+    plan_from_doc,
+    plan_to_doc,
+)
+
+__all__ = ["StoreError", "VersionRecord", "ScheduleStore"]
+
+_LOG_NAME = "log.jsonl"
+_OBJECTS_DIR = "objects"
+_STATE_NAME = "state.json"
+
+
+class StoreError(ReproError):
+    """The store is malformed, or a load failed its integrity check."""
+
+
+@dataclass(frozen=True)
+class VersionRecord:
+    """One line of the version log.
+
+    ``content_id`` addresses the *full* document of this version (and is
+    what integrity verification checks); ``delta_id`` addresses the
+    stored delta object when ``kind == "delta"``. ``parent`` is the
+    version this one was published on top of (``None`` for version 1).
+    """
+
+    version: int
+    content_id: str
+    parent: int | None
+    kind: str  # "snapshot" | "delta"
+    delta_id: str | None = None
+    note: str = ""
+
+    def to_dict(self) -> dict:
+        record = {
+            "version": self.version,
+            "content_id": self.content_id,
+            "parent": self.parent,
+            "kind": self.kind,
+            "note": self.note,
+        }
+        if self.delta_id is not None:
+            record["delta_id"] = self.delta_id
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "VersionRecord":
+        try:
+            return cls(
+                version=int(record["version"]),
+                content_id=record["content_id"],
+                parent=record["parent"],
+                kind=record["kind"],
+                delta_id=record.get("delta_id"),
+                note=record.get("note", ""),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise StoreError(f"malformed log record {record!r}") from error
+
+
+class ScheduleStore:
+    """Durable versioned plans under one directory.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created (with parents) when missing.
+    snapshot_every:
+        A full snapshot is stored whenever the delta chain since the
+        last one would otherwise reach this length. ``1`` stores every
+        version as a snapshot (no deltas at all).
+    perf:
+        Optional shared recorder; counters are namespaced ``sched.*``
+        (``sched.publishes``, ``sched.loads``, ``sched.rollbacks``,
+        ``sched.gc_removed``).
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        *,
+        snapshot_every: int = 8,
+        perf: PerfRecorder | None = None,
+    ) -> None:
+        if snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        self.root = Path(root)
+        self.snapshot_every = snapshot_every
+        self.perf = perf if perf is not None else PerfRecorder()
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / _OBJECTS_DIR).mkdir(exist_ok=True)
+        self._doc_cache: dict[int, dict] = {}
+        self._read_log()  # validate eagerly: a corrupt log fails open()
+
+    # -- the log -------------------------------------------------------------
+    @property
+    def _log_path(self) -> Path:
+        return self.root / _LOG_NAME
+
+    def _read_log(self) -> list[VersionRecord]:
+        records: list[VersionRecord] = []
+        if not self._log_path.exists():
+            return records
+        with open(self._log_path, encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    raw = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise StoreError(
+                        f"log line {number} is not JSON: {error}"
+                    ) from error
+                record = VersionRecord.from_dict(raw)
+                expected = len(records) + 1
+                if record.version != expected:
+                    raise StoreError(
+                        f"log line {number} has version {record.version}, "
+                        f"expected {expected} (append-only, contiguous)"
+                    )
+                records.append(record)
+        return records
+
+    def versions(self) -> list[VersionRecord]:
+        """Every published version, oldest first (re-read from disk)."""
+        return self._read_log()
+
+    @property
+    def head(self) -> VersionRecord | None:
+        """The latest version record, or ``None`` for an empty store."""
+        records = self._read_log()
+        return records[-1] if records else None
+
+    def record(self, version: int) -> VersionRecord:
+        records = self._read_log()
+        if not 1 <= version <= len(records):
+            raise StoreError(
+                f"version {version} not in store (have 1..{len(records)})"
+            )
+        return records[version - 1]
+
+    # -- objects -------------------------------------------------------------
+    def _object_path(self, object_id: str) -> Path:
+        return self.root / _OBJECTS_DIR / f"{object_id}.json"
+
+    def _write_object(self, object_id: str, payload: bytes) -> None:
+        path = self._object_path(object_id)
+        if path.exists():
+            return  # content-addressed: same id is the same bytes
+        tmp = path.with_suffix(".tmp")
+        tmp.write_bytes(payload)
+        os.replace(tmp, path)
+
+    def _read_object(self, object_id: str) -> dict:
+        path = self._object_path(object_id)
+        try:
+            payload = path.read_bytes()
+        except OSError as error:
+            raise StoreError(f"missing store object {object_id}") from error
+        if content_id(json.loads(payload)) != object_id:
+            raise StoreError(
+                f"store object {object_id} failed its integrity check"
+            )
+        return json.loads(payload)
+
+    # -- publish / load ------------------------------------------------------
+    def publish(self, result: PlanResult, *, note: str = "") -> VersionRecord:
+        """Append ``result`` as the next version; returns its record.
+
+        The first version — and every ``snapshot_every``-th since the
+        last snapshot — is stored whole; other versions store only the
+        structural delta against their parent. A document whose content
+        already exists (a rollback, an unchanged replan) is stored as a
+        snapshot record pointing at the existing object: no new bytes.
+        """
+        doc = plan_to_doc(result)
+        cid = content_id(doc)
+        records = self._read_log()
+        parent = records[-1] if records else None
+        version = len(records) + 1
+
+        as_snapshot = (
+            parent is None
+            or self._object_path(cid).exists()
+            or self._chain_length(records) + 1 >= self.snapshot_every
+        )
+        if as_snapshot:
+            self._write_object(cid, canonical_bytes(doc))
+            record = VersionRecord(
+                version=version,
+                content_id=cid,
+                parent=parent.version if parent else None,
+                kind="snapshot",
+                note=note,
+            )
+        else:
+            base_doc = self._reconstruct(records, parent.version)
+            ops = delta(base_doc, doc)
+            delta_doc = {
+                "format": DELTA_FORMAT,
+                "version": 1,
+                "base": parent.content_id,
+                "target": cid,
+                "ops": ops,
+            }
+            did = content_id(delta_doc)
+            self._write_object(did, canonical_bytes(delta_doc))
+            record = VersionRecord(
+                version=version,
+                content_id=cid,
+                parent=parent.version,
+                kind="delta",
+                delta_id=did,
+                note=note,
+            )
+        with open(self._log_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+            handle.flush()
+        self._doc_cache[version] = doc
+        self.perf.count("sched.publishes")
+        return record
+
+    def _chain_length(self, records: list[VersionRecord]) -> int:
+        """Deltas since (and excluding) the most recent snapshot."""
+        length = 0
+        for record in reversed(records):
+            if record.kind == "snapshot":
+                break
+            length += 1
+        return length
+
+    def _reconstruct(self, records: list[VersionRecord], version: int) -> dict:
+        cached = self._doc_cache.get(version)
+        if cached is not None:
+            return cached
+        base = version
+        while records[base - 1].kind != "snapshot":
+            base -= 1
+            if base < 1:
+                raise StoreError("version log has no snapshot to start from")
+        doc = self._read_object(records[base - 1].content_id)
+        for index in range(base + 1, version + 1):
+            record = records[index - 1]
+            delta_doc = self._read_object(record.delta_id)
+            if delta_doc.get("format") != DELTA_FORMAT:
+                raise StoreError(
+                    f"object {record.delta_id} is not a delta document"
+                )
+            if delta_doc.get("base") != records[index - 2].content_id:
+                raise StoreError(
+                    f"delta for version {index} does not chain from its parent"
+                )
+            doc = apply_delta(delta_doc["ops"], doc)
+        if content_id(doc) != records[version - 1].content_id:
+            raise StoreError(
+                f"version {version} failed its integrity check: "
+                "reconstructed document does not match the logged content id"
+            )
+        self._doc_cache[version] = doc
+        return doc
+
+    def doc(self, version: int | None = None) -> dict:
+        """The full, integrity-verified document of ``version`` (or head)."""
+        records = self._read_log()
+        if not records:
+            raise StoreError("store is empty")
+        if version is None:
+            version = len(records)
+        if not 1 <= version <= len(records):
+            raise StoreError(
+                f"version {version} not in store (have 1..{len(records)})"
+            )
+        return copy.deepcopy(self._reconstruct(records, version))
+
+    def load(self, version: int | None = None) -> PlanResult:
+        """Rebuild the :class:`~repro.planners.PlanResult` of a version."""
+        result = plan_from_doc(self.doc(version))
+        self.perf.count("sched.loads")
+        return result
+
+    def rollback(self, version: int, *, note: str = "") -> VersionRecord:
+        """Publish ``version``'s content again as the new head.
+
+        History stays append-only — nothing is rewritten — and content
+        addressing makes the new version's object the *same file* as the
+        original's, so the restored plan is bit-identical by
+        construction (and verified on every later load).
+        """
+        doc = self.doc(version)  # integrity-checked reconstruction
+        record = self.publish(
+            plan_from_doc(doc),
+            note=note or f"rollback to version {version}",
+        )
+        if record.content_id != self.record(version).content_id:
+            raise StoreError(
+                f"rollback of version {version} did not round-trip "
+                "byte-exactly"
+            )
+        self.perf.count("sched.rollbacks")
+        return record
+
+    # -- maintenance ---------------------------------------------------------
+    def gc(self) -> list[str]:
+        """Remove objects the log does not reference; returns their ids.
+
+        Unreferenced objects arise from interrupted publishes (the
+        object was written, the log append never happened) — the log is
+        authoritative, so they are garbage by definition.
+        """
+        referenced: set[str] = set()
+        for record in self._read_log():
+            if record.kind == "snapshot":
+                referenced.add(record.content_id)
+            if record.delta_id is not None:
+                referenced.add(record.delta_id)
+        removed: list[str] = []
+        for path in sorted((self.root / _OBJECTS_DIR).glob("*.json")):
+            object_id = path.stem
+            if object_id not in referenced:
+                path.unlink()
+                removed.append(object_id)
+        self.perf.count("sched.gc_removed", len(removed))
+        return removed
+
+    def verify(self) -> int:
+        """Integrity-check every version; returns how many were checked."""
+        records = self._read_log()
+        self._doc_cache.clear()
+        for record in records:
+            self._reconstruct(records, record.version)
+        return len(records)
+
+    def size_bytes(self) -> int:
+        """Total bytes of every stored object plus the log."""
+        total = (
+            self._log_path.stat().st_size if self._log_path.exists() else 0
+        )
+        for path in (self.root / _OBJECTS_DIR).glob("*.json"):
+            total += path.stat().st_size
+        return total
+
+    # -- crash state ---------------------------------------------------------
+    def save_state(self, state: dict) -> None:
+        """Atomically persist a JSON crash-snapshot blob."""
+        path = self.root / _STATE_NAME
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(state, sort_keys=True, indent=2), encoding="utf-8"
+        )
+        os.replace(tmp, path)
+
+    def load_state(self) -> dict | None:
+        """The last saved crash snapshot, or ``None``."""
+        path = self.root / _STATE_NAME
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise StoreError(f"corrupt state snapshot: {error}") from error
+
+    def clear_state(self) -> None:
+        path = self.root / _STATE_NAME
+        if path.exists():
+            path.unlink()

@@ -20,13 +20,13 @@ under stationary load and recovering after injected popularity shifts.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Hashable
 
 import numpy as np
 
-from .._compat import deprecated_positionals
 from ..broadcast.metrics import expected_access_time
 from ..broadcast.pointers import compile_program
 from ..client.protocol import (
@@ -41,6 +41,7 @@ from ..obs.events import NULL_TRACER, ReplanFinished, ReplanStarted, Tracer
 from ..obs.metrics import MetricsRegistry, declare_perf_baseline
 from ..online.adaptive import AdaptiveBroadcaster
 from ..perf import PerfRecorder
+from ..sched import ScheduleStore, VersionRecord
 
 __all__ = ["CycleStats", "ServerReport", "BroadcastServer"]
 
@@ -182,12 +183,18 @@ class BroadcastServer:
         the registry is always current. Purely observational: every
         number in :class:`CycleStats`/:class:`ServerReport` stays
         bit-identical to a run without it.
+    store:
+        Optional :class:`~repro.sched.ScheduleStore`. When given, the
+        initial plan and every replan's outcome are published as store
+        versions (content-addressed, delta-encoded), and each
+        :meth:`run` flushes a crash snapshot (:meth:`save_state`) on
+        the way out — interrupted or not — so :meth:`restore` can
+        rebuild the server, its estimator state and its serving plan
+        from disk.
 
-    All parameters after ``items`` are keyword-only; legacy positional
-    calls still work for one release with a ``DeprecationWarning``.
+    All parameters after ``items`` are keyword-only.
     """
 
-    @deprecated_positionals
     def __init__(
         self,
         items: list[Hashable],
@@ -201,6 +208,7 @@ class BroadcastServer:
         recovery: RecoveryPolicy | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        store: ScheduleStore | None = None,
     ) -> None:
         self.planner = AdaptiveBroadcaster(
             items,
@@ -227,7 +235,86 @@ class BroadcastServer:
         if metrics is not None:
             declare_perf_baseline(metrics)
         self._next_walk_id = 0
+        self.store = store
         self.planner.replan()
+        self._publish_plan(note="initial plan")
+
+    # -- durable schedule versions --------------------------------------------
+    def _publish_plan(self, *, note: str) -> VersionRecord | None:
+        """Publish the planner's latest result to the attached store."""
+        if self.store is None or self.planner.last_result is None:
+            return None
+        return self.store.publish(self.planner.last_result, note=note)
+
+    def save_state(self, report: ServerReport | None = None) -> None:
+        """Flush a crash snapshot to the attached store (no-op without one).
+
+        The snapshot carries everything :meth:`restore` needs that the
+        version log does not: the constructor configuration, the
+        estimator's learned counters (bit-exact), the absolute air
+        clock and the head version the server was serving.
+        """
+        if self.store is None:
+            return
+        estimator = self.planner.estimator
+        state = {
+            "config": {
+                "items": list(self.planner.items),
+                "channels": self.planner.channels,
+                "fanout": self.planner.fanout,
+                "replan_every": self.replan_every,
+                "half_life": math.log(2.0) / estimator._decay_rate,
+                "planner": self.planner.planner_name,
+            },
+            "estimator": estimator.state_dict(),
+            "air_clock": self._air_clock,
+            "next_walk_id": self._next_walk_id,
+            "replans": self.planner.replans,
+            "head_version": (
+                self.store.head.version if self.store.head else None
+            ),
+        }
+        if report is not None:
+            state["last_report"] = {
+                "cycles": len(report.cycles),
+                "requests_served": report.requests_served,
+                "abandoned": report.abandoned,
+                "replans": report.replans,
+                "mean_access_time": report.mean_access_time,
+                "interrupted": report.interrupted,
+            }
+        self.store.save_state(state)
+
+    @classmethod
+    def restore(cls, store: ScheduleStore, **overrides) -> "BroadcastServer":
+        """Rebuild a server from a store's crash snapshot.
+
+        The configuration comes from the snapshot (``overrides`` wins
+        key-by-key — e.g. to re-attach ``faults``/``tracer``, which a
+        snapshot cannot carry); the serving plan is the store's head
+        version, loaded integrity-checked; the estimator resumes from
+        its exact decayed counters.
+        """
+        state = store.load_state()
+        if state is None:
+            raise ValueError(
+                f"store at {store.root} has no crash snapshot to restore"
+            )
+        config = dict(state["config"])
+        items = config.pop("items")
+        config.update(overrides)
+        server = cls(items, **config)
+        head = store.head
+        if head is not None:
+            result = store.load(head.version)
+            server.planner.last_result = result
+            server.planner.schedule = result.schedule
+        server.planner.estimator.load_state(state["estimator"])
+        server.planner.replans = int(state.get("replans", 0))
+        server._air_clock = int(state.get("air_clock", 0))
+        server._next_walk_id = int(state.get("next_walk_id", 0))
+        server.store = store
+        return server
 
     # -- one aired cycle ------------------------------------------------------
     def _serve_cycle(
@@ -350,6 +437,7 @@ class BroadcastServer:
                         replan_started = perf_counter()
                     with perf.timer("replan.seconds"):
                         self.planner.replan()
+                    self._publish_plan(note=f"replan cycle {cycle_index}")
                     if tracing:
                         self.tracer.emit(
                             ReplanFinished(
@@ -416,6 +504,11 @@ class BroadcastServer:
         self.perf.merge(perf)
         if self.metrics is not None:
             self.metrics.absorb_perf(self.perf)
+        # Interrupted or not, the crash snapshot (estimator counters,
+        # air clock, head version, this report's final stats) hits disk
+        # before run() returns — an operator's Ctrl-C leaves the store
+        # restorable, never mid-write.
+        self.save_state(report)
         return report
 
     # -- the bridge onto real air --------------------------------------------
@@ -437,4 +530,11 @@ class BroadcastServer:
         if schedule is None:
             raise RuntimeError("no plan yet; call planner.replan() first")
         options.setdefault("faults", self.faults)
+        if self.store is not None:
+            head = self.store.head
+            if head is not None:
+                # A store-backed server airs *versioned* envelopes, so a
+                # later publish/rollback is visible to every tuner
+                # mid-walk.
+                options.setdefault("schedule_version", head.version)
         return BroadcastStation(compile_program(schedule), **options)

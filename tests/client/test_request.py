@@ -161,34 +161,25 @@ class TestBatchEngine:
             )
 
 
-class TestDeprecationShims:
-    def test_run_request_forwards_and_warns(self, program, leaf):
-        from repro._compat import run_request
+class TestCacheInvalidation:
+    def test_invalidate_clears_every_request_cache(self, program, leaf):
+        from repro.client.request import invalidate_request_caches
 
-        with pytest.deprecated_call(match="object_walk"):
-            legacy = run_request(program, leaf, 3)
-        assert legacy == object_walk(program, leaf, 3)
+        request(program, leaf, 1)  # warm the per-program caches
+        request(program, leaf, 1, engine="batch")
+        cached = [
+            key for key in program.__dict__ if key.startswith("_request_")
+        ]
+        assert cached, "the facade should have cached something to clear"
+        assert invalidate_request_caches(program) == len(cached)
+        assert not any(
+            key.startswith("_request_") for key in program.__dict__
+        )
+        # Idempotent, and the facade re-warms transparently afterwards.
+        assert invalidate_request_caches(program) == 0
+        assert request(program, leaf, 1) == object_walk(program, leaf, 1)
 
-    def test_run_request_recovering_forwards_and_warns(self, program, leaf):
-        from repro._compat import run_request_recovering
-
-        faults = FaultConfig(loss=0.2, seed=3)
-        with pytest.deprecated_call(match="recovering_walk"):
-            legacy = run_request_recovering(program, leaf, 2, faults=faults)
-        assert legacy == recovering_walk(program, leaf, 2, faults=faults)
-
-    def test_run_request_wire_forwards_and_warns(self, program, leaf):
-        from repro._compat import run_request_wire
-        from repro.io.wire import encode_program
-        from repro.io.wire_client import wire_walk
-
-        frames = encode_program(program)
-        key = str(leaf.key) if leaf.key is not None else leaf.label
-        with pytest.deprecated_call(match="wire_walk"):
-            legacy = run_request_wire(frames, key, 1)
-        assert legacy == wire_walk(frames, key, 1)
-
-    def test_new_names_do_not_warn(self, program, leaf):
+    def test_walk_names_do_not_warn(self, program, leaf):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             object_walk(program, leaf, 1)

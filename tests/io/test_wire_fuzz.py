@@ -134,6 +134,9 @@ class TestBucketSizeEdges:
 
 
 class TestAirEnvelopeFuzz:
+    # schedule_version 0 emits the 9-byte version-1 envelope, positive
+    # versions the 13-byte version-2 one — the lists mix both freely,
+    # exactly like a stream crossing a mid-walk cutover does.
     airs = st.lists(
         st.one_of(
             st.builds(
@@ -141,12 +144,18 @@ class TestAirEnvelopeFuzz:
                 channel=st.integers(min_value=1, max_value=255),
                 absolute_slot=st.integers(min_value=1, max_value=0xFFFFFFFF),
                 payload=st.binary(min_size=0, max_size=300),
+                schedule_version=st.integers(
+                    min_value=0, max_value=0xFFFFFFFF
+                ),
             ),
             st.builds(
                 AirFrame,
                 channel=st.integers(min_value=1, max_value=255),
                 absolute_slot=st.integers(min_value=1, max_value=0xFFFFFFFF),
                 lost=st.just(True),
+                schedule_version=st.integers(
+                    min_value=0, max_value=0xFFFFFFFF
+                ),
             ),
         ),
         max_size=12,
@@ -183,4 +192,81 @@ class TestAirEnvelopeFuzz:
 
         forged = struct.pack(">BBBIH", 0xAE, 1, 1, 1, 2) + b"xy"
         with pytest.raises(WireFormatError, match="lost airing"):
+            FrameStreamDecoder().feed(forged)
+
+
+class TestAirEnvelopeVersionInterop:
+    """Version-2 (schedule-stamped) and version-1 envelopes interoperate."""
+
+    @settings(max_examples=120, **COMMON)
+    @given(
+        channel=st.integers(min_value=1, max_value=255),
+        slot=st.integers(min_value=1, max_value=0xFFFFFFFF),
+        payload=st.binary(min_size=0, max_size=200),
+        version=st.integers(min_value=1, max_value=0xFFFFFFFF),
+    )
+    def test_v2_round_trip_carries_the_version(
+        self, channel, slot, payload, version
+    ):
+        air = AirFrame(
+            channel=channel,
+            absolute_slot=slot,
+            payload=payload,
+            schedule_version=version,
+        )
+        encoded = encode_air_frame(air)
+        assert encoded[0] == 0xAF  # version-2 magic
+        assert len(encoded) == 13 + len(payload)
+        assert FrameStreamDecoder().feed(encoded) == [air]
+
+    @settings(max_examples=80, **COMMON)
+    @given(
+        channel=st.integers(min_value=1, max_value=255),
+        slot=st.integers(min_value=1, max_value=0xFFFFFFFF),
+        payload=st.binary(min_size=0, max_size=200),
+    )
+    def test_version_zero_is_byte_identical_to_v1(
+        self, channel, slot, payload
+    ):
+        """An unversioned station's bytes never change: wire stability."""
+        stamped = AirFrame(
+            channel=channel,
+            absolute_slot=slot,
+            payload=payload,
+            schedule_version=0,
+        )
+        plain = AirFrame(channel=channel, absolute_slot=slot, payload=payload)
+        encoded = encode_air_frame(stamped)
+        assert encoded == encode_air_frame(plain)
+        assert encoded[0] == 0xAE  # version-1 magic
+        assert len(encoded) == 9 + len(payload)
+
+    @settings(max_examples=60, **COMMON)
+    @given(airs=TestAirEnvelopeFuzz.airs, data=st.data())
+    def test_mixed_version_stream_survives_any_chunking(self, airs, data):
+        """A cutover mid-stream: v1 and v2 frames interleaved freely."""
+        stream = b"".join(encode_air_frame(air) for air in airs)
+        decoder = FrameStreamDecoder()
+        received = []
+        cursor = 0
+        while cursor < len(stream):
+            step = data.draw(
+                st.integers(min_value=1, max_value=len(stream) - cursor)
+            )
+            received.extend(decoder.feed(stream[cursor:cursor + step]))
+            cursor += step
+        assert received == airs
+        # Version stamps survive exactly; v1 frames decode as version 0.
+        assert [a.schedule_version for a in received] == [
+            a.schedule_version for a in airs
+        ]
+
+    def test_forged_v2_with_version_zero_is_rejected(self):
+        """The v2 layout exists *because* it carries a version; a v2
+        header claiming version 0 is a protocol violation, not a quiet
+        alias of v1."""
+        import struct
+
+        forged = struct.pack(">BBBIHI", 0xAF, 0, 1, 1, 0, 0)
+        with pytest.raises(WireFormatError, match="schedule version 0"):
             FrameStreamDecoder().feed(forged)

@@ -10,6 +10,7 @@ from repro.obs.events import (
     EVENT_TYPES,
     NULL_TRACER,
     ChannelHop,
+    CutoverDetected,
     FaultInjected,
     FrameDropped,
     JsonlTracer,
@@ -17,6 +18,7 @@ from repro.obs.events import (
     ReplanFinished,
     ReplanStarted,
     RingBufferTracer,
+    ScheduleActivated,
     SearchProgress,
     SlotAired,
     SlotRead,
@@ -44,6 +46,10 @@ SAMPLE_EVENTS = [
     ReplanFinished(cycle=4, seconds=0.125),
     SearchProgress(mode="best-first", nodes_expanded=2000, nodes_generated=9),
     FaultInjected(channel=3, absolute_slot=101, fate="corrupt"),
+    ScheduleActivated(version=2, activate_slot=31, cycle_length=15),
+    CutoverDetected(
+        key="K007", from_version=1, to_version=2, absolute_slot=33, walk=4
+    ),
 ]
 
 

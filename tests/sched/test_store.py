@@ -1,0 +1,235 @@
+"""The versioned schedule store: publish, load, rollback, gc, state."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.net.harness import build_demo_plan
+from repro.perf import PerfRecorder
+from repro.sched import (
+    ScheduleStore,
+    StoreError,
+    canonical_bytes,
+    content_id,
+    plan_to_doc,
+)
+
+
+@pytest.fixture(scope="module")
+def plans():
+    """Three distinct small plans (same catalog, different skew)."""
+    return [
+        build_demo_plan(items=10, channels=2, theta=theta)
+        for theta in (0.95, 0.6, 0.35)
+    ]
+
+
+def object_count(store: ScheduleStore) -> int:
+    return len(list((store.root / "objects").glob("*.json")))
+
+
+class TestPublish:
+    def test_versions_are_contiguous_from_one(self, tmp_path, plans):
+        store = ScheduleStore(tmp_path)
+        records = [store.publish(plan) for plan in plans]
+        assert [r.version for r in records] == [1, 2, 3]
+        assert [r.parent for r in records] == [None, 1, 2]
+        assert store.head.version == 3
+
+    def test_first_version_is_a_snapshot_then_deltas(self, tmp_path, plans):
+        store = ScheduleStore(tmp_path, snapshot_every=8)
+        kinds = [store.publish(plan).kind for plan in plans]
+        assert kinds == ["snapshot", "delta", "delta"]
+
+    def test_snapshot_every_bounds_the_chain(self, tmp_path, plans):
+        store = ScheduleStore(tmp_path, snapshot_every=3)
+        sequence = plans + plans[:2]  # five distinct-content publishes
+        kinds = []
+        for index, plan in enumerate(sequence):
+            if index >= 3:
+                # Re-publishing earlier content dedups to a snapshot
+                # record regardless of chain length; force fresh
+                # content instead.
+                plan = build_demo_plan(
+                    items=10, channels=2, seed=100 + index, theta=0.7
+                )
+            kinds.append(store.publish(plan).kind)
+        assert kinds == ["snapshot", "delta", "delta", "snapshot", "delta"]
+
+    def test_snapshot_every_one_never_deltas(self, tmp_path, plans):
+        store = ScheduleStore(tmp_path, snapshot_every=1)
+        assert [store.publish(plan).kind for plan in plans] == [
+            "snapshot"
+        ] * 3
+
+    def test_identical_content_stores_no_new_object(self, tmp_path, plans):
+        store = ScheduleStore(tmp_path)
+        first = store.publish(plans[0])
+        count = object_count(store)
+        again = store.publish(plans[0], note="unchanged replan")
+        assert again.kind == "snapshot"
+        assert again.content_id == first.content_id
+        assert object_count(store) == count  # content-addressed dedup
+
+    def test_notes_and_perf_counters(self, tmp_path, plans):
+        perf = PerfRecorder()
+        store = ScheduleStore(tmp_path, perf=perf)
+        store.publish(plans[0], note="baseline")
+        assert store.head.note == "baseline"
+        assert perf.counters["sched.publishes"] == 1
+
+    def test_snapshot_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="snapshot_every"):
+            ScheduleStore(tmp_path, snapshot_every=0)
+
+
+class TestLoad:
+    def test_every_version_round_trips_byte_exactly(self, tmp_path, plans):
+        store = ScheduleStore(tmp_path)
+        for plan in plans:
+            store.publish(plan)
+        for version, plan in enumerate(plans, start=1):
+            loaded = store.load(version)
+            assert canonical_bytes(plan_to_doc(loaded)) == canonical_bytes(
+                plan_to_doc(plan)
+            )
+
+    def test_default_load_is_the_head(self, tmp_path, plans):
+        store = ScheduleStore(tmp_path)
+        for plan in plans:
+            store.publish(plan)
+        assert canonical_bytes(plan_to_doc(store.load())) == canonical_bytes(
+            plan_to_doc(plans[-1])
+        )
+
+    def test_fresh_handle_sees_prior_publishes(self, tmp_path, plans):
+        writer = ScheduleStore(tmp_path)
+        for plan in plans:
+            writer.publish(plan)
+        reader = ScheduleStore(tmp_path)  # cold cache, re-read from disk
+        assert reader.head.version == 3
+        assert reader.verify() == 3
+
+    def test_unknown_version_raises(self, tmp_path, plans):
+        store = ScheduleStore(tmp_path)
+        store.publish(plans[0])
+        with pytest.raises(StoreError, match="have 1..1"):
+            store.load(5)
+        with pytest.raises(StoreError, match="empty"):
+            ScheduleStore(tmp_path / "other").doc()
+
+    def test_doc_is_a_defensive_copy(self, tmp_path, plans):
+        store = ScheduleStore(tmp_path)
+        record = store.publish(plans[0])
+        doc = store.doc(1)
+        doc["cost"] = -1.0
+        assert content_id(store.doc(1)) == record.content_id
+
+
+class TestIntegrity:
+    def test_corrupt_object_fails_the_load(self, tmp_path, plans):
+        store = ScheduleStore(tmp_path)
+        record = store.publish(plans[0])
+        path = store.root / "objects" / f"{record.content_id}.json"
+        blob = json.loads(path.read_text())
+        blob["cost"] = 999.0  # flip a byte's worth of meaning
+        path.write_text(json.dumps(blob))
+        with pytest.raises(StoreError, match="integrity"):
+            ScheduleStore(tmp_path).load(1)
+
+    def test_corrupt_delta_chain_fails_the_load(self, tmp_path, plans):
+        store = ScheduleStore(tmp_path)
+        store.publish(plans[0])
+        record = store.publish(plans[1])
+        assert record.kind == "delta"
+        path = store.root / "objects" / f"{record.delta_id}.json"
+        path.write_text(path.read_text().replace("set", "sEt", 1))
+        with pytest.raises(StoreError):
+            ScheduleStore(tmp_path).load(2)
+
+    def test_noncontiguous_log_fails_open(self, tmp_path, plans):
+        store = ScheduleStore(tmp_path)
+        store.publish(plans[0])
+        log = store.root / "log.jsonl"
+        line = json.loads(log.read_text())
+        line["version"] = 7
+        log.write_text(json.dumps(line) + "\n")
+        with pytest.raises(StoreError, match="expected 1"):
+            ScheduleStore(tmp_path)
+
+    def test_verify_checks_every_version(self, tmp_path, plans):
+        store = ScheduleStore(tmp_path)
+        for plan in plans:
+            store.publish(plan)
+        assert store.verify() == 3
+
+
+class TestRollback:
+    def test_rollback_is_byte_identical_and_append_only(
+        self, tmp_path, plans
+    ):
+        store = ScheduleStore(tmp_path)
+        for plan in plans:
+            store.publish(plan)
+        record = store.rollback(1)
+        assert record.version == 4
+        assert record.kind == "snapshot"
+        assert record.content_id == store.record(1).content_id
+        assert canonical_bytes(store.doc(4)) == canonical_bytes(store.doc(1))
+        # Nothing was rewritten: the full history is still loadable.
+        assert store.verify() == 4
+
+    def test_rollback_reuses_the_original_object(self, tmp_path, plans):
+        store = ScheduleStore(tmp_path)
+        for plan in plans:
+            store.publish(plan)
+        count = object_count(store)
+        store.rollback(1)
+        assert object_count(store) == count
+
+    def test_rollback_default_note_names_the_version(self, tmp_path, plans):
+        store = ScheduleStore(tmp_path)
+        for plan in plans[:2]:
+            store.publish(plan)
+        assert "version 1" in store.rollback(1).note
+
+
+class TestGc:
+    def test_gc_removes_only_unreferenced_objects(self, tmp_path, plans):
+        store = ScheduleStore(tmp_path)
+        for plan in plans:
+            store.publish(plan)
+        stray = store.root / "objects" / f"{'ab' * 32}.json"
+        stray.write_text("{}")
+        removed = store.gc()
+        assert removed == ["ab" * 32]
+        assert not stray.exists()
+        assert store.verify() == 3  # everything referenced survived
+
+    def test_clean_store_gc_is_a_no_op(self, tmp_path, plans):
+        store = ScheduleStore(tmp_path)
+        store.publish(plans[0])
+        size = store.size_bytes()
+        assert store.gc() == []
+        assert store.size_bytes() == size
+
+
+class TestCrashState:
+    def test_state_round_trips_and_clears(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        assert store.load_state() is None
+        store.save_state({"air_clock": 42, "head_version": 2})
+        assert ScheduleStore(tmp_path).load_state() == {
+            "air_clock": 42,
+            "head_version": 2,
+        }
+        store.clear_state()
+        assert store.load_state() is None
+
+    def test_corrupt_state_raises(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        (store.root / "state.json").write_text("{not json")
+        with pytest.raises(StoreError, match="corrupt state"):
+            store.load_state()

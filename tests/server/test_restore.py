@@ -1,0 +1,124 @@
+"""Crash snapshot and restore: a killed server resumes from its store.
+
+The satellite guarantee behind ``serve --store``: KeyboardInterrupt
+mid-cycle still flushes a restorable snapshot *before* anything closes,
+and :meth:`BroadcastServer.restore` rebuilds the server — serving plan
+byte-exact from the store head, estimator counters bit-exact, air clock
+and replan count intact — so the next process carries on where the
+dead one stopped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sched import ScheduleStore, canonical_bytes, plan_to_doc
+from repro.server import BroadcastServer
+
+
+@pytest.fixture
+def items():
+    return [f"K{i:02d}" for i in range(8)]
+
+
+def interrupt_after(server, calls):
+    """Patch the planner's observe to raise KeyboardInterrupt mid-cycle."""
+    real_observe = server.planner.observe
+    seen = {"count": 0}
+
+    def interrupting_observe(item):
+        seen["count"] += 1
+        if seen["count"] == calls:
+            raise KeyboardInterrupt
+        return real_observe(item)
+
+    server.planner.observe = interrupting_observe
+
+
+class TestCrashSnapshot:
+    def test_interrupt_mid_cycle_leaves_a_restorable_store(
+        self, tmp_path, items
+    ):
+        store = ScheduleStore(tmp_path)
+        server = BroadcastServer(
+            items, channels=2, fanout=3, replan_every=5, store=store
+        )
+        assert store.head.version == 1  # the initial plan was published
+        interrupt_after(server, calls=60)
+
+        report = server.run(np.random.default_rng(5), cycles=40)
+
+        assert report.interrupted
+        state = ScheduleStore(tmp_path).load_state()
+        assert state is not None
+        assert state["last_report"]["interrupted"] is True
+        assert state["last_report"]["cycles"] == len(report.cycles)
+        assert state["head_version"] == store.head.version
+        assert state["air_clock"] == server._air_clock
+        # Replans that completed before the interrupt were published.
+        assert store.head.version == 1 + report.replans
+        assert store.verify() == store.head.version
+
+    def test_clean_run_also_snapshots(self, tmp_path, items):
+        store = ScheduleStore(tmp_path)
+        server = BroadcastServer(items, channels=2, store=store)
+        server.run(np.random.default_rng(1), cycles=3)
+        state = store.load_state()
+        assert state is not None
+        assert state["last_report"]["interrupted"] is False
+
+
+class TestRestore:
+    def test_restore_rebuilds_the_interrupted_server(self, tmp_path, items):
+        store = ScheduleStore(tmp_path)
+        server = BroadcastServer(
+            items, channels=2, fanout=3, replan_every=5, store=store
+        )
+        interrupt_after(server, calls=60)
+        server.run(np.random.default_rng(5), cycles=40)
+
+        revived = BroadcastServer.restore(ScheduleStore(tmp_path))
+
+        # The serving plan is the store head, byte for byte.
+        assert canonical_bytes(
+            plan_to_doc(revived.planner.last_result)
+        ) == canonical_bytes(store.doc())
+        # The estimator resumed from its exact decayed counters.
+        assert (
+            revived.planner.estimator.state_dict()
+            == server.planner.estimator.state_dict()
+        )
+        assert revived._air_clock == server._air_clock
+        assert revived.planner.replans == server.planner.replans
+        assert revived.replan_every == 5
+        assert revived.planner.channels == 2
+
+    def test_restored_server_serves_more_cycles(self, tmp_path, items):
+        store = ScheduleStore(tmp_path)
+        server = BroadcastServer(
+            items, channels=2, replan_every=4, store=store
+        )
+        interrupt_after(server, calls=30)
+        server.run(np.random.default_rng(3), cycles=20)
+        clock_at_crash = server._air_clock
+
+        revived = BroadcastServer.restore(ScheduleStore(tmp_path))
+        report = revived.run(np.random.default_rng(4), cycles=3)
+
+        assert not report.interrupted
+        assert len(report.cycles) == 3
+        assert revived._air_clock > clock_at_crash
+
+    def test_overrides_win_over_the_snapshot(self, tmp_path, items):
+        store = ScheduleStore(tmp_path)
+        BroadcastServer(items, channels=2, replan_every=5, store=store).run(
+            np.random.default_rng(1), cycles=2
+        )
+        revived = BroadcastServer.restore(store, replan_every=9)
+        assert revived.replan_every == 9
+
+    def test_restore_without_a_snapshot_raises(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        with pytest.raises(ValueError, match="no crash snapshot"):
+            BroadcastServer.restore(store)

@@ -6,10 +6,10 @@ Two things are locked here:
   spells the parameter exactly ``perf`` and keeps it keyword-only (the
   same for ``rng``), so no caller ever has to remember per-module
   variants;
-* **the deprecation bridge** — legacy positional calls to the migrated
-  entry points still work for one release, emit a single
-  ``DeprecationWarning`` naming the offending argument, and produce the
-  same result as the keyword form.
+* **no legacy spellings** — the one-release deprecation bridge
+  (``repro._compat``) is gone: the migrated entry points are strictly
+  keyword-only (positional overflow is a plain ``TypeError``) and the
+  ``run_request*`` names may not reappear anywhere in the source tree.
 """
 
 from __future__ import annotations
@@ -23,7 +23,6 @@ import numpy as np
 import pytest
 
 import repro
-from repro._compat import deprecated_positionals
 from repro.broadcast.pointers import compile_program
 from repro.client.simulator import simulate_workload
 from repro.core.optimal import solve
@@ -155,98 +154,64 @@ class TestRequestFacade:
 
         assert "batch" in engines()
 
-    def test_no_module_but_compat_spells_the_legacy_names(self):
-        """Mechanical ban: ``run_request*`` lives only in _compat.py."""
+    def test_no_module_spells_the_legacy_names(self):
+        """Mechanical ban: ``run_request*`` appears nowhere in the tree.
+
+        The shims (and ``repro._compat`` that carried them) shipped for
+        exactly one release and are gone; the spelling may not return.
+        """
         import pathlib
 
         src_root = pathlib.Path(repro.__file__).parent
-        offenders = []
-        for path in sorted(src_root.rglob("*.py")):
-            if path.name == "_compat.py":
-                continue
-            if "run_request" in path.read_text():
-                offenders.append(str(path.relative_to(src_root)))
+        offenders = [
+            str(path.relative_to(src_root))
+            for path in sorted(src_root.rglob("*.py"))
+            if "run_request" in path.read_text()
+        ]
         assert not offenders, (
-            "legacy run_request spellings outside _compat.py: "
-            + ", ".join(offenders)
+            "banned legacy run_request spellings: " + ", ".join(offenders)
         )
 
+    def test_compat_module_is_gone(self):
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro._compat")
 
-class TestDeprecatedPositionals:
-    def test_solve_accepts_legacy_positional_method(self, fig1_tree):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            legacy = solve(fig1_tree, 2, "best-first")
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        )
-        assert "method" in str(caught[0].message)
-        assert legacy.cost == solve(fig1_tree, 2, method="best-first").cost
 
-    def test_sorting_schedule_accepts_legacy_positional_perf(
-        self, fig1_tree
-    ):
+class TestStrictKeywordOnly:
+    """The deprecation bridge is retired: positionals raise, not warn."""
+
+    def test_solve_rejects_positional_method(self, fig1_tree):
+        with pytest.raises(TypeError):
+            solve(fig1_tree, 2, "best-first")
+
+    def test_sorting_schedule_rejects_positional_perf(self, fig1_tree):
         from repro.perf import PerfRecorder
 
-        perf = PerfRecorder()
-        with pytest.deprecated_call():
-            schedule = sorting_schedule(fig1_tree, 1, perf)
-        assert schedule.data_wait() == pytest.approx(
-            sorting_schedule(fig1_tree, 1, perf=perf).data_wait()
-        )
+        with pytest.raises(TypeError):
+            sorting_schedule(fig1_tree, 1, PerfRecorder())
 
     def test_shrink_and_solve_keeps_strategy_positional(self, fig1_tree):
-        # strategy stays a true positional; only max_data_nodes migrated.
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            shrink_and_solve(fig1_tree, "combine")
-        with pytest.deprecated_call():
+        # strategy is a true positional; max_data_nodes is not.
+        shrink_and_solve(fig1_tree, "combine")
+        with pytest.raises(TypeError):
             shrink_and_solve(fig1_tree, "combine", 8)
 
-    def test_simulate_workload_accepts_legacy_positional_rng(
-        self, fig1_tree
-    ):
+    def test_simulate_workload_rejects_positional_rng(self, fig1_tree):
         program = compile_program(solve(fig1_tree, channels=1).schedule)
-        with pytest.deprecated_call():
-            legacy = simulate_workload(
-                program, np.random.default_rng(5), requests=50
-            )
-        fresh = simulate_workload(
-            program, rng=np.random.default_rng(5), requests=50
-        )
-        assert legacy == fresh
+        with pytest.raises(TypeError):
+            simulate_workload(program, np.random.default_rng(5), requests=50)
+        simulate_workload(program, rng=np.random.default_rng(5), requests=50)
 
-    def test_constructors_accept_legacy_positional_channels(self):
+    def test_constructors_reject_positional_channels(self):
         items = ["A", "B", "C", "D"]
-        with pytest.deprecated_call():
-            broadcaster = AdaptiveBroadcaster(items, 2)
-        assert broadcaster.channels == 2
-        with pytest.deprecated_call():
-            server = BroadcastServer(items, 2, 2, 5)
-        assert server.planner.channels == 2
-        assert server.replan_every == 5
+        with pytest.raises(TypeError):
+            AdaptiveBroadcaster(items, 2)
+        with pytest.raises(TypeError):
+            BroadcastServer(items, 2, 2, 5)
 
     def test_keyword_calls_do_not_warn(self, fig1_tree):
         with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
+            warnings.simplefilter("error")
             solve(fig1_tree, 2, method="best-first")
             sorting_schedule(fig1_tree, 2)
             AdaptiveBroadcaster(["A", "B"], channels=1)
-
-    def test_overflowing_positionals_still_raise_type_error(self):
-        @deprecated_positionals
-        def sample(a, b=1, *, c=2, d=3):
-            return (a, b, c, d)
-
-        with pytest.deprecated_call():
-            assert sample(1, 2, 3, 4) == (1, 2, 3, 4)
-        with pytest.raises(TypeError):
-            sample(1, 2, 3, 4, 5)
-
-    def test_duplicate_keyword_and_positional_raises(self):
-        @deprecated_positionals
-        def sample(a, *, b=1):
-            return (a, b)
-
-        with pytest.raises(TypeError):
-            sample(1, 2, b=3)
