@@ -38,6 +38,12 @@ CLUSTER_SWEEP ?= 1,2,4
 # encoding (not the snapshot floor) dominates bytes-per-version.
 SCHED_VERSIONS ?= 40
 
+# bench-approx catalog sizes: the committed approx baseline was seeded
+# at this smoke scale (quality ratios are seed-deterministic, so the
+# gate is exact); sweep 100000,1000000 by hand for the paper-scale
+# frontier.
+APPROX_SIZES ?= 1000,10000
+
 # The regression trajectory (benchmarks/history/) is recorded at a
 # small fixed scale so it runs everywhere, including CI smoke runs; the
 # committed baseline.jsonl was seeded at exactly this scale — the
@@ -47,7 +53,7 @@ HISTORY_TUNERS ?= 50
 HISTORY_REPEATS ?= 1
 HISTORY_TOLERANCE ?= 0.15
 
-.PHONY: install test bench bench-json bench-server bench-net bench-cluster bench-engine bench-sched bench-all bench-history examples experiments clean
+.PHONY: install test bench bench-json bench-server bench-net bench-cluster bench-engine bench-sched bench-approx bench-all bench-history examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -92,8 +98,17 @@ bench-sched:
 	$(PYTHON) -m repro.cli sched bench --versions $(SCHED_VERSIONS) --json BENCH_sched.json $(BENCH_META)
 	$(PYTHON) -m repro.cli obs regress --baseline $(HISTORY_DIR)/sched-baseline.jsonl --candidate BENCH_sched.json --tolerance $(HISTORY_TOLERANCE) --append $(HISTORY_DIR)/sched-trajectory.jsonl --bootstrap
 
-bench-all: bench-json bench-server bench-net bench-engine
-	$(PYTHON) -m repro.cli bench-merge BENCH_search.json BENCH_server.json BENCH_net.json BENCH_engine.json --out BENCH_all.json
+# Approximation-frontier suite: quality-vs-time points for the
+# repro.approx planners (ptas / sorting / meta) across APPROX_SIZES,
+# appended to its own trajectory and gated against the committed
+# approx baseline (--bootstrap seeds it on first run).
+bench-approx:
+	mkdir -p $(HISTORY_DIR)
+	$(PYTHON) -m repro.cli approx frontier --sizes $(APPROX_SIZES) --json BENCH_approx.json $(BENCH_META)
+	$(PYTHON) -m repro.cli obs regress --baseline $(HISTORY_DIR)/approx-baseline.jsonl --candidate BENCH_approx.json --tolerance $(HISTORY_TOLERANCE) --append $(HISTORY_DIR)/approx-trajectory.jsonl --bootstrap
+
+bench-all: bench-json bench-server bench-net bench-engine bench-approx
+	$(PYTHON) -m repro.cli bench-merge BENCH_search.json BENCH_server.json BENCH_net.json BENCH_engine.json BENCH_approx.json --out BENCH_all.json
 
 # Run the merged suites at history scale (scratch output under
 # $(HISTORY_DIR)/tmp so the full-scale BENCH_*.json records stay
@@ -106,7 +121,8 @@ bench-history:
 	$(PYTHON) -m repro.cli bench-server --json $(HISTORY_DIR)/tmp/server.json $(BENCH_META)
 	$(PYTHON) -m repro.cli loadtest --tuners $(HISTORY_TUNERS) --check-parity --json $(HISTORY_DIR)/tmp/net.json $(BENCH_META)
 	$(PYTHON) -m repro.cli engine bench --walks $(ENGINE_WALKS) --sample $(ENGINE_SAMPLE) --repeats $(ENGINE_REPEATS) --json $(HISTORY_DIR)/tmp/engine.json $(BENCH_META)
-	$(PYTHON) -m repro.cli bench-merge $(HISTORY_DIR)/tmp/search.json $(HISTORY_DIR)/tmp/server.json $(HISTORY_DIR)/tmp/net.json $(HISTORY_DIR)/tmp/engine.json --out $(HISTORY_DIR)/tmp/all.json
+	$(PYTHON) -m repro.cli approx frontier --sizes $(APPROX_SIZES) --json $(HISTORY_DIR)/tmp/approx.json $(BENCH_META)
+	$(PYTHON) -m repro.cli bench-merge $(HISTORY_DIR)/tmp/search.json $(HISTORY_DIR)/tmp/server.json $(HISTORY_DIR)/tmp/net.json $(HISTORY_DIR)/tmp/engine.json $(HISTORY_DIR)/tmp/approx.json --out $(HISTORY_DIR)/tmp/all.json
 	$(PYTHON) -m repro.cli obs regress --baseline $(HISTORY_DIR)/baseline.jsonl --candidate $(HISTORY_DIR)/tmp/all.json --tolerance $(HISTORY_TOLERANCE) --append $(HISTORY_DIR)/trajectory.jsonl --bootstrap
 
 examples:

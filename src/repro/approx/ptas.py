@@ -1,0 +1,505 @@
+"""The ``"ptas"`` planner: geometric weight classes on square-root channel groups.
+
+The Kenyon–Schabanel–Young PTAS for data broadcast (see PAPERS.md) gets
+provable quality at near-linear cost from two ideas: partition items
+into **geometric weight classes** (all items within a class have weights
+within a constant factor of each other, so their relative order is
+almost irrelevant), and schedule the classes **periodically** with
+periods chosen by the square-root rule. This module adapts that recipe
+to the paper's no-replication model (§2.2: every node airs exactly once
+per cycle):
+
+1. leaves are bucketed into classes ``g`` holding weights in
+   ``(w_max/ratio^(g+1), w_max/ratio^g]``;
+2. classes are merged into **groups** — at most ``channels`` of them,
+   and only as many as the square-root rule can afford to give a whole
+   channel each (a handful of ultra-heavy items must not pin a channel
+   while a million-item tail squeezes through one) — and each group's
+   leaves, kept in catalog key order, get their own alphabetic subtree
+   via :func:`repro.tree.alphabetic.build_index`;
+3. the broadcast channels are divided among the groups proportionally
+   to ``sqrt(W_g · m_g)`` — the square-root rule: airing group ``g`` on
+   ``k_g`` of ``k`` channels gives its items a period of ``m_g / k_g``
+   slots, and minimising ``Σ W_g · m_g / k_g`` subject to ``Σ k_g = k``
+   puts ``k_g ∝ sqrt(W_g · m_g)``;
+4. each group's subtree is packed level-order onto its own channel
+   group, all in parallel, so a heavy class's items repeat every
+   ``~m_g / k_g`` slots of the cycle instead of every ``~m / k``.
+
+Because step 4's packing is level-order with at most one underfull slot
+per subtree level, the construction yields an **a-priori quality
+bound**: every item of group ``g`` airs by slot
+``1 + ceil(m_g / k_g) + depth_g + 1``, so
+
+    ``data_wait  <=  Σ_g W_g · (2 + ceil(m_g/k_g) + depth_g) / Σ_g W_g``
+
+before any schedule is built. The returned plan carries that bound, the
+matching information-theoretic lower bound (heaviest items in the
+earliest of the ``k·t`` available data cells — no feasible schedule can
+beat it), and their ratio, in ``stats``.
+
+Caveat (deliberate, documented): the rebuilt tree keeps each *group's*
+leaves in key order but interleaves key ranges *across* groups, so the
+frame-level wire walk — which routes by ``key <= key_hi`` range
+separators (:mod:`repro.io.wire`) — cannot navigate a ptas tree. The
+object and batch engines, which follow tree pointers, walk it exactly.
+The ``"meta"`` planner's ``wire_safe`` option exists for callers that
+must stay on the wire path (:class:`repro.cluster.StationCluster`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import gc
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..broadcast.schedule import BroadcastSchedule
+from ..perf import PerfRecorder
+from ..planners import PlanResult, register
+from ..tree.alphabetic import build_index
+from ..tree.index_tree import IndexTree
+from ..tree.node import IndexNode, Node
+
+__all__ = [
+    "WeightClass",
+    "geometric_classes",
+    "ptas_catalog_plan",
+    "plan_ptas",
+]
+
+
+@dataclass(frozen=True)
+class WeightClass:
+    """One geometric weight band of the catalog.
+
+    ``positions`` are catalog indices in ascending (key) order; ``hi``
+    is the inclusive upper weight bound of the band, ``lo`` the
+    exclusive lower bound (``0`` for the catch-all tail class).
+    """
+
+    index: int
+    lo: float
+    hi: float
+    positions: tuple[int, ...]
+    weight: float
+
+    @property
+    def size(self) -> int:
+        return len(self.positions)
+
+
+def geometric_classes(
+    weights: Sequence[float],
+    *,
+    ratio: float = 2.0,
+    max_classes: int = 16,
+) -> list[WeightClass]:
+    """Bucket ``weights`` into geometric classes, heaviest class first.
+
+    Class ``g`` holds weights in ``(w_max/ratio^(g+1), w_max/ratio^g]``;
+    everything below ``w_max/ratio^(max_classes-1)`` (and any
+    non-positive weight) falls into the last class. Empty bands are
+    dropped, so the result lists only inhabited classes.
+    """
+    if ratio <= 1.0:
+        raise ValueError("ratio must be > 1")
+    if max_classes < 1:
+        raise ValueError("max_classes must be >= 1")
+    values = np.asarray(weights, dtype=float)
+    if values.size == 0:
+        raise ValueError("weights must be non-empty")
+    w_max = float(values.max())
+    if w_max <= 0.0:
+        # Degenerate all-zero catalog: one class holds everything.
+        bands = np.zeros(values.size, dtype=np.int64)
+    else:
+        with np.errstate(divide="ignore"):
+            raw = np.floor(
+                np.log(w_max / np.maximum(values, 1e-300)) / math.log(ratio)
+            )
+        bands = np.clip(raw, 0, max_classes - 1).astype(np.int64)
+        bands[values <= 0.0] = max_classes - 1
+    classes: list[WeightClass] = []
+    for band in np.unique(bands):
+        positions = np.flatnonzero(bands == band)
+        classes.append(
+            WeightClass(
+                index=int(band),
+                lo=0.0 if band == max_classes - 1 else w_max / ratio ** (int(band) + 1),
+                hi=w_max / ratio ** int(band),
+                positions=tuple(int(p) for p in positions),
+                weight=float(values[positions].sum()),
+            )
+        )
+    return classes
+
+
+def _merge_to_groups(
+    classes: list[WeightClass], channels: int
+) -> list[list[WeightClass]]:
+    """Merge weight-adjacent classes until every group earns a channel.
+
+    Two forces shape the grouping. First, there can be at most
+    ``channels`` groups (heaviest classes stay pure; the tail merges).
+    Second — the one that matters at scale — a group only deserves
+    channels of its own if the square-root rule would hand it at least
+    one *whole* channel: a few ultra-heavy items forming their own
+    class must not each pin a channel while a million-item tail
+    squeezes through one. So while the rule's ideal (fractional)
+    allocation gives some group less than 1, that weakest group merges
+    into its weight-adjacent neighbour and the shares are recomputed.
+    Item counts stand in for tree sizes here (index overhead is
+    proportional, so the shares are unchanged); the final integer
+    allocation over the built subtrees happens in
+    :func:`_sqrt_rule_channels`.
+    """
+    if channels < 1:
+        raise ValueError("channels must be >= 1")
+    groups = [[cls] for cls in classes]
+    if len(groups) > channels:
+        head = groups[: channels - 1]
+        tail = [cls for grp in groups[channels - 1:] for cls in grp]
+        groups = head + [tail]
+    while len(groups) > 1:
+        shares = [
+            math.sqrt(
+                sum(cls.weight for cls in grp)
+                * sum(cls.size for cls in grp)
+            )
+            for grp in groups
+        ]
+        total = sum(shares)
+        if total <= 0.0:
+            break
+        ideals = [channels * share / total for share in shares]
+        weakest = min(range(len(groups)), key=lambda g: ideals[g])
+        if ideals[weakest] >= 1.0:
+            break
+        neighbor = weakest + 1 if weakest + 1 < len(groups) else weakest - 1
+        lo, hi = sorted((weakest, neighbor))
+        groups[lo : hi + 1] = [groups[lo] + groups[hi]]
+    return groups
+
+
+def _sqrt_rule_channels(
+    loads: Sequence[float], sizes: Sequence[int], channels: int
+) -> list[int]:
+    """Integer channel counts per group, ``k_g ∝ sqrt(W_g · m_g)``.
+
+    Every group gets at least one channel; the remainder goes by
+    largest fractional share (ties to the earlier = heavier group), the
+    classic largest-remainder apportionment.
+    """
+    groups = len(loads)
+    if channels < groups:
+        raise ValueError(f"{groups} groups need at least {groups} channels")
+    shares = [math.sqrt(max(load, 0.0) * size) for load, size in zip(loads, sizes)]
+    total = sum(shares)
+    if total <= 0.0:
+        shares = [float(size) for size in sizes]
+        total = sum(shares) or 1.0
+    spare = channels - groups
+    ideal = [spare * share / total for share in shares]
+    counts = [1 + math.floor(x) for x in ideal]
+    leftover = channels - sum(counts)
+    by_remainder = sorted(
+        range(groups), key=lambda g: (-(ideal[g] - math.floor(ideal[g])), g)
+    )
+    for g in by_remainder[:leftover]:
+        counts[g] += 1
+    return counts
+
+
+def _levels(root: Node) -> list[list[Node]]:
+    """Nodes under ``root`` grouped by depth, ``[0]`` being ``[root]``."""
+    levels: list[list[Node]] = []
+    frontier: list[Node] = [root]
+    while frontier:
+        levels.append(frontier)
+        nxt: list[Node] = []
+        for node in frontier:
+            if isinstance(node, IndexNode):
+                nxt.extend(node.children)
+        frontier = nxt
+    return levels
+
+
+def _pack_group(
+    levels: list[list[Node]],
+    width: int,
+    first_channel: int,
+    start_slot: int,
+    placement: dict[Node, tuple[int, int]],
+    slot_of: dict[int, int],
+) -> int:
+    """Pack ``levels`` ``width`` nodes per slot, from ``start_slot``.
+
+    A node airs only strictly after its parent. Walking level by level,
+    every parent is already placed, and parent slots are non-decreasing
+    along a level (slots were assigned in that same order one level up)
+    — so a single pass with a running (slot, lane) cursor suffices: a
+    node whose parent sits at or past the cursor's slot pushes the
+    cursor to ``parent_slot + 1``, abandoning the partial slot. That
+    abandonment costs at most one underfull slot per level, so the
+    group finishes within ``ceil(n/width) + depth`` slots — exactly the
+    slack the a-priori quality bound budgets for. O(n) overall.
+    Returns the number of slots consumed.
+    """
+    slot = start_slot
+    lane = 0
+    for level in levels:
+        for node in level:
+            parent = node.parent
+            if parent is not None:
+                parent_slot = slot_of[id(parent)]
+                if parent_slot >= slot:
+                    slot = parent_slot + 1
+                    lane = 0
+            placement[node] = (first_channel + lane, slot)
+            slot_of[id(node)] = slot
+            lane += 1
+            if lane == width:
+                lane = 0
+                slot += 1
+    return slot - start_slot + (1 if lane else 0)
+
+
+def ptas_catalog_plan(
+    labels: Sequence[str],
+    weights: Sequence[float],
+    channels: int = 1,
+    *,
+    fanout: int = 3,
+    ratio: float = 2.0,
+    max_classes: int = 16,
+    keys: Sequence[object] | None = None,
+    perf: PerfRecorder | None = None,
+    rng: np.random.Generator | None = None,
+) -> PlanResult:
+    """Plan a keyed catalog directly — the streaming entry point.
+
+    This is what :func:`repro.planners.plan_catalog` dispatches to for
+    ``method="ptas"``: no intermediate globally-optimal index tree is
+    built (that construction is cubic), so million-item catalogs plan in
+    near-linear time. ``labels`` must be in ascending key order, as
+    everywhere in the catalog API.
+    """
+    del rng  # deterministic
+    if len(labels) != len(weights):
+        raise ValueError(
+            f"catalog has {len(labels)} labels but {len(weights)} weights"
+        )
+    if not labels:
+        raise ValueError("cannot plan an empty catalog")
+    if channels < 1:
+        raise ValueError("channels must be >= 1")
+    timer = (
+        perf.timer("planner.ptas.seconds")
+        if perf is not None
+        else contextlib.nullcontext()
+    )
+    # Building a million-node tree allocates millions of long-lived
+    # container objects; every generational collection in that window
+    # re-walks all of them and finds nothing (the tree is alive), which
+    # measured as 2-4x the entire planning time. Nodes form no cycles
+    # the collector is needed for — parent/child links die with the
+    # tree via refcounting — so pause collection for the build the way
+    # bulk loaders do, restoring whatever state the caller had.
+    collector_was_enabled = gc.isenabled()
+    if collector_was_enabled:
+        gc.disable()
+    try:
+        with timer:
+            result = _ptas_build(
+                list(labels),
+                [float(w) for w in weights],
+                channels,
+                fanout=fanout,
+                ratio=ratio,
+                max_classes=max_classes,
+                keys=list(keys) if keys is not None else None,
+            )
+    finally:
+        if collector_was_enabled:
+            gc.enable()
+    if perf is not None:
+        perf.count("planner.ptas.plans")
+        perf.count("planner.ptas.items", len(labels))
+        perf.count("planner.ptas.classes", result.stats["classes"])
+        perf.count("planner.ptas.groups", len(result.stats["groups"]))
+    return result
+
+
+def _ptas_build(
+    labels: list[str],
+    weights: list[float],
+    channels: int,
+    *,
+    fanout: int,
+    ratio: float,
+    max_classes: int,
+    keys: list[object] | None,
+) -> PlanResult:
+    classes = geometric_classes(weights, ratio=ratio, max_classes=max_classes)
+    groups = _merge_to_groups(classes, channels)
+
+    # Per-group alphabetic subtrees over the group's leaves, key order
+    # preserved within the group. build_index picks the construction by
+    # size (exact DP small, weight-balanced large), so this stays
+    # near-linear at million-item scale.
+    roots: list[Node] = []
+    group_levels: list[list[list[Node]]] = []
+    group_weights: list[float] = []
+    group_sizes: list[int] = []
+    group_items: list[int] = []
+    group_classes: list[list[int]] = []
+    for members in groups:
+        positions = sorted(p for cls in members for p in cls.positions)
+        sub_labels = [labels[p] for p in positions]
+        sub_weights = [weights[p] for p in positions]
+        sub_keys = [keys[p] for p in positions] if keys is not None else None
+        subtree = build_index(sub_labels, sub_weights, fanout=fanout, keys=sub_keys)
+        root = subtree.root
+        levels = _levels(root)
+        for level in levels:
+            for node in level:
+                if isinstance(node, IndexNode):
+                    # Fresh global preorder labels later: each subtree
+                    # was numbered in isolation, so labels collide
+                    # across groups until the global renumber.
+                    node.label = ""
+                    node.order = 0
+        roots.append(root)
+        group_levels.append(levels)
+        group_weights.append(sum(sub_weights))
+        group_sizes.append(sum(len(level) for level in levels))
+        group_items.append(len(positions))
+        group_classes.append([cls.index for cls in members])
+
+    global_root = IndexNode("", list(roots))
+    # The subtrees were just validated by build_index and the only new
+    # structure is this root (add_child wired the parent pointers), so
+    # re-walking 10⁶ nodes to re-validate would only burn the time the
+    # streaming path exists to save. Renumbering still runs: it assigns
+    # the fresh global labels the blanking above prepared for.
+    tree = IndexTree(global_root, validate=False)
+
+    counts = _sqrt_rule_channels(group_weights, group_sizes, channels)
+
+    placement: dict[Node, tuple[int, int]] = {global_root: (1, 1)}
+    slot_of: dict[int, int] = {id(global_root): 1}
+    first_channel = 1
+    slots_used: list[int] = []
+    for levels, width in zip(group_levels, counts):
+        used = _pack_group(
+            levels, width, first_channel, 2, placement, slot_of
+        )
+        slots_used.append(used)
+        first_channel += width
+
+    schedule = BroadcastSchedule(
+        tree, placement, channels=channels, validate=True
+    )
+    cost = schedule.data_wait()
+
+    total_weight = sum(weights) or 1.0
+    group_depths = [len(levels) for levels in group_levels]
+    bound = sum(
+        w * (2 + math.ceil(m / k) + d)
+        for w, m, k, d in zip(group_weights, group_sizes, counts, group_depths)
+    ) / total_weight
+    lower = _data_wait_lower_bound(weights, channels)
+    stats = {
+        "classes": len(classes),
+        "ratio": ratio,
+        "groups": [
+            {
+                "classes": members,
+                "items": items,
+                "nodes": m,
+                "weight": w,
+                "channels": k,
+                "depth": d,
+                "slots": used,
+            }
+            for members, items, m, w, k, d, used in zip(
+                group_classes,
+                group_items,
+                group_sizes,
+                group_weights,
+                counts,
+                group_depths,
+                slots_used,
+            )
+        ],
+        "quality_bound": bound,
+        "lower_bound": lower,
+        "quality_ratio": bound / lower if lower > 0 else float("inf"),
+    }
+    return PlanResult(schedule, cost, "ptas", stats)
+
+
+def _data_wait_lower_bound(weights: Sequence[float], channels: int) -> float:
+    """No feasible schedule's data wait can be lower than this.
+
+    Data nodes occupy distinct (channel, slot) cells, so at most
+    ``channels`` items can air per slot; pairing the heaviest weights
+    with the earliest slots (rearrangement inequality) gives the floor
+    ``Σ w_(i) · ceil(i/k) / Σ w`` over descending-sorted weights.
+    """
+    values = np.sort(np.asarray(weights, dtype=float))[::-1]
+    total = values.sum()
+    if total <= 0:
+        return 0.0
+    slots = np.ceil(np.arange(1, values.size + 1) / channels)
+    return float((values * slots).sum() / total)
+
+
+@register("ptas")
+def plan_ptas(
+    tree: IndexTree,
+    channels: int,
+    *,
+    perf: PerfRecorder | None = None,
+    rng: np.random.Generator | None = None,
+    ratio: float = 2.0,
+    max_classes: int = 16,
+    fanout: int | None = None,
+) -> PlanResult:
+    """The registry face of the KSY-inspired planner.
+
+    Takes any index tree, extracts its leaf catalog (labels, weights,
+    keys in leaf order) and **re-indexes** it into geometric weight
+    classes — the input tree's internal structure is advisory only,
+    exactly as the shrinking heuristic treats it. ``fanout`` defaults
+    to the input tree's own fanout (floor 2).
+    """
+    leaves = tree.data_nodes()
+    labels = [leaf.label for leaf in leaves]
+    weights = [leaf.weight for leaf in leaves]
+    keys = [leaf.key for leaf in leaves]
+    if all(key is None for key in keys):
+        keys = None
+    if fanout is None:
+        fanout = max(2, tree.fanout())
+    return ptas_catalog_plan(
+        labels,
+        weights,
+        channels,
+        fanout=fanout,
+        ratio=ratio,
+        max_classes=max_classes,
+        keys=keys,
+        perf=perf,
+        rng=rng,
+    )
+
+
+#: The catalog-direct capability :func:`repro.planners.plan_catalog`
+#: dispatches on — planning straight from (labels, weights) without the
+#: cubic global index construction.
+plan_ptas.from_catalog = ptas_catalog_plan

@@ -411,8 +411,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--fanout", type=int, default=3)
         sub.add_argument(
             "--planner",
-            default="sorting",
-            help="repro.planners registry name used per shard",
+            default="meta",
+            help="repro.planners registry name used per shard "
+            "(default 'meta': the repro.approx cost-model dispatcher, "
+            "restricted to wire-routable planners)",
         )
         sub.add_argument("--shards", type=int, default=2)
         sub.add_argument(
@@ -487,6 +489,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the BENCH_cluster.json sweep record to PATH",
     )
     _add_envelope_options(cluster_loadtest)
+
+    approx = commands.add_parser(
+        "approx",
+        help="approximation planners for million-item catalogs: ptas "
+        "plan card, quality-vs-time frontier bench, meta-planner "
+        "explain (repro.approx)",
+    )
+    approx_commands = approx.add_subparsers(
+        dest="approx_command", required=True
+    )
+
+    def add_approx_options(sub: argparse.ArgumentParser) -> None:
+        """The synthetic-catalog knobs every approx subcommand shares."""
+        sub.add_argument(
+            "--items",
+            type=int,
+            default=10_000,
+            help="synthetic catalog size (default 10000)",
+        )
+        sub.add_argument("--channels", type=int, default=4)
+        sub.add_argument("--fanout", type=int, default=3)
+        sub.add_argument(
+            "--theta",
+            type=float,
+            default=0.95,
+            help="Zipf skew of the synthetic weights (default 0.95)",
+        )
+
+    approx_plan = approx_commands.add_parser(
+        "plan",
+        help="plan a synthetic Zipf catalog with one registry planner, "
+        "print the plan card (cost, bound, groups, timing)",
+    )
+    add_approx_options(approx_plan)
+    approx_plan.add_argument(
+        "--method",
+        default="ptas",
+        help="repro.planners registry name (default 'ptas')",
+    )
+
+    approx_frontier = approx_commands.add_parser(
+        "frontier",
+        help="sweep catalog sizes, plan each with ptas/sorting/meta, "
+        "record the quality-vs-time frontier (BENCH_approx.json)",
+    )
+    approx_frontier.add_argument(
+        "--sizes",
+        default="1000,10000",
+        metavar="SIZES",
+        help="comma-separated catalog sizes (default '1000,10000'; "
+        "the committed baseline scale)",
+    )
+    approx_frontier.add_argument("--channels", type=int, default=4)
+    approx_frontier.add_argument("--fanout", type=int, default=3)
+    approx_frontier.add_argument("--theta", type=float, default=0.95)
+    approx_frontier.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="write the BENCH_approx.json frontier record to PATH",
+    )
+    _add_envelope_options(approx_frontier)
+
+    approx_explain = approx_commands.add_parser(
+        "explain",
+        help="print the meta-planner's measured features and its "
+        "decision for a catalog, without planning anything",
+    )
+    add_approx_options(approx_explain)
+    approx_explain.add_argument(
+        "--wire-safe",
+        action="store_true",
+        help="restrict the decision to wire-routable planners "
+        "(what the cluster's stations require)",
+    )
 
     sched = commands.add_parser(
         "sched",
@@ -968,6 +1046,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "cluster":
         return _cmd_cluster(args)
+
+    if args.command == "approx":
+        return _cmd_approx(args)
 
     if args.command == "sched":
         return _cmd_sched(args)
@@ -1811,6 +1892,158 @@ def _cmd_cluster_loadtest(args) -> int:
     for name in failed:
         print(f"error: cluster check failed: {name}", file=sys.stderr)
     return 0 if not failed else 1
+
+
+def _approx_catalog(
+    items: int, theta: float, seed: int
+) -> tuple[list[str], list[float]]:
+    """A sorted synthetic catalog with Zipf weights, like the bench uses."""
+    import numpy as np
+
+    from .workloads.weights import zipf_weights
+
+    rng = np.random.default_rng(seed + items)
+    width = max(7, len(str(items)))
+    labels = [f"d{i:0{width}d}" for i in range(items)]
+    weights = [float(w) for w in zipf_weights(rng, items, theta=theta)]
+    return labels, weights
+
+
+def _cmd_approx(args) -> int:
+    if args.approx_command == "plan":
+        return _cmd_approx_plan(args)
+    if args.approx_command == "frontier":
+        return _cmd_approx_frontier(args)
+    if args.approx_command == "explain":
+        return _cmd_approx_explain(args)
+    raise AssertionError(
+        f"unhandled approx command {args.approx_command!r}"
+    )
+
+
+def _cmd_approx_plan(args) -> int:
+    import time
+
+    from .exceptions import ReproError
+    from .perf import PerfRecorder
+    from .planners import plan_catalog
+
+    labels, weights = _approx_catalog(args.items, args.theta, args.seed)
+    perf = PerfRecorder()
+    started = time.perf_counter()
+    try:
+        result = plan_catalog(
+            labels,
+            weights,
+            args.channels,
+            method=args.method,
+            fanout=args.fanout,
+            perf=perf,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - started
+    print(
+        f"{args.items} item(s), {args.channels} channel(s), "
+        f"Zipf theta={args.theta}, planner {result.method!r}"
+    )
+    print(f"data_wait = {result.cost:.4f} ({elapsed:.2f}s)")
+    stats = result.stats or {}
+    if "quality_bound" in stats:
+        print(
+            f"a-priori bound = {stats['quality_bound']:.4f} "
+            f"(<= {stats['quality_ratio']:.2f}x the data-wait lower "
+            f"bound {stats['lower_bound']:.4f})"
+        )
+        for group in stats["groups"]:
+            print(
+                f"  group: {group['items']} item(s) from "
+                f"{len(group['classes'])} class(es) on {group['channels']} "
+                f"channel(s), depth {group['depth']}, "
+                f"{group['slots']} slot(s), weight {group['weight']:.1f}"
+            )
+    meta = stats.get("meta")
+    if meta is not None:
+        print(
+            f"meta decision: {meta['method']!r} ({meta['reason']})"
+            + (" [fallback]" if meta["fell_back"] else "")
+        )
+    return 0
+
+
+def _cmd_approx_frontier(args) -> int:
+    from .approx import run_frontier_bench, write_approx_bench_json
+
+    try:
+        sizes = tuple(
+            int(piece) for piece in args.sizes.split(",") if piece.strip()
+        )
+    except ValueError:
+        print(f"error: bad --sizes {args.sizes!r}", file=sys.stderr)
+        return 1
+    if not sizes:
+        print("error: --sizes must name at least one size", file=sys.stderr)
+        return 1
+    record = run_frontier_bench(
+        sizes,
+        channels=args.channels,
+        fanout=args.fanout,
+        theta=args.theta,
+        seed=args.seed,
+    )
+    if args.json_path:
+        write_approx_bench_json(
+            args.json_path,
+            record,
+            rev=args.rev,
+            timestamp=args.timestamp,
+        )
+    header = (
+        f"{'size':>9} {'planner':>8} {'data_wait':>12} "
+        f"{'vs lower':>8} {'vs best':>8} {'plan s':>8}"
+    )
+    print(header)
+    for key in sorted(record["result"], key=int):
+        row = record["result"][key]
+        for name in ("ptas", "sorting", "meta"):
+            point = row["frontier"][name]
+            print(
+                f"{row['items']:>9} {name:>8} "
+                f"{point['data_wait']:>12.2f} "
+                f"{point['ratio_to_lower']:>8.2f} "
+                f"{point['ratio_to_best']:>8.2f} "
+                f"{point['plan_seconds']:>8.3f}"
+            )
+    if args.json_path:
+        print(f"approx record written to {args.json_path}")
+    checks = record["aggregate"]["checks"]
+    failed = sorted(name for name, ok in checks.items() if not ok)
+    for name in failed:
+        print(f"error: approx check failed: {name}", file=sys.stderr)
+    return 0 if not failed else 1
+
+
+def _cmd_approx_explain(args) -> int:
+    from .approx import decide, extract_features
+
+    _, weights = _approx_catalog(args.items, args.theta, args.seed)
+    features = extract_features(
+        weights, args.channels, fanout=args.fanout
+    )
+    method, options, reason = decide(
+        features, wire_safe=args.wire_safe
+    )
+    print(
+        f"features: items={features.items} channels={features.channels} "
+        f"fanout={features.fanout} gini={features.gini:.3f} "
+        f"entropy={features.entropy:.3f}"
+    )
+    print(f"decision: {method!r}" + (f" {options}" if options else ""))
+    print(f"reason: {reason}")
+    if args.wire_safe:
+        print("(restricted to wire-routable planners)")
+    return 0
 
 
 def _cmd_sched(args) -> int:

@@ -140,7 +140,11 @@ class StationCluster:
     planner:
         :mod:`repro.planners` registry name used for **every** shard's
         allocation — per-shard plan selection goes through the same
-        facade the single-station stack uses.
+        facade the single-station stack uses. Defaults to the
+        :mod:`repro.approx` meta-planner, which sizes up each shard's
+        slice and picks a method per shard; the cluster passes it
+        ``wire_safe=True`` because station wire walks need the
+        key-separator routing the ptas trees give up.
     channels, fanout, bucket_size:
         Per-shard program shape: each shard airs its own ``channels``
         broadcast channels (an N-shard cluster is N× the air bandwidth).
@@ -176,7 +180,7 @@ class StationCluster:
         shards: int,
         *,
         partitioner: str = "hash",
-        planner: str = "sorting",
+        planner: str = "meta",
         channels: int = 3,
         fanout: int = 3,
         bucket_size: int = DEFAULT_BUCKET_SIZE,
@@ -300,6 +304,9 @@ class StationCluster:
                 raise ValueError(f"shard {shard} has no keys to plan")
             labels = [key for key, _ in items]
             weights = [weight for _, weight in items]
+            # Stations route wire walks by key separators, so the meta
+            # planner must stay inside the wire-routable registry.
+            options = {"wire_safe": True} if self.planner == "meta" else {}
             result = plan_catalog(
                 labels,
                 weights,
@@ -307,6 +314,7 @@ class StationCluster:
                 method=self.planner,
                 fanout=self.fanout,
                 perf=self.perf,
+                **options,
             )
             self.plans[shard] = ShardPlan(
                 shard=shard,

@@ -302,7 +302,7 @@ def run_cluster_sweep(
     *,
     tuners: int = 200,
     partitioner: str = "hash",
-    planner: str = "sorting",
+    planner: str = "meta",
     channels: int = 3,
     fanout: int = 3,
     seed: int = 2000,

@@ -53,6 +53,7 @@ from .events import (
     FrameDropped,
     JsonlTracer,
     NullTracer,
+    PlannerDecision,
     ReplanFinished,
     ReplanStarted,
     RingBufferTracer,
@@ -111,6 +112,7 @@ __all__ = [
     "ReplanFinished",
     "SearchProgress",
     "FaultInjected",
+    "PlannerDecision",
     "EVENT_TYPES",
     "event_to_dict",
     "event_from_dict",

@@ -57,6 +57,7 @@ __all__ = [
     "CutoverDetected",
     "SearchProgress",
     "FaultInjected",
+    "PlannerDecision",
     "EVENT_TYPES",
     "NO_WALK",
     "event_to_dict",
@@ -245,6 +246,29 @@ class FaultInjected:
     fate: str
 
 
+@dataclass(frozen=True, slots=True)
+class PlannerDecision:
+    """The cost-model meta-planner chose a strategy for a catalog.
+
+    Emitted by :func:`repro.approx.plan_meta` once per dispatch: the
+    features it measured (catalog size, weight skew as Gini coefficient
+    and normalised entropy), the registry ``method`` it picked, and the
+    human-readable ``reason`` from the decision table. ``fell_back``
+    records that the chosen method blew its search budget and the
+    fallback heuristic served instead — the trace then shows *both*
+    what the model wanted and what production got.
+    """
+
+    kind: ClassVar[str] = "planner_decision"
+    method: str
+    items: int
+    channels: int
+    gini: float
+    entropy: float
+    reason: str = ""
+    fell_back: bool = False
+
+
 TraceEvent = (
     SlotAired
     | FrameDropped
@@ -257,6 +281,7 @@ TraceEvent = (
     | CutoverDetected
     | SearchProgress
     | FaultInjected
+    | PlannerDecision
 )
 
 EVENT_TYPES: dict[str, type] = {
@@ -273,6 +298,7 @@ EVENT_TYPES: dict[str, type] = {
         CutoverDetected,
         SearchProgress,
         FaultInjected,
+        PlannerDecision,
     )
 }
 

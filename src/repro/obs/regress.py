@@ -210,6 +210,45 @@ METRIC_SPECS: tuple[MetricSpec, ...] = (
         "sched-bench", "rollback_ms",
         ("result", "rollback_ms"), kind=TIMING,
     ),
+    # approx-frontier: data-wait ratios over the information-theoretic
+    # lower bound are seed-deterministic quality (the frontier's quality
+    # axis, size-comparable); plan wall times are the time axis, timing.
+    MetricSpec(
+        "approx-frontier", "ptas_ratio_small",
+        ("aggregate", "ptas_ratio_small"),
+    ),
+    MetricSpec(
+        "approx-frontier", "ptas_ratio_large",
+        ("aggregate", "ptas_ratio_large"),
+    ),
+    MetricSpec(
+        "approx-frontier", "ptas_bound_slack_large",
+        ("aggregate", "ptas_bound_slack_large"),
+    ),
+    MetricSpec(
+        "approx-frontier", "sorting_ratio_large",
+        ("aggregate", "sorting_ratio_large"),
+    ),
+    MetricSpec(
+        "approx-frontier", "meta_ratio_small",
+        ("aggregate", "meta_ratio_small"),
+    ),
+    MetricSpec(
+        "approx-frontier", "meta_ratio_large",
+        ("aggregate", "meta_ratio_large"),
+    ),
+    MetricSpec(
+        "approx-frontier", "ptas_plan_seconds_large",
+        ("aggregate", "ptas_plan_seconds_large"), kind=TIMING,
+    ),
+    MetricSpec(
+        "approx-frontier", "sorting_plan_seconds_large",
+        ("aggregate", "sorting_plan_seconds_large"), kind=TIMING,
+    ),
+    MetricSpec(
+        "approx-frontier", "meta_plan_seconds_large",
+        ("aggregate", "meta_plan_seconds_large"), kind=TIMING,
+    ),
     # server-faults: how gracefully the server degrades, in slots.
     MetricSpec(
         "server-faults", "lossless_mean_access",

@@ -1,0 +1,209 @@
+"""Tests for the KSY-inspired approximation planner (:mod:`repro.approx.ptas`)."""
+
+from __future__ import annotations
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.approx import geometric_classes, ptas_catalog_plan
+from repro.approx.ptas import _data_wait_lower_bound, _merge_to_groups
+from repro.perf import PerfRecorder
+from repro.planners import available_planners, plan, plan_catalog
+from repro.tree.builders import paper_example_tree
+from repro.workloads.weights import zipf_weights
+
+
+def zipf_catalog(size: int, seed: int = 7) -> tuple[list[str], list[float]]:
+    rng = np.random.default_rng(seed)
+    labels = [f"d{i:05d}" for i in range(size)]
+    return labels, [float(w) for w in zipf_weights(rng, size)]
+
+
+def assert_feasible(result, channels: int) -> None:
+    """Independent feasibility re-check, not trusting the validator."""
+    schedule = result.schedule
+    seen_cells: set[tuple[int, int]] = set()
+    for node in schedule.nodes():
+        channel, slot = schedule.position(node)
+        assert 1 <= channel <= channels
+        assert slot >= 1
+        assert (channel, slot) not in seen_cells
+        seen_cells.add((channel, slot))
+        if node.parent is not None:
+            assert slot > schedule.slot_of(node.parent)
+    assert len(seen_cells) == len(schedule.tree.nodes())
+
+
+class TestGeometricClasses:
+    def test_bands_are_geometric_and_heaviest_first(self):
+        classes = geometric_classes([8.0, 4.0, 2.0, 1.0], ratio=2.0)
+        assert [cls.index for cls in classes] == [0, 1, 2, 3]
+        assert classes[0].positions == (0,)
+        assert classes[0].hi == pytest.approx(8.0)
+        assert classes[0].lo == pytest.approx(4.0)
+        assert classes[3].positions == (3,)
+
+    def test_items_within_a_band_share_a_class(self):
+        classes = geometric_classes([10.0, 9.0, 5.5, 0.1], ratio=2.0)
+        assert classes[0].positions == (0, 1, 2)
+
+    def test_tail_class_catches_everything_below_the_last_band(self):
+        classes = geometric_classes([100.0, 1e-9], ratio=2.0, max_classes=4)
+        assert classes[-1].index == 3
+        assert classes[-1].lo == 0.0
+        assert 1 in classes[-1].positions
+
+    def test_zero_and_negative_weights_join_the_tail(self):
+        classes = geometric_classes([10.0, 0.0, -1.0], max_classes=8)
+        assert classes[-1].positions == (1, 2)
+
+    def test_all_zero_catalog_is_one_class(self):
+        classes = geometric_classes([0.0, 0.0])
+        assert len(classes) == 1
+        assert classes[0].size == 2
+
+    def test_positions_stay_in_key_order(self):
+        classes = geometric_classes([1.0, 8.0, 1.1, 7.9])
+        for cls in classes:
+            assert list(cls.positions) == sorted(cls.positions)
+
+    def test_class_weights_partition_the_total(self):
+        weights = [float(w) for w in range(1, 40)]
+        classes = geometric_classes(weights)
+        assert sum(cls.weight for cls in classes) == pytest.approx(sum(weights))
+        assert sum(cls.size for cls in classes) == len(weights)
+
+    def test_bad_arguments_raise(self):
+        with pytest.raises(ValueError, match="ratio"):
+            geometric_classes([1.0], ratio=1.0)
+        with pytest.raises(ValueError, match="max_classes"):
+            geometric_classes([1.0], max_classes=0)
+        with pytest.raises(ValueError, match="non-empty"):
+            geometric_classes([])
+
+
+class TestGroupMerging:
+    def test_never_more_groups_than_channels(self):
+        classes = geometric_classes([2.0 ** -g for g in range(10)])
+        assert len(classes) == 10
+        groups = _merge_to_groups(classes, 3)
+        assert len(groups) <= 3
+
+    def test_tiny_heavy_class_does_not_pin_a_channel(self):
+        # Two ultra-heavy items plus a 5000-item tail: the sqrt rule's
+        # ideal share for the heavy pair is far below one channel, so
+        # it must merge into the tail rather than pin a channel.
+        weights = [1000.0, 900.0] + [1.0] * 5000
+        groups = _merge_to_groups(geometric_classes(weights), 4)
+        assert len(groups) == 1
+
+    def test_merging_preserves_every_class(self):
+        weights = [float(2 ** (i % 7)) for i in range(200)]
+        classes = geometric_classes(weights)
+        groups = _merge_to_groups(classes, 2)
+        merged = [cls.index for grp in groups for cls in grp]
+        assert sorted(merged) == sorted(cls.index for cls in classes)
+
+
+class TestPtasPlans:
+    @pytest.mark.parametrize(
+        ("size", "channels"),
+        [(2, 1), (5, 2), (17, 3), (120, 4), (500, 4), (1000, 6)],
+    )
+    def test_feasible_and_within_bound(self, size, channels):
+        labels, weights = zipf_catalog(size)
+        result = ptas_catalog_plan(labels, weights, channels)
+        assert_feasible(result, channels)
+        assert result.cost == pytest.approx(result.schedule.data_wait())
+        assert result.cost <= result.stats["quality_bound"] * (1 + 1e-9)
+        assert result.cost >= result.stats["lower_bound"] * (1 - 1e-9)
+
+    def test_deterministic(self):
+        labels, weights = zipf_catalog(300)
+        first = ptas_catalog_plan(labels, weights, 3)
+        second = ptas_catalog_plan(labels, weights, 3)
+        assert first.cost == second.cost
+        assert first.stats == second.stats
+
+    def test_stats_carry_the_group_table(self):
+        labels, weights = zipf_catalog(400)
+        result = ptas_catalog_plan(labels, weights, 4)
+        stats = result.stats
+        assert stats["quality_ratio"] == pytest.approx(
+            stats["quality_bound"] / stats["lower_bound"]
+        )
+        assert sum(group["items"] for group in stats["groups"]) == 400
+        assert sum(group["channels"] for group in stats["groups"]) <= 4
+
+    def test_perf_counters(self):
+        labels, weights = zipf_catalog(100)
+        perf = PerfRecorder()
+        ptas_catalog_plan(labels, weights, 2, perf=perf)
+        counters = perf.snapshot()["counters"]
+        assert counters["planner.ptas.plans"] == 1
+        assert counters["planner.ptas.items"] == 100
+        assert counters["planner.ptas.groups"] >= 1
+
+    def test_gc_state_is_restored(self):
+        labels, weights = zipf_catalog(50)
+        assert gc.isenabled()
+        ptas_catalog_plan(labels, weights, 2)
+        assert gc.isenabled()
+        gc.disable()
+        try:
+            ptas_catalog_plan(labels, weights, 2)
+            assert not gc.isenabled()
+        finally:
+            gc.enable()
+
+    def test_bad_catalogs_raise(self):
+        with pytest.raises(ValueError, match="labels"):
+            ptas_catalog_plan(["a", "b"], [1.0], 1)
+        with pytest.raises(ValueError, match="empty"):
+            ptas_catalog_plan([], [], 1)
+        with pytest.raises(ValueError, match="channels"):
+            ptas_catalog_plan(["a"], [1.0], 0)
+
+
+class TestRegistryEntry:
+    def test_registered(self):
+        assert "ptas" in available_planners()
+
+    def test_plans_a_tree_by_reindexing_its_leaves(self):
+        tree = paper_example_tree()
+        result = plan(tree, 2, method="ptas")
+        assert result.method == "ptas"
+        assert_feasible(result, 2)
+        assert result.cost <= result.stats["quality_bound"] * (1 + 1e-9)
+
+    def test_plan_catalog_takes_the_streaming_path(self):
+        labels, weights = zipf_catalog(200)
+        perf = PerfRecorder()
+        result = plan_catalog(
+            labels, weights, 3, method="ptas", perf=perf
+        )
+        assert result.method == "ptas"
+        # The streaming path never builds the cubic optimal tree, so
+        # the ptas timer is the only planning timer that ran.
+        assert "planner.ptas.seconds" in perf.snapshot()["timers"]
+
+
+class TestLowerBound:
+    def test_matches_hand_computation(self):
+        # Weights 4,3,2,1 on 2 channels: slots 1,1,2,2 for the sorted
+        # weights -> (4+3+2*2+1*2)/10.
+        assert _data_wait_lower_bound([1.0, 4.0, 2.0, 3.0], 2) == pytest.approx(
+            (4 + 3 + 4 + 2) / 10
+        )
+
+    def test_zero_total_is_zero(self):
+        assert _data_wait_lower_bound([0.0, 0.0], 2) == 0.0
+
+    def test_no_planner_beats_it(self):
+        labels, weights = zipf_catalog(30)
+        lower = _data_wait_lower_bound(weights, 2)
+        for method in ("sorting", "ptas", "shrink-combine"):
+            result = plan_catalog(labels, weights, 2, method=method)
+            assert result.cost >= lower * (1 - 1e-9)

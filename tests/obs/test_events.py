@@ -15,6 +15,7 @@ from repro.obs.events import (
     FrameDropped,
     JsonlTracer,
     NullTracer,
+    PlannerDecision,
     ReplanFinished,
     ReplanStarted,
     RingBufferTracer,
@@ -49,6 +50,14 @@ SAMPLE_EVENTS = [
     ScheduleActivated(version=2, activate_slot=31, cycle_length=15),
     CutoverDetected(
         key="K007", from_version=1, to_version=2, absolute_slot=33, walk=4
+    ),
+    PlannerDecision(
+        method="ptas",
+        items=50_000,
+        channels=4,
+        gini=0.82,
+        entropy=0.41,
+        reason="50000 items: class-scheduling approximation",
     ),
 ]
 
