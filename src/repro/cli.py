@@ -684,6 +684,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the BENCH_sched.json loadtest record to PATH",
     )
+    sched_loadtest.add_argument(
+        "--trace",
+        dest="trace_path",
+        default=None,
+        metavar="PATH",
+        help="record a span-traced JSONL of the run to PATH: the "
+        "replan/publish/cutover spans and every walk's segment spans "
+        "share one trace id per replan (view with 'obs spans')",
+    )
+    sched_loadtest.add_argument(
+        "--postmortem-dir",
+        default=None,
+        metavar="DIR",
+        help="attach an always-on flight recorder dumping postmortem "
+        "bundles to DIR whenever an acceptance gate fails",
+    )
     _add_envelope_options(sched_loadtest)
 
     engine = commands.add_parser(
@@ -731,7 +747,8 @@ def build_parser() -> argparse.ArgumentParser:
     obs = commands.add_parser(
         "obs",
         help="trace tooling: timelines, diffs, latency attribution, "
-        "and the bench-regression sentinel",
+        "causal span trees, postmortem bundles, and the "
+        "bench-regression sentinel",
     )
     obs_commands = obs.add_subparsers(dest="obs_command", required=True)
     timeline = obs_commands.add_parser(
@@ -776,6 +793,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=5,
         help="how many of the slowest walks to break down individually "
         "(0 = none; default 5)",
+    )
+    spans = obs_commands.add_parser(
+        "spans",
+        help="reconstruct causal span trees from a trace (replan -> "
+        "store publish -> station cutover -> walk segments) and "
+        "reconcile segment durations against the attribution layer; "
+        "exit 1 on a containment or reconciliation violation",
+    )
+    spans.add_argument("trace", help="JSONL trace file")
+    spans.add_argument(
+        "--trace-id",
+        type=lambda v: int(v, 0),
+        default=None,
+        help="show one trace only (decimal or 0x-hex id)",
+    )
+    spans.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        help="max walk reconciliation rows to print (0 = all; "
+        "default 20)",
+    )
+    postmortem = obs_commands.add_parser(
+        "postmortem",
+        help="print a flight-recorder bundle: the causal span chain "
+        "ending at the trigger, plus each component ring's summary",
+    )
+    postmortem.add_argument("bundle", help="postmortem-*.json bundle file")
+    postmortem.add_argument(
+        "--tree",
+        action="store_true",
+        help="also print the bundle's full span trees",
     )
     regress = obs_commands.add_parser(
         "regress",
@@ -2214,23 +2263,46 @@ def _cmd_sched_bench(args) -> int:
 
 def _cmd_sched_loadtest(args) -> int:
     import asyncio
+    from contextlib import ExitStack
 
     from .sched.harness import run_cutover_loadtest, write_sched_json
 
     try:
-        record = asyncio.run(
-            run_cutover_loadtest(
-                tuners=args.tuners,
-                items=args.items,
-                channels=args.channels,
-                fanout=args.fanout,
-                seed=args.seed,
-                max_open=args.max_open,
+        with ExitStack() as stack:
+            tracer = None
+            if args.trace_path:
+                from .obs.events import JsonlTracer
+
+                tracer = stack.enter_context(JsonlTracer(args.trace_path))
+            recorder = None
+            if args.postmortem_dir:
+                from .obs.recorder import FlightRecorder
+
+                recorder = FlightRecorder(dump_dir=args.postmortem_dir)
+            record = asyncio.run(
+                run_cutover_loadtest(
+                    tuners=args.tuners,
+                    items=args.items,
+                    channels=args.channels,
+                    fanout=args.fanout,
+                    seed=args.seed,
+                    max_open=args.max_open,
+                    tracer=tracer,
+                    flight_recorder=recorder,
+                )
             )
-        )
     except OSError as error:
         print(f"error: station unreachable mid-run: {error}", file=sys.stderr)
         return 1
+    if args.trace_path:
+        print(f"span trace written to {args.trace_path}")
+    if recorder is not None and recorder.triggers:
+        for trigger in recorder.triggers:
+            print(
+                f"postmortem dumped: {trigger.bundle or '(memory only)'} "
+                f"({trigger.reason})",
+                file=sys.stderr,
+            )
     result = record["result"]
     print(
         f"{result['completed']} completed, {result['abandoned']} "
@@ -2268,12 +2340,14 @@ def _cmd_obs(args) -> int:
         load_timeline,
     )
 
+    # Exit codes are uniform across every obs subcommand: 0 clean,
+    # 1 divergence/regression/violation, 2 usage or I/O error.
     if args.obs_command == "timeline":
         try:
             timeline = load_timeline(args.trace)
         except OSError as error:
             print(f"error: cannot read trace: {error}", file=sys.stderr)
-            return 1
+            return 2
         print(
             format_timeline(
                 timeline, limit=args.limit, channel=args.channel
@@ -2286,7 +2360,7 @@ def _cmd_obs(args) -> int:
             diff = diff_trace_files(args.trace_a, args.trace_b)
         except OSError as error:
             print(f"error: cannot read trace: {error}", file=sys.stderr)
-            return 1
+            return 2
         print(
             format_diff(
                 diff,
@@ -2300,8 +2374,89 @@ def _cmd_obs(args) -> int:
     if args.obs_command == "attrib":
         return _cmd_obs_attrib(args)
 
+    if args.obs_command == "spans":
+        return _cmd_obs_spans(args)
+
+    if args.obs_command == "postmortem":
+        return _cmd_obs_postmortem(args)
+
     assert args.obs_command == "regress"
     return _cmd_obs_regress(args)
+
+
+def _cmd_obs_spans(args) -> int:
+    from .obs import (
+        check_span_tree,
+        format_span_tree,
+        read_events,
+        reconcile_with_attrib,
+        span_tree,
+    )
+
+    try:
+        events = list(read_events(args.trace))
+    except OSError as error:
+        print(f"error: cannot read trace: {error}", file=sys.stderr)
+        return 2
+    roots = span_tree(events, trace_id=args.trace_id)
+    if not roots:
+        print(
+            "error: trace holds no finished spans "
+            "(was it recorded with 'sched loadtest --trace'?)",
+            file=sys.stderr,
+        )
+        return 2
+    per_walk, mismatches = reconcile_with_attrib(events)
+    if args.trace_id is not None:
+        # The reconciliation table follows the filter: keep only walks
+        # whose segments belong to the requested trace.
+        walks_in_trace = {
+            dict(node.span.attrs).get("walk")
+            for root in roots
+            for node in root.walk()
+            if "walk" in dict(node.span.attrs)
+        }
+        per_walk = {
+            walk: info
+            for walk, info in per_walk.items()
+            if walk in walks_in_trace
+        }
+    if args.limit and len(per_walk) > args.limit:
+        shown = dict(sorted(per_walk.items())[: args.limit])
+        print(
+            f"(showing {args.limit} of {len(per_walk)} walks; "
+            "--limit 0 for all)"
+        )
+    else:
+        shown = per_walk
+    print(format_span_tree(roots, reconciliation=shown))
+    violations = check_span_tree(roots)
+    for problem in violations:
+        print(f"error: {problem}", file=sys.stderr)
+    for problem in mismatches:
+        print(f"error: {problem}", file=sys.stderr)
+    return 0 if not violations and not mismatches else 1
+
+
+def _cmd_obs_postmortem(args) -> int:
+    from .obs import format_postmortem, format_span_tree, load_bundle
+    from .obs.recorder import bundle_span_tree
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except OSError as error:
+        print(f"error: cannot read bundle: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_postmortem(bundle))
+    if args.tree:
+        roots = bundle_span_tree(bundle)
+        if roots:
+            print()
+            print(format_span_tree(roots))
+    return 0
 
 
 def _cmd_obs_attrib(args) -> int:
@@ -2316,8 +2471,10 @@ def _cmd_obs_attrib(args) -> int:
         attributions = attribute_events(read_events(args.trace))
     except OSError as error:
         print(f"error: cannot read trace: {error}", file=sys.stderr)
-        return 1
+        return 2
     except AttributionError as error:
+        # A trace that breaks the additivity invariant is a divergence
+        # in the measured data, not a usage problem.
         print(f"error: {error}", file=sys.stderr)
         return 1
     if not attributions:
@@ -2326,7 +2483,7 @@ def _cmd_obs_attrib(args) -> int:
             "(was it recorded with 'loadtest --trace'?)",
             file=sys.stderr,
         )
-        return 1
+        return 2
     print(format_attribution(attributions, slowest=args.slowest))
     inexact = [a for a in attributions if not a.exact]
     if inexact:

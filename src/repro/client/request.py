@@ -121,6 +121,11 @@ class WalkEngine(Protocol):
         walk_id: int | None = None,
     ) -> AccessRecord: ...
 
+    # Engines may additionally accept ``trace=(trace_id, span_id)`` —
+    # the causal context of the publish serving the walk (see
+    # :mod:`repro.obs.spans`); :func:`request` forwards it only when
+    # set, so engines that predate it keep working.
+
 
 _REGISTRY: dict[str, WalkEngine] = {}
 
@@ -170,24 +175,26 @@ def request(
     faults: FaultInjector | FaultConfig | None = None,
     tracer: Tracer | None = None,
     walk_id: int | None = None,
+    trace: tuple[int, int] | None = None,
 ) -> AccessRecord:
     """Execute one client request through the named engine.
 
     ``target`` is a data node or its label. ``faults``/``recovery``
     switch the walk to the loss-recovering protocol (engines that
     cannot model faults raise ``ValueError``); ``tracer``/``walk_id``
-    narrate the walk where the engine supports narration.
+    narrate the walk where the engine supports narration. ``trace`` is
+    an optional ``(trace_id, span_id)`` causal context the walk's
+    segment spans parent onto (wire engine only) — forwarded to the
+    engine only when set, so custom engines without the parameter keep
+    working.
     """
     node = _resolve_target(program, target)
-    return get_engine(engine)(
-        program,
-        node,
-        tune_slot,
-        recovery=recovery,
-        faults=faults,
-        tracer=tracer,
-        walk_id=walk_id,
+    kwargs: dict = dict(
+        recovery=recovery, faults=faults, tracer=tracer, walk_id=walk_id
     )
+    if trace is not None:
+        kwargs["trace"] = trace
+    return get_engine(engine)(program, node, tune_slot, **kwargs)
 
 
 def _resolve_target(program: BroadcastProgram, target: Node | str) -> DataNode:
@@ -246,6 +253,7 @@ def wire_engine(
     faults: FaultInjector | FaultConfig | None = None,
     tracer: Tracer | None = None,
     walk_id: int | None = None,
+    trace: tuple[int, int] | None = None,
 ):
     """The frame-level walk over the program's encoded cycle.
 
@@ -269,7 +277,10 @@ def wire_engine(
         frames = encode_program(program)
         program.__dict__["_request_frames"] = frames
     key = str(target.key) if target.key is not None else target.label
-    return wire_walk(frames, key, tune_slot, tracer=tracer, walk_id=walk_id)
+    return wire_walk(
+        frames, key, tune_slot,
+        tracer=tracer, walk_id=walk_id, trace_context=trace,
+    )
 
 
 @register_engine("batch")

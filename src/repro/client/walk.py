@@ -45,6 +45,7 @@ from ..obs.events import (
     Tracer,
     WalkFinished,
 )
+from ..obs.spans import NO_TRACE, TraceContext, span_tracer_of
 from .protocol import RecoveryPolicy, _next_airing
 
 __all__ = ["Listen", "WalkResult", "LookupFailed", "PointerWalk"]
@@ -179,6 +180,16 @@ class PointerWalk:
         #: until the first versioned envelope arrives; drivers on
         #: unversioned transports never touch it).
         self.version: int | None = None
+        # Causal-span state: only walks driven through a span-capable
+        # tracer (and an enabled sink) pay anything here — everyone
+        # else carries a single None.
+        self._spans = (
+            span_tracer_of(self._tracer) if self._tracer.enabled else None
+        )
+        self._wire_trace: TraceContext = NO_TRACE
+        self._segment_trace: TraceContext = NO_TRACE
+        self._segment_start = tune_slot
+        self._segment_index = 0
         # Successfully read index hops (depth, channel, cycle-relative
         # slot) — the resume points of the "retry-parent" policy.
         self._good: list[tuple[int, int, int]] = []
@@ -202,6 +213,8 @@ class PointerWalk:
     def deliver(self, bucket: DecodedBucket) -> None:
         """Feed the successfully decoded bucket of the pending listen."""
         listen = self._require_listen()
+        if self._spans is not None:
+            self._adopt_segment_trace()
         self._register_read(listen, "ok")
         if self._state == _PROBE:
             self._probe_delivered(listen, bucket)
@@ -220,6 +233,8 @@ class PointerWalk:
         to the deepest successfully read index node (``retry-parent``).
         """
         listen = self._require_listen()
+        if self._spans is not None:
+            self._adopt_segment_trace()
         self._register_read(listen, "corrupt" if corrupt else "lost")
         self._retries += 1
         if corrupt:
@@ -235,6 +250,24 @@ class PointerWalk:
             self._schedule(
                 channel, _next_airing(rel_slot, listen.absolute_slot, self.cycle)
             )
+
+    def observe_trace(self, trace_id: int, span_id: int) -> None:
+        """Feed the pending envelope's wire trace context, if any.
+
+        Call *before* :meth:`observe_version` with the
+        :class:`~repro.io.wire.AirFrame`'s ``trace_id``/``span_id``
+        (zeros — an untraced transport — are free and ignored). The
+        context names the publish span that put the current schedule
+        on the air; each walk *segment* (the stretch between cutovers)
+        parents its span onto the context it ran under, which is what
+        links a station cutover to every walk it restarted.
+        """
+        if self._spans is None:
+            return
+        # Zeros overwrite too: an untraced frame means the *current*
+        # schedule has no publish span, and a later segment must not
+        # inherit a stale context from a retired one.
+        self._wire_trace = TraceContext(trace_id, span_id)
 
     def observe_version(self, version: int) -> bool:
         """Feed the pending envelope's schedule-version stamp.
@@ -289,12 +322,52 @@ class PointerWalk:
         if self.policy.cutover == "abandon":
             self._finish(listen.absolute_slot, abandoned=True)
             return
+        if self._spans is not None:
+            # The revealing read belongs to the segment it ended; the
+            # next segment runs under — and parents onto — the new
+            # schedule's publish span, which this frame just carried.
+            self._close_segment(listen.absolute_slot)
+            self._segment_start = listen.absolute_slot + 1
+            self._segment_index += 1
+            self._segment_trace = self._wire_trace
         self._state = _PROBE
         self._depth = 0
         self._good.clear()
         self._schedule(1, listen.absolute_slot + 1)
 
     # -- internals ----------------------------------------------------------
+    def _adopt_segment_trace(self) -> None:
+        """Bind the current segment to the first wire context it reads."""
+        if not self._segment_trace.present and self._wire_trace.present:
+            self._segment_trace = self._wire_trace
+
+    def _close_segment(self, end_slot: int) -> None:
+        """Emit the span of the segment ending at ``end_slot``, if traced.
+
+        Segments tile the walk exactly — ``[tune_slot .. cutover₁]``,
+        ``[cutover₁+1 .. cutover₂]``, …, ``[cutoverₖ+1 .. final]`` —
+        so their inclusive durations sum to the walk's access time,
+        the invariant :func:`repro.obs.spans.reconcile_with_attrib`
+        tests against :mod:`repro.obs.attrib`. A segment that ran
+        under an untraced schedule (the bootstrap program) still
+        emits, rooted in its own fresh trace, so the tiling holds.
+        """
+        if self._spans is None:
+            return
+        self._spans.finish(
+            name="walk.restart" if self._segment_index else "walk.run",
+            trace_id=self._segment_trace.trace_id,
+            parent_id=self._segment_trace.span_id,
+            start_slot=self._segment_start,
+            end_slot=end_slot,
+            component="walk",
+            attrs=(
+                ("walk", self.walk_id),
+                ("key", self.key),
+                ("segment", self._segment_index),
+            ),
+        )
+
     def _require_listen(self) -> Listen:
         if self._listen is None:
             raise ReproError("walk already finished; nothing is listening")
@@ -426,6 +499,8 @@ class PointerWalk:
         )
         self._state = _DONE
         self._listen = None
+        if self._spans is not None:
+            self._close_segment(final_absolute)
         if self._tracer.enabled:
             self._tracer.emit(
                 WalkFinished(

@@ -41,7 +41,9 @@ from ..broadcast.pointers import BroadcastProgram
 from ..io.wire import DEFAULT_BUCKET_SIZE, encode_program
 from ..io.wire_client import wire_walk
 from ..obs.attrib import AttributionCollector
+from ..obs.events import NULL_TRACER, Tracer
 from ..obs.metrics import MetricsRegistry
+from ..obs.spans import span_tracer_of
 from ..perf import PerfRecorder
 from ..planners import PlanResult, plan_catalog
 from ..sched import ScheduleStore
@@ -172,6 +174,14 @@ class StationCluster:
         dedups to a log entry. Shards with a live station registered in
         :attr:`stations` additionally have the new version put on air
         at the next cycle boundary.
+    tracer:
+        Optional :class:`~repro.obs.events.Tracer`. When it is a
+        span-capable :class:`~repro.obs.spans.SpanTracer`, every
+        :meth:`plan_shards` pass becomes a ``cluster.refit`` root span
+        with one ``shard.replan`` child per planned shard (slots here
+        are plan *epochs* — the cluster has no air clock of its own),
+        the per-shard store publishes nest under those children, and a
+        live station cutover carries the child's context on the air.
     """
 
     def __init__(
@@ -189,6 +199,7 @@ class StationCluster:
         metrics: MetricsRegistry | None = None,
         perf: PerfRecorder | None = None,
         store_dir: str | Path | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if isinstance(catalog, Mapping):
             catalog = list(catalog.items())
@@ -213,6 +224,14 @@ class StationCluster:
         self.sample_requests = sample_requests
         self.metrics = metrics
         self.perf = perf if perf is not None else PerfRecorder()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._spans = (
+            span_tracer_of(self.tracer) if self.tracer.enabled else None
+        )
+        # The cluster's logical clock: one "slot" per shard.replan, so a
+        # plan_shards pass over N shards is a root span of exactly N
+        # slots tiled by its children.
+        self._span_clock = 0
 
         #: shard id → live :class:`~repro.net.station.BroadcastStation`;
         #: populated by the serving harness. A registered station is
@@ -222,7 +241,11 @@ class StationCluster:
         if store_dir is not None:
             root = Path(store_dir)
             self.stores = {
-                shard: ScheduleStore(root / f"shard-{shard:02d}", perf=self.perf)
+                shard: ScheduleStore(
+                    root / f"shard-{shard:02d}",
+                    perf=self.perf,
+                    tracer=self.tracer,
+                )
                 for shard in range(shards)
             }
 
@@ -297,8 +320,19 @@ class StationCluster:
         (annotated ``note``), and a shard with a live registered
         station is cut over at its next cycle boundary.
         """
-        targets = range(self.shards) if shard_ids is None else shard_ids
-        for shard in targets:
+        targets = list(
+            range(self.shards) if shard_ids is None else shard_ids
+        )
+        refit_span = None
+        if self._spans is not None and targets:
+            start = self._span_clock
+            refit_span = self._spans.begin(
+                "cluster.refit",
+                start,
+                component="cluster",
+                attrs=(("shards", len(targets)), ("note", note)),
+            )
+        for offset, shard in enumerate(targets):
             items = self.shard_items(shard)
             if not items:
                 raise ValueError(f"shard {shard} has no keys to plan")
@@ -325,14 +359,42 @@ class StationCluster:
                 load=float(sum(weights)),
             )
             self.perf.count("cluster.shard_plans")
+            shard_span = None
+            if refit_span is not None:
+                epoch = self._span_clock + offset
+                shard_span = refit_span.child(
+                    "shard.replan",
+                    epoch,
+                    component="cluster",
+                    attrs=(("shard", shard),),
+                )
             store = self.stores.get(shard)
             if store is not None:
-                record = store.publish(result, note=note)
+                record = store.publish(
+                    result,
+                    note=note,
+                    trace=(
+                        shard_span.context if shard_span is not None else None
+                    ),
+                    slot=self._span_clock + offset,
+                )
                 station = self.stations.get(shard)
                 if station is not None:
                     station.publish(
-                        self.plans[shard].program, version=record.version
+                        self.plans[shard].program,
+                        version=record.version,
+                        trace=(
+                            shard_span.context
+                            if shard_span is not None
+                            else None
+                        ),
                     )
+            if shard_span is not None:
+                shard_span.end(self._span_clock + offset)
+        if refit_span is not None:
+            refit_span.end(self._span_clock + len(targets) - 1)
+        if self._spans is not None:
+            self._span_clock += len(targets)
 
     # -- measurement ---------------------------------------------------------
     def _sample_sizes(self) -> list[int]:

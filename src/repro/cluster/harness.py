@@ -193,6 +193,7 @@ async def run_cluster_loadtest(
     check_parity: bool = False,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    flight_recorder=None,
 ) -> ClusterLoadReport:
     """Air every shard concurrently and drive one routed tuner fleet.
 
@@ -205,6 +206,12 @@ async def run_cluster_loadtest(
     ``{shard="<id>"}``-labelled attribution summaries and its perf
     counters absorb under the same label — the per-shard rows an
     operator reaches for when one shard of four goes slow.
+
+    ``flight_recorder`` (a :class:`~repro.obs.recorder.FlightRecorder`) tees
+    each shard's events into an always-on ``shard-<id>`` ring and dumps
+    a postmortem bundle the moment any shard fails its accounting or
+    parity gate — the failing shard's last events, correlated, without
+    anyone having asked for tracing up front.
     """
     from ..net.harness import LoadReport, run_loadtest
 
@@ -245,6 +252,13 @@ async def run_cluster_loadtest(
                 if shard_tracer is None
                 else TeeTracer(shard_tracer, collector)
             )
+        if flight_recorder is not None:
+            ring = flight_recorder.ring(f"shard-{shard}")
+            shard_tracer = (
+                ring
+                if shard_tracer is None
+                else TeeTracer(shard_tracer, ring)
+            )
         shard_tracers[shard] = shard_tracer
 
     async def one_shard(shard: int) -> LoadReport:
@@ -272,6 +286,22 @@ async def run_cluster_loadtest(
     if metrics is not None:
         for shard, recorder in recorders.items():
             metrics.absorb_perf(recorder, labels={"shard": str(shard)})
+
+    if flight_recorder is not None:
+        for shard, report in enumerate(reports):
+            checks = report.to_dict()["checks"]
+            if not checks["zero_unaccounted_frames"]:
+                flight_recorder.trigger(
+                    "unaccounted_frames",
+                    detail=f"shard {shard} lost frame accounting",
+                    tracer=tracer,
+                )
+            if not checks["parity_exact"]:
+                flight_recorder.trigger(
+                    "parity_failure",
+                    detail=f"shard {shard} diverged from the simulator",
+                    tracer=tracer,
+                )
 
     completed = sum(report.completed for report in reports)
     abandoned = sum(report.abandoned for report in reports)

@@ -368,8 +368,10 @@ def max_fanout_for_bucket_size(
 
 _AIR_MAGIC = 0xAE  # version-1 envelope
 _AIR_MAGIC_V2 = 0xAF  # version-2 envelope: v1 + schedule-version stamp
+_AIR_MAGIC_V3 = 0xB0  # version-3 envelope: v2 + trace context
 _AIR_HEADER = struct.Struct(">BBBIH")  # magic, status, channel, slot, length
 _AIR_HEADER_V2 = struct.Struct(">BBBIHI")  # … + schedule version (u32)
+_AIR_HEADER_V3 = struct.Struct(">BBBIHIII")  # … + trace id, span id (u32 each)
 
 _AIR_OK = 0
 _AIR_LOST = 1
@@ -400,6 +402,13 @@ class AirFrame:
     version-2 envelope; receivers decode both, which is how a cutover
     becomes *visible* to a tuner mid-walk instead of silently swapping
     the pointer graph under it.
+
+    ``trace_id``/``span_id`` are the causal trace context of the
+    publish that put this schedule on the air (see
+    :mod:`repro.obs.spans`). ``(0, 0)`` means untraced and the frame
+    encodes as v1/v2 unchanged; a present context selects the 21-byte
+    version-3 envelope, which is how one trace links a server replan
+    through the station cutover to every tuner walk it restarts.
     """
 
     channel: int
@@ -407,13 +416,18 @@ class AirFrame:
     payload: bytes = b""
     lost: bool = False
     schedule_version: int = 0
+    trace_id: int = 0
+    span_id: int = 0
 
 
 def encode_air_frame(air: AirFrame) -> bytes:
     """Serialise one envelope (+ payload) for a byte-stream transport.
 
     Unversioned airings (``schedule_version == 0``) emit the version-1
-    envelope unchanged; versioned airings emit version 2.
+    envelope unchanged; versioned airings emit version 2; airings
+    carrying a trace context emit version 3 — so an untraced,
+    unversioned station stays byte-identical to the pre-versioning
+    wire, frame for frame.
     """
     if not 1 <= air.channel <= 0xFF:
         raise WireFormatError(f"air channel {air.channel} out of range")
@@ -429,8 +443,18 @@ def encode_air_frame(air: AirFrame) -> bytes:
         raise WireFormatError(
             f"schedule version {air.schedule_version} out of range"
         )
+    if not 0 <= air.trace_id <= 0xFFFFFFFF:
+        raise WireFormatError(f"trace id {air.trace_id} out of range")
+    if not 0 <= air.span_id <= 0xFFFFFFFF:
+        raise WireFormatError(f"span id {air.span_id} out of range")
     status = _AIR_LOST if air.lost else _AIR_OK
-    if air.schedule_version == 0:
+    if air.trace_id or air.span_id:
+        header = _AIR_HEADER_V3.pack(
+            _AIR_MAGIC_V3, status, air.channel, air.absolute_slot,
+            len(air.payload), air.schedule_version,
+            air.trace_id, air.span_id,
+        )
+    elif air.schedule_version == 0:
         header = _AIR_HEADER.pack(
             _AIR_MAGIC, status, air.channel, air.absolute_slot,
             len(air.payload),
@@ -465,9 +489,10 @@ class FrameStreamDecoder:
     def feed(self, data: bytes) -> list[AirFrame]:
         """Absorb ``data``; return the envelopes it completed, in order.
 
-        Both envelope versions are accepted, per frame: a stream may
-        interleave version-1 and version-2 airings (a station mid-way
-        through adopting schedule versioning does exactly that).
+        All three envelope versions are accepted, per frame: a stream
+        may interleave version-1, version-2 and version-3 airings (a
+        station mid-way through adopting versioning or tracing does
+        exactly that).
         """
         self._buffer.extend(data)
         frames: list[AirFrame] = []
@@ -478,6 +503,8 @@ class FrameStreamDecoder:
                 header = _AIR_HEADER
             elif magic == _AIR_MAGIC_V2:
                 header = _AIR_HEADER_V2
+            elif magic == _AIR_MAGIC_V3:
+                header = _AIR_HEADER_V3
             else:
                 raise WireFormatError(
                     f"bad air-envelope magic {magic:#04x}; stream is "
@@ -487,14 +514,24 @@ class FrameStreamDecoder:
             if len(self._buffer) - cursor < size:
                 break  # header still in flight
             fields = header.unpack_from(self._buffer, cursor)
+            trace_id = span_id = 0
             if magic == _AIR_MAGIC:
                 _, status, channel, slot, length = fields
                 version = 0
-            else:
+            elif magic == _AIR_MAGIC_V2:
                 _, status, channel, slot, length, version = fields
                 if version == 0:
                     raise WireFormatError(
                         "version-2 air envelope carries schedule version 0"
+                    )
+            else:
+                (
+                    _, status, channel, slot, length, version,
+                    trace_id, span_id,
+                ) = fields
+                if trace_id == 0 and span_id == 0:
+                    raise WireFormatError(
+                        "version-3 air envelope carries no trace context"
                     )
             if status not in (_AIR_OK, _AIR_LOST):
                 raise WireFormatError(f"unknown air status {status}")
@@ -511,6 +548,8 @@ class FrameStreamDecoder:
                     payload=payload,
                     lost=status == _AIR_LOST,
                     schedule_version=version,
+                    trace_id=trace_id,
+                    span_id=span_id,
                 )
             )
             cursor = start + length

@@ -294,6 +294,7 @@ async def run_loadtest(
     perf: PerfRecorder | None = None,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    flight_recorder=None,
 ) -> LoadReport:
     """Air ``program`` on loopback and run a concurrent tuner fleet.
 
@@ -339,6 +340,13 @@ async def run_loadtest(
         run's perf counters are absorbed — all purely observational:
         every measured number stays bit-identical to a run without it
         (the zero-overhead differential locks this).
+    flight_recorder:
+        Optional :class:`~repro.obs.recorder.FlightRecorder`. The
+        station and the fleet tee their events into an always-on
+        bounded ``fleet`` ring, and the run auto-dumps a postmortem
+        bundle when an anomaly fires: a parity failure, non-zero
+        unaccounted frames, or an abandoned-walk spike (>5% of the
+        fleet). Purely observational, like ``metrics``.
 
     Returns the aggregated :class:`LoadReport`; ``report.accounting_ok``
     and ``report.parity_ok`` are the acceptance gates.
@@ -364,15 +372,18 @@ async def run_loadtest(
         tracer = (
             collector if tracer is None else TeeTracer(tracer, collector)
         )
+    if flight_recorder is not None:
+        ring = flight_recorder.ring("fleet")
+        tracer = ring if tracer is None else TeeTracer(tracer, ring)
 
-    recorder = perf if perf is not None else PerfRecorder()
+    perf_recorder = perf if perf is not None else PerfRecorder()
     station = BroadcastStation(
         program,
         bucket_size=bucket_size,
         faults=faults,
         slot_duration=slot_duration,
         queue_limit=queue_limit,
-        perf=recorder,
+        perf=perf_recorder,
         tracer=tracer,
     )
     gate = asyncio.Semaphore(max_open)
@@ -388,7 +399,7 @@ async def run_loadtest(
                     station.host,
                     station.port,
                     policy=policy,
-                    perf=recorder,
+                    perf=perf_recorder,
                     tracer=tracer,
                 ) as tuner:
                     results[index] = await tuner.fetch(
@@ -422,11 +433,11 @@ async def run_loadtest(
         )
         for walk in completed:
             access_histogram.observe(walk.access_time)
-        metrics.absorb_perf(recorder)
-    counters = recorder.counters
+        metrics.absorb_perf(perf_recorder)
+    counters = perf_recorder.counters
     requested = counters.get("net.station.requests", 0)
     answered = counters.get("net.station.frames_sent", 0)
-    recorder.add_seconds("net.loadtest.seconds", wall)
+    perf_recorder.add_seconds("net.loadtest.seconds", wall)
 
     parity = None
     if check_parity:
@@ -448,7 +459,7 @@ async def run_loadtest(
             "simulator_mean_tuning_time": baseline["mean_tuning_time"],
         }
 
-    return LoadReport(
+    report = LoadReport(
         tuners=tuners,
         completed=len(completed),
         abandoned=len(walks) - len(completed),
@@ -480,8 +491,37 @@ async def run_loadtest(
         frames_read=reads,
         unaccounted_frames=answered - reads,
         parity=parity,
-        perf=recorder.snapshot(),
+        perf=perf_recorder.snapshot(),
     )
+    if flight_recorder is not None:
+        if not report.parity_ok:
+            flight_recorder.trigger(
+                "parity_failure",
+                detail=(
+                    "fleet access/tuning times diverged from the "
+                    "in-process simulator"
+                ),
+                tracer=tracer,
+            )
+        if report.unaccounted_frames != 0:
+            flight_recorder.trigger(
+                "unaccounted_frames",
+                detail=(
+                    f"{report.unaccounted_frames} frame(s) sent but never "
+                    "consumed by a walk read"
+                ),
+                tracer=tracer,
+            )
+        if report.abandoned > max(1, tuners // 20):
+            flight_recorder.trigger(
+                "abandoned_spike",
+                detail=(
+                    f"{report.abandoned} of {tuners} walks abandoned "
+                    "(>5% of the fleet)"
+                ),
+                tracer=tracer,
+            )
+    return report
 
 
 def write_loadtest_json(

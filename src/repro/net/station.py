@@ -82,6 +82,11 @@ class _Segment:
     the previous segment's cycle grid, so the air is always a whole
     number of cycles of each plan — a cutover never truncates a cycle
     mid-way.
+
+    ``trace_id``/``span_id`` are the causal context of the publish that
+    created the segment (zeros when untraced); every airing of the
+    segment carries them on the wire (v3 envelope), which is how a
+    tuner's restarted walk learns which cutover to blame.
     """
 
     start: int
@@ -89,6 +94,8 @@ class _Segment:
     program: BroadcastProgram
     frames: list[list[bytes]]
     cycle_length: int
+    trace_id: int = 0
+    span_id: int = 0
 
 
 class BroadcastStation:
@@ -284,6 +291,7 @@ class BroadcastStation:
         *,
         version: int,
         activate_at_slot: int | None = None,
+        trace: tuple[int, int] | None = None,
     ) -> int:
         """Put a new plan version on the air at a cycle boundary.
 
@@ -296,6 +304,11 @@ class BroadcastStation:
         not already have been answered from the old plan; ``None``
         picks the first boundary after everything answered or aired so
         far. Returns the activation slot.
+
+        ``trace`` is an optional ``(trace_id, span_id)`` causal context
+        (typically a ``station.cutover`` span the caller opened — see
+        :mod:`repro.obs.spans`); the new segment's airings carry it on
+        the wire so every walk the cutover restarts parents onto it.
 
         The retired program's engine caches are dropped
         (:func:`repro.client.request.invalidate_request_caches`): its
@@ -335,10 +348,12 @@ class BroadcastStation:
                 "from the current plan; activate at a future boundary"
             )
         frames = encode_program(program, self.bucket_size)
+        trace_id, span_id = trace if trace is not None else (0, 0)
         self._timeline.append(
             _Segment(
                 activate_at_slot, version, program, frames,
                 program.cycle_length,
+                trace_id=trace_id, span_id=span_id,
             )
         )
         self._starts.append(activate_at_slot)
@@ -390,6 +405,8 @@ class BroadcastStation:
                 absolute_slot=absolute_slot,
                 lost=True,
                 schedule_version=segment.version,
+                trace_id=segment.trace_id,
+                span_id=segment.span_id,
             )
         if fate == CORRUPT:
             # Damage is seeded per airing so repeat queries agree.
@@ -403,6 +420,8 @@ class BroadcastStation:
             absolute_slot=absolute_slot,
             payload=frame,
             schedule_version=segment.version,
+            trace_id=segment.trace_id,
+            span_id=segment.span_id,
         )
 
     def welcome(self) -> bytes:

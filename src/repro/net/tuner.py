@@ -153,6 +153,11 @@ class TunerClient:
         )
         while (listen := walk.next_listen()) is not None:
             air = await self._listen(listen.channel, listen.absolute_slot)
+            # Wire-propagated causal context (v3 envelopes) must reach
+            # the walk before the version stamp: a cutover closes the
+            # current segment span and the new one parents onto the
+            # publish span this very frame carries.
+            walk.observe_trace(air.trace_id, air.span_id)
             if walk.observe_version(air.schedule_version):
                 # The air's schedule version changed under the walk
                 # (the station cut over to a new plan); the walk has

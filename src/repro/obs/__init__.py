@@ -32,6 +32,20 @@ A second layer *explains* what the first records:
 * :mod:`repro.obs.regress` — the bench-regression sentinel: append
   each ``BENCH_all.json`` to a history trajectory and gate against a
   committed baseline (``repro obs regress`` / ``make bench-history``).
+
+A third layer turns records into *diagnosis*:
+
+* :mod:`repro.obs.spans` — causal spans over logical air time
+  (``replan → store.publish → station.cutover → walk segment``),
+  wire-propagated through the version-3 air envelope and reconstructed
+  into trees that reconcile exactly against the attribution layer
+  (``repro obs spans``);
+* :mod:`repro.obs.recorder` — the always-on flight recorder: bounded
+  per-component rings, frozen into a correlated postmortem bundle
+  when an anomaly fires (``repro obs postmortem``);
+* :mod:`repro.obs.slo` — declarative SLOs with multi-window burn-rate
+  alerting over the registry, exposed as ``repro_slo_*`` gauges and
+  :class:`~repro.obs.events.AlertFired` events.
 """
 
 from .attrib import (
@@ -48,18 +62,21 @@ from .digest import DEFAULT_QUANTILES, QuantileDigest
 from .events import (
     EVENT_TYPES,
     NULL_TRACER,
+    AlertFired,
     ChannelHop,
     FaultInjected,
     FrameDropped,
     JsonlTracer,
     NullTracer,
     PlannerDecision,
+    RecorderTriggered,
     ReplanFinished,
     ReplanStarted,
     RingBufferTracer,
     SearchProgress,
     SlotAired,
     SlotRead,
+    SpanFinished,
     TeeTracer,
     TraceEvent,
     Tracer,
@@ -88,6 +105,26 @@ from .regress import (
     format_report,
     load_history,
 )
+from .recorder import (
+    FlightRecorder,
+    bundle_span_tree,
+    causal_chain,
+    format_postmortem,
+    load_bundle,
+)
+from .slo import SLOSpec, SLOWatchdog, default_slos
+from .spans import (
+    NO_TRACE,
+    ActiveSpan,
+    SpanNode,
+    SpanTracer,
+    TraceContext,
+    check_span_tree,
+    format_span_tree,
+    reconcile_with_attrib,
+    span_tracer_of,
+    span_tree,
+)
 from .timeline import (
     SlotCell,
     Timeline,
@@ -113,6 +150,9 @@ __all__ = [
     "SearchProgress",
     "FaultInjected",
     "PlannerDecision",
+    "SpanFinished",
+    "AlertFired",
+    "RecorderTriggered",
     "EVENT_TYPES",
     "event_to_dict",
     "event_from_dict",
@@ -163,4 +203,25 @@ __all__ = [
     "diff_trace_files",
     "format_timeline",
     "format_diff",
+    # spans
+    "TraceContext",
+    "NO_TRACE",
+    "ActiveSpan",
+    "SpanTracer",
+    "span_tracer_of",
+    "SpanNode",
+    "span_tree",
+    "check_span_tree",
+    "reconcile_with_attrib",
+    "format_span_tree",
+    # flight recorder
+    "FlightRecorder",
+    "load_bundle",
+    "causal_chain",
+    "format_postmortem",
+    "bundle_span_tree",
+    # SLO watchdog
+    "SLOSpec",
+    "SLOWatchdog",
+    "default_slos",
 ]

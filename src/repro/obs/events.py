@@ -58,6 +58,9 @@ __all__ = [
     "SearchProgress",
     "FaultInjected",
     "PlannerDecision",
+    "SpanFinished",
+    "AlertFired",
+    "RecorderTriggered",
     "EVENT_TYPES",
     "NO_WALK",
     "event_to_dict",
@@ -269,6 +272,87 @@ class PlannerDecision:
     fell_back: bool = False
 
 
+@dataclass(frozen=True, slots=True)
+class SpanFinished:
+    """One causal span closed; the complete record of its lifetime.
+
+    Spans are emitted *once*, at completion, by
+    :class:`~repro.obs.spans.SpanTracer` — there is no separate begin
+    event, because every field (including ``start_slot``) is known by
+    the time the span ends and a single record keeps trace files
+    replay-stable. ``trace_id`` groups one causal tree (a replan and
+    everything it touched); ``parent_id`` is ``0`` for roots. Slots are
+    logical air time, so durations are seed-deterministic; the
+    inclusive convention (``end_slot - start_slot + 1``) matches the
+    access-time arithmetic in :mod:`repro.obs.attrib`.
+
+    ``attrs`` is a tuple of ``(key, value)`` pairs (dict-like input is
+    normalised) so the event stays hashable and round-trips through
+    JSON as a stable list of pairs.
+    """
+
+    kind: ClassVar[str] = "span_finished"
+    trace_id: int
+    span_id: int
+    parent_id: int
+    name: str
+    start_slot: int
+    end_slot: int
+    component: str = ""
+    attrs: tuple = ()
+
+    def __post_init__(self) -> None:
+        pairs = self.attrs
+        if isinstance(pairs, Mapping):
+            pairs = pairs.items()
+        object.__setattr__(
+            self, "attrs", tuple((str(k), v) for k, v in pairs)
+        )
+
+    @property
+    def duration_slots(self) -> int:
+        """Inclusive slot duration (one slot spans one slot)."""
+        return self.end_slot - self.start_slot + 1
+
+
+@dataclass(frozen=True, slots=True)
+class AlertFired:
+    """An SLO burn-rate window tripped (or recovered).
+
+    Emitted by :class:`~repro.obs.slo.SLOWatchdog` whenever a spec's
+    fast/slow burn windows both exceed their thresholds. ``state`` is
+    ``"firing"`` or ``"resolved"``; ``value`` is the measured quantity
+    and ``threshold`` the spec's objective, so the event alone tells an
+    operator how far out of budget the system was.
+    """
+
+    kind: ClassVar[str] = "alert_fired"
+    slo: str
+    state: str
+    value: float
+    threshold: float
+    window_slots: int = 0
+    burn_rate: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class RecorderTriggered:
+    """The flight recorder dumped a postmortem bundle.
+
+    ``reason`` names the anomaly class (``"parity_failure"``,
+    ``"unaccounted_frames"``, ``"abandoned_spike"``, ``"store_error"``,
+    ``"alert"``, …) and ``detail`` carries the trigger's own words.
+    ``bundle`` is the path the bundle was written to (empty when the
+    recorder ran without a dump directory).
+    """
+
+    kind: ClassVar[str] = "recorder_triggered"
+    reason: str
+    detail: str = ""
+    bundle: str = ""
+    events: int = 0
+
+
 TraceEvent = (
     SlotAired
     | FrameDropped
@@ -282,6 +366,9 @@ TraceEvent = (
     | SearchProgress
     | FaultInjected
     | PlannerDecision
+    | SpanFinished
+    | AlertFired
+    | RecorderTriggered
 )
 
 EVENT_TYPES: dict[str, type] = {
@@ -299,6 +386,9 @@ EVENT_TYPES: dict[str, type] = {
         SearchProgress,
         FaultInjected,
         PlannerDecision,
+        SpanFinished,
+        AlertFired,
+        RecorderTriggered,
     )
 }
 

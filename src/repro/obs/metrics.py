@@ -445,6 +445,15 @@ class MetricsRegistry:
         # a full series key ('name{a="b"}') matches its exact child.
         return name in self._metrics or name in self._family_types
 
+    def family(self, name: str) -> "list[_Metric]":
+        """Every child of family ``name`` (empty when unregistered).
+
+        The evaluation surface the SLO watchdog reads: summing a
+        counter family's children gives the fleet-wide total whether
+        the harness registered them labelled (per shard) or not.
+        """
+        return [m for m in self._metrics.values() if m.name == name]
+
     def __len__(self) -> int:
         return len(self._metrics)
 

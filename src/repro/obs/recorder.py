@@ -1,0 +1,305 @@
+"""The always-on flight recorder: bounded recall, dumped on anomaly.
+
+Production telemetry has a blind spot: the run that *fails* is the one
+nobody was tracing. The flight recorder closes it the way avionics do —
+every component streams its recent events into a small bounded ring
+(:meth:`FlightRecorder.ring` hands each component a tracer it can tee
+into its normal chain), costing O(capacity) memory and one deque append
+per event, cheap enough to leave on always. When an anomaly fires —
+parity failure, non-zero unaccounted frames, an abandoned-walk spike, a
+:class:`~repro.sched.store.StoreError`, an SLO alert —
+:meth:`FlightRecorder.trigger` freezes the rings into a correlated
+*postmortem bundle*: one JSON file holding the last N events of every
+component, the spans among them still linked by ``(trace_id, span_id,
+parent_id)``, plus the trigger itself.
+
+``repro.cli obs postmortem`` loads a bundle and prints the causal
+chain ending at the trigger (:func:`causal_chain` /
+:func:`format_postmortem`): the most recent span before the dump,
+climbed parent-by-parent to its trace root — replan → store publish →
+station cutover → the walk segment that was on the air when things
+went wrong.
+
+Bundles land in ``dump_dir`` (default: the ``REPRO_POSTMORTEM_DIR``
+environment variable, if set), named by a monotone sequence so a
+crashing run can dump several without clobbering; ``keep`` bounds how
+many survive. With no directory configured the trigger still records
+in memory (:attr:`FlightRecorder.triggers`) and the bundle is
+available via :meth:`FlightRecorder.snapshot`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Iterable, Mapping
+
+from .events import RecorderTriggered, Tracer, event_to_dict
+from .spans import SpanNode, span_tree
+
+__all__ = [
+    "FlightRecorder",
+    "load_bundle",
+    "causal_chain",
+    "format_postmortem",
+    "bundle_span_tree",
+    "POSTMORTEM_DIR_ENV",
+]
+
+BUNDLE_FORMAT = 1
+
+#: Environment variable naming the default postmortem directory.
+POSTMORTEM_DIR_ENV = "REPRO_POSTMORTEM_DIR"
+
+
+class _ComponentRing:
+    """The tracer facade one component tees its events into."""
+
+    enabled = True
+    __slots__ = ("_recorder", "_component")
+
+    def __init__(self, recorder: "FlightRecorder", component: str) -> None:
+        self._recorder = recorder
+        self._component = component
+
+    def emit(self, event) -> None:
+        self._recorder.observe(self._component, event)
+
+
+class FlightRecorder:
+    """Bounded per-component recall with anomaly-triggered dumps.
+
+    Parameters
+    ----------
+    capacity:
+        Events retained per component ring (oldest evicted first).
+    dump_dir:
+        Where postmortem bundles are written. ``None`` falls back to
+        ``$REPRO_POSTMORTEM_DIR`` at trigger time; if that is unset
+        too, triggers record in memory only.
+    keep:
+        Maximum bundle files kept in ``dump_dir`` (oldest pruned).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 2048,
+        *,
+        dump_dir: str | None = None,
+        keep: int = 16,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.capacity = capacity
+        self.dump_dir = dump_dir
+        self.keep = keep
+        self._rings: dict[str, deque] = {}
+        self._seq = 0
+        #: Every :class:`RecorderTriggered` this recorder fired, in order.
+        self.triggers: list[RecorderTriggered] = []
+
+    # -- intake --------------------------------------------------------------
+    def ring(self, component: str) -> Tracer:
+        """A tracer that records ``component``'s events into its ring.
+
+        Tee it into the component's normal tracer chain
+        (:class:`~repro.obs.events.TeeTracer`); handing the same
+        component name out twice shares one ring.
+        """
+        self._rings.setdefault(component, deque(maxlen=self.capacity))
+        return _ComponentRing(self, component)
+
+    def observe(self, component: str, event) -> None:
+        """Record one event (typed or raw dict) for ``component``."""
+        ring = self._rings.get(component)
+        if ring is None:
+            ring = deque(maxlen=self.capacity)
+            self._rings[component] = ring
+        ring.append(event)
+
+    # -- the dump ------------------------------------------------------------
+    def snapshot(
+        self, *, reason: str = "", detail: str = ""
+    ) -> dict:
+        """The current rings as a JSON-able bundle dict."""
+        components = {}
+        for name in sorted(self._rings):
+            records = []
+            for event in self._rings[name]:
+                if isinstance(event, Mapping):
+                    records.append(dict(event))
+                else:
+                    records.append(event_to_dict(event))
+            components[name] = records
+        return {
+            "format": BUNDLE_FORMAT,
+            "reason": reason,
+            "detail": detail,
+            "components": components,
+        }
+
+    def trigger(
+        self,
+        reason: str,
+        detail: str = "",
+        *,
+        tracer: Tracer | None = None,
+    ) -> str:
+        """Dump a postmortem bundle for an anomaly; returns its path.
+
+        The bundle freezes every ring as it stands, appends the
+        trigger record itself (so the chain visibly *ends* at the
+        anomaly), and prunes old bundles past ``keep``. The returned
+        path is ``""`` when no dump directory is configured. When
+        ``tracer`` is enabled the trigger is also emitted into the
+        normal trace stream, so a JSONL trace shows where its run's
+        postmortems were cut.
+        """
+        bundle = self.snapshot(reason=reason, detail=detail)
+        total = sum(len(records) for records in bundle["components"].values())
+        directory = self.dump_dir or os.environ.get(POSTMORTEM_DIR_ENV) or ""
+        path = ""
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+            self._seq += 1
+            slug = "".join(
+                c if c.isalnum() or c in "-_" else "-" for c in reason
+            )
+            path = os.path.join(
+                directory, f"postmortem-{self._seq:04d}-{slug}.json"
+            )
+        event = RecorderTriggered(
+            reason=reason, detail=detail, bundle=path, events=total
+        )
+        self.triggers.append(event)
+        bundle["trigger"] = event_to_dict(event)
+        if path:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(bundle, handle, separators=(",", ":"))
+                handle.write("\n")
+            self._prune(directory)
+        if tracer is not None and tracer.enabled:
+            tracer.emit(event)
+        return path
+
+    def _prune(self, directory: str) -> None:
+        bundles = sorted(
+            name
+            for name in os.listdir(directory)
+            if name.startswith("postmortem-") and name.endswith(".json")
+        )
+        for name in bundles[: max(0, len(bundles) - self.keep)]:
+            try:
+                os.remove(os.path.join(directory, name))
+            except OSError:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# reading bundles back
+# ---------------------------------------------------------------------------
+
+def load_bundle(path: str) -> dict:
+    """Load one postmortem bundle; raises ``ValueError`` if malformed."""
+    with open(path, encoding="utf-8") as handle:
+        bundle = json.load(handle)
+    if not isinstance(bundle, dict) or "components" not in bundle:
+        raise ValueError(f"{path} is not a postmortem bundle")
+    return bundle
+
+
+def _bundle_events(bundle: dict) -> Iterable[dict]:
+    for name in sorted(bundle.get("components", {})):
+        yield from bundle["components"][name]
+
+
+def causal_chain(bundle: dict) -> list[dict]:
+    """The span chain ending at the bundle's trigger, root first.
+
+    Anchors on the most recent span recorded before the dump —
+    preferring spans that carry a ``walk`` attr (the leaf of the
+    replan → publish → cutover → walk-segment chain) — and climbs
+    ``parent_id`` links to the trace root. The trigger record itself
+    is appended last, so the printed chain reads cause → … → anomaly.
+    """
+    spans: dict[int, dict] = {}
+    anchor: dict | None = None
+    for record in _bundle_events(bundle):
+        if record.get("kind") != "span_finished":
+            continue
+        spans[record["span_id"]] = record
+        attrs = dict(record.get("attrs", ()))
+        if anchor is None or "walk" in attrs or "walk" not in dict(
+            anchor.get("attrs", ())
+        ):
+            anchor = record
+    chain: list[dict] = []
+    seen: set[int] = set()
+    node = anchor
+    while node is not None and node["span_id"] not in seen:
+        seen.add(node["span_id"])
+        chain.append(node)
+        node = spans.get(node.get("parent_id", 0))
+    chain.reverse()
+    trigger = bundle.get("trigger")
+    if trigger:
+        chain.append(trigger)
+    return chain
+
+
+def format_postmortem(bundle: dict) -> str:
+    """Human-readable postmortem: the trigger, the chain, the rings."""
+    lines: list[str] = []
+    trigger = bundle.get("trigger", {})
+    lines.append(
+        f"postmortem: {bundle.get('reason') or trigger.get('reason', '?')}"
+    )
+    detail = bundle.get("detail") or trigger.get("detail", "")
+    if detail:
+        lines.append(f"  {detail}")
+    lines.append("")
+    chain = causal_chain(bundle)
+    if chain:
+        lines.append("causal chain (root cause first):")
+        for index, record in enumerate(chain):
+            indent = "  " * index
+            if record.get("kind") == "recorder_triggered":
+                lines.append(
+                    f"{indent}!! trigger: {record.get('reason')} "
+                    f"{record.get('detail', '')}".rstrip()
+                )
+            else:
+                attrs = dict(record.get("attrs", ()))
+                extras = "".join(
+                    f" {k}={attrs[k]}" for k in sorted(attrs)
+                )
+                lines.append(
+                    f"{indent}- {record.get('name')} "
+                    f"[{record.get('start_slot')}.."
+                    f"{record.get('end_slot')}]"
+                    f" span={record.get('span_id'):#x}"
+                    f"{extras}"
+                )
+    else:
+        lines.append("causal chain: no spans recorded before the trigger")
+    lines.append("")
+    components = bundle.get("components", {})
+    lines.append("flight rings:")
+    for name in sorted(components):
+        records = components[name]
+        kinds: dict[str, int] = {}
+        for record in records:
+            kinds[record.get("kind", "?")] = (
+                kinds.get(record.get("kind", "?"), 0) + 1
+            )
+        summary = ", ".join(f"{k}×{v}" for k, v in sorted(kinds.items()))
+        lines.append(f"  {name}: {len(records)} event(s) ({summary})")
+    return "\n".join(lines)
+
+
+def bundle_span_tree(bundle: dict) -> list[SpanNode]:
+    """The bundle's spans reassembled into causal trees."""
+    return span_tree(_bundle_events(bundle))

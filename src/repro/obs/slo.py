@@ -1,0 +1,290 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An :class:`SLOSpec` states an objective over series the registry
+already holds — a quantile of a :class:`~repro.obs.metrics.Summary`
+("p99 access time stays under four cycles") or a ratio of counter
+families ("under 1% of walks abandon") — and the
+:class:`SLOWatchdog` evaluates every spec each time the driving loop
+calls :meth:`SLOWatchdog.observe` with the current logical slot.
+
+Alerting follows the multi-window burn-rate discipline (the
+Google-SRE shape): a spec fires only when *both* a fast window (pages
+on sharp regressions quickly) and a slow window (suppresses blips)
+burn error budget faster than ``burn_threshold``. Evaluation is pure
+arithmetic over sampled registry snapshots keyed by logical slot —
+no wall clocks — so a seeded run alerts identically every time.
+
+Every evaluation updates three gauge families on the registry —
+``repro_slo_burn_rate{slo=…}``, ``repro_slo_firing{slo=…}`` and
+``repro_slo_objective{slo=…}`` — so the existing ``/metrics``
+endpoint exposes SLO health with zero extra plumbing. A state change
+emits an :class:`~repro.obs.events.AlertFired` trace event, and a
+firing edge triggers the flight recorder (when one is attached): the
+alert itself becomes a postmortem bundle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .events import NULL_TRACER, AlertFired, Tracer
+from .metrics import MetricsRegistry, Summary
+
+__all__ = ["SLOSpec", "SLOWatchdog", "default_slos"]
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative objective over registry series.
+
+    ``kind`` selects the evaluation:
+
+    ``"quantile"``
+        ``metric`` names a summary family; the measured value is the
+        worst (max) ``quantile`` estimate across its children, and the
+        burn rate is ``value / objective`` — budget burns when the
+        latency quantile exceeds the objective.
+    ``"ratio"``
+        ``bad`` / ``total`` name counter families; the measured value
+        is the windowed event ratio ``Δbad / Δtotal`` and the burn
+        rate is ``ratio / objective`` — the error budget is the
+        objective itself.
+
+    ``fast_window`` / ``slow_window`` are in logical slots; the alert
+    fires only while *both* windows burn above ``burn_threshold``.
+    """
+
+    name: str
+    kind: str
+    objective: float
+    description: str = ""
+    metric: str = ""
+    quantile: float = 0.99
+    bad: Sequence[str] = field(default_factory=tuple)
+    total: Sequence[str] = field(default_factory=tuple)
+    fast_window: int = 64
+    slow_window: int = 512
+    burn_threshold: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("quantile", "ratio"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.objective <= 0:
+            raise ValueError("objective must be positive")
+        if self.kind == "quantile" and not self.metric:
+            raise ValueError("quantile SLOs need a metric family name")
+        if self.kind == "ratio" and (not self.bad or not self.total):
+            raise ValueError("ratio SLOs need bad and total families")
+        if self.fast_window < 1 or self.slow_window < self.fast_window:
+            raise ValueError(
+                "windows must satisfy 1 <= fast_window <= slow_window"
+            )
+
+
+def default_slos(cycle_length: int = 32) -> list[SLOSpec]:
+    """The stock objectives of a live deployment, scaled to the cycle.
+
+    * p99 access time within four cycles (a lossless walk needs at
+      most two; four leaves one retry's headroom);
+    * abandonment under 1% of finished walks;
+    * cutover retries (walks restarted by a replan) under 25% of
+      fetches — replans should be riding, not thrashing, the fleet.
+    """
+    return [
+        SLOSpec(
+            name="access_p99",
+            kind="quantile",
+            metric="repro_walk_access_time_slots",
+            quantile=0.99,
+            objective=4.0 * cycle_length,
+            description="p99 access time stays within four cycles",
+            fast_window=2 * cycle_length,
+            slow_window=16 * cycle_length,
+        ),
+        SLOSpec(
+            name="abandonment",
+            kind="ratio",
+            bad=("repro_walk_abandoned_total",),
+            total=(
+                "repro_walk_completed_total",
+                "repro_walk_abandoned_total",
+            ),
+            objective=0.01,
+            description="under 1% of walks abandon",
+            fast_window=2 * cycle_length,
+            slow_window=16 * cycle_length,
+        ),
+        SLOSpec(
+            name="cutover_retries",
+            kind="ratio",
+            bad=("repro_net_tuner_cutovers_total",),
+            total=("repro_net_tuner_fetches_total",),
+            objective=0.25,
+            description="cutover restarts under 25% of fetches",
+            fast_window=2 * cycle_length,
+            slow_window=16 * cycle_length,
+        ),
+    ]
+
+
+class SLOWatchdog:
+    """Evaluate SLO specs over a registry; alert on burn, with memory.
+
+    Drive it from whatever owns logical time::
+
+        watchdog = SLOWatchdog(registry, default_slos(cycle), tracer=t)
+        ...
+        alerts = watchdog.observe(current_slot)
+
+    ``observe`` samples the registry, evaluates every spec's two burn
+    windows, updates the ``repro_slo_*`` gauges, and returns the
+    :class:`~repro.obs.events.AlertFired` events for every spec whose
+    firing state *changed* (edges only — a steady burn does not spam).
+    A firing edge also triggers ``recorder`` with the alert's words.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        specs: Iterable[SLOSpec] | None = None,
+        *,
+        tracer: Tracer | None = None,
+        flight_recorder=None,
+    ) -> None:
+        self.registry = registry
+        self.specs = list(specs) if specs is not None else default_slos()
+        names = [spec.name for spec in self.specs]
+        if len(set(names)) != len(names):
+            raise ValueError("SLO spec names must be unique")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.recorder = flight_recorder
+        self._history: dict[str, deque] = {
+            spec.name: deque() for spec in self.specs
+        }
+        self._firing: dict[str, bool] = {
+            spec.name: False for spec in self.specs
+        }
+        for spec in self.specs:
+            labels = {"slo": spec.name}
+            registry.gauge(
+                "repro_slo_objective",
+                "declared SLO objective",
+                labels=labels,
+            ).set(spec.objective)
+            registry.gauge(
+                "repro_slo_burn_rate",
+                "fast-window error-budget burn rate",
+                labels=labels,
+            )
+            registry.gauge(
+                "repro_slo_firing",
+                "1 while the SLO alert is firing",
+                labels=labels,
+            )
+
+    # -- sampling ------------------------------------------------------------
+    def _family_total(self, names: Sequence[str]) -> float:
+        total = 0.0
+        for name in names:
+            for child in self.registry.family(name):
+                total += getattr(child, "value", 0.0)
+        return total
+
+    def _quantile_value(self, spec: SLOSpec) -> float:
+        worst = 0.0
+        for child in self.registry.family(spec.metric):
+            if isinstance(child, Summary) and child.digest.count > 0:
+                worst = max(worst, float(child.digest.quantile(spec.quantile)))
+        return worst
+
+    def _sample(self, spec: SLOSpec) -> tuple:
+        if spec.kind == "quantile":
+            return (self._quantile_value(spec),)
+        return (
+            self._family_total(spec.bad),
+            self._family_total(spec.total),
+        )
+
+    @staticmethod
+    def _window_delta(history: deque, slot: int, window: int) -> tuple:
+        """The sample deltas across ``window`` slots ending at ``slot``."""
+        newest = history[-1][1]
+        baseline = history[0][1]
+        for sample_slot, sample in history:
+            if sample_slot >= slot - window:
+                break
+            baseline = sample
+        return tuple(n - b for n, b in zip(newest, baseline))
+
+    def _burn(self, spec: SLOSpec, slot: int, window: int) -> tuple[float, float]:
+        """(measured value, burn rate) of one window."""
+        history = self._history[spec.name]
+        if spec.kind == "quantile":
+            cutoff = slot - window
+            values = [s[0] for t, s in history if t >= cutoff]
+            value = max(values) if values else 0.0
+            return value, value / spec.objective
+        bad, total = self._window_delta(history, slot, window)
+        ratio = bad / total if total > 0 else 0.0
+        return ratio, ratio / spec.objective
+
+    # -- evaluation ----------------------------------------------------------
+    def observe(self, slot: int) -> list[AlertFired]:
+        """Sample at logical ``slot``; return firing-state *changes*."""
+        changed: list[AlertFired] = []
+        for spec in self.specs:
+            history = self._history[spec.name]
+            history.append((slot, self._sample(spec)))
+            # Drop samples older than the slow window (keep one before
+            # the horizon as the window baseline).
+            horizon = slot - spec.slow_window
+            while len(history) > 2 and history[1][0] < horizon:
+                history.popleft()
+            value, fast_burn = self._burn(spec, slot, spec.fast_window)
+            _, slow_burn = self._burn(spec, slot, spec.slow_window)
+            labels = {"slo": spec.name}
+            self.registry.gauge(
+                "repro_slo_burn_rate", labels=labels
+            ).set(fast_burn)
+            firing = (
+                fast_burn > spec.burn_threshold
+                and slow_burn > spec.burn_threshold
+            )
+            self.registry.gauge(
+                "repro_slo_firing", labels=labels
+            ).set(1.0 if firing else 0.0)
+            if firing == self._firing[spec.name]:
+                continue
+            self._firing[spec.name] = firing
+            alert = AlertFired(
+                slo=spec.name,
+                state="firing" if firing else "resolved",
+                value=value,
+                threshold=spec.objective,
+                window_slots=spec.fast_window,
+                burn_rate=fast_burn,
+            )
+            changed.append(alert)
+            if self.tracer.enabled:
+                self.tracer.emit(alert)
+            if firing and self.recorder is not None:
+                self.recorder.trigger(
+                    "alert",
+                    detail=(
+                        f"slo {spec.name}: measured {value:g} against "
+                        f"objective {spec.objective:g} "
+                        f"(burn {fast_burn:.2f}x over "
+                        f"{spec.fast_window} slots)"
+                    ),
+                    tracer=self.tracer,
+                )
+        return changed
+
+    @property
+    def firing(self) -> list[str]:
+        """Names of the specs currently in the firing state."""
+        return sorted(
+            name for name, state in self._firing.items() if state
+        )

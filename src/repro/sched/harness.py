@@ -38,7 +38,8 @@ from ..client.walk import WalkResult
 from ..net.harness import build_demo_plan, make_request_trace
 from ..net.station import BroadcastStation
 from ..net.tuner import TunerClient
-from ..obs.events import Tracer
+from ..obs.events import TeeTracer, Tracer
+from ..obs.spans import SpanTracer
 from ..perf import PerfRecorder
 from ..planners import plan_catalog
 from ..workloads.weights import zipf_weights
@@ -59,6 +60,7 @@ async def run_cutover_loadtest(
     store_dir: str | os.PathLike | None = None,
     perf: PerfRecorder | None = None,
     tracer: Tracer | None = None,
+    flight_recorder=None,
 ) -> dict:
     """Replan and roll back under a live tuner fleet; gate the outcome.
 
@@ -72,6 +74,17 @@ async def run_cutover_loadtest(
     before the fleet starts, which keeps the whole run a pure function
     of ``seed``.
 
+    When ``tracer`` is enabled (or a ``flight_recorder`` is attached)
+    the run is span-traced end to end: each scheduled publish opens a
+    ``replan`` root span whose children are the ``store.publish`` and
+    the ``station.cutover``, the cutover's context rides the wire-v3
+    envelopes, and every walk segment a cutover restarts parents onto
+    it — one trace id from the replan decision down to the tuner
+    restart. ``flight_recorder`` (a
+    :class:`~repro.obs.recorder.FlightRecorder`) additionally tees
+    every component's events into always-on bounded rings and dumps a
+    postmortem bundle when a gate-relevant anomaly fires.
+
     Returns the ``sched-loadtest`` record; ``record["ok"]`` is the AND
     of the acceptance gates (exact frame accounting, zero abandoned
     walks, observed cutovers, intact payloads, byte-exact rollback).
@@ -82,36 +95,140 @@ async def run_cutover_loadtest(
     plan_b = build_demo_plan(
         items=items, channels=channels, fanout=fanout, seed=seed, theta=0.35
     )
-    recorder = perf if perf is not None else PerfRecorder()
+    perf_recorder = perf if perf is not None else PerfRecorder()
+
+    def component_sink(component: str) -> Tracer | None:
+        """``tracer`` teed into the flight ring of ``component``."""
+        if flight_recorder is None:
+            return tracer
+        ring = flight_recorder.ring(component)
+        if tracer is None or not tracer.enabled:
+            return ring
+        return TeeTracer(tracer, ring)
+
+    traced = flight_recorder is not None or (
+        tracer is not None and tracer.enabled
+    )
+    # One span tracer per component namespace: ids cannot collide, and
+    # each component's spans land in its own flight ring.
+    spans = (
+        SpanTracer(component_sink("sched"), namespace="sched")
+        if traced
+        else None
+    )
+    tuner_tracer = (
+        SpanTracer(component_sink("tuner"), namespace="tuner")
+        if traced
+        else tracer
+    )
+    station_tracer = component_sink("station") if traced else tracer
 
     with ExitStack() as stack:
         if store_dir is None:
             store_dir = stack.enter_context(
                 tempfile.TemporaryDirectory(prefix="repro-sched-")
             )
-        store = ScheduleStore(store_dir, perf=recorder)
-        rec_a = store.publish(plan_a, note="baseline plan")
-        rec_b = store.publish(plan_b, note="replan under live traffic")
-        rec_back = store.rollback(rec_a.version, note="roll back bad replan")
-
         program_a = plan_a.compile()
         program_b = plan_b.compile()
-        station = BroadcastStation(
-            program_a,
-            perf=recorder,
-            tracer=tracer,
-            schedule_version=rec_a.version,
-        )
         # Cut over at the second cycle boundary: every walk tunes into
         # cycle 1 and descends into cycle 2, so every walk crosses it.
         replan_slot = 1 + program_a.cycle_length
-        station.publish(
-            program_b, version=rec_b.version, activate_at_slot=replan_slot
-        )
         rollback_slot = replan_slot + 2 * program_b.cycle_length
-        station.publish(
-            program_a, version=rec_back.version, activate_at_slot=rollback_slot
+
+        store = ScheduleStore(
+            store_dir,
+            perf=perf_recorder,
+            tracer=(
+                SpanTracer(component_sink("store"), namespace="store")
+                if traced
+                else None
+            ),
+            flight_recorder=flight_recorder,
         )
+        rec_a = store.publish(plan_a, note="baseline plan")
+        # The replan is "in flight" from the decision slot to its
+        # activation boundary; the rollback is decided one slot after
+        # the replan goes live (causally: it reacts to plan B).
+        replan_root = (
+            spans.begin(
+                "replan",
+                1,
+                component="server",
+                attrs=(("activate_at", replan_slot),),
+            )
+            if spans is not None
+            else None
+        )
+        rec_b = store.publish(
+            plan_b,
+            note="replan under live traffic",
+            trace=replan_root.context if replan_root is not None else None,
+            slot=1,
+        )
+        rollback_root = (
+            spans.begin(
+                "replan",
+                replan_slot + 1,
+                component="server",
+                attrs=(("activate_at", rollback_slot), ("rollback", 1)),
+            )
+            if spans is not None
+            else None
+        )
+        rec_back = store.rollback(
+            rec_a.version,
+            note="roll back bad replan",
+            trace=(
+                rollback_root.context if rollback_root is not None else None
+            ),
+            slot=replan_slot + 1,
+        )
+
+        station = BroadcastStation(
+            program_a,
+            perf=perf_recorder,
+            tracer=station_tracer,
+            schedule_version=rec_a.version,
+        )
+        cut_b = (
+            replan_root.child(
+                "station.cutover",
+                2,
+                component="station",
+                attrs=(("version", rec_b.version),),
+            )
+            if replan_root is not None
+            else None
+        )
+        station.publish(
+            program_b,
+            version=rec_b.version,
+            activate_at_slot=replan_slot,
+            trace=cut_b.context if cut_b is not None else None,
+        )
+        cut_back = (
+            rollback_root.child(
+                "station.cutover",
+                replan_slot + 2,
+                component="station",
+                attrs=(("version", rec_back.version),),
+            )
+            if rollback_root is not None
+            else None
+        )
+        station.publish(
+            program_a,
+            version=rec_back.version,
+            activate_at_slot=rollback_slot,
+            trace=cut_back.context if cut_back is not None else None,
+        )
+        # Activations are scheduled, so the spans' extents are known
+        # now; the root tiles exactly into publish + cutover children.
+        if spans is not None:
+            cut_b.end(replan_slot)
+            replan_root.end(replan_slot)
+            cut_back.end(rollback_slot)
+            rollback_root.end(rollback_slot)
 
         trace = make_request_trace(
             program_a, tuners, np.random.default_rng(seed)
@@ -131,8 +248,8 @@ async def run_cutover_loadtest(
                         station.host,
                         station.port,
                         policy=policy,
-                        perf=recorder,
-                        tracer=tracer,
+                        perf=perf_recorder,
+                        tracer=tuner_tracer,
                     ) as tuner:
                         results[index] = await tuner.fetch(
                             key, tune_slot, walk_id=index
@@ -155,7 +272,7 @@ async def run_cutover_loadtest(
         walks = [walk for walk in results if walk is not None]
         completed = [walk for walk in walks if not walk.abandoned]
         reads = sum(walk.tuning_time for walk in walks)
-        answered = recorder.counters.get("net.station.frames_sent", 0)
+        answered = perf_recorder.counters.get("net.station.frames_sent", 0)
         unaccounted = answered - reads
         cutovers = sum(walk.cutovers for walk in walks)
         payloads_intact = all(
@@ -176,6 +293,14 @@ async def run_cutover_loadtest(
             "payloads_intact": payloads_intact,
             "rollback_byte_exact": rollback_exact,
         }
+        if flight_recorder is not None:
+            for check, passed in checks.items():
+                if not passed:
+                    flight_recorder.trigger(
+                        check,
+                        detail=f"sched-loadtest gate {check} failed",
+                        tracer=tracer,
+                    )
         return {
             "suite": "sched-loadtest",
             "config": {

@@ -36,6 +36,8 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..exceptions import ReproError
+from ..obs.events import NULL_TRACER, Tracer
+from ..obs.spans import span_tracer_of
 from ..perf import PerfRecorder
 from ..planners import PlanResult
 from .delta import (
@@ -118,6 +120,16 @@ class ScheduleStore:
         Optional shared recorder; counters are namespaced ``sched.*``
         (``sched.publishes``, ``sched.loads``, ``sched.rollbacks``,
         ``sched.gc_removed``).
+    tracer:
+        Optional trace sink. When it is (or wraps into) a
+        :class:`~repro.obs.spans.SpanTracer`, every publish carrying a
+        ``trace=`` context emits a ``store.publish`` span linked under
+        that context.
+    recorder:
+        Optional :class:`~repro.obs.recorder.FlightRecorder`; every
+        integrity failure (a :class:`StoreError` raised from a
+        verification check) triggers a postmortem dump before the
+        exception propagates.
     """
 
     def __init__(
@@ -126,12 +138,19 @@ class ScheduleStore:
         *,
         snapshot_every: int = 8,
         perf: PerfRecorder | None = None,
+        tracer: Tracer | None = None,
+        flight_recorder=None,
     ) -> None:
         if snapshot_every < 1:
             raise ValueError("snapshot_every must be >= 1")
         self.root = Path(root)
         self.snapshot_every = snapshot_every
         self.perf = perf if perf is not None else PerfRecorder()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._spans = (
+            span_tracer_of(self.tracer) if self.tracer.enabled else None
+        )
+        self.recorder = flight_recorder
         self.root.mkdir(parents=True, exist_ok=True)
         (self.root / _OBJECTS_DIR).mkdir(exist_ok=True)
         self._doc_cache: dict[int, dict] = {}
@@ -202,15 +221,37 @@ class ScheduleStore:
         try:
             payload = path.read_bytes()
         except OSError as error:
-            raise StoreError(f"missing store object {object_id}") from error
+            raise self._integrity_error(
+                f"missing store object {object_id}"
+            ) from error
         if content_id(json.loads(payload)) != object_id:
-            raise StoreError(
+            raise self._integrity_error(
                 f"store object {object_id} failed its integrity check"
             )
         return json.loads(payload)
 
+    def _integrity_error(self, message: str) -> StoreError:
+        """A :class:`StoreError` that dumps the flight recorder first.
+
+        An integrity failure is exactly the anomaly the recorder exists
+        for: the rings are frozen *before* the exception unwinds the
+        caller, so the bundle still holds the events leading up to it.
+        """
+        if self.recorder is not None:
+            self.recorder.trigger(
+                "store_error", detail=message, tracer=self.tracer
+            )
+        return StoreError(message)
+
     # -- publish / load ------------------------------------------------------
-    def publish(self, result: PlanResult, *, note: str = "") -> VersionRecord:
+    def publish(
+        self,
+        result: PlanResult,
+        *,
+        note: str = "",
+        trace: tuple[int, int] | None = None,
+        slot: int = 0,
+    ) -> VersionRecord:
         """Append ``result`` as the next version; returns its record.
 
         The first version — and every ``snapshot_every``-th since the
@@ -218,6 +259,11 @@ class ScheduleStore:
         structural delta against their parent. A document whose content
         already exists (a rollback, an unchanged replan) is stored as a
         snapshot record pointing at the existing object: no new bytes.
+
+        ``trace`` is an optional ``(trace_id, span_id)`` causal context
+        (typically the replan span the caller opened); when the store's
+        tracer is span-capable a ``store.publish`` span covering logical
+        ``slot`` is emitted under it.
         """
         doc = plan_to_doc(result)
         cid = content_id(doc)
@@ -264,6 +310,20 @@ class ScheduleStore:
             handle.flush()
         self._doc_cache[version] = doc
         self.perf.count("sched.publishes")
+        if self._spans is not None and trace is not None:
+            self._spans.finish(
+                name="store.publish",
+                trace_id=trace[0],
+                parent_id=trace[1],
+                start_slot=slot,
+                end_slot=slot,
+                component="store",
+                attrs=(
+                    ("version", version),
+                    ("kind", record.kind),
+                    ("content_id", record.content_id[:12]),
+                ),
+            )
         return record
 
     def _chain_length(self, records: list[VersionRecord]) -> int:
@@ -298,7 +358,7 @@ class ScheduleStore:
                 )
             doc = apply_delta(delta_doc["ops"], doc)
         if content_id(doc) != records[version - 1].content_id:
-            raise StoreError(
+            raise self._integrity_error(
                 f"version {version} failed its integrity check: "
                 "reconstructed document does not match the logged content id"
             )
@@ -324,21 +384,32 @@ class ScheduleStore:
         self.perf.count("sched.loads")
         return result
 
-    def rollback(self, version: int, *, note: str = "") -> VersionRecord:
+    def rollback(
+        self,
+        version: int,
+        *,
+        note: str = "",
+        trace: tuple[int, int] | None = None,
+        slot: int = 0,
+    ) -> VersionRecord:
         """Publish ``version``'s content again as the new head.
 
         History stays append-only — nothing is rewritten — and content
         addressing makes the new version's object the *same file* as the
         original's, so the restored plan is bit-identical by
         construction (and verified on every later load).
+        ``trace``/``slot`` carry the causal context through to
+        :meth:`publish`.
         """
         doc = self.doc(version)  # integrity-checked reconstruction
         record = self.publish(
             plan_from_doc(doc),
             note=note or f"rollback to version {version}",
+            trace=trace,
+            slot=slot,
         )
         if record.content_id != self.record(version).content_id:
-            raise StoreError(
+            raise self._integrity_error(
                 f"rollback of version {version} did not round-trip "
                 "byte-exactly"
             )

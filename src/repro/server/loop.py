@@ -39,6 +39,7 @@ from ..faults import FaultConfig, FaultInjector
 from ..obs.attrib import AttributionCollector
 from ..obs.events import NULL_TRACER, ReplanFinished, ReplanStarted, Tracer
 from ..obs.metrics import MetricsRegistry, declare_perf_baseline
+from ..obs.spans import span_tracer_of
 from ..online.adaptive import AdaptiveBroadcaster
 from ..perf import PerfRecorder
 from ..sched import ScheduleStore, VersionRecord
@@ -221,6 +222,12 @@ class BroadcastServer:
         self.faults = faults
         self.recovery = recovery
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Span capability is detected once: a span-capable tracer makes
+        # every replan a "server.replan" root span whose store publish
+        # nests under it; a plain tracer costs nothing new.
+        self._spans = (
+            span_tracer_of(self.tracer) if self.tracer.enabled else None
+        )
         self._injector = (
             FaultInjector(faults, tracer=self.tracer)
             if faults is not None
@@ -240,11 +247,19 @@ class BroadcastServer:
         self._publish_plan(note="initial plan")
 
     # -- durable schedule versions --------------------------------------------
-    def _publish_plan(self, *, note: str) -> VersionRecord | None:
+    def _publish_plan(
+        self,
+        *,
+        note: str,
+        trace: tuple[int, int] | None = None,
+        slot: int = 0,
+    ) -> VersionRecord | None:
         """Publish the planner's latest result to the attached store."""
         if self.store is None or self.planner.last_result is None:
             return None
-        return self.store.publish(self.planner.last_result, note=note)
+        return self.store.publish(
+            self.planner.last_result, note=note, trace=trace, slot=slot
+        )
 
     def save_state(self, report: ServerReport | None = None) -> None:
         """Flush a crash snapshot to the attached store (no-op without one).
@@ -432,12 +447,39 @@ class BroadcastServer:
                     and (cycle_index + 1) % self.replan_every == 0
                 ):
                     tracing = self.tracer.enabled
+                    # The replan happens at the cycle boundary the air
+                    # clock already points at — a single-slot root span
+                    # the store publish nests under (same slot, so the
+                    # children tile the parent exactly).
+                    span = (
+                        self._spans.begin(
+                            "server.replan",
+                            self._air_clock,
+                            component="server",
+                            attrs=(("cycle", cycle_index),),
+                        )
+                        if self._spans is not None
+                        else None
+                    )
                     if tracing:
                         self.tracer.emit(ReplanStarted(cycle=cycle_index))
                         replan_started = perf_counter()
                     with perf.timer("replan.seconds"):
                         self.planner.replan()
-                    self._publish_plan(note=f"replan cycle {cycle_index}")
+                    published = self._publish_plan(
+                        note=f"replan cycle {cycle_index}",
+                        trace=span.context if span is not None else None,
+                        slot=self._air_clock,
+                    )
+                    if span is not None:
+                        span.end(
+                            self._air_clock,
+                            version=(
+                                published.version
+                                if published is not None
+                                else 0
+                            ),
+                        )
                     if tracing:
                         self.tracer.emit(
                             ReplanFinished(

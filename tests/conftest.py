@@ -2,11 +2,31 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core.problem import AllocationProblem
 from repro.tree.builders import paper_example_tree
+
+
+@pytest.fixture(scope="session", autouse=True)
+def postmortem_dir(tmp_path_factory):
+    """Route auto-dumped flight-recorder bundles somewhere findable.
+
+    An externally-set ``REPRO_POSTMORTEM_DIR`` wins — the CI jobs
+    point it into the workspace so any bundle dumped by a failing run
+    is uploaded as an artifact. Otherwise bundles land in a session
+    tmp directory instead of the developer's cwd.
+    """
+    if os.environ.get("REPRO_POSTMORTEM_DIR"):
+        yield os.environ["REPRO_POSTMORTEM_DIR"]
+        return
+    path = str(tmp_path_factory.mktemp("postmortems"))
+    os.environ["REPRO_POSTMORTEM_DIR"] = path
+    yield path
+    os.environ.pop("REPRO_POSTMORTEM_DIR", None)
 
 
 @pytest.fixture

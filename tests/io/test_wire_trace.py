@@ -1,0 +1,170 @@
+"""The version-3 air envelope: wire-propagated trace context.
+
+The compatibility bar is absolute: frames without trace context must
+keep emitting the exact version-1/version-2 bytes they always did —
+tracing is an *additive* wire feature, and a fleet of old tuners keeps
+decoding a traced station's untraced frames unchanged.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.io.wire import (
+    AirFrame,
+    FrameStreamDecoder,
+    WireFormatError,
+    encode_air_frame,
+)
+
+COMMON = dict(
+    deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+u32 = st.integers(min_value=1, max_value=0xFFFFFFFF)
+
+
+class TestV3RoundTrip:
+    @settings(max_examples=120, **COMMON)
+    @given(
+        channel=st.integers(min_value=1, max_value=255),
+        slot=u32,
+        payload=st.binary(min_size=0, max_size=200),
+        version=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        trace_id=u32,
+        span_id=u32,
+    )
+    def test_context_survives_the_wire(
+        self, channel, slot, payload, version, trace_id, span_id
+    ):
+        air = AirFrame(
+            channel=channel,
+            absolute_slot=slot,
+            payload=payload,
+            schedule_version=version,
+            trace_id=trace_id,
+            span_id=span_id,
+        )
+        encoded = encode_air_frame(air)
+        assert encoded[0] == 0xB0  # version-3 magic
+        assert len(encoded) == 21 + len(payload)
+        assert FrameStreamDecoder().feed(encoded) == [air]
+
+    def test_lost_airings_carry_context_too(self):
+        air = AirFrame(
+            channel=3,
+            absolute_slot=12,
+            lost=True,
+            trace_id=7,
+            span_id=9,
+        )
+        decoded = FrameStreamDecoder().feed(encode_air_frame(air))
+        assert decoded == [air]
+        assert decoded[0].lost
+
+    def test_half_present_context_is_still_context(self):
+        # (trace, 0) and (0, span) are non-zero contexts and must ride
+        # v3; only (0, 0) means "untraced".
+        for trace_id, span_id in ((5, 0), (0, 5)):
+            air = AirFrame(
+                channel=1,
+                absolute_slot=1,
+                payload=b"x",
+                trace_id=trace_id,
+                span_id=span_id,
+            )
+            assert FrameStreamDecoder().feed(
+                encode_air_frame(air)
+            ) == [air]
+
+
+class TestByteIdentity:
+    @settings(max_examples=80, **COMMON)
+    @given(
+        channel=st.integers(min_value=1, max_value=255),
+        slot=u32,
+        payload=st.binary(min_size=0, max_size=200),
+        version=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_untraced_frames_never_change_bytes(
+        self, channel, slot, payload, version
+    ):
+        """Zero context encodes exactly the pre-v3 envelope."""
+        traceless = AirFrame(
+            channel=channel,
+            absolute_slot=slot,
+            payload=payload,
+            schedule_version=version,
+            trace_id=0,
+            span_id=0,
+        )
+        legacy = AirFrame(
+            channel=channel,
+            absolute_slot=slot,
+            payload=payload,
+            schedule_version=version,
+        )
+        encoded = encode_air_frame(traceless)
+        assert encoded == encode_air_frame(legacy)
+        if version == 0:
+            assert encoded[0] == 0xAE and len(encoded) == 9 + len(payload)
+        else:
+            assert encoded[0] == 0xAF and len(encoded) == 13 + len(payload)
+
+
+class TestV3Validation:
+    def test_out_of_range_ids_rejected(self):
+        for field in ("trace_id", "span_id"):
+            with pytest.raises(WireFormatError, match="out of range"):
+                encode_air_frame(
+                    AirFrame(
+                        channel=1,
+                        absolute_slot=1,
+                        payload=b"",
+                        **{field: 1 << 32},
+                    )
+                )
+
+    def test_forged_contextless_v3_rejected(self):
+        # A v3 header claiming (0, 0) context is a forgery: the encoder
+        # would have emitted v1/v2, so honest streams never contain it.
+        forged = struct.pack(">BBBIHIII", 0xB0, 1, 1, 1, 0, 2, 0, 0)
+        with pytest.raises(WireFormatError, match="no trace context"):
+            FrameStreamDecoder().feed(forged)
+
+
+class TestMixedStreams:
+    airs = st.lists(
+        st.builds(
+            AirFrame,
+            channel=st.integers(min_value=1, max_value=255),
+            absolute_slot=u32,
+            payload=st.binary(min_size=0, max_size=60),
+            schedule_version=st.integers(min_value=0, max_value=0xFFFF),
+            trace_id=st.integers(min_value=0, max_value=0xFFFF),
+            span_id=st.integers(min_value=0, max_value=0xFFFF),
+        ),
+        max_size=12,
+    )
+
+    @settings(max_examples=100, **COMMON)
+    @given(airs=airs, data=st.data())
+    def test_v1_v2_v3_interleave_under_any_chunking(self, airs, data):
+        """A station adopting tracing mid-stream: all three versions
+        interleaved, reassembled exactly from arbitrary TCP chunks."""
+        stream = b"".join(encode_air_frame(air) for air in airs)
+        decoder = FrameStreamDecoder()
+        received = []
+        cursor = 0
+        while cursor < len(stream):
+            step = data.draw(
+                st.integers(min_value=1, max_value=len(stream) - cursor)
+            )
+            received.extend(decoder.feed(stream[cursor:cursor + step]))
+            cursor += step
+        assert received == airs
+        assert decoder.pending_bytes == 0

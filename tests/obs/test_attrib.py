@@ -335,18 +335,19 @@ class TestAttribCli:
         assert main(["obs", "attrib", str(path)]) == 1
         assert "error:" in capsys.readouterr().err
 
-    def test_missing_trace_exits_one(self, tmp_path, capsys):
+    def test_missing_trace_exits_two(self, tmp_path, capsys):
+        # Uniform obs exit codes: I/O problems are 2, divergences 1.
         from repro.cli import main
 
-        assert main(["obs", "attrib", str(tmp_path / "nope.jsonl")]) == 1
+        assert main(["obs", "attrib", str(tmp_path / "nope.jsonl")]) == 2
         assert "cannot read trace" in capsys.readouterr().err
 
-    def test_trace_with_no_finished_walks_exits_one(self, tmp_path, capsys):
+    def test_trace_with_no_finished_walks_exits_two(self, tmp_path, capsys):
         from repro.cli import main
 
         path = tmp_path / "empty.jsonl"
         path.write_text("")
-        assert main(["obs", "attrib", str(path)]) == 1
+        assert main(["obs", "attrib", str(path)]) == 2
         assert "no finished walks" in capsys.readouterr().err
 
 

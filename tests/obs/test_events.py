@@ -9,6 +9,7 @@ import pytest
 from repro.obs.events import (
     EVENT_TYPES,
     NULL_TRACER,
+    AlertFired,
     ChannelHop,
     CutoverDetected,
     FaultInjected,
@@ -16,6 +17,7 @@ from repro.obs.events import (
     JsonlTracer,
     NullTracer,
     PlannerDecision,
+    RecorderTriggered,
     ReplanFinished,
     ReplanStarted,
     RingBufferTracer,
@@ -23,6 +25,7 @@ from repro.obs.events import (
     SearchProgress,
     SlotAired,
     SlotRead,
+    SpanFinished,
     TeeTracer,
     WalkFinished,
     event_from_dict,
@@ -58,6 +61,30 @@ SAMPLE_EVENTS = [
         gini=0.82,
         entropy=0.41,
         reason="50000 items: class-scheduling approximation",
+    ),
+    SpanFinished(
+        trace_id=0x5D400001,
+        span_id=0x5D400002,
+        parent_id=0x5D400001,
+        name="station.cutover",
+        start_slot=32,
+        end_slot=47,
+        component="station",
+        attrs=(("version", 2),),
+    ),
+    AlertFired(
+        slo="access_p99",
+        state="firing",
+        value=41.0,
+        threshold=36.0,
+        window_slots=64,
+        burn_rate=1.25,
+    ),
+    RecorderTriggered(
+        reason="parity_failure",
+        detail="shard 2 diverged from the simulator",
+        bundle="postmortem-0001-parity-failure.json",
+        events=96,
     ),
 ]
 

@@ -377,6 +377,42 @@ class TestLabels:
         registry.gauge("repro_g", labels={"path": 'a"b\\c'}).set(1)
         assert 'path="a\\"b\\\\c"' in registry.render()
 
+    def test_hostile_label_values_render_byte_exactly(self):
+        """Golden escaping regression: ``\\``, ``"`` and newline.
+
+        The exposition format requires, in label values, ``\\\\`` for a
+        backslash, ``\\"`` for a quote and ``\\n`` for a newline — and
+        the backslash pass MUST run first or it would double-escape
+        the other two. Any reordering of the replacements in
+        ``_escape_label_value`` breaks these exact bytes.
+        """
+        registry = MetricsRegistry()
+        registry.gauge(
+            "repro_g",
+            "watch the\nhelp \\ text too",
+            labels={"path": 'a\\b"c\nd'},
+        ).set(1)
+        assert registry.render() == (
+            "# HELP repro_g watch the\\nhelp \\\\ text too\n"
+            "# TYPE repro_g gauge\n"
+            'repro_g{path="a\\\\b\\"c\\nd"} 1\n'
+        )
+        # Exactly one physical line per sample: the newline really was
+        # escaped, not emitted.
+        assert len(registry.render().splitlines()) == 3
+
+    def test_each_escape_alone_is_exact(self):
+        cases = [
+            ("\\", '"\\\\"'),
+            ('"', '"\\""'),
+            ("\n", '"\\n"'),
+            ("\\n", '"\\\\n"'),  # literal backslash-n is NOT a newline
+        ]
+        for raw, quoted in cases:
+            registry = MetricsRegistry()
+            registry.counter("repro_c", labels={"v": raw}).inc()
+            assert f"repro_c{{v={quoted}}} 1" in registry.render()
+
     def test_families_group_despite_prefix_collisions(self):
         # Naive sorted-by-key rendering would interleave foo, foo{...}
         # and foobar; grouping must be by family name.

@@ -1,0 +1,260 @@
+"""The SLO watchdog: declarative specs, burn windows, edge alerting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.events import RingBufferTracer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import SLOSpec, SLOWatchdog, default_slos
+
+
+def _quantile_spec(**overrides):
+    spec = {
+        "name": "latency",
+        "kind": "quantile",
+        "metric": "test_access_slots",
+        "quantile": 0.99,
+        "objective": 50.0,
+        "fast_window": 8,
+        "slow_window": 32,
+    }
+    spec.update(overrides)
+    return SLOSpec(**spec)
+
+
+def _ratio_spec(**overrides):
+    spec = {
+        "name": "errors",
+        "kind": "ratio",
+        "bad": ("test_bad_total",),
+        "total": ("test_all_total",),
+        "objective": 0.1,
+        "fast_window": 4,
+        "slow_window": 16,
+    }
+    spec.update(overrides)
+    return SLOSpec(**spec)
+
+
+class TestSpecs:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown SLO kind"):
+            SLOSpec(name="x", kind="latency", objective=1.0)
+
+    def test_quantile_needs_a_metric(self):
+        with pytest.raises(ValueError, match="metric family"):
+            SLOSpec(name="x", kind="quantile", objective=1.0)
+
+    def test_ratio_needs_both_families(self):
+        with pytest.raises(ValueError, match="bad and total"):
+            SLOSpec(
+                name="x", kind="ratio", objective=0.1,
+                bad=("b_total",),
+            )
+
+    def test_window_ordering_enforced(self):
+        with pytest.raises(ValueError, match="windows"):
+            _quantile_spec(fast_window=64, slow_window=8)
+
+    def test_objective_must_be_positive(self):
+        with pytest.raises(ValueError, match="objective"):
+            _quantile_spec(objective=0.0)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            SLOWatchdog(
+                MetricsRegistry(), [_ratio_spec(), _ratio_spec()]
+            )
+
+    def test_default_slos_scale_with_the_cycle(self):
+        specs = {spec.name: spec for spec in default_slos(40)}
+        assert set(specs) == {
+            "access_p99", "abandonment", "cutover_retries",
+        }
+        assert specs["access_p99"].objective == 160.0
+        assert specs["access_p99"].fast_window == 80
+        assert specs["abandonment"].kind == "ratio"
+
+
+class TestQuantileBurn:
+    def test_fires_on_edge_and_only_on_edge(self):
+        registry = MetricsRegistry()
+        summary = registry.summary(
+            "test_access_slots", quantiles=(0.99,)
+        )
+        watchdog = SLOWatchdog(registry, [_quantile_spec()])
+        for value, slot in ((20, 1), (30, 2)):
+            summary.observe(value)
+            assert watchdog.observe(slot) == []
+        summary.observe(400)  # p99 shoots past the 50-slot objective
+        alerts = watchdog.observe(3)
+        assert [a.state for a in alerts] == ["firing"]
+        assert alerts[0].slo == "latency"
+        assert alerts[0].value > 50.0
+        assert alerts[0].burn_rate > 1.0
+        assert watchdog.firing == ["latency"]
+        # A steady burn does not spam: no state change, no alert.
+        assert watchdog.observe(4) == []
+
+    def test_resolves_when_the_burn_leaves_the_fast_window(self):
+        registry = MetricsRegistry()
+        summary = registry.summary(
+            "test_access_slots", quantiles=(0.99,)
+        )
+        watchdog = SLOWatchdog(registry, [_quantile_spec()])
+        summary.observe(400)
+        assert [a.state for a in watchdog.observe(1)] == ["firing"]
+        # Flood the digest with healthy samples: p99 comes back under
+        # the objective, and the hot sample ages out of the window.
+        for _ in range(500):
+            summary.observe(10)
+        resolved = []
+        for slot in range(2, 16):
+            resolved.extend(watchdog.observe(slot))
+        assert [a.state for a in resolved] == ["resolved"]
+        assert watchdog.firing == []
+
+
+class TestRatioBurn:
+    def test_needs_both_windows_burning(self):
+        registry = MetricsRegistry()
+        bad = registry.counter("test_bad_total")
+        total = registry.counter("test_all_total")
+        watchdog = SLOWatchdog(registry, [_ratio_spec()])
+        # A long healthy baseline.
+        alerts = []
+        for slot in range(1, 21):
+            total.inc(10)
+            alerts.extend(watchdog.observe(slot))
+        assert alerts == []
+        # One bad slot: the fast window burns, the slow window is
+        # still diluted by the baseline — no page.
+        total.inc(10)
+        bad.inc(2)  # fast ratio 0.2 > objective 0.1
+        assert watchdog.observe(21) == []
+        # Sustained badness: both windows burn, exactly one edge.
+        for slot in range(22, 30):
+            total.inc(10)
+            bad.inc(5)
+            alerts.extend(watchdog.observe(slot))
+        assert [a.state for a in alerts] == ["firing"]
+        assert alerts[0].slo == "errors"
+        assert 0.1 < alerts[0].value <= 0.5
+
+    def test_zero_total_is_not_a_burn(self):
+        registry = MetricsRegistry()
+        registry.counter("test_bad_total")
+        registry.counter("test_all_total")
+        watchdog = SLOWatchdog(registry, [_ratio_spec()])
+        assert watchdog.observe(1) == []
+        assert watchdog.firing == []
+
+    def test_ratio_sums_labelled_children(self):
+        # Cluster harnesses register per-shard labelled counters; the
+        # watchdog reads the family total.
+        registry = MetricsRegistry()
+        watchdog = SLOWatchdog(registry, [_ratio_spec()])
+        assert watchdog.observe(0) == []  # baseline sample
+        for shard in ("0", "1"):
+            registry.counter(
+                "test_all_total", labels={"shard": shard}
+            ).inc(50)
+            registry.counter(
+                "test_bad_total", labels={"shard": shard}
+            ).inc(25)
+        alerts = watchdog.observe(1)
+        assert [a.state for a in alerts] == ["firing"]
+        assert alerts[0].value == 0.5
+
+
+class TestExposition:
+    def test_gauges_land_on_the_registry(self):
+        registry = MetricsRegistry()
+        summary = registry.summary(
+            "test_access_slots", quantiles=(0.99,)
+        )
+        watchdog = SLOWatchdog(registry, [_quantile_spec()])
+        summary.observe(400)
+        watchdog.observe(1)
+        rendered = registry.render()
+        assert 'repro_slo_objective{slo="latency"} 50' in rendered
+        assert 'repro_slo_firing{slo="latency"} 1' in rendered
+        assert 'repro_slo_burn_rate{slo="latency"}' in rendered
+
+    def test_alerts_reach_the_tracer_and_the_recorder(self):
+        registry = MetricsRegistry()
+        summary = registry.summary(
+            "test_access_slots", quantiles=(0.99,)
+        )
+        ring = RingBufferTracer()
+        recorder = FlightRecorder()
+        watchdog = SLOWatchdog(
+            registry,
+            [_quantile_spec()],
+            tracer=ring,
+            flight_recorder=recorder,
+        )
+        summary.observe(400)
+        watchdog.observe(1)
+        assert [e.kind for e in ring.events] == [
+            "alert_fired",
+            "recorder_triggered",
+        ]
+        assert [t.reason for t in recorder.triggers] == ["alert"]
+        assert "slo latency" in recorder.triggers[0].detail
+
+    def test_resolution_does_not_trigger_the_recorder(self):
+        registry = MetricsRegistry()
+        summary = registry.summary(
+            "test_access_slots", quantiles=(0.99,)
+        )
+        recorder = FlightRecorder()
+        watchdog = SLOWatchdog(
+            registry, [_quantile_spec()], flight_recorder=recorder
+        )
+        summary.observe(400)
+        watchdog.observe(1)
+        for _ in range(500):
+            summary.observe(10)
+        for slot in range(2, 16):
+            watchdog.observe(slot)
+        assert watchdog.firing == []
+        assert [t.reason for t in recorder.triggers] == ["alert"]
+
+
+class TestDefaultSlosOverALoadtest:
+    def test_healthy_fleet_never_pages(self):
+        import asyncio
+
+        import numpy as np
+
+        from repro.net import build_demo_program, make_request_trace
+        from repro.net.harness import run_loadtest
+
+        program = build_demo_program(items=10, channels=2, seed=17)
+        trace = make_request_trace(
+            program, 25, np.random.default_rng(5)
+        )
+        registry = MetricsRegistry()
+        report = asyncio.run(
+            run_loadtest(
+                program,
+                trace=trace,
+                rng=np.random.default_rng(5),
+                arrival_rate=0.0,
+                metrics=registry,
+            )
+        )
+        assert report.abandoned == 0
+        watchdog = SLOWatchdog(
+            registry, default_slos(program.cycle_length)
+        )
+        alerts = []
+        for slot in range(1, 2 * program.cycle_length, 4):
+            alerts.extend(watchdog.observe(slot))
+        assert alerts == []
+        assert watchdog.firing == []
+        rendered = registry.render()
+        assert 'repro_slo_firing{slo="abandonment"} 0' in rendered

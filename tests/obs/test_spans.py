@@ -1,0 +1,378 @@
+"""Causal span tracing: ids, reconstruction, and the exactness bridge.
+
+The acceptance bar for the span layer is causal *and* arithmetic: one
+trace id must link a replan to the store publish, the station cutover
+and every walk segment it restarted, and the segment durations must
+tile each walk's measured access time exactly — the same invariant
+:mod:`repro.obs.attrib` enforces for phases.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.obs.events import (
+    NULL_TRACER,
+    RingBufferTracer,
+    SpanFinished,
+)
+from repro.obs.spans import (
+    NO_TRACE,
+    SpanTracer,
+    TraceContext,
+    check_span_tree,
+    format_span_tree,
+    reconcile_with_attrib,
+    span_tracer_of,
+    span_tree,
+)
+
+
+class TestIdentifiers:
+    def test_ids_are_deterministic_across_tracers(self):
+        a = SpanTracer(RingBufferTracer(), namespace="sched")
+        b = SpanTracer(RingBufferTracer(), namespace="sched")
+        spans_a = [a.begin("x", 1).end(1) for _ in range(5)]
+        spans_b = [b.begin("x", 1).end(1) for _ in range(5)]
+        assert [s.span_id for s in spans_a] == [s.span_id for s in spans_b]
+
+    def test_namespaces_partition_the_id_space(self):
+        sink = RingBufferTracer()
+        sched = SpanTracer(sink, namespace="sched")
+        tuner = SpanTracer(sink, namespace="tuner")
+        ids = {sched.begin("x", 1).end(1).span_id for _ in range(100)}
+        ids |= {tuner.begin("x", 1).end(1).span_id for _ in range(100)}
+        assert len(ids) == 200  # no collisions across namespaces
+
+    def test_root_span_id_doubles_as_trace_id(self):
+        tracer = SpanTracer(RingBufferTracer())
+        root = tracer.begin("replan", 1)
+        assert root.context.trace_id == root.context.span_id
+        assert root.context.present
+
+    def test_children_inherit_the_trace(self):
+        tracer = SpanTracer(RingBufferTracer())
+        root = tracer.begin("replan", 1)
+        child = root.child("station.cutover", 2)
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+
+    def test_finish_with_zero_trace_roots_a_fresh_trace(self):
+        # Walk segments that ran under the untraced bootstrap program
+        # still emit — rooted in their own trace — so they tile.
+        tracer = SpanTracer(RingBufferTracer())
+        span = tracer.finish(
+            name="walk.run", trace_id=0, start_slot=3, end_slot=7
+        )
+        assert span.trace_id == span.span_id != 0
+        assert span.parent_id == 0
+
+    def test_double_end_raises(self):
+        tracer = SpanTracer(RingBufferTracer())
+        span = tracer.begin("x", 1)
+        span.end(2)
+        with pytest.raises(RuntimeError, match="already ended"):
+            span.end(3)
+
+
+class TestTracerContract:
+    def test_span_tracer_mirrors_its_sink(self):
+        assert SpanTracer(RingBufferTracer()).enabled
+        assert not SpanTracer(NULL_TRACER).enabled
+        assert not SpanTracer(None).enabled
+
+    def test_emit_delegates_to_the_sink(self):
+        ring = RingBufferTracer()
+        tracer = SpanTracer(ring)
+        event = SpanFinished(
+            trace_id=1, span_id=1, parent_id=0, name="x",
+            start_slot=1, end_slot=1,
+        )
+        tracer.emit(event)
+        assert ring.events == [event]
+
+    def test_span_tracer_of_detects_the_capability(self):
+        ring = RingBufferTracer()
+        assert span_tracer_of(ring) is None
+        tracer = SpanTracer(ring)
+        assert span_tracer_of(tracer) is tracer
+        assert span_tracer_of(None) is None
+
+    def test_no_trace_context_is_absent(self):
+        assert not NO_TRACE.present
+        assert TraceContext(7, 0).present
+        assert TraceContext(0, 7).present
+
+
+class TestReconstruction:
+    def _emit_chain(self, tracer):
+        root = tracer.begin("replan", 1, component="server")
+        publish = root.child("store.publish", 1, component="store")
+        publish.end(1)
+        cutover = root.child("station.cutover", 2, component="station")
+        cutover.end(8)
+        root.end(8)
+        return root
+
+    def test_tree_rebuilds_the_chain(self):
+        ring = RingBufferTracer()
+        tracer = SpanTracer(ring)
+        root = self._emit_chain(tracer)
+        roots = span_tree(ring.events)
+        assert len(roots) == 1
+        assert roots[0].span.name == "replan"
+        assert [c.span.name for c in roots[0].children] == [
+            "store.publish",
+            "station.cutover",
+        ]
+        assert roots[0].span.trace_id == root.trace_id
+
+    def test_trace_id_filter(self):
+        ring = RingBufferTracer()
+        tracer = SpanTracer(ring)
+        first = self._emit_chain(tracer)
+        self._emit_chain(tracer)
+        roots = span_tree(ring.events, trace_id=first.trace_id)
+        assert len(roots) == 1
+        assert roots[0].span.trace_id == first.trace_id
+
+    def test_orphans_surface_as_roots(self):
+        # A truncated ring may hold a child whose parent's span never
+        # made it into the window; it must still render.
+        span = SpanFinished(
+            trace_id=9, span_id=10, parent_id=9, name="station.cutover",
+            start_slot=2, end_slot=8,
+        )
+        roots = span_tree([span])
+        assert len(roots) == 1
+
+    def test_raw_jsonl_records_decode(self):
+        record = {
+            "kind": "span_finished", "trace_id": 3, "span_id": 3,
+            "parent_id": 0, "name": "replan", "start_slot": 1,
+            "end_slot": 4, "component": "server", "attrs": [],
+        }
+        roots = span_tree([record, {"kind": "slot_read"}])
+        assert len(roots) == 1
+        assert roots[0].span.duration_slots == 4
+
+
+class TestContainment:
+    def test_clean_chain_passes(self):
+        ring = RingBufferTracer()
+        TestReconstruction()._emit_chain(SpanTracer(ring))
+        assert check_span_tree(span_tree(ring.events)) == []
+
+    def test_child_starting_before_parent_is_flagged(self):
+        ring = RingBufferTracer()
+        tracer = SpanTracer(ring)
+        root = tracer.begin("replan", 5)
+        root.child("store.publish", 2).end(3)
+        root.end(9)
+        problems = check_span_tree(span_tree(ring.events))
+        assert len(problems) == 1
+        assert "before its parent" in problems[0]
+
+    def test_infra_children_may_not_exceed_the_parent(self):
+        ring = RingBufferTracer()
+        tracer = SpanTracer(ring)
+        root = tracer.begin("replan", 1)
+        root.child("store.publish", 1).end(6)
+        root.child("station.cutover", 2).end(8)
+        root.end(8)  # parent 8 slots, children 6 + 7
+        problems = check_span_tree(span_tree(ring.events))
+        assert len(problems) == 1
+        assert "exceeding the parent" in problems[0]
+
+    def test_walk_fanout_is_exempt_from_the_sum(self):
+        # Many concurrent walk segments under one cutover legitimately
+        # overlap each other; only causality is checked for them.
+        ring = RingBufferTracer()
+        tracer = SpanTracer(ring)
+        root = tracer.begin("station.cutover", 2)
+        for walk in range(4):
+            root.child(
+                "walk.restart", 3, attrs=(("walk", walk),)
+            ).end(30)
+        root.end(8)
+        assert check_span_tree(span_tree(ring.events)) == []
+
+
+class TestReconcile:
+    def _segment(self, walk, start, end, *, name="walk.run"):
+        return SpanFinished(
+            trace_id=1, span_id=start * 100 + walk, parent_id=0,
+            name=name, start_slot=start, end_slot=end,
+            component="walk", attrs=(("walk", walk), ("segment", 0)),
+        )
+
+    def _finished(self, walk, access):
+        return {
+            "kind": "walk_finished", "key": "K", "walk": walk,
+            "tune_slot": 1, "access_time": access, "tuning_time": 1,
+            "abandoned": False,
+        }
+
+    def test_exact_tiling_passes(self):
+        events = [
+            self._segment(0, 3, 7),
+            self._segment(0, 9, 12, name="walk.restart"),
+            self._finished(0, 9),  # 5 + 4 slots
+        ]
+        per_walk, problems = reconcile_with_attrib(events)
+        assert problems == []
+        assert per_walk[0] == {
+            "access_time": 9, "segments": 2, "segment_slots": 9,
+        }
+
+    def test_mismatch_is_reported(self):
+        events = [self._segment(0, 3, 7), self._finished(0, 11)]
+        _, problems = reconcile_with_attrib(events)
+        assert len(problems) == 1
+        assert "sum to 5" in problems[0]
+
+    def test_unfinished_walks_are_not_mismatches(self):
+        per_walk, problems = reconcile_with_attrib(
+            [self._segment(4, 3, 7)]
+        )
+        assert problems == []
+        assert per_walk[4]["access_time"] is None
+
+
+class TestCutoverAcceptance:
+    """The headline guarantee over a real traced cutover loadtest."""
+
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        from repro.sched.harness import run_cutover_loadtest
+
+        ring = RingBufferTracer()
+        record = asyncio.run(run_cutover_loadtest(tracer=ring))
+        return record, ring.events
+
+    def test_one_trace_links_replan_to_walk_restarts(self, traced_run):
+        record, events = traced_run
+        assert record["ok"]
+        roots = span_tree(events)
+        replans = [r for r in roots if r.span.name == "replan"]
+        assert replans  # the replan rooted its own trace
+        chain = replans[0]
+        names = [node.span.name for node in chain.walk()]
+        assert "store.publish" in names
+        assert "station.cutover" in names
+        restarts = [
+            node for node in chain.walk()
+            if node.span.name == "walk.restart"
+        ]
+        assert restarts  # >= 1 tuner restarted under this replan
+        assert all(
+            node.span.trace_id == chain.span.trace_id
+            for node in chain.walk()
+        )
+
+    def test_infra_spans_tile_the_replan_exactly(self, traced_run):
+        _, events = traced_run
+        for root in span_tree(events):
+            if root.span.name != "replan":
+                continue
+            infra = [
+                c for c in root.children
+                if "walk" not in dict(c.span.attrs)
+            ]
+            assert sum(c.duration_slots for c in infra) == (
+                root.duration_slots
+            )
+
+    def test_tree_passes_containment_and_reconciliation(self, traced_run):
+        _, events = traced_run
+        roots = span_tree(events)
+        assert check_span_tree(roots) == []
+        per_walk, problems = reconcile_with_attrib(events)
+        assert problems == []
+        assert per_walk  # segments were actually recorded
+        for info in per_walk.values():
+            assert info["access_time"] is not None
+            assert info["segment_slots"] == info["access_time"]
+
+    def test_formatting_renders_the_chain(self, traced_run):
+        _, events = traced_run
+        roots = span_tree(events)
+        per_walk, _ = reconcile_with_attrib(events)
+        text = format_span_tree(roots, reconciliation=per_walk)
+        assert "replan" in text
+        assert "station.cutover" in text
+        assert "[exact]" in text
+        assert "MISMATCH" not in text
+
+
+class TestSpansCli:
+    def _record_trace(self, tmp_path):
+        from repro.obs.events import JsonlTracer
+        from repro.sched.harness import run_cutover_loadtest
+
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(str(path)) as tracer:
+            asyncio.run(run_cutover_loadtest(tracer=tracer))
+        return str(path)
+
+    def test_clean_trace_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = self._record_trace(tmp_path)
+        assert main(["obs", "spans", trace]) == 0
+        out = capsys.readouterr().out
+        assert "replan" in out
+        assert "walk segment reconciliation" in out
+
+    def test_trace_id_filter_narrows_the_view(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.obs.events import read_events
+
+        trace = self._record_trace(tmp_path)
+        roots = span_tree(list(read_events(trace)))
+        replan = next(r for r in roots if r.span.name == "replan")
+        wanted = replan.span.trace_id
+        assert main(
+            ["obs", "spans", trace, "--trace-id", hex(wanted)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"trace {wanted:#010x}" in out
+
+    def test_missing_trace_exits_two(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["obs", "spans", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_spanless_trace_exits_two(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "flat.jsonl"
+        path.write_text('{"kind": "slot_read", "key": "A", "channel": 1, '
+                        '"absolute_slot": 1, "outcome": "ok"}\n')
+        assert main(["obs", "spans", str(path)]) == 2
+        assert "no finished spans" in capsys.readouterr().err
+
+    def test_mismatching_trace_exits_one(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        path = tmp_path / "bad.jsonl"
+        records = [
+            {"kind": "span_finished", "trace_id": 1, "span_id": 2,
+             "parent_id": 0, "name": "walk.run", "start_slot": 1,
+             "end_slot": 5, "component": "walk",
+             "attrs": [["walk", 0], ["segment", 0]]},
+            {"kind": "walk_finished", "key": "A", "walk": 0,
+             "tune_slot": 1, "access_time": 9, "tuning_time": 4,
+             "abandoned": False},
+        ]
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records)
+        )
+        assert main(["obs", "spans", str(path)]) == 1
+        assert "segment spans sum to" in capsys.readouterr().err

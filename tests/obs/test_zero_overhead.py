@@ -153,6 +153,87 @@ class TestInstrumentedFleetDifferential:
         assert "repro_requests_total" in rendered
 
 
+class TestSpansRecorderSloDifferential:
+    """PR 10 extension: spans + flight recorder + SLO watchdog active.
+
+    The deepest observability stack there is — causal spans opened
+    across server/store/station/walk, every component teeing into
+    always-on flight rings, and the SLO watchdog reading the registry —
+    must leave every seed-determined measurement bit-identical.
+    """
+
+    @staticmethod
+    def _sched_measurements(record):
+        result = record["result"]
+        return {
+            key: result[key]
+            for key in (
+                "completed",
+                "abandoned",
+                "cutovers",
+                "mean_access_time",
+                "mean_tuning_time",
+                "retries",
+                "frames_answered",
+                "frames_read",
+                "unaccounted_frames",
+            )
+        } | {"checks": record["checks"]}
+
+    def test_traced_cutover_loadtest_is_bit_identical(self):
+        from repro.obs.recorder import FlightRecorder
+        from repro.sched.harness import run_cutover_loadtest
+
+        bare = asyncio.run(run_cutover_loadtest())
+        ring = RingBufferTracer()
+        recorder = FlightRecorder()
+        instrumented = asyncio.run(
+            run_cutover_loadtest(tracer=ring, flight_recorder=recorder)
+        )
+        assert self._sched_measurements(bare) == (
+            self._sched_measurements(instrumented)
+        )
+        # And the stack really was on: spans in the trace, rings full.
+        kinds = {type(e).__name__ for e in ring.events}
+        assert "SpanFinished" in kinds
+        assert recorder.snapshot()["components"]
+
+    def test_fleet_with_recorder_and_watchdog_is_bit_identical(
+        self, program
+    ):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.recorder import FlightRecorder
+        from repro.obs.slo import SLOWatchdog, default_slos
+
+        trace = make_request_trace(program, 25, np.random.default_rng(5))
+        bare = _run_fleet(program, trace, tracer=None)
+        registry = MetricsRegistry()
+        recorder = FlightRecorder()
+        watchdog = SLOWatchdog(
+            registry,
+            default_slos(program.cycle_length),
+            flight_recorder=recorder,
+        )
+        instrumented = asyncio.run(
+            run_loadtest(
+                program,
+                tuners=len(trace),
+                trace=trace,
+                rng=np.random.default_rng(5),
+                arrival_rate=0.0,
+                metrics=registry,
+                flight_recorder=recorder,
+            )
+        )
+        watchdog.observe(2 * program.cycle_length)
+        assert _report_measurements(bare) == _report_measurements(
+            instrumented
+        )
+        assert recorder.snapshot()["components"]["fleet"]
+        assert recorder.triggers == []  # healthy run: no postmortems
+        assert "repro_slo_firing" in registry.render()
+
+
 class TestWalkDifferential:
     def test_wire_walks_are_identical_under_observation(self, program):
         frames = encode_program(program, 64)

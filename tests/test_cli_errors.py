@@ -106,8 +106,9 @@ class TestLoadtestErrors:
 
 class TestObsErrors:
     def test_timeline_on_missing_trace(self, tmp_path, capsys):
+        # Uniform obs exit codes: I/O errors are 2, divergences 1.
         missing = tmp_path / "nope.jsonl"
-        assert main(["obs", "timeline", str(missing)]) == 1
+        assert main(["obs", "timeline", str(missing)]) == 2
         captured = capsys.readouterr()
         assert "error: cannot read trace:" in captured.err
         _no_traceback(captured)
@@ -117,7 +118,7 @@ class TestObsErrors:
         present.write_text("")
         assert main(
             ["obs", "diff", str(present), str(tmp_path / "nope.jsonl")]
-        ) == 1
+        ) == 2
         captured = capsys.readouterr()
         assert "error: cannot read trace:" in captured.err
         _no_traceback(captured)
